@@ -1,0 +1,355 @@
+//! An AUSTIN-style search-based tester.
+//!
+//! AUSTIN (Lakhotia et al.) combines symbolic execution with search-based
+//! testing; on floating-point constraints its effectiveness comes from the
+//! search component, which is Korel's **alternating variable method** (AVM)
+//! guided by the classic fitness function
+//!
+//! ```text
+//! fitness(target, input) = approach_level + normalize(branch_distance)
+//! ```
+//!
+//! where the approach level counts how many control-dependence levels away
+//! the execution diverged from the target branch, and the branch distance is
+//! evaluated at the diverging conditional. This module implements that
+//! search loop per uncovered target branch: exploratory ±δ probes on each
+//! input variable followed by accelerating pattern moves, restarting from
+//! random points when the search stalls.
+
+use std::time::{Duration, Instant};
+
+use coverme_optim::rng::SplitMix64;
+use coverme_runtime::{distance, BranchId, CoverageMap, Direction, ExecCtx, Program, Trace};
+
+use crate::report::BaselineReport;
+
+/// Configuration of the AUSTIN-style tester.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AustinConfig {
+    /// Maximum number of program executions across all targets.
+    pub max_executions: usize,
+    /// Maximum executions spent on a single target branch before giving up.
+    pub per_target_budget: usize,
+    /// Number of random restarts per target.
+    pub restarts: usize,
+    /// Optional wall-clock budget.
+    pub time_budget: Option<Duration>,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for AustinConfig {
+    fn default() -> Self {
+        AustinConfig {
+            max_executions: 200_000,
+            per_target_budget: 4_000,
+            restarts: 4,
+            time_budget: None,
+            seed: 0,
+        }
+    }
+}
+
+/// The AUSTIN-style search-based tester.
+#[derive(Debug, Clone, Default)]
+pub struct AustinTester {
+    config: AustinConfig,
+}
+
+impl AustinTester {
+    /// Creates a tester with the given configuration.
+    pub fn new(config: AustinConfig) -> AustinTester {
+        AustinTester { config }
+    }
+
+    /// Runs search-based testing on `program`.
+    pub fn run<P: Program>(&self, program: &P) -> BaselineReport {
+        let started = Instant::now();
+        let mut rng = SplitMix64::new(self.config.seed ^ 0xA05_711);
+        let mut coverage = CoverageMap::new(program.num_sites());
+        let mut executions = 0usize;
+        let arity = program.arity();
+
+        // Initial corpus of a few random executions so easy branches are
+        // covered before the per-target searches start.
+        for _ in 0..16 {
+            let input: Vec<f64> = (0..arity).map(|_| rng.uniform(-1e3, 1e3)).collect();
+            let mut ctx = ExecCtx::observe().without_trace();
+            program.execute(&input, &mut ctx);
+            coverage.record(&ctx);
+            executions += 1;
+        }
+
+        // Work through uncovered branches one target at a time, as AUSTIN's
+        // driver does.
+        loop {
+            if self.exhausted(executions, &started) || coverage.is_fully_covered() {
+                break;
+            }
+            let Some(target) = coverage.uncovered_branches().next() else {
+                break;
+            };
+            let before = coverage.covered_count();
+            self.search_target(program, target, &mut coverage, &mut executions, &mut rng, &started);
+            if coverage.covered_count() == before {
+                // The target resisted its budget; AUSTIN reports it as
+                // unreachable-for-now and moves on. Mark it by recording a
+                // synthetic attempt counter so the loop terminates: we simply
+                // stop trying targets we already failed once.
+                break;
+            }
+        }
+
+        // One more pass over any remaining uncovered branches, each with a
+        // fresh budget, so a lucky later corpus can still help.
+        let remaining: Vec<BranchId> = coverage.uncovered_branches().collect();
+        for target in remaining {
+            if self.exhausted(executions, &started) {
+                break;
+            }
+            self.search_target(program, target, &mut coverage, &mut executions, &mut rng, &started);
+        }
+
+        BaselineReport {
+            tester: "Austin".to_string(),
+            program: program.name().to_string(),
+            coverage,
+            executions,
+            wall_time: started.elapsed(),
+        }
+    }
+
+    fn exhausted(&self, executions: usize, started: &Instant) -> bool {
+        if executions >= self.config.max_executions {
+            return true;
+        }
+        if let Some(budget) = self.config.time_budget {
+            if started.elapsed() >= budget {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// AVM search for one target branch.
+    fn search_target<P: Program>(
+        &self,
+        program: &P,
+        target: BranchId,
+        coverage: &mut CoverageMap,
+        executions: &mut usize,
+        rng: &mut SplitMix64,
+        started: &Instant,
+    ) {
+        let arity = program.arity();
+        let mut spent = 0usize;
+
+        for restart in 0..self.config.restarts.max(1) {
+            if spent >= self.config.per_target_budget || self.exhausted(*executions, started) {
+                return;
+            }
+            let mut current: Vec<f64> = if restart == 0 {
+                vec![0.0; arity]
+            } else {
+                (0..arity).map(|_| rng.uniform(-1e6, 1e6)).collect()
+            };
+            let mut current_fitness = self.evaluate(program, &current, target, coverage, executions);
+            spent += 1;
+            if current_fitness == 0.0 {
+                return;
+            }
+
+            // Alternating variable method.
+            let mut variable = 0usize;
+            let mut stalled_variables = 0usize;
+            while stalled_variables < arity
+                && spent < self.config.per_target_budget
+                && !self.exhausted(*executions, started)
+            {
+                let mut improved = false;
+                // Exploratory moves: +-delta on the current variable.
+                for &delta in &[1.0, -1.0, 0.1, -0.1] {
+                    let mut probe = current.clone();
+                    probe[variable] += delta;
+                    let fitness = self.evaluate(program, &probe, target, coverage, executions);
+                    spent += 1;
+                    if fitness < current_fitness {
+                        // Pattern moves: accelerate in the improving direction.
+                        let mut step = delta * 2.0;
+                        current = probe;
+                        current_fitness = fitness;
+                        improved = true;
+                        loop {
+                            if spent >= self.config.per_target_budget
+                                || self.exhausted(*executions, started)
+                            {
+                                break;
+                            }
+                            let mut next = current.clone();
+                            next[variable] += step;
+                            let next_fitness =
+                                self.evaluate(program, &next, target, coverage, executions);
+                            spent += 1;
+                            if next_fitness < current_fitness {
+                                current = next;
+                                current_fitness = next_fitness;
+                                step *= 2.0;
+                            } else {
+                                break;
+                            }
+                        }
+                        break;
+                    }
+                }
+                if current_fitness == 0.0 {
+                    return;
+                }
+                if improved {
+                    stalled_variables = 0;
+                } else {
+                    stalled_variables += 1;
+                }
+                variable = (variable + 1) % arity;
+            }
+        }
+    }
+
+    /// Executes the program and computes the AUSTIN fitness of the target.
+    /// A fitness of zero means the target branch was covered.
+    fn evaluate<P: Program>(
+        &self,
+        program: &P,
+        input: &[f64],
+        target: BranchId,
+        coverage: &mut CoverageMap,
+        executions: &mut usize,
+    ) -> f64 {
+        let mut ctx = ExecCtx::observe();
+        program.execute(input, &mut ctx);
+        *executions += 1;
+        coverage.record(&ctx);
+        if ctx.covered().contains(target) {
+            return 0.0;
+        }
+        fitness_of_trace(ctx.trace(), target)
+    }
+}
+
+/// The classic search-based fitness: approach level plus normalized branch
+/// distance at the point of divergence.
+fn fitness_of_trace(trace: &Trace, target: BranchId) -> f64 {
+    // Find the last execution of the target's site: that is where the
+    // execution diverged (approach level 0). If the site was never reached,
+    // the approach level is the number of decisions the trace made (a crude
+    // but monotone control-dependence proxy).
+    let mut divergence = None;
+    for event in trace.iter() {
+        if event.site == target.site {
+            divergence = Some(event);
+        }
+    }
+    match divergence {
+        Some(event) => {
+            let op = match target.direction {
+                Direction::True => event.op,
+                Direction::False => event.op.negate(),
+            };
+            normalize(distance(op, event.lhs, event.rhs, f64::EPSILON))
+        }
+        None => trace.len() as f64 + 1.0,
+    }
+}
+
+/// Branch-distance normalization mapping distances into `[0, 1)`.
+///
+/// The `d / (d + 1)` form is used rather than AUSTIN's `1 − 1.001^(−d)`
+/// because the latter saturates to exactly `1.0` in double precision for the
+/// large distances floating-point guards produce, erasing the very gradient
+/// the search needs.
+fn normalize(d: f64) -> f64 {
+    if d.is_infinite() {
+        1.0
+    } else {
+        d / (d + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverme_runtime::{Cmp, FnProgram};
+
+    fn equality_program() -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
+        FnProgram::new("needle", 1, 1, |input: &[f64], ctx: &mut ExecCtx| {
+            if ctx.branch(0, Cmp::Eq, input[0], 444.0) {
+                // requires hitting exactly 444.0
+            }
+        })
+    }
+
+    fn nested_program() -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
+        FnProgram::new("nested", 2, 2, |input: &[f64], ctx: &mut ExecCtx| {
+            if ctx.branch(0, Cmp::Gt, input[0], 100.0) {
+                if ctx.branch(1, Cmp::Le, input[1], -50.0) {
+                    // both conditions must hold
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn normalization_is_monotone_and_bounded() {
+        assert_eq!(normalize(0.0), 0.0);
+        assert!(normalize(1.0) < normalize(100.0));
+        assert!(normalize(1e300) <= 1.0);
+        assert_eq!(normalize(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn avm_solves_exact_equality_via_distance_descent() {
+        let report = AustinTester::new(AustinConfig {
+            max_executions: 50_000,
+            seed: 3,
+            ..AustinConfig::default()
+        })
+        .run(&equality_program());
+        assert_eq!(report.branch_coverage_percent(), 100.0, "{report}");
+    }
+
+    #[test]
+    fn avm_reaches_nested_branches() {
+        let report = AustinTester::new(AustinConfig {
+            max_executions: 50_000,
+            seed: 11,
+            ..AustinConfig::default()
+        })
+        .run(&nested_program());
+        assert_eq!(report.branch_coverage_percent(), 100.0, "{report}");
+    }
+
+    #[test]
+    fn respects_execution_budget() {
+        let report = AustinTester::new(AustinConfig {
+            max_executions: 500,
+            per_target_budget: 100,
+            ..AustinConfig::default()
+        })
+        .run(&equality_program());
+        assert!(report.executions <= 600);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = || {
+            AustinTester::new(AustinConfig {
+                max_executions: 2_000,
+                seed: 7,
+                ..AustinConfig::default()
+            })
+            .run(&nested_program())
+            .coverage
+            .covered_count()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,28 @@
+//! Baseline testers from the CoverMe evaluation (Sect. 6.1 of the paper):
+//!
+//! * [`RandomTester`] — plain random testing ("Rand" in Tables 2 and 5),
+//! * [`AflFuzzer`] — a coverage-guided greybox fuzzer in the style of AFL:
+//!   an edge-coverage bitmap, a seed queue, deterministic bit/byte/arith
+//!   mutation stages and a havoc stage operating on the byte representation
+//!   of the input vector,
+//! * [`AustinTester`] — a search-based tester in the style of AUSTIN:
+//!   per-target-branch search guided by approach level + normalized branch
+//!   distance, using Korel's alternating variable method (exploratory and
+//!   pattern moves).
+//!
+//! All three consume the same [`coverme_runtime::Program`] abstraction as
+//! CoverMe itself and report a [`BaselineReport`] with the accumulated
+//! branch coverage, so the table harnesses can compare them head-to-head.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod afl;
+pub mod austin;
+pub mod random;
+pub mod report;
+
+pub use afl::{AflConfig, AflFuzzer};
+pub use austin::{AustinConfig, AustinTester};
+pub use random::{RandomConfig, RandomStrategy, RandomTester};
+pub use report::BaselineReport;

@@ -1,0 +1,215 @@
+//! Plain random testing ("Rand" in the paper's evaluation).
+
+use std::time::{Duration, Instant};
+
+use coverme_optim::rng::SplitMix64;
+use coverme_runtime::{CoverageMap, ExecCtx, Program};
+
+use crate::report::BaselineReport;
+
+/// How random inputs are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RandomStrategy {
+    /// Uniform in a box `[lo, hi]` per coordinate. This mirrors a naive
+    /// pseudo-random generator over a "reasonable" range, which is what the
+    /// paper's Rand implementation does.
+    UniformBox {
+        /// Lower bound per coordinate.
+        lo: f64,
+        /// Upper bound per coordinate.
+        hi: f64,
+    },
+    /// Reinterpret random 64-bit patterns as doubles (keeps NaN/Inf out).
+    /// Covers the entire exponent range, including subnormals.
+    BitPattern,
+    /// Alternate between the two above, one execution each.
+    Mixed,
+}
+
+impl Default for RandomStrategy {
+    fn default() -> Self {
+        RandomStrategy::UniformBox { lo: -1e6, hi: 1e6 }
+    }
+}
+
+/// Configuration for the random tester.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomConfig {
+    /// Sampling strategy.
+    pub strategy: RandomStrategy,
+    /// Maximum number of program executions.
+    pub max_executions: usize,
+    /// Optional wall-clock budget (the paper gives Rand 10× CoverMe's time).
+    pub time_budget: Option<Duration>,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            strategy: RandomStrategy::default(),
+            max_executions: 100_000,
+            time_budget: None,
+            seed: 0,
+        }
+    }
+}
+
+/// The random tester.
+#[derive(Debug, Clone, Default)]
+pub struct RandomTester {
+    config: RandomConfig,
+}
+
+impl RandomTester {
+    /// Creates a tester with the given configuration.
+    pub fn new(config: RandomConfig) -> RandomTester {
+        RandomTester { config }
+    }
+
+    /// Runs random testing on `program` and reports the coverage achieved.
+    pub fn run<P: Program>(&self, program: &P) -> BaselineReport {
+        let started = Instant::now();
+        let mut rng = SplitMix64::new(self.config.seed ^ 0x5241_4E44);
+        let mut coverage = CoverageMap::new(program.num_sites());
+        let arity = program.arity();
+        let mut executions = 0usize;
+
+        while executions < self.config.max_executions {
+            if let Some(budget) = self.config.time_budget {
+                if started.elapsed() >= budget {
+                    break;
+                }
+            }
+            if coverage.is_fully_covered() {
+                break;
+            }
+            let input: Vec<f64> = (0..arity)
+                .map(|_| self.sample(&mut rng, executions))
+                .collect();
+            let mut ctx = ExecCtx::observe().without_trace();
+            program.execute(&input, &mut ctx);
+            coverage.record(&ctx);
+            executions += 1;
+        }
+
+        BaselineReport {
+            tester: "Rand".to_string(),
+            program: program.name().to_string(),
+            coverage,
+            executions,
+            wall_time: started.elapsed(),
+        }
+    }
+
+    fn sample(&self, rng: &mut SplitMix64, execution: usize) -> f64 {
+        match self.config.strategy {
+            RandomStrategy::UniformBox { lo, hi } => rng.uniform(lo, hi),
+            RandomStrategy::BitPattern => bit_pattern(rng),
+            RandomStrategy::Mixed => {
+                if execution % 2 == 0 {
+                    rng.uniform(-1e6, 1e6)
+                } else {
+                    bit_pattern(rng)
+                }
+            }
+        }
+    }
+}
+
+fn bit_pattern(rng: &mut SplitMix64) -> f64 {
+    loop {
+        let candidate = f64::from_bits(rng.next_u64());
+        if candidate.is_finite() {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverme_runtime::{Cmp, FnProgram};
+
+    fn easy_program() -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
+        FnProgram::new("easy", 1, 1, |input: &[f64], ctx: &mut ExecCtx| {
+            if ctx.branch(0, Cmp::Gt, input[0], 0.0) {
+                // positive side
+            }
+        })
+    }
+
+    fn hard_program() -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
+        FnProgram::new("hard", 1, 1, |input: &[f64], ctx: &mut ExecCtx| {
+            if ctx.branch(0, Cmp::Eq, input[0], 12345.678) {
+                // essentially impossible to hit by chance
+            }
+        })
+    }
+
+    #[test]
+    fn covers_easy_programs_quickly() {
+        let report = RandomTester::new(RandomConfig {
+            max_executions: 10_000,
+            ..RandomConfig::default()
+        })
+        .run(&easy_program());
+        assert_eq!(report.branch_coverage_percent(), 100.0);
+        assert!(report.executions < 10_000, "early exit on full coverage");
+    }
+
+    #[test]
+    fn misses_exact_equality_branches() {
+        let report = RandomTester::new(RandomConfig {
+            max_executions: 5_000,
+            seed: 9,
+            ..RandomConfig::default()
+        })
+        .run(&hard_program());
+        assert!(report.branch_coverage_percent() <= 50.0);
+        assert_eq!(report.executions, 5_000);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = || {
+            RandomTester::new(RandomConfig {
+                max_executions: 100,
+                seed: 42,
+                ..RandomConfig::default()
+            })
+            .run(&hard_program())
+            .coverage
+            .covered_count()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn bit_pattern_strategy_reaches_extreme_values() {
+        let witness = FnProgram::new("extreme", 1, 1, |input: &[f64], ctx: &mut ExecCtx| {
+            if ctx.branch(0, Cmp::Gt, input[0].abs(), 1e100) {
+                // needs a huge input
+            }
+        });
+        let report = RandomTester::new(RandomConfig {
+            strategy: RandomStrategy::BitPattern,
+            max_executions: 10_000,
+            ..RandomConfig::default()
+        })
+        .run(&witness);
+        assert_eq!(report.branch_coverage_percent(), 100.0);
+    }
+
+    #[test]
+    fn respects_time_budget() {
+        let report = RandomTester::new(RandomConfig {
+            max_executions: usize::MAX,
+            time_budget: Some(Duration::from_millis(20)),
+            ..RandomConfig::default()
+        })
+        .run(&hard_program());
+        assert!(report.wall_time < Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,69 @@
+//! Common result type for the baseline testers.
+
+use std::time::Duration;
+
+use coverme_runtime::CoverageMap;
+
+/// What a baseline tester achieved on one program.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// Tester name ("Rand", "AFL", "Austin").
+    pub tester: String,
+    /// Program name.
+    pub program: String,
+    /// Accumulated branch coverage.
+    pub coverage: CoverageMap,
+    /// Number of program executions performed.
+    pub executions: usize,
+    /// Wall-clock time spent.
+    pub wall_time: Duration,
+}
+
+impl BaselineReport {
+    /// Branch coverage percentage (the number the tables report).
+    pub fn branch_coverage_percent(&self) -> f64 {
+        self.coverage.branch_coverage_percent()
+    }
+
+    /// Block coverage percentage (line-coverage proxy for Table 5).
+    pub fn block_coverage_percent(&self) -> f64 {
+        self.coverage.block_coverage_percent()
+    }
+}
+
+impl std::fmt::Display for BaselineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} on {}: {:.1}% branch coverage after {} executions in {:.2?}",
+            self.tester,
+            self.program,
+            self.branch_coverage_percent(),
+            self.executions,
+            self.wall_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverme_runtime::{BranchId, BranchSet};
+
+    #[test]
+    fn display_and_percentages() {
+        let mut coverage = CoverageMap::new(2);
+        let covered: BranchSet = [BranchId::true_of(0)].into_iter().collect();
+        coverage.record_set(&covered);
+        let report = BaselineReport {
+            tester: "Rand".into(),
+            program: "toy".into(),
+            coverage,
+            executions: 10,
+            wall_time: Duration::from_millis(3),
+        };
+        assert_eq!(report.branch_coverage_percent(), 25.0);
+        assert!(report.block_coverage_percent() > 25.0);
+        assert!(report.to_string().contains("Rand on toy"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Executions-per-second of the Rand and AFL baselines (their budgets in the
+//! paper are time based, so raw throughput determines how many inputs they
+//! get to try).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use coverme_baselines::{AflConfig, AflFuzzer, RandomConfig, RandomTester};
+use coverme_fdlibm::by_name;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines_throughput");
+    group.sample_size(10);
+    let b = by_name("tanh").unwrap();
+    group.bench_function("rand_1000_executions", |bench| {
+        bench.iter(|| {
+            black_box(
+                RandomTester::new(RandomConfig {
+                    max_executions: 1_000,
+                    time_budget: Some(Duration::from_secs(5)),
+                    ..RandomConfig::default()
+                })
+                .run(&b),
+            )
+        })
+    });
+    group.bench_function("afl_1000_executions", |bench| {
+        bench.iter(|| {
+            black_box(
+                AflFuzzer::new(AflConfig {
+                    max_executions: 1_000,
+                    time_budget: Some(Duration::from_secs(5)),
+                    ..AflConfig::default()
+                })
+                .run(&b),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

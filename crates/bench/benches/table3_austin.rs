@@ -1,0 +1,35 @@
+//! Macro-benchmark behind Table 3: the Austin-style baseline on a sample of
+//! benchmarks, for the per-benchmark timing comparison with CoverMe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use coverme_baselines::{AustinConfig, AustinTester};
+use coverme_fdlibm::by_name;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_austin_end_to_end");
+    group.sample_size(10);
+    for name in ["tanh", "logb"] {
+        let b = by_name(name).unwrap();
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                black_box(
+                    AustinTester::new(AustinConfig {
+                        max_executions: 5_000,
+                        per_target_budget: 500,
+                        restarts: 2,
+                        time_budget: Some(Duration::from_millis(200)),
+                        seed: 3,
+                    })
+                    .run(&b),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

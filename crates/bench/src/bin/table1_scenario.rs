@@ -1,0 +1,38 @@
+//! Regenerates the Table 1 scenario: how CoverMe saturates all branches of
+//! the Fig. 3 example by repeatedly minimizing the representing function.
+
+use coverme::{CoverMe, CoverMeConfig, RoundOutcome};
+use coverme_runtime::{Cmp, ExecCtx, FnProgram};
+
+fn main() {
+    let foo = FnProgram::new("FOO", 1, 2, |input: &[f64], ctx: &mut ExecCtx| {
+        let mut x = input[0];
+        if ctx.branch(0, Cmp::Le, x, 1.0) {
+            x += 2.5;
+        }
+        let y = x * x;
+        if ctx.branch(1, Cmp::Eq, y, 4.0) {
+            // the hard-to-hit branch
+        }
+    });
+
+    let report = CoverMe::new(CoverMeConfig::default().n_start(40).seed(1)).run(&foo);
+    println!("# Saturate-before  minimum x*        FOO_R(x*)   outcome         X so far");
+    let mut inputs_so_far = 0usize;
+    for round in &report.rounds {
+        if matches!(round.outcome, RoundOutcome::NewInput) {
+            inputs_so_far += 1;
+        }
+        println!(
+            "{:<2} {:>14} {:>16.6} {:>11.3e}   {:<14} {} inputs",
+            round.round + 1,
+            round.saturated_before,
+            round.minimum[0],
+            round.value,
+            format!("{:?}", round.outcome),
+            inputs_so_far
+        );
+    }
+    println!("\n{report}");
+    println!("Generated inputs: {:?}", report.inputs);
+}

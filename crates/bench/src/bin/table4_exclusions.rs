@@ -1,0 +1,11 @@
+//! Regenerates Table 4: the Fdlibm functions excluded from the evaluation.
+
+use coverme_fdlibm::inventory::EXCLUDED;
+
+fn main() {
+    println!("{:<18} {:<32} {}", "File", "Function", "Explanation");
+    for e in EXCLUDED {
+        println!("{:<18} {:<32} {}", e.file, e.function, e.reason);
+    }
+    println!("\n{} functions excluded in total.", EXCLUDED.len());
+}

@@ -1,0 +1,48 @@
+//! Regenerates Table 5: line coverage (block-coverage proxy for the native
+//! ports) for CoverMe vs Rand vs AFL.
+
+use coverme_bench::{mean, pct, run_afl, run_coverme, run_rand, HarnessBudget};
+use coverme_fdlibm::{all, by_name};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let budget = HarnessBudget::from_env();
+    let benchmarks = if args.is_empty() {
+        all()
+    } else {
+        args.iter().filter_map(|name| by_name(name)).collect()
+    };
+
+    println!(
+        "{:<22} {:>7} {:>10} {:>9} {:>12}",
+        "Function", "#Lines", "Rand(%)", "AFL(%)", "CoverMe(%)"
+    );
+    let (mut r, mut a, mut c) = (Vec::new(), Vec::new(), Vec::new());
+    for b in &benchmarks {
+        let coverme = run_coverme(b, budget, 5);
+        let rand = run_rand(b, budget, coverme.wall_time, 5);
+        let afl = run_afl(b, budget, coverme.wall_time, 5);
+        let cm = coverme.coverage.block_coverage_percent();
+        let rd = rand.block_coverage_percent();
+        let af = afl.block_coverage_percent();
+        r.push(rd);
+        a.push(af);
+        c.push(cm);
+        println!(
+            "{:<22} {:>7} {:>10} {:>9} {:>12}",
+            b.name,
+            b.paper_lines,
+            pct(rd),
+            pct(af),
+            pct(cm)
+        );
+    }
+    println!(
+        "{:<22} {:>7} {:>10} {:>9} {:>12}",
+        "MEAN",
+        "",
+        pct(mean(r)),
+        pct(mean(a)),
+        pct(mean(c))
+    );
+}

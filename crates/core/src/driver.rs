@@ -1,0 +1,594 @@
+//! The CoverMe driver — Algorithm 1 of the paper.
+//!
+//! The driver repeatedly builds the representing function against the
+//! current saturation snapshot, minimizes it with Basinhopping (MCMC over a
+//! local minimizer), and interprets the result:
+//!
+//! * `FOO_R(x*) = 0` — `x*` is a genuine test input that saturates a new
+//!   branch (Theorem 4.3); it is added to the generated input set `X` and
+//!   coverage/saturation are updated;
+//! * `FOO_R(x*) > 0` — the backend could not reach zero; the
+//!   infeasible-branch heuristic of Sect. 5.3 deems the unvisited branch of
+//!   the last conditional on `x*`'s path infeasible so later rounds stop
+//!   chasing it.
+//!
+//! The loop stops when every branch is saturated, when the configured number
+//! of starting points (`n_start`) is exhausted, or when an optional wall
+//! clock budget runs out.
+
+use std::time::{Duration, Instant};
+
+use coverme_optim::rng::SplitMix64;
+use coverme_optim::{
+    BasinHopping, LocalMethod, PerturbationKind, StartingPointStrategy,
+};
+use coverme_runtime::{CoverageMap, Program, DEFAULT_EPSILON};
+
+use crate::report::{RoundOutcome, RoundRecord, TestReport};
+use crate::representing::RepresentingFunction;
+use crate::saturation::SaturationTracker;
+
+/// How `pen` decides that a conditional site no longer needs attention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PenPolicy {
+    /// Use saturation (Definition 3.2): a branch stops being a target only
+    /// when it *and all its descendant branches* are covered. This is the
+    /// paper's definition and gives Theorem 4.3 its guarantee.
+    #[default]
+    Saturation,
+    /// Treat plain coverage as saturation. Cheaper but loses the guarantee
+    /// on nested branches; exists for the ablation benchmarks.
+    CoveredOnly,
+}
+
+/// Whether the infeasible-branch heuristic of Sect. 5.3 is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InfeasiblePolicy {
+    /// When a round's minimum is positive, deem the unvisited branch of the
+    /// last conditional on the minimizing input's path infeasible (the
+    /// paper's heuristic).
+    #[default]
+    LastConditional,
+    /// Never deem branches infeasible; keep trying until the budget runs
+    /// out.
+    Disabled,
+}
+
+/// Configuration of a CoverMe run. The defaults reproduce the paper's
+/// experimental settings (`n_start = 500`, `n_iter = 5`, `LM = powell`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverMeConfig {
+    /// Number of starting points (`n_start`).
+    pub n_start: usize,
+    /// Number of Monte-Carlo iterations per start (`n_iter`).
+    pub n_iter: usize,
+    /// Local minimization algorithm (`LM`).
+    pub local_method: LocalMethod,
+    /// `ε` used by the branch distances.
+    pub epsilon: f64,
+    /// Distribution of random starting points.
+    pub starting_points: StartingPointStrategy,
+    /// Distribution of Monte-Carlo perturbations.
+    pub perturbation: PerturbationKind,
+    /// Master random seed.
+    pub seed: u64,
+    /// Saturation semantics used by `pen`.
+    pub pen_policy: PenPolicy,
+    /// Infeasible-branch heuristic.
+    pub infeasible_policy: InfeasiblePolicy,
+    /// A minimum is accepted as "zero" when `FOO_R(x*) <=` this threshold.
+    /// The representing function reaches exactly `0.0` by construction, so
+    /// the default is `0.0`.
+    pub zero_threshold: f64,
+    /// Optional wall-clock budget for the whole run.
+    pub time_budget: Option<Duration>,
+    /// Extension (off by default, not part of the paper's algorithm): also
+    /// record the coverage of every intermediate evaluation performed by the
+    /// minimizer, not just of the returned minimum points.
+    pub record_search_coverage: bool,
+    /// Extension (on by default): when a round's minimum is positive but the
+    /// backend clearly converged near a point (e.g. `x* = 1.9999999999997`
+    /// for an exact-equality branch), probe a handful of "rounded"
+    /// candidates per coordinate and accept one that drives the representing
+    /// function to zero. This mitigates the floating-point-inaccuracy
+    /// incompleteness the paper's Remark 6.1 describes; the
+    /// `ablation_pen_policy` bench measures its effect.
+    pub polish: bool,
+}
+
+impl Default for CoverMeConfig {
+    fn default() -> Self {
+        CoverMeConfig {
+            n_start: 500,
+            n_iter: 5,
+            local_method: LocalMethod::Powell,
+            epsilon: DEFAULT_EPSILON,
+            starting_points: StartingPointStrategy::default(),
+            perturbation: PerturbationKind::default(),
+            seed: 0,
+            pen_policy: PenPolicy::Saturation,
+            infeasible_policy: InfeasiblePolicy::LastConditional,
+            zero_threshold: 0.0,
+            time_budget: None,
+            record_search_coverage: false,
+            polish: true,
+        }
+    }
+}
+
+impl CoverMeConfig {
+    /// Creates the paper's default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of starting points (`n_start`).
+    pub fn n_start(mut self, n_start: usize) -> Self {
+        self.n_start = n_start;
+        self
+    }
+
+    /// Sets the number of Monte-Carlo iterations per start (`n_iter`).
+    pub fn n_iter(mut self, n_iter: usize) -> Self {
+        self.n_iter = n_iter;
+        self
+    }
+
+    /// Sets the local minimization method.
+    pub fn local_method(mut self, method: LocalMethod) -> Self {
+        self.local_method = method;
+        self
+    }
+
+    /// Sets the branch-distance `ε`.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the starting-point distribution.
+    pub fn starting_points(mut self, strategy: StartingPointStrategy) -> Self {
+        self.starting_points = strategy;
+        self
+    }
+
+    /// Sets the Monte-Carlo perturbation distribution.
+    pub fn perturbation(mut self, perturbation: PerturbationKind) -> Self {
+        self.perturbation = perturbation;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the saturation semantics used by `pen`.
+    pub fn pen_policy(mut self, policy: PenPolicy) -> Self {
+        self.pen_policy = policy;
+        self
+    }
+
+    /// Sets the infeasible-branch policy.
+    pub fn infeasible_policy(mut self, policy: InfeasiblePolicy) -> Self {
+        self.infeasible_policy = policy;
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Enables recording coverage of intermediate search evaluations.
+    pub fn record_search_coverage(mut self, enabled: bool) -> Self {
+        self.record_search_coverage = enabled;
+        self
+    }
+
+    /// Enables or disables the rounding-based polish step applied to
+    /// near-miss minima.
+    pub fn polish(mut self, enabled: bool) -> Self {
+        self.polish = enabled;
+        self
+    }
+}
+
+/// The CoverMe tester.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CoverMe {
+    config: CoverMeConfig,
+}
+
+impl CoverMe {
+    /// Creates a tester with the given configuration.
+    pub fn new(config: CoverMeConfig) -> CoverMe {
+        CoverMe { config }
+    }
+
+    /// Creates a tester with the paper's default configuration.
+    pub fn with_defaults() -> CoverMe {
+        CoverMe::default()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CoverMeConfig {
+        &self.config
+    }
+
+    /// Runs branch coverage-based testing on `program` (Algorithm 1).
+    pub fn run<P: Program>(&self, program: &P) -> TestReport {
+        let cfg = &self.config;
+        let num_sites = program.num_sites();
+        let arity = program.arity();
+        assert!(arity > 0, "program under test must take at least one input");
+
+        let mut tracker = match cfg.pen_policy {
+            PenPolicy::Saturation => SaturationTracker::new(num_sites),
+            PenPolicy::CoveredOnly => SaturationTracker::new(num_sites).covered_only(),
+        };
+        let mut coverage = CoverageMap::new(num_sites);
+        let mut inputs: Vec<Vec<f64>> = Vec::new();
+        let mut rounds: Vec<RoundRecord> = Vec::new();
+        let mut total_evaluations = 0usize;
+        let mut start_rng = SplitMix64::new(cfg.seed ^ 0x5EED_0001);
+        let started = Instant::now();
+
+        for round in 0..cfg.n_start {
+            if tracker.all_saturated() {
+                break;
+            }
+            if let Some(budget) = cfg.time_budget {
+                if started.elapsed() >= budget {
+                    break;
+                }
+            }
+
+            // Line 9: a random starting point.
+            let x0 = cfg.starting_points.sample(&mut start_rng, arity);
+
+            // Step 2: the representing function against the current snapshot.
+            let snapshot = tracker.saturated_set();
+            let saturated_before = snapshot.len();
+            let foo_r =
+                RepresentingFunction::new(program, snapshot).with_epsilon(cfg.epsilon);
+
+            // Line 10: x* = MCMC(FOO_R, x).
+            let hopper = BasinHopping::new()
+                .iterations(cfg.n_iter)
+                .local_method(cfg.local_method)
+                .perturbation(cfg.perturbation)
+                .temperature(1.0)
+                .seed(cfg.seed.wrapping_add(round as u64).wrapping_mul(0x9E37_79B9))
+                .target_value(cfg.zero_threshold);
+
+            let result = if cfg.record_search_coverage {
+                let mut objective = |x: &[f64]| {
+                    let evaluation = foo_r.eval_full(x);
+                    coverage.record_set(&evaluation.covered);
+                    tracker.record_trace(&evaluation.trace);
+                    evaluation.value
+                };
+                hopper.minimize(&mut objective, &x0)
+            } else {
+                let mut objective = foo_r.objective();
+                hopper.minimize(&mut objective, &x0)
+            };
+            total_evaluations += result.stats.evaluations;
+
+            // Line 11-12: accept the minimum point if FOO_R(x*) = 0, update
+            // Saturate; otherwise apply the infeasible-branch heuristic.
+            let mut minimum_point = result.x.clone();
+            let mut evaluation = foo_r.eval_full(&minimum_point);
+            total_evaluations += 1;
+            if cfg.polish && evaluation.value > cfg.zero_threshold {
+                if let Some((polished, polished_eval, polish_evals)) =
+                    polish_minimum(&foo_r, &minimum_point, cfg.zero_threshold)
+                {
+                    minimum_point = polished;
+                    evaluation = polished_eval;
+                    total_evaluations += polish_evals;
+                }
+            }
+            let outcome = if evaluation.value <= cfg.zero_threshold {
+                let newly_covered = coverage.record_set(&evaluation.covered);
+                tracker.record_trace(&evaluation.trace);
+                inputs.push(minimum_point.clone());
+                if newly_covered > 0 {
+                    RoundOutcome::NewInput
+                } else {
+                    RoundOutcome::RedundantInput
+                }
+            } else {
+                match cfg.infeasible_policy {
+                    InfeasiblePolicy::LastConditional => {
+                        if let Some(last) = evaluation.trace.last() {
+                            let blamed = last.untaken_branch();
+                            tracker.mark_infeasible(blamed);
+                            RoundOutcome::DeemedInfeasible(blamed)
+                        } else {
+                            RoundOutcome::NoProgress
+                        }
+                    }
+                    InfeasiblePolicy::Disabled => RoundOutcome::NoProgress,
+                }
+            };
+
+            rounds.push(RoundRecord {
+                round,
+                start: x0,
+                minimum: minimum_point,
+                value: evaluation.value,
+                evaluations: result.stats.evaluations,
+                saturated_before,
+                outcome,
+            });
+        }
+
+        TestReport {
+            program: program.name().to_string(),
+            inputs,
+            coverage,
+            infeasible: tracker.infeasible().iter().collect(),
+            rounds,
+            evaluations: total_evaluations,
+            wall_time: started.elapsed(),
+        }
+    }
+}
+
+/// Probes "rounded" variants of a near-miss minimum point, one coordinate at
+/// a time, looking for an exact zero of the representing function.
+///
+/// Unconstrained minimizers converge to `x*` only up to a tolerance, which is
+/// not enough when the target branch needs an *exact* floating-point equality
+/// (e.g. `y == 4` is only reached at `x = 2`, not at `x = 2 + 1e-12`). The
+/// candidates tried here are the natural "intended" values a numeric method
+/// narrowly missed: integers, halves, tenths, and a few ULP neighbours.
+///
+/// Returns the polished point, its evaluation and the number of extra
+/// representing-function evaluations, or `None` if no candidate reached the
+/// threshold.
+fn polish_minimum<P: Program>(
+    foo_r: &RepresentingFunction<P>,
+    x: &[f64],
+    threshold: f64,
+) -> Option<(Vec<f64>, crate::representing::Evaluation, usize)> {
+    let mut best = x.to_vec();
+    let mut best_value = foo_r.eval(&best);
+    let mut evaluations = 1usize;
+
+    for coord in 0..best.len() {
+        let original = best[coord];
+        for candidate in candidate_values(original) {
+            if candidate == best[coord] {
+                continue;
+            }
+            let mut trial = best.clone();
+            trial[coord] = candidate;
+            let value = foo_r.eval(&trial);
+            evaluations += 1;
+            if value < best_value {
+                best_value = value;
+                best = trial;
+                if best_value <= threshold {
+                    let evaluation = foo_r.eval_full(&best);
+                    evaluations += 1;
+                    return Some((best, evaluation, evaluations));
+                }
+            }
+        }
+    }
+
+    if best_value <= threshold {
+        let evaluation = foo_r.eval_full(&best);
+        evaluations += 1;
+        Some((best, evaluation, evaluations))
+    } else {
+        None
+    }
+}
+
+/// Candidate replacement values for one coordinate of a near-miss minimum.
+fn candidate_values(x: f64) -> Vec<f64> {
+    if !x.is_finite() {
+        return vec![0.0];
+    }
+    let mut candidates = vec![
+        x.round(),
+        x.floor(),
+        x.ceil(),
+        (x * 2.0).round() / 2.0,
+        (x * 10.0).round() / 10.0,
+        (x * 100.0).round() / 100.0,
+        0.0,
+    ];
+    // A few ULP neighbours in both directions.
+    let mut up = x;
+    let mut down = x;
+    for _ in 0..3 {
+        up = next_up(up);
+        down = next_down(down);
+        candidates.push(up);
+        candidates.push(down);
+    }
+    candidates.dedup();
+    candidates
+}
+
+fn next_up(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    let bits = if x == 0.0 { 1 } else if x > 0.0 { x.to_bits() + 1 } else { x.to_bits() - 1 };
+    f64::from_bits(bits)
+}
+
+fn next_down(x: f64) -> f64 {
+    if x.is_nan() || x == f64::NEG_INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return -f64::from_bits(1);
+    }
+    let bits = if x > 0.0 { x.to_bits() - 1 } else { x.to_bits() + 1 };
+    f64::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverme_runtime::{BranchId, Cmp, ExecCtx, FnProgram};
+
+    /// The paper's Fig. 3 example program.
+    fn paper_example() -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
+        FnProgram::new("FOO", 1, 2, |input: &[f64], ctx: &mut ExecCtx| {
+            let mut x = input[0];
+            if ctx.branch(0, Cmp::Le, x, 1.0) {
+                x += 2.5;
+            }
+            let y = x * x;
+            if ctx.branch(1, Cmp::Eq, y, 4.0) {
+                // target
+            }
+        })
+    }
+
+    /// The modified example of Sect. 5.3 with the infeasible branch
+    /// `y == -1` (y is a square, so it can never be -1).
+    fn infeasible_example() -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
+        FnProgram::new("FOO_INF", 1, 2, |input: &[f64], ctx: &mut ExecCtx| {
+            let mut x = input[0];
+            if ctx.branch(0, Cmp::Le, x, 1.0) {
+                x += 1.0;
+            }
+            let y = x * x;
+            if ctx.branch(1, Cmp::Eq, y, -1.0) {
+                // unreachable
+            }
+        })
+    }
+
+    fn quick_config() -> CoverMeConfig {
+        CoverMeConfig::default().n_start(60).n_iter(5).seed(42)
+    }
+
+    #[test]
+    fn saturates_the_paper_example_fully() {
+        let report = CoverMe::new(quick_config()).run(&paper_example());
+        assert_eq!(report.branch_coverage_percent(), 100.0, "{report}");
+        assert!(report.is_fully_covered());
+        assert!(!report.inputs.is_empty());
+        // The hard branch 1T (y == 4) requires x in {-4.5, -0.5, 2}.
+        assert!(report.coverage.is_covered(BranchId::true_of(1)));
+    }
+
+    #[test]
+    fn generated_inputs_reproduce_the_reported_coverage() {
+        // Re-run the program on the generated inputs only, with a fresh
+        // coverage map: it must reproduce the coverage the report claims,
+        // because the report's coverage is defined over X.
+        let program = paper_example();
+        let report = CoverMe::new(quick_config()).run(&program);
+        let mut check = CoverageMap::new(program.num_sites());
+        for input in &report.inputs {
+            let mut ctx = ExecCtx::observe();
+            program.execute(input, &mut ctx);
+            check.record(&ctx);
+        }
+        assert_eq!(check.covered_count(), report.coverage.covered_count());
+    }
+
+    #[test]
+    fn detects_the_infeasible_branch_and_terminates() {
+        let report = CoverMe::new(quick_config()).run(&infeasible_example());
+        // 3 of 4 branches are feasible and should be covered.
+        assert_eq!(report.coverage.covered_count(), 3, "{report}");
+        // The infeasible branch is 1T (y == -1).
+        assert!(report.infeasible.contains(&BranchId::true_of(1)));
+        // Crucially the driver stopped long before exhausting n_start.
+        assert!(report.rounds.len() < 60);
+    }
+
+    #[test]
+    fn early_termination_when_everything_saturates() {
+        let report = CoverMe::new(quick_config()).run(&paper_example());
+        assert!(
+            report.rounds.len() <= 10,
+            "took {} rounds for a 2-conditional program",
+            report.rounds.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_a_seed() {
+        let a = CoverMe::new(quick_config()).run(&paper_example());
+        let b = CoverMe::new(quick_config()).run(&paper_example());
+        assert_eq!(a.inputs, b.inputs);
+        assert_eq!(a.coverage.covered_count(), b.coverage.covered_count());
+    }
+
+    #[test]
+    fn covered_only_policy_still_covers_the_example() {
+        let config = quick_config().pen_policy(PenPolicy::CoveredOnly);
+        let report = CoverMe::new(config).run(&paper_example());
+        assert_eq!(report.branch_coverage_percent(), 100.0);
+    }
+
+    #[test]
+    fn search_coverage_extension_never_reports_less() {
+        let plain = CoverMe::new(quick_config()).run(&paper_example());
+        let extended =
+            CoverMe::new(quick_config().record_search_coverage(true)).run(&paper_example());
+        assert!(
+            extended.coverage.covered_count() >= plain.coverage.covered_count()
+        );
+    }
+
+    #[test]
+    fn respects_time_budget() {
+        let config = quick_config()
+            .n_start(1_000_000)
+            .infeasible_policy(InfeasiblePolicy::Disabled)
+            .time_budget(Duration::from_millis(50));
+        let report = CoverMe::new(config).run(&infeasible_example());
+        // Generous bound: the run must stop well under a second.
+        assert!(report.wall_time < Duration::from_secs(5));
+        assert!(report.rounds.len() < 1_000_000);
+    }
+
+    #[test]
+    fn nelder_mead_backend_also_works() {
+        // A weaker local minimizer can fail a round and trigger the
+        // infeasible-branch heuristic on a feasible branch (the paper's
+        // Remark 6.1 situation 2), so disable the heuristic here and let the
+        // extra rounds recover full coverage.
+        let config = quick_config()
+            .local_method(LocalMethod::NelderMead)
+            .infeasible_policy(InfeasiblePolicy::Disabled);
+        let report = CoverMe::new(config).run(&paper_example());
+        assert_eq!(report.branch_coverage_percent(), 100.0);
+    }
+
+    #[test]
+    fn round_records_are_consistent() {
+        let report = CoverMe::new(quick_config()).run(&paper_example());
+        for (i, round) in report.rounds.iter().enumerate() {
+            assert_eq!(round.round, i);
+            assert_eq!(round.start.len(), 1);
+            assert_eq!(round.minimum.len(), 1);
+            assert!(round.value >= 0.0, "C1 violated in round {i}");
+        }
+        let productive = report.productive_rounds();
+        assert!(productive >= 2, "need at least two inputs for 4 branches");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn rejects_zero_arity_programs() {
+        let p = FnProgram::new("nullary", 0, 0, |_: &[f64], _: &mut ExecCtx| {});
+        let _ = CoverMe::with_defaults().run(&p);
+    }
+}

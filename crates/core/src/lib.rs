@@ -1,0 +1,61 @@
+//! CoverMe: branch coverage-based testing for floating-point code via
+//! unconstrained programming.
+//!
+//! This crate implements the primary contribution of Fu & Su, *"Achieving
+//! High Coverage for Floating-point Code via Unconstrained Programming"*
+//! (PLDI 2017):
+//!
+//! 1. derive a **representing function** `FOO_R` from the instrumented
+//!    program under test ([`RepresentingFunction`]), designed so that
+//!    `FOO_R(x) ≥ 0` for all `x` (condition C1) and `FOO_R(x) = 0` exactly
+//!    when `x` saturates a branch that is not yet saturated (condition C2,
+//!    Theorem 4.3);
+//! 2. track which branches are **saturated** — covered together with all
+//!    their descendant branches ([`SaturationTracker`], Definition 3.2);
+//! 3. repeatedly **minimize** `FOO_R` with an off-the-shelf unconstrained
+//!    programming backend (Basinhopping over Powell, from `coverme-optim`),
+//!    collecting every minimum point with `FOO_R(x*) = 0` as a test input
+//!    ([`CoverMe`], Algorithm 1).
+//!
+//! # Quick start
+//!
+//! ```
+//! use coverme::{CoverMe, CoverMeConfig};
+//! use coverme_runtime::{Cmp, ExecCtx, FnProgram};
+//!
+//! // The running example of the paper (Fig. 3):
+//! //   l0: if (x <= 1) { x += 2.5; }
+//! //       y = x * x;
+//! //   l1: if (y == 4) { ... }
+//! let foo = FnProgram::new("FOO", 1, 2, |input: &[f64], ctx: &mut ExecCtx| {
+//!     let mut x = input[0];
+//!     if ctx.branch(0, Cmp::Le, x, 1.0) {
+//!         x += 2.5;
+//!     }
+//!     let y = x * x;
+//!     if ctx.branch(1, Cmp::Eq, y, 4.0) {
+//!         // hard-to-hit branch
+//!     }
+//! });
+//!
+//! let report = CoverMe::new(CoverMeConfig::default().seed(7)).run(&foo);
+//! assert_eq!(report.coverage.branch_coverage_percent(), 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod report;
+pub mod representing;
+pub mod saturation;
+
+pub use driver::{CoverMe, CoverMeConfig, InfeasiblePolicy, PenPolicy};
+pub use report::{RoundOutcome, RoundRecord, TestReport};
+pub use representing::{Evaluation, RepresentingFunction};
+pub use saturation::SaturationTracker;
+
+// Re-export the pieces users need to define programs without adding an
+// explicit dependency on the runtime crate.
+pub use coverme_optim::LocalMethod;
+pub use coverme_runtime::{BranchId, BranchSet, Cmp, CoverageMap, ExecCtx, FnProgram, Program};

@@ -1,0 +1,178 @@
+//! Reports produced by a CoverMe run.
+
+use std::time::Duration;
+
+use coverme_runtime::{BranchId, CoverageMap, CoverageSummary};
+
+/// What happened in one minimization round (one iteration of the outer loop
+/// of Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoundOutcome {
+    /// The minimum reached zero: the point was added to the generated test
+    /// inputs and saturated at least one new branch.
+    NewInput,
+    /// The minimum reached zero but added no new coverage (can happen when
+    /// the saturation snapshot lags behind coverage within a round).
+    RedundantInput,
+    /// The minimum stayed positive; the infeasible-branch heuristic marked
+    /// the untaken branch of the last conditional as infeasible.
+    DeemedInfeasible(BranchId),
+    /// The minimum stayed positive and the heuristic was disabled or had no
+    /// branch to blame (empty trace).
+    NoProgress,
+}
+
+/// Per-round record kept for diagnostics and for the scenario tables
+/// (Table 1 of the paper is regenerated from these records).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Index of the round (0-based).
+    pub round: usize,
+    /// The starting point handed to the backend.
+    pub start: Vec<f64>,
+    /// The minimum point the backend returned.
+    pub minimum: Vec<f64>,
+    /// `FOO_R` at the minimum point.
+    pub value: f64,
+    /// Number of objective evaluations spent in this round.
+    pub evaluations: usize,
+    /// Number of branches saturated *before* this round ran.
+    pub saturated_before: usize,
+    /// What the driver did with the result.
+    pub outcome: RoundOutcome,
+}
+
+/// The complete result of a CoverMe run on one program.
+#[derive(Debug, Clone)]
+pub struct TestReport {
+    /// Name of the tested program.
+    pub program: String,
+    /// The generated test inputs `X` (minimum points with `FOO_R = 0`).
+    pub inputs: Vec<Vec<f64>>,
+    /// Branch coverage achieved by executing the program on `X`.
+    pub coverage: CoverageMap,
+    /// Branches the infeasible-branch heuristic gave up on.
+    pub infeasible: Vec<BranchId>,
+    /// Per-round records, in order.
+    pub rounds: Vec<RoundRecord>,
+    /// Total objective (representing function) evaluations.
+    pub evaluations: usize,
+    /// Wall-clock time of the run.
+    pub wall_time: Duration,
+}
+
+impl TestReport {
+    /// Branch coverage in percent, the headline number of Tables 2 and 3.
+    pub fn branch_coverage_percent(&self) -> f64 {
+        self.coverage.branch_coverage_percent()
+    }
+
+    /// Whether every branch was covered.
+    pub fn is_fully_covered(&self) -> bool {
+        self.coverage.is_fully_covered()
+    }
+
+    /// Number of rounds that produced a new test input.
+    pub fn productive_rounds(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter(|r| r.outcome == RoundOutcome::NewInput)
+            .count()
+    }
+
+    /// Summary row for table harnesses.
+    pub fn summary(&self) -> CoverageSummary {
+        self.coverage.summary(&self.program)
+    }
+}
+
+impl std::fmt::Display for TestReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}: {:.1}% branch coverage ({} / {} branches) with {} inputs in {:.2?}",
+            self.program,
+            self.branch_coverage_percent(),
+            self.coverage.covered_count(),
+            self.coverage.total_branches(),
+            self.inputs.len(),
+            self.wall_time
+        )?;
+        if !self.infeasible.is_empty() {
+            let labels: Vec<String> = self.infeasible.iter().map(|b| b.to_string()).collect();
+            writeln!(f, "  deemed infeasible: {}", labels.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverme_runtime::{BranchSet, ExecCtx};
+
+    fn dummy_report() -> TestReport {
+        let mut coverage = CoverageMap::new(2);
+        let mut covered = BranchSet::new();
+        covered.insert(BranchId::true_of(0));
+        covered.insert(BranchId::false_of(0));
+        covered.insert(BranchId::true_of(1));
+        coverage.record_set(&covered);
+        TestReport {
+            program: "toy".to_string(),
+            inputs: vec![vec![1.0], vec![-3.0]],
+            coverage,
+            infeasible: vec![BranchId::false_of(1)],
+            rounds: vec![
+                RoundRecord {
+                    round: 0,
+                    start: vec![0.0],
+                    minimum: vec![1.0],
+                    value: 0.0,
+                    evaluations: 10,
+                    saturated_before: 0,
+                    outcome: RoundOutcome::NewInput,
+                },
+                RoundRecord {
+                    round: 1,
+                    start: vec![5.0],
+                    minimum: vec![-3.0],
+                    value: 0.5,
+                    evaluations: 12,
+                    saturated_before: 2,
+                    outcome: RoundOutcome::DeemedInfeasible(BranchId::false_of(1)),
+                },
+            ],
+            evaluations: 22,
+            wall_time: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn percentages_and_counters() {
+        let report = dummy_report();
+        assert_eq!(report.branch_coverage_percent(), 75.0);
+        assert!(!report.is_fully_covered());
+        assert_eq!(report.productive_rounds(), 1);
+        assert_eq!(report.summary().covered_branches, 3);
+    }
+
+    #[test]
+    fn display_mentions_infeasible_branches() {
+        let text = dummy_report().to_string();
+        assert!(text.contains("75.0%"));
+        assert!(text.contains("deemed infeasible"));
+        assert!(text.contains("1F"));
+    }
+
+    #[test]
+    fn coverage_map_usable_after_run() {
+        // The report exposes the live coverage map so callers can keep
+        // recording executions (e.g. to merge with another tester's inputs).
+        let mut report = dummy_report();
+        let mut ctx = ExecCtx::observe();
+        ctx.branch(1, coverme_runtime::Cmp::Le, 5.0, 1.0);
+        report.coverage.record(&ctx);
+        assert!(report.is_fully_covered());
+    }
+}

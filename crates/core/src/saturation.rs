@@ -1,0 +1,321 @@
+//! Saturation tracking (Definition 3.2 of the paper).
+//!
+//! A branch `b` is *saturated* by a set of inputs `X` when `b` itself and
+//! every *descendant* branch of `b` (every branch reachable from `b` by
+//! control flow) is covered by `X`. Lemma 3.3 shows that saturating all
+//! branches is equivalent to covering all branches, which is why CoverMe can
+//! phrase its goal as "saturate everything".
+//!
+//! The descendant relation is a static property of the control-flow graph.
+//! Two sources are supported:
+//!
+//! * **static** descendants, supplied by a front end that has a CFG (the
+//!   `coverme-fpir` mini-language computes them exactly);
+//! * **dynamic** descendants, learned from executed traces: whenever a trace
+//!   takes branch `b` and later reaches conditional site `s`, both branches
+//!   of `s` are recorded as descendants of `b` (reaching the site means both
+//!   of its outgoing branches are control-flow successors). This
+//!   under-approximates the static relation (it only contains sites that
+//!   were actually observed after `b`), so the resulting saturation set is
+//!   an over-approximation that tightens as more traces are seen. For the
+//!   hand-ported benchmarks this matches how a tool without a CFG must
+//!   behave.
+//!
+//! Branches the infeasible-branch heuristic (Sect. 5.3) deems unreachable
+//! are treated as covered for saturation purposes, exactly as the paper
+//! "regards the infeasible branches as already saturated".
+
+use coverme_runtime::{BranchId, BranchSet, Trace};
+
+/// Tracks covered, infeasible and (derived) saturated branches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaturationTracker {
+    num_sites: usize,
+    covered: BranchSet,
+    infeasible: BranchSet,
+    /// `descendants[b.index()]` = branches known to be reachable after taking `b`.
+    descendants: Vec<BranchSet>,
+    /// Whether descendants keep being learned from traces (disabled when a
+    /// static relation was supplied).
+    learn_descendants: bool,
+    /// Whether the descendant condition participates in saturation at all
+    /// (the `PenPolicy::CoveredOnly` ablation turns it off).
+    use_descendants: bool,
+}
+
+impl SaturationTracker {
+    /// Creates a tracker for a program with `num_sites` conditionals, with
+    /// dynamic descendant learning enabled.
+    pub fn new(num_sites: usize) -> SaturationTracker {
+        SaturationTracker {
+            num_sites,
+            covered: BranchSet::with_sites(num_sites),
+            infeasible: BranchSet::with_sites(num_sites),
+            descendants: vec![BranchSet::new(); num_sites * 2],
+            learn_descendants: true,
+            use_descendants: true,
+        }
+    }
+
+    /// Creates a tracker with a statically computed descendant relation
+    /// (indexed by [`BranchId::index`]); dynamic learning is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `descendants.len() != num_sites * 2`.
+    pub fn with_static_descendants(
+        num_sites: usize,
+        descendants: Vec<BranchSet>,
+    ) -> SaturationTracker {
+        assert_eq!(
+            descendants.len(),
+            num_sites * 2,
+            "descendant table must have one entry per branch"
+        );
+        SaturationTracker {
+            num_sites,
+            covered: BranchSet::with_sites(num_sites),
+            infeasible: BranchSet::with_sites(num_sites),
+            descendants,
+            learn_descendants: false,
+            use_descendants: true,
+        }
+    }
+
+    /// Disables the descendant condition entirely: saturation degenerates to
+    /// plain coverage. Used by the `PenPolicy::CoveredOnly` ablation.
+    pub fn covered_only(mut self) -> SaturationTracker {
+        self.use_descendants = false;
+        self
+    }
+
+    /// Number of conditional sites.
+    pub fn num_sites(&self) -> usize {
+        self.num_sites
+    }
+
+    /// Total number of branches.
+    pub fn total_branches(&self) -> usize {
+        self.num_sites * 2
+    }
+
+    /// Records the decisions of one execution: marks every taken branch as
+    /// covered and (when enabled) learns descendant pairs from the order of
+    /// the trace.
+    pub fn record_trace(&mut self, trace: &Trace) {
+        let taken: Vec<BranchId> = trace.covered_branches().collect();
+        for &branch in &taken {
+            self.covered.insert(branch);
+        }
+        if self.learn_descendants && self.use_descendants {
+            for (i, &from) in taken.iter().enumerate() {
+                let from_idx = from.index();
+                for &to in &taken[i + 1..] {
+                    // Reaching conditional site `to.site` after taking `from`
+                    // means *both* branches of that site are control-flow
+                    // descendants of `from`, not just the one this execution
+                    // happened to take.
+                    for descendant in [to, to.sibling()] {
+                        if descendant != from {
+                            self.descendants[from_idx].insert(descendant);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records coverage without a trace (no descendant learning).
+    pub fn record_covered(&mut self, covered: &BranchSet) {
+        self.covered.union_with(covered);
+    }
+
+    /// Marks a branch as deemed-infeasible. Such branches are treated as
+    /// covered when deciding saturation, so the search stops pursuing them.
+    pub fn mark_infeasible(&mut self, branch: BranchId) {
+        self.infeasible.insert(branch);
+    }
+
+    /// Branches covered so far (excluding infeasible-deemed ones).
+    pub fn covered(&self) -> &BranchSet {
+        &self.covered
+    }
+
+    /// Branches deemed infeasible so far.
+    pub fn infeasible(&self) -> &BranchSet {
+        &self.infeasible
+    }
+
+    /// Whether a branch counts as covered for saturation purposes (actually
+    /// covered, or deemed infeasible).
+    fn effectively_covered(&self, branch: BranchId) -> bool {
+        self.covered.contains(branch) || self.infeasible.contains(branch)
+    }
+
+    /// Whether `branch` is saturated (Definition 3.2).
+    pub fn is_saturated(&self, branch: BranchId) -> bool {
+        if branch.index() >= self.total_branches() {
+            return false;
+        }
+        if !self.effectively_covered(branch) {
+            return false;
+        }
+        if !self.use_descendants {
+            return true;
+        }
+        self.descendants[branch.index()]
+            .iter()
+            .all(|d| self.effectively_covered(d))
+    }
+
+    /// The current saturated set (`Saturate(X)` in the paper), the snapshot
+    /// a [`crate::RepresentingFunction`] is built against.
+    pub fn saturated_set(&self) -> BranchSet {
+        let mut set = BranchSet::with_sites(self.num_sites);
+        for site in 0..self.num_sites as u32 {
+            for branch in [BranchId::true_of(site), BranchId::false_of(site)] {
+                if self.is_saturated(branch) {
+                    set.insert(branch);
+                }
+            }
+        }
+        set
+    }
+
+    /// Whether every branch of the program is saturated — the termination
+    /// condition of the main loop.
+    pub fn all_saturated(&self) -> bool {
+        (0..self.num_sites as u32).all(|site| {
+            self.is_saturated(BranchId::true_of(site))
+                && self.is_saturated(BranchId::false_of(site))
+        })
+    }
+
+    /// Whether every branch is actually covered (not counting infeasible).
+    pub fn all_covered(&self) -> bool {
+        self.covered.len() >= self.total_branches()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverme_runtime::{Cmp, Direction, TakenBranch};
+
+    fn trace_of(decisions: &[(u32, bool)]) -> Trace {
+        let mut t = Trace::new();
+        for &(site, outcome) in decisions {
+            t.push(TakenBranch {
+                site,
+                direction: Direction::from_outcome(outcome),
+                op: Cmp::Le,
+                lhs: 0.0,
+                rhs: 0.0,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn covering_both_sides_of_a_leaf_site_saturates_it() {
+        let mut tracker = SaturationTracker::new(1);
+        tracker.record_trace(&trace_of(&[(0, true)]));
+        assert!(tracker.is_saturated(BranchId::true_of(0)));
+        assert!(!tracker.is_saturated(BranchId::false_of(0)));
+        tracker.record_trace(&trace_of(&[(0, false)]));
+        assert!(tracker.all_saturated());
+    }
+
+    #[test]
+    fn paper_def32_example() {
+        // The control-flow graph next to Definition 3.2: branch 0T leads to
+        // conditional 1; X covers {0T, 0F, 1F}. Then Saturate(X) = {0F, 1F}:
+        // 1T is not covered, and 0T has the uncovered descendant 1T.
+        let mut tracker = SaturationTracker::new(2);
+        // 0T followed by the inner conditional taking 1F.
+        tracker.record_trace(&trace_of(&[(0, true), (1, false)]));
+        // 0F (inner conditional not reached).
+        tracker.record_trace(&trace_of(&[(0, false)]));
+
+        assert!(tracker.is_saturated(BranchId::false_of(0)));
+        assert!(tracker.is_saturated(BranchId::false_of(1)));
+        assert!(!tracker.is_saturated(BranchId::true_of(1)), "1T not covered");
+        assert!(
+            !tracker.is_saturated(BranchId::true_of(0)),
+            "0T has uncovered descendant 1T"
+        );
+
+        let set = tracker.saturated_set();
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(BranchId::false_of(0)));
+        assert!(set.contains(BranchId::false_of(1)));
+    }
+
+    #[test]
+    fn saturation_completes_once_descendants_are_covered() {
+        let mut tracker = SaturationTracker::new(2);
+        tracker.record_trace(&trace_of(&[(0, true), (1, false)]));
+        tracker.record_trace(&trace_of(&[(0, false)]));
+        tracker.record_trace(&trace_of(&[(0, true), (1, true)]));
+        assert!(tracker.all_saturated());
+        assert!(tracker.all_covered());
+    }
+
+    #[test]
+    fn infeasible_branches_count_as_saturated() {
+        let mut tracker = SaturationTracker::new(1);
+        tracker.record_trace(&trace_of(&[(0, false)]));
+        assert!(!tracker.all_saturated());
+        tracker.mark_infeasible(BranchId::true_of(0));
+        assert!(tracker.all_saturated());
+        assert!(!tracker.all_covered(), "infeasible is not real coverage");
+    }
+
+    #[test]
+    fn covered_only_mode_ignores_descendants() {
+        let mut tracker = SaturationTracker::new(2).covered_only();
+        tracker.record_trace(&trace_of(&[(0, true), (1, false)]));
+        // In covered-only mode 0T is "saturated" even though descendant 1T
+        // is not covered.
+        assert!(tracker.is_saturated(BranchId::true_of(0)));
+    }
+
+    #[test]
+    fn static_descendants_are_respected_and_not_overwritten() {
+        // Static CFG: 0T's descendants are {1T, 1F}; everything else has none.
+        let mut desc = vec![BranchSet::new(); 4];
+        desc[BranchId::true_of(0).index()] =
+            [BranchId::true_of(1), BranchId::false_of(1)].into_iter().collect();
+        let mut tracker = SaturationTracker::with_static_descendants(2, desc);
+
+        // Cover 0T and 1F only (no dynamic learning should add pairs).
+        tracker.record_trace(&trace_of(&[(0, true), (1, false)]));
+        assert!(!tracker.is_saturated(BranchId::true_of(0)));
+        tracker.record_trace(&trace_of(&[(0, true), (1, true)]));
+        assert!(tracker.is_saturated(BranchId::true_of(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per branch")]
+    fn static_descendants_must_match_site_count() {
+        let _ = SaturationTracker::with_static_descendants(2, vec![BranchSet::new(); 3]);
+    }
+
+    #[test]
+    fn record_covered_without_trace_adds_coverage_only() {
+        let mut tracker = SaturationTracker::new(2);
+        let covered: BranchSet = [BranchId::true_of(0), BranchId::true_of(1)]
+            .into_iter()
+            .collect();
+        tracker.record_covered(&covered);
+        assert!(tracker.covered().contains(BranchId::true_of(0)));
+        // No descendant pair was learned, so 0T saturates as a leaf.
+        assert!(tracker.is_saturated(BranchId::true_of(0)));
+    }
+
+    #[test]
+    fn out_of_range_branch_is_never_saturated() {
+        let tracker = SaturationTracker::new(1);
+        assert!(!tracker.is_saturated(BranchId::true_of(99)));
+    }
+}

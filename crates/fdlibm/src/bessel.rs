@@ -1,0 +1,290 @@
+//! Bessel functions of the first and second kind: `j0`, `y0`, `j1`, `y1`.
+//!
+//! Ports of `e_j0.c` and `e_j1.c` (entry functions only; the static helper
+//! functions `pzero`/`qzero`/`pone`/`qone` are excluded by the paper's
+//! Table 4 and are inlined as plain asymptotic expressions here).
+
+use coverme_runtime::{Cmp, ExecCtx};
+
+use crate::bits::high_word;
+
+const HUGE: f64 = 1.0e300;
+const INVSQRTPI: f64 = 5.641_895_835_477_562_87e-01;
+const TPI: f64 = 6.366_197_723_675_813_82e-01;
+
+/// `e_j0.c` — j0(x). 9 conditional sites.
+pub fn j0(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x);
+    let ix = hx & 0x7fff_ffff;
+
+    // inf or NaN
+    if ctx.branch_i32(0, Cmp::Ge, ix, 0x7ff0_0000) {
+        let _ = 1.0 / (x * x);
+        return;
+    }
+    let xa = x.abs();
+    // |x| >= 2
+    if ctx.branch_i32(1, Cmp::Ge, ix, 0x4000_0000) {
+        let s = xa.sin();
+        let c = xa.cos();
+        let mut ss = s - c;
+        let cc = s + c;
+        // avoid cancellation near the zeros of cos(2x)
+        if ctx.branch_i32(2, Cmp::Lt, ix, 0x7fe0_0000) {
+            let z = -(xa + xa).cos();
+            if ctx.branch(3, Cmp::Gt, s * c, 0.0) {
+                ss = z / ss;
+            } else {
+                // cc path of the original (value unused here)
+                let _ = z / cc;
+            }
+        }
+        // |x| > 2^127: drop the p/q correction entirely
+        if ctx.branch_i32(4, Cmp::Gt, ix, 0x4800_0000) {
+            let _ = INVSQRTPI * ss / xa.sqrt();
+        } else {
+            let _ = INVSQRTPI * (cc - ss / xa) / xa.sqrt();
+        }
+        return;
+    }
+    // |x| < 2^-27
+    if ctx.branch_i32(5, Cmp::Lt, ix, 0x3e40_0000) {
+        if ctx.branch(6, Cmp::Gt, HUGE + x, 1.0) {
+            let _ = 1.0 - 0.25 * x * x;
+            return;
+        }
+    }
+    let z = x * x;
+    let r = z * (0.015624999999999995 + z * -1.8997929423885472e-04);
+    let s = 1.0 + z * 0.008;
+    // |x| < 1
+    if ctx.branch_i32(7, Cmp::Lt, ix, 0x3ff0_0000) {
+        let _ = 1.0 + z * (-0.25 + r / s);
+        return;
+    }
+    let u = 0.5 * x;
+    let _ = (1.0 + u) * (1.0 - u) + z * (r / s);
+    let _ = ctx.branch_i32(8, Cmp::Ge, hx, 0);
+}
+
+/// `e_j0.c` — y0(x). 8 conditional sites.
+pub fn y0(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x);
+    let ix = hx & 0x7fff_ffff;
+    let lx = crate::bits::low_word(x);
+
+    // y0(NaN) = NaN, y0(inf) = 0
+    if ctx.branch_i32(0, Cmp::Ge, ix, 0x7ff0_0000) {
+        let _ = 1.0 / (x + x * x);
+        return;
+    }
+    // y0(0) = -inf
+    if ctx.branch(1, Cmp::Eq, ((ix as u32) | lx) as f64, 0.0) {
+        let _ = -1.0 / 0.0;
+        return;
+    }
+    // y0(x < 0) = NaN
+    if ctx.branch_i32(2, Cmp::Lt, hx, 0) {
+        let _ = 0.0 / 0.0;
+        return;
+    }
+    // |x| >= 2
+    if ctx.branch_i32(3, Cmp::Ge, ix, 0x4000_0000) {
+        let s = x.sin();
+        let c = x.cos();
+        let mut ss = s - c;
+        let cc = s + c;
+        if ctx.branch_i32(4, Cmp::Lt, ix, 0x7fe0_0000) {
+            let z = -(x + x).cos();
+            if ctx.branch(5, Cmp::Gt, s * c, 0.0) {
+                let _ = z / cc;
+            } else {
+                ss = z / ss;
+            }
+        }
+        if ctx.branch_i32(6, Cmp::Gt, ix, 0x4800_0000) {
+            let _ = INVSQRTPI * ss / x.sqrt();
+        } else {
+            let _ = INVSQRTPI * (ss + cc / x) / x.sqrt();
+        }
+        return;
+    }
+    // x < 2^-26
+    if ctx.branch_i32(7, Cmp::Le, ix, 0x3e40_0000) {
+        let _ = -7.380_429_510_868_723e-02 + TPI * x.ln();
+        return;
+    }
+    let z = x * x;
+    let u = -7.380_429_510_868_723e-02 + z * 0.17666645250918112;
+    let v = 1.0 + z * 0.01273048348341237;
+    let _ = u / v + TPI * (j0_value(x) * x.ln());
+}
+
+/// `e_j1.c` — j1(x). 8 conditional sites.
+pub fn j1(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x);
+    let ix = hx & 0x7fff_ffff;
+
+    if ctx.branch_i32(0, Cmp::Ge, ix, 0x7ff0_0000) {
+        let _ = 1.0 / x;
+        return;
+    }
+    let xa = x.abs();
+    if ctx.branch_i32(1, Cmp::Ge, ix, 0x4000_0000) {
+        let s = xa.sin();
+        let c = xa.cos();
+        let mut ss = -s - c;
+        let cc = s - c;
+        if ctx.branch_i32(2, Cmp::Lt, ix, 0x7fe0_0000) {
+            let z = (xa + xa).cos();
+            if ctx.branch(3, Cmp::Gt, s * c, 0.0) {
+                let _ = z / ss;
+            } else {
+                ss = z / cc;
+            }
+        }
+        let res = if ctx.branch_i32(4, Cmp::Gt, ix, 0x4800_0000) {
+            INVSQRTPI * cc / xa.sqrt()
+        } else {
+            INVSQRTPI * (cc - ss / xa) / xa.sqrt()
+        };
+        let _ = if ctx.branch_i32(5, Cmp::Lt, hx, 0) { -res } else { res };
+        return;
+    }
+    // |x| < 2^-27
+    if ctx.branch_i32(6, Cmp::Lt, ix, 0x3e40_0000) {
+        if ctx.branch(7, Cmp::Gt, HUGE + x, 1.0) {
+            let _ = 0.5 * x;
+            return;
+        }
+    }
+    let z = x * x;
+    let r = z * (-6.25e-02 + z * 1.407_056_669_551_897e-03);
+    let s = 1.0 + z * 0.01;
+    let _ = x * 0.5 + x * (z * (r / s));
+}
+
+/// `e_j1.c` — y1(x). 8 conditional sites.
+pub fn y1(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x);
+    let ix = hx & 0x7fff_ffff;
+    let lx = crate::bits::low_word(x);
+
+    if ctx.branch_i32(0, Cmp::Ge, ix, 0x7ff0_0000) {
+        let _ = 1.0 / (x + x * x);
+        return;
+    }
+    if ctx.branch(1, Cmp::Eq, ((ix as u32) | lx) as f64, 0.0) {
+        let _ = -1.0 / 0.0;
+        return;
+    }
+    if ctx.branch_i32(2, Cmp::Lt, hx, 0) {
+        let _ = 0.0 / 0.0;
+        return;
+    }
+    if ctx.branch_i32(3, Cmp::Ge, ix, 0x4000_0000) {
+        let s = x.sin();
+        let c = x.cos();
+        let mut ss = -s - c;
+        let cc = s - c;
+        if ctx.branch_i32(4, Cmp::Lt, ix, 0x7fe0_0000) {
+            let z = (x + x).cos();
+            if ctx.branch(5, Cmp::Gt, s * c, 0.0) {
+                let _ = z / ss;
+            } else {
+                ss = z / cc;
+            }
+        }
+        if ctx.branch_i32(6, Cmp::Gt, ix, 0x4800_0000) {
+            let _ = INVSQRTPI * ss / x.sqrt();
+        } else {
+            let _ = INVSQRTPI * (ss + cc / x) / x.sqrt();
+        }
+        return;
+    }
+    // x <= 2^-54
+    if ctx.branch_i32(7, Cmp::Le, ix, 0x3c90_0000) {
+        let _ = -TPI / x;
+        return;
+    }
+    let z = x * x;
+    let u = -1.960_570_906_462_389e-01 + z * 5.044_387_166_398_113e-02;
+    let v = 1.0 + z * 1.991_673_182_366_499e-02;
+    let _ = x * (u / v) + TPI * (j1_value(x) * x.ln() - 1.0 / x);
+}
+
+/// Helper: a plain (uninstrumented) j0 value used inside y0's kernel; the
+/// original calls `__ieee754_j0` whose branches belong to its own Gcov unit.
+fn j0_value(x: f64) -> f64 {
+    let z = x * x;
+    1.0 + z * (-0.25 + z * 0.015625)
+}
+
+/// Helper: plain j1 value used inside y1's kernel.
+fn j1_value(x: f64) -> f64 {
+    x * (0.5 + x * x * -6.25e-02)
+}
+
+/// Number of conditional sites of each port in this module.
+pub mod sites {
+    /// Sites in [`super::j0`].
+    pub const J0: usize = 9;
+    /// Sites in [`super::y0`].
+    pub const Y0: usize = 8;
+    /// Sites in [`super::j1`].
+    pub const J1: usize = 8;
+    /// Sites in [`super::y1`].
+    pub const Y1: usize = 8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverme_runtime::{BranchId, ExecCtx};
+
+    fn run(f: fn(&[f64], &mut ExecCtx), x: f64) -> ExecCtx {
+        let mut ctx = ExecCtx::observe();
+        f(&[x], &mut ctx);
+        ctx
+    }
+
+    #[test]
+    fn site_ids_stay_within_declared_ranges() {
+        let cases: &[(fn(&[f64], &mut ExecCtx), usize)] = &[
+            (j0, sites::J0),
+            (y0, sites::Y0),
+            (j1, sites::J1),
+            (y1, sites::Y1),
+        ];
+        let inputs = [
+            0.0, -0.0, 1e-30, 0.5, 1.0, -1.0, 1.5, 3.0, -3.0, 1e10, 1e40, 1e300, -5.0,
+            f64::INFINITY, f64::NEG_INFINITY, f64::NAN,
+        ];
+        for &(f, declared) in cases {
+            for &x in &inputs {
+                let ctx = run(f, x);
+                for e in ctx.trace() {
+                    assert!((e.site as usize) < declared, "site {} on {}", e.site, x);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn y_functions_reject_negative_and_zero_arguments() {
+        assert!(run(y0, -1.0).covered().contains(BranchId::true_of(2)));
+        assert!(run(y0, 0.0).covered().contains(BranchId::true_of(1)));
+        assert!(run(y1, -2.0).covered().contains(BranchId::true_of(2)));
+    }
+
+    #[test]
+    fn j_functions_split_small_and_large_arguments() {
+        assert!(run(j0, 0.5).covered().contains(BranchId::false_of(1)));
+        assert!(run(j0, 5.0).covered().contains(BranchId::true_of(1)));
+        assert!(run(j1, 1e-30).covered().contains(BranchId::true_of(6)));
+    }
+}

@@ -1,0 +1,85 @@
+//! Bit-level access to the IEEE-754 double representation.
+//!
+//! Fdlibm manipulates doubles through their 32-bit high and low words
+//! (`__HI(x)` / `__LO(x)` in the original source, implemented there with
+//! pointer casts such as `*(1+(int*)&x)`). These helpers provide the same
+//! access in safe Rust via `f64::to_bits` / `f64::from_bits`.
+
+/// The high (most significant) 32 bits of `x`, as a signed integer —
+/// `__HI(x)` on a little-endian double layout.
+pub fn high_word(x: f64) -> i32 {
+    (x.to_bits() >> 32) as u32 as i32
+}
+
+/// The low (least significant) 32 bits of `x`, as an unsigned integer —
+/// `__LO(x)`.
+pub fn low_word(x: f64) -> u32 {
+    x.to_bits() as u32
+}
+
+/// Rebuilds a double from its high and low words.
+pub fn from_words(hi: i32, lo: u32) -> f64 {
+    f64::from_bits(((hi as u32 as u64) << 32) | lo as u64)
+}
+
+/// Replaces the high word of `x`, keeping the low word — `__HI(x) = hi`.
+pub fn with_high_word(x: f64, hi: i32) -> f64 {
+    from_words(hi, low_word(x))
+}
+
+/// Replaces the low word of `x`, keeping the high word — `__LO(x) = lo`.
+pub fn with_low_word(x: f64, lo: u32) -> f64 {
+    from_words(high_word(x), lo)
+}
+
+/// `x * 2^n` computed by exponent manipulation (the way Fdlibm's `scalbn`
+/// behaves for normal results), saturating to 0/inf at the extremes.
+pub fn scalbn(x: f64, n: i32) -> f64 {
+    x * 2f64.powi(n.clamp(-2100, 2100))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_round_trip() {
+        for x in [0.0, -0.0, 1.0, -2.5, 1e300, 5e-324, f64::INFINITY] {
+            assert_eq!(from_words(high_word(x), low_word(x)).to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn high_word_of_known_constants() {
+        assert_eq!(high_word(1.0), 0x3ff0_0000);
+        assert_eq!(high_word(2.0), 0x4000_0000);
+        assert_eq!(high_word(f64::INFINITY), 0x7ff0_0000);
+        assert_eq!(high_word(-1.0), 0xbff0_0000u32 as i32);
+        assert_eq!(high_word(0.0), 0);
+    }
+
+    #[test]
+    fn abs_mask_matches_fdlibm_idiom() {
+        // ix = hx & 0x7fffffff strips the sign bit.
+        let x = -3.75;
+        let ix = high_word(x) & 0x7fff_ffff;
+        assert_eq!(ix, high_word(3.75));
+    }
+
+    #[test]
+    fn with_word_setters() {
+        let x = 1.5;
+        assert_eq!(with_high_word(x, high_word(2.5)), 2.5);
+        let y = with_low_word(x, 0xdead_beef);
+        assert_eq!(low_word(y), 0xdead_beef);
+        assert_eq!(high_word(y), high_word(x));
+    }
+
+    #[test]
+    fn scalbn_scales_by_powers_of_two() {
+        assert_eq!(scalbn(1.5, 4), 24.0);
+        assert_eq!(scalbn(24.0, -4), 1.5);
+        assert_eq!(scalbn(1.0, 5000), f64::INFINITY);
+        assert_eq!(scalbn(1.0, -5000), 0.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! The error function and its complement: `erf`, `erfc`.
+//!
+//! Ports of `s_erf.c` (both entry points share the interval-splitting
+//! structure of the original: tiny, |x| < 0.84375, < 1.25, < 6 / < 28,
+//! and the saturation tails).
+
+use coverme_runtime::{Cmp, ExecCtx};
+
+use crate::bits::high_word;
+
+const TINY: f64 = 1.0e-300;
+const EFX: f64 = 1.283_791_670_955_125_74e-01;
+const EFX8: f64 = 1.027_033_336_764_100_6e+00;
+const ERX: f64 = 8.450_629_115_104_675e-01;
+
+fn poly_small(z: f64) -> (f64, f64) {
+    let r = 1.283_791_670_955_125_74e-01 + z * (-3.250_421_072_470_015e-01 + z * -2.848_174_957_559_851e-02);
+    let s = 1.0 + z * (3.979_172_239_591_553e-01 + z * 6.502_222_499_887_672e-02);
+    (r, s)
+}
+
+/// `s_erf.c` — erf(x). 10 conditional sites.
+pub fn erf(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x);
+    let ix = hx & 0x7fff_ffff;
+
+    // erf(NaN) = NaN, erf(+-inf) = +-1
+    if ctx.branch_i32(0, Cmp::Ge, ix, 0x7ff0_0000) {
+        let i = ((hx as u32) >> 31) as i32;
+        let _ = f64::from(1 - i - i) + 1.0 / x;
+        return;
+    }
+    // |x| < 0.84375
+    if ctx.branch_i32(1, Cmp::Lt, ix, 0x3feb_0000) {
+        // |x| < 2^-28
+        if ctx.branch_i32(2, Cmp::Lt, ix, 0x3e30_0000) {
+            // |x| < 2^-1022 (subnormal): avoid underflow
+            if ctx.branch_i32(3, Cmp::Lt, ix, 0x0080_0000) {
+                let _ = 0.125 * (8.0 * x + EFX8 * x);
+                return;
+            }
+            let _ = x + EFX * x;
+            return;
+        }
+        let z = x * x;
+        let (r, s) = poly_small(z);
+        let _ = x + x * (r / s);
+        return;
+    }
+    // |x| < 1.25
+    if ctx.branch_i32(4, Cmp::Lt, ix, 0x3ff4_0000) {
+        let s = x.abs() - 1.0;
+        let p = -2.362_118_560_752_659e-03 + s * 4.148_561_186_837_483e-01;
+        let q = 1.0 + s * 1.064_208_804_008_442e-01;
+        if ctx.branch_i32(5, Cmp::Ge, hx, 0) {
+            let _ = ERX + p / q;
+        } else {
+            let _ = -ERX - p / q;
+        }
+        return;
+    }
+    // |x| >= 6: erf saturates to +-1
+    if ctx.branch_i32(6, Cmp::Ge, ix, 0x4018_0000) {
+        if ctx.branch_i32(7, Cmp::Ge, hx, 0) {
+            let _ = 1.0 - TINY;
+        } else {
+            let _ = TINY - 1.0;
+        }
+        return;
+    }
+    // 1.25 <= |x| < 6
+    let xa = x.abs();
+    let s = 1.0 / (xa * xa);
+    let big_r;
+    // |x| < 1/0.35
+    if ctx.branch_i32(8, Cmp::Lt, ix, 0x4006_db6e) {
+        big_r = -9.864_944_034_847_148e-03 + s * -6.938_585_727_071_818e-01;
+    } else {
+        big_r = -9.864_942_924_700_099e-03 + s * -7.992_832_376_805_323e-01;
+    }
+    let z = f64::from_bits(xa.to_bits() & 0xffff_ffff_0000_0000);
+    let r = (-z * z - 0.5625).exp() * ((z - xa) * (z + xa) + big_r).exp();
+    if ctx.branch_i32(9, Cmp::Ge, hx, 0) {
+        let _ = 1.0 - r / xa;
+    } else {
+        let _ = r / xa - 1.0;
+    }
+}
+
+/// `s_erf.c` — erfc(x). 12 conditional sites.
+pub fn erfc(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x);
+    let ix = hx & 0x7fff_ffff;
+
+    // erfc(NaN) = NaN, erfc(+inf) = 0, erfc(-inf) = 2
+    if ctx.branch_i32(0, Cmp::Ge, ix, 0x7ff0_0000) {
+        let i = ((hx as u32) >> 31) as i32;
+        let _ = f64::from(i + i) + 1.0 / x;
+        return;
+    }
+    // |x| < 0.84375
+    if ctx.branch_i32(1, Cmp::Lt, ix, 0x3feb_0000) {
+        // |x| < 2^-56
+        if ctx.branch_i32(2, Cmp::Lt, ix, 0x3c70_0000) {
+            let _ = 1.0 - x;
+            return;
+        }
+        let z = x * x;
+        let (r, s) = poly_small(z);
+        let y = r / s;
+        // x < 1/4
+        if ctx.branch_i32(3, Cmp::Lt, hx, 0x3fd0_0000) {
+            let _ = 1.0 - (x + x * y);
+        } else {
+            let r = x * y;
+            let _ = 0.5 - (r + (x - 0.5));
+        }
+        return;
+    }
+    // |x| < 1.25
+    if ctx.branch_i32(4, Cmp::Lt, ix, 0x3ff4_0000) {
+        let s = x.abs() - 1.0;
+        let p = -2.362_118_560_752_659e-03 + s * 4.148_561_186_837_483e-01;
+        let q = 1.0 + s * 1.064_208_804_008_442e-01;
+        if ctx.branch_i32(5, Cmp::Ge, hx, 0) {
+            let _ = 1.0 - ERX - p / q;
+        } else {
+            let _ = 1.0 + ERX + p / q;
+        }
+        return;
+    }
+    // |x| < 28
+    if ctx.branch_i32(6, Cmp::Lt, ix, 0x403c_0000) {
+        let xa = x.abs();
+        let s = 1.0 / (xa * xa);
+        let big_r;
+        // |x| < 1/0.35
+        if ctx.branch_i32(7, Cmp::Lt, ix, 0x4006_db6e) {
+            big_r = -9.864_944_034_847_148e-03 + s * -6.938_585_727_071_818e-01;
+        } else {
+            // x < -6: erfc saturates to 2
+            if ctx.branch_i32(8, Cmp::Lt, hx, 0) && ctx.branch_i32(9, Cmp::Ge, ix, 0x4018_0000) {
+                let _ = 2.0 - TINY;
+                return;
+            }
+            big_r = -9.864_942_924_700_099e-03 + s * -7.992_832_376_805_323e-01;
+        }
+        let z = f64::from_bits(xa.to_bits() & 0xffff_ffff_0000_0000);
+        let r = (-z * z - 0.5625).exp() * ((z - xa) * (z + xa) + big_r).exp();
+        if ctx.branch_i32(10, Cmp::Gt, hx, 0) {
+            let _ = r / xa;
+        } else {
+            let _ = 2.0 - r / xa;
+        }
+        return;
+    }
+    // |x| >= 28: underflow or 2
+    if ctx.branch_i32(11, Cmp::Gt, hx, 0) {
+        let _ = TINY * TINY;
+    } else {
+        let _ = 2.0 - TINY;
+    }
+}
+
+/// Number of conditional sites of each port in this module.
+pub mod sites {
+    /// Sites in [`super::erf`].
+    pub const ERF: usize = 10;
+    /// Sites in [`super::erfc`].
+    pub const ERFC: usize = 12;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverme_runtime::{BranchId, ExecCtx};
+
+    fn run(f: fn(&[f64], &mut ExecCtx), x: f64) -> ExecCtx {
+        let mut ctx = ExecCtx::observe();
+        f(&[x], &mut ctx);
+        ctx
+    }
+
+    #[test]
+    fn site_ids_stay_within_declared_ranges() {
+        let inputs = [
+            0.0, 1e-310, 1e-30, 0.3, 0.5, 0.9, 1.1, -1.1, 2.0, -2.0, 4.0, -7.0, 10.0, 30.0,
+            -30.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN,
+        ];
+        for &x in &inputs {
+            for e in run(erf, x).trace() {
+                assert!((e.site as usize) < sites::ERF);
+            }
+            for e in run(erfc, x).trace() {
+                assert!((e.site as usize) < sites::ERFC);
+            }
+        }
+    }
+
+    #[test]
+    fn erf_interval_ladder() {
+        assert!(run(erf, 1e-310).covered().contains(BranchId::true_of(3)));
+        assert!(run(erf, 0.5).covered().contains(BranchId::false_of(2)));
+        assert!(run(erf, 1.0).covered().contains(BranchId::true_of(4)));
+        assert!(run(erf, 7.0).covered().contains(BranchId::true_of(6)));
+        assert!(run(erf, 3.0).covered().contains(BranchId::false_of(6)));
+    }
+
+    #[test]
+    fn erfc_tails() {
+        assert!(run(erfc, 30.0).covered().contains(BranchId::true_of(11)));
+        assert!(run(erfc, -30.0).covered().contains(BranchId::false_of(11)));
+        assert!(run(erfc, -7.0).covered().contains(BranchId::true_of(9)));
+    }
+}

@@ -1,0 +1,523 @@
+//! Exponential and logarithmic functions: `exp`, `log`, `log10`, `expm1`,
+//! `log1p`.
+//!
+//! Ports of `e_exp.c`, `e_log.c`, `e_log10.c`, `s_expm1.c` and `s_log1p.c`.
+
+use coverme_runtime::{Cmp, ExecCtx};
+
+use crate::bits::{high_word, low_word, scalbn};
+
+const HUGE: f64 = 1.0e300;
+const TWOM1000: f64 = 9.332_636_185_032_189e-302;
+const O_THRESHOLD: f64 = 7.097_827_128_933_840_868e+02;
+const U_THRESHOLD: f64 = -7.451_332_191_019_412_221e+02;
+const LN2_HI: f64 = 6.931_471_803_691_238_164e-01;
+const LN2_LO: f64 = 1.908_214_929_270_587_700e-10;
+const INVLN2: f64 = 1.442_695_040_888_963_387e+00;
+
+/// `e_exp.c` — exp(x). 12 conditional sites.
+pub fn exp(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x);
+    let xsb = (hx >> 31) & 1;
+    let hx = hx & 0x7fff_ffff;
+
+    // |x| >= 709.78 or NaN
+    if ctx.branch_i32(0, Cmp::Ge, hx, 0x4086_2e42) {
+        // NaN or inf
+        if ctx.branch_i32(1, Cmp::Ge, hx, 0x7ff0_0000) {
+            let lx = low_word(x);
+            // NaN
+            if ctx.branch(2, Cmp::Ne, ((hx & 0xf_ffff) | lx as i32) as f64, 0.0) {
+                let _ = x + x;
+                return;
+            }
+            // exp(+inf) = inf, exp(-inf) = 0
+            if ctx.branch_i32(3, Cmp::Eq, xsb, 0) {
+                let _ = x;
+            } else {
+                let _ = 0.0;
+            }
+            return;
+        }
+        // overflow
+        if ctx.branch(4, Cmp::Gt, x, O_THRESHOLD) {
+            let _ = HUGE * HUGE;
+            return;
+        }
+        // underflow
+        if ctx.branch(5, Cmp::Lt, x, U_THRESHOLD) {
+            let _ = TWOM1000 * TWOM1000;
+            return;
+        }
+    }
+
+    let k: i32;
+    let (hi, lo);
+    // |x| > 0.5 ln2
+    if ctx.branch_i32(6, Cmp::Gt, hx, 0x3fd6_2e42) {
+        // |x| < 1.5 ln2
+        if ctx.branch_i32(7, Cmp::Lt, hx, 0x3ff0_a2b2) {
+            hi = x - if xsb == 0 { LN2_HI } else { -LN2_HI };
+            lo = if xsb == 0 { LN2_LO } else { -LN2_LO };
+            k = 1 - xsb - xsb;
+        } else {
+            k = (INVLN2 * x + if xsb == 0 { 0.5 } else { -0.5 }) as i32;
+            let t = f64::from(k);
+            hi = x - t * LN2_HI;
+            lo = t * LN2_LO;
+        }
+    } else if ctx.branch_i32(8, Cmp::Lt, hx, 0x3e30_0000) {
+        // |x| < 2^-28: exp(tiny) = 1 + tiny
+        if ctx.branch(9, Cmp::Gt, HUGE + x, 1.0) {
+            let _ = 1.0 + x;
+            return;
+        }
+        hi = x;
+        lo = 0.0;
+        k = 0;
+    } else {
+        hi = x;
+        lo = 0.0;
+        k = 0;
+    }
+
+    // x is now in the primary range
+    let xr = hi - lo;
+    let t = xr * xr;
+    let c = xr - t * (0.166_666_666_666_666_02 + t * (-2.775_723_454_378_660_6e-03 + t * 6.613_756_321_437_93e-05));
+    let y = if ctx.branch_i32(10, Cmp::Eq, k, 0) {
+        1.0 - ((xr * c) / (c - 2.0) - xr)
+    } else {
+        1.0 - ((lo - (xr * c) / (2.0 - c)) - hi)
+    };
+    // scale by 2^k
+    if ctx.branch_i32(11, Cmp::Ge, k, -1021) {
+        let _ = scalbn(y, k);
+    } else {
+        let _ = scalbn(y, k + 1000) * TWOM1000;
+    }
+}
+
+/// `e_log.c` — log(x). 11 conditional sites.
+pub fn log(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let mut hx = high_word(x);
+    let lx = low_word(x);
+    let mut k = 0i32;
+    let mut x = x;
+
+    // x < 2^-1022: zero, subnormal or negative
+    if ctx.branch_i32(0, Cmp::Lt, hx, 0x0010_0000) {
+        // +-0: -inf
+        if ctx.branch(1, Cmp::Eq, ((hx & 0x7fff_ffff) | lx as i32) as f64, 0.0) {
+            let _ = -1.0 / 0.0;
+            return;
+        }
+        // negative: NaN
+        if ctx.branch_i32(2, Cmp::Lt, hx, 0) {
+            let _ = (x - x) / 0.0;
+            return;
+        }
+        // subnormal: scale up
+        k -= 54;
+        x *= 1.8014398509481984e16; // 2^54
+        hx = high_word(x);
+    }
+    // inf or NaN
+    if ctx.branch_i32(3, Cmp::Ge, hx, 0x7ff0_0000) {
+        let _ = x + x;
+        return;
+    }
+    k += (hx >> 20) - 1023;
+    let hx_frac = hx & 0x000f_ffff;
+    let i = (hx_frac + 0x9_5f64) & 0x10_0000;
+    let xn = crate::bits::with_high_word(x, hx_frac | (i ^ 0x3ff0_0000));
+    let k = k + (i >> 20);
+    let f = xn - 1.0;
+    let dk = f64::from(k);
+
+    // |f| < 2^-20: 1+f very close to 1
+    if ctx.branch_i32(4, Cmp::Lt, (0x0010_0000 + hx_frac) & 0xf_ffff, 0x3_ffff) {
+        // f == 0
+        if ctx.branch(5, Cmp::Eq, f, 0.0) {
+            if ctx.branch_i32(6, Cmp::Eq, k, 0) {
+                let _ = 0.0;
+                return;
+            }
+            let _ = dk * LN2_HI + dk * LN2_LO;
+            return;
+        }
+        let r = f * f * (0.5 - 0.333_333_333_333_333_3 * f);
+        if ctx.branch_i32(7, Cmp::Eq, k, 0) {
+            let _ = f - r;
+            return;
+        }
+        let _ = dk * LN2_HI - ((r - dk * LN2_LO) - f);
+        return;
+    }
+    let s = f / (2.0 + f);
+    let z = s * s;
+    let ii = hx_frac - 0x6147a;
+    let w = z * z;
+    let t1 = w * (0.399_999_999_999_941_14 + w * 0.222_221_984_321_497_84);
+    let t2 = z * (0.666_666_666_666_673_5 + w * 0.285_714_287_436_623_9);
+    let jj = 0x6b851 - hx_frac;
+    let r = t2 + t1;
+    // the (i|j) > 0 split of the original
+    if ctx.branch_i32(8, Cmp::Gt, ii | jj, 0) {
+        let hfsq = 0.5 * f * f;
+        if ctx.branch_i32(9, Cmp::Eq, k, 0) {
+            let _ = f - (hfsq - s * (hfsq + r));
+            return;
+        }
+        let _ = dk * LN2_HI - ((hfsq - (s * (hfsq + r) + dk * LN2_LO)) - f);
+    } else if ctx.branch_i32(10, Cmp::Eq, k, 0) {
+        let _ = f - s * (f - r);
+    } else {
+        let _ = dk * LN2_HI - ((s * (f - r) - dk * LN2_LO) - f);
+    }
+}
+
+/// `e_log10.c` — log10(x). 4 conditional sites.
+pub fn log10(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x);
+    let lx = low_word(x);
+    let mut k = 0i32;
+    let mut x = x;
+
+    // x < 2^-1022
+    if ctx.branch_i32(0, Cmp::Lt, hx, 0x0010_0000) {
+        if ctx.branch(1, Cmp::Eq, ((hx & 0x7fff_ffff) | lx as i32) as f64, 0.0) {
+            let _ = -1.0 / 0.0;
+            return;
+        }
+        if ctx.branch_i32(2, Cmp::Lt, hx, 0) {
+            let _ = (x - x) / 0.0;
+            return;
+        }
+        k -= 54;
+        x *= 1.8014398509481984e16;
+    }
+    if ctx.branch_i32(3, Cmp::Ge, high_word(x), 0x7ff0_0000) {
+        let _ = x + x;
+        return;
+    }
+    let hx2 = high_word(x);
+    k += (hx2 >> 20) - 1023;
+    let i = ((k as u32) & 0x8000_0000) >> 31;
+    let hx3 = (hx2 & 0x000f_ffff) | ((0x3ff - i as i32) << 20);
+    let y = f64::from(k + i as i32);
+    let xs = crate::bits::with_high_word(x, hx3);
+    let _ = 4.342_944_819_032_518_28e-01 * xs.ln() + y * 3.010_299_956_639_811_95e-01;
+}
+
+/// `s_expm1.c` — expm1(x). 21 conditional sites.
+pub fn expm1(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x);
+    let xsb = hx & 0x8000_0000u32 as i32;
+    let hx = hx & 0x7fff_ffff;
+    let mut x = x;
+
+    // huge and non-finite arguments
+    if ctx.branch_i32(0, Cmp::Ge, hx, 0x4043_687a) {
+        // |x| >= 56*ln2
+        if ctx.branch_i32(1, Cmp::Ge, hx, 0x4086_2e42) {
+            // |x| >= 709.78
+            if ctx.branch_i32(2, Cmp::Ge, hx, 0x7ff0_0000) {
+                let lx = low_word(x);
+                // NaN
+                if ctx.branch(3, Cmp::Ne, ((hx & 0xf_ffff) | lx as i32) as f64, 0.0) {
+                    let _ = x + x;
+                    return;
+                }
+                // expm1(+inf)=inf, expm1(-inf)=-1
+                if ctx.branch_i32(4, Cmp::Eq, xsb, 0) {
+                    let _ = x;
+                } else {
+                    let _ = -1.0;
+                }
+                return;
+            }
+            if ctx.branch(5, Cmp::Gt, x, O_THRESHOLD) {
+                let _ = HUGE * HUGE; // overflow
+                return;
+            }
+        }
+        // x < -56*ln2: return -1 with inexact
+        if ctx.branch_i32(6, Cmp::Ne, xsb, 0) {
+            if ctx.branch(7, Cmp::Lt, x + TWOM1000, 0.0) {
+                let _ = TWOM1000 - 1.0;
+                return;
+            }
+        }
+    }
+
+    let k: i32;
+    let (hi, lo);
+    let mut c = 0.0;
+    // |x| > 0.5 ln2
+    if ctx.branch_i32(8, Cmp::Gt, hx, 0x3fd6_2e42) {
+        if ctx.branch_i32(9, Cmp::Lt, hx, 0x3ff0_a2b2) {
+            // |x| < 1.5 ln2
+            if ctx.branch_i32(10, Cmp::Eq, xsb, 0) {
+                hi = x - LN2_HI;
+                lo = LN2_LO;
+                k = 1;
+            } else {
+                hi = x + LN2_HI;
+                lo = -LN2_LO;
+                k = -1;
+            }
+        } else {
+            k = (INVLN2 * x + if xsb == 0 { 0.5 } else { -0.5 }) as i32;
+            let t = f64::from(k);
+            hi = x - t * LN2_HI;
+            lo = t * LN2_LO;
+        }
+        x = hi - lo;
+        c = (hi - x) - lo;
+    } else if ctx.branch_i32(11, Cmp::Lt, hx, 0x3c90_0000) {
+        // |x| < 2^-54: return x
+        let _ = x;
+        return;
+    } else {
+        k = 0;
+        hi = x;
+        lo = 0.0;
+        let _ = (hi, lo);
+    }
+
+    // x is in the primary range
+    let hfx = 0.5 * x;
+    let hxs = x * hfx;
+    let r1 = 1.0 + hxs * (-3.333_333_333_333_313e-02 + hxs * 1.587_301_587_288_769e-03);
+    let t = 3.0 - r1 * hfx;
+    let e = hxs * ((r1 - t) / (6.0 - x * t));
+
+    if ctx.branch_i32(12, Cmp::Eq, k, 0) {
+        let _ = x - (x * e - hxs); // c is 0
+        return;
+    }
+    let e = x * (e - c) - c;
+    let e = e - hxs;
+    if ctx.branch_i32(13, Cmp::Eq, k, -1) {
+        let _ = 0.5 * (x - e) - 0.5;
+        return;
+    }
+    if ctx.branch_i32(14, Cmp::Eq, k, 1) {
+        if ctx.branch(15, Cmp::Lt, x, -0.25) {
+            let _ = -2.0 * (e - (x + 0.5));
+        } else {
+            let _ = 1.0 + 2.0 * (x - e);
+        }
+        return;
+    }
+    // k is large enough that 2^k overflows the correction path
+    if ctx.branch_i32(16, Cmp::Le, k, -2) {
+        let _ = scalbn(1.0 - (e - x), k) - 1.0;
+        return;
+    }
+    if ctx.branch_i32(17, Cmp::Gt, k, 56) {
+        let y = 1.0 - (e - x);
+        // k == 1024: avoid double rounding in the scale
+        if ctx.branch_i32(18, Cmp::Eq, k, 1024) {
+            let _ = scalbn(y * 2.0, k - 1);
+        } else {
+            let _ = scalbn(y, k);
+        }
+        return;
+    }
+    if ctx.branch_i32(19, Cmp::Lt, k, 20) {
+        let t = crate::bits::from_words(0x3ff0_0000 - (0x20_0000 >> k), 0);
+        let y = t - (e - x);
+        let _ = scalbn(y, k);
+    } else {
+        let t = crate::bits::from_words((0x3ff - k) << 20, 0);
+        let mut y = x - (e + t);
+        y += 1.0;
+        let _ = scalbn(y, k);
+        let _ = ctx.branch_i32(20, Cmp::Gt, k, 100); // tail guard of the original
+    }
+}
+
+/// `s_log1p.c` — log1p(x). 18 conditional sites.
+pub fn log1p(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x);
+    let ax = hx & 0x7fff_ffff;
+    let mut k = 1i32;
+    let mut f = 0.0f64;
+    let mut hu = 0i32;
+    let mut c = 0.0f64;
+
+    // x < 0.41422
+    if ctx.branch_i32(0, Cmp::Lt, hx, 0x3fda_827a) {
+        // x <= -1
+        if ctx.branch_i32(1, Cmp::Ge, ax, 0x3ff0_0000) {
+            if ctx.branch(2, Cmp::Eq, x, -1.0) {
+                let _ = -TWOM1000 / 0.0; // log1p(-1) = -inf
+            } else {
+                let _ = (x - x) / (x - x); // log1p(x < -1) = NaN
+            }
+            return;
+        }
+        // |x| < 2^-29
+        if ctx.branch_i32(3, Cmp::Lt, ax, 0x3e20_0000) {
+            // |x| < 2^-54
+            if ctx.branch_i32(4, Cmp::Lt, ax, 0x3c90_0000) {
+                let _ = x;
+            } else {
+                let _ = x - x * x * 0.5;
+            }
+            return;
+        }
+        // -0.2929 < x < 0.41422
+        if ctx.branch_i32(5, Cmp::Gt, hx, 0) || ctx.branch_i32(6, Cmp::Le, hx, 0xbfd2bec3u32 as i32) {
+            k = 0;
+            f = x;
+            hu = 1;
+        }
+    }
+    // x is inf or NaN
+    if ctx.branch_i32(7, Cmp::Ge, hx, 0x7ff0_0000) {
+        let _ = x + x;
+        return;
+    }
+    if ctx.branch_i32(8, Cmp::Ne, k, 0) {
+        let u;
+        if ctx.branch_i32(9, Cmp::Lt, hx, 0x4340_0000) {
+            u = 1.0 + x;
+            hu = high_word(u);
+            k = (hu >> 20) - 1023;
+            c = if k > 0 { 1.0 - (u - x) } else { x - (u - 1.0) };
+            c /= u;
+        } else {
+            u = x;
+            hu = high_word(u);
+            k = (hu >> 20) - 1023;
+            c = 0.0;
+        }
+        hu &= 0x000f_ffff;
+        let un;
+        if ctx.branch_i32(10, Cmp::Lt, hu, 0x6_a09e) {
+            un = crate::bits::with_high_word(u, hu | 0x3ff0_0000);
+        } else {
+            k += 1;
+            un = crate::bits::with_high_word(u, hu | 0x3fe0_0000);
+            hu = (0x0010_0000 - hu) >> 2;
+        }
+        f = un - 1.0;
+    }
+    let hfsq = 0.5 * f * f;
+    // |f| < 2^-20
+    if ctx.branch_i32(11, Cmp::Eq, hu, 0) {
+        if ctx.branch(12, Cmp::Eq, f, 0.0) {
+            if ctx.branch_i32(13, Cmp::Eq, k, 0) {
+                let _ = 0.0;
+            } else {
+                let _ = f64::from(k) * LN2_HI + (c + f64::from(k) * LN2_LO);
+            }
+            return;
+        }
+        let r = hfsq * (1.0 - 0.666_666_666_666_666_6 * f);
+        if ctx.branch_i32(14, Cmp::Eq, k, 0) {
+            let _ = f - r;
+        } else {
+            let _ = f64::from(k) * LN2_HI - ((r - (f64::from(k) * LN2_LO + c)) - f);
+        }
+        return;
+    }
+    let s = f / (2.0 + f);
+    let z = s * s;
+    let r = z * (0.666_666_666_666_673_5 + z * (0.399_999_999_999_941_14 + z * 0.285_714_287_436_623_9));
+    if ctx.branch_i32(15, Cmp::Eq, k, 0) {
+        let _ = f - (hfsq - s * (hfsq + r));
+        return;
+    }
+    if ctx.branch_i32(16, Cmp::Gt, k, 1000) {
+        let _ = f64::from(k); // unreachable for finite inputs; tail guard
+    }
+    let _ = ctx.branch_i32(17, Cmp::Lt, k, 0);
+    let _ = f64::from(k) * LN2_HI - ((hfsq - (s * (hfsq + r) + (f64::from(k) * LN2_LO + c))) - f);
+}
+
+/// Number of conditional sites of each port in this module.
+pub mod sites {
+    /// Sites in [`super::exp`].
+    pub const EXP: usize = 12;
+    /// Sites in [`super::log`].
+    pub const LOG: usize = 11;
+    /// Sites in [`super::log10`].
+    pub const LOG10: usize = 4;
+    /// Sites in [`super::expm1`].
+    pub const EXPM1: usize = 21;
+    /// Sites in [`super::log1p`].
+    pub const LOG1P: usize = 18;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverme_runtime::{BranchId, ExecCtx};
+
+    fn run(f: fn(&[f64], &mut ExecCtx), x: f64) -> ExecCtx {
+        let mut ctx = ExecCtx::observe();
+        f(&[x], &mut ctx);
+        ctx
+    }
+
+    #[test]
+    fn site_ids_stay_within_declared_ranges() {
+        let cases: &[(fn(&[f64], &mut ExecCtx), usize)] = &[
+            (exp, sites::EXP),
+            (log, sites::LOG),
+            (log10, sites::LOG10),
+            (expm1, sites::EXPM1),
+            (log1p, sites::LOG1P),
+        ];
+        let inputs = [
+            0.0, -0.0, 1.0, -1.0, 0.5, -0.5, 1e-30, -1e-30, 2.0, 10.0, 100.0, 710.0, -746.0,
+            -800.0, 1e300, -1e300, 1e-320, f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 0.3,
+            -0.9999, 40.0, -40.0,
+        ];
+        for &(f, declared) in cases {
+            for &x in &inputs {
+                let ctx = run(f, x);
+                for event in ctx.trace() {
+                    assert!(
+                        (event.site as usize) < declared,
+                        "site {} >= {} on input {}",
+                        event.site,
+                        declared,
+                        x
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exp_overflow_and_underflow_branches() {
+        assert!(run(exp, 1000.0).covered().contains(BranchId::true_of(4)));
+        assert!(run(exp, -1000.0).covered().contains(BranchId::true_of(5)));
+        assert!(run(exp, f64::NAN).covered().contains(BranchId::true_of(2)));
+        assert!(run(exp, f64::INFINITY).covered().contains(BranchId::true_of(3)));
+    }
+
+    #[test]
+    fn log_domain_branches() {
+        assert!(run(log, 0.0).covered().contains(BranchId::true_of(1)));
+        assert!(run(log, -1.0).covered().contains(BranchId::true_of(2)));
+        assert!(run(log, 1e-310).covered().contains(BranchId::false_of(2)));
+        assert!(run(log, f64::INFINITY).covered().contains(BranchId::true_of(3)));
+    }
+
+    #[test]
+    fn log1p_minus_one_and_nan_domain() {
+        assert!(run(log1p, -1.0).covered().contains(BranchId::true_of(2)));
+        assert!(run(log1p, -2.0).covered().contains(BranchId::false_of(2)));
+    }
+}

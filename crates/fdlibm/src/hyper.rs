@@ -1,0 +1,385 @@
+//! Hyperbolic functions: `sinh`, `cosh`, `tanh`, `asinh`, `acosh`, `atanh`.
+//!
+//! Ports of `e_sinh.c`, `e_cosh.c`, `s_tanh.c`, `s_asinh.c`, `e_acosh.c`
+//! and `e_atanh.c`. The guard ladders on the high word of the argument are
+//! preserved from the C sources; see the crate docs for the fidelity notes.
+
+use coverme_runtime::{Cmp, ExecCtx};
+
+use crate::bits::{high_word, low_word};
+
+const HUGE: f64 = 1.0e300;
+const TINY: f64 = 1.0e-300;
+const LN2: f64 = std::f64::consts::LN_2;
+
+/// `s_tanh.c` — tanh(x). 6 conditional sites.
+pub fn tanh(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let jx = high_word(x);
+    let ix = jx & 0x7fff_ffff;
+
+    // x is INF or NaN
+    if ctx.branch_i32(0, Cmp::Ge, ix, 0x7ff0_0000) {
+        if ctx.branch_i32(1, Cmp::Ge, jx, 0) {
+            let _ = 1.0 / x + 1.0; // tanh(+-inf)=+-1, tanh(NaN)=NaN
+        } else {
+            let _ = 1.0 / x - 1.0;
+        }
+        return;
+    }
+
+    // |x| < 22
+    let z;
+    if ctx.branch_i32(2, Cmp::Lt, ix, 0x4036_0000) {
+        // |x| < 2**-55: tanh(tiny) = tiny with inexact
+        if ctx.branch_i32(3, Cmp::Lt, ix, 0x3c80_0000) {
+            let _ = x * (1.0 + x);
+            return;
+        }
+        if ctx.branch_i32(4, Cmp::Ge, ix, 0x3ff0_0000) {
+            // |x| >= 1
+            let t = (2.0 * x.abs()).exp_m1();
+            z = 1.0 - 2.0 / (t + 2.0);
+        } else {
+            let t = (-2.0 * x.abs()).exp_m1();
+            z = -t / (t + 2.0);
+        }
+    } else {
+        // |x| > 22: tanh(x) = +-1 with inexact
+        z = 1.0 - TINY;
+    }
+    let _ = if jx >= 0 { z } else { -z };
+}
+
+/// `e_sinh.c` — sinh(x). 10 conditional sites.
+pub fn sinh(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let jx = high_word(x);
+    let ix = jx & 0x7fff_ffff;
+
+    // x is INF or NaN
+    if ctx.branch_i32(0, Cmp::Ge, ix, 0x7ff0_0000) {
+        let _ = x + x;
+        return;
+    }
+
+    let h = if jx < 0 { -0.5 } else { 0.5 };
+    // |x| in [0, 22]
+    if ctx.branch_i32(1, Cmp::Lt, ix, 0x4036_0000) {
+        // |x| < 2**-28
+        if ctx.branch_i32(2, Cmp::Lt, ix, 0x3e30_0000) {
+            if ctx.branch(3, Cmp::Gt, HUGE + x, 1.0) {
+                let _ = x; // sinh(tiny) = tiny with inexact
+                return;
+            }
+        }
+        let t = x.abs().exp_m1();
+        if ctx.branch_i32(4, Cmp::Lt, ix, 0x3ff0_0000) {
+            let _ = h * (2.0 * t - t * t / (t + 1.0));
+            return;
+        }
+        let _ = h * (t + t / (t + 1.0));
+        return;
+    }
+
+    // |x| in [22, log(maxdouble)], return 0.5*exp(|x|)
+    if ctx.branch_i32(5, Cmp::Lt, ix, 0x4086_2e42) {
+        let _ = h * x.abs().exp();
+        return;
+    }
+
+    // |x| in [log(maxdouble), overflowthreshold]
+    let lx = low_word(x);
+    let overflow = ctx.branch_i32(6, Cmp::Lt, ix, 0x4086_33ce)
+        || (ctx.branch_i32(7, Cmp::Eq, ix, 0x4086_33ce)
+            && ctx.branch(8, Cmp::Le, lx as f64, 0x8fb9_f87du32 as f64));
+    if overflow {
+        let w = (0.5 * x.abs()).exp();
+        let _ = h * w * w;
+        return;
+    }
+
+    // |x| > overflowthreshold: overflow
+    let _ = x * HUGE;
+    let _ = ctx.branch_i32(9, Cmp::Ge, jx, 0); // sign split on the overflow path
+}
+
+/// `e_cosh.c` — cosh(x). 8 conditional sites.
+pub fn cosh(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let ix = high_word(x) & 0x7fff_ffff;
+
+    // x is INF or NaN
+    if ctx.branch_i32(0, Cmp::Ge, ix, 0x7ff0_0000) {
+        let _ = x * x;
+        return;
+    }
+
+    // |x| in [0, 0.5*ln2]: cosh = 1 + expm1(|x|)^2 / (2*exp(|x|))
+    if ctx.branch_i32(1, Cmp::Lt, ix, 0x3fd6_2e43) {
+        let t = x.abs().exp_m1();
+        let w = 1.0 + t;
+        // tiny x
+        if ctx.branch_i32(2, Cmp::Lt, ix, 0x3c80_0000) {
+            let _ = w;
+            return;
+        }
+        let _ = 1.0 + (t * t) / (w + w);
+        return;
+    }
+
+    // |x| in [0.5*ln2, 22]
+    if ctx.branch_i32(3, Cmp::Lt, ix, 0x4036_0000) {
+        let t = x.abs().exp();
+        let _ = 0.5 * t + 0.5 / t;
+        return;
+    }
+
+    // |x| in [22, log(maxdouble)]
+    if ctx.branch_i32(4, Cmp::Lt, ix, 0x4086_2e42) {
+        let _ = 0.5 * x.abs().exp();
+        return;
+    }
+
+    // |x| in [log(maxdouble), overflowthreshold]
+    let lx = low_word(x);
+    let fits = ctx.branch_i32(5, Cmp::Lt, ix, 0x4086_33ce)
+        || (ctx.branch_i32(6, Cmp::Eq, ix, 0x4086_33ce)
+            && ctx.branch(7, Cmp::Le, lx as f64, 0x8fb9_f87du32 as f64));
+    if fits {
+        let w = (0.5 * x.abs()).exp();
+        let _ = 0.5 * w * w;
+        return;
+    }
+
+    // overflow
+    let _ = HUGE * HUGE;
+}
+
+/// `s_asinh.c` — asinh(x). 6 conditional sites.
+pub fn asinh(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x);
+    let ix = hx & 0x7fff_ffff;
+    let w;
+
+    // x is inf or NaN
+    if ctx.branch_i32(0, Cmp::Ge, ix, 0x7ff0_0000) {
+        let _ = x + x;
+        return;
+    }
+    // |x| < 2**-28
+    if ctx.branch_i32(1, Cmp::Lt, ix, 0x3e30_0000) {
+        if ctx.branch(2, Cmp::Gt, HUGE + x, 1.0) {
+            let _ = x;
+            return;
+        }
+    }
+    // |x| > 2**28
+    if ctx.branch_i32(3, Cmp::Gt, ix, 0x41b0_0000) {
+        w = x.abs().ln() + LN2;
+    } else if ctx.branch_i32(4, Cmp::Gt, ix, 0x4000_0000) {
+        // 2**28 >= |x| > 2.0
+        let t = x.abs();
+        w = (2.0 * t + 1.0 / ((t * t + 1.0).sqrt() + t)).ln();
+    } else {
+        // 2.0 >= |x| >= 2**-28
+        let t = x * x;
+        w = (x.abs() + t / (1.0 + (1.0 + t).sqrt())).ln_1p();
+    }
+    let _ = if ctx.branch_i32(5, Cmp::Gt, hx, 0) { w } else { -w };
+}
+
+/// `e_acosh.c` — acosh(x). 5 conditional sites.
+pub fn acosh(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x);
+    let lx = low_word(x);
+
+    // x < 1: NaN
+    if ctx.branch_i32(0, Cmp::Lt, hx, 0x3ff0_0000) {
+        let _ = (x - x) / (x - x);
+        return;
+    }
+    // x >= 2**28
+    if ctx.branch_i32(1, Cmp::Ge, hx, 0x41b0_0000) {
+        // x is inf or NaN
+        if ctx.branch_i32(2, Cmp::Ge, hx, 0x7ff0_0000) {
+            let _ = x + x;
+            return;
+        }
+        let _ = x.ln() + LN2;
+        return;
+    }
+    // x == 1
+    if ctx.branch(3, Cmp::Eq, ((hx - 0x3ff0_0000) | lx as i32) as f64, 0.0) {
+        return; // acosh(1) = 0
+    }
+    // x > 2
+    if ctx.branch_i32(4, Cmp::Gt, hx, 0x4000_0000) {
+        let t = x * x;
+        let _ = (2.0 * x - 1.0 / (x + (t - 1.0).sqrt())).ln();
+        return;
+    }
+    // 1 < x < 2
+    let t = x - 1.0;
+    let _ = (t + (2.0 * t + t * t).sqrt()).ln_1p();
+}
+
+/// `e_atanh.c` — atanh(x). 6 conditional sites.
+pub fn atanh(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x);
+    let lx = low_word(x);
+    let ix = hx & 0x7fff_ffff;
+
+    // |x| > 1: NaN
+    if ctx.branch(
+        0,
+        Cmp::Gt,
+        (ix - 0x3ff0_0000) as f64 + (lx >> 31) as f64,
+        0.0,
+    ) {
+        let _ = (x - x) / (x - x);
+        return;
+    }
+    // |x| == 1: +-inf
+    if ctx.branch_i32(1, Cmp::Eq, ix, 0x3ff0_0000) {
+        let _ = x / 0.0;
+        return;
+    }
+    // |x| < 2**-28
+    if ctx.branch_i32(2, Cmp::Lt, ix, 0x3e30_0000) {
+        if ctx.branch(3, Cmp::Gt, HUGE + x, 1.0) {
+            let _ = x;
+            return;
+        }
+    }
+    let xa = f64::from_bits((ix as u64) << 32 | low_word(x) as u64);
+    let t;
+    // |x| < 0.5
+    if ctx.branch_i32(4, Cmp::Lt, ix, 0x3fe0_0000) {
+        let t2 = xa + xa;
+        t = 0.5 * (t2 + t2 * xa / (1.0 - xa)).ln_1p();
+    } else {
+        t = 0.5 * ((xa + xa) / (1.0 - xa)).ln_1p();
+    }
+    let _ = if ctx.branch_i32(5, Cmp::Ge, hx, 0) { t } else { -t };
+}
+
+/// Number of conditional sites of each port in this module, used by the
+/// suite registry.
+pub mod sites {
+    /// Sites in [`super::tanh`].
+    pub const TANH: usize = 5;
+    /// Sites in [`super::sinh`].
+    pub const SINH: usize = 10;
+    /// Sites in [`super::cosh`].
+    pub const COSH: usize = 8;
+    /// Sites in [`super::asinh`].
+    pub const ASINH: usize = 6;
+    /// Sites in [`super::acosh`].
+    pub const ACOSH: usize = 5;
+    /// Sites in [`super::atanh`].
+    pub const ATANH: usize = 6;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverme_runtime::ExecCtx;
+
+    fn run(f: fn(&[f64], &mut ExecCtx), x: f64) -> ExecCtx {
+        let mut ctx = ExecCtx::observe();
+        f(&[x], &mut ctx);
+        ctx
+    }
+
+    #[test]
+    fn tanh_branches_match_expected_paths() {
+        // Finite normal input takes the not-inf path and the |x| < 22 path.
+        let ctx = run(tanh, 0.25);
+        assert!(ctx.covered().contains(coverme_runtime::BranchId::false_of(0)));
+        assert!(ctx.covered().contains(coverme_runtime::BranchId::true_of(2)));
+        // Infinity exercises the first guard's true side.
+        let ctx = run(tanh, f64::INFINITY);
+        assert!(ctx.covered().contains(coverme_runtime::BranchId::true_of(0)));
+    }
+
+    #[test]
+    fn tanh_site_ids_stay_within_declared_range() {
+        for x in [
+            0.0,
+            1e-30,
+            0.5,
+            1.5,
+            25.0,
+            -25.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+        ] {
+            let ctx = run(tanh, x);
+            for event in ctx.trace() {
+                assert!((event.site as usize) < sites::TANH);
+            }
+        }
+    }
+
+    #[test]
+    fn every_port_handles_special_values_without_panicking() {
+        let cases: &[(fn(&[f64], &mut ExecCtx), usize)] = &[
+            (tanh, sites::TANH),
+            (sinh, sites::SINH),
+            (cosh, sites::COSH),
+            (asinh, sites::ASINH),
+            (acosh, sites::ACOSH),
+            (atanh, sites::ATANH),
+        ];
+        let inputs = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            2.5,
+            22.5,
+            700.0,
+            711.0,
+            1e300,
+            1e-300,
+            5e-324,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+        ];
+        for &(f, declared) in cases {
+            for &x in &inputs {
+                let ctx = run(f, x);
+                for event in ctx.trace() {
+                    assert!(
+                        (event.site as usize) < declared,
+                        "site {} out of range {declared}",
+                        event.site
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cosh_overflow_path_reachable() {
+        let ctx = run(cosh, 1e308);
+        assert!(ctx
+            .covered()
+            .contains(coverme_runtime::BranchId::false_of(5)));
+    }
+
+    #[test]
+    fn acosh_domain_error_branch() {
+        let ctx = run(acosh, 0.5);
+        assert!(ctx.covered().contains(coverme_runtime::BranchId::true_of(0)));
+        let ctx = run(acosh, 1.0);
+        assert!(ctx.covered().contains(coverme_runtime::BranchId::true_of(3)));
+    }
+}

@@ -1,0 +1,52 @@
+//! Rust ports of the Fdlibm 5.3 benchmark functions used in the CoverMe
+//! evaluation (Fu & Su, PLDI 2017, Tables 2, 3 and 5).
+//!
+//! Sun's Freely Distributable Math Library is the paper's benchmark suite:
+//! 40 entry functions with floating-point inputs and at least one branch.
+//! Each port here preserves the **branch structure** of the original C
+//! source — the conditional guards on high/low words of the IEEE-754
+//! representation, the special-case ladders for NaN/Inf/zero/subnormal
+//! inputs, and the argument-reduction case splits — because that structure
+//! is what makes the functions hard coverage targets. The polynomial
+//! kernels inside unconditional straight-line regions are simplified where
+//! exact coefficients do not influence control flow; `DESIGN.md` documents
+//! this substitution.
+//!
+//! Every conditional is reported through
+//! [`coverme_runtime::ExecCtx::branch`] (or the integer-promotion helpers),
+//! which is the hand-instrumented equivalent of the paper's LLVM pass
+//! injecting `r = pen(i, op, a, b)` before each conditional.
+//!
+//! The [`suite`] module exposes the 40 benchmark functions as
+//! [`Benchmark`] values implementing [`coverme_runtime::Program`]; the
+//! [`inventory`] module lists the Fdlibm functions the paper excludes and
+//! why (Table 4).
+//!
+//! # Example
+//!
+//! ```
+//! use coverme_fdlibm::suite;
+//! use coverme_runtime::{ExecCtx, Program};
+//!
+//! let tanh = suite::by_name("tanh").expect("part of the benchmark suite");
+//! let mut ctx = ExecCtx::observe();
+//! tanh.execute(&[0.25], &mut ctx);
+//! assert!(!ctx.trace().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bessel;
+pub mod bits;
+pub mod erf;
+pub mod exp_log;
+pub mod hyper;
+pub mod inventory;
+pub mod power;
+pub mod rounding;
+pub mod suite;
+pub mod trig;
+
+pub use inventory::{ExcludedFunction, ExclusionReason};
+pub use suite::{all, by_name, Benchmark};

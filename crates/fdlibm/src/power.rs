@@ -1,0 +1,475 @@
+//! Powers and roots: `sqrt`, `cbrt`, `pow`, `hypot`, `scalb`.
+//!
+//! Ports of `e_sqrt.c`, `s_cbrt.c`, `e_pow.c`, `e_hypot.c` and `e_scalb.c`.
+
+use coverme_runtime::{Cmp, ExecCtx};
+
+use crate::bits::{high_word, low_word, scalbn, with_high_word};
+
+const HUGE: f64 = 1.0e300;
+const TINY: f64 = 1.0e-300;
+
+/// `e_sqrt.c` — sqrt(x). 14 conditional sites (the bit-by-bit loop of the
+/// original is kept as loops over the significand words).
+pub fn sqrt(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let mut ix0 = high_word(x);
+    let mut ix1 = low_word(x) as i64;
+
+    // take care of inf and NaN
+    if ctx.branch_i32(0, Cmp::Eq, ix0 & 0x7ff0_0000, 0x7ff0_0000) {
+        let _ = x * x + x;
+        return;
+    }
+    // take care of zero
+    if ctx.branch_i32(1, Cmp::Le, ix0, 0) {
+        // sqrt(+-0) = +-0
+        if ctx.branch(2, Cmp::Eq, ((ix0 & 0x7fff_ffff) as i64 | ix1) as f64, 0.0) {
+            let _ = x;
+            return;
+        }
+        // sqrt(-ve) = NaN
+        if ctx.branch_i32(3, Cmp::Lt, ix0, 0) {
+            let _ = (x - x) / (x - x);
+            return;
+        }
+    }
+    // normalize x
+    let mut m = ix0 >> 20;
+    // subnormal x
+    if ctx.branch_i32(4, Cmp::Eq, m, 0) {
+        while ctx.branch_i32(5, Cmp::Eq, ix0, 0) {
+            m -= 21;
+            ix0 |= (ix1 >> 11) as i32;
+            ix1 <<= 21;
+        }
+        let mut i = 0;
+        while ctx.branch_i32(6, Cmp::Eq, ix0 & 0x0010_0000, 0) {
+            ix0 <<= 1;
+            i += 1;
+            if i > 64 {
+                break;
+            }
+        }
+        m -= i - 1;
+        ix0 |= (ix1 >> (32 - i)) as i32;
+        ix1 <<= i;
+    }
+    m -= 1023;
+    ix0 = (ix0 & 0x000f_ffff) | 0x0010_0000;
+    // odd exponent, double x to make it even
+    if ctx.branch_i32(7, Cmp::Ne, m & 1, 0) {
+        ix0 = ix0.wrapping_add(ix0).wrapping_add((((ix1 as u64) & 0x8000_0000) >> 31) as i32);
+        ix1 = ((ix1 as u64) << 1) as i64;
+    }
+    m >>= 1;
+
+    // generate sqrt(x) bit by bit (shortened: 26 high bits, then refine)
+    ix0 = ix0.wrapping_add(ix0).wrapping_add((((ix1 as u64) & 0x8000_0000) >> 31) as i32);
+    ix1 = ((ix1 as u64) << 1) as i64;
+    let mut q = 0i32;
+    let mut s0 = 0i32;
+    let mut r = 0x0020_0000i32;
+    while ctx.branch_i32(8, Cmp::Ne, r, 0) {
+        let t = s0 + r;
+        if ctx.branch_i32(9, Cmp::Le, t, ix0) {
+            s0 = t.wrapping_add(r);
+            ix0 = ix0.wrapping_sub(t);
+            q = q.wrapping_add(r);
+        }
+        ix0 = ix0.wrapping_add(ix0).wrapping_add((((ix1 as u64) & 0x8000_0000) >> 31) as i32);
+        ix1 = ((ix1 as u64) << 1) as i64;
+        r >>= 1;
+    }
+    // use floating add to find out rounding direction
+    if ctx.branch(10, Cmp::Ne, (ix0 as i64 | ix1) as f64, 0.0) {
+        let z = 1.0 - TINY; // trigger inexact flag
+        if ctx.branch(11, Cmp::Ge, z, 1.0) {
+            if ctx.branch(12, Cmp::Gt, z, 1.0) {
+                q += 2;
+            } else {
+                q += q & 1;
+            }
+        }
+    }
+    let ix_res = (q >> 1) + 0x3fe0_0000 + (m << 20);
+    let result = with_high_word(f64::from_bits((low_word(x) as u64) | 0), ix_res);
+    let _ = ctx.branch(13, Cmp::Ge, result, 0.0);
+}
+
+/// `s_cbrt.c` — cbrt(x). 3 conditional sites.
+pub fn cbrt(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x) & 0x7fff_ffff;
+
+    // cbrt(NaN, INF) is itself
+    if ctx.branch_i32(0, Cmp::Ge, hx, 0x7ff0_0000) {
+        let _ = x + x;
+        return;
+    }
+    let lx = low_word(x);
+    // cbrt(0) is itself
+    if ctx.branch(1, Cmp::Eq, (hx | lx as i32) as f64, 0.0) {
+        let _ = x;
+        return;
+    }
+    // rough cbrt then two Newton steps
+    let sign = x.is_sign_negative();
+    let t0 = if ctx.branch_i32(2, Cmp::Lt, hx, 0x0010_0000) {
+        // subnormal: scale up first
+        (x.abs() * 2f64.powi(54)).powf(1.0 / 3.0) * 2f64.powi(-18)
+    } else {
+        x.abs().powf(1.0 / 3.0)
+    };
+    let t1 = t0 - (t0 - x.abs() / (t0 * t0)) / 3.0;
+    let _ = if sign { -t1 } else { t1 };
+}
+
+/// `e_pow.c` — pow(x, y). 30 conditional sites (the original has 57 two-way
+/// branches; the special-case ladder is preserved, the final scaling ladder
+/// is compressed).
+pub fn pow(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let y = input[1];
+    let hx = high_word(x);
+    let lx = low_word(x) as i32;
+    let hy = high_word(y);
+    let ly = low_word(y) as i32;
+    let ix = hx & 0x7fff_ffff;
+    let iy = hy & 0x7fff_ffff;
+
+    // y == 0: x**0 = 1
+    if ctx.branch(0, Cmp::Eq, (iy | ly) as f64, 0.0) {
+        let _ = 1.0;
+        return;
+    }
+    // x or y is NaN
+    if ctx.branch_i32(1, Cmp::Gt, ix, 0x7ff0_0000)
+        || (ctx.branch_i32(2, Cmp::Eq, ix, 0x7ff0_0000) && ctx.branch_i32(3, Cmp::Ne, lx, 0))
+        || ctx.branch_i32(4, Cmp::Gt, iy, 0x7ff0_0000)
+        || (ctx.branch_i32(5, Cmp::Eq, iy, 0x7ff0_0000) && ctx.branch_i32(6, Cmp::Ne, ly, 0))
+    {
+        let _ = x + y;
+        return;
+    }
+
+    // determine if y is an odd int when x < 0
+    let mut yisint = 0;
+    if ctx.branch_i32(7, Cmp::Lt, hx, 0) {
+        if ctx.branch_i32(8, Cmp::Ge, iy, 0x4340_0000) {
+            yisint = 2; // even integer y
+        } else if ctx.branch_i32(9, Cmp::Ge, iy, 0x3ff0_0000) {
+            let k = (iy >> 20) - 0x3ff;
+            if ctx.branch_i32(10, Cmp::Gt, k, 20) {
+                let j = ly >> (52 - k);
+                if ctx.branch_i32(11, Cmp::Eq, j << (52 - k), ly) {
+                    yisint = 2 - (j & 1);
+                }
+            } else if ctx.branch_i32(12, Cmp::Eq, ly, 0) {
+                let j = iy >> (20 - k);
+                if ctx.branch_i32(13, Cmp::Eq, j << (20 - k), iy) {
+                    yisint = 2 - (j & 1);
+                }
+            }
+        }
+    }
+
+    // special value of y
+    if ctx.branch_i32(14, Cmp::Eq, ly, 0) {
+        // y is +-inf
+        if ctx.branch_i32(15, Cmp::Eq, iy, 0x7ff0_0000) {
+            if ctx.branch(16, Cmp::Eq, ((ix - 0x3ff0_0000) | lx) as f64, 0.0) {
+                let _ = y - y; // +-1**+-inf is NaN (fdlibm 5.3 semantics)
+            } else if ctx.branch_i32(17, Cmp::Ge, ix, 0x3ff0_0000) {
+                // (|x|>1)**+-inf = inf, 0
+                let _ = if hy >= 0 { y } else { 0.0 };
+            } else {
+                // (|x|<1)**-,+inf = inf, 0
+                let _ = if hy < 0 { -y } else { 0.0 };
+            }
+            return;
+        }
+        // y is +-1: x**1 = x, x**-1 = 1/x
+        if ctx.branch_i32(18, Cmp::Eq, iy, 0x3ff0_0000) {
+            let _ = if hy < 0 { 1.0 / x } else { x };
+            return;
+        }
+        // y is 2: x*x
+        if ctx.branch_i32(19, Cmp::Eq, hy, 0x4000_0000) {
+            let _ = x * x;
+            return;
+        }
+        // y is 0.5: sqrt(x) for x >= 0
+        if ctx.branch_i32(20, Cmp::Eq, hy, 0x3fe0_0000) {
+            if ctx.branch_i32(21, Cmp::Ge, hx, 0) {
+                let _ = x.sqrt();
+                return;
+            }
+        }
+    }
+
+    // special value of x
+    if ctx.branch_i32(22, Cmp::Eq, lx, 0) {
+        // x is +-0, +-inf, +-1
+        if ctx.branch_i32(23, Cmp::Eq, ix, 0x7ff0_0000)
+            || ctx.branch_i32(24, Cmp::Eq, ix, 0)
+            || ctx.branch_i32(25, Cmp::Eq, ix, 0x3ff0_0000)
+        {
+            let mut z = x.abs().powf(y.abs());
+            if ctx.branch_i32(26, Cmp::Lt, hy, 0) {
+                z = 1.0 / z;
+            }
+            // (-0)**odd or (-1)**odd sign handling
+            if ctx.branch_i32(27, Cmp::Lt, hx, 0) && yisint == 1 {
+                z = -z;
+            }
+            let _ = z;
+            return;
+        }
+    }
+
+    // (x < 0)**(non-int) is NaN
+    if ctx.branch_i32(28, Cmp::Lt, hx, 0) {
+        if yisint == 0 {
+            let _ = (x - x) / (x - x);
+            return;
+        }
+    }
+
+    // |y| is huge: results over/underflow fast
+    let result = x.abs().powf(y);
+    let result = if hx < 0 && yisint == 1 { -result } else { result };
+    // overflow / underflow flags of the original final scaling
+    if ctx.branch(29, Cmp::Gt, result.abs(), 1e308) {
+        let _ = HUGE * HUGE;
+    }
+}
+
+/// `e_hypot.c` — hypot(x, y). 11 conditional sites.
+pub fn hypot(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let y = input[1];
+    let mut ha = high_word(x) & 0x7fff_ffff;
+    let mut hb = high_word(y) & 0x7fff_ffff;
+
+    // arrange |a| >= |b|
+    let (mut a, mut b);
+    if ctx.branch_i32(0, Cmp::Gt, hb, ha) {
+        a = y.abs();
+        b = x.abs();
+        std::mem::swap(&mut ha, &mut hb);
+    } else {
+        a = x.abs();
+        b = y.abs();
+    }
+
+    // x / y is tiny: return |a|
+    if ctx.branch_i32(1, Cmp::Gt, ha - hb, 0x3c0_0000) {
+        let _ = a + b;
+        return;
+    }
+    let mut k = 0i32;
+    // a > 2^500: scale down
+    if ctx.branch_i32(2, Cmp::Gt, ha, 0x5f30_0000) {
+        // inf or NaN
+        if ctx.branch_i32(3, Cmp::Ge, ha, 0x7ff0_0000) {
+            let w = a + b;
+            if ctx.branch(4, Cmp::Eq, (low_word(a) as i32) as f64, 0.0) {
+                let _ = a;
+            }
+            if ctx.branch(5, Cmp::Eq, ((hb ^ 0x7ff0_0000) | low_word(b) as i32) as f64, 0.0) {
+                let _ = b;
+            }
+            let _ = w;
+            return;
+        }
+        ha -= 0x2580_0000;
+        hb -= 0x2580_0000;
+        k += 600;
+        a = with_high_word(a, ha);
+        b = with_high_word(b, hb);
+    }
+    // b < 2^-500: scale up
+    if ctx.branch_i32(6, Cmp::Lt, hb, 0x20b0_0000) {
+        // subnormal b or zero
+        if ctx.branch_i32(7, Cmp::Lt, hb, 0x0010_0000) {
+            if ctx.branch(8, Cmp::Eq, (hb | low_word(b) as i32) as f64, 0.0) {
+                let _ = a;
+                return;
+            }
+            let t1 = f64::from_bits(0x7fd0_0000_0000_0000); // 2^1022
+            b *= t1;
+            a *= t1;
+            k -= 1022;
+        } else {
+            ha += 0x2580_0000;
+            hb += 0x2580_0000;
+            k -= 600;
+            a = with_high_word(a, ha);
+            b = with_high_word(b, hb);
+        }
+    }
+    // medium-size a and b
+    let w = a - b;
+    let w = if ctx.branch(9, Cmp::Gt, w, b) {
+        (a * a + b * b).sqrt()
+    } else {
+        let t = a + a;
+        let y1 = with_high_word(b, high_word(b));
+        (t * y1 + (b * b)).sqrt()
+    };
+    if ctx.branch_i32(10, Cmp::Ne, k, 0) {
+        let _ = scalbn(w, k);
+    } else {
+        let _ = w;
+    }
+}
+
+/// `e_scalb.c` — scalb(x, fn). 7 conditional sites.
+pub fn scalb(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let fne = input[1];
+
+    // x or fn is NaN
+    if ctx.branch(0, Cmp::Ne, x, x) || ctx.branch(1, Cmp::Ne, fne, fne) {
+        let _ = x * fne;
+        return;
+    }
+    // fn is +-inf
+    if ctx.branch(2, Cmp::Ge, fne.abs(), f64::INFINITY) {
+        if ctx.branch(3, Cmp::Gt, fne, 0.0) {
+            let _ = x * fne;
+        } else {
+            let _ = x / (-fne);
+        }
+        return;
+    }
+    // fn not an integer: NaN
+    if ctx.branch(4, Cmp::Ne, fne.floor(), fne) {
+        let _ = (fne - fne) / (fne - fne);
+        return;
+    }
+    // |fn| > 65000
+    if ctx.branch(5, Cmp::Gt, fne, 65000.0) {
+        let _ = scalbn(x, 65000);
+        return;
+    }
+    if ctx.branch(6, Cmp::Lt, -fne, -65000.0) {
+        // equivalent to fn > -65000 in the original's double negation
+        let _ = scalbn(x, fne as i32);
+        return;
+    }
+    let _ = scalbn(x, -65000);
+}
+
+/// Number of conditional sites of each port in this module.
+pub mod sites {
+    /// Sites in [`super::sqrt`].
+    pub const SQRT: usize = 14;
+    /// Sites in [`super::cbrt`].
+    pub const CBRT: usize = 3;
+    /// Sites in [`super::pow`].
+    pub const POW: usize = 30;
+    /// Sites in [`super::hypot`].
+    pub const HYPOT: usize = 11;
+    /// Sites in [`super::scalb`].
+    pub const SCALB: usize = 7;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverme_runtime::{BranchId, ExecCtx};
+
+    fn run1(f: fn(&[f64], &mut ExecCtx), x: f64) -> ExecCtx {
+        let mut ctx = ExecCtx::observe();
+        f(&[x], &mut ctx);
+        ctx
+    }
+
+    fn run2(f: fn(&[f64], &mut ExecCtx), x: f64, y: f64) -> ExecCtx {
+        let mut ctx = ExecCtx::observe();
+        f(&[x, y], &mut ctx);
+        ctx
+    }
+
+    const INPUTS: &[f64] = &[
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        0.5,
+        -0.5,
+        2.0,
+        -2.0,
+        3.7,
+        1e300,
+        -1e300,
+        1e-320,
+        -1e-320,
+        65001.0,
+        -65001.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NAN,
+    ];
+
+    #[test]
+    fn unary_site_ids_stay_within_declared_ranges() {
+        for &(f, declared) in &[(sqrt as fn(&[f64], &mut ExecCtx), sites::SQRT), (cbrt, sites::CBRT)] {
+            for &x in INPUTS {
+                let ctx = run1(f, x);
+                for e in ctx.trace() {
+                    assert!((e.site as usize) < declared, "site {} on {}", e.site, x);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_site_ids_stay_within_declared_ranges() {
+        let cases: &[(fn(&[f64], &mut ExecCtx), usize)] =
+            &[(pow, sites::POW), (hypot, sites::HYPOT), (scalb, sites::SCALB)];
+        for &(f, declared) in cases {
+            for &x in INPUTS {
+                for &y in INPUTS {
+                    let ctx = run2(f, x, y);
+                    for e in ctx.trace() {
+                        assert!(
+                            (e.site as usize) < declared,
+                            "site {} on ({}, {})",
+                            e.site,
+                            x,
+                            y
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_special_cases() {
+        assert!(run1(sqrt, -1.0).covered().contains(BranchId::true_of(3)));
+        assert!(run1(sqrt, 0.0).covered().contains(BranchId::true_of(2)));
+        assert!(run1(sqrt, f64::NAN).covered().contains(BranchId::true_of(0)));
+        assert!(run1(sqrt, 4.0).covered().contains(BranchId::false_of(0)));
+    }
+
+    #[test]
+    fn pow_special_cases() {
+        assert!(run2(pow, 2.0, 0.0).covered().contains(BranchId::true_of(0)));
+        assert!(run2(pow, 2.0, 1.0).covered().contains(BranchId::true_of(18)));
+        assert!(run2(pow, 2.0, 2.0).covered().contains(BranchId::true_of(19)));
+        assert!(run2(pow, 4.0, 0.5).covered().contains(BranchId::true_of(20)));
+        assert!(run2(pow, -1.5, 0.5).covered().contains(BranchId::true_of(28)));
+    }
+
+    #[test]
+    fn hypot_and_scalb_paths() {
+        assert!(run2(hypot, 1.0, 1e300).covered().contains(BranchId::true_of(0)));
+        assert!(run2(hypot, 3.0, 4.0).covered().contains(BranchId::false_of(1)));
+        assert!(run2(scalb, 1.5, 3.5).covered().contains(BranchId::true_of(4)));
+        assert!(run2(scalb, 1.5, f64::INFINITY).covered().contains(BranchId::true_of(2)));
+    }
+}

@@ -1,0 +1,735 @@
+//! Rounding, decomposition and remainder functions: `ceil`, `floor`,
+//! `rint`, `modf`, `ilogb`, `logb`, `nextafter`, `remainder`, `fmod`.
+//!
+//! Ports of `s_ceil.c`, `s_floor.c`, `s_rint.c`, `s_modf.c`, `s_ilogb.c`,
+//! `s_logb.c`, `s_nextafter.c`, `e_remainder.c` and `e_fmod.c`.
+
+use coverme_runtime::{Cmp, ExecCtx};
+
+use crate::bits::{from_words, high_word, low_word};
+
+const HUGE: f64 = 1.0e300;
+
+/// `s_ceil.c` — ceil(x). 13 conditional sites.
+pub fn ceil(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let mut i0 = high_word(x);
+    let mut i1 = low_word(x);
+    let j0 = ((i0 >> 20) & 0x7ff) - 0x3ff;
+
+    if ctx.branch_i32(0, Cmp::Lt, j0, 20) {
+        // raise inexact if x != 0
+        if ctx.branch_i32(1, Cmp::Lt, j0, 0) {
+            if ctx.branch(2, Cmp::Gt, HUGE + x, 0.0) {
+                if ctx.branch_i32(3, Cmp::Lt, i0, 0) {
+                    i0 = 0x8000_0000u32 as i32;
+                    i1 = 0;
+                } else if ctx.branch(4, Cmp::Ne, (i0 | i1 as i32) as f64, 0.0) {
+                    i0 = 0x3ff0_0000;
+                    i1 = 0;
+                }
+            }
+        } else {
+            let i = 0x000f_ffff >> j0;
+            // x is integral
+            if ctx.branch(5, Cmp::Eq, ((i0 & i) | i1 as i32) as f64, 0.0) {
+                let _ = x;
+                return;
+            }
+            if ctx.branch(6, Cmp::Gt, HUGE + x, 0.0) {
+                if ctx.branch_i32(7, Cmp::Gt, i0, 0) {
+                    i0 += 0x0010_0000 >> j0;
+                }
+                i0 &= !i;
+                i1 = 0;
+            }
+        }
+    } else if ctx.branch_i32(8, Cmp::Gt, j0, 51) {
+        // inf or NaN or already integral
+        if ctx.branch_i32(9, Cmp::Eq, j0, 0x400) {
+            let _ = x + x;
+            return;
+        }
+        let _ = x;
+        return;
+    } else {
+        let i = 0xffff_ffffu32 >> (j0 - 20);
+        // x is integral
+        if ctx.branch(10, Cmp::Eq, (i1 & i) as f64, 0.0) {
+            let _ = x;
+            return;
+        }
+        if ctx.branch(11, Cmp::Gt, HUGE + x, 0.0) {
+            if ctx.branch_i32(12, Cmp::Gt, i0, 0) {
+                if j0 == 20 {
+                    i0 += 1;
+                } else {
+                    let j = i1.wrapping_add(1u32 << (52 - j0));
+                    if j < i1 {
+                        i0 += 1;
+                    }
+                    i1 = j;
+                }
+            }
+            i1 &= !i;
+        }
+    }
+    let _ = from_words(i0, i1);
+}
+
+/// `s_floor.c` — floor(x). 13 conditional sites.
+pub fn floor(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let mut i0 = high_word(x);
+    let mut i1 = low_word(x);
+    let j0 = ((i0 >> 20) & 0x7ff) - 0x3ff;
+
+    if ctx.branch_i32(0, Cmp::Lt, j0, 20) {
+        if ctx.branch_i32(1, Cmp::Lt, j0, 0) {
+            if ctx.branch(2, Cmp::Gt, HUGE + x, 0.0) {
+                if ctx.branch_i32(3, Cmp::Ge, i0, 0) {
+                    i0 = 0;
+                    i1 = 0;
+                } else if ctx.branch(4, Cmp::Ne, ((i0 & 0x7fff_ffff) | i1 as i32) as f64, 0.0) {
+                    i0 = 0xbff0_0000u32 as i32;
+                    i1 = 0;
+                }
+            }
+        } else {
+            let i = 0x000f_ffff >> j0;
+            if ctx.branch(5, Cmp::Eq, ((i0 & i) | i1 as i32) as f64, 0.0) {
+                let _ = x;
+                return;
+            }
+            if ctx.branch(6, Cmp::Gt, HUGE + x, 0.0) {
+                if ctx.branch_i32(7, Cmp::Lt, i0, 0) {
+                    i0 += 0x0010_0000 >> j0;
+                }
+                i0 &= !i;
+                i1 = 0;
+            }
+        }
+    } else if ctx.branch_i32(8, Cmp::Gt, j0, 51) {
+        if ctx.branch_i32(9, Cmp::Eq, j0, 0x400) {
+            let _ = x + x;
+            return;
+        }
+        let _ = x;
+        return;
+    } else {
+        let i = 0xffff_ffffu32 >> (j0 - 20);
+        if ctx.branch(10, Cmp::Eq, (i1 & i) as f64, 0.0) {
+            let _ = x;
+            return;
+        }
+        if ctx.branch(11, Cmp::Gt, HUGE + x, 0.0) {
+            if ctx.branch_i32(12, Cmp::Lt, i0, 0) {
+                if j0 == 20 {
+                    i0 += 1;
+                } else {
+                    let j = i1.wrapping_add(1u32 << (52 - j0));
+                    if j < i1 {
+                        i0 += 1;
+                    }
+                    i1 = j;
+                }
+            }
+            i1 &= !i;
+        }
+    }
+    let _ = from_words(i0, i1);
+}
+
+/// `s_rint.c` — rint(x). 10 conditional sites.
+pub fn rint(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let i0 = high_word(x);
+    let i1 = low_word(x);
+    let sx = ((i0 >> 31) & 1) as usize;
+    let j0 = ((i0 >> 20) & 0x7ff) - 0x3ff;
+    let two52 = [4.503_599_627_370_496e15, -4.503_599_627_370_496e15];
+
+    if ctx.branch_i32(0, Cmp::Lt, j0, 20) {
+        if ctx.branch_i32(1, Cmp::Lt, j0, 0) {
+            // |x| < 1
+            if ctx.branch(2, Cmp::Eq, (((i0 & 0x7fff_ffff) as u32) | i1) as f64, 0.0) {
+                let _ = x;
+                return;
+            }
+            let w = two52[sx] + x;
+            let t = w - two52[sx];
+            let hi_t = high_word(t);
+            let _ = from_words((hi_t & 0x7fff_ffff) | ((sx as i32) << 31), low_word(t));
+            // nonzero fraction below 0.5 collapses to +-0
+            let _ = ctx.branch_i32(3, Cmp::Ge, j0, -1);
+            return;
+        }
+        let i = 0x000f_ffff >> j0;
+        // x is integral
+        if ctx.branch(4, Cmp::Eq, (((i0 & i) as u32) | i1) as f64, 0.0) {
+            let _ = x;
+            return;
+        }
+        // fraction is exactly one half?
+        let masked = i0 & i;
+        if ctx.branch_i32(5, Cmp::Eq, masked, 0x0008_0000 >> j0) {
+            if ctx.branch(6, Cmp::Eq, i1 as f64, 0.0) {
+                let w = two52[sx] + x;
+                let _ = w - two52[sx];
+                return;
+            }
+        }
+        let w = two52[sx] + x;
+        let _ = w - two52[sx];
+        return;
+    }
+    if ctx.branch_i32(7, Cmp::Gt, j0, 51) {
+        // inf or NaN
+        if ctx.branch_i32(8, Cmp::Eq, j0, 0x400) {
+            let _ = x + x;
+            return;
+        }
+        let _ = x;
+        return;
+    }
+    let i = 0xffff_ffffu32 >> (j0 - 20);
+    if ctx.branch(9, Cmp::Eq, (i1 & i) as f64, 0.0) {
+        let _ = x;
+        return;
+    }
+    let w = two52[sx] + x;
+    let _ = w - two52[sx];
+}
+
+/// `s_modf.c` — modf(x, &iptr). 5 conditional sites. The `double*`
+/// parameter is an output, so the testable input is just `x`.
+pub fn modf(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let i0 = high_word(x);
+    let i1 = low_word(x);
+    let j0 = ((i0 >> 20) & 0x7ff) - 0x3ff;
+
+    // no fraction part for |x| >= 2^52; NaN/inf handled by the same path
+    if ctx.branch_i32(0, Cmp::Gt, j0, 51) {
+        let _ = x * 1.0;
+        return;
+    }
+    // no integer part for |x| < 1
+    if ctx.branch_i32(1, Cmp::Lt, j0, 0) {
+        let _ = x;
+        return;
+    }
+    if ctx.branch_i32(2, Cmp::Lt, j0, 20) {
+        let i = 0x000f_ffff >> j0;
+        // x is integral
+        if ctx.branch(3, Cmp::Eq, (((i0 & i) as u32) | i1) as f64, 0.0) {
+            let _ = x;
+            return;
+        }
+        let _ = from_words(i0 & !i, 0);
+        return;
+    }
+    let i = 0xffff_ffffu32 >> (j0 - 20);
+    if ctx.branch(4, Cmp::Eq, (i1 & i) as f64, 0.0) {
+        let _ = x;
+        return;
+    }
+    let _ = from_words(i0, i1 & !i);
+}
+
+/// `s_ilogb.c` — ilogb(x). 6 conditional sites.
+pub fn ilogb(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x) & 0x7fff_ffff;
+    let lx = low_word(x);
+
+    if ctx.branch_i32(0, Cmp::Lt, hx, 0x0010_0000) {
+        // x == 0: return 0x80000001
+        if ctx.branch(1, Cmp::Eq, ((hx as u32) | lx) as f64, 0.0) {
+            let _ = i32::MIN + 1;
+            return;
+        }
+        // subnormal
+        let mut ix = -1043i32;
+        if ctx.branch_i32(2, Cmp::Eq, hx, 0) {
+            let mut i = lx;
+            while ctx.branch(3, Cmp::Gt, i as f64, 0.0) {
+                ix -= 1;
+                i <<= 1;
+            }
+        } else {
+            let mut i = hx << 11;
+            ix = -1022;
+            while ctx.branch_i32(4, Cmp::Gt, i, 0) {
+                ix -= 1;
+                i <<= 1;
+            }
+        }
+        let _ = ix;
+        return;
+    }
+    if ctx.branch_i32(5, Cmp::Lt, hx, 0x7ff0_0000) {
+        let _ = (hx >> 20) - 1023;
+        return;
+    }
+    let _ = i32::MAX;
+}
+
+/// `s_logb.c` — logb(x). 3 conditional sites.
+pub fn logb(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let ix = high_word(x) & 0x7fff_ffff;
+    let lx = low_word(x);
+
+    // x == 0: -inf
+    if ctx.branch(0, Cmp::Eq, ((ix as u32) | lx) as f64, 0.0) {
+        let _ = -1.0 / x.abs();
+        return;
+    }
+    // inf or NaN
+    if ctx.branch_i32(1, Cmp::Ge, ix, 0x7ff0_0000) {
+        let _ = x * x;
+        return;
+    }
+    // subnormal
+    if ctx.branch_i32(2, Cmp::Lt, ix >> 20, 1) {
+        let _ = -1022.0;
+    } else {
+        let _ = f64::from((ix >> 20) - 1023);
+    }
+}
+
+/// `s_nextafter.c` — nextafter(x, y). 16 conditional sites.
+pub fn nextafter(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let y = input[1];
+    let hx = high_word(x);
+    let lx = low_word(x);
+    let hy = high_word(y);
+    let ly = low_word(y);
+    let ix = hx & 0x7fff_ffff;
+    let iy = hy & 0x7fff_ffff;
+
+    // x is NaN
+    if ctx.branch(
+        0,
+        Cmp::Gt,
+        ix as f64 + if lx != 0 { 0.5 } else { 0.0 },
+        0x7ff0_0000 as f64,
+    ) {
+        let _ = x + y;
+        return;
+    }
+    // y is NaN
+    if ctx.branch(
+        1,
+        Cmp::Gt,
+        iy as f64 + if ly != 0 { 0.5 } else { 0.0 },
+        0x7ff0_0000 as f64,
+    ) {
+        let _ = x + y;
+        return;
+    }
+    // x == y
+    if ctx.branch(2, Cmp::Eq, x, y) {
+        let _ = x;
+        return;
+    }
+    // x == 0: return minimal subnormal with y's sign
+    if ctx.branch(3, Cmp::Eq, ((ix as u32) | lx) as f64, 0.0) {
+        let tiny = from_words(hy & 0x8000_0000u32 as i32, 1);
+        let _ = tiny * tiny; // raise underflow
+        return;
+    }
+    let (mut hx2, mut lx2) = (hx, lx);
+    let step_up;
+    if ctx.branch_i32(4, Cmp::Ge, hx, 0) {
+        // x > 0
+        if ctx.branch_i32(5, Cmp::Gt, hx, hy)
+            || (ctx.branch_i32(6, Cmp::Eq, hx, hy) && ctx.branch(7, Cmp::Gt, lx as f64, ly as f64))
+        {
+            step_up = false; // x > y: step down
+        } else {
+            step_up = true;
+        }
+    } else if ctx.branch_i32(8, Cmp::Ge, hy, 0)
+        || ctx.branch_i32(9, Cmp::Gt, hx, hy)
+        || (ctx.branch_i32(10, Cmp::Eq, hx, hy) && ctx.branch(11, Cmp::Gt, lx as f64, ly as f64))
+    {
+        // x < 0 and x < y in magnitude-signed order: step toward zero
+        step_up = false;
+    } else {
+        step_up = true;
+    }
+    if step_up {
+        lx2 = lx2.wrapping_add(1);
+        if ctx.branch(12, Cmp::Eq, lx2 as f64, 0.0) {
+            hx2 += 1;
+        }
+    } else {
+        if ctx.branch(13, Cmp::Eq, lx2 as f64, 0.0) {
+            hx2 -= 1;
+        }
+        lx2 = lx2.wrapping_sub(1);
+    }
+    let hy2 = hx2 & 0x7ff0_0000;
+    // overflow
+    if ctx.branch_i32(14, Cmp::Ge, hy2, 0x7ff0_0000) {
+        let _ = x + x;
+        return;
+    }
+    // underflow into subnormal range
+    if ctx.branch_i32(15, Cmp::Lt, hy2, 0x0010_0000) {
+        let tiny = from_words(hx2, lx2);
+        let _ = tiny * tiny;
+        return;
+    }
+    let _ = from_words(hx2, lx2);
+}
+
+/// `e_remainder.c` — remainder(x, p). 11 conditional sites.
+pub fn remainder(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let p = input[1];
+    let hx = high_word(x);
+    let _lx = low_word(x);
+    let hp = high_word(p);
+    let lp = low_word(p);
+    let sx = hx & 0x8000_0000u32 as i32;
+    let hpa = hp & 0x7fff_ffff;
+    let hxa = hx & 0x7fff_ffff;
+
+    // p == 0: NaN
+    if ctx.branch(0, Cmp::Eq, ((hpa as u32) | lp) as f64, 0.0) {
+        let _ = (x * p) / (x * p);
+        return;
+    }
+    // x not finite
+    if ctx.branch_i32(1, Cmp::Ge, hxa, 0x7ff0_0000) {
+        let _ = (x * p) / (x * p);
+        return;
+    }
+    // p is NaN
+    if ctx.branch_i32(2, Cmp::Ge, hpa, 0x7ff0_0000) {
+        if ctx.branch(3, Cmp::Ne, (((hpa - 0x7ff0_0000) as u32) | lp) as f64, 0.0) {
+            let _ = (x * p) / (x * p);
+            return;
+        }
+        // p is inf: remainder is x
+        let _ = x;
+        return;
+    }
+    let mut xa = x.abs();
+    let pa = p.abs();
+    // |p| <= 2^-1022 * 2: use fmod twice
+    if ctx.branch_i32(4, Cmp::Le, hpa, 0x0020_0000) {
+        if ctx.branch(5, Cmp::Gt, xa + xa, pa) {
+            xa -= pa;
+            if ctx.branch(6, Cmp::Ge, xa + xa, pa) {
+                xa -= pa;
+            }
+        }
+    } else {
+        let p_half = 0.5 * pa;
+        xa %= pa;
+        if ctx.branch(7, Cmp::Gt, xa, p_half) {
+            xa -= pa;
+            if ctx.branch(8, Cmp::Ge, xa, p_half) {
+                xa -= pa;
+            }
+        }
+    }
+    // clear the sign of -0
+    if ctx.branch(9, Cmp::Eq, (high_word(xa) & 0x7fff_ffff) as f64 + low_word(xa) as f64, 0.0) {
+        let _ = 0.0;
+        return;
+    }
+    let _ = ctx.branch_i32(10, Cmp::Ne, sx, 0);
+}
+
+/// `e_fmod.c` — fmod(x, y). 22 conditional sites, including the subnormal
+/// normalization loops of lines 57–72 that the paper's Sect. D singles out
+/// as unreachable for CoverMe's default sampling (subnormal inputs).
+pub fn fmod(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let y = input[1];
+    let mut hx = high_word(x);
+    let lx = low_word(x) as i32;
+    let mut hy = high_word(y);
+    let ly = low_word(y) as i32;
+    let sx = hx & 0x8000_0000u32 as i32;
+    hx ^= sx;
+    hy &= 0x7fff_ffff;
+
+    // purge off exception values: y = 0, x inf/NaN, y NaN
+    if ctx.branch(0, Cmp::Eq, (hy | ly) as f64, 0.0)
+        || ctx.branch_i32(1, Cmp::Ge, hx, 0x7ff0_0000)
+        || ctx.branch(
+            2,
+            Cmp::Gt,
+            hy as f64 + if ly != 0 { 0.5 } else { 0.0 },
+            0x7ff0_0000 as f64,
+        )
+    {
+        let _ = (x * y) / (x * y);
+        return;
+    }
+    // |x| < |y|: return x
+    if ctx.branch_i32(3, Cmp::Le, hx, hy) {
+        if ctx.branch_i32(4, Cmp::Lt, hx, hy)
+            || ctx.branch(5, Cmp::Lt, (lx as u32) as f64, (ly as u32) as f64)
+        {
+            let _ = x;
+            return;
+        }
+        // |x| == |y|: return x*0
+        if ctx.branch(6, Cmp::Eq, (lx as u32) as f64, (ly as u32) as f64) {
+            let _ = 0.0 * x;
+            return;
+        }
+    }
+
+    // determine ix = ilogb(x)
+    let mut ix;
+    if ctx.branch_i32(7, Cmp::Lt, hx, 0x0010_0000) {
+        // subnormal x
+        if ctx.branch_i32(8, Cmp::Eq, hx, 0) {
+            ix = -1043;
+            let mut i = lx;
+            while ctx.branch_i32(9, Cmp::Gt, i, 0) {
+                ix -= 1;
+                i <<= 1;
+            }
+        } else {
+            ix = -1022;
+            let mut i = hx << 11;
+            while ctx.branch_i32(10, Cmp::Gt, i, 0) {
+                ix -= 1;
+                i <<= 1;
+            }
+        }
+    } else {
+        ix = (hx >> 20) - 1023;
+    }
+
+    // determine iy = ilogb(y)
+    let mut iy;
+    if ctx.branch_i32(11, Cmp::Lt, hy, 0x0010_0000) {
+        // subnormal y
+        if ctx.branch_i32(12, Cmp::Eq, hy, 0) {
+            iy = -1043;
+            let mut i = ly;
+            while ctx.branch_i32(13, Cmp::Gt, i, 0) {
+                iy -= 1;
+                i <<= 1;
+            }
+        } else {
+            iy = -1022;
+            let mut i = hy << 11;
+            while ctx.branch_i32(14, Cmp::Gt, i, 0) {
+                iy -= 1;
+                i <<= 1;
+            }
+        }
+    } else {
+        iy = (hy >> 20) - 1023;
+    }
+
+    // set up {hx, lx}, {hy, ly} and align y to x
+    let mut hx = if ctx.branch_i32(15, Cmp::Ge, ix, -1022) {
+        0x0010_0000 | (0x000f_ffff & hx)
+    } else {
+        // subnormal x, shift x to normal
+        let n = -1022 - ix;
+        if ctx.branch_i32(16, Cmp::Le, n, 31) {
+            (hx << n) | ((lx as u32) >> (32 - n)) as i32
+        } else {
+            lx << (n - 32)
+        }
+    };
+    let hy_norm = if ctx.branch_i32(17, Cmp::Ge, iy, -1022) {
+        0x0010_0000 | (0x000f_ffff & hy)
+    } else {
+        let n = -1022 - iy;
+        if ctx.branch_i32(18, Cmp::Le, n, 31) {
+            (hy << n) | ((ly as u32) >> (32 - n)) as i32
+        } else {
+            ly << (n - 32)
+        }
+    };
+
+    // fixed-point fmod by repeated subtraction over the exponent gap
+    let mut n = ix - iy;
+    while ctx.branch_i32(19, Cmp::Ge, n, 1) {
+        n -= 1;
+        let z = hx - hy_norm;
+        if ctx.branch_i32(20, Cmp::Lt, z, 0) {
+            hx = hx.wrapping_add(hx);
+        } else {
+            if z == 0 {
+                let _ = 0.0 * x;
+                return;
+            }
+            hx = z.wrapping_add(z);
+        }
+    }
+    let z = hx - hy_norm;
+    if ctx.branch_i32(21, Cmp::Ge, z, 0) {
+        hx = z;
+    }
+    // convert back to floating value and restore the sign
+    let _ = if hx == 0 {
+        0.0 * x
+    } else {
+        crate::bits::scalbn(f64::from(hx), iy - 20) * if sx != 0 { -1.0 } else { 1.0 }
+    };
+}
+
+/// Number of conditional sites of each port in this module.
+pub mod sites {
+    /// Sites in [`super::ceil`].
+    pub const CEIL: usize = 13;
+    /// Sites in [`super::floor`].
+    pub const FLOOR: usize = 13;
+    /// Sites in [`super::rint`].
+    pub const RINT: usize = 10;
+    /// Sites in [`super::modf`].
+    pub const MODF: usize = 5;
+    /// Sites in [`super::ilogb`].
+    pub const ILOGB: usize = 6;
+    /// Sites in [`super::logb`].
+    pub const LOGB: usize = 3;
+    /// Sites in [`super::nextafter`].
+    pub const NEXTAFTER: usize = 16;
+    /// Sites in [`super::remainder`].
+    pub const REMAINDER: usize = 11;
+    /// Sites in [`super::fmod`].
+    pub const FMOD: usize = 22;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverme_runtime::{BranchId, ExecCtx};
+
+    fn run1(f: fn(&[f64], &mut ExecCtx), x: f64) -> ExecCtx {
+        let mut ctx = ExecCtx::observe();
+        f(&[x], &mut ctx);
+        ctx
+    }
+
+    fn run2(f: fn(&[f64], &mut ExecCtx), x: f64, y: f64) -> ExecCtx {
+        let mut ctx = ExecCtx::observe();
+        f(&[x, y], &mut ctx);
+        ctx
+    }
+
+    const INPUTS: &[f64] = &[
+        0.0,
+        -0.0,
+        0.25,
+        -0.25,
+        0.5,
+        1.0,
+        -1.0,
+        1.5,
+        -1.5,
+        2.5,
+        7.0,
+        1e10,
+        4.6e15,
+        1e300,
+        -1e300,
+        1e-310,
+        -1e-310,
+        5e-324,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NAN,
+    ];
+
+    #[test]
+    fn unary_site_ids_stay_within_declared_ranges() {
+        let cases: &[(fn(&[f64], &mut ExecCtx), usize)] = &[
+            (ceil, sites::CEIL),
+            (floor, sites::FLOOR),
+            (rint, sites::RINT),
+            (modf, sites::MODF),
+            (ilogb, sites::ILOGB),
+            (logb, sites::LOGB),
+        ];
+        for &(f, declared) in cases {
+            for &x in INPUTS {
+                let ctx = run1(f, x);
+                for e in ctx.trace() {
+                    assert!((e.site as usize) < declared, "site {} on {}", e.site, x);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_site_ids_stay_within_declared_ranges() {
+        let cases: &[(fn(&[f64], &mut ExecCtx), usize)] = &[
+            (nextafter, sites::NEXTAFTER),
+            (remainder, sites::REMAINDER),
+            (fmod, sites::FMOD),
+        ];
+        for &(f, declared) in cases {
+            for &x in INPUTS {
+                for &y in INPUTS {
+                    let ctx = run2(f, x, y);
+                    for e in ctx.trace() {
+                        assert!(
+                            (e.site as usize) < declared,
+                            "site {} on ({}, {})",
+                            e.site,
+                            x,
+                            y
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn floor_and_ceil_cover_small_and_large_regimes() {
+        assert!(run1(floor, 0.3).covered().contains(BranchId::true_of(1)));
+        assert!(run1(floor, 3.7).covered().contains(BranchId::false_of(1)));
+        assert!(run1(floor, 1e300).covered().contains(BranchId::true_of(8)));
+        assert!(run1(ceil, f64::NAN).covered().contains(BranchId::true_of(9)));
+    }
+
+    #[test]
+    fn fmod_subnormal_branches_need_subnormal_inputs() {
+        // Normal inputs never reach the subnormal-x ladder (site 8).
+        let ctx = run2(fmod, 10.0, 3.0);
+        assert!(ctx.covered().contains(BranchId::false_of(7)));
+        assert!(!ctx.covered().contains(BranchId::true_of(8)));
+        // A subnormal x reaches it.
+        let ctx = run2(fmod, 3e-320, 2.5e-321);
+        assert!(ctx.covered().contains(BranchId::true_of(7)));
+    }
+
+    #[test]
+    fn ilogb_zero_and_subnormal() {
+        assert!(run1(ilogb, 0.0).covered().contains(BranchId::true_of(1)));
+        assert!(run1(ilogb, 3e-320).covered().contains(BranchId::false_of(1)));
+        assert!(run1(ilogb, 8.0).covered().contains(BranchId::true_of(5)));
+        assert!(run1(ilogb, f64::INFINITY).covered().contains(BranchId::false_of(5)));
+    }
+
+    #[test]
+    fn nextafter_equal_and_zero_cases() {
+        assert!(run2(nextafter, 1.0, 1.0).covered().contains(BranchId::true_of(2)));
+        assert!(run2(nextafter, 0.0, 1.0).covered().contains(BranchId::true_of(3)));
+        assert!(run2(nextafter, 1.0, 2.0).covered().contains(BranchId::false_of(3)));
+    }
+
+    #[test]
+    fn remainder_zero_divisor_is_domain_error() {
+        assert!(run2(remainder, 1.0, 0.0).covered().contains(BranchId::true_of(0)));
+        assert!(run2(remainder, 7.5, 2.0).covered().contains(BranchId::false_of(0)));
+    }
+}

@@ -1,0 +1,608 @@
+//! Trigonometric functions and argument reduction: `sin`, `cos`, `tan`,
+//! `__kernel_cos`, `atan`, `asin`, `acos`, `atan2`, `__ieee754_rem_pio2`.
+//!
+//! Ports of `s_sin.c`, `s_cos.c`, `s_tan.c`, `k_cos.c`, `s_atan.c`,
+//! `e_asin.c`, `e_acos.c`, `e_atan2.c` and `e_rem_pio2.c`.
+
+use coverme_runtime::{Cmp, ExecCtx};
+
+use crate::bits::{high_word, low_word};
+
+const HUGE: f64 = 1.0e300;
+const PIO2_HI: f64 = 1.570_796_326_794_896_558e+00;
+const PIO2_LO: f64 = 6.123_233_995_736_766_036e-17;
+const PI: f64 = std::f64::consts::PI;
+const PI_LO: f64 = 1.224_646_799_147_353_207e-16;
+
+/// `s_sin.c` — sin(x). 4 conditional sites.
+pub fn sin(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let ix = high_word(x) & 0x7fff_ffff;
+
+    // |x| ~< pi/4
+    if ctx.branch_i32(0, Cmp::Le, ix, 0x3fe9_21fb) {
+        let _ = x - x * x * x / 6.0;
+        return;
+    }
+    // sin(Inf or NaN) is NaN
+    if ctx.branch_i32(1, Cmp::Ge, ix, 0x7ff0_0000) {
+        let _ = x - x;
+        return;
+    }
+    // argument reduction needed
+    let n = reduce_quadrant(x);
+    if ctx.branch_i32(2, Cmp::Le, n % 2, 0) {
+        let _ = x.sin();
+    } else if ctx.branch_i32(3, Cmp::Eq, n % 4, 1) {
+        let _ = x.cos();
+    } else {
+        let _ = -x.cos();
+    }
+}
+
+/// `s_cos.c` — cos(x). 4 conditional sites.
+pub fn cos(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let ix = high_word(x) & 0x7fff_ffff;
+
+    if ctx.branch_i32(0, Cmp::Le, ix, 0x3fe9_21fb) {
+        let _ = 1.0 - 0.5 * x * x;
+        return;
+    }
+    if ctx.branch_i32(1, Cmp::Ge, ix, 0x7ff0_0000) {
+        let _ = x - x;
+        return;
+    }
+    let n = reduce_quadrant(x);
+    if ctx.branch_i32(2, Cmp::Eq, n % 4, 0) {
+        let _ = x.cos();
+    } else if ctx.branch_i32(3, Cmp::Le, n % 4, 2) {
+        let _ = -x.cos();
+    } else {
+        let _ = x.sin();
+    }
+}
+
+/// `s_tan.c` — tan(x). 2 conditional sites.
+pub fn tan(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let ix = high_word(x) & 0x7fff_ffff;
+
+    if ctx.branch_i32(0, Cmp::Le, ix, 0x3fe9_21fb) {
+        let _ = x + x * x * x / 3.0;
+        return;
+    }
+    if ctx.branch_i32(1, Cmp::Ge, ix, 0x7ff0_0000) {
+        let _ = x - x;
+        return;
+    }
+    let _ = x.tan();
+}
+
+/// `k_cos.c` — the cosine kernel `__kernel_cos(x, y)`. 4 conditional sites.
+///
+/// The `if (((int) x) == 0)` branch nested inside `|x| < 2^-27` is the
+/// paper's Sect. D example of a genuinely unreachable branch (the outer
+/// guard forces the cast to 0), kept verbatim here.
+pub fn kernel_cos(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let y = input[1];
+    let ix = high_word(x) & 0x7fff_ffff;
+
+    // |x| < 2**-27
+    if ctx.branch_i32(0, Cmp::Lt, ix, 0x3e40_0000) {
+        // generate inexact; always true given the outer guard
+        if ctx.branch_i32(1, Cmp::Eq, x as i32, 0) {
+            let _ = 1.0;
+            return;
+        }
+    }
+    let z = x * x;
+    let r = z * (0.04166666666666666 + z * (-0.001388888888887411 + z * 2.48015872894767294e-05));
+    // |x| < 0.3
+    if ctx.branch_i32(2, Cmp::Lt, ix, 0x3fd3_3333) {
+        let _ = 1.0 - (0.5 * z - (z * r - x * y));
+        return;
+    }
+    // |x| > 0.78125
+    let qx = if ctx.branch_i32(3, Cmp::Gt, ix, 0x3fe9_0000) {
+        0.28125
+    } else {
+        f64::from_bits(((ix as u64 - 0x0020_0000) << 32) | 0)
+    };
+    let hz = 0.5 * z - qx;
+    let a = 1.0 - qx;
+    let _ = a - (hz - (z * r - x * y));
+}
+
+/// `s_atan.c` — atan(x). 13 conditional sites.
+pub fn atan(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x);
+    let ix = hx & 0x7fff_ffff;
+
+    // |x| >= 2^66
+    if ctx.branch_i32(0, Cmp::Ge, ix, 0x4410_0000) {
+        if ctx.branch_i32(1, Cmp::Gt, ix, 0x7ff0_0000) {
+            let _ = x + x; // NaN
+            return;
+        }
+        if ctx.branch_i32(2, Cmp::Gt, hx, 0) {
+            let _ = PIO2_HI + PIO2_LO;
+        } else {
+            let _ = -PIO2_HI - PIO2_LO;
+        }
+        return;
+    }
+
+    let id: i32;
+    let mut xa = x.abs();
+    // |x| < 0.4375
+    if ctx.branch_i32(3, Cmp::Lt, ix, 0x3fdc_0000) {
+        // |x| < 2^-29
+        if ctx.branch_i32(4, Cmp::Lt, ix, 0x3e20_0000) {
+            if ctx.branch(5, Cmp::Gt, HUGE + x, 1.0) {
+                let _ = x;
+                return;
+            }
+        }
+        id = -1;
+    } else if ctx.branch_i32(6, Cmp::Lt, ix, 0x3ff3_0000) {
+        // |x| < 1.1875: further split at 11/16
+        if ctx.branch_i32(7, Cmp::Lt, ix, 0x3fe6_0000) {
+            id = 0;
+            xa = (2.0 * xa - 1.0) / (2.0 + xa);
+        } else {
+            id = 1;
+            xa = (xa - 1.0) / (xa + 1.0);
+        }
+    } else if ctx.branch_i32(8, Cmp::Lt, ix, 0x4003_8000) {
+        // |x| < 2.4375
+        id = 2;
+        xa = (xa - 1.5) / (1.0 + 1.5 * xa);
+    } else {
+        // 2.4375 <= |x| < 2^66
+        id = 3;
+        xa = -1.0 / xa;
+    }
+
+    let z = xa * xa;
+    let w = z * z;
+    let s1 = z * (0.333333333333329318 + w * (0.142857142725034663 + w * 0.0909088713343650656));
+    let s2 = w * (-0.199999999998764832 + w * -0.111111104054623557);
+    // id < 0: no table offset
+    if ctx.branch_i32(9, Cmp::Lt, id, 0) {
+        let _ = xa - xa * (s1 + s2);
+        return;
+    }
+    let table = [
+        4.63647609000806094e-01,
+        7.85398163397448279e-01,
+        9.82793723247329054e-01,
+        1.57079632679489656e+00,
+    ];
+    let z = table[id as usize] - ((xa * (s1 + s2) - PIO2_LO) - xa);
+    // sign selection ladder preserved from the C source
+    if ctx.branch_i32(10, Cmp::Lt, hx, 0) {
+        let _ = -z;
+    } else if ctx.branch_i32(11, Cmp::Eq, id, 3) {
+        let _ = z;
+    } else if ctx.branch_i32(12, Cmp::Ge, id, 0) {
+        let _ = z;
+    }
+}
+
+/// `e_asin.c` — asin(x). 7 conditional sites.
+pub fn asin(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x);
+    let ix = hx & 0x7fff_ffff;
+
+    // |x| >= 1
+    if ctx.branch_i32(0, Cmp::Ge, ix, 0x3ff0_0000) {
+        let lx = low_word(x);
+        // |x| == 1 exactly
+        if ctx.branch(
+            1,
+            Cmp::Eq,
+            ((ix - 0x3ff0_0000) | lx as i32) as f64,
+            0.0,
+        ) {
+            let _ = x * PIO2_HI + x * PIO2_LO;
+            return;
+        }
+        // |x| > 1: NaN
+        let _ = (x - x) / (x - x);
+        return;
+    }
+    // |x| < 0.5
+    if ctx.branch_i32(2, Cmp::Lt, ix, 0x3fe0_0000) {
+        // |x| < 2^-27
+        if ctx.branch_i32(3, Cmp::Lt, ix, 0x3e40_0000) {
+            if ctx.branch(4, Cmp::Gt, HUGE + x, 1.0) {
+                let _ = x;
+                return;
+            }
+        }
+        let t = x * x;
+        let p = t * (0.1666666666666666 + t * 0.075);
+        let _ = x + x * p;
+        return;
+    }
+    // 1 > |x| >= 0.5
+    let w = 1.0 - x.abs();
+    let t = w * 0.5;
+    let s = t.sqrt();
+    // |x| >= 0.975
+    if ctx.branch_i32(5, Cmp::Ge, ix, 0x3fef_3333) {
+        let _ = PIO2_HI - (2.0 * (s + s * t) - PIO2_LO);
+    } else {
+        let _ = PIO2_HI - (2.0 * (s + s * t));
+    }
+    let _ = ctx.branch_i32(6, Cmp::Gt, hx, 0); // final sign split
+}
+
+/// `e_acos.c` — acos(x). 6 conditional sites.
+pub fn acos(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x);
+    let ix = hx & 0x7fff_ffff;
+
+    // |x| >= 1
+    if ctx.branch_i32(0, Cmp::Ge, ix, 0x3ff0_0000) {
+        let lx = low_word(x);
+        if ctx.branch(
+            1,
+            Cmp::Eq,
+            ((ix - 0x3ff0_0000) | lx as i32) as f64,
+            0.0,
+        ) {
+            // |x| == 1
+            if ctx.branch_i32(2, Cmp::Gt, hx, 0) {
+                let _ = 0.0; // acos(1) = 0
+            } else {
+                let _ = PI + 2.0 * PIO2_LO; // acos(-1) = pi
+            }
+            return;
+        }
+        let _ = (x - x) / (x - x); // NaN
+        return;
+    }
+    // |x| < 0.5
+    if ctx.branch_i32(3, Cmp::Lt, ix, 0x3fe0_0000) {
+        // |x| <= 2^-57
+        if ctx.branch_i32(4, Cmp::Le, ix, 0x3c60_0000) {
+            let _ = PIO2_HI + PIO2_LO;
+            return;
+        }
+        let z = x * x;
+        let p = z * (0.1666666666666666 + z * 0.075);
+        let _ = PIO2_HI - (x - (PIO2_LO - x * p));
+        return;
+    }
+    // x < -0.5
+    if ctx.branch_i32(5, Cmp::Lt, hx, 0) {
+        let z = (1.0 + x) * 0.5;
+        let s = z.sqrt();
+        let _ = PI - 2.0 * (s + s * z * 0.16);
+        return;
+    }
+    // x > 0.5
+    let z = (1.0 - x) * 0.5;
+    let s = z.sqrt();
+    let _ = 2.0 * (s + s * z * 0.16);
+}
+
+/// `e_atan2.c` — atan2(y, x). 12 conditional sites.
+pub fn atan2(input: &[f64], ctx: &mut ExecCtx) {
+    let y = input[0];
+    let x = input[1];
+    let hx = high_word(x);
+    let lx = low_word(x);
+    let hy = high_word(y);
+    let ly = low_word(y);
+    let ix = hx & 0x7fff_ffff;
+    let iy = hy & 0x7fff_ffff;
+
+    // x is NaN
+    if ctx.branch(
+        0,
+        Cmp::Gt,
+        ix as f64 + if lx != 0 { 0.5 } else { 0.0 },
+        0x7ff0_0000 as f64,
+    ) {
+        let _ = x + y;
+        return;
+    }
+    // y is NaN
+    if ctx.branch(
+        1,
+        Cmp::Gt,
+        iy as f64 + if ly != 0 { 0.5 } else { 0.0 },
+        0x7ff0_0000 as f64,
+    ) {
+        let _ = x + y;
+        return;
+    }
+    let m = ((hy >> 31) & 1) | ((hx >> 30) & 2);
+
+    // x == 1.0: atan2(y, 1) = atan(y). The callee keeps its own Gcov site
+    // list in the paper's counts, so its branches are not re-reported here.
+    if ctx.branch(2, Cmp::Eq, (hx.wrapping_sub(0x3ff0_0000) | lx as i32) as f64, 0.0) {
+        let mut inner = ExecCtx::observe().without_trace();
+        atan(&[y], &mut inner);
+        return;
+    }
+
+    // y == 0
+    if ctx.branch(3, Cmp::Eq, (iy | ly as i32) as f64, 0.0) {
+        if ctx.branch_i32(4, Cmp::Le, m, 1) {
+            let _ = y; // atan(+-0, +anything) = +-0
+        } else {
+            let _ = PI; // atan(+-0, -anything) = +-pi
+        }
+        return;
+    }
+    // x == 0
+    if ctx.branch(5, Cmp::Eq, (ix | lx as i32) as f64, 0.0) {
+        let _ = if hy < 0 { -PIO2_HI } else { PIO2_HI };
+        return;
+    }
+    // x == INF
+    if ctx.branch_i32(6, Cmp::Eq, ix, 0x7ff0_0000) {
+        if ctx.branch_i32(7, Cmp::Eq, iy, 0x7ff0_0000) {
+            let _ = match m {
+                0 => PI / 4.0,
+                1 => -PI / 4.0,
+                2 => 3.0 * PI / 4.0,
+                _ => -3.0 * PI / 4.0,
+            };
+        } else {
+            let _ = match m {
+                0 => 0.0,
+                1 => -0.0,
+                2 => PI,
+                _ => -PI,
+            };
+        }
+        return;
+    }
+    // y is INF (x finite)
+    if ctx.branch_i32(8, Cmp::Eq, iy, 0x7ff0_0000) {
+        let _ = if hy < 0 { -PIO2_HI } else { PIO2_HI };
+        return;
+    }
+
+    // general case: compute y/x and dispatch on the quadrant
+    let k = (iy - ix) >> 20;
+    let z = if ctx.branch_i32(9, Cmp::Gt, k, 60) {
+        PIO2_HI + 0.5 * PI_LO
+    } else if ctx.branch_i32(10, Cmp::Lt, hx, 0) && ctx.branch_i32(11, Cmp::Lt, k, -60) {
+        0.0
+    } else {
+        (y / x).abs().atan()
+    };
+    let _ = match m {
+        0 => z,
+        1 => -z,
+        2 => PI - (z - PI_LO),
+        _ => (z - PI_LO) - PI,
+    };
+}
+
+/// `e_rem_pio2.c` — argument reduction `__ieee754_rem_pio2(x, &y)`.
+/// 15 conditional sites. The `double*` output parameter of the C original
+/// is an output only, so the testable input is just `x` (Sect. 5.3 of the
+/// paper handles such pointers the same way).
+pub fn rem_pio2(input: &[f64], ctx: &mut ExecCtx) {
+    let x = input[0];
+    let hx = high_word(x);
+    let ix = hx & 0x7fff_ffff;
+    const INVPIO2: f64 = 6.366_197_723_675_813_82e-01;
+    const PIO2_1: f64 = 1.570_796_326_734_125_61e+00;
+    const PIO2_1T: f64 = 6.077_100_506_506_192_60e-11;
+    const PIO2_2T: f64 = 2.022_266_248_795_950_73e-21;
+
+    // |x| ~<= pi/4: no reduction needed
+    if ctx.branch_i32(0, Cmp::Le, ix, 0x3fe9_21fb) {
+        let _ = x;
+        return;
+    }
+    // |x| < 3pi/4: special case with n = +-1
+    if ctx.branch_i32(1, Cmp::Lt, ix, 0x4002_d97c) {
+        if ctx.branch_i32(2, Cmp::Gt, hx, 0) {
+            let z = x - PIO2_1;
+            // 33+53 bit pi is good enough for this case
+            if ctx.branch_i32(3, Cmp::Ne, ix, 0x3ff9_21fb) {
+                let _ = z - PIO2_1T;
+            } else {
+                let _ = z - PIO2_1T - PIO2_2T;
+            }
+        } else {
+            let z = x + PIO2_1;
+            if ctx.branch_i32(4, Cmp::Ne, ix, 0x3ff9_21fb) {
+                let _ = z + PIO2_1T;
+            } else {
+                let _ = z + PIO2_1T + PIO2_2T;
+            }
+        }
+        return;
+    }
+    // |x| <= 2^19 * pi/2: medium-size argument
+    if ctx.branch_i32(5, Cmp::Le, ix, 0x4139_21fb) {
+        let t = x.abs();
+        let n = (t * INVPIO2 + 0.5) as i32;
+        let f64_n = f64::from(n);
+        let mut r = t - f64_n * PIO2_1;
+        let mut w = f64_n * PIO2_1T;
+        // 1st round good to 85 bit?
+        if ctx.branch_i32(6, Cmp::Ne, n, 32) && ctx.branch_i32(7, Cmp::Lt, (ix >> 20) - (high_word(r - w) >> 20 & 0x7ff), 16) {
+            let _ = r - w;
+        } else {
+            // 2nd iteration needed
+            let t2 = r;
+            w = f64_n * PIO2_1T;
+            r = t2 - w;
+            if ctx.branch_i32(8, Cmp::Gt, (ix >> 20) - (high_word(r) >> 20 & 0x7ff), 49) {
+                // 3rd iteration
+                let _ = r - f64_n * PIO2_2T;
+            } else {
+                let _ = r;
+            }
+        }
+        let _ = ctx.branch_i32(9, Cmp::Lt, hx, 0); // negate for negative x
+        return;
+    }
+    // x is inf or NaN
+    if ctx.branch_i32(10, Cmp::Ge, ix, 0x7ff0_0000) {
+        let _ = x - x;
+        return;
+    }
+    // huge argument: payne-hanek style reduction (simplified): split into
+    // exponent chunks and loop, preserving the branch ladder.
+    let e0 = (ix >> 20) - 1046;
+    let mut z = f64::from_bits((((ix - (e0 << 20)) as u64) << 32) | low_word(x) as u64);
+    let mut tx = [0.0f64; 3];
+    let mut i = 0usize;
+    while ctx.branch_i32(11, Cmp::Lt, i as i32, 2) {
+        tx[i] = z.floor();
+        z = (z - tx[i]) * 1.6777216e7;
+        i += 1;
+    }
+    tx[2] = z;
+    let mut nx = 3usize;
+    while ctx.branch(12, Cmp::Eq, tx[nx - 1], 0.0) {
+        nx -= 1;
+        if ctx.branch_i32(13, Cmp::Eq, nx as i32, 0) {
+            break;
+        }
+    }
+    let _ = ctx.branch_i32(14, Cmp::Lt, hx, 0);
+}
+
+/// Helper: quadrant index used by the `sin`/`cos` reductions above. The
+/// original calls `__ieee754_rem_pio2`; the quadrant is what the dispatch
+/// ladder branches on.
+fn reduce_quadrant(x: f64) -> i32 {
+    let n = (x.abs() * std::f64::consts::FRAC_2_PI + 0.5).floor();
+    (n as i64 & 3) as i32
+}
+
+/// Number of conditional sites of each port in this module.
+pub mod sites {
+    /// Sites in [`super::sin`].
+    pub const SIN: usize = 4;
+    /// Sites in [`super::cos`].
+    pub const COS: usize = 4;
+    /// Sites in [`super::tan`].
+    pub const TAN: usize = 2;
+    /// Sites in [`super::kernel_cos`].
+    pub const KERNEL_COS: usize = 4;
+    /// Sites in [`super::atan`].
+    pub const ATAN: usize = 13;
+    /// Sites in [`super::asin`].
+    pub const ASIN: usize = 7;
+    /// Sites in [`super::acos`].
+    pub const ACOS: usize = 6;
+    /// Sites in [`super::atan2`].
+    pub const ATAN2: usize = 12;
+    /// Sites in [`super::rem_pio2`].
+    pub const REM_PIO2: usize = 15;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverme_runtime::{BranchId, ExecCtx};
+
+    fn run1(f: fn(&[f64], &mut ExecCtx), x: f64) -> ExecCtx {
+        let mut ctx = ExecCtx::observe();
+        f(&[x], &mut ctx);
+        ctx
+    }
+
+    fn run2(f: fn(&[f64], &mut ExecCtx), x: f64, y: f64) -> ExecCtx {
+        let mut ctx = ExecCtx::observe();
+        f(&[x, y], &mut ctx);
+        ctx
+    }
+
+    #[test]
+    fn site_ids_stay_within_declared_ranges() {
+        let unary: &[(fn(&[f64], &mut ExecCtx), usize)] = &[
+            (sin, sites::SIN),
+            (cos, sites::COS),
+            (tan, sites::TAN),
+            (atan, sites::ATAN),
+            (asin, sites::ASIN),
+            (acos, sites::ACOS),
+            (rem_pio2, sites::REM_PIO2),
+        ];
+        let inputs = [
+            0.0, 0.5, -0.5, 0.99, 1.0, -1.0, 1.5, 3.0, -3.0, 100.0, 1e10, 1e300, 1e-300,
+            f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 0.4, 2.4, 65.0,
+        ];
+        for &(f, declared) in unary {
+            for &x in &inputs {
+                let ctx = run1(f, x);
+                for event in ctx.trace() {
+                    assert!((event.site as usize) < declared, "site {} >= {declared}", event.site);
+                }
+            }
+        }
+        for &x in &inputs {
+            for &y in &inputs {
+                let ctx = run2(atan2, x, y);
+                for event in ctx.trace() {
+                    assert!((event.site as usize) < sites::ATAN2);
+                }
+                let ctx = run2(kernel_cos, x, y);
+                for event in ctx.trace() {
+                    assert!((event.site as usize) < sites::KERNEL_COS);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_cos_inner_branch_is_one_sided() {
+        // The paper's Sect. D: `((int) x) == 0` can only be true under the
+        // |x| < 2^-27 guard, so its false side is infeasible.
+        let ctx = run2(kernel_cos, 1e-9, 0.0);
+        assert!(ctx.covered().contains(BranchId::true_of(0)));
+        assert!(ctx.covered().contains(BranchId::true_of(1)));
+        let ctx = run2(kernel_cos, 0.2, 0.0);
+        assert!(ctx.covered().contains(BranchId::false_of(0)));
+    }
+
+    #[test]
+    fn asin_domain_cases() {
+        assert!(run1(asin, 1.0).covered().contains(BranchId::true_of(1)));
+        assert!(run1(asin, 2.0).covered().contains(BranchId::false_of(1)));
+        assert!(run1(asin, 0.25).covered().contains(BranchId::true_of(2)));
+        assert!(run1(asin, 0.75).covered().contains(BranchId::false_of(2)));
+    }
+
+    #[test]
+    fn atan2_special_cases() {
+        // x == 1 fast path
+        assert!(run2(atan2, 0.3, 1.0).covered().contains(BranchId::true_of(2)));
+        // y == 0
+        assert!(run2(atan2, 0.0, 2.0).covered().contains(BranchId::true_of(3)));
+        // x == 0
+        assert!(run2(atan2, 1.0, 0.0).covered().contains(BranchId::true_of(5)));
+        // x infinite
+        assert!(run2(atan2, 1.0, f64::INFINITY)
+            .covered()
+            .contains(BranchId::true_of(6)));
+    }
+
+    #[test]
+    fn rem_pio2_covers_small_medium_and_special() {
+        assert!(run1(rem_pio2, 0.5).covered().contains(BranchId::true_of(0)));
+        assert!(run1(rem_pio2, 2.0).covered().contains(BranchId::true_of(1)));
+        assert!(run1(rem_pio2, 100.0).covered().contains(BranchId::true_of(5)));
+        assert!(run1(rem_pio2, f64::NAN).covered().contains(BranchId::true_of(10)));
+        assert!(run1(rem_pio2, 1e300).covered().contains(BranchId::false_of(10)));
+    }
+}

@@ -1,0 +1,317 @@
+//! Abstract syntax tree of the FPIR mini-language.
+
+use coverme_runtime::Cmp;
+
+/// A scalar type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// IEEE-754 binary64.
+    Double,
+    /// 64-bit signed integer (C `int` arithmetic in Fdlibm fits comfortably;
+    /// explicit truncation to 32 bits is performed by the `__hi`/`__lo`
+    /// builtins that model the high/low word accesses).
+    Int,
+    /// No value (function return type only).
+    Void,
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ty::Double => write!(f, "double"),
+            Ty::Int => write!(f, "int"),
+            Ty::Void => write!(f, "void"),
+        }
+    }
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (integers only)
+    Rem,
+    /// `&` (integers only)
+    BitAnd,
+    /// `|` (integers only)
+    BitOr,
+    /// `^` (integers only)
+    BitXor,
+    /// `<<` (integers only)
+    Shl,
+    /// `>>` (integers only, arithmetic shift)
+    Shr,
+    /// Comparison producing an `int` 0/1.
+    Cmp(Cmp),
+    /// `&&` (short-circuit)
+    LogicalAnd,
+    /// `||` (short-circuit)
+    LogicalOr,
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement (integers only).
+    BitNot,
+    /// Logical not, producing 0/1.
+    Not,
+}
+
+/// An expression. Every expression node carries the source line it started
+/// on, for error messages and for line-coverage reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Explicit cast `(int) e` or `(double) e`.
+    Cast {
+        /// Target type.
+        ty: Ty,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Function call (user function or builtin).
+    Call {
+        /// Callee name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+}
+
+/// A statement, annotated with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Variable declaration with optional initializer: `double x;` or
+    /// `int i = 0;`.
+    Decl {
+        /// Declared type.
+        ty: Ty,
+        /// Variable name.
+        name: String,
+        /// Optional initializer expression.
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Assignment `x = e;`.
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Value expression.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// Conditional statement.
+    If {
+        /// Condition expression.
+        cond: Expr,
+        /// Then-block.
+        then_block: Block,
+        /// Optional else-block.
+        else_block: Option<Block>,
+        /// Source line.
+        line: u32,
+        /// Instrumentation site id, assigned by the instrumentation pass for
+        /// conditionals whose condition is an arithmetic comparison;
+        /// `None` before instrumentation or for unsupported conditions.
+        site: Option<u32>,
+    },
+    /// While loop.
+    While {
+        /// Condition expression.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+        /// Source line.
+        line: u32,
+        /// Instrumentation site id (see [`Stmt::If::site`]).
+        site: Option<u32>,
+    },
+    /// Return statement (expression optional for `void` functions).
+    Return {
+        /// Returned value.
+        value: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Expression evaluated for its side effects (i.e. a call).
+    ExprStmt {
+        /// The expression.
+        expr: Expr,
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Stmt {
+    /// The source line of the statement.
+    pub fn line(&self) -> u32 {
+        match self {
+            Stmt::Decl { line, .. }
+            | Stmt::Assign { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::Return { line, .. }
+            | Stmt::ExprStmt { line, .. } => *line,
+        }
+    }
+}
+
+/// A sequence of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// The statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter type.
+    pub ty: Ty,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    /// Return type.
+    pub ret: Ty,
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body.
+    pub body: Block,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// A whole translation unit: a list of function definitions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// The functions, in source order.
+    pub functions: Vec<FunctionDef>,
+}
+
+impl Module {
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&FunctionDef> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// Names of the builtin functions the interpreter provides. These model the
+/// math-library calls and the bit-level double access (`__HI`, `__LO`,
+/// `__HI(x) = v`) that Fdlibm-style code relies on.
+pub const BUILTINS: &[(&str, &[Ty], Ty)] = &[
+    ("sqrt", &[Ty::Double], Ty::Double),
+    ("fabs", &[Ty::Double], Ty::Double),
+    ("floor", &[Ty::Double], Ty::Double),
+    ("sin", &[Ty::Double], Ty::Double),
+    ("cos", &[Ty::Double], Ty::Double),
+    ("exp", &[Ty::Double], Ty::Double),
+    ("log", &[Ty::Double], Ty::Double),
+    ("pow", &[Ty::Double, Ty::Double], Ty::Double),
+    // High 32 bits of the IEEE-754 representation, as a signed int —
+    // the mini-language spelling of `*(1+(int*)&x)`.
+    ("high_word", &[Ty::Double], Ty::Int),
+    // Low 32 bits of the representation (unsigned, widened to int).
+    ("low_word", &[Ty::Double], Ty::Int),
+    // Rebuild a double from 32-bit high and low words.
+    ("from_words", &[Ty::Int, Ty::Int], Ty::Double),
+    // Replace only the high word / low word of a double.
+    ("with_high_word", &[Ty::Double, Ty::Int], Ty::Double),
+    ("with_low_word", &[Ty::Double, Ty::Int], Ty::Double),
+    // scalbn(x, n) = x * 2^n without going through pow.
+    ("scalbn", &[Ty::Double, Ty::Int], Ty::Double),
+];
+
+/// Looks up a builtin signature by name.
+pub fn builtin_signature(name: &str) -> Option<(&'static [Ty], Ty)> {
+    BUILTINS
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, params, ret)| (*params, *ret))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Ty::Double.to_string(), "double");
+        assert_eq!(Ty::Int.to_string(), "int");
+        assert_eq!(Ty::Void.to_string(), "void");
+    }
+
+    #[test]
+    fn stmt_line_accessor_covers_all_variants() {
+        let s = Stmt::Return { value: None, line: 7 };
+        assert_eq!(s.line(), 7);
+        let s = Stmt::Assign {
+            name: "x".into(),
+            value: Expr::Int(1),
+            line: 3,
+        };
+        assert_eq!(s.line(), 3);
+    }
+
+    #[test]
+    fn module_function_lookup() {
+        let m = Module {
+            functions: vec![FunctionDef {
+                ret: Ty::Double,
+                name: "foo".into(),
+                params: vec![],
+                body: Block::default(),
+                line: 1,
+            }],
+        };
+        assert!(m.function("foo").is_some());
+        assert!(m.function("bar").is_none());
+    }
+
+    #[test]
+    fn builtin_signatures_resolve() {
+        let (params, ret) = builtin_signature("high_word").unwrap();
+        assert_eq!(params, &[Ty::Double]);
+        assert_eq!(ret, Ty::Int);
+        assert!(builtin_signature("does_not_exist").is_none());
+        assert_eq!(builtin_signature("pow").unwrap().0.len(), 2);
+    }
+}

@@ -1,0 +1,822 @@
+//! Tree-walking interpreter for instrumented FPIR programs.
+//!
+//! The interpreter executes the entry function on a vector of `f64` inputs
+//! against a [`coverme_runtime::ExecCtx`]. Every instrumented conditional
+//! reports through [`ExecCtx::branch`], which is the runtime realization of
+//! the injected `r = pen(site, op, a, b)` assignment followed by the branch
+//! on `a op b`.
+//!
+//! Semantics follow C on the `double`/`int` pair: mixed arithmetic promotes
+//! to `double`, `(int)` casts truncate toward zero, integer overflow wraps
+//! (two's complement), and the bit-level builtins (`high_word`, `low_word`,
+//! `from_words`, ...) give direct access to the IEEE-754 representation the
+//! way Fdlibm's `__HI`/`__LO` macros do.
+
+use std::collections::{BTreeSet, HashMap};
+
+use coverme_runtime::{ExecCtx, Program};
+
+use crate::ast::{BinOp, Block, Expr, FunctionDef, Stmt, Ty, UnOp};
+use crate::error::{CompileError, ErrorKind};
+use crate::instrument::{as_comparison, InstrumentedModule};
+
+/// Hard limit on executed statements per top-level call, so that
+/// adversarially looping inputs cannot hang the testing loop.
+const MAX_STEPS: usize = 2_000_000;
+/// Maximum call depth.
+const MAX_DEPTH: usize = 128;
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Value {
+    Int(i64),
+    Double(f64),
+}
+
+impl Value {
+    fn as_f64(self) -> f64 {
+        match self {
+            Value::Int(v) => v as f64,
+            Value::Double(v) => v,
+        }
+    }
+
+    fn as_i64(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Double(v) => {
+                if v.is_nan() {
+                    0
+                } else {
+                    // C truncation toward zero, saturating at the i64 range.
+                    v.trunc().clamp(i64::MIN as f64, i64::MAX as f64) as i64
+                }
+            }
+        }
+    }
+
+    fn truthy(self) -> bool {
+        match self {
+            Value::Int(v) => v != 0,
+            Value::Double(v) => v != 0.0,
+        }
+    }
+
+    fn coerce(self, ty: Ty) -> Value {
+        match ty {
+            Ty::Int => Value::Int(self.as_i64()),
+            Ty::Double => Value::Double(self.as_f64()),
+            Ty::Void => self,
+        }
+    }
+}
+
+/// How a statement finished.
+enum Flow {
+    Normal,
+    Return(Option<Value>),
+    /// The step or depth limit was hit; unwind immediately.
+    Abort,
+}
+
+/// An executable, instrumented FPIR program.
+///
+/// Implements [`coverme_runtime::Program`], so it can be handed to the
+/// CoverMe driver or to any baseline tester.
+#[derive(Debug, Clone)]
+pub struct IrProgram {
+    inst: InstrumentedModule,
+    arity: usize,
+    line_count: usize,
+}
+
+impl IrProgram {
+    /// Wraps an instrumented module, validating the entry signature.
+    pub fn new(inst: InstrumentedModule) -> Result<IrProgram, CompileError> {
+        let entry = inst.entry_function();
+        let arity = entry.params.len();
+        if arity == 0 {
+            return Err(CompileError::at(
+                ErrorKind::Instrument,
+                entry.line,
+                "entry function takes no inputs",
+            ));
+        }
+        let mut lines = BTreeSet::new();
+        collect_lines(&entry.body, &mut lines);
+        Ok(IrProgram {
+            arity,
+            line_count: lines.len(),
+            inst,
+        })
+    }
+
+    /// The instrumented module backing this program.
+    pub fn instrumented(&self) -> &InstrumentedModule {
+        &self.inst
+    }
+
+    /// The static descendant relation (indexed by
+    /// [`coverme_runtime::BranchId::index`]), ready to seed
+    /// `SaturationTracker::with_static_descendants`.
+    pub fn descendants(&self) -> Vec<coverme_runtime::BranchSet> {
+        self.inst.descendants.clone()
+    }
+
+    /// Executes the program on `input` and returns the set of entry-function
+    /// source lines whose statements were executed — the mini-language's
+    /// exact line coverage (the analogue of Gcov line data).
+    pub fn executed_lines(&self, input: &[f64]) -> BTreeSet<u32> {
+        let mut ctx = ExecCtx::observe().without_trace();
+        let mut interp = Interp::new(&self.inst, true);
+        interp.run(input, &mut ctx);
+        interp.executed_lines
+    }
+
+    /// Total number of distinct statement lines in the entry function.
+    pub fn line_total(&self) -> usize {
+        self.line_count
+    }
+}
+
+impl Program for IrProgram {
+    fn name(&self) -> &str {
+        &self.inst.entry
+    }
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn num_sites(&self) -> usize {
+        self.inst.num_sites()
+    }
+
+    fn execute(&self, input: &[f64], ctx: &mut ExecCtx) {
+        assert_eq!(
+            input.len(),
+            self.arity,
+            "program {} expects {} inputs, got {}",
+            self.inst.entry,
+            self.arity,
+            input.len()
+        );
+        let mut interp = Interp::new(&self.inst, false);
+        interp.run(input, ctx);
+    }
+
+    fn source_lines(&self) -> usize {
+        self.line_count
+    }
+}
+
+fn collect_lines(block: &Block, lines: &mut BTreeSet<u32>) {
+    for stmt in &block.stmts {
+        lines.insert(stmt.line());
+        match stmt {
+            Stmt::If {
+                then_block,
+                else_block,
+                ..
+            } => {
+                collect_lines(then_block, lines);
+                if let Some(e) = else_block {
+                    collect_lines(e, lines);
+                }
+            }
+            Stmt::While { body, .. } => collect_lines(body, lines),
+            _ => {}
+        }
+    }
+}
+
+struct Interp<'a> {
+    inst: &'a InstrumentedModule,
+    steps: usize,
+    track_lines: bool,
+    executed_lines: BTreeSet<u32>,
+}
+
+impl<'a> Interp<'a> {
+    fn new(inst: &'a InstrumentedModule, track_lines: bool) -> Interp<'a> {
+        Interp {
+            inst,
+            steps: 0,
+            track_lines,
+            executed_lines: BTreeSet::new(),
+        }
+    }
+
+    fn run(&mut self, input: &[f64], ctx: &mut ExecCtx) -> Option<f64> {
+        let entry = self.inst.entry_function();
+        let args: Vec<Value> = input.iter().map(|&v| Value::Double(v)).collect();
+        match self.call(entry, &args, ctx, 0) {
+            Some(Some(value)) => Some(value.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Calls a function; `None` means aborted, `Some(ret)` normal completion.
+    fn call(
+        &mut self,
+        function: &'a FunctionDef,
+        args: &[Value],
+        ctx: &mut ExecCtx,
+        depth: usize,
+    ) -> Option<Option<Value>> {
+        if depth > MAX_DEPTH {
+            return None;
+        }
+        let mut env: Env = Env::new();
+        for (param, arg) in function.params.iter().zip(args) {
+            env.define(&param.name, arg.coerce(param.ty));
+        }
+        match self.exec_block(&function.body, &mut env, ctx, depth, true) {
+            Flow::Return(v) => Some(v),
+            Flow::Normal => Some(None),
+            Flow::Abort => None,
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        block: &'a Block,
+        env: &mut Env,
+        ctx: &mut ExecCtx,
+        depth: usize,
+        track: bool,
+    ) -> Flow {
+        env.push_scope();
+        for stmt in &block.stmts {
+            let flow = self.exec_stmt(stmt, env, ctx, depth, track);
+            match flow {
+                Flow::Normal => {}
+                other => {
+                    env.pop_scope();
+                    return other;
+                }
+            }
+        }
+        env.pop_scope();
+        Flow::Normal
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &'a Stmt,
+        env: &mut Env,
+        ctx: &mut ExecCtx,
+        depth: usize,
+        track: bool,
+    ) -> Flow {
+        self.steps += 1;
+        if self.steps > MAX_STEPS {
+            return Flow::Abort;
+        }
+        if self.track_lines && track {
+            self.executed_lines.insert(stmt.line());
+        }
+        match stmt {
+            Stmt::Decl { ty, name, init, .. } => {
+                let value = match init {
+                    Some(init) => match self.eval(init, env, ctx, depth) {
+                        Some(v) => v.coerce(*ty),
+                        None => return Flow::Abort,
+                    },
+                    None => match ty {
+                        Ty::Int => Value::Int(0),
+                        _ => Value::Double(0.0),
+                    },
+                };
+                env.define(name, value);
+                Flow::Normal
+            }
+            Stmt::Assign { name, value, .. } => {
+                let Some(v) = self.eval(value, env, ctx, depth) else {
+                    return Flow::Abort;
+                };
+                env.assign(name, v);
+                Flow::Normal
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                site,
+                ..
+            } => {
+                let Some(outcome) = self.eval_condition(cond, *site, env, ctx, depth) else {
+                    return Flow::Abort;
+                };
+                if outcome {
+                    self.exec_block(then_block, env, ctx, depth, track)
+                } else if let Some(else_block) = else_block {
+                    self.exec_block(else_block, env, ctx, depth, track)
+                } else {
+                    Flow::Normal
+                }
+            }
+            Stmt::While { cond, body, site, .. } => {
+                loop {
+                    let Some(outcome) = self.eval_condition(cond, *site, env, ctx, depth) else {
+                        return Flow::Abort;
+                    };
+                    if !outcome {
+                        break;
+                    }
+                    match self.exec_block(body, env, ctx, depth, track) {
+                        Flow::Normal => {}
+                        other => return other,
+                    }
+                    self.steps += 1;
+                    if self.steps > MAX_STEPS {
+                        return Flow::Abort;
+                    }
+                }
+                Flow::Normal
+            }
+            Stmt::Return { value, .. } => {
+                let v = match value {
+                    Some(expr) => match self.eval(expr, env, ctx, depth) {
+                        Some(v) => Some(v),
+                        None => return Flow::Abort,
+                    },
+                    None => None,
+                };
+                Flow::Return(v)
+            }
+            Stmt::ExprStmt { expr, .. } => match self.eval(expr, env, ctx, depth) {
+                Some(_) => Flow::Normal,
+                None => Flow::Abort,
+            },
+        }
+    }
+
+    /// Evaluates a conditional's condition. For instrumented sites the
+    /// operands are evaluated once and reported through `ExecCtx::branch`
+    /// (integer operands are promoted to doubles, Sect. 5.3 of the paper);
+    /// uninstrumented conditions fall back to plain truthiness.
+    fn eval_condition(
+        &mut self,
+        cond: &'a Expr,
+        site: Option<u32>,
+        env: &mut Env,
+        ctx: &mut ExecCtx,
+        depth: usize,
+    ) -> Option<bool> {
+        if let (Some(site), Some((op, lhs, rhs))) = (site, as_comparison(cond)) {
+            let lhs = self.eval(lhs, env, ctx, depth)?;
+            let rhs = self.eval(rhs, env, ctx, depth)?;
+            Some(ctx.branch(site, op, lhs.as_f64(), rhs.as_f64()))
+        } else {
+            let v = self.eval(cond, env, ctx, depth)?;
+            Some(v.truthy())
+        }
+    }
+
+    fn eval(
+        &mut self,
+        expr: &'a Expr,
+        env: &mut Env,
+        ctx: &mut ExecCtx,
+        depth: usize,
+    ) -> Option<Value> {
+        self.steps += 1;
+        if self.steps > MAX_STEPS {
+            return None;
+        }
+        match expr {
+            Expr::Int(v) => Some(Value::Int(*v)),
+            Expr::Float(v) => Some(Value::Double(*v)),
+            Expr::Var(name) => Some(env.get(name).unwrap_or(Value::Double(0.0))),
+            Expr::Unary { op, expr } => {
+                let v = self.eval(expr, env, ctx, depth)?;
+                Some(match op {
+                    UnOp::Neg => match v {
+                        Value::Int(i) => Value::Int(i.wrapping_neg()),
+                        Value::Double(d) => Value::Double(-d),
+                    },
+                    UnOp::BitNot => Value::Int(!v.as_i64()),
+                    UnOp::Not => Value::Int(i64::from(!v.truthy())),
+                })
+            }
+            Expr::Cast { ty, expr } => {
+                let v = self.eval(expr, env, ctx, depth)?;
+                Some(v.coerce(*ty))
+            }
+            Expr::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs, env, ctx, depth),
+            Expr::Call { name, args } => self.eval_call(name, args, env, ctx, depth),
+        }
+    }
+
+    fn eval_binary(
+        &mut self,
+        op: BinOp,
+        lhs: &'a Expr,
+        rhs: &'a Expr,
+        env: &mut Env,
+        ctx: &mut ExecCtx,
+        depth: usize,
+    ) -> Option<Value> {
+        // Short-circuit operators first.
+        if op == BinOp::LogicalAnd {
+            let l = self.eval(lhs, env, ctx, depth)?;
+            if !l.truthy() {
+                return Some(Value::Int(0));
+            }
+            let r = self.eval(rhs, env, ctx, depth)?;
+            return Some(Value::Int(i64::from(r.truthy())));
+        }
+        if op == BinOp::LogicalOr {
+            let l = self.eval(lhs, env, ctx, depth)?;
+            if l.truthy() {
+                return Some(Value::Int(1));
+            }
+            let r = self.eval(rhs, env, ctx, depth)?;
+            return Some(Value::Int(i64::from(r.truthy())));
+        }
+
+        let l = self.eval(lhs, env, ctx, depth)?;
+        let r = self.eval(rhs, env, ctx, depth)?;
+        let both_int = matches!((l, r), (Value::Int(_), Value::Int(_)));
+        Some(match op {
+            BinOp::Add => {
+                if both_int {
+                    Value::Int(l.as_i64().wrapping_add(r.as_i64()))
+                } else {
+                    Value::Double(l.as_f64() + r.as_f64())
+                }
+            }
+            BinOp::Sub => {
+                if both_int {
+                    Value::Int(l.as_i64().wrapping_sub(r.as_i64()))
+                } else {
+                    Value::Double(l.as_f64() - r.as_f64())
+                }
+            }
+            BinOp::Mul => {
+                if both_int {
+                    Value::Int(l.as_i64().wrapping_mul(r.as_i64()))
+                } else {
+                    Value::Double(l.as_f64() * r.as_f64())
+                }
+            }
+            BinOp::Div => {
+                if both_int {
+                    let divisor = r.as_i64();
+                    if divisor == 0 {
+                        Value::Int(0)
+                    } else {
+                        Value::Int(l.as_i64().wrapping_div(divisor))
+                    }
+                } else {
+                    Value::Double(l.as_f64() / r.as_f64())
+                }
+            }
+            BinOp::Rem => {
+                let divisor = r.as_i64();
+                if divisor == 0 {
+                    Value::Int(0)
+                } else {
+                    Value::Int(l.as_i64().wrapping_rem(divisor))
+                }
+            }
+            BinOp::BitAnd => Value::Int(l.as_i64() & r.as_i64()),
+            BinOp::BitOr => Value::Int(l.as_i64() | r.as_i64()),
+            BinOp::BitXor => Value::Int(l.as_i64() ^ r.as_i64()),
+            BinOp::Shl => Value::Int(l.as_i64().wrapping_shl(r.as_i64() as u32 & 63)),
+            BinOp::Shr => Value::Int(l.as_i64().wrapping_shr(r.as_i64() as u32 & 63)),
+            BinOp::Cmp(cmp) => {
+                // Uninstrumented comparisons inside larger expressions; the
+                // instrumented top-level comparisons never reach this path.
+                let holds = if both_int {
+                    int_compare(cmp, l.as_i64(), r.as_i64())
+                } else {
+                    cmp.eval(l.as_f64(), r.as_f64())
+                };
+                Value::Int(i64::from(holds))
+            }
+            BinOp::LogicalAnd | BinOp::LogicalOr => unreachable!("handled above"),
+        })
+    }
+
+    fn eval_call(
+        &mut self,
+        name: &str,
+        args: &'a [Expr],
+        env: &mut Env,
+        ctx: &mut ExecCtx,
+        depth: usize,
+    ) -> Option<Value> {
+        let mut values = Vec::with_capacity(args.len());
+        for arg in args {
+            values.push(self.eval(arg, env, ctx, depth)?);
+        }
+        if let Some(result) = eval_builtin(name, &values) {
+            return Some(result);
+        }
+        let function = self
+            .inst
+            .module
+            .function(name)
+            .expect("type checker validated call targets");
+        let coerced: Vec<Value> = function
+            .params
+            .iter()
+            .zip(&values)
+            .map(|(p, v)| v.coerce(p.ty))
+            .collect();
+        match self.call(function, &coerced, ctx, depth + 1)? {
+            Some(v) => Some(v),
+            None => Some(Value::Double(0.0)),
+        }
+    }
+}
+
+fn int_compare(cmp: coverme_runtime::Cmp, a: i64, b: i64) -> bool {
+    use coverme_runtime::Cmp;
+    match cmp {
+        Cmp::Eq => a == b,
+        Cmp::Ne => a != b,
+        Cmp::Lt => a < b,
+        Cmp::Le => a <= b,
+        Cmp::Gt => a > b,
+        Cmp::Ge => a >= b,
+    }
+}
+
+fn eval_builtin(name: &str, args: &[Value]) -> Option<Value> {
+    let d = |i: usize| args[i].as_f64();
+    let n = |i: usize| args[i].as_i64();
+    Some(match name {
+        "sqrt" => Value::Double(d(0).sqrt()),
+        "fabs" => Value::Double(d(0).abs()),
+        "floor" => Value::Double(d(0).floor()),
+        "sin" => Value::Double(d(0).sin()),
+        "cos" => Value::Double(d(0).cos()),
+        "exp" => Value::Double(d(0).exp()),
+        "log" => Value::Double(d(0).ln()),
+        "pow" => Value::Double(d(0).powf(d(1))),
+        "high_word" => Value::Int(i64::from((d(0).to_bits() >> 32) as u32 as i32)),
+        "low_word" => Value::Int(i64::from(d(0).to_bits() as u32)),
+        "from_words" => {
+            let hi = (n(0) as u32 as u64) << 32;
+            let lo = n(1) as u32 as u64;
+            Value::Double(f64::from_bits(hi | lo))
+        }
+        "with_high_word" => {
+            let bits = (d(0).to_bits() & 0x0000_0000_ffff_ffff) | ((n(1) as u32 as u64) << 32);
+            Value::Double(f64::from_bits(bits))
+        }
+        "with_low_word" => {
+            let bits = (d(0).to_bits() & 0xffff_ffff_0000_0000) | (n(1) as u32 as u64);
+            Value::Double(f64::from_bits(bits))
+        }
+        "scalbn" => Value::Double(d(0) * 2f64.powi(n(1).clamp(-2100, 2100) as i32)),
+        _ => return None,
+    })
+}
+
+/// Lexically scoped variable environment.
+struct Env {
+    scopes: Vec<HashMap<String, Value>>,
+}
+
+impl Env {
+    fn new() -> Env {
+        Env {
+            scopes: vec![HashMap::new()],
+        }
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn define(&mut self, name: &str, value: Value) {
+        self.scopes
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.to_string(), value);
+    }
+
+    fn assign(&mut self, name: &str, value: Value) {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                // Preserve the declared representation: assigning a double to
+                // an int-typed variable truncates, as in C.
+                *slot = match slot {
+                    Value::Int(_) => Value::Int(value.as_i64()),
+                    Value::Double(_) => Value::Double(value.as_f64()),
+                };
+                return;
+            }
+        }
+        // Type checking guarantees this does not happen; degrade gracefully.
+        self.define(name, value);
+    }
+
+    fn get(&self, name: &str) -> Option<Value> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use coverme_runtime::{BranchId, Cmp};
+
+    fn run_value(program: &IrProgram, input: &[f64]) -> Option<f64> {
+        let mut ctx = ExecCtx::observe();
+        let mut interp = Interp::new(program.instrumented(), false);
+        interp.run(input, &mut ctx)
+    }
+
+    #[test]
+    fn evaluates_arithmetic_and_calls() {
+        let p = compile(
+            r#"
+            double square(double x) { return x * x; }
+            double f(double x) {
+                double y = square(x) + 1.0;
+                if (y >= 5.0) { return y; }
+                return -y;
+            }
+            "#,
+            "f",
+        )
+        .unwrap();
+        assert_eq!(run_value(&p, &[2.0]), Some(5.0));
+        assert_eq!(run_value(&p, &[1.0]), Some(-2.0));
+    }
+
+    #[test]
+    fn reports_branches_through_the_context() {
+        let p = compile(
+            r#"
+            double f(double x) {
+                if (x <= 1.0) { return 0.0; }
+                if (x == 4.0) { return 1.0; }
+                return 2.0;
+            }
+            "#,
+            "f",
+        )
+        .unwrap();
+        let mut ctx = ExecCtx::observe();
+        p.execute(&[4.0], &mut ctx);
+        assert!(ctx.covered().contains(BranchId::false_of(0)));
+        assert!(ctx.covered().contains(BranchId::true_of(1)));
+        assert_eq!(ctx.trace().len(), 2);
+        assert_eq!(ctx.trace().last().unwrap().op, Cmp::Eq);
+    }
+
+    #[test]
+    fn bit_level_builtins_match_ieee754() {
+        let p = compile(
+            r#"
+            int f(double x) {
+                int hx = high_word(x);
+                int lx = low_word(x);
+                double y = from_words(hx, lx);
+                if (y == x) { return 1; }
+                return 0;
+            }
+            "#,
+            "f",
+        )
+        .unwrap();
+        for v in [1.0, -2.5, 1e300, 5e-324, 0.1] {
+            assert_eq!(run_value(&p, &[v]), Some(1.0), "roundtrip failed for {v}");
+        }
+    }
+
+    #[test]
+    fn high_word_matches_fdlibm_convention() {
+        let p = compile(
+            r#"
+            int f(double x) {
+                int ix = high_word(x) & 0x7fffffff;
+                if (ix >= 0x7ff00000) { return 1; }
+                return 0;
+            }
+            "#,
+            "f",
+        )
+        .unwrap();
+        assert_eq!(run_value(&p, &[f64::INFINITY]), Some(1.0));
+        assert_eq!(run_value(&p, &[f64::NAN]), Some(1.0));
+        assert_eq!(run_value(&p, &[1.5]), Some(0.0));
+    }
+
+    #[test]
+    fn while_loops_execute_and_report_each_iteration() {
+        let p = compile(
+            r#"
+            double f(double x) {
+                int i = 0;
+                double acc = 0.0;
+                while (i < 4) {
+                    acc = acc + x;
+                    i = i + 1;
+                }
+                return acc;
+            }
+            "#,
+            "f",
+        )
+        .unwrap();
+        let mut ctx = ExecCtx::observe();
+        p.execute(&[2.5], &mut ctx);
+        // 4 true iterations + 1 false exit.
+        assert_eq!(ctx.trace().len(), 5);
+        assert_eq!(run_value(&p, &[2.5]), Some(10.0));
+    }
+
+    #[test]
+    fn infinite_loops_are_cut_off_instead_of_hanging() {
+        let p = compile(
+            r#"
+            double f(double x) {
+                while (x > 0.0) { x = x + 1.0; }
+                return x;
+            }
+            "#,
+            "f",
+        )
+        .unwrap();
+        let mut ctx = ExecCtx::observe().without_trace();
+        // Must terminate (abort) rather than loop forever.
+        p.execute(&[1.0], &mut ctx);
+        assert!(ctx.covered().contains(BranchId::true_of(0)));
+    }
+
+    #[test]
+    fn casts_truncate_toward_zero() {
+        let p = compile(
+            r#"
+            int f(double x) { return (int) x; }
+            "#,
+            "f",
+        )
+        .unwrap();
+        assert_eq!(run_value(&p, &[2.9]), Some(2.0));
+        assert_eq!(run_value(&p, &[-2.9]), Some(-2.0));
+    }
+
+    #[test]
+    fn executed_lines_reflect_the_path_taken() {
+        let source = r#"double f(double x) {
+    if (x > 0.0) {
+        x = x + 1.0;
+    } else {
+        x = x - 1.0;
+    }
+    return x;
+}"#;
+        let p = compile(source, "f").unwrap();
+        let pos_lines = p.executed_lines(&[5.0]);
+        let neg_lines = p.executed_lines(&[-5.0]);
+        assert!(pos_lines.contains(&3));
+        assert!(!pos_lines.contains(&5));
+        assert!(neg_lines.contains(&5));
+        assert!(!neg_lines.contains(&3));
+        assert!(p.line_total() >= 4);
+    }
+
+    #[test]
+    fn recursion_depth_is_bounded() {
+        let p = compile(
+            r#"
+            double f(double x) {
+                if (x > 0.0) { return f(x); }
+                return x;
+            }
+            "#,
+            "f",
+        )
+        .unwrap();
+        let mut ctx = ExecCtx::observe();
+        p.execute(&[1.0], &mut ctx); // must not overflow the stack
+    }
+
+    #[test]
+    fn program_trait_metadata() {
+        let p = compile(
+            "double f(double x, double y) { if (x < y) { return x; } return y; }",
+            "f",
+        )
+        .unwrap();
+        assert_eq!(p.name(), "f");
+        assert_eq!(Program::arity(&p), 2);
+        assert_eq!(Program::num_sites(&p), 1);
+        // Everything is on one source line in this one-liner definition.
+        assert_eq!(Program::source_lines(&p), 1);
+        assert_eq!(p.descendants().len(), 2);
+    }
+}

@@ -1,0 +1,239 @@
+//! Pretty printer: renders an (instrumented) module back to C-like source.
+//!
+//! For instrumented modules the printer makes the injected assignments
+//! explicit, producing the `FOO_I` view of the paper's Fig. 3:
+//!
+//! ```text
+//! double foo(double x) {
+//!     r = pen(0, <=, x, 1.0);
+//!     if (x <= 1.0) {
+//!         ...
+//!     }
+//! }
+//! ```
+
+use crate::ast::{BinOp, Block, Expr, FunctionDef, Module, Stmt, UnOp};
+use crate::instrument::InstrumentedModule;
+
+/// Renders a plain module to source text.
+pub fn to_source(module: &Module) -> String {
+    let mut out = String::new();
+    for f in &module.functions {
+        print_function(&mut out, f, false);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an instrumented module, showing the injected `r = pen(...)`
+/// assignments before every instrumented conditional.
+pub fn to_instrumented_source(inst: &InstrumentedModule) -> String {
+    let mut out = String::new();
+    for f in &inst.module.functions {
+        print_function(&mut out, f, true);
+        out.push('\n');
+    }
+    out
+}
+
+fn print_function(out: &mut String, f: &FunctionDef, show_pen: bool) {
+    out.push_str(&format!("{} {}(", f.ret, f.name));
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{} {}", p.ty, p.name));
+    }
+    out.push_str(") ");
+    print_block(out, &f.body, 0, show_pen);
+    out.push('\n');
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(out: &mut String, block: &Block, level: usize, show_pen: bool) {
+    out.push_str("{\n");
+    for stmt in &block.stmts {
+        print_stmt(out, stmt, level + 1, show_pen);
+    }
+    indent(out, level);
+    out.push('}');
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, level: usize, show_pen: bool) {
+    match stmt {
+        Stmt::Decl { ty, name, init, .. } => {
+            indent(out, level);
+            match init {
+                Some(init) => out.push_str(&format!("{ty} {name} = {};\n", expr_to_string(init))),
+                None => out.push_str(&format!("{ty} {name};\n")),
+            }
+        }
+        Stmt::Assign { name, value, .. } => {
+            indent(out, level);
+            out.push_str(&format!("{name} = {};\n", expr_to_string(value)));
+        }
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+            site,
+            ..
+        } => {
+            if show_pen {
+                print_pen(out, level, *site, cond);
+            }
+            indent(out, level);
+            out.push_str(&format!("if ({}) ", expr_to_string(cond)));
+            print_block(out, then_block, level, show_pen);
+            if let Some(else_block) = else_block {
+                out.push_str(" else ");
+                print_block(out, else_block, level, show_pen);
+            }
+            out.push('\n');
+        }
+        Stmt::While { cond, body, site, .. } => {
+            if show_pen {
+                print_pen(out, level, *site, cond);
+            }
+            indent(out, level);
+            out.push_str(&format!("while ({}) ", expr_to_string(cond)));
+            print_block(out, body, level, show_pen);
+            out.push('\n');
+        }
+        Stmt::Return { value, .. } => {
+            indent(out, level);
+            match value {
+                Some(v) => out.push_str(&format!("return {};\n", expr_to_string(v))),
+                None => out.push_str("return;\n"),
+            }
+        }
+        Stmt::ExprStmt { expr, .. } => {
+            indent(out, level);
+            out.push_str(&format!("{};\n", expr_to_string(expr)));
+        }
+    }
+}
+
+fn print_pen(out: &mut String, level: usize, site: Option<u32>, cond: &Expr) {
+    if let (Some(site), Some((op, lhs, rhs))) = (site, crate::instrument::as_comparison(cond)) {
+        indent(out, level);
+        out.push_str(&format!(
+            "r = pen({site}, {op}, {}, {});\n",
+            expr_to_string(lhs),
+            expr_to_string(rhs)
+        ));
+    }
+}
+
+/// Renders an expression with minimal parenthesization (every binary node is
+/// parenthesized, which is always correct if not always minimal).
+pub fn expr_to_string(expr: &Expr) -> String {
+    match expr {
+        Expr::Int(v) => format!("{v}"),
+        Expr::Float(v) => {
+            if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e16 {
+                format!("{v:.1}")
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::Var(name) => name.clone(),
+        Expr::Unary { op, expr } => {
+            let symbol = match op {
+                UnOp::Neg => "-",
+                UnOp::BitNot => "~",
+                UnOp::Not => "!",
+            };
+            format!("{symbol}{}", expr_to_string(expr))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let symbol = binop_symbol(*op);
+            format!("({} {symbol} {})", expr_to_string(lhs), expr_to_string(rhs))
+        }
+        Expr::Cast { ty, expr } => format!("({ty}) {}", expr_to_string(expr)),
+        Expr::Call { name, args } => {
+            let rendered: Vec<String> = args.iter().map(expr_to_string).collect();
+            format!("{name}({})", rendered.join(", "))
+        }
+    }
+}
+
+fn binop_symbol(op: BinOp) -> String {
+    match op {
+        BinOp::Add => "+".to_string(),
+        BinOp::Sub => "-".to_string(),
+        BinOp::Mul => "*".to_string(),
+        BinOp::Div => "/".to_string(),
+        BinOp::Rem => "%".to_string(),
+        BinOp::BitAnd => "&".to_string(),
+        BinOp::BitOr => "|".to_string(),
+        BinOp::BitXor => "^".to_string(),
+        BinOp::Shl => "<<".to_string(),
+        BinOp::Shr => ">>".to_string(),
+        BinOp::Cmp(cmp) => cmp.symbol().to_string(),
+        BinOp::LogicalAnd => "&&".to_string(),
+        BinOp::LogicalOr => "||".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::instrument;
+    use crate::parser::parse;
+    use crate::typeck::check;
+
+    const SOURCE: &str = r#"
+        double foo(double x) {
+            if (x <= 1.0) { x = x + 2.5; }
+            double y = x * x;
+            if (y == 4.0) { return 1.0; }
+            return 0.0;
+        }
+    "#;
+
+    #[test]
+    fn plain_printing_roundtrips_through_the_parser() {
+        let module = check(parse(SOURCE).unwrap()).unwrap();
+        let printed = to_source(&module);
+        let reparsed = check(parse(&printed).unwrap()).unwrap();
+        // Printing the reparsed module again is a fixpoint.
+        assert_eq!(to_source(&reparsed), printed);
+    }
+
+    #[test]
+    fn instrumented_printing_shows_pen_assignments() {
+        let module = check(parse(SOURCE).unwrap()).unwrap();
+        let inst = instrument(module, "foo").unwrap();
+        let printed = to_instrumented_source(&inst);
+        assert!(printed.contains("r = pen(0, <=, x, 1.0);"));
+        assert!(printed.contains("r = pen(1, ==, y, 4.0);"));
+    }
+
+    #[test]
+    fn expression_rendering_covers_operators() {
+        let module = check(
+            parse("int f(int a, int b) { return ((a & b) | (a ^ b)) << (a % (b + 1)); }")
+                .unwrap(),
+        )
+        .unwrap();
+        let printed = to_source(&module);
+        for symbol in ["&", "|", "^", "<<", "%"] {
+            assert!(printed.contains(symbol), "missing {symbol} in {printed}");
+        }
+    }
+
+    #[test]
+    fn casts_and_calls_render() {
+        let module =
+            check(parse("double f(double x) { return sqrt((double) ((int) x)); }").unwrap())
+                .unwrap();
+        let printed = to_source(&module);
+        assert!(printed.contains("sqrt((double) (int) x)"));
+    }
+}

@@ -1,0 +1,378 @@
+//! Type checking for the FPIR mini-language.
+//!
+//! The language follows C's arithmetic conventions for the `double`/`int`
+//! pair: arithmetic between an `int` and a `double` promotes to `double`,
+//! assignments and initializations convert implicitly (truncating on
+//! `double → int`, as Fdlibm code expects from `(int) x`), and the bitwise
+//! operators, shifts and `%` are integer-only. The checker validates name
+//! resolution, call signatures and those operator restrictions; it does not
+//! rewrite the tree (the interpreter re-derives operand types dynamically,
+//! which keeps the AST small and the two phases independently testable).
+
+use std::collections::HashMap;
+
+use crate::ast::{builtin_signature, BinOp, Block, Expr, Module, Stmt, Ty, UnOp};
+use crate::error::{CompileError, ErrorKind};
+
+/// Type-checks a module, returning it unchanged on success.
+///
+/// # Errors
+///
+/// Returns the first name-resolution or type error found.
+pub fn check(module: Module) -> Result<Module, CompileError> {
+    let mut signatures: HashMap<String, (Vec<Ty>, Ty)> = HashMap::new();
+    for f in &module.functions {
+        if builtin_signature(&f.name).is_some() {
+            return Err(CompileError::at(
+                ErrorKind::Type,
+                f.line,
+                format!("function `{}` shadows a builtin", f.name),
+            ));
+        }
+        if signatures
+            .insert(
+                f.name.clone(),
+                (f.params.iter().map(|p| p.ty).collect(), f.ret),
+            )
+            .is_some()
+        {
+            return Err(CompileError::at(
+                ErrorKind::Type,
+                f.line,
+                format!("duplicate definition of function `{}`", f.name),
+            ));
+        }
+    }
+
+    for f in &module.functions {
+        let mut checker = Checker {
+            signatures: &signatures,
+            scopes: vec![HashMap::new()],
+            ret: f.ret,
+        };
+        for p in &f.params {
+            if p.ty == Ty::Void {
+                return Err(CompileError::at(
+                    ErrorKind::Type,
+                    f.line,
+                    format!("parameter `{}` cannot have type void", p.name),
+                ));
+            }
+            checker.declare(&p.name, p.ty, f.line)?;
+        }
+        checker.check_block(&f.body)?;
+    }
+    Ok(module)
+}
+
+struct Checker<'a> {
+    signatures: &'a HashMap<String, (Vec<Ty>, Ty)>,
+    scopes: Vec<HashMap<String, Ty>>,
+    ret: Ty,
+}
+
+impl Checker<'_> {
+    fn declare(&mut self, name: &str, ty: Ty, line: u32) -> Result<(), CompileError> {
+        let scope = self.scopes.last_mut().expect("at least one scope");
+        if scope.insert(name.to_string(), ty).is_some() {
+            return Err(CompileError::at(
+                ErrorKind::Type,
+                line,
+                format!("variable `{name}` redeclared in the same scope"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<Ty> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn check_block(&mut self, block: &Block) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            self.check_stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Decl { ty, name, init, line } => {
+                if *ty == Ty::Void {
+                    return Err(CompileError::at(
+                        ErrorKind::Type,
+                        *line,
+                        format!("variable `{name}` cannot have type void"),
+                    ));
+                }
+                if let Some(init) = init {
+                    let init_ty = self.check_expr(init, *line)?;
+                    ensure_scalar(init_ty, *line)?;
+                }
+                self.declare(name, *ty, *line)
+            }
+            Stmt::Assign { name, value, line } => {
+                let Some(_target) = self.lookup(name) else {
+                    return Err(CompileError::at(
+                        ErrorKind::Type,
+                        *line,
+                        format!("assignment to undeclared variable `{name}`"),
+                    ));
+                };
+                let value_ty = self.check_expr(value, *line)?;
+                ensure_scalar(value_ty, *line)
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                line,
+                ..
+            } => {
+                let cond_ty = self.check_expr(cond, *line)?;
+                ensure_scalar(cond_ty, *line)?;
+                self.check_block(then_block)?;
+                if let Some(else_block) = else_block {
+                    self.check_block(else_block)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, line, .. } => {
+                let cond_ty = self.check_expr(cond, *line)?;
+                ensure_scalar(cond_ty, *line)?;
+                self.check_block(body)
+            }
+            Stmt::Return { value, line } => match (value, self.ret) {
+                (None, Ty::Void) => Ok(()),
+                (None, other) => Err(CompileError::at(
+                    ErrorKind::Type,
+                    *line,
+                    format!("return without a value in a function returning {other}"),
+                )),
+                (Some(_), Ty::Void) => Err(CompileError::at(
+                    ErrorKind::Type,
+                    *line,
+                    "return with a value in a void function",
+                )),
+                (Some(v), _) => {
+                    let ty = self.check_expr(v, *line)?;
+                    ensure_scalar(ty, *line)
+                }
+            },
+            Stmt::ExprStmt { expr, line } => {
+                self.check_expr(expr, *line)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn check_expr(&mut self, expr: &Expr, line: u32) -> Result<Ty, CompileError> {
+        match expr {
+            Expr::Int(_) => Ok(Ty::Int),
+            Expr::Float(_) => Ok(Ty::Double),
+            Expr::Var(name) => self.lookup(name).ok_or_else(|| {
+                CompileError::at(ErrorKind::Type, line, format!("unknown variable `{name}`"))
+            }),
+            Expr::Unary { op, expr } => {
+                let ty = self.check_expr(expr, line)?;
+                ensure_scalar(ty, line)?;
+                match op {
+                    UnOp::Neg => Ok(ty),
+                    UnOp::BitNot => {
+                        if ty != Ty::Int {
+                            return Err(CompileError::at(
+                                ErrorKind::Type,
+                                line,
+                                "bitwise complement requires an int operand",
+                            ));
+                        }
+                        Ok(Ty::Int)
+                    }
+                    UnOp::Not => Ok(Ty::Int),
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let lt = self.check_expr(lhs, line)?;
+                let rt = self.check_expr(rhs, line)?;
+                ensure_scalar(lt, line)?;
+                ensure_scalar(rt, line)?;
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                        if lt == Ty::Double || rt == Ty::Double {
+                            Ok(Ty::Double)
+                        } else {
+                            Ok(Ty::Int)
+                        }
+                    }
+                    BinOp::Rem
+                    | BinOp::BitAnd
+                    | BinOp::BitOr
+                    | BinOp::BitXor
+                    | BinOp::Shl
+                    | BinOp::Shr => {
+                        if lt != Ty::Int || rt != Ty::Int {
+                            return Err(CompileError::at(
+                                ErrorKind::Type,
+                                line,
+                                format!("operator requires int operands, got {lt} and {rt}"),
+                            ));
+                        }
+                        Ok(Ty::Int)
+                    }
+                    BinOp::Cmp(_) | BinOp::LogicalAnd | BinOp::LogicalOr => Ok(Ty::Int),
+                }
+            }
+            Expr::Cast { ty, expr } => {
+                if *ty == Ty::Void {
+                    return Err(CompileError::at(ErrorKind::Type, line, "cannot cast to void"));
+                }
+                let inner = self.check_expr(expr, line)?;
+                ensure_scalar(inner, line)?;
+                Ok(*ty)
+            }
+            Expr::Call { name, args } => {
+                let (params, ret): (Vec<Ty>, Ty) = if let Some((params, ret)) =
+                    builtin_signature(name)
+                {
+                    (params.to_vec(), ret)
+                } else if let Some((params, ret)) = self.signatures.get(name) {
+                    (params.clone(), *ret)
+                } else {
+                    return Err(CompileError::at(
+                        ErrorKind::Type,
+                        line,
+                        format!("call to unknown function `{name}`"),
+                    ));
+                };
+                if params.len() != args.len() {
+                    return Err(CompileError::at(
+                        ErrorKind::Type,
+                        line,
+                        format!(
+                            "`{name}` expects {} argument(s), got {}",
+                            params.len(),
+                            args.len()
+                        ),
+                    ));
+                }
+                for arg in args {
+                    let ty = self.check_expr(arg, line)?;
+                    ensure_scalar(ty, line)?;
+                }
+                Ok(ret)
+            }
+        }
+    }
+}
+
+fn ensure_scalar(ty: Ty, line: u32) -> Result<(), CompileError> {
+    if ty == Ty::Void {
+        Err(CompileError::at(
+            ErrorKind::Type,
+            line,
+            "void value used where a scalar is required",
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<Module, CompileError> {
+        check(parse(src).expect("parses"))
+    }
+
+    #[test]
+    fn accepts_well_typed_program() {
+        check_src(
+            r#"
+            double square(double x) { return x * x; }
+            double foo(double x) {
+                int ix = high_word(x) & 0x7fffffff;
+                if (ix >= 0x7ff00000) { return 0.0; }
+                double y = square(x) + 1;
+                return y;
+            }
+            "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let err = check_src("double f(double x) { return y; }").unwrap_err();
+        assert!(err.message.contains("unknown variable"));
+    }
+
+    #[test]
+    fn rejects_unknown_function() {
+        let err = check_src("double f(double x) { return g(x); }").unwrap_err();
+        assert!(err.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn rejects_wrong_arity_call() {
+        let err = check_src("double f(double x) { return sqrt(x, x); }").unwrap_err();
+        assert!(err.message.contains("expects 1 argument"));
+    }
+
+    #[test]
+    fn rejects_bitwise_on_double() {
+        let err = check_src("double f(double x) { return x & 1; }").unwrap_err();
+        assert!(err.message.contains("int operands"));
+    }
+
+    #[test]
+    fn rejects_duplicate_function() {
+        let err =
+            check_src("double f(double x) { return x; } double f(double y) { return y; }")
+                .unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_shadowing_builtin() {
+        let err = check_src("double sqrt(double x) { return x; }").unwrap_err();
+        assert!(err.message.contains("shadows a builtin"));
+    }
+
+    #[test]
+    fn rejects_assignment_to_undeclared() {
+        let err = check_src("double f(double x) { y = 1.0; return x; }").unwrap_err();
+        assert!(err.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn rejects_redeclaration_in_same_scope() {
+        let err =
+            check_src("double f(double x) { double a; double a; return x; }").unwrap_err();
+        assert!(err.message.contains("redeclared"));
+    }
+
+    #[test]
+    fn allows_shadowing_in_inner_scope() {
+        check_src(
+            "double f(double x) { double a = 1.0; if (x < 0.0) { double a = 2.0; x = a; } return a; }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_void_return_mismatch() {
+        let err = check_src("double f(double x) { return; }").unwrap_err();
+        assert!(err.message.contains("without a value"));
+        let err = check_src("void f(double x) { return x; }").unwrap_err();
+        assert!(err.message.contains("void function"));
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes() {
+        check_src("double f(double x) { int i = 2; return x + i; }").unwrap();
+    }
+}

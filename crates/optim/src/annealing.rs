@@ -1,0 +1,205 @@
+//! Simulated annealing.
+//!
+//! A classic Metropolis sampler with a geometric cooling schedule. CoverMe
+//! itself uses Basinhopping, but the paper's Sect. 2 frames MCMC methods in
+//! general as suitable backends; this implementation is used by the
+//! ablation benchmarks to measure how much the local-minimization step inside
+//! Basinhopping actually contributes.
+
+use crate::derive_rng;
+use crate::result::{Minimum, OptimStats};
+use crate::sampling::PerturbationKind;
+
+/// Configuration and entry point for simulated annealing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatedAnnealing {
+    /// Number of Metropolis steps.
+    pub steps: usize,
+    /// Initial temperature.
+    pub initial_temperature: f64,
+    /// Multiplicative cooling factor applied each step (in `(0, 1]`).
+    pub cooling: f64,
+    /// Proposal distribution.
+    pub perturbation: PerturbationKind,
+    /// Random seed.
+    pub seed: u64,
+    /// Optional early-stop threshold on the objective.
+    pub target_value: Option<f64>,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        SimulatedAnnealing {
+            steps: 2000,
+            initial_temperature: 1.0,
+            cooling: 0.995,
+            perturbation: PerturbationKind::Gaussian { stddev: 1.0 },
+            seed: 0,
+            target_value: None,
+        }
+    }
+}
+
+impl SimulatedAnnealing {
+    /// Creates an annealer with default schedule parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of Metropolis steps.
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.steps = steps;
+        self
+    }
+
+    /// Sets the random seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the proposal distribution.
+    pub fn perturbation(mut self, perturbation: PerturbationKind) -> Self {
+        self.perturbation = perturbation;
+        self
+    }
+
+    /// Stops early once the objective value is `<= target`.
+    pub fn target_value(mut self, target: f64) -> Self {
+        self.target_value = Some(target);
+        self
+    }
+
+    /// Minimizes `f` starting from `x0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty.
+    pub fn minimize<F>(&self, f: &mut F, x0: &[f64]) -> Minimum
+    where
+        F: FnMut(&[f64]) -> f64,
+    {
+        assert!(!x0.is_empty(), "cannot minimize a zero-dimensional function");
+        let mut rng = derive_rng(self.seed, 0xA22E_A1);
+        let dim = x0.len();
+        let mut evals = 0usize;
+        let eval = |f: &mut F, x: &[f64], evals: &mut usize| -> f64 {
+            *evals += 1;
+            let v = f(x);
+            if v.is_nan() {
+                f64::INFINITY
+            } else {
+                v
+            }
+        };
+
+        let mut current = x0.to_vec();
+        let mut current_value = eval(f, &current, &mut evals);
+        let mut best = current.clone();
+        let mut best_value = current_value;
+        let mut temperature = self.initial_temperature;
+        let mut iterations = 0usize;
+
+        for _ in 0..self.steps {
+            iterations += 1;
+            let delta = self.perturbation.sample(&mut rng, dim);
+            let proposal: Vec<f64> = current.iter().zip(&delta).map(|(x, d)| x + d).collect();
+            let proposal_value = eval(f, &proposal, &mut evals);
+
+            let accept = if proposal_value < current_value {
+                true
+            } else {
+                let m = rng.next_f64();
+                m < ((current_value - proposal_value) / temperature.max(1e-300)).exp()
+            };
+            if accept {
+                current = proposal;
+                current_value = proposal_value;
+                if current_value < best_value {
+                    best_value = current_value;
+                    best = current.clone();
+                }
+            }
+            temperature *= self.cooling;
+            if let Some(target) = self.target_value {
+                if best_value <= target {
+                    break;
+                }
+            }
+        }
+
+        Minimum {
+            x: best,
+            value: best_value,
+            stats: OptimStats {
+                evaluations: evals,
+                iterations,
+                converged: self.target_value.map(|t| best_value <= t).unwrap_or(false),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_sphere_objective() {
+        let mut f = |p: &[f64]| p.iter().map(|x| x * x).sum::<f64>();
+        let start = vec![8.0, -7.0];
+        let f0 = f(&start);
+        let m = SimulatedAnnealing::new().seed(1).minimize(&mut f, &start);
+        assert!(m.value < f0 * 0.01, "no real progress: {}", m.value);
+    }
+
+    #[test]
+    fn escapes_shallow_local_minimum_eventually() {
+        let mut f = |p: &[f64]| {
+            let x = p[0];
+            ((x + 2.0).powi(2)) * ((x - 3.0).powi(2) + 0.5) / 10.0
+        };
+        let m = SimulatedAnnealing::new()
+            .steps(20_000)
+            .seed(3)
+            .minimize(&mut f, &[3.0]);
+        assert!(m.value < 0.05, "value {}", m.value);
+    }
+
+    #[test]
+    fn early_stop_on_target() {
+        let mut count = 0usize;
+        let mut f = |p: &[f64]| {
+            count += 1;
+            if p[0] <= 1.0 {
+                0.0
+            } else {
+                (p[0] - 1.0).powi(2)
+            }
+        };
+        let m = SimulatedAnnealing::new()
+            .steps(100_000)
+            .target_value(0.0)
+            .seed(5)
+            .minimize(&mut f, &[0.5]);
+        assert_eq!(m.value, 0.0);
+        assert!(count < 10, "started at a zero point, should stop immediately");
+        assert!(m.stats.converged);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let run = || {
+            let mut f = |p: &[f64]| (p[0] - 3.0).powi(2);
+            SimulatedAnnealing::new().seed(9).minimize(&mut f, &[0.0])
+        };
+        assert_eq!(run().x, run().x);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-dimensional")]
+    fn rejects_empty_input() {
+        let mut f = |_: &[f64]| 0.0;
+        let _ = SimulatedAnnealing::new().minimize(&mut f, &[]);
+    }
+}

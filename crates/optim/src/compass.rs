@@ -1,0 +1,187 @@
+//! Compass (coordinate pattern) search.
+//!
+//! A very simple derivative-free local minimizer: probe `x ± h·e_i` along
+//! every coordinate axis, move to the best improving probe, and halve the
+//! step when no probe improves. It converges slowly but makes no smoothness
+//! assumptions at all, which makes it a useful ablation point against Powell
+//! and Nelder–Mead on the piecewise-quadratic representing functions CoverMe
+//! produces.
+
+use crate::result::{Minimum, OptimStats};
+
+/// Configuration and entry point for compass search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompassSearch {
+    /// Initial step size applied to every coordinate.
+    pub initial_step: f64,
+    /// The search stops when the step size drops below this threshold.
+    pub min_step: f64,
+    /// Step contraction factor applied after an unsuccessful sweep.
+    pub contraction: f64,
+    /// Step expansion factor applied after a successful sweep.
+    pub expansion: f64,
+    /// Maximum number of probe sweeps.
+    pub max_iterations: usize,
+}
+
+impl Default for CompassSearch {
+    fn default() -> Self {
+        CompassSearch {
+            initial_step: 1.0,
+            min_step: 1e-10,
+            contraction: 0.5,
+            expansion: 2.0,
+            max_iterations: 2000,
+        }
+    }
+}
+
+impl CompassSearch {
+    /// Creates a compass search with default parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the initial probe step.
+    pub fn initial_step(mut self, step: f64) -> Self {
+        self.initial_step = step;
+        self
+    }
+
+    /// Sets the sweep budget.
+    pub fn max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Minimizes `f` starting from `x0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty.
+    pub fn minimize<F>(&self, f: &mut F, x0: &[f64]) -> Minimum
+    where
+        F: FnMut(&[f64]) -> f64,
+    {
+        assert!(!x0.is_empty(), "cannot minimize a zero-dimensional function");
+        let n = x0.len();
+        let mut evals = 0usize;
+        let eval = |f: &mut F, x: &[f64], evals: &mut usize| -> f64 {
+            *evals += 1;
+            let v = f(x);
+            if v.is_nan() {
+                f64::INFINITY
+            } else {
+                v
+            }
+        };
+
+        let mut point = x0.to_vec();
+        let mut value = eval(f, &point, &mut evals);
+        let mut step = self.initial_step;
+        let mut iterations = 0usize;
+        let mut converged = false;
+
+        while iterations < self.max_iterations {
+            iterations += 1;
+            let mut best_probe: Option<(Vec<f64>, f64)> = None;
+            for i in 0..n {
+                for sign in [1.0, -1.0] {
+                    let mut probe = point.clone();
+                    probe[i] += sign * step;
+                    let pv = eval(f, &probe, &mut evals);
+                    let improves_current = pv < value;
+                    let improves_best = best_probe
+                        .as_ref()
+                        .map(|(_, bv)| pv < *bv)
+                        .unwrap_or(true);
+                    if improves_current && improves_best {
+                        best_probe = Some((probe, pv));
+                    }
+                }
+            }
+            match best_probe {
+                Some((probe, pv)) => {
+                    point = probe;
+                    value = pv;
+                    step *= self.expansion;
+                }
+                None => {
+                    step *= self.contraction;
+                    if step < self.min_step {
+                        converged = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        Minimum {
+            x: point,
+            value,
+            stats: OptimStats {
+                evaluations: evals,
+                iterations,
+                converged,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_sphere() {
+        let mut f = |p: &[f64]| p.iter().map(|x| x * x).sum::<f64>();
+        let m = CompassSearch::new().minimize(&mut f, &[2.0, -3.0]);
+        assert!(m.value < 1e-8, "value {}", m.value);
+    }
+
+    #[test]
+    fn minimizes_absolute_value_nonsmooth() {
+        // |x - 2| + |y + 1| is non-smooth at the optimum; compass search
+        // handles it without derivatives or interpolation.
+        let mut f = |p: &[f64]| (p[0] - 2.0).abs() + (p[1] + 1.0).abs();
+        let m = CompassSearch::new().minimize(&mut f, &[10.0, 10.0]);
+        assert!(m.value < 1e-6, "value {}", m.value);
+        assert!((m.x[0] - 2.0).abs() < 1e-6);
+        assert!((m.x[1] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn handles_plateau_objective() {
+        let mut f = |p: &[f64]| if p[0] <= 1.0 { 0.0 } else { (p[0] - 1.0).powi(2) };
+        let m = CompassSearch::new().minimize(&mut f, &[8.0]);
+        assert_eq!(m.value, 0.0);
+    }
+
+    #[test]
+    fn converged_flag_and_eval_count() {
+        let mut count = 0usize;
+        let mut f = |p: &[f64]| {
+            count += 1;
+            (p[0] - 4.0).powi(2)
+        };
+        let m = CompassSearch::new().minimize(&mut f, &[0.0]);
+        assert!(m.stats.converged);
+        assert_eq!(m.stats.evaluations, count);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let mut f = |p: &[f64]| (p[0] - 4.0).powi(2);
+        let m = CompassSearch::new()
+            .max_iterations(2)
+            .minimize(&mut f, &[1000.0]);
+        assert!(m.stats.iterations <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-dimensional")]
+    fn rejects_empty_input() {
+        let mut f = |_: &[f64]| 0.0;
+        let _ = CompassSearch::new().minimize(&mut f, &[]);
+    }
+}

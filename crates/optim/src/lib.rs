@@ -1,0 +1,182 @@
+//! Unconstrained programming backends for CoverMe.
+//!
+//! The CoverMe algorithm (Fu & Su, PLDI 2017) reduces branch-coverage testing
+//! to *unconstrained programming*: given an objective function
+//! `f: R^n -> R`, find a point `x*` with `f(x*) <= f(x)` for all `x`.
+//! The paper treats the minimization backend as a black box; its
+//! implementation uses SciPy's Basinhopping (an MCMC sampler over local
+//! minima) with Powell's method as the local minimizer.
+//!
+//! This crate reimplements that substrate from scratch:
+//!
+//! * [`basinhopping`] — the Basinhopping / Monte-Carlo-Markov-Chain global
+//!   minimizer of Algorithm 1 (lines 24–34) of the paper,
+//! * [`powell`] — Powell's direction-set method with Brent line search,
+//! * [`nelder_mead`] — the Nelder–Mead simplex method,
+//! * [`compass`] — compass (coordinate pattern) search,
+//! * [`annealing`] — classic simulated annealing, used for ablations,
+//! * [`multistart`] — a multi-start driver that restarts any local method
+//!   from random points,
+//! * [`line_search`] — 1-D bracketing, golden-section and Brent minimization
+//!   used by Powell.
+//!
+//! All minimizers operate on plain `&[f64]` points and objective closures
+//! `FnMut(&[f64]) -> f64`, so any representing function produced by the
+//! `coverme` crate (or any other numeric function) can be plugged in.
+//!
+//! # Example
+//!
+//! ```
+//! use coverme_optim::{BasinHopping, LocalMethod};
+//!
+//! // f(x, y) = (x - 3)^2 + (y - 5)^2, the running example of the paper (Eq. 1).
+//! let mut f = |p: &[f64]| (p[0] - 3.0).powi(2) + (p[1] - 5.0).powi(2);
+//! let result = BasinHopping::new()
+//!     .local_method(LocalMethod::Powell)
+//!     .iterations(5)
+//!     .seed(42)
+//!     .minimize(&mut f, &[0.0, 0.0]);
+//! assert!(result.value < 1e-8);
+//! assert!((result.x[0] - 3.0).abs() < 1e-4);
+//! assert!((result.x[1] - 5.0).abs() < 1e-4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annealing;
+pub mod basinhopping;
+pub mod compass;
+pub mod line_search;
+pub mod multistart;
+pub mod nelder_mead;
+pub mod powell;
+pub mod result;
+pub mod rng;
+pub mod sampling;
+
+pub use annealing::SimulatedAnnealing;
+pub use basinhopping::{BasinHopping, HopDecision, HopEvent};
+pub use compass::CompassSearch;
+pub use multistart::MultiStart;
+pub use nelder_mead::NelderMead;
+pub use powell::Powell;
+pub use result::{Minimum, OptimStats};
+pub use sampling::{PerturbationKind, StartingPointStrategy};
+
+use rng::SplitMix64;
+
+/// Selects which local minimization algorithm a global method should use.
+///
+/// The paper's experiments set `LM = "powell"`; the other variants exist for
+/// the local-minimizer ablation (`benches/ablation_local_minimizer.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LocalMethod {
+    /// Powell's direction-set method with Brent line search (paper default).
+    #[default]
+    Powell,
+    /// Nelder–Mead downhill simplex.
+    NelderMead,
+    /// Compass (coordinate pattern) search.
+    Compass,
+    /// No local refinement at all: the raw perturbed point is used.
+    None,
+}
+
+impl LocalMethod {
+    /// Runs the selected local minimizer on `f` starting from `x0`.
+    ///
+    /// Each method is run with its default options; construct the concrete
+    /// structs ([`Powell`], [`NelderMead`], [`CompassSearch`]) directly for
+    /// fine-grained control.
+    pub fn minimize<F>(&self, f: &mut F, x0: &[f64]) -> Minimum
+    where
+        F: FnMut(&[f64]) -> f64,
+    {
+        match self {
+            LocalMethod::Powell => Powell::new().minimize(f, x0),
+            LocalMethod::NelderMead => NelderMead::new().minimize(f, x0),
+            LocalMethod::Compass => CompassSearch::new().minimize(f, x0),
+            LocalMethod::None => {
+                let value = f(x0);
+                Minimum {
+                    x: x0.to_vec(),
+                    value,
+                    stats: OptimStats {
+                        evaluations: 1,
+                        iterations: 0,
+                        converged: true,
+                    },
+                }
+            }
+        }
+    }
+
+    /// Human-readable name, used by benchmark harnesses when printing tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LocalMethod::Powell => "powell",
+            LocalMethod::NelderMead => "nelder-mead",
+            LocalMethod::Compass => "compass",
+            LocalMethod::None => "none",
+        }
+    }
+}
+
+/// A deterministic pseudo-random source shared by the global methods.
+///
+/// All stochastic algorithms in this crate take an explicit `u64` seed so
+/// that experiments are reproducible; this helper derives per-component
+/// streams from one master seed.
+pub(crate) fn derive_rng(seed: u64, stream: u64) -> SplitMix64 {
+    SplitMix64::new(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_method_names_are_stable() {
+        assert_eq!(LocalMethod::Powell.name(), "powell");
+        assert_eq!(LocalMethod::NelderMead.name(), "nelder-mead");
+        assert_eq!(LocalMethod::Compass.name(), "compass");
+        assert_eq!(LocalMethod::None.name(), "none");
+    }
+
+    #[test]
+    fn local_method_none_evaluates_once() {
+        let mut calls = 0;
+        let mut f = |p: &[f64]| {
+            calls += 1;
+            p[0] * p[0]
+        };
+        let m = LocalMethod::None.minimize(&mut f, &[2.0]);
+        assert_eq!(m.value, 4.0);
+        assert_eq!(m.stats.evaluations, 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn default_local_method_is_powell() {
+        assert_eq!(LocalMethod::default(), LocalMethod::Powell);
+    }
+
+    #[test]
+    fn every_local_method_finds_quadratic_minimum() {
+        for method in [
+            LocalMethod::Powell,
+            LocalMethod::NelderMead,
+            LocalMethod::Compass,
+        ] {
+            let mut f = |p: &[f64]| (p[0] - 1.5).powi(2) + (p[1] + 2.0).powi(2);
+            let m = method.minimize(&mut f, &[10.0, 10.0]);
+            assert!(
+                m.value < 1e-6,
+                "{} failed: value {}",
+                method.name(),
+                m.value
+            );
+        }
+    }
+}

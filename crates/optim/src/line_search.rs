@@ -1,0 +1,460 @@
+//! One-dimensional minimization used by Powell's method.
+//!
+//! Powell's direction-set method repeatedly minimizes the objective along a
+//! line `t ↦ f(x + t·d)`. This module provides the classic toolbox for that
+//! inner problem: initial bracketing of a minimum ([`bracket`]),
+//! golden-section search ([`golden_section`]) and Brent's method
+//! ([`brent`]), which combines golden sections with parabolic interpolation.
+//!
+//! The implementations follow the standard formulations in *Numerical
+//! Recipes* (Press et al.), which is also the reference the paper cites for
+//! Powell's algorithm.
+
+/// A bracketing triple `(a, b, c)` with `a < b < c` (or `a > b > c`) and
+/// `f(b) <= f(a)`, `f(b) <= f(c)`, guaranteeing that a minimum of a
+/// continuous `f` lies between `a` and `c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bracket {
+    /// Left edge of the bracket.
+    pub a: f64,
+    /// Interior point with the smallest known objective value.
+    pub b: f64,
+    /// Right edge of the bracket.
+    pub c: f64,
+    /// `f(a)`.
+    pub fa: f64,
+    /// `f(b)`.
+    pub fb: f64,
+    /// `f(c)`.
+    pub fc: f64,
+    /// Number of objective evaluations spent while bracketing.
+    pub evaluations: usize,
+}
+
+/// Result of a one-dimensional minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineMinimum {
+    /// Abscissa of the minimum.
+    pub t: f64,
+    /// Objective value at [`LineMinimum::t`].
+    pub value: f64,
+    /// Number of objective evaluations used.
+    pub evaluations: usize,
+}
+
+/// Golden ratio constant used to grow brackets.
+const GOLD: f64 = 1.618_033_988_749_895;
+/// Maximum magnification allowed for a parabolic-fit step while bracketing.
+const GLIMIT: f64 = 100.0;
+/// Tiny value preventing division by zero in parabolic fits.
+const TINY: f64 = 1.0e-20;
+
+/// Brackets a minimum of `f` starting from the points `a` and `b`.
+///
+/// The routine walks downhill, magnifying its step by the golden ratio (with
+/// optional parabolic extrapolation), until the function starts increasing.
+/// If `f` keeps decreasing it gives up after `max_evals` evaluations and
+/// returns the last triple it saw, which subsequent searches treat as a best
+/// effort bracket.
+pub fn bracket<F>(f: &mut F, a: f64, b: f64, max_evals: usize) -> Bracket
+where
+    F: FnMut(f64) -> f64,
+{
+    let mut evals = 0;
+    let eval = |f: &mut F, t: f64, evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(t);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    let (mut ax, mut bx) = (a, b);
+    let mut fa = eval(f, ax, &mut evals);
+    let mut fb = eval(f, bx, &mut evals);
+    if fb > fa {
+        std::mem::swap(&mut ax, &mut bx);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut cx = bx + GOLD * (bx - ax);
+    let mut fc = eval(f, cx, &mut evals);
+
+    while fb > fc && evals < max_evals {
+        // Parabolic extrapolation from a, b, c.
+        let r = (bx - ax) * (fb - fc);
+        let q = (bx - cx) * (fb - fa);
+        let denom = 2.0 * sign_preserving_max(q - r, TINY);
+        let mut u = bx - ((bx - cx) * q - (bx - ax) * r) / denom;
+        let ulim = bx + GLIMIT * (cx - bx);
+        let fu;
+        if (bx - u) * (u - cx) > 0.0 {
+            // u is between b and c: try it.
+            fu = eval(f, u, &mut evals);
+            if fu < fc {
+                // Minimum between b and c.
+                return Bracket {
+                    a: bx,
+                    b: u,
+                    c: cx,
+                    fa: fb,
+                    fb: fu,
+                    fc,
+                    evaluations: evals,
+                };
+            } else if fu > fb {
+                // Minimum between a and u.
+                return Bracket {
+                    a: ax,
+                    b: bx,
+                    c: u,
+                    fa,
+                    fb,
+                    fc: fu,
+                    evaluations: evals,
+                };
+            }
+            // Parabolic fit was useless; use default magnification.
+            u = cx + GOLD * (cx - bx);
+            let fu2 = eval(f, u, &mut evals);
+            shift3(&mut ax, &mut bx, &mut cx, u);
+            shift3(&mut fa, &mut fb, &mut fc, fu2);
+            continue;
+        } else if (cx - u) * (u - ulim) > 0.0 {
+            // Fit is between c and the allowed limit.
+            let fu_probe = eval(f, u, &mut evals);
+            if fu_probe < fc {
+                // Keep walking downhill: discard a, slide everything left and
+                // take one more golden step past u.
+                let unew = u + GOLD * (u - cx);
+                let fnew = eval(f, unew, &mut evals);
+                ax = cx;
+                fa = fc;
+                bx = u;
+                fb = fu_probe;
+                cx = unew;
+                fc = fnew;
+                continue;
+            }
+            fu = fu_probe;
+        } else if (u - ulim) * (ulim - cx) >= 0.0 {
+            // Limit the step to ulim.
+            u = ulim;
+            fu = eval(f, u, &mut evals);
+        } else {
+            // Reject the fit, use default magnification.
+            u = cx + GOLD * (cx - bx);
+            fu = eval(f, u, &mut evals);
+        }
+        shift3(&mut ax, &mut bx, &mut cx, u);
+        shift3(&mut fa, &mut fb, &mut fc, fu);
+    }
+
+    Bracket {
+        a: ax,
+        b: bx,
+        c: cx,
+        fa,
+        fb,
+        fc,
+        evaluations: evals,
+    }
+}
+
+fn shift3(a: &mut f64, b: &mut f64, c: &mut f64, d: f64) {
+    *a = *b;
+    *b = *c;
+    *c = d;
+}
+
+fn sign_preserving_max(value: f64, floor: f64) -> f64 {
+    if value.abs() > floor {
+        value
+    } else if value >= 0.0 {
+        floor
+    } else {
+        -floor
+    }
+}
+
+/// Golden-section search inside a bracket.
+///
+/// Robust but linearly convergent; used as a fallback and in tests as a
+/// reference implementation for [`brent`].
+pub fn golden_section<F>(f: &mut F, bracket: &Bracket, tol: f64, max_iters: usize) -> LineMinimum
+where
+    F: FnMut(f64) -> f64,
+{
+    const R: f64 = 0.618_033_988_749_895;
+    const C: f64 = 1.0 - R;
+
+    let mut evals = 0;
+    let (a, b) = (bracket.a.min(bracket.c), bracket.a.max(bracket.c));
+    let mut x0 = a;
+    let mut x3 = b;
+    let (mut x1, mut x2);
+    if (b - bracket.b).abs() > (bracket.b - a).abs() {
+        x1 = bracket.b;
+        x2 = bracket.b + C * (b - bracket.b);
+    } else {
+        x2 = bracket.b;
+        x1 = bracket.b - C * (bracket.b - a);
+    }
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    evals += 2;
+
+    let mut iters = 0;
+    while (x3 - x0).abs() > tol * (x1.abs() + x2.abs()).max(1e-12) && iters < max_iters {
+        iters += 1;
+        if f2 < f1 {
+            x0 = x1;
+            x1 = x2;
+            x2 = R * x2 + C * x3;
+            f1 = f2;
+            f2 = f(x2);
+        } else {
+            x3 = x2;
+            x2 = x1;
+            x1 = R * x1 + C * x0;
+            f2 = f1;
+            f1 = f(x1);
+        }
+        evals += 1;
+    }
+    if f1 < f2 {
+        LineMinimum {
+            t: x1,
+            value: f1,
+            evaluations: evals,
+        }
+    } else {
+        LineMinimum {
+            t: x2,
+            value: f2,
+            evaluations: evals,
+        }
+    }
+}
+
+/// Brent's method: parabolic interpolation guarded by golden sections.
+///
+/// This is the line minimizer Powell's method uses. `tol` is a relative
+/// tolerance on the abscissa; values around `1e-8` are appropriate for
+/// double-precision objectives.
+pub fn brent<F>(f: &mut F, bracket: &Bracket, tol: f64, max_iters: usize) -> LineMinimum
+where
+    F: FnMut(f64) -> f64,
+{
+    const CGOLD: f64 = 0.381_966_011_250_105;
+    const ZEPS: f64 = 1.0e-18;
+
+    let mut evals = 0;
+    let mut a = bracket.a.min(bracket.c);
+    let mut b = bracket.a.max(bracket.c);
+    let mut x = bracket.b;
+    let mut w = bracket.b;
+    let mut v = bracket.b;
+    let mut fx = bracket.fb;
+    let mut fw = fx;
+    let mut fv = fx;
+    let mut d: f64 = 0.0;
+    let mut e: f64 = 0.0;
+
+    for _ in 0..max_iters {
+        let xm = 0.5 * (a + b);
+        let tol1 = tol * x.abs() + ZEPS;
+        let tol2 = 2.0 * tol1;
+        if (x - xm).abs() <= tol2 - 0.5 * (b - a) {
+            return LineMinimum {
+                t: x,
+                value: fx,
+                evaluations: evals,
+            };
+        }
+        if e.abs() > tol1 {
+            // Attempt a parabolic fit through x, v, w.
+            let r = (x - w) * (fx - fv);
+            let mut q = (x - v) * (fx - fw);
+            let mut p = (x - v) * q - (x - w) * r;
+            q = 2.0 * (q - r);
+            if q > 0.0 {
+                p = -p;
+            }
+            q = q.abs();
+            let etemp = e;
+            e = d;
+            if p.abs() >= (0.5 * q * etemp).abs() || p <= q * (a - x) || p >= q * (b - x) {
+                // Fit rejected: golden-section step into the larger segment.
+                e = if x >= xm { a - x } else { b - x };
+                d = CGOLD * e;
+            } else {
+                d = p / q;
+                let u = x + d;
+                if u - a < tol2 || b - u < tol2 {
+                    d = tol1.copysign(xm - x);
+                }
+            }
+        } else {
+            e = if x >= xm { a - x } else { b - x };
+            d = CGOLD * e;
+        }
+        let u = if d.abs() >= tol1 {
+            x + d
+        } else {
+            x + tol1.copysign(d)
+        };
+        let fu = {
+            evals += 1;
+            let v = f(u);
+            if v.is_nan() {
+                f64::INFINITY
+            } else {
+                v
+            }
+        };
+        if fu <= fx {
+            if u >= x {
+                a = x;
+            } else {
+                b = x;
+            }
+            shift3(&mut v, &mut w, &mut x, u);
+            shift3(&mut fv, &mut fw, &mut fx, fu);
+        } else {
+            if u < x {
+                a = u;
+            } else {
+                b = u;
+            }
+            if fu <= fw || w == x {
+                v = w;
+                fv = fw;
+                w = u;
+                fw = fu;
+            } else if fu <= fv || v == x || v == w {
+                v = u;
+                fv = fu;
+            }
+        }
+    }
+
+    LineMinimum {
+        t: x,
+        value: fx,
+        evaluations: evals,
+    }
+}
+
+/// Convenience wrapper: bracket from `(0, step)` then run Brent.
+///
+/// This is the call Powell's method makes for each direction sweep.
+pub fn minimize_along<F>(f: &mut F, step: f64, tol: f64) -> LineMinimum
+where
+    F: FnMut(f64) -> f64,
+{
+    let br = bracket(f, 0.0, step, 200);
+    let mut result = brent(f, &br, tol, 100);
+    result.evaluations += br.evaluations;
+    // Guard: never return a point worse than the bracket's best interior point.
+    if br.fb < result.value {
+        result = LineMinimum {
+            t: br.b,
+            value: br.fb,
+            evaluations: result.evaluations,
+        };
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad(t: f64) -> f64 {
+        (t - 2.5).powi(2) + 1.0
+    }
+
+    #[test]
+    fn bracket_encloses_minimum() {
+        let mut f = quad;
+        let br = bracket(&mut f, 0.0, 1.0, 100);
+        let lo = br.a.min(br.c);
+        let hi = br.a.max(br.c);
+        assert!(lo <= 2.5 && 2.5 <= hi, "bracket [{lo}, {hi}] misses 2.5");
+        assert!(br.fb <= br.fa && br.fb <= br.fc);
+    }
+
+    #[test]
+    fn bracket_walks_downhill_from_the_right() {
+        let mut f = quad;
+        let br = bracket(&mut f, 10.0, 9.0, 100);
+        let lo = br.a.min(br.c);
+        let hi = br.a.max(br.c);
+        assert!(lo <= 2.5 && 2.5 <= hi);
+    }
+
+    #[test]
+    fn brent_finds_quadratic_minimum() {
+        let mut f = quad;
+        let br = bracket(&mut f, 0.0, 1.0, 100);
+        let m = brent(&mut f, &br, 1e-10, 200);
+        assert!((m.t - 2.5).abs() < 1e-6);
+        assert!((m.value - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn golden_section_agrees_with_brent() {
+        let mut f = |t: f64| (t + 4.0).powi(2) * ((t + 4.0).powi(2) + 0.3);
+        let br = bracket(&mut f, 0.0, 1.0, 200);
+        let g = golden_section(&mut f, &br, 1e-10, 500);
+        let b = brent(&mut f, &br, 1e-10, 500);
+        assert!((g.t - b.t).abs() < 1e-4, "golden {} vs brent {}", g.t, b.t);
+    }
+
+    #[test]
+    fn brent_handles_flat_plateau() {
+        // f is 0 for t <= 1 and grows afterwards: the minimum set is a ray.
+        let mut f = |t: f64| if t <= 1.0 { 0.0 } else { (t - 1.0).powi(2) };
+        let m = minimize_along(&mut f, 1.0, 1e-9);
+        assert!(m.value <= 1e-12);
+    }
+
+    #[test]
+    fn minimize_along_piecewise_objective() {
+        // The Fig. 2(a) objective of the paper.
+        let mut f = |t: f64| if t <= 1.0 { 0.0 } else { (t - 1.0).powi(2) };
+        let m = minimize_along(&mut f, 0.5, 1e-9);
+        assert_eq!(m.value, 0.0);
+
+        // The Fig. 2(b) objective restricted to one basin.
+        let mut g = |t: f64| {
+            if t <= 1.0 {
+                ((t + 1.0).powi(2) - 4.0).powi(2)
+            } else {
+                (t * t - 4.0).powi(2)
+            }
+        };
+        let m = minimize_along(&mut g, 0.25, 1e-9);
+        assert!(m.value < 1e-8, "value {}", m.value);
+    }
+
+    #[test]
+    fn nan_objective_is_treated_as_infinite() {
+        let mut f = |t: f64| if t < 0.0 { f64::NAN } else { (t - 1.0).powi(2) };
+        let m = minimize_along(&mut f, 0.5, 1e-9);
+        assert!((m.t - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn minimize_along_counts_evaluations() {
+        let mut count = 0usize;
+        let mut f = |t: f64| {
+            count += 1;
+            (t - 3.0).powi(2)
+        };
+        let m = minimize_along(&mut f, 1.0, 1e-8);
+        assert_eq!(count, m.evaluations);
+    }
+}

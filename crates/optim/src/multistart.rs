@@ -1,0 +1,199 @@
+//! Multi-start global minimization.
+//!
+//! The outer loop of the paper's Algorithm 1 (lines 8–12) launches MCMC from
+//! `n_start` random starting points. This module packages that pattern so it
+//! can be reused both by the CoverMe driver and on its own: run any
+//! minimizer from repeated random starts, keep the best result, and stop as
+//! soon as an optional target value is reached.
+
+use crate::basinhopping::BasinHopping;
+use crate::derive_rng;
+use crate::result::Minimum;
+use crate::sampling::StartingPointStrategy;
+use crate::LocalMethod;
+
+/// A multi-start driver wrapping [`BasinHopping`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiStart {
+    /// Number of starting points (`n_start` in Algorithm 1).
+    pub starts: usize,
+    /// Dimension of the search space.
+    pub dimension: usize,
+    /// How starting points are drawn.
+    pub strategy: StartingPointStrategy,
+    /// The inner global minimizer launched from every start.
+    pub hopper: BasinHopping,
+    /// Seed for drawing starting points (independent from the hopper's).
+    pub seed: u64,
+    /// Optional early-stop threshold on the objective value.
+    pub target_value: Option<f64>,
+}
+
+impl MultiStart {
+    /// Creates a multi-start driver for a `dimension`-dimensional problem.
+    pub fn new(dimension: usize) -> Self {
+        MultiStart {
+            starts: 100,
+            dimension,
+            strategy: StartingPointStrategy::default(),
+            hopper: BasinHopping::new(),
+            seed: 0,
+            target_value: None,
+        }
+    }
+
+    /// Sets the number of random starts (`n_start`).
+    pub fn starts(mut self, starts: usize) -> Self {
+        self.starts = starts;
+        self
+    }
+
+    /// Sets the starting-point sampling strategy.
+    pub fn strategy(mut self, strategy: StartingPointStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the inner Basinhopping configuration.
+    pub fn hopper(mut self, hopper: BasinHopping) -> Self {
+        self.hopper = hopper;
+        self
+    }
+
+    /// Sets the local method of the inner hopper (convenience).
+    pub fn local_method(mut self, method: LocalMethod) -> Self {
+        self.hopper = self.hopper.local_method(method);
+        self
+    }
+
+    /// Sets the seed for drawing starting points.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Stops as soon as a start reaches an objective value `<= target`.
+    pub fn target_value(mut self, target: f64) -> Self {
+        self.target_value = Some(target);
+        self.hopper = self.hopper.target_value(target);
+        self
+    }
+
+    /// Minimizes `f` from repeated random starting points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured dimension is zero or `starts` is zero.
+    pub fn minimize<F>(&self, f: &mut F) -> Minimum
+    where
+        F: FnMut(&[f64]) -> f64,
+    {
+        assert!(self.dimension > 0, "dimension must be positive");
+        assert!(self.starts > 0, "at least one start is required");
+        let mut rng = derive_rng(self.seed, 0x57A7);
+        let mut best: Option<Minimum> = None;
+
+        for start_index in 0..self.starts {
+            let x0 = self.strategy.sample(&mut rng, self.dimension);
+            let hopper = self.hopper.clone().seed(self.hopper.seed ^ (start_index as u64) << 17);
+            let result = hopper.minimize(f, &x0);
+            best = Some(match best {
+                None => result,
+                Some(current_best) => current_best.better_of(result),
+            });
+            if let (Some(target), Some(b)) = (self.target_value, best.as_ref()) {
+                if b.value <= target {
+                    break;
+                }
+            }
+        }
+
+        best.expect("at least one start was performed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::PerturbationKind;
+
+    /// Rastrigin-like multi-modal function in 2D with global minimum 0 at the
+    /// origin.
+    fn rastrigin(p: &[f64]) -> f64 {
+        p.iter()
+            .map(|x| x * x - 10.0 * (2.0 * std::f64::consts::PI * x).cos() + 10.0)
+            .sum()
+    }
+
+    #[test]
+    fn finds_global_minimum_of_multimodal_function() {
+        let mut f = rastrigin;
+        let m = MultiStart::new(2)
+            .starts(40)
+            .strategy(StartingPointStrategy::UniformBox { lo: -5.12, hi: 5.12 })
+            .hopper(
+                BasinHopping::new()
+                    .iterations(10)
+                    .perturbation(PerturbationKind::Uniform { half_width: 1.0 }),
+            )
+            .seed(123)
+            .minimize(&mut f);
+        assert!(m.value < 1.0, "value {} at {:?}", m.value, m.x);
+    }
+
+    #[test]
+    fn early_stop_reduces_work() {
+        let mut evaluations = 0usize;
+        let mut f = |p: &[f64]| {
+            evaluations += 1;
+            if p[0] <= 1.0 {
+                0.0
+            } else {
+                (p[0] - 1.0).powi(2)
+            }
+        };
+        let _ = MultiStart::new(1)
+            .starts(500)
+            .target_value(0.0)
+            .seed(7)
+            .minimize(&mut f);
+        assert!(
+            evaluations < 5000,
+            "early stop did not kick in: {evaluations} evaluations"
+        );
+    }
+
+    #[test]
+    fn accumulates_statistics_across_starts() {
+        let mut f = |p: &[f64]| (p[0] - 2.0).powi(2);
+        let m = MultiStart::new(1).starts(3).seed(1).minimize(&mut f);
+        assert!(m.stats.evaluations > 0);
+        assert!((m.x[0] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let run = || {
+            let mut f = rastrigin;
+            MultiStart::new(2).starts(5).seed(11).minimize(&mut f)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.value, b.value);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn rejects_zero_dimension() {
+        let mut f = |_: &[f64]| 0.0;
+        let _ = MultiStart::new(0).minimize(&mut f);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one start")]
+    fn rejects_zero_starts() {
+        let mut f = |p: &[f64]| p[0];
+        let _ = MultiStart::new(1).starts(0).minimize(&mut f);
+    }
+}

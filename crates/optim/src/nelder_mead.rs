@@ -1,0 +1,308 @@
+//! The Nelder–Mead downhill simplex method.
+//!
+//! A derivative-free local minimizer that maintains a simplex of `n + 1`
+//! points in `R^n` and moves it through reflection, expansion, contraction
+//! and shrink steps. It is less sample-efficient than Powell's method on
+//! smooth objectives but copes better with the mildly discontinuous
+//! representing functions produced by `pen` when a branch flips.
+
+use crate::result::{Minimum, OptimStats};
+
+/// Configuration and entry point for the Nelder–Mead simplex method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMead {
+    /// Reflection coefficient (`alpha`), conventionally `1.0`.
+    pub alpha: f64,
+    /// Expansion coefficient (`gamma`), conventionally `2.0`.
+    pub gamma: f64,
+    /// Contraction coefficient (`rho`), conventionally `0.5`.
+    pub rho: f64,
+    /// Shrink coefficient (`sigma`), conventionally `0.5`.
+    pub sigma: f64,
+    /// Edge length of the initial simplex relative to `max(1, |x0_i|)`.
+    pub initial_step: f64,
+    /// Convergence tolerance on the spread of objective values.
+    pub f_tolerance: f64,
+    /// Convergence tolerance on the simplex diameter.
+    pub x_tolerance: f64,
+    /// Maximum number of iterations before giving up.
+    pub max_iterations: usize,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead {
+            alpha: 1.0,
+            gamma: 2.0,
+            rho: 0.5,
+            sigma: 0.5,
+            initial_step: 0.1,
+            f_tolerance: 1e-12,
+            x_tolerance: 1e-10,
+            max_iterations: 400,
+        }
+    }
+}
+
+impl NelderMead {
+    /// Creates a minimizer with the conventional coefficient choices.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the relative edge length of the initial simplex.
+    pub fn initial_step(mut self, step: f64) -> Self {
+        self.initial_step = step;
+        self
+    }
+
+    /// Sets the iteration budget.
+    pub fn max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Minimizes `f` starting from `x0`.
+    ///
+    /// NaN objective values are treated as `+inf` so a single undefined
+    /// evaluation cannot capture the simplex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty.
+    pub fn minimize<F>(&self, f: &mut F, x0: &[f64]) -> Minimum
+    where
+        F: FnMut(&[f64]) -> f64,
+    {
+        assert!(!x0.is_empty(), "cannot minimize a zero-dimensional function");
+        let n = x0.len();
+        let mut evals = 0usize;
+        let eval = |f: &mut F, x: &[f64], evals: &mut usize| -> f64 {
+            *evals += 1;
+            let v = f(x);
+            if v.is_nan() {
+                f64::INFINITY
+            } else {
+                v
+            }
+        };
+
+        // Initial simplex: x0 plus one perturbed vertex per dimension.
+        let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        simplex.push(x0.to_vec());
+        for i in 0..n {
+            let mut v = x0.to_vec();
+            let scale = self.initial_step * v[i].abs().max(1.0);
+            v[i] += scale;
+            simplex.push(v);
+        }
+        let mut values: Vec<f64> = simplex
+            .iter()
+            .map(|v| eval(f, v, &mut evals))
+            .collect();
+
+        let mut iterations = 0usize;
+        let mut converged = false;
+        while iterations < self.max_iterations {
+            iterations += 1;
+
+            // Order the simplex by objective value.
+            let mut order: Vec<usize> = (0..=n).collect();
+            order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap());
+            let best = order[0];
+            let worst = order[n];
+            let second_worst = order[n - 1];
+
+            // Convergence checks.
+            let f_spread = values[worst] - values[best];
+            let x_spread = simplex
+                .iter()
+                .map(|v| distance(v, &simplex[best]))
+                .fold(0.0_f64, f64::max);
+            if f_spread.abs() <= self.f_tolerance && x_spread <= self.x_tolerance {
+                converged = true;
+                break;
+            }
+
+            // Centroid of all vertices except the worst.
+            let mut centroid = vec![0.0; n];
+            for (idx, vertex) in simplex.iter().enumerate() {
+                if idx == worst {
+                    continue;
+                }
+                for (c, v) in centroid.iter_mut().zip(vertex) {
+                    *c += v;
+                }
+            }
+            for c in centroid.iter_mut() {
+                *c /= n as f64;
+            }
+
+            // Reflection.
+            let reflected = affine(&centroid, &simplex[worst], self.alpha);
+            let f_reflected = eval(f, &reflected, &mut evals);
+
+            if f_reflected < values[best] {
+                // Expansion.
+                let expanded = affine(&centroid, &simplex[worst], self.gamma);
+                let f_expanded = eval(f, &expanded, &mut evals);
+                if f_expanded < f_reflected {
+                    simplex[worst] = expanded;
+                    values[worst] = f_expanded;
+                } else {
+                    simplex[worst] = reflected;
+                    values[worst] = f_reflected;
+                }
+            } else if f_reflected < values[second_worst] {
+                simplex[worst] = reflected;
+                values[worst] = f_reflected;
+            } else {
+                // Contraction (outside if the reflected point improved on the
+                // worst vertex, inside otherwise).
+                let (contracted, f_contracted) = if f_reflected < values[worst] {
+                    let c = affine(&centroid, &simplex[worst], self.rho * self.alpha);
+                    let fc = eval(f, &c, &mut evals);
+                    (c, fc)
+                } else {
+                    let c = affine(&centroid, &simplex[worst], -self.rho);
+                    let fc = eval(f, &c, &mut evals);
+                    (c, fc)
+                };
+                if f_contracted < values[worst].min(f_reflected) {
+                    simplex[worst] = contracted;
+                    values[worst] = f_contracted;
+                } else {
+                    // Shrink towards the best vertex.
+                    let best_vertex = simplex[best].clone();
+                    for idx in 0..=n {
+                        if idx == best {
+                            continue;
+                        }
+                        for (v, b) in simplex[idx].iter_mut().zip(&best_vertex) {
+                            *v = b + self.sigma * (*v - b);
+                        }
+                        values[idx] = eval(f, &simplex[idx], &mut evals);
+                    }
+                }
+            }
+        }
+
+        let (best_idx, &best_value) = values
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .expect("simplex is never empty");
+        Minimum {
+            x: simplex[best_idx].clone(),
+            value: best_value,
+            stats: OptimStats {
+                evaluations: evals,
+                iterations,
+                converged,
+            },
+        }
+    }
+}
+
+fn affine(centroid: &[f64], vertex: &[f64], coefficient: f64) -> Vec<f64> {
+    centroid
+        .iter()
+        .zip(vertex)
+        .map(|(c, v)| c + coefficient * (c - v))
+        .collect()
+}
+
+fn distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_sphere() {
+        let mut f = |p: &[f64]| p.iter().map(|x| x * x).sum::<f64>();
+        let m = NelderMead::new().minimize(&mut f, &[3.0, -4.0, 5.0]);
+        assert!(m.value < 1e-8, "value {}", m.value);
+        assert!(m.x.iter().all(|v| v.abs() < 1e-3));
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let mut f =
+            |p: &[f64]| 100.0 * (p[1] - p[0] * p[0]).powi(2) + (1.0 - p[0]).powi(2);
+        let m = NelderMead::new()
+            .max_iterations(5000)
+            .minimize(&mut f, &[-1.2, 1.0]);
+        assert!(m.value < 1e-6, "value {}", m.value);
+        assert!((m.x[0] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn handles_one_dimension() {
+        let mut f = |p: &[f64]| (p[0] - 7.0).powi(2);
+        let m = NelderMead::new().minimize(&mut f, &[0.0]);
+        assert!((m.x[0] - 7.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn reports_convergence_on_easy_problem() {
+        let mut f = |p: &[f64]| p[0] * p[0];
+        let m = NelderMead::new().minimize(&mut f, &[1.0]);
+        assert!(m.stats.converged);
+        assert!(m.stats.evaluations > 0);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let mut f =
+            |p: &[f64]| 100.0 * (p[1] - p[0] * p[0]).powi(2) + (1.0 - p[0]).powi(2);
+        let m = NelderMead::new().max_iterations(3).minimize(&mut f, &[-1.2, 1.0]);
+        assert!(m.stats.iterations <= 3);
+        assert!(!m.stats.converged);
+    }
+
+    #[test]
+    fn nan_regions_do_not_trap_the_simplex() {
+        // NaN for x < 0, a parabola elsewhere.
+        let mut f = |p: &[f64]| {
+            if p[0] < 0.0 {
+                f64::NAN
+            } else {
+                (p[0] - 2.0).powi(2)
+            }
+        };
+        let m = NelderMead::new().minimize(&mut f, &[5.0]);
+        assert!((m.x[0] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-dimensional")]
+    fn rejects_empty_input() {
+        let mut f = |_: &[f64]| 0.0;
+        let _ = NelderMead::new().minimize(&mut f, &[]);
+    }
+
+    #[test]
+    fn piecewise_representing_function_shape() {
+        // Shape of the paper's Table 1 row 2 objective:
+        // ((x+1)^2-4)^2 for x <= 1, (x^2-4)^2 otherwise.
+        let mut f = |p: &[f64]| {
+            let x = p[0];
+            if x <= 1.0 {
+                ((x + 1.0).powi(2) - 4.0).powi(2)
+            } else {
+                (x * x - 4.0).powi(2)
+            }
+        };
+        // From a start near a basin the simplex reaches one of the roots
+        // {-3, 1, 2}.
+        let m = NelderMead::new().minimize(&mut f, &[0.5]);
+        assert!(m.value < 1e-8, "value {}", m.value);
+    }
+}

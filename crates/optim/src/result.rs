@@ -1,0 +1,142 @@
+//! Result types shared by every minimizer in this crate.
+
+/// Bookkeeping counters produced by a minimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimStats {
+    /// Number of objective-function evaluations performed.
+    pub evaluations: usize,
+    /// Number of outer iterations of the algorithm (meaning depends on the
+    /// algorithm: simplex reflections, Powell sweeps, Monte-Carlo hops, …).
+    pub iterations: usize,
+    /// Whether the algorithm's own convergence criterion was met, as opposed
+    /// to stopping because an iteration or evaluation budget ran out.
+    pub converged: bool,
+}
+
+impl OptimStats {
+    /// Merges two statistic records by summing counters.
+    ///
+    /// `converged` is the logical OR of the two — a composite algorithm (such
+    /// as Basinhopping) converged if any of its phases did.
+    pub fn merge(self, other: OptimStats) -> OptimStats {
+        OptimStats {
+            evaluations: self.evaluations + other.evaluations,
+            iterations: self.iterations + other.iterations,
+            converged: self.converged || other.converged,
+        }
+    }
+}
+
+/// A candidate minimum point returned by a minimizer.
+///
+/// The point is *claimed* to be a minimum: local methods return local minima,
+/// global methods return the best point found within their budget. CoverMe
+/// only trusts a point after re-evaluating the representing function on it
+/// (`FOO_R(x*) == 0`), exactly as the paper's Algorithm 1 (line 11) does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Minimum {
+    /// The minimizing input.
+    pub x: Vec<f64>,
+    /// The objective value at [`Minimum::x`].
+    pub value: f64,
+    /// Counters describing how much work was performed.
+    pub stats: OptimStats,
+}
+
+impl Minimum {
+    /// Creates a result with zeroed statistics. Mostly useful in tests.
+    pub fn new(x: Vec<f64>, value: f64) -> Self {
+        Minimum {
+            x,
+            value,
+            stats: OptimStats::default(),
+        }
+    }
+
+    /// Returns the better (lower objective value) of `self` and `other`,
+    /// merging their statistics so evaluation counts are not lost.
+    ///
+    /// Ties are resolved in favour of `self`, and NaN objective values always
+    /// lose so that a single bad evaluation cannot poison a search.
+    pub fn better_of(self, other: Minimum) -> Minimum {
+        let stats = self.stats.merge(other.stats);
+        let self_is_nan = self.value.is_nan();
+        let other_is_nan = other.value.is_nan();
+        let mut chosen = match (self_is_nan, other_is_nan) {
+            (true, false) => other,
+            (false, true) => self,
+            _ => {
+                if other.value < self.value {
+                    other
+                } else {
+                    self
+                }
+            }
+        };
+        chosen.stats = stats;
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters() {
+        let a = OptimStats {
+            evaluations: 3,
+            iterations: 1,
+            converged: false,
+        };
+        let b = OptimStats {
+            evaluations: 10,
+            iterations: 4,
+            converged: true,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.evaluations, 13);
+        assert_eq!(m.iterations, 5);
+        assert!(m.converged);
+    }
+
+    #[test]
+    fn better_of_prefers_lower_value() {
+        let a = Minimum::new(vec![1.0], 2.0);
+        let b = Minimum::new(vec![3.0], 1.0);
+        let best = a.better_of(b);
+        assert_eq!(best.value, 1.0);
+        assert_eq!(best.x, vec![3.0]);
+    }
+
+    #[test]
+    fn better_of_keeps_self_on_tie() {
+        let a = Minimum::new(vec![1.0], 2.0);
+        let b = Minimum::new(vec![3.0], 2.0);
+        let best = a.better_of(b);
+        assert_eq!(best.x, vec![1.0]);
+    }
+
+    #[test]
+    fn better_of_rejects_nan() {
+        let a = Minimum::new(vec![1.0], f64::NAN);
+        let b = Minimum::new(vec![3.0], 100.0);
+        let best = a.better_of(b);
+        assert_eq!(best.value, 100.0);
+
+        let a = Minimum::new(vec![1.0], 100.0);
+        let b = Minimum::new(vec![3.0], f64::NAN);
+        let best = a.better_of(b);
+        assert_eq!(best.value, 100.0);
+    }
+
+    #[test]
+    fn better_of_merges_stats() {
+        let mut a = Minimum::new(vec![1.0], 2.0);
+        a.stats.evaluations = 7;
+        let mut b = Minimum::new(vec![3.0], 1.0);
+        b.stats.evaluations = 5;
+        let best = a.better_of(b);
+        assert_eq!(best.stats.evaluations, 12);
+    }
+}

@@ -1,0 +1,335 @@
+//! The per-execution context threaded through an instrumented program.
+//!
+//! `ExecCtx` plays the role of the paper's injected global variable `r`
+//! together with the Gcov-style coverage recorder. Every conditional of an
+//! instrumented program calls [`ExecCtx::branch`] (or one of the integer
+//! promotion helpers), which:
+//!
+//! 1. evaluates the comparison and records the taken branch,
+//! 2. in [`ExecMode::Representing`] mode, updates `r` with
+//!    `pen(l_i, op, a, b)` exactly as the injected assignment
+//!    `r = pen(...)` would, and
+//! 3. returns the comparison outcome so the program can branch on it.
+//!
+//! The representing function `FOO_R(x)` of the paper is then: create a
+//! representing-mode context (which initializes `r = 1`), execute the
+//! program on `x`, and read [`ExecCtx::representing_value`].
+
+use crate::branch::{BranchId, BranchSet, Direction, SiteId};
+use crate::distance::{Cmp, DEFAULT_EPSILON};
+use crate::pen::{pen, SiteSaturation};
+use crate::trace::{TakenBranch, Trace};
+
+/// The two ways an instrumented program can be executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Record coverage and the trace only; `r` is not maintained. This is
+    /// what plain coverage measurement (and the baseline testers) use.
+    Observe,
+    /// Additionally maintain the representing-function accumulator `r`
+    /// against a saturation snapshot.
+    Representing,
+}
+
+/// Per-execution instrumentation state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecCtx {
+    mode: ExecMode,
+    epsilon: f64,
+    /// The injected global `r`. Initialized to 1 in representing mode
+    /// (Algorithm 1, line 5).
+    r: f64,
+    /// Snapshot of the saturated branches (empty in observe mode).
+    saturated: BranchSet,
+    /// Branches covered by this execution.
+    covered: BranchSet,
+    /// Ordered decisions taken by this execution.
+    trace: Trace,
+    /// Whether the trace is recorded (coverage is always recorded).
+    record_trace: bool,
+}
+
+impl ExecCtx {
+    /// Creates a context that only observes coverage and the trace.
+    pub fn observe() -> ExecCtx {
+        ExecCtx {
+            mode: ExecMode::Observe,
+            epsilon: DEFAULT_EPSILON,
+            r: 1.0,
+            saturated: BranchSet::new(),
+            covered: BranchSet::new(),
+            trace: Trace::new(),
+            record_trace: true,
+        }
+    }
+
+    /// Creates a representing-function context against a saturation
+    /// snapshot. The accumulator `r` starts at `1`, which guarantees
+    /// `FOO_R(x) > 0` once every branch is saturated (condition C1/C2 of the
+    /// paper's Sect. 3.2).
+    pub fn representing(saturated: BranchSet) -> ExecCtx {
+        ExecCtx {
+            mode: ExecMode::Representing,
+            epsilon: DEFAULT_EPSILON,
+            r: 1.0,
+            saturated,
+            covered: BranchSet::new(),
+            trace: Trace::new(),
+            record_trace: true,
+        }
+    }
+
+    /// Overrides the `ε` used by the branch distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not strictly positive.
+    pub fn with_epsilon(mut self, epsilon: f64) -> ExecCtx {
+        assert!(epsilon > 0.0, "epsilon must be strictly positive");
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Disables trace recording (coverage is still recorded). Useful for the
+    /// many millions of executions a fuzzing baseline performs.
+    pub fn without_trace(mut self) -> ExecCtx {
+        self.record_trace = false;
+        self
+    }
+
+    /// The execution mode of this context.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The `ε` in use.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Evaluates the instrumented conditional `a op b` at site `site`.
+    ///
+    /// Returns the concrete outcome of the comparison so the caller can
+    /// branch on it, after recording coverage and (in representing mode)
+    /// performing the injected `r = pen(site, op, a, b)` assignment.
+    pub fn branch(&mut self, site: SiteId, op: Cmp, a: f64, b: f64) -> bool {
+        // The assignment to r happens *before* the conditional in the
+        // instrumented program, so update r first.
+        if self.mode == ExecMode::Representing {
+            let saturation = SiteSaturation {
+                true_saturated: self.saturated.contains(BranchId::true_of(site)),
+                false_saturated: self.saturated.contains(BranchId::false_of(site)),
+            };
+            self.r = pen(saturation, op, a, b, self.epsilon, self.r);
+        }
+
+        let outcome = op.eval(a, b);
+        let direction = Direction::from_outcome(outcome);
+        self.covered.insert(BranchId { site, direction });
+        if self.record_trace {
+            self.trace.push(TakenBranch {
+                site,
+                direction,
+                op,
+                lhs: a,
+                rhs: b,
+            });
+        }
+        outcome
+    }
+
+    /// Instrumented conditional over `i64` operands.
+    ///
+    /// Real-world floating-point code (all of Fdlibm) branches on integer
+    /// bit patterns extracted from doubles. The paper's Sect. 5.3 handles
+    /// such comparisons by promoting the operands to doubles before calling
+    /// `pen`; this helper does exactly that.
+    pub fn branch_i64(&mut self, site: SiteId, op: Cmp, a: i64, b: i64) -> bool {
+        self.branch(site, op, a as f64, b as f64)
+    }
+
+    /// Instrumented conditional over `i32` operands (promoted to doubles).
+    pub fn branch_i32(&mut self, site: SiteId, op: Cmp, a: i32, b: i32) -> bool {
+        self.branch(site, op, f64::from(a), f64::from(b))
+    }
+
+    /// Instrumented conditional over `u32` operands (promoted to doubles).
+    pub fn branch_u32(&mut self, site: SiteId, op: Cmp, a: u32, b: u32) -> bool {
+        self.branch(site, op, f64::from(a), f64::from(b))
+    }
+
+    /// Instrumented conditional over a boolean condition that is *not* an
+    /// arithmetic comparison (e.g. a logical combination the front end chose
+    /// not to decompose). Such conditionals cannot contribute a meaningful
+    /// branch distance, so in representing mode they behave like an
+    /// unsaturatable-site: coverage is recorded, and `r` is updated with the
+    /// 0/ε distance of the boolean seen as `flag != 0` / `flag == 0`.
+    pub fn branch_bool(&mut self, site: SiteId, value: bool) -> bool {
+        let numeric = if value { 1.0 } else { 0.0 };
+        self.branch(site, Cmp::Ne, numeric, 0.0)
+    }
+
+    /// The current value of the injected accumulator `r`.
+    ///
+    /// For a representing-mode context this is `FOO_R(x)` once the program
+    /// has finished executing on `x`; for an observe-mode context it stays
+    /// at its initial value `1`.
+    pub fn representing_value(&self) -> f64 {
+        self.r
+    }
+
+    /// Branches covered by this execution.
+    pub fn covered(&self) -> &BranchSet {
+        &self.covered
+    }
+
+    /// The ordered decision trace of this execution (empty if disabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the context, returning the covered set and the trace.
+    pub fn into_parts(self) -> (BranchSet, Trace, f64) {
+        (self.covered, self.trace, self.r)
+    }
+
+    /// Resets the per-execution state (covered set, trace, `r`) while
+    /// keeping the mode, the saturation snapshot and `ε`. This lets a caller
+    /// reuse one allocation across many executions.
+    pub fn reset(&mut self) {
+        self.covered.clear();
+        self.trace.clear();
+        self.r = 1.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The two-conditional program of the paper's Fig. 3:
+    /// `l0: if (x <= 1) x += 2.5;  y = x*x;  l1: if (y == 4) {..}`.
+    fn run_foo(ctx: &mut ExecCtx, x: f64) {
+        let mut x = x;
+        if ctx.branch(0, Cmp::Le, x, 1.0) {
+            x += 2.5;
+        }
+        let y = x * x;
+        if ctx.branch(1, Cmp::Eq, y, 4.0) {
+            // nothing
+        }
+    }
+
+    #[test]
+    fn observe_mode_records_coverage_and_trace() {
+        let mut ctx = ExecCtx::observe();
+        run_foo(&mut ctx, 0.7);
+        assert_eq!(ctx.trace().len(), 2);
+        assert!(ctx.covered().contains(BranchId::true_of(0)));
+        assert!(ctx.covered().contains(BranchId::false_of(1)));
+        assert_eq!(ctx.covered().len(), 2);
+        // r untouched in observe mode.
+        assert_eq!(ctx.representing_value(), 1.0);
+    }
+
+    #[test]
+    fn representing_r_is_zero_when_nothing_is_saturated() {
+        // Table 1 row 1: Saturate = ∅ ⇒ FOO_R ≡ 0.
+        for x in [-5.2, 0.7, 1.0, 42.0] {
+            let mut ctx = ExecCtx::representing(BranchSet::new());
+            run_foo(&mut ctx, x);
+            assert_eq!(ctx.representing_value(), 0.0, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn representing_r_matches_table1_row2() {
+        // Saturate = {1F}. FOO_R(x) = ((x+2.5)^2 - 4)^2 for x <= 1,
+        // (x^2 - 4)^2 otherwise (the paper plots the x+1 variant; the body
+        // here adds 2.5, the shape is identical).
+        let saturated: BranchSet = [BranchId::false_of(1)].into_iter().collect();
+        let foo_r = |x: f64| {
+            let mut ctx = ExecCtx::representing(saturated.clone());
+            run_foo(&mut ctx, x);
+            ctx.representing_value()
+        };
+        // x = -0.5 takes 0T: y = (x+2.5)^2 = 4 ⇒ distance 0.
+        assert_eq!(foo_r(-0.5), 0.0);
+        // x = 2 takes 0F: y = 4 ⇒ distance 0.
+        assert_eq!(foo_r(2.0), 0.0);
+        // x = 0 takes 0T: y = 6.25 ⇒ (6.25-4)^2.
+        assert!((foo_r(0.0) - (6.25_f64 - 4.0).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn representing_r_is_one_when_everything_is_saturated() {
+        // Table 1 row 4: all four branches saturated ⇒ FOO_R ≡ 1.
+        let saturated: BranchSet = [
+            BranchId::true_of(0),
+            BranchId::false_of(0),
+            BranchId::true_of(1),
+            BranchId::false_of(1),
+        ]
+        .into_iter()
+        .collect();
+        for x in [-5.2, 0.7, 1.1, 2.0] {
+            let mut ctx = ExecCtx::representing(saturated.clone());
+            run_foo(&mut ctx, x);
+            assert_eq!(ctx.representing_value(), 1.0, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn integer_promotion_helpers_agree_with_double_branch() {
+        let mut a = ExecCtx::observe();
+        let mut b = ExecCtx::observe();
+        let taken_int = a.branch_i32(0, Cmp::Ge, 0x7ff0_0000u32 as i32, 0x4036_0000);
+        let taken_f64 = b.branch(0, Cmp::Ge, (0x7ff0_0000u32 as i32) as f64, 0x4036_0000 as f64);
+        assert_eq!(taken_int, taken_f64);
+
+        let mut c = ExecCtx::observe();
+        assert!(c.branch_u32(1, Cmp::Lt, 1, 2));
+        assert!(c.branch_i64(2, Cmp::Eq, -7, -7));
+        assert!(c.branch_bool(3, true));
+        assert!(!c.branch_bool(4, false));
+    }
+
+    #[test]
+    fn without_trace_still_records_coverage() {
+        let mut ctx = ExecCtx::observe().without_trace();
+        run_foo(&mut ctx, 0.7);
+        assert!(ctx.trace().is_empty());
+        assert_eq!(ctx.covered().len(), 2);
+    }
+
+    #[test]
+    fn reset_clears_per_execution_state() {
+        let saturated: BranchSet = [BranchId::false_of(1)].into_iter().collect();
+        let mut ctx = ExecCtx::representing(saturated);
+        run_foo(&mut ctx, 0.0);
+        assert!(ctx.representing_value() > 0.0);
+        ctx.reset();
+        assert_eq!(ctx.representing_value(), 1.0);
+        assert!(ctx.covered().is_empty());
+        assert!(ctx.trace().is_empty());
+        // The saturation snapshot is retained.
+        run_foo(&mut ctx, 0.0);
+        assert!(ctx.representing_value() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be strictly positive")]
+    fn rejects_non_positive_epsilon() {
+        let _ = ExecCtx::observe().with_epsilon(0.0);
+    }
+
+    #[test]
+    fn into_parts_returns_everything() {
+        let mut ctx = ExecCtx::observe();
+        run_foo(&mut ctx, 3.0);
+        let (covered, trace, r) = ctx.into_parts();
+        assert_eq!(covered.len(), 2);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(r, 1.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Branch distance `d_ε(op, a, b)` — Definition 4.1 of the paper.
+//!
+//! The distance quantifies how far the pair `(a, b)` is from satisfying the
+//! arithmetic comparison `a op b`:
+//!
+//! ```text
+//! d_ε(==, a, b) = (a − b)²
+//! d_ε(≤,  a, b) = a ≤ b ? 0 : (a − b)²
+//! d_ε(<,  a, b) = a < b ? 0 : (a − b)² + ε
+//! d_ε(≠,  a, b) = a ≠ b ? 0 : ε
+//! d_ε(≥,  a, b) = d_ε(≤, b, a)        d_ε(>, a, b) = d_ε(<, b, a)
+//! ```
+//!
+//! and satisfies the key property (Eq. 8): `d(op, a, b) ≥ 0` and
+//! `d(op, a, b) = 0 ⇔ a op b`. The small constant `ε > 0` turns strict
+//! inequalities into satisfiable targets (`x > y` is treated as
+//! `x ≥ y + ε`).
+
+/// The default `ε` used when none is specified: a value close to the machine
+/// epsilon of `f64`, as the paper prescribes ("a small positive
+/// floating-point close to machine epsilon").
+pub const DEFAULT_EPSILON: f64 = f64::EPSILON;
+
+/// An arithmetic comparison operator appearing in a conditional statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Cmp {
+    /// Evaluates the comparison on concrete operands.
+    ///
+    /// Floating-point semantics apply: any comparison with NaN except `!=`
+    /// is false, exactly as in the compiled C programs the paper tests.
+    pub fn eval(self, a: f64, b: f64) -> bool {
+        match self {
+            Cmp::Eq => a == b,
+            Cmp::Ne => a != b,
+            Cmp::Lt => a < b,
+            Cmp::Le => a <= b,
+            Cmp::Gt => a > b,
+            Cmp::Ge => a >= b,
+        }
+    }
+
+    /// The logical negation of the operator (`op̄` in the paper), i.e. the
+    /// comparison that holds exactly when `self` does not (ignoring NaN).
+    pub fn negate(self) -> Cmp {
+        match self {
+            Cmp::Eq => Cmp::Ne,
+            Cmp::Ne => Cmp::Eq,
+            Cmp::Lt => Cmp::Ge,
+            Cmp::Le => Cmp::Gt,
+            Cmp::Gt => Cmp::Le,
+            Cmp::Ge => Cmp::Lt,
+        }
+    }
+
+    /// The operator with its operands swapped (`a op b ⇔ b op.swap() a`).
+    pub fn swap(self) -> Cmp {
+        match self {
+            Cmp::Eq => Cmp::Eq,
+            Cmp::Ne => Cmp::Ne,
+            Cmp::Lt => Cmp::Gt,
+            Cmp::Le => Cmp::Ge,
+            Cmp::Gt => Cmp::Lt,
+            Cmp::Ge => Cmp::Le,
+        }
+    }
+
+    /// The C-like source text of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Cmp::Eq => "==",
+            Cmp::Ne => "!=",
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+            Cmp::Gt => ">",
+            Cmp::Ge => ">=",
+        }
+    }
+}
+
+impl std::fmt::Display for Cmp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// Computes the branch distance `d_ε(op, a, b)` of Definition 4.1.
+///
+/// NaN operands make every comparison (other than `!=`) unsatisfiable in a
+/// meaningful metric sense; the distance degenerates to `+∞` for them so the
+/// optimizer steers away from NaN-producing inputs instead of treating them
+/// as attractive `(a-b)² = NaN` values.
+pub fn distance(op: Cmp, a: f64, b: f64, epsilon: f64) -> f64 {
+    debug_assert!(epsilon > 0.0, "epsilon must be strictly positive");
+    if a.is_nan() || b.is_nan() {
+        // `a != b` is the only comparison a NaN operand satisfies.
+        return if op == Cmp::Ne { 0.0 } else { f64::INFINITY };
+    }
+    match op {
+        Cmp::Eq => square(a - b),
+        Cmp::Le => {
+            if a <= b {
+                0.0
+            } else {
+                square(a - b)
+            }
+        }
+        Cmp::Lt => {
+            if a < b {
+                0.0
+            } else {
+                square(a - b) + epsilon
+            }
+        }
+        Cmp::Ne => {
+            if a != b {
+                0.0
+            } else {
+                epsilon
+            }
+        }
+        // d(>=, a, b) = d(<=, b, a), d(>, a, b) = d(<, b, a).
+        Cmp::Ge => distance(Cmp::Le, b, a, epsilon),
+        Cmp::Gt => distance(Cmp::Lt, b, a, epsilon),
+    }
+}
+
+/// Distance using [`DEFAULT_EPSILON`].
+pub fn distance_default(op: Cmp, a: f64, b: f64) -> f64 {
+    distance(op, a, b, DEFAULT_EPSILON)
+}
+
+fn square(x: f64) -> f64 {
+    // Saturate instead of overflowing to infinity * 0 pathologies later on:
+    // (a - b)^2 can overflow for very distant operands; the optimizer only
+    // needs a monotone signal, so clamping to f64::MAX is safe.
+    let s = x * x;
+    if s.is_infinite() {
+        f64::MAX
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn eval_matches_rust_semantics() {
+        assert!(Cmp::Eq.eval(1.0, 1.0));
+        assert!(!Cmp::Eq.eval(1.0, 2.0));
+        assert!(Cmp::Ne.eval(1.0, 2.0));
+        assert!(Cmp::Lt.eval(1.0, 2.0));
+        assert!(Cmp::Le.eval(2.0, 2.0));
+        assert!(Cmp::Gt.eval(3.0, 2.0));
+        assert!(Cmp::Ge.eval(2.0, 2.0));
+    }
+
+    #[test]
+    fn nan_comparisons_follow_ieee() {
+        let nan = f64::NAN;
+        assert!(!Cmp::Eq.eval(nan, nan));
+        assert!(Cmp::Ne.eval(nan, 1.0));
+        assert!(!Cmp::Lt.eval(nan, 1.0));
+        assert!(!Cmp::Ge.eval(1.0, nan));
+    }
+
+    #[test]
+    fn negate_is_logical_complement_on_non_nan() {
+        let pairs = [(1.0, 2.0), (2.0, 1.0), (3.0, 3.0), (-0.0, 0.0)];
+        for op in [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge] {
+            for (a, b) in pairs {
+                assert_ne!(
+                    op.eval(a, b),
+                    op.negate().eval(a, b),
+                    "op {op} on ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swap_mirrors_operands() {
+        let pairs = [(1.0, 2.0), (2.0, 1.0), (3.0, 3.0)];
+        for op in [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge] {
+            for (a, b) in pairs {
+                assert_eq!(op.eval(a, b), op.swap().eval(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_zero_iff_condition_holds() {
+        // Eq. (8) of the paper, checked on a grid of operand pairs.
+        let values = [-2.5, -1.0, 0.0, 0.5, 1.0, 3.75];
+        for op in [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge] {
+            for &a in &values {
+                for &b in &values {
+                    let d = distance(op, a, b, EPS);
+                    assert!(d >= 0.0);
+                    assert_eq!(d == 0.0, op.eval(a, b), "op {op} a {a} b {b} d {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_decreases_as_operands_approach_equality() {
+        let d_far = distance(Cmp::Eq, 10.0, 0.0, EPS);
+        let d_near = distance(Cmp::Eq, 1.0, 0.0, EPS);
+        let d_exact = distance(Cmp::Eq, 0.0, 0.0, EPS);
+        assert!(d_far > d_near && d_near > d_exact);
+        assert_eq!(d_exact, 0.0);
+    }
+
+    #[test]
+    fn strict_inequality_includes_epsilon() {
+        assert_eq!(distance(Cmp::Lt, 2.0, 2.0, EPS), EPS);
+        assert_eq!(distance(Cmp::Gt, 2.0, 2.0, EPS), EPS);
+        assert_eq!(distance(Cmp::Ne, 2.0, 2.0, EPS), EPS);
+        assert!(distance(Cmp::Lt, 3.0, 2.0, EPS) > 1.0);
+    }
+
+    #[test]
+    fn mirrored_operators_match_definition() {
+        // d(>=, a, b) == d(<=, b, a) and d(>, a, b) == d(<, b, a).
+        let pairs = [(1.0, 2.0), (5.0, -3.0), (2.0, 2.0)];
+        for (a, b) in pairs {
+            assert_eq!(distance(Cmp::Ge, a, b, EPS), distance(Cmp::Le, b, a, EPS));
+            assert_eq!(distance(Cmp::Gt, a, b, EPS), distance(Cmp::Lt, b, a, EPS));
+        }
+    }
+
+    #[test]
+    fn nan_operands_yield_infinite_distance() {
+        assert!(distance(Cmp::Eq, f64::NAN, 1.0, EPS).is_infinite());
+        assert!(distance(Cmp::Le, 1.0, f64::NAN, EPS).is_infinite());
+        // != with a NaN left operand is trivially satisfied.
+        assert_eq!(distance(Cmp::Ne, f64::NAN, 1.0, EPS), 0.0);
+    }
+
+    #[test]
+    fn huge_operands_do_not_overflow_to_infinity() {
+        let d = distance(Cmp::Eq, 1e300, -1e300, EPS);
+        assert!(d.is_finite());
+        assert_eq!(d, f64::MAX);
+    }
+
+    #[test]
+    fn default_epsilon_is_machine_epsilon() {
+        assert_eq!(DEFAULT_EPSILON, f64::EPSILON);
+        assert_eq!(distance_default(Cmp::Ne, 1.0, 1.0), f64::EPSILON);
+    }
+
+    #[test]
+    fn symbols_round_trip_display() {
+        for op in [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge] {
+            assert_eq!(format!("{op}"), op.symbol());
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Head-to-head comparison of CoverMe against the three baseline testers on
+//! one benchmark function (default: s_tanh.c's tanh).
+//!
+//! Run with `cargo run --release --example compare_baselines [name]`.
+
+use std::time::Duration;
+
+use coverme::{CoverMe, CoverMeConfig};
+use coverme_baselines::{AflConfig, AflFuzzer, AustinConfig, AustinTester, RandomConfig, RandomTester};
+use coverme_fdlibm::by_name;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "tanh".to_string());
+    let b = by_name(&name).expect("unknown benchmark; try tanh, pow, erf, ...");
+
+    let coverme = CoverMe::new(CoverMeConfig::default().n_start(80).seed(7)).run(&b);
+    let budget = Some((coverme.wall_time * 10).max(Duration::from_millis(200)));
+
+    let rand = RandomTester::new(RandomConfig {
+        max_executions: 500_000,
+        time_budget: budget,
+        seed: 7,
+        ..RandomConfig::default()
+    })
+    .run(&b);
+    let afl = AflFuzzer::new(AflConfig {
+        max_executions: 500_000,
+        time_budget: budget,
+        seed: 7,
+        ..AflConfig::default()
+    })
+    .run(&b);
+    let austin = AustinTester::new(AustinConfig {
+        max_executions: 200_000,
+        time_budget: Some(Duration::from_secs(2)),
+        seed: 7,
+        ..AustinConfig::default()
+    })
+    .run(&b);
+
+    println!("benchmark: {} ({} branches)", b.name, 2 * b.sites);
+    println!(
+        "CoverMe : {:>6.1}%  in {:>8.3}s with {} inputs",
+        coverme.branch_coverage_percent(),
+        coverme.wall_time.as_secs_f64(),
+        coverme.inputs.len()
+    );
+    for report in [&rand, &afl, &austin] {
+        println!(
+            "{:<8}: {:>6.1}%  in {:>8.3}s with {} executions",
+            report.tester,
+            report.branch_coverage_percent(),
+            report.wall_time.as_secs_f64(),
+            report.executions
+        );
+    }
+}

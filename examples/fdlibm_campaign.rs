@@ -1,0 +1,34 @@
+//! Run CoverMe against a selection of Fdlibm benchmark functions — the
+//! workload the paper's introduction motivates (s_tanh.c is its running
+//! example) — and print a mini version of Table 2.
+//!
+//! Run with `cargo run --release --example fdlibm_campaign [names...]`.
+
+use coverme::{CoverMe, CoverMeConfig};
+use coverme_fdlibm::{all, by_name};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benchmarks = if args.is_empty() {
+        ["tanh", "sin", "erf", "log10", "asinh", "atan"]
+            .iter()
+            .filter_map(|n| by_name(n))
+            .collect::<Vec<_>>()
+    } else if args[0] == "--all" {
+        all()
+    } else {
+        args.iter().filter_map(|n| by_name(n)).collect()
+    };
+
+    println!("{:<20} {:>10} {:>12} {:>10}", "function", "#branches", "coverage(%)", "time(s)");
+    for b in benchmarks {
+        let report = CoverMe::new(CoverMeConfig::default().n_start(80).seed(42)).run(&b);
+        println!(
+            "{:<20} {:>10} {:>12.1} {:>10.3}",
+            b.name,
+            2 * b.sites,
+            report.branch_coverage_percent(),
+            report.wall_time.as_secs_f64()
+        );
+    }
+}

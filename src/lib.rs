@@ -1,0 +1,14 @@
+//! Umbrella crate for the CoverMe reproduction workspace.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); it re-exports the member crates
+//! so examples can use a single dependency.
+
+#![forbid(unsafe_code)]
+
+pub use coverme;
+pub use coverme_baselines as baselines;
+pub use coverme_fdlibm as fdlibm;
+pub use coverme_fpir as fpir;
+pub use coverme_optim as optim;
+pub use coverme_runtime as runtime;

@@ -1,0 +1,108 @@
+//! Cross-crate integration tests: the full pipeline from program definition
+//! (native or mini-language) through CoverMe and the baselines.
+
+use coverme::{CoverMe, CoverMeConfig, SaturationTracker};
+use coverme_baselines::{RandomConfig, RandomTester};
+use coverme_fdlibm::by_name;
+use coverme_fpir::compile;
+use coverme_runtime::{ExecCtx, Program};
+
+#[test]
+fn coverme_fully_covers_the_paper_example_via_the_mini_language() {
+    let program = compile(
+        r#"
+        double square(double x) { return x * x; }
+        double foo(double x) {
+            if (x <= 1.0) { x = x + 2.5; }
+            double y = square(x);
+            if (y == 4.0) { return 1.0; }
+            return 0.0;
+        }
+        "#,
+        "foo",
+    )
+    .expect("compiles");
+    let report = CoverMe::new(CoverMeConfig::default().n_start(60).seed(11)).run(&program);
+    assert_eq!(report.branch_coverage_percent(), 100.0, "{report}");
+}
+
+#[test]
+fn coverme_achieves_high_coverage_on_tanh_quickly() {
+    let tanh = by_name("tanh").unwrap();
+    let report = CoverMe::new(CoverMeConfig::default().n_start(80).seed(1)).run(&tanh);
+    // The +-inf/NaN guard branches of tanh ask the optimizer to push the
+    // input's high word past 0x7ff00000, which the scaled-down test budget
+    // does not always manage; 60% is the floor insisted on here, the full
+    // budget reaches the paper's 100%.
+    assert!(
+        report.branch_coverage_percent() >= 60.0,
+        "only {:.1}%",
+        report.branch_coverage_percent()
+    );
+}
+
+#[test]
+fn coverme_outperforms_random_on_an_equality_heavy_benchmark() {
+    let b = by_name("remainder").unwrap();
+    let coverme = CoverMe::new(CoverMeConfig::default().n_start(60).seed(5)).run(&b);
+    let rand = RandomTester::new(RandomConfig {
+        max_executions: 20_000,
+        seed: 5,
+        ..RandomConfig::default()
+    })
+    .run(&b);
+    assert!(
+        coverme.branch_coverage_percent() >= rand.branch_coverage_percent(),
+        "CoverMe {:.1}% < Rand {:.1}%",
+        coverme.branch_coverage_percent(),
+        rand.branch_coverage_percent()
+    );
+}
+
+#[test]
+fn generated_inputs_replay_to_the_reported_coverage() {
+    let b = by_name("asinh").unwrap();
+    let report = CoverMe::new(CoverMeConfig::default().n_start(60).seed(9)).run(&b);
+    let mut check = coverme_runtime::CoverageMap::new(b.sites);
+    for input in &report.inputs {
+        let mut ctx = ExecCtx::observe();
+        b.execute(input, &mut ctx);
+        check.record(&ctx);
+    }
+    assert_eq!(check.covered_count(), report.coverage.covered_count());
+}
+
+#[test]
+fn static_descendants_from_the_mini_language_feed_saturation_tracking() {
+    let program = compile(
+        r#"
+        double f(double x) {
+            if (x > 0.0) {
+                if (x > 10.0) { return 2.0; }
+                return 1.0;
+            }
+            return 0.0;
+        }
+        "#,
+        "f",
+    )
+    .unwrap();
+    let mut tracker =
+        SaturationTracker::with_static_descendants(Program::num_sites(&program), program.descendants());
+    let mut ctx = ExecCtx::observe();
+    program.execute(&[5.0], &mut ctx);
+    tracker.record_trace(ctx.trace());
+    // 0T is covered but its descendant 1T (x > 10) is not, so it must not be
+    // saturated under the static relation.
+    assert!(!tracker.is_saturated(coverme_runtime::BranchId::true_of(0)));
+}
+
+#[test]
+fn the_whole_fdlibm_suite_is_executable_under_every_tester_interface() {
+    for b in coverme_fdlibm::all() {
+        let input = vec![0.5; b.arity];
+        let mut ctx = ExecCtx::observe();
+        b.execute(&input, &mut ctx);
+        assert!(ctx.trace().len() <= 10_000, "{} trace too long", b.name);
+    }
+}
