@@ -282,12 +282,11 @@ mod tests {
     fn nested_program() -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
         FnProgram::new("nested", 1, 3, |input: &[f64], ctx: &mut ExecCtx| {
             let x = input[0];
-            if ctx.branch(0, Cmp::Gt, x, 0.0) {
-                if ctx.branch(1, Cmp::Gt, x, 1000.0) {
-                    if ctx.branch(2, Cmp::Lt, x, 2000.0) {
-                        // deep branch
-                    }
-                }
+            if ctx.branch(0, Cmp::Gt, x, 0.0)
+                && ctx.branch(1, Cmp::Gt, x, 1000.0)
+                && ctx.branch(2, Cmp::Lt, x, 2000.0)
+            {
+                // deep branch
             }
         })
     }

@@ -289,10 +289,10 @@ mod tests {
 
     fn nested_program() -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
         FnProgram::new("nested", 2, 2, |input: &[f64], ctx: &mut ExecCtx| {
-            if ctx.branch(0, Cmp::Gt, input[0], 100.0) {
-                if ctx.branch(1, Cmp::Le, input[1], -50.0) {
-                    // both conditions must hold
-                }
+            if ctx.branch(0, Cmp::Gt, input[0], 100.0)
+                && ctx.branch(1, Cmp::Le, input[1], -50.0)
+            {
+                // both conditions must hold
             }
         })
     }

@@ -108,7 +108,7 @@ impl RandomTester {
             RandomStrategy::UniformBox { lo, hi } => rng.uniform(lo, hi),
             RandomStrategy::BitPattern => bit_pattern(rng),
             RandomStrategy::Mixed => {
-                if execution % 2 == 0 {
+                if execution.is_multiple_of(2) {
                     rng.uniform(-1e6, 1e6)
                 } else {
                     bit_pattern(rng)

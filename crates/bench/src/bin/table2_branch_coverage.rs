@@ -4,7 +4,7 @@
 //! Usage: `table2_branch_coverage [--format table|series] [benchmark ...]`
 //! Set `COVERME_FULL=1` for the paper's full budgets.
 
-use coverme_bench::{mean, pct, run_afl, run_coverme, run_rand, HarnessBudget};
+use coverme_bench::{mean, pct, run_afl, run_campaign, run_rand, HarnessBudget};
 use coverme_fdlibm::{all, by_name};
 
 fn main() {
@@ -37,8 +37,13 @@ fn main() {
     let mut coverme_pcts = Vec::new();
     let mut times = Vec::new();
 
-    for b in &benchmarks {
-        let coverme = run_coverme(b, budget, 2024);
+    // The CoverMe column runs as one parallel campaign (per-function seeds,
+    // results in benchmark order); the baselines then run per benchmark with
+    // their budgets derived from each function's CoverMe time, as in the
+    // paper.
+    let campaign = run_campaign(&benchmarks, budget, 2024);
+    for (b, result) in benchmarks.iter().zip(&campaign.results) {
+        let coverme = result.report.as_ref().expect("campaign has no time budget");
         let rand = run_rand(b, budget, coverme.wall_time, 2024);
         let afl = run_afl(b, budget, coverme.wall_time, 2024);
         let cm = coverme.branch_coverage_percent();

@@ -3,7 +3,7 @@
 use coverme_fdlibm::inventory::EXCLUDED;
 
 fn main() {
-    println!("{:<18} {:<32} {}", "File", "Function", "Explanation");
+    println!("{:<18} {:<32} Explanation", "File", "Function");
     for e in EXCLUDED {
         println!("{:<18} {:<32} {}", e.file, e.function, e.reason);
     }

@@ -1,7 +1,7 @@
 //! Regenerates Table 5: line coverage (block-coverage proxy for the native
 //! ports) for CoverMe vs Rand vs AFL.
 
-use coverme_bench::{mean, pct, run_afl, run_coverme, run_rand, HarnessBudget};
+use coverme_bench::{mean, pct, run_afl, run_campaign, run_rand, HarnessBudget};
 use coverme_fdlibm::{all, by_name};
 
 fn main() {
@@ -18,8 +18,11 @@ fn main() {
         "Function", "#Lines", "Rand(%)", "AFL(%)", "CoverMe(%)"
     );
     let (mut r, mut a, mut c) = (Vec::new(), Vec::new(), Vec::new());
-    for b in &benchmarks {
-        let coverme = run_coverme(b, budget, 5);
+    // CoverMe runs as one parallel campaign; baselines follow per benchmark
+    // with budgets derived from each function's CoverMe time.
+    let campaign = run_campaign(&benchmarks, budget, 5);
+    for (b, result) in benchmarks.iter().zip(&campaign.results) {
+        let coverme = result.report.as_ref().expect("campaign has no time budget");
         let rand = run_rand(b, budget, coverme.wall_time, 5);
         let afl = run_afl(b, budget, coverme.wall_time, 5);
         let cm = coverme.coverage.block_coverage_percent();
@@ -44,5 +47,11 @@ fn main() {
         pct(mean(r)),
         pct(mean(a)),
         pct(mean(c))
+    );
+    println!(
+        "suite block coverage (CoverMe): {} on {} workers in {:.2?}",
+        pct(campaign.suite_block_coverage_percent()),
+        campaign.workers,
+        campaign.wall_time
     );
 }

@@ -17,7 +17,7 @@
 
 use std::time::Duration;
 
-use coverme::{CoverMe, CoverMeConfig, TestReport};
+use coverme::{Campaign, CampaignConfig, CampaignReport, CoverMe, CoverMeConfig, TestReport};
 use coverme_baselines::{
     AflConfig, AflFuzzer, AustinConfig, AustinTester, BaselineReport, RandomConfig, RandomStrategy,
     RandomTester,
@@ -85,14 +85,39 @@ pub struct ComparisonRow {
     pub austin: Option<BaselineReport>,
 }
 
+/// The paper's CoverMe configuration (`n_iter = 5`, `LM = powell`), scaled
+/// by the budget preset. Shared by the sequential and campaign entry points
+/// so every table column runs the same search.
+pub fn paper_config(budget: HarnessBudget, seed: u64) -> CoverMeConfig {
+    CoverMeConfig::default()
+        .n_start(budget.n_start())
+        .n_iter(5)
+        .seed(seed)
+}
+
 /// Runs CoverMe on one benchmark with the paper's configuration (scaled by
 /// the budget preset).
 pub fn run_coverme(benchmark: &Benchmark, budget: HarnessBudget, seed: u64) -> TestReport {
-    let config = CoverMeConfig::default()
-        .n_start(budget.n_start())
-        .n_iter(5)
-        .seed(seed);
-    CoverMe::new(config).run(benchmark)
+    CoverMe::new(paper_config(budget, seed)).run(benchmark)
+}
+
+/// Runs the CoverMe phase of a table as a parallel campaign: one search per
+/// benchmark, fanned across worker threads with per-function seeds derived
+/// from `seed`. The report's results are in `benchmarks` order, so table
+/// harnesses can zip them back against the benchmark list and hand each
+/// function's wall-clock time to the baseline budgets.
+///
+/// Caveat on those times: per-function `wall_time` is measured inside a
+/// worker while sibling searches run on other cores. The campaign never
+/// runs more workers than the machine's available parallelism, so each
+/// search keeps a core to itself and the residual inflation (shared cache
+/// and memory bandwidth) is small for this compute-bound workload — but
+/// baseline budgets derived from these times are not identical to ones
+/// measured sequentially, and under `COVERME_FULL=1` (no clamp) table
+/// numbers can shift slightly with core count.
+pub fn run_campaign(benchmarks: &[Benchmark], budget: HarnessBudget, seed: u64) -> CampaignReport {
+    let base = paper_config(budget, seed);
+    Campaign::new(CampaignConfig::new().base(base)).run(benchmarks)
 }
 
 /// Runs the Rand baseline with a budget derived from CoverMe's time.

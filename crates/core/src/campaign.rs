@@ -1,0 +1,526 @@
+//! Parallel coverage campaigns: one CoverMe search per program under test,
+//! fanned out across worker threads.
+//!
+//! The paper evaluates CoverMe one Fdlibm function at a time; reproducing a
+//! whole table is embarrassingly parallel because every function is searched
+//! independently. A [`Campaign`] runs one [`CoverMe`] search per inventory
+//! entry on a pool of scoped worker threads ([`std::thread::scope`]) and
+//! aggregates the outcomes into a [`CampaignReport`] with per-function and
+//! suite-level branch/block coverage — the shape the Table 2/3/5 harnesses
+//! in `coverme-bench` consume.
+//!
+//! Three properties the runner guarantees:
+//!
+//! * **Determinism across thread counts.** Every function's seed is derived
+//!   from the campaign seed and the *function name* (never from scheduling),
+//!   and results are reported in inventory order, so a budget-less campaign
+//!   produces identical searches whether it runs on 1 worker or 64.
+//! * **Graceful budget expiry.** With a wall-clock budget set, workers stop
+//!   claiming functions once the deadline passes and in-flight searches have
+//!   their own time budget clamped to the time remaining; functions never
+//!   started are reported as skipped rather than blocking the campaign.
+//! * **Work stealing.** Functions are claimed from a shared atomic cursor,
+//!   so a slow function (e.g. `ieee754_pow` with its 114 branches) does not
+//!   serialize the suite behind it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use coverme_runtime::Program;
+
+use crate::driver::{CoverMe, CoverMeConfig};
+use crate::report::TestReport;
+
+/// Configuration of a parallel campaign.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CampaignConfig {
+    /// Template CoverMe configuration applied to every function. Its `seed`
+    /// acts as the campaign master seed; each function runs with a seed
+    /// derived from it and the function's name.
+    pub base: CoverMeConfig,
+    /// Number of worker threads. `0` (the default) autodetects: the
+    /// machine's available parallelism, but at least two workers.
+    pub workers: usize,
+    /// Optional wall-clock budget for the whole campaign. Searches not
+    /// started before the budget expires are skipped; the report still
+    /// contains one entry per inventory function.
+    pub time_budget: Option<Duration>,
+}
+
+impl CampaignConfig {
+    /// Creates the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the template CoverMe configuration.
+    pub fn base(mut self, base: CoverMeConfig) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` autodetects, minimum two).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the campaign wall-clock budget.
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// The worker count this configuration resolves to for `inventory_len`
+    /// functions: the explicit count, or autodetected parallelism (≥ 2),
+    /// never more than there are functions.
+    pub fn effective_workers(&self, inventory_len: usize) -> usize {
+        let requested = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .max(2)
+        } else {
+            self.workers
+        };
+        requested.clamp(1, inventory_len.max(1))
+    }
+}
+
+/// The outcome of one function of the campaign.
+#[derive(Debug, Clone)]
+pub struct FunctionResult {
+    /// The program's name, as reported by [`Program::name`].
+    pub name: String,
+    /// The search report, or `None` if the campaign budget expired before
+    /// this function's search started.
+    pub report: Option<TestReport>,
+}
+
+impl FunctionResult {
+    /// Branch coverage in percent, if the search ran.
+    pub fn branch_coverage_percent(&self) -> Option<f64> {
+        self.report.as_ref().map(TestReport::branch_coverage_percent)
+    }
+
+    /// Whether the search ran (was not skipped by the budget).
+    pub fn completed(&self) -> bool {
+        self.report.is_some()
+    }
+}
+
+/// Aggregated result of a [`Campaign::run`], one entry per inventory
+/// function in inventory order.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-function outcomes, in inventory order.
+    pub results: Vec<FunctionResult>,
+    /// Number of worker threads that ran the campaign.
+    pub workers: usize,
+    /// Wall-clock time of the whole campaign.
+    pub wall_time: Duration,
+}
+
+impl CampaignReport {
+    /// Number of functions whose search completed.
+    pub fn completed(&self) -> usize {
+        self.results.iter().filter(|r| r.completed()).count()
+    }
+
+    /// Number of functions skipped because the budget expired.
+    pub fn skipped(&self) -> usize {
+        self.results.len() - self.completed()
+    }
+
+    /// Suite-level branch coverage in percent: covered branches over total
+    /// branches, summed across completed functions. An empty inventory is
+    /// vacuously 100; a non-empty inventory where nothing completed (budget
+    /// expired immediately) is 0.
+    pub fn suite_branch_coverage_percent(&self) -> f64 {
+        if let Some(zero) = self.vacuous_percent() {
+            return zero;
+        }
+        let (covered, total) = self.branch_totals();
+        if total == 0 {
+            100.0
+        } else {
+            100.0 * covered as f64 / total as f64
+        }
+    }
+
+    /// The percentage to report when no function completed: vacuously 100
+    /// for an empty inventory, 0 when the budget skipped everything, `None`
+    /// when at least one search ran.
+    fn vacuous_percent(&self) -> Option<f64> {
+        if self.completed() > 0 {
+            None
+        } else if self.results.is_empty() {
+            Some(100.0)
+        } else {
+            Some(0.0)
+        }
+    }
+
+    /// Suite-level block coverage in percent — the line-coverage proxy used
+    /// by the Table 5 harness: per function, the entry block plus one block
+    /// per branch arm. Vacuous cases as in
+    /// [`suite_branch_coverage_percent`](Self::suite_branch_coverage_percent).
+    pub fn suite_block_coverage_percent(&self) -> f64 {
+        if let Some(zero) = self.vacuous_percent() {
+            return zero;
+        }
+        let (covered, total) = self.branch_totals();
+        let blocks_total = self.completed() + total;
+        let blocks_covered = self.completed() + covered;
+        100.0 * blocks_covered as f64 / blocks_total as f64
+    }
+
+    /// Mean per-function branch coverage in percent, the aggregation the
+    /// paper's tables print. Vacuous cases as in
+    /// [`suite_branch_coverage_percent`](Self::suite_branch_coverage_percent).
+    pub fn mean_branch_coverage_percent(&self) -> f64 {
+        if let Some(zero) = self.vacuous_percent() {
+            return zero;
+        }
+        let completed: Vec<f64> = self
+            .results
+            .iter()
+            .filter_map(FunctionResult::branch_coverage_percent)
+            .collect();
+        completed.iter().sum::<f64>() / completed.len() as f64
+    }
+
+    /// `(covered, total)` branch counts summed over completed functions.
+    fn branch_totals(&self) -> (usize, usize) {
+        self.results
+            .iter()
+            .filter_map(|r| r.report.as_ref())
+            .fold((0, 0), |(covered, total), report| {
+                (
+                    covered + report.coverage.covered_count(),
+                    total + report.coverage.total_branches(),
+                )
+            })
+    }
+}
+
+impl std::fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<22} {:>9} {:>9} {:>12} {:>10}",
+            "function", "#branches", "#inputs", "coverage(%)", "time(s)"
+        )?;
+        for result in &self.results {
+            match &result.report {
+                Some(report) => writeln!(
+                    f,
+                    "{:<22} {:>9} {:>9} {:>12.1} {:>10.3}",
+                    result.name,
+                    report.coverage.total_branches(),
+                    report.inputs.len(),
+                    report.branch_coverage_percent(),
+                    report.wall_time.as_secs_f64()
+                )?,
+                None => writeln!(
+                    f,
+                    "{:<22} {:>9} {:>9} {:>12} {:>10}",
+                    result.name, "-", "-", "skipped", "-"
+                )?,
+            }
+        }
+        writeln!(
+            f,
+            "suite: {:.1}% branch, {:.1}% block coverage over {} functions \
+             ({} skipped) on {} workers in {:.2?}",
+            self.suite_branch_coverage_percent(),
+            self.suite_block_coverage_percent(),
+            self.completed(),
+            self.skipped(),
+            self.workers,
+            self.wall_time
+        )
+    }
+}
+
+/// A parallel campaign runner. See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct Campaign {
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    /// Creates a campaign with the given configuration.
+    pub fn new(config: CampaignConfig) -> Campaign {
+        Campaign { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Runs one CoverMe search per inventory program across the worker
+    /// pool and aggregates the outcomes in inventory order.
+    pub fn run<P: Program + Sync>(&self, inventory: &[P]) -> CampaignReport {
+        let started = Instant::now();
+        let workers = self.config.effective_workers(inventory.len());
+        if inventory.is_empty() {
+            return CampaignReport {
+                results: Vec::new(),
+                workers,
+                wall_time: started.elapsed(),
+            };
+        }
+
+        let deadline = self.config.time_budget.map(|budget| started + budget);
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<TestReport>> = Vec::new();
+        slots.resize_with(inventory.len(), || None);
+
+        let completed: Vec<Vec<(usize, TestReport)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, TestReport)> = Vec::new();
+                        loop {
+                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            if index >= inventory.len() {
+                                break;
+                            }
+                            if deadline.is_some_and(|d| Instant::now() >= d) {
+                                break;
+                            }
+                            let program = &inventory[index];
+                            let config = self.function_config(program.name(), deadline);
+                            local.push((index, CoverMe::new(config).run(program)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("campaign worker panicked"))
+                .collect()
+        });
+
+        for (index, report) in completed.into_iter().flatten() {
+            slots[index] = Some(report);
+        }
+        let results = inventory
+            .iter()
+            .zip(slots)
+            .map(|(program, report)| FunctionResult {
+                name: program.name().to_string(),
+                report,
+            })
+            .collect();
+        CampaignReport {
+            results,
+            workers,
+            wall_time: started.elapsed(),
+        }
+    }
+
+    /// The per-function configuration: the template with a name-derived seed
+    /// and, under a campaign deadline, a time budget clamped to what's left.
+    fn function_config(&self, name: &str, deadline: Option<Instant>) -> CoverMeConfig {
+        let mut config = self.config.base.clone();
+        config.seed = derive_function_seed(self.config.base.seed, name);
+        if let Some(deadline) = deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            config.time_budget = Some(match config.time_budget {
+                Some(budget) => budget.min(remaining),
+                None => remaining,
+            });
+        }
+        config
+    }
+}
+
+/// Derives a function's seed from the campaign seed and the function name
+/// (FNV-1a), so searches are reproducible independent of scheduling and of
+/// the function's position in the inventory.
+fn derive_function_seed(campaign_seed: u64, name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    campaign_seed ^ hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverme_runtime::{Cmp, ExecCtx, FnProgram};
+
+    type ToyProgram = FnProgram<fn(&[f64], &mut ExecCtx)>;
+    /// Per-function content a scheduler must not influence: generated
+    /// inputs and covered-branch count (or `None` for a skipped function).
+    type Fingerprint = Vec<(String, Option<(Vec<Vec<f64>>, usize)>)>;
+
+    /// A small inventory of distinct single-input programs, each with one
+    /// easy and one harder (exact equality) conditional.
+    fn inventory() -> Vec<ToyProgram> {
+        fn alpha(input: &[f64], ctx: &mut ExecCtx) {
+            let mut x = input[0];
+            if ctx.branch(0, Cmp::Le, x, 1.0) {
+                x += 2.5;
+            }
+            if ctx.branch(1, Cmp::Eq, x * x, 4.0) {
+                // target
+            }
+        }
+        fn beta(input: &[f64], ctx: &mut ExecCtx) {
+            let x = input[0];
+            if ctx.branch(0, Cmp::Gt, x, 10.0) {
+                // easy
+            }
+            if ctx.branch(1, Cmp::Eq, x, -3.5) {
+                // point target
+            }
+        }
+        // Site 1 must stay nested under site 0: the descendant relation is
+        // what exercises saturation tracking.
+        #[allow(clippy::collapsible_if)]
+        fn gamma(input: &[f64], ctx: &mut ExecCtx) {
+            let x = input[0];
+            if ctx.branch(0, Cmp::Lt, x, 0.0) {
+                if ctx.branch(1, Cmp::Ge, x, -2.0) {
+                    // nested
+                }
+            }
+        }
+        vec![
+            FnProgram::new("alpha", 1, 2, alpha as fn(&[f64], &mut ExecCtx)),
+            FnProgram::new("beta", 1, 2, beta as fn(&[f64], &mut ExecCtx)),
+            FnProgram::new("gamma", 1, 2, gamma as fn(&[f64], &mut ExecCtx)),
+        ]
+    }
+
+    fn quick_base() -> CoverMeConfig {
+        CoverMeConfig::default().n_start(40).seed(7)
+    }
+
+    /// The scheduling-independent content of a report, for equality checks.
+    fn fingerprint(report: &CampaignReport) -> Fingerprint {
+        report
+            .results
+            .iter()
+            .map(|r| {
+                (
+                    r.name.clone(),
+                    r.report
+                        .as_ref()
+                        .map(|t| (t.inputs.clone(), t.coverage.covered_count())),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_reports_across_thread_counts() {
+        let programs = inventory();
+        let runs: Vec<CampaignReport> = [1, 2, 4]
+            .iter()
+            .map(|&workers| {
+                Campaign::new(CampaignConfig::new().base(quick_base()).workers(workers))
+                    .run(&programs)
+            })
+            .collect();
+        assert_eq!(fingerprint(&runs[0]), fingerprint(&runs[1]));
+        assert_eq!(fingerprint(&runs[0]), fingerprint(&runs[2]));
+        assert_eq!(runs[0].completed(), programs.len());
+    }
+
+    #[test]
+    fn results_arrive_in_inventory_order() {
+        let programs = inventory();
+        let report =
+            Campaign::new(CampaignConfig::new().base(quick_base()).workers(3)).run(&programs);
+        let names: Vec<&str> = report.results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta", "gamma"]);
+    }
+
+    #[test]
+    fn expired_budget_returns_partial_results() {
+        let programs = inventory();
+        let config = CampaignConfig::new()
+            .base(quick_base())
+            .workers(2)
+            .time_budget(Duration::ZERO);
+        let report = Campaign::new(config).run(&programs);
+        // One entry per function either way, every one skipped: the deadline
+        // had already passed when the workers started claiming.
+        assert_eq!(report.results.len(), programs.len());
+        assert_eq!(report.skipped(), programs.len());
+        assert_eq!(report.completed(), 0);
+        assert!(report.to_string().contains("skipped"));
+        // Nothing ran, so nothing is covered — not vacuously 100%.
+        assert_eq!(report.suite_branch_coverage_percent(), 0.0);
+        assert_eq!(report.suite_block_coverage_percent(), 0.0);
+        assert_eq!(report.mean_branch_coverage_percent(), 0.0);
+    }
+
+    #[test]
+    fn empty_inventory_yields_empty_report() {
+        let programs: Vec<ToyProgram> = Vec::new();
+        let report = Campaign::new(CampaignConfig::default()).run(&programs);
+        assert!(report.results.is_empty());
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.skipped(), 0);
+        assert_eq!(report.suite_branch_coverage_percent(), 100.0);
+        assert_eq!(report.mean_branch_coverage_percent(), 100.0);
+    }
+
+    #[test]
+    fn per_function_seeds_differ_and_are_stable() {
+        assert_ne!(
+            derive_function_seed(7, "ieee754_exp"),
+            derive_function_seed(7, "ieee754_log")
+        );
+        assert_eq!(
+            derive_function_seed(7, "ieee754_exp"),
+            derive_function_seed(7, "ieee754_exp")
+        );
+        // Campaign seed participates.
+        assert_ne!(
+            derive_function_seed(7, "ieee754_exp"),
+            derive_function_seed(8, "ieee754_exp")
+        );
+    }
+
+    #[test]
+    fn suite_aggregation_sums_branches() {
+        let programs = inventory();
+        let report =
+            Campaign::new(CampaignConfig::new().base(quick_base()).workers(2)).run(&programs);
+        let covered: usize = report
+            .results
+            .iter()
+            .filter_map(|r| r.report.as_ref())
+            .map(|t| t.coverage.covered_count())
+            .sum();
+        let total: usize = report
+            .results
+            .iter()
+            .filter_map(|r| r.report.as_ref())
+            .map(|t| t.coverage.total_branches())
+            .sum();
+        let expected = 100.0 * covered as f64 / total as f64;
+        assert!((report.suite_branch_coverage_percent() - expected).abs() < 1e-9);
+        // All three toy programs are fully coverable.
+        assert_eq!(report.suite_branch_coverage_percent(), 100.0);
+    }
+
+    #[test]
+    fn effective_workers_defaults_to_at_least_two() {
+        let config = CampaignConfig::default();
+        assert!(config.effective_workers(40) >= 2);
+        // Never more workers than functions; at least one for tiny suites.
+        assert_eq!(config.effective_workers(1), 1);
+        assert_eq!(CampaignConfig::new().workers(8).effective_workers(3), 3);
+    }
+}

@@ -15,7 +15,11 @@
 //! 3. repeatedly **minimize** `FOO_R` with an off-the-shelf unconstrained
 //!    programming backend (Basinhopping over Powell, from `coverme-optim`),
 //!    collecting every minimum point with `FOO_R(x*) = 0` as a test input
-//!    ([`CoverMe`], Algorithm 1).
+//!    ([`CoverMe`], Algorithm 1);
+//! 4. fan independent searches over a whole benchmark suite in parallel
+//!    ([`Campaign`]), with deterministic per-function seeds and an
+//!    aggregated per-function + suite-level [`CampaignReport`] — the layer
+//!    the evaluation harnesses in `coverme-bench` drive.
 //!
 //! # Quick start
 //!
@@ -45,11 +49,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod driver;
 pub mod report;
 pub mod representing;
 pub mod saturation;
 
+pub use campaign::{Campaign, CampaignConfig, CampaignReport, FunctionResult};
 pub use driver::{CoverMe, CoverMeConfig, InfeasiblePolicy, PenPolicy};
 pub use report::{RoundOutcome, RoundRecord, TestReport};
 pub use representing::{Evaluation, RepresentingFunction};

@@ -254,7 +254,7 @@ mod tests {
 
     #[test]
     fn site_ids_stay_within_declared_ranges() {
-        let cases: &[(fn(&[f64], &mut ExecCtx), usize)] = &[
+        let cases: crate::SiteCases = &[
             (j0, sites::J0),
             (y0, sites::Y0),
             (j1, sites::J1),

@@ -471,7 +471,7 @@ mod tests {
 
     #[test]
     fn site_ids_stay_within_declared_ranges() {
-        let cases: &[(fn(&[f64], &mut ExecCtx), usize)] = &[
+        let cases: crate::SiteCases = &[
             (exp, sites::EXP),
             (log, sites::LOG),
             (log10, sites::LOG10),

@@ -328,7 +328,7 @@ mod tests {
 
     #[test]
     fn every_port_handles_special_values_without_panicking() {
-        let cases: &[(fn(&[f64], &mut ExecCtx), usize)] = &[
+        let cases: crate::SiteCases = &[
             (tanh, sites::TANH),
             (sinh, sites::SINH),
             (cosh, sites::COSH),

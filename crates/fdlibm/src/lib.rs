@@ -36,6 +36,20 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The ports deliberately keep Fdlibm's C idioms so the branch structure
+// matches the paper's benchmark: `x - x` / `x / x` to materialize NaN and
+// Inf from special operands, 0.0/0.0, spelled-out polynomial coefficients,
+// and the original (uncollapsed) special-case ladders.
+#![allow(
+    clippy::approx_constant,
+    clippy::collapsible_if,
+    clippy::eq_op,
+    clippy::excessive_precision,
+    clippy::identity_op,
+    clippy::if_same_then_else,
+    clippy::needless_late_init,
+    clippy::zero_divided_by_zero
+)]
 
 pub mod bessel;
 pub mod bits;
@@ -50,3 +64,8 @@ pub mod trig;
 
 pub use inventory::{ExcludedFunction, ExclusionReason};
 pub use suite::{all, by_name, Benchmark};
+
+/// `(instrumented function, declared site count)` rows used by the per-module
+/// smoke tests that check site ids stay within each function's declared range.
+#[cfg(test)]
+pub(crate) type SiteCases<'a> = &'a [(fn(&[f64], &mut coverme_runtime::ExecCtx), usize)];

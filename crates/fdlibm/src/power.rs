@@ -428,7 +428,7 @@ mod tests {
 
     #[test]
     fn binary_site_ids_stay_within_declared_ranges() {
-        let cases: &[(fn(&[f64], &mut ExecCtx), usize)] =
+        let cases: crate::SiteCases =
             &[(pow, sites::POW), (hypot, sites::HYPOT), (scalb, sites::SCALB)];
         for &(f, declared) in cases {
             for &x in INPUTS {

@@ -650,7 +650,7 @@ mod tests {
 
     #[test]
     fn unary_site_ids_stay_within_declared_ranges() {
-        let cases: &[(fn(&[f64], &mut ExecCtx), usize)] = &[
+        let cases: crate::SiteCases = &[
             (ceil, sites::CEIL),
             (floor, sites::FLOOR),
             (rint, sites::RINT),
@@ -670,7 +670,7 @@ mod tests {
 
     #[test]
     fn binary_site_ids_stay_within_declared_ranges() {
-        let cases: &[(fn(&[f64], &mut ExecCtx), usize)] = &[
+        let cases: crate::SiteCases = &[
             (nextafter, sites::NEXTAFTER),
             (remainder, sites::REMAINDER),
             (fmod, sites::FMOD),

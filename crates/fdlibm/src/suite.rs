@@ -189,7 +189,7 @@ mod tests {
         for b in BENCHMARKS {
             let mut coverage = CoverageMap::new(b.sites);
             for &x in &specials {
-                let input: Vec<f64> = std::iter::repeat(x).take(b.arity).collect();
+                let input: Vec<f64> = std::iter::repeat_n(x, b.arity).collect();
                 let mut ctx = ExecCtx::observe();
                 b.execute(&input, &mut ctx);
                 for event in ctx.trace() {

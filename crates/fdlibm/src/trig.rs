@@ -529,7 +529,7 @@ mod tests {
 
     #[test]
     fn site_ids_stay_within_declared_ranges() {
-        let unary: &[(fn(&[f64], &mut ExecCtx), usize)] = &[
+        let unary: crate::SiteCases = &[
             (sin, sites::SIN),
             (cos, sites::COS),
             (tan, sites::TAN),

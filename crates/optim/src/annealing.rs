@@ -80,7 +80,7 @@ impl SimulatedAnnealing {
         F: FnMut(&[f64]) -> f64,
     {
         assert!(!x0.is_empty(), "cannot minimize a zero-dimensional function");
-        let mut rng = derive_rng(self.seed, 0xA22E_A1);
+        let mut rng = derive_rng(self.seed, 0x00A2_2EA1);
         let dim = x0.len();
         let mut evals = 0usize;
         let eval = |f: &mut F, x: &[f64], evals: &mut usize| -> f64 {

@@ -64,7 +64,7 @@ pub use powell::Powell;
 pub use result::{Minimum, OptimStats};
 pub use sampling::{PerturbationKind, StartingPointStrategy};
 
-use rng::SplitMix64;
+use crate::rng::SplitMix64;
 
 /// Selects which local minimization algorithm a global method should use.
 ///

@@ -97,7 +97,7 @@ impl BranchId {
     pub fn from_index(index: usize) -> BranchId {
         BranchId {
             site: (index / 2) as SiteId,
-            direction: if index % 2 == 0 {
+            direction: if index.is_multiple_of(2) {
                 Direction::True
             } else {
                 Direction::False

@@ -208,7 +208,7 @@ mod tests {
         let p = toy();
         let by_ref: &dyn Program = &p;
         assert_eq!(by_ref.name(), "toy");
-        assert_eq!((&p).arity(), 2);
+        assert_eq!(p.arity(), 2);
 
         let boxed: Box<dyn Program> = Box::new(toy());
         assert_eq!(boxed.num_sites(), 1);

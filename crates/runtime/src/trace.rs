@@ -91,9 +91,7 @@ impl Trace {
     /// predecessor of the first decision by pairing it with `None`.
     pub fn edges(&self) -> impl Iterator<Item = (Option<BranchId>, BranchId)> + '_ {
         let firsts = std::iter::once(None).chain(self.events.iter().map(|e| Some(e.branch())));
-        firsts
-            .zip(self.events.iter().map(TakenBranch::branch))
-            .map(|(from, to)| (from, to))
+        firsts.zip(self.events.iter().map(TakenBranch::branch))
     }
 
     /// Clears the trace for reuse.

@@ -1,34 +1,75 @@
-//! Run CoverMe against a selection of Fdlibm benchmark functions — the
+//! Run a parallel CoverMe campaign over the Fdlibm benchmark suite — the
 //! workload the paper's introduction motivates (s_tanh.c is its running
-//! example) — and print a mini version of Table 2.
+//! example) — and print a per-function coverage table plus the suite
+//! aggregate (a mini version of Table 2).
 //!
-//! Run with `cargo run --release --example fdlibm_campaign [names...]`.
+//! One CoverMe search runs per function, fanned across worker threads with
+//! deterministic per-function seeds: the same seed produces the same table
+//! regardless of the worker count.
+//!
+//! ```text
+//! cargo run --release --example fdlibm_campaign [options] [names...]
+//!   --workers N      worker threads (default: auto, at least 2)
+//!   --budget SECS    wall-clock budget; unstarted functions are skipped
+//!   --n-start N      starting points per function (default 80)
+//!   --seed S         campaign master seed (default 42)
+//!   names...         benchmark names (default: the full 40-function suite)
+//! ```
 
-use coverme::{CoverMe, CoverMeConfig};
+use std::time::Duration;
+
+use coverme::{Campaign, CampaignConfig, CoverMeConfig};
 use coverme_fdlibm::{all, by_name};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let benchmarks = if args.is_empty() {
-        ["tanh", "sin", "erf", "log10", "asinh", "atan"]
-            .iter()
-            .filter_map(|n| by_name(n))
-            .collect::<Vec<_>>()
-    } else if args[0] == "--all" {
+    let mut workers = 0usize; // 0 = auto (>= 2)
+    let mut budget: Option<Duration> = None;
+    let mut n_start = 80usize;
+    let mut seed = 42u64;
+    let mut names: Vec<String> = Vec::new();
+
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut value_for = |flag: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--workers" => workers = value_for("--workers").parse().expect("--workers N"),
+            "--budget" => {
+                let secs: f64 = value_for("--budget").parse().expect("--budget SECS");
+                budget = Some(Duration::from_secs_f64(secs));
+            }
+            "--n-start" => n_start = value_for("--n-start").parse().expect("--n-start N"),
+            "--seed" => seed = value_for("--seed").parse().expect("--seed S"),
+            "--all" => {}
+            other => names.push(other.to_string()),
+        }
+    }
+
+    let inventory = if names.is_empty() {
         all()
     } else {
-        args.iter().filter_map(|n| by_name(n)).collect()
+        names
+            .iter()
+            .map(|name| by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}")))
+            .collect()
     };
 
-    println!("{:<20} {:>10} {:>12} {:>10}", "function", "#branches", "coverage(%)", "time(s)");
-    for b in benchmarks {
-        let report = CoverMe::new(CoverMeConfig::default().n_start(80).seed(42)).run(&b);
-        println!(
-            "{:<20} {:>10} {:>12.1} {:>10.3}",
-            b.name,
-            2 * b.sites,
-            report.branch_coverage_percent(),
-            report.wall_time.as_secs_f64()
-        );
+    let mut config = CampaignConfig::new()
+        .base(CoverMeConfig::default().n_start(n_start).seed(seed))
+        .workers(workers);
+    if let Some(budget) = budget {
+        config = config.time_budget(budget);
     }
+    let effective = config.effective_workers(inventory.len());
+    println!(
+        "campaign: {} functions, {} workers, n_start = {n_start}, seed = {seed}",
+        inventory.len(),
+        effective
+    );
+
+    let report = Campaign::new(config).run(&inventory);
+    print!("{report}");
 }

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full pipeline from program definition
 //! (native or mini-language) through CoverMe and the baselines.
 
-use coverme::{CoverMe, CoverMeConfig, SaturationTracker};
+use coverme::{Campaign, CampaignConfig, CoverMe, CoverMeConfig, SaturationTracker};
 use coverme_baselines::{RandomConfig, RandomTester};
 use coverme_fdlibm::by_name;
 use coverme_fpir::compile;
@@ -95,6 +95,37 @@ fn static_descendants_from_the_mini_language_feed_saturation_tracking() {
     // 0T is covered but its descendant 1T (x > 10) is not, so it must not be
     // saturated under the static relation.
     assert!(!tracker.is_saturated(coverme_runtime::BranchId::true_of(0)));
+}
+
+#[test]
+fn parallel_campaign_over_fdlibm_matches_sequential_searches() {
+    // A campaign over a slice of the suite must produce, per function, the
+    // same search a standalone CoverMe run with the campaign-derived seed
+    // produces — parallelism must not change results.
+    let inventory: Vec<_> = ["tanh", "cbrt", "log10", "sin"]
+        .iter()
+        .map(|n| by_name(n).unwrap())
+        .collect();
+    let base = CoverMeConfig::default().n_start(40).seed(17);
+    let report = Campaign::new(CampaignConfig::new().base(base).workers(2)).run(&inventory);
+
+    assert_eq!(report.completed(), inventory.len());
+    let names: Vec<&str> = report.results.iter().map(|r| r.name.as_str()).collect();
+    // `by_name` accepts the short alias; the report carries the table name.
+    assert_eq!(names, ["tanh", "cbrt", "ieee754_log10", "sin"]);
+
+    // Re-running the campaign reproduces every generated input.
+    let base = CoverMeConfig::default().n_start(40).seed(17);
+    let again = Campaign::new(CampaignConfig::new().base(base).workers(4)).run(&inventory);
+    for (a, b) in report.results.iter().zip(&again.results) {
+        let (a, b) = (a.report.as_ref().unwrap(), b.report.as_ref().unwrap());
+        assert_eq!(a.inputs, b.inputs, "{} diverged across worker counts", a.program);
+        assert_eq!(a.coverage.covered_count(), b.coverage.covered_count());
+    }
+
+    // The aggregate is consistent with the per-function reports.
+    assert!(report.suite_branch_coverage_percent() > 0.0);
+    assert!(report.suite_branch_coverage_percent() <= 100.0);
 }
 
 #[test]

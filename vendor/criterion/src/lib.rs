@@ -1,0 +1,150 @@
+//! Offline stand-in for the `criterion` bench harness.
+//!
+//! Implements the subset of the criterion 0.5 API used by the benches in
+//! `crates/bench/benches/`. Two run modes, selected the same way real
+//! criterion does:
+//!
+//! * invoked by `cargo bench` — cargo appends `--bench` to the argument
+//!   list; each benchmark is warmed up and then measured `sample_size`
+//!   times, and the mean wall-clock per iteration is printed;
+//! * invoked by `cargo test` (no `--bench` argument) — each benchmark body
+//!   runs exactly once as a smoke test, so `cargo test -q` stays fast while
+//!   still catching bench-target rot.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark manager, handed to each `criterion_group!` target.
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measure: self.measure,
+            _criterion: self,
+        }
+    }
+
+    /// Registers a standalone benchmark (group of one).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let measure = self.measure;
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            sample_size: 10,
+            measure,
+            _criterion: self,
+        };
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measure: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut bencher = Bencher {
+            samples: if self.measure { self.sample_size } else { 1 },
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        if self.measure && bencher.iterations > 0 {
+            let mean = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
+            println!("{label:<48} {:>12.3} us/iter", mean * 1e6);
+        }
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, running it once per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += self.samples as u64;
+    }
+}
+
+/// Prevents the compiler from optimizing away a value (re-export shim).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Defines a function that runs the listed bench targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
