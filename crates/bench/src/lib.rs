@@ -70,6 +70,18 @@ impl HarnessBudget {
     }
 }
 
+/// Per-function shard count for the campaign harnesses, from the
+/// `COVERME_SHARDS` environment variable (default 1 = unsharded). The
+/// sharded schedule is deterministic per shard count, so table numbers are
+/// reproducible for a fixed `COVERME_SHARDS` at any worker count.
+pub fn shards_from_env() -> usize {
+    std::env::var("COVERME_SHARDS")
+        .ok()
+        .and_then(|value| value.parse().ok())
+        .filter(|&shards| shards > 0)
+        .unwrap_or(1)
+}
+
 /// One row of the CoverMe-vs-baselines comparison.
 #[derive(Debug, Clone)]
 pub struct ComparisonRow {
@@ -103,9 +115,11 @@ pub fn run_coverme(benchmark: &Benchmark, budget: HarnessBudget, seed: u64) -> T
 
 /// Runs the CoverMe phase of a table as a parallel campaign: one search per
 /// benchmark, fanned across worker threads with per-function seeds derived
-/// from `seed`. The report's results are in `benchmarks` order, so table
-/// harnesses can zip them back against the benchmark list and hand each
-/// function's wall-clock time to the baseline budgets.
+/// from `seed`, and each function's `n_start` budget split across `shards`
+/// shard units of the campaign's two-level schedule (`shards <= 1` is the
+/// unsharded paper setup). The report's results are in `benchmarks` order,
+/// so table harnesses can zip them back against the benchmark list and hand
+/// each function's wall-clock time to the baseline budgets.
 ///
 /// Caveat on those times: per-function `wall_time` is measured inside a
 /// worker while sibling searches run on other cores. The campaign never
@@ -115,8 +129,13 @@ pub fn run_coverme(benchmark: &Benchmark, budget: HarnessBudget, seed: u64) -> T
 /// baseline budgets derived from these times are not identical to ones
 /// measured sequentially, and under `COVERME_FULL=1` (no clamp) table
 /// numbers can shift slightly with core count.
-pub fn run_campaign(benchmarks: &[Benchmark], budget: HarnessBudget, seed: u64) -> CampaignReport {
-    let base = paper_config(budget, seed);
+pub fn run_campaign(
+    benchmarks: &[Benchmark],
+    budget: HarnessBudget,
+    seed: u64,
+    shards: usize,
+) -> CampaignReport {
+    let base = paper_config(budget, seed).shards(shards);
     Campaign::new(CampaignConfig::new().base(base)).run(benchmarks)
 }
 
@@ -210,6 +229,35 @@ mod tests {
         assert_eq!(mean([1.0, 2.0, 3.0]), 2.0);
         assert_eq!(mean(std::iter::empty::<f64>()), 0.0);
         assert_eq!(pct(90.82), "90.8");
+    }
+
+    #[test]
+    fn shards_env_parses_and_defaults_to_unsharded() {
+        // Control the variable instead of assuming a clean environment; no
+        // other test reads it.
+        std::env::set_var("COVERME_SHARDS", "4");
+        assert_eq!(shards_from_env(), 4);
+        std::env::set_var("COVERME_SHARDS", "0");
+        assert_eq!(shards_from_env(), 1, "0 falls back to unsharded");
+        std::env::set_var("COVERME_SHARDS", "not-a-number");
+        assert_eq!(shards_from_env(), 1);
+        std::env::remove_var("COVERME_SHARDS");
+        assert_eq!(shards_from_env(), 1);
+    }
+
+    #[test]
+    fn sharded_campaign_keeps_tanh_coverage() {
+        let benchmarks = vec![by_name("tanh").unwrap()];
+        let unsharded = run_campaign(&benchmarks, HarnessBudget::Quick, 3, 1);
+        let sharded = run_campaign(&benchmarks, HarnessBudget::Quick, 3, 4);
+        let a = unsharded.results[0].report.as_ref().unwrap();
+        let b = sharded.results[0].report.as_ref().unwrap();
+        assert!(
+            b.coverage.covered_count() >= a.coverage.covered_count(),
+            "4 shards covered {} < {}",
+            b.coverage.covered_count(),
+            a.coverage.covered_count()
+        );
     }
 
     #[test]

@@ -1,42 +1,58 @@
-//! Parallel coverage campaigns: one CoverMe search per program under test,
-//! fanned out across worker threads.
+//! Parallel coverage campaigns: CoverMe searches fanned out across worker
+//! threads on a two-level work queue of functions × shards.
 //!
 //! The paper evaluates CoverMe one Fdlibm function at a time; reproducing a
 //! whole table is embarrassingly parallel because every function is searched
-//! independently. A [`Campaign`] runs one [`CoverMe`] search per inventory
-//! entry on a pool of scoped worker threads ([`std::thread::scope`]) and
-//! aggregates the outcomes into a [`CampaignReport`] with per-function and
+//! independently. A [`Campaign`] schedules one work unit per *(function,
+//! shard)* pair on a pool of scoped worker threads ([`std::thread::scope`]):
+//! with `shards = 1` (the default) that is one [`CoverMe`] search per
+//! inventory entry, exactly the paper's setup; with `shards > 1` every
+//! function's `n_start` budget additionally splits across shard units
+//! ([`crate::shard`]) whose snapshots are merged when they finish. Because
+//! units are claimed from one shared cursor in function-major order, a
+//! trailing heavy function (e.g. `ieee754_pow` with its 114 branches) fans
+//! out over the workers that would otherwise sit idle at the end of a
+//! campaign, instead of serializing its whole budget on one thread. The
+//! outcomes aggregate into a [`CampaignReport`] with per-function and
 //! suite-level branch/block coverage — the shape the Table 2/3/5 harnesses
 //! in `coverme-bench` consume.
 //!
 //! Three properties the runner guarantees:
 //!
 //! * **Determinism across thread counts.** Every function's seed is derived
-//!   from the campaign seed and the *function name* (never from scheduling),
-//!   and results are reported in inventory order, so a budget-less campaign
-//!   produces identical searches whether it runs on 1 worker or 64.
-//! * **Graceful budget expiry.** With a wall-clock budget set, workers stop
-//!   claiming functions once the deadline passes and in-flight searches have
-//!   their own time budget clamped to the time remaining; functions never
-//!   started are reported as skipped rather than blocking the campaign.
-//! * **Work stealing.** Functions are claimed from a shared atomic cursor,
-//!   so a slow function (e.g. `ieee754_pow` with its 114 branches) does not
-//!   serialize the suite behind it.
+//!   from the campaign seed, the *function name* and its duplicate-name
+//!   occurrence (never from scheduling or its inventory position, so a
+//!   subset campaign reproduces the full campaign's rows), each shard
+//!   unit's work is a deterministic
+//!   function of that seed and its shard index, and results are merged and
+//!   reported in inventory/shard order — so a budget-less campaign produces
+//!   identical searches whether it runs on 1 worker or 64.
+//! * **Graceful budget expiry.** With a wall-clock budget set, workers check
+//!   the deadline *before* claiming a unit — an expired deadline never
+//!   starts a zero-budget search that would be counted as completed — and
+//!   in-flight searches have their own time budget clamped to the time
+//!   remaining. Functions none of whose shards ran are reported as skipped;
+//!   functions with a partial shard set merge what did run.
+//! * **Work stealing.** Units are claimed from a shared atomic cursor, so a
+//!   slow function does not serialize the suite behind it.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use coverme_runtime::Program;
 
-use crate::driver::{CoverMe, CoverMeConfig};
+use crate::driver::CoverMeConfig;
 use crate::report::TestReport;
+use crate::shard::{merge_shards, run_shard, ShardOutcome};
 
 /// Configuration of a parallel campaign.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct CampaignConfig {
     /// Template CoverMe configuration applied to every function. Its `seed`
     /// acts as the campaign master seed; each function runs with a seed
-    /// derived from it and the function's name.
+    /// derived from it, the function's name and its duplicate-name
+    /// occurrence. Its `shards` field sets the per-function shard count of
+    /// the two-level schedule.
     pub base: CoverMeConfig,
     /// Number of worker threads. `0` (the default) autodetects: the
     /// machine's available parallelism, but at least two workers.
@@ -65,15 +81,30 @@ impl CampaignConfig {
         self
     }
 
+    /// Sets the per-function shard count on the template configuration
+    /// (convenience for `base.shards`).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.base.shards = shards;
+        self
+    }
+
     /// Sets the campaign wall-clock budget.
     pub fn time_budget(mut self, budget: Duration) -> Self {
         self.time_budget = Some(budget);
         self
     }
 
+    /// The campaign's per-function shard count: the requested count clamped
+    /// so every shard keeps at least
+    /// [`MIN_ROUNDS_PER_SHARD`](crate::shard::MIN_ROUNDS_PER_SHARD)
+    /// starting points (see [`CoverMeConfig::effective_shards`]).
+    pub fn effective_shards(&self) -> usize {
+        self.base.effective_shards()
+    }
+
     /// The worker count this configuration resolves to for `inventory_len`
     /// functions: the explicit count, or autodetected parallelism (≥ 2),
-    /// never more than there are functions.
+    /// never more than there are work units (functions × shards).
     pub fn effective_workers(&self, inventory_len: usize) -> usize {
         let requested = if self.workers == 0 {
             std::thread::available_parallelism()
@@ -83,7 +114,8 @@ impl CampaignConfig {
         } else {
             self.workers
         };
-        requested.clamp(1, inventory_len.max(1))
+        let units = inventory_len.saturating_mul(self.effective_shards());
+        requested.clamp(1, units.max(1))
     }
 }
 
@@ -92,15 +124,24 @@ impl CampaignConfig {
 pub struct FunctionResult {
     /// The program's name, as reported by [`Program::name`].
     pub name: String,
-    /// The search report, or `None` if the campaign budget expired before
-    /// this function's search started.
+    /// The search report (merged across shards), or `None` if the campaign
+    /// budget expired before any of this function's shards started.
     pub report: Option<TestReport>,
+    /// How many of the function's shard units ran before the budget
+    /// expired (equals the configured shard count on an unconstrained
+    /// campaign, `0` when skipped).
+    pub shards_run: usize,
 }
 
 impl FunctionResult {
-    /// Branch coverage in percent, if the search ran.
+    /// Branch coverage in percent, if the search ran **and** the function
+    /// has branches to measure. Branch-free functions yield `None` so the
+    /// mean over a suite is not diluted by vacuous 100s.
     pub fn branch_coverage_percent(&self) -> Option<f64> {
-        self.report.as_ref().map(TestReport::branch_coverage_percent)
+        self.report
+            .as_ref()
+            .filter(|report| report.coverage.total_branches() > 0)
+            .map(TestReport::branch_coverage_percent)
     }
 
     /// Whether the search ran (was not skipped by the budget).
@@ -117,6 +158,8 @@ pub struct CampaignReport {
     pub results: Vec<FunctionResult>,
     /// Number of worker threads that ran the campaign.
     pub workers: usize,
+    /// Per-function shard count of the schedule.
+    pub shards: usize,
     /// Wall-clock time of the whole campaign.
     pub wall_time: Duration,
 }
@@ -176,18 +219,27 @@ impl CampaignReport {
     }
 
     /// Mean per-function branch coverage in percent, the aggregation the
-    /// paper's tables print. Vacuous cases as in
+    /// paper's tables print. Branch-free functions contribute nothing to the
+    /// mean; when *every* completed function is branch-free the mean is the
+    /// vacuous 100 (there was nothing to miss), never `NaN`. Other vacuous
+    /// cases as in
     /// [`suite_branch_coverage_percent`](Self::suite_branch_coverage_percent).
     pub fn mean_branch_coverage_percent(&self) -> f64 {
         if let Some(zero) = self.vacuous_percent() {
             return zero;
         }
-        let completed: Vec<f64> = self
+        let percents: Vec<f64> = self
             .results
             .iter()
             .filter_map(FunctionResult::branch_coverage_percent)
             .collect();
-        completed.iter().sum::<f64>() / completed.len() as f64
+        if percents.is_empty() {
+            // Completed functions exist but none has branches: vacuously
+            // full coverage, not 0/0.
+            100.0
+        } else {
+            percents.iter().sum::<f64>() / percents.len() as f64
+        }
     }
 
     /// `(covered, total)` branch counts summed over completed functions.
@@ -229,17 +281,50 @@ impl std::fmt::Display for CampaignReport {
                 )?,
             }
         }
-        writeln!(
+        write!(
             f,
             "suite: {:.1}% branch, {:.1}% block coverage over {} functions \
-             ({} skipped) on {} workers in {:.2?}",
+             ({} skipped) on {} workers",
             self.suite_branch_coverage_percent(),
             self.suite_block_coverage_percent(),
             self.completed(),
             self.skipped(),
             self.workers,
-            self.wall_time
-        )
+        )?;
+        if self.shards > 1 {
+            write!(f, " × {} shards", self.shards)?;
+        }
+        writeln!(f, " in {:.2?}", self.wall_time)
+    }
+}
+
+/// What a worker may still do under the campaign deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BudgetState {
+    /// No deadline configured.
+    Unlimited,
+    /// Time is left; in-flight searches are clamped to it.
+    Remaining(Duration),
+    /// The deadline has passed (or nothing measurable remains): claiming
+    /// another unit would start a zero-budget search, so don't.
+    Expired,
+}
+
+/// Evaluates the campaign deadline at `now`. Checked *before* a worker
+/// claims a unit from the cursor, so a post-deadline worker never claims an
+/// index only to run it with a near-zero clamped budget and have it counted
+/// as completed.
+fn budget_state(deadline: Option<Instant>, now: Instant) -> BudgetState {
+    match deadline {
+        None => BudgetState::Unlimited,
+        Some(deadline) => {
+            let remaining = deadline.saturating_duration_since(now);
+            if remaining.is_zero() {
+                BudgetState::Expired
+            } else {
+                BudgetState::Remaining(remaining)
+            }
+        }
     }
 }
 
@@ -260,40 +345,66 @@ impl Campaign {
         &self.config
     }
 
-    /// Runs one CoverMe search per inventory program across the worker
-    /// pool and aggregates the outcomes in inventory order.
+    /// Runs the two-level (functions × shards) schedule across the worker
+    /// pool and aggregates the merged outcomes in inventory order.
     pub fn run<P: Program + Sync>(&self, inventory: &[P]) -> CampaignReport {
         let started = Instant::now();
+        let shards = self.config.effective_shards();
         let workers = self.config.effective_workers(inventory.len());
         if inventory.is_empty() {
             return CampaignReport {
                 results: Vec::new(),
                 workers,
+                shards,
                 wall_time: started.elapsed(),
             };
         }
 
         let deadline = self.config.time_budget.map(|budget| started + budget);
+        let units_total = inventory.len() * shards;
         let cursor = AtomicUsize::new(0);
-        let mut slots: Vec<Option<TestReport>> = Vec::new();
-        slots.resize_with(inventory.len(), || None);
 
-        let completed: Vec<Vec<(usize, TestReport)>> = std::thread::scope(|scope| {
+        // Seed derivation input per function: how many *earlier* inventory
+        // entries share its name. 0 for every uniquely named function, so a
+        // subset campaign reproduces the full campaign's rows (position
+        // independence); duplicates still get distinct seeds.
+        let occurrences: Vec<usize> = {
+            let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+            inventory
+                .iter()
+                .map(|program| {
+                    let count = counts.entry(program.name().to_string()).or_default();
+                    let occurrence = *count;
+                    *count += 1;
+                    occurrence
+                })
+                .collect()
+        };
+
+        let completed: Vec<Vec<(usize, ShardOutcome)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
-                        let mut local: Vec<(usize, TestReport)> = Vec::new();
+                        let mut local: Vec<(usize, ShardOutcome)> = Vec::new();
                         loop {
-                            let index = cursor.fetch_add(1, Ordering::Relaxed);
-                            if index >= inventory.len() {
+                            let remaining = match budget_state(deadline, Instant::now()) {
+                                BudgetState::Unlimited => None,
+                                BudgetState::Remaining(left) => Some(left),
+                                BudgetState::Expired => break,
+                            };
+                            let unit = cursor.fetch_add(1, Ordering::Relaxed);
+                            if unit >= units_total {
                                 break;
                             }
-                            if deadline.is_some_and(|d| Instant::now() >= d) {
-                                break;
-                            }
-                            let program = &inventory[index];
-                            let config = self.function_config(program.name(), deadline);
-                            local.push((index, CoverMe::new(config).run(program)));
+                            let function = unit / shards;
+                            let shard = unit % shards;
+                            let program = &inventory[function];
+                            let config = self.function_config(
+                                program.name(),
+                                occurrences[function],
+                                remaining,
+                            );
+                            local.push((unit, run_shard(&config, program, shard)));
                         }
                         local
                     })
@@ -305,31 +416,56 @@ impl Campaign {
                 .collect()
         });
 
-        for (index, report) in completed.into_iter().flatten() {
-            slots[index] = Some(report);
+        let mut per_function: Vec<Vec<ShardOutcome>> = Vec::new();
+        per_function.resize_with(inventory.len(), Vec::new);
+        for (unit, outcome) in completed.into_iter().flatten() {
+            per_function[unit / shards].push(outcome);
         }
         let results = inventory
             .iter()
-            .zip(slots)
-            .map(|(program, report)| FunctionResult {
-                name: program.name().to_string(),
-                report,
+            .zip(per_function)
+            .map(|(program, mut outcomes)| {
+                let shards_run = outcomes.len();
+                let report = if outcomes.is_empty() {
+                    None
+                } else if shards == 1 {
+                    // The paper's setup: a single whole-budget search, passed
+                    // through without representative-input reselection so the
+                    // campaign reproduces a standalone `CoverMe::run` exactly.
+                    Some(outcomes.pop().expect("non-empty").into_report(program.name()))
+                } else {
+                    Some(merge_shards(program.name(), outcomes).report)
+                };
+                FunctionResult {
+                    name: program.name().to_string(),
+                    report,
+                    shards_run,
+                }
             })
             .collect();
         CampaignReport {
             results,
             workers,
+            shards,
             wall_time: started.elapsed(),
         }
     }
 
-    /// The per-function configuration: the template with a name-derived seed
-    /// and, under a campaign deadline, a time budget clamped to what's left.
-    fn function_config(&self, name: &str, deadline: Option<Instant>) -> CoverMeConfig {
+    /// The per-function configuration: the template with a seed derived from
+    /// the name and its duplicate-name occurrence and, under a campaign
+    /// deadline, a time budget clamped to what is left.
+    fn function_config(
+        &self,
+        name: &str,
+        occurrence: usize,
+        remaining: Option<Duration>,
+    ) -> CoverMeConfig {
         let mut config = self.config.base.clone();
-        config.seed = derive_function_seed(self.config.base.seed, name);
-        if let Some(deadline) = deadline {
-            let remaining = deadline.saturating_duration_since(Instant::now());
+        // The worker grid is sized with the effective shard count; the
+        // per-shard stride must agree with it.
+        config.shards = self.config.effective_shards();
+        config.seed = derive_function_seed(self.config.base.seed, name, occurrence);
+        if let Some(remaining) = remaining {
             config.time_budget = Some(match config.time_budget {
                 Some(budget) => budget.min(remaining),
                 None => remaining,
@@ -339,12 +475,17 @@ impl Campaign {
     }
 }
 
-/// Derives a function's seed from the campaign seed and the function name
-/// (FNV-1a), so searches are reproducible independent of scheduling and of
-/// the function's position in the inventory.
-fn derive_function_seed(campaign_seed: u64, name: &str) -> u64 {
+/// Derives a function's seed from the campaign seed, the function name and
+/// its duplicate-name occurrence (FNV-1a over the name bytes then the
+/// occurrence bytes). The occurrence is 0 unless an earlier inventory entry
+/// has the same name, so a search is reproducible independent of scheduling
+/// *and* of the function's position in the inventory (a subset campaign
+/// reproduces the full campaign's rows) — while two entries that happen to
+/// share a name still run distinct searches instead of silently duplicating
+/// one.
+fn derive_function_seed(campaign_seed: u64, name: &str, occurrence: usize) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for byte in name.bytes() {
+    for byte in name.bytes().chain((occurrence as u64).to_le_bytes()) {
         hash ^= byte as u64;
         hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
     }
@@ -436,6 +577,88 @@ mod tests {
     }
 
     #[test]
+    fn sharded_campaign_identical_across_thread_counts() {
+        let programs = inventory();
+        let runs: Vec<CampaignReport> = [1, 2, 5]
+            .iter()
+            .map(|&workers| {
+                let config = CampaignConfig::new()
+                    .base(quick_base().n_start(48))
+                    .shards(3)
+                    .workers(workers);
+                Campaign::new(config).run(&programs)
+            })
+            .collect();
+        assert_eq!(fingerprint(&runs[0]), fingerprint(&runs[1]));
+        assert_eq!(fingerprint(&runs[0]), fingerprint(&runs[2]));
+        assert_eq!(runs[0].shards, 3);
+        assert!(runs[0].results.iter().all(|r| r.shards_run == 3));
+    }
+
+    #[test]
+    fn sharded_campaign_covers_at_least_the_unsharded_one() {
+        let programs = inventory();
+        let base = || quick_base().n_start(64);
+        let unsharded =
+            Campaign::new(CampaignConfig::new().base(base()).workers(2)).run(&programs);
+        for shards in [2usize, 4] {
+            let sharded = Campaign::new(
+                CampaignConfig::new().base(base()).shards(shards).workers(2),
+            )
+            .run(&programs);
+            for (a, b) in unsharded.results.iter().zip(&sharded.results) {
+                let (a, b) = (a.report.as_ref().unwrap(), b.report.as_ref().unwrap());
+                assert!(
+                    b.coverage.covered_count() >= a.coverage.covered_count(),
+                    "{}: {} shards covered {} < {}",
+                    a.program,
+                    shards,
+                    b.coverage.covered_count(),
+                    a.coverage.covered_count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsharded_campaign_reproduces_standalone_coverme_runs() {
+        // With shards = 1 the campaign is the paper's setup: per function,
+        // exactly the report a standalone CoverMe run with the derived seed
+        // produces — including redundant accepted inputs, which the sharded
+        // merge would drop.
+        let programs = inventory();
+        let report =
+            Campaign::new(CampaignConfig::new().base(quick_base()).workers(2)).run(&programs);
+        for (index, (program, result)) in programs.iter().zip(&report.results).enumerate() {
+            let mut config = quick_base();
+            config.seed = derive_function_seed(quick_base().seed, program.name(), 0);
+            let standalone = crate::CoverMe::new(config).run(program);
+            let campaign = result.report.as_ref().unwrap();
+            assert_eq!(campaign.inputs, standalone.inputs, "function #{index}");
+            assert_eq!(campaign.coverage, standalone.coverage);
+            assert_eq!(campaign.rounds, standalone.rounds);
+        }
+    }
+
+    #[test]
+    fn function_results_are_independent_of_inventory_position() {
+        // A subset campaign must reproduce the full campaign's rows: seeds
+        // depend on names (and duplicate-name occurrence), not position.
+        let programs = inventory();
+        let full =
+            Campaign::new(CampaignConfig::new().base(quick_base()).workers(2)).run(&programs);
+        let subset = vec![inventory().remove(2)];
+        let alone =
+            Campaign::new(CampaignConfig::new().base(quick_base()).workers(2)).run(&subset);
+        let (full_gamma, lone_gamma) = (
+            full.results[2].report.as_ref().unwrap(),
+            alone.results[0].report.as_ref().unwrap(),
+        );
+        assert_eq!(full_gamma.inputs, lone_gamma.inputs);
+        assert_eq!(full_gamma.coverage, lone_gamma.coverage);
+    }
+
+    #[test]
     fn results_arrive_in_inventory_order() {
         let programs = inventory();
         let report =
@@ -457,11 +680,29 @@ mod tests {
         assert_eq!(report.results.len(), programs.len());
         assert_eq!(report.skipped(), programs.len());
         assert_eq!(report.completed(), 0);
+        assert!(report.results.iter().all(|r| r.shards_run == 0));
         assert!(report.to_string().contains("skipped"));
         // Nothing ran, so nothing is covered — not vacuously 100%.
         assert_eq!(report.suite_branch_coverage_percent(), 0.0);
         assert_eq!(report.suite_block_coverage_percent(), 0.0);
         assert_eq!(report.mean_branch_coverage_percent(), 0.0);
+    }
+
+    #[test]
+    fn budget_state_expires_before_a_claim_not_after() {
+        let now = Instant::now();
+        assert_eq!(budget_state(None, now), BudgetState::Unlimited);
+        assert_eq!(
+            budget_state(Some(now + Duration::from_secs(5)), now),
+            BudgetState::Remaining(Duration::from_secs(5))
+        );
+        // A deadline that leaves no measurable time is expired — a worker
+        // must not claim a unit it could only run with a zero budget.
+        assert_eq!(budget_state(Some(now), now), BudgetState::Expired);
+        assert_eq!(
+            budget_state(Some(now), now + Duration::from_millis(1)),
+            BudgetState::Expired
+        );
     }
 
     #[test]
@@ -476,20 +717,96 @@ mod tests {
     }
 
     #[test]
+    fn branch_free_inventory_reports_vacuous_mean_not_nan() {
+        // Regression: every completed function is branch-free, so no
+        // function contributes a branch percentage; the mean used to be
+        // 0/0 = NaN while completed() > 0 kept the vacuous guard silent.
+        fn no_branches(_: &[f64], _: &mut ExecCtx) {}
+        let programs = vec![
+            FnProgram::new("straight_a", 1, 0, no_branches as fn(&[f64], &mut ExecCtx)),
+            FnProgram::new("straight_b", 1, 0, no_branches as fn(&[f64], &mut ExecCtx)),
+        ];
+        let report =
+            Campaign::new(CampaignConfig::new().base(quick_base()).workers(2)).run(&programs);
+        assert_eq!(report.completed(), 2);
+        assert!(report.results.iter().all(|r| r.branch_coverage_percent().is_none()));
+        let mean = report.mean_branch_coverage_percent();
+        assert!(!mean.is_nan(), "mean must not be NaN");
+        assert_eq!(mean, 100.0);
+        assert_eq!(report.suite_branch_coverage_percent(), 100.0);
+        assert_eq!(report.suite_block_coverage_percent(), 100.0);
+    }
+
+    #[test]
+    fn branch_free_functions_do_not_dilute_the_mean() {
+        fn no_branches(_: &[f64], _: &mut ExecCtx) {}
+        fn partial(input: &[f64], ctx: &mut ExecCtx) {
+            // 1T (a square equal to -1) is infeasible, so this function
+            // cannot reach 100% — 3 of 4 branches at best.
+            let x = input[0];
+            if ctx.branch(0, Cmp::Le, x, 0.0) {
+                // easy
+            }
+            if ctx.branch(1, Cmp::Eq, x * x, -1.0) {
+                // unreachable
+            }
+        }
+        let programs = vec![
+            FnProgram::new("straight", 1, 0, no_branches as fn(&[f64], &mut ExecCtx)),
+            FnProgram::new("partial", 1, 2, partial as fn(&[f64], &mut ExecCtx)),
+        ];
+        let report =
+            Campaign::new(CampaignConfig::new().base(quick_base()).workers(2)).run(&programs);
+        let partial_pct = report.results[1].branch_coverage_percent().unwrap();
+        assert!(partial_pct < 100.0);
+        // The mean is exactly the branchful function's percentage — the
+        // branch-free entry neither drags it down nor pads it with 100.
+        assert_eq!(report.mean_branch_coverage_percent(), partial_pct);
+    }
+
+    #[test]
     fn per_function_seeds_differ_and_are_stable() {
         assert_ne!(
-            derive_function_seed(7, "ieee754_exp"),
-            derive_function_seed(7, "ieee754_log")
+            derive_function_seed(7, "ieee754_exp", 0),
+            derive_function_seed(7, "ieee754_log", 1)
         );
         assert_eq!(
-            derive_function_seed(7, "ieee754_exp"),
-            derive_function_seed(7, "ieee754_exp")
+            derive_function_seed(7, "ieee754_exp", 0),
+            derive_function_seed(7, "ieee754_exp", 0)
         );
         // Campaign seed participates.
         assert_ne!(
-            derive_function_seed(7, "ieee754_exp"),
-            derive_function_seed(8, "ieee754_exp")
+            derive_function_seed(7, "ieee754_exp", 0),
+            derive_function_seed(8, "ieee754_exp", 0)
         );
+        // Regression: duplicate names at different inventory positions must
+        // not silently run identical searches.
+        assert_ne!(
+            derive_function_seed(7, "ieee754_exp", 0),
+            derive_function_seed(7, "ieee754_exp", 1)
+        );
+    }
+
+    #[test]
+    fn duplicate_names_run_distinct_searches() {
+        fn alpha(input: &[f64], ctx: &mut ExecCtx) {
+            let mut x = input[0];
+            if ctx.branch(0, Cmp::Le, x, 1.0) {
+                x += 2.5;
+            }
+            if ctx.branch(1, Cmp::Eq, x * x, 4.0) {
+                // target
+            }
+        }
+        let programs = vec![
+            FnProgram::new("twin", 1, 2, alpha as fn(&[f64], &mut ExecCtx)),
+            FnProgram::new("twin", 1, 2, alpha as fn(&[f64], &mut ExecCtx)),
+        ];
+        let report =
+            Campaign::new(CampaignConfig::new().base(quick_base()).workers(2)).run(&programs);
+        let a = report.results[0].report.as_ref().unwrap();
+        let b = report.results[1].report.as_ref().unwrap();
+        assert_ne!(a.inputs, b.inputs, "same-named entries ran identical searches");
     }
 
     #[test]
@@ -519,8 +836,19 @@ mod tests {
     fn effective_workers_defaults_to_at_least_two() {
         let config = CampaignConfig::default();
         assert!(config.effective_workers(40) >= 2);
-        // Never more workers than functions; at least one for tiny suites.
+        // Never more workers than work units; at least one for tiny suites.
         assert_eq!(config.effective_workers(1), 1);
         assert_eq!(CampaignConfig::new().workers(8).effective_workers(3), 3);
+        // Sharding multiplies the unit count, so one heavy function can
+        // still fan out over several workers.
+        assert_eq!(
+            CampaignConfig::new().workers(8).shards(4).effective_workers(1),
+            4
+        );
+        // The minimum-rounds floor caps how finely a small budget splits,
+        // and the unit grid follows the effective count.
+        let starved = CampaignConfig::new().base(quick_base()).shards(4);
+        assert_eq!(starved.effective_shards(), 2); // n_start 40 / 16
+        assert_eq!(starved.clone().workers(8).effective_workers(1), 2);
     }
 }

@@ -15,18 +15,20 @@
 //! The loop stops when every branch is saturated, when the configured number
 //! of starting points (`n_start`) is exhausted, or when an optional wall
 //! clock budget runs out.
+//!
+//! With `shards > 1` the starting-point budget is split across independent
+//! shard searches whose snapshots are merged afterwards (see
+//! [`crate::shard`]): [`CoverMe::run`] executes the shards sequentially
+//! (same merged report, no extra threads), [`CoverMe::run_parallel`] fans
+//! them across scoped worker threads for a wall-clock speedup.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use coverme_optim::rng::SplitMix64;
-use coverme_optim::{
-    BasinHopping, LocalMethod, PerturbationKind, StartingPointStrategy,
-};
-use coverme_runtime::{CoverageMap, Program, DEFAULT_EPSILON};
+use coverme_optim::{LocalMethod, PerturbationKind, StartingPointStrategy};
+use coverme_runtime::{Program, DEFAULT_EPSILON};
 
-use crate::report::{RoundOutcome, RoundRecord, TestReport};
-use crate::representing::RepresentingFunction;
-use crate::saturation::SaturationTracker;
+use crate::report::TestReport;
+use crate::shard::{merge_shards, run_shard, ShardOutcome};
 
 /// How `pen` decides that a conditional site no longer needs attention.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -86,6 +88,10 @@ pub struct CoverMeConfig {
     /// record the coverage of every intermediate evaluation performed by the
     /// minimizer, not just of the returned minimum points.
     pub record_search_coverage: bool,
+    /// Number of shards the `n_start` budget is split across (see
+    /// [`crate::shard`]). `0` and `1` both mean unsharded; the merged result
+    /// is deterministic for a fixed shard count regardless of scheduling.
+    pub shards: usize,
     /// Extension (on by default): when a round's minimum is positive but the
     /// backend clearly converged near a point (e.g. `x* = 1.9999999999997`
     /// for an exact-equality branch), probe a handful of "rounded"
@@ -111,6 +117,7 @@ impl Default for CoverMeConfig {
             zero_threshold: 0.0,
             time_budget: None,
             record_search_coverage: false,
+            shards: 1,
             polish: true,
         }
     }
@@ -188,6 +195,24 @@ impl CoverMeConfig {
         self
     }
 
+    /// Sets the number of shards the `n_start` budget is split across
+    /// (`0` and `1` both mean unsharded).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The shard count a run of this configuration actually uses: the
+    /// requested count, at least 1, and never so many that a shard owns
+    /// fewer than [`crate::shard::MIN_ROUNDS_PER_SHARD`] starting points —
+    /// splitting finer than that measurably loses coverage to duplicated
+    /// easy-branch work (see the constant's docs). A pure function of the
+    /// configuration, so determinism per requested shard count is kept.
+    pub fn effective_shards(&self) -> usize {
+        let widest = (self.n_start / crate::shard::MIN_ROUNDS_PER_SHARD).max(1);
+        self.shards.clamp(1, widest)
+    }
+
     /// Enables or disables the rounding-based polish step applied to
     /// near-miss minima.
     pub fn polish(mut self, enabled: bool) -> Self {
@@ -219,228 +244,54 @@ impl CoverMe {
     }
 
     /// Runs branch coverage-based testing on `program` (Algorithm 1).
+    ///
+    /// With `shards > 1` the shard searches run sequentially on the calling
+    /// thread and their snapshots are merged ([`crate::shard`]); the merged
+    /// report is identical to what [`run_parallel`](Self::run_parallel)
+    /// produces, just without the wall-clock speedup.
     pub fn run<P: Program>(&self, program: &P) -> TestReport {
-        let cfg = &self.config;
-        let num_sites = program.num_sites();
-        let arity = program.arity();
-        assert!(arity > 0, "program under test must take at least one input");
-
-        let mut tracker = match cfg.pen_policy {
-            PenPolicy::Saturation => SaturationTracker::new(num_sites),
-            PenPolicy::CoveredOnly => SaturationTracker::new(num_sites).covered_only(),
-        };
-        let mut coverage = CoverageMap::new(num_sites);
-        let mut inputs: Vec<Vec<f64>> = Vec::new();
-        let mut rounds: Vec<RoundRecord> = Vec::new();
-        let mut total_evaluations = 0usize;
-        let mut start_rng = SplitMix64::new(cfg.seed ^ 0x5EED_0001);
-        let started = Instant::now();
-
-        for round in 0..cfg.n_start {
-            if tracker.all_saturated() {
-                break;
-            }
-            if let Some(budget) = cfg.time_budget {
-                if started.elapsed() >= budget {
-                    break;
-                }
-            }
-
-            // Line 9: a random starting point.
-            let x0 = cfg.starting_points.sample(&mut start_rng, arity);
-
-            // Step 2: the representing function against the current snapshot.
-            let snapshot = tracker.saturated_set();
-            let saturated_before = snapshot.len();
-            let foo_r =
-                RepresentingFunction::new(program, snapshot).with_epsilon(cfg.epsilon);
-
-            // Line 10: x* = MCMC(FOO_R, x).
-            let hopper = BasinHopping::new()
-                .iterations(cfg.n_iter)
-                .local_method(cfg.local_method)
-                .perturbation(cfg.perturbation)
-                .temperature(1.0)
-                .seed(cfg.seed.wrapping_add(round as u64).wrapping_mul(0x9E37_79B9))
-                .target_value(cfg.zero_threshold);
-
-            let result = if cfg.record_search_coverage {
-                let mut objective = |x: &[f64]| {
-                    let evaluation = foo_r.eval_full(x);
-                    coverage.record_set(&evaluation.covered);
-                    tracker.record_trace(&evaluation.trace);
-                    evaluation.value
-                };
-                hopper.minimize(&mut objective, &x0)
-            } else {
-                let mut objective = foo_r.objective();
-                hopper.minimize(&mut objective, &x0)
-            };
-            total_evaluations += result.stats.evaluations;
-
-            // Line 11-12: accept the minimum point if FOO_R(x*) = 0, update
-            // Saturate; otherwise apply the infeasible-branch heuristic.
-            let mut minimum_point = result.x.clone();
-            let mut evaluation = foo_r.eval_full(&minimum_point);
-            total_evaluations += 1;
-            if cfg.polish && evaluation.value > cfg.zero_threshold {
-                if let Some((polished, polished_eval, polish_evals)) =
-                    polish_minimum(&foo_r, &minimum_point, cfg.zero_threshold)
-                {
-                    minimum_point = polished;
-                    evaluation = polished_eval;
-                    total_evaluations += polish_evals;
-                }
-            }
-            let outcome = if evaluation.value <= cfg.zero_threshold {
-                let newly_covered = coverage.record_set(&evaluation.covered);
-                tracker.record_trace(&evaluation.trace);
-                inputs.push(minimum_point.clone());
-                if newly_covered > 0 {
-                    RoundOutcome::NewInput
-                } else {
-                    RoundOutcome::RedundantInput
-                }
-            } else {
-                match cfg.infeasible_policy {
-                    InfeasiblePolicy::LastConditional => {
-                        if let Some(last) = evaluation.trace.last() {
-                            let blamed = last.untaken_branch();
-                            tracker.mark_infeasible(blamed);
-                            RoundOutcome::DeemedInfeasible(blamed)
-                        } else {
-                            RoundOutcome::NoProgress
-                        }
-                    }
-                    InfeasiblePolicy::Disabled => RoundOutcome::NoProgress,
-                }
-            };
-
-            rounds.push(RoundRecord {
-                round,
-                start: x0,
-                minimum: minimum_point,
-                value: evaluation.value,
-                evaluations: result.stats.evaluations,
-                saturated_before,
-                outcome,
-            });
+        let shards = self.config.effective_shards();
+        let config = CoverMeConfig { shards, ..self.config.clone() };
+        if shards == 1 {
+            return run_shard(&config, program, 0).into_report(program.name());
         }
+        let outcomes: Vec<ShardOutcome> = (0..shards)
+            .map(|index| run_shard(&config, program, index))
+            .collect();
+        merge_shards(program.name(), outcomes).report
+    }
 
-        TestReport {
-            program: program.name().to_string(),
-            inputs,
-            coverage,
-            infeasible: tracker.infeasible().iter().collect(),
-            rounds,
-            evaluations: total_evaluations,
-            wall_time: started.elapsed(),
+    /// Runs branch coverage-based testing with the configured shards fanned
+    /// across scoped worker threads (one thread per shard).
+    ///
+    /// The merged report is bitwise-identical to [`run`](Self::run) with the
+    /// same configuration — the shard snapshots are deterministic and the
+    /// merge is ordered by shard index — but the wall-clock time approaches
+    /// the slowest single shard. With `shards <= 1` this is exactly `run`.
+    pub fn run_parallel<P: Program + Sync>(&self, program: &P) -> TestReport {
+        let shards = self.config.effective_shards();
+        if shards == 1 {
+            return self.run(program);
         }
+        let config = CoverMeConfig { shards, ..self.config.clone() };
+        let config = &config;
+        let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|index| scope.spawn(move || run_shard(config, program, index)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("shard worker panicked"))
+                .collect()
+        });
+        merge_shards(program.name(), outcomes).report
     }
-}
-
-/// Probes "rounded" variants of a near-miss minimum point, one coordinate at
-/// a time, looking for an exact zero of the representing function.
-///
-/// Unconstrained minimizers converge to `x*` only up to a tolerance, which is
-/// not enough when the target branch needs an *exact* floating-point equality
-/// (e.g. `y == 4` is only reached at `x = 2`, not at `x = 2 + 1e-12`). The
-/// candidates tried here are the natural "intended" values a numeric method
-/// narrowly missed: integers, halves, tenths, and a few ULP neighbours.
-///
-/// Returns the polished point, its evaluation and the number of extra
-/// representing-function evaluations, or `None` if no candidate reached the
-/// threshold.
-fn polish_minimum<P: Program>(
-    foo_r: &RepresentingFunction<P>,
-    x: &[f64],
-    threshold: f64,
-) -> Option<(Vec<f64>, crate::representing::Evaluation, usize)> {
-    let mut best = x.to_vec();
-    let mut best_value = foo_r.eval(&best);
-    let mut evaluations = 1usize;
-
-    for coord in 0..best.len() {
-        let original = best[coord];
-        for candidate in candidate_values(original) {
-            if candidate == best[coord] {
-                continue;
-            }
-            let mut trial = best.clone();
-            trial[coord] = candidate;
-            let value = foo_r.eval(&trial);
-            evaluations += 1;
-            if value < best_value {
-                best_value = value;
-                best = trial;
-                if best_value <= threshold {
-                    let evaluation = foo_r.eval_full(&best);
-                    evaluations += 1;
-                    return Some((best, evaluation, evaluations));
-                }
-            }
-        }
-    }
-
-    if best_value <= threshold {
-        let evaluation = foo_r.eval_full(&best);
-        evaluations += 1;
-        Some((best, evaluation, evaluations))
-    } else {
-        None
-    }
-}
-
-/// Candidate replacement values for one coordinate of a near-miss minimum.
-fn candidate_values(x: f64) -> Vec<f64> {
-    if !x.is_finite() {
-        return vec![0.0];
-    }
-    let mut candidates = vec![
-        x.round(),
-        x.floor(),
-        x.ceil(),
-        (x * 2.0).round() / 2.0,
-        (x * 10.0).round() / 10.0,
-        (x * 100.0).round() / 100.0,
-        0.0,
-    ];
-    // A few ULP neighbours in both directions.
-    let mut up = x;
-    let mut down = x;
-    for _ in 0..3 {
-        up = next_up(up);
-        down = next_down(down);
-        candidates.push(up);
-        candidates.push(down);
-    }
-    candidates.dedup();
-    candidates
-}
-
-fn next_up(x: f64) -> f64 {
-    if x.is_nan() || x == f64::INFINITY {
-        return x;
-    }
-    let bits = if x == 0.0 { 1 } else if x > 0.0 { x.to_bits() + 1 } else { x.to_bits() - 1 };
-    f64::from_bits(bits)
-}
-
-fn next_down(x: f64) -> f64 {
-    if x.is_nan() || x == f64::NEG_INFINITY {
-        return x;
-    }
-    if x == 0.0 {
-        return -f64::from_bits(1);
-    }
-    let bits = if x > 0.0 { x.to_bits() - 1 } else { x.to_bits() + 1 };
-    f64::from_bits(bits)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use coverme_runtime::{BranchId, Cmp, ExecCtx, FnProgram};
+    use coverme_runtime::{BranchId, Cmp, CoverageMap, ExecCtx, FnProgram};
 
     /// The paper's Fig. 3 example program.
     fn paper_example() -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
@@ -583,6 +434,61 @@ mod tests {
         }
         let productive = report.productive_rounds();
         assert!(productive >= 2, "need at least two inputs for 4 branches");
+    }
+
+    #[test]
+    fn sharded_run_covers_the_paper_example_and_is_deterministic() {
+        let config = quick_config().shards(4);
+        let a = CoverMe::new(config.clone()).run(&paper_example());
+        let b = CoverMe::new(config).run(&paper_example());
+        assert_eq!(a.branch_coverage_percent(), 100.0, "{a}");
+        assert_eq!(a.inputs, b.inputs);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.rounds.len(), b.rounds.len());
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_sharded_run() {
+        let config = quick_config().shards(3);
+        let sequential = CoverMe::new(config.clone()).run(&paper_example());
+        let parallel = CoverMe::new(config).run_parallel(&paper_example());
+        assert_eq!(sequential.inputs, parallel.inputs);
+        assert_eq!(sequential.coverage, parallel.coverage);
+        assert_eq!(sequential.evaluations, parallel.evaluations);
+    }
+
+    #[test]
+    fn sharded_run_never_covers_less_than_unsharded() {
+        for shards in [2usize, 3, 4] {
+            let unsharded = CoverMe::new(quick_config()).run(&infeasible_example());
+            let sharded =
+                CoverMe::new(quick_config().shards(shards)).run(&infeasible_example());
+            assert!(
+                sharded.coverage.covered_count() >= unsharded.coverage.covered_count(),
+                "{shards} shards covered {} < {}",
+                sharded.coverage.covered_count(),
+                unsharded.coverage.covered_count()
+            );
+        }
+    }
+
+    #[test]
+    fn effective_shards_keeps_a_minimum_round_slice() {
+        assert_eq!(CoverMeConfig::default().n_start(40).shards(4).effective_shards(), 2);
+        assert_eq!(CoverMeConfig::default().n_start(80).shards(4).effective_shards(), 4);
+        assert_eq!(CoverMeConfig::default().n_start(8).shards(4).effective_shards(), 1);
+        assert_eq!(CoverMeConfig::default().shards(0).effective_shards(), 1);
+        // The paper's full budget splits comfortably.
+        assert_eq!(CoverMeConfig::default().shards(16).effective_shards(), 16);
+    }
+
+    #[test]
+    fn shards_zero_and_one_mean_unsharded() {
+        let baseline = CoverMe::new(quick_config()).run(&paper_example());
+        let zero = CoverMe::new(quick_config().shards(0)).run(&paper_example());
+        let one = CoverMe::new(quick_config().shards(1)).run(&paper_example());
+        assert_eq!(baseline.inputs, zero.inputs);
+        assert_eq!(baseline.inputs, one.inputs);
     }
 
     #[test]

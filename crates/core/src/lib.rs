@@ -19,7 +19,12 @@
 //! 4. fan independent searches over a whole benchmark suite in parallel
 //!    ([`Campaign`]), with deterministic per-function seeds and an
 //!    aggregated per-function + suite-level [`CampaignReport`] — the layer
-//!    the evaluation harnesses in `coverme-bench` drive.
+//!    the evaluation harnesses in `coverme-bench` drive;
+//! 5. shard a *single* function's search across workers ([`shard`]): the
+//!    `n_start` budget is split into strided slices with deterministic
+//!    per-round seeds, and the per-shard saturation/coverage snapshots are
+//!    merged. Campaigns schedule functions × shards as one work queue, so a
+//!    trailing heavy function fans out over otherwise idle workers.
 //!
 //! # Quick start
 //!
@@ -54,12 +59,14 @@ pub mod driver;
 pub mod report;
 pub mod representing;
 pub mod saturation;
+pub mod shard;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignReport, FunctionResult};
 pub use driver::{CoverMe, CoverMeConfig, InfeasiblePolicy, PenPolicy};
 pub use report::{RoundOutcome, RoundRecord, TestReport};
 pub use representing::{Evaluation, RepresentingFunction};
 pub use saturation::SaturationTracker;
+pub use shard::{merge_shards, run_shard, AcceptedInput, MergedSearch, ShardOutcome};
 
 // Re-export the pieces users need to define programs without adding an
 // explicit dependency on the runtime crate.

@@ -136,6 +136,44 @@ impl SaturationTracker {
         self.infeasible.insert(branch);
     }
 
+    /// Merges another tracker of the same program into this one, as when the
+    /// shards of a split search ([`crate::shard`]) are combined:
+    ///
+    /// * covered branches are unioned,
+    /// * learned descendant sets are unioned per branch (the merged relation
+    ///   is a tighter under-approximation of the static CFG than either
+    ///   side's, so merged saturation can be *smaller* than a single shard's
+    ///   optimistic view — never unsound),
+    /// * infeasible-deemed branches are unioned, and then any branch some
+    ///   shard actually covered is dropped from the infeasible set: real
+    ///   coverage refutes the heuristic's verdict.
+    ///
+    /// The learning/ablation flags of `self` are kept; all shards of one
+    /// search share a configuration, so they agree anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trackers disagree on the number of conditional sites.
+    pub fn merge_from(&mut self, other: &SaturationTracker) {
+        assert_eq!(
+            self.num_sites, other.num_sites,
+            "cannot merge saturation trackers of different programs"
+        );
+        self.covered.union_with(&other.covered);
+        self.infeasible.union_with(&other.infeasible);
+        for (mine, theirs) in self.descendants.iter_mut().zip(&other.descendants) {
+            mine.union_with(theirs);
+        }
+        let refuted: Vec<BranchId> = self
+            .infeasible
+            .iter()
+            .filter(|b| self.covered.contains(*b))
+            .collect();
+        for branch in refuted {
+            self.infeasible.remove(branch);
+        }
+    }
+
     /// Branches covered so far (excluding infeasible-deemed ones).
     pub fn covered(&self) -> &BranchSet {
         &self.covered
@@ -311,6 +349,49 @@ mod tests {
         assert!(tracker.covered().contains(BranchId::true_of(0)));
         // No descendant pair was learned, so 0T saturates as a leaf.
         assert!(tracker.is_saturated(BranchId::true_of(0)));
+    }
+
+    #[test]
+    fn merge_from_unions_coverage_and_descendants() {
+        // Shard A sees the nested path 0T -> 1F; shard B sees 0F only.
+        let mut a = SaturationTracker::new(2);
+        a.record_trace(&trace_of(&[(0, true), (1, false)]));
+        let mut b = SaturationTracker::new(2);
+        b.record_trace(&trace_of(&[(0, false)]));
+
+        a.merge_from(&b);
+        assert!(a.covered().contains(BranchId::true_of(0)));
+        assert!(a.covered().contains(BranchId::false_of(0)));
+        assert!(a.covered().contains(BranchId::false_of(1)));
+        // The merged relation still knows 1T is an uncovered descendant of 0T.
+        assert!(!a.is_saturated(BranchId::true_of(0)));
+        assert!(a.is_saturated(BranchId::false_of(0)));
+    }
+
+    #[test]
+    fn merge_from_drops_infeasible_verdicts_refuted_by_coverage() {
+        // Shard A gave up on 0T; shard B actually covered it.
+        let mut a = SaturationTracker::new(1);
+        a.mark_infeasible(BranchId::true_of(0));
+        let mut b = SaturationTracker::new(1);
+        b.record_trace(&trace_of(&[(0, true)]));
+
+        a.merge_from(&b);
+        assert!(!a.infeasible().contains(BranchId::true_of(0)));
+        assert!(a.covered().contains(BranchId::true_of(0)));
+        // Unrefuted verdicts survive the merge.
+        let mut c = SaturationTracker::new(1);
+        c.mark_infeasible(BranchId::false_of(0));
+        a.merge_from(&c);
+        assert!(a.infeasible().contains(BranchId::false_of(0)));
+        assert!(a.all_saturated());
+    }
+
+    #[test]
+    #[should_panic(expected = "different programs")]
+    fn merge_from_rejects_mismatched_site_counts() {
+        let mut a = SaturationTracker::new(1);
+        a.merge_from(&SaturationTracker::new(2));
     }
 
     #[test]

@@ -1,0 +1,629 @@
+//! Intra-function sharded search: split one CoverMe run's starting-point
+//! budget across independent workers and merge the snapshots.
+//!
+//! The paper's Algorithm 1 is multistart at heart — coverage comes from many
+//! independent starting points funneled through local minimization — which
+//! makes a *single* function's search shardable, not just a benchmark suite.
+//! This module splits the `n_start` budget of one [`CoverMeConfig`] into
+//! `shards` disjoint slices, runs each slice as its own local search loop
+//! ([`run_shard`]), and merges the per-shard snapshots into one
+//! [`TestReport`] ([`merge_shards`]).
+//!
+//! # Budget slicing and seed derivation
+//!
+//! Shard `i` of `k` owns the *strided* slice of global round indices
+//! `{i, i + k, i + 2k, …} ∩ [0, n_start)` — disjoint across shards, and
+//! together exactly the rounds the unsharded search would run. Each round's
+//! randomness is derived from the **function seed and the global round
+//! index**, never from scheduling:
+//!
+//! * all shards regenerate the same starting-point schedule from
+//!   `seed ^ 0x5EED_0001` (the sequential driver's stream) and pick only the
+//!   rounds they own, so the *set of explored starting points is invariant
+//!   under the shard count*;
+//! * round `j`'s Basinhopping seed is `seed + j` mixed exactly as in the
+//!   sequential driver, so shard `i`'s whole workload is a deterministic
+//!   function of `(function seed, shard index, shard count)`.
+//!
+//! Two invariants follow:
+//!
+//! * **Bitwise determinism per shard count.** For a fixed `(seed, shards)`,
+//!   every shard's snapshot — and therefore the merged report — is
+//!   reproducible regardless of how shards are scheduled onto threads.
+//! * **Coverage is not lost by sharding.** A sharded run explores the same
+//!   starting points with the same per-round minimizer seeds as the
+//!   unsharded run; the only difference is that each shard minimizes against
+//!   its own (smaller) saturation snapshot, and a smaller saturated set only
+//!   makes zeros of the representing function *easier* to reach (more
+//!   branches still count as new, Definition 4.2 case (a)). What a shard
+//!   does lose is part of the sequential run's directed-search feedback —
+//!   its snapshot refines over `n_start / shards` rounds instead of
+//!   `n_start` — so a shard starved of rounds can burn its whole slice on
+//!   branches every other shard also finds. That is why
+//!   [`CoverMeConfig::effective_shards`] refuses to split below
+//!   [`MIN_ROUNDS_PER_SHARD`] rounds per shard; with the floor in place, a
+//!   sharded run covers at least what shard count 1 covers for the same
+//!   total `n_start` on every Fdlibm benchmark measured, and the property
+//!   tests in `tests/shard_properties.rs` check the invariant across
+//!   generated programs and shard counts.
+//!
+//! # Merging
+//!
+//! [`merge_shards`] unions the [`SaturationTracker`] states (covered,
+//! learned descendants, infeasible verdicts — a verdict refuted by another
+//! shard's real coverage is dropped), unions the coverage maps, and selects
+//! the best representing inputs per branch: accepted inputs are replayed in
+//! global round order and one is kept only when it covers a branch no
+//! earlier-kept input covers. The merge is a pure function of the shard
+//! snapshots, so it inherits their determinism.
+//!
+//! Callers that own threads ([`crate::Campaign`]'s two-level schedule, or
+//! [`CoverMe::run_parallel`](crate::CoverMe::run_parallel)) fan
+//! [`run_shard`] calls out themselves; [`CoverMe::run`](crate::CoverMe::run)
+//! executes the shards sequentially, which yields the identical merged
+//! report.
+
+use std::time::Instant;
+
+use coverme_optim::rng::SplitMix64;
+use coverme_optim::BasinHopping;
+use coverme_runtime::{BranchSet, CoverageMap, Program};
+
+use crate::driver::{CoverMeConfig, InfeasiblePolicy};
+use crate::report::{RoundOutcome, RoundRecord, TestReport};
+use crate::representing::RepresentingFunction;
+use crate::saturation::SaturationTracker;
+use crate::PenPolicy;
+
+/// The fewest starting points a shard should own for splitting to be
+/// worthwhile. A shard's rounds refine *its own* saturation snapshot, and
+/// that directed-search feedback is what finds the hard branches; a shard
+/// starved below roughly this many rounds duplicates the easy branches other
+/// shards also find and never gets pushed toward the rest (measured on
+/// `ieee754_pow`: 10 rounds per shard lost branches the unsharded search
+/// found, 16+ reached parity). [`CoverMeConfig::effective_shards`] clamps
+/// the requested shard count so every shard keeps at least this many rounds.
+pub const MIN_ROUNDS_PER_SHARD: usize = 16;
+
+/// One accepted zero of the representing function: a generated test input
+/// together with the branches executing it covers.
+#[derive(Debug, Clone)]
+pub struct AcceptedInput {
+    /// Global round index (position in the unsharded `n_start` schedule)
+    /// that produced the input.
+    pub round: usize,
+    /// The input point (`x*` with `FOO_R(x*) = 0`).
+    pub input: Vec<f64>,
+    /// Branches covered by executing the program on `input`.
+    pub covered: BranchSet,
+}
+
+/// The saturation/coverage snapshot produced by one shard of a search.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Which shard produced this snapshot.
+    pub shard_index: usize,
+    /// Total shard count of the run this snapshot belongs to.
+    pub shards: usize,
+    /// The shard's final saturation state (covered, descendants learned
+    /// from its traces, infeasible verdicts).
+    pub tracker: SaturationTracker,
+    /// Branch coverage accumulated by the shard.
+    pub coverage: CoverageMap,
+    /// Accepted inputs in the shard's round order.
+    pub accepted: Vec<AcceptedInput>,
+    /// Per-round records; `round` fields are global round indices.
+    pub rounds: Vec<RoundRecord>,
+    /// Representing-function evaluations spent by the shard.
+    pub evaluations: usize,
+    /// When the shard started running.
+    pub started: Instant,
+    /// When the shard finished.
+    pub finished: Instant,
+}
+
+impl ShardOutcome {
+    /// Converts a single-shard outcome into a [`TestReport`] without any
+    /// representative-input reselection — for `shards == 1` this reproduces
+    /// the sequential driver's report bit for bit (every accepted input is
+    /// kept, redundant or not).
+    pub fn into_report(self, program_name: &str) -> TestReport {
+        TestReport {
+            program: program_name.to_string(),
+            inputs: self.accepted.into_iter().map(|a| a.input).collect(),
+            coverage: self.coverage,
+            infeasible: self.tracker.infeasible().iter().collect(),
+            rounds: self.rounds,
+            evaluations: self.evaluations,
+            wall_time: self.finished.duration_since(self.started),
+        }
+    }
+}
+
+/// The result of merging a search's shard snapshots.
+#[derive(Debug, Clone)]
+pub struct MergedSearch {
+    /// The merged report: unioned coverage, representative inputs, all
+    /// rounds in global order.
+    pub report: TestReport,
+    /// The merged saturation state (see [`SaturationTracker::merge_from`]).
+    pub tracker: SaturationTracker,
+}
+
+/// Runs shard `shard_index` of a search configured for `config.shards`
+/// shards: the local search loop of Algorithm 1 restricted to the strided
+/// slice of rounds the shard owns (see the [module docs](self)).
+///
+/// With `config.shards <= 1` this is exactly the sequential driver loop.
+///
+/// # Panics
+///
+/// Panics if the program takes no inputs, or if `shard_index` is out of
+/// range for the configured shard count.
+pub fn run_shard<P: Program>(
+    config: &CoverMeConfig,
+    program: &P,
+    shard_index: usize,
+) -> ShardOutcome {
+    let shards = config.shards.max(1);
+    assert!(
+        shard_index < shards,
+        "shard index {shard_index} out of range for {shards} shards"
+    );
+    let num_sites = program.num_sites();
+    let arity = program.arity();
+    assert!(arity > 0, "program under test must take at least one input");
+
+    let started = Instant::now();
+    let mut tracker = match config.pen_policy {
+        PenPolicy::Saturation => SaturationTracker::new(num_sites),
+        PenPolicy::CoveredOnly => SaturationTracker::new(num_sites).covered_only(),
+    };
+    let mut coverage = CoverageMap::new(num_sites);
+    let mut accepted: Vec<AcceptedInput> = Vec::new();
+    let mut rounds: Vec<RoundRecord> = Vec::new();
+    let mut total_evaluations = 0usize;
+
+    // The full starting-point schedule, regenerated identically by every
+    // shard from the function seed so the explored start set is invariant
+    // under the shard count (module docs). Cheap: `n_start` draws.
+    let mut start_rng = SplitMix64::new(config.seed ^ 0x5EED_0001);
+    let schedule: Vec<Vec<f64>> = (0..config.n_start)
+        .map(|_| config.starting_points.sample(&mut start_rng, arity))
+        .collect();
+
+    for round in (shard_index..config.n_start).step_by(shards) {
+        if tracker.all_saturated() {
+            break;
+        }
+        if let Some(budget) = config.time_budget {
+            if started.elapsed() >= budget {
+                break;
+            }
+        }
+
+        // Line 9: the starting point this shard owns for this global round.
+        let x0 = schedule[round].clone();
+
+        // Step 2: the representing function against the current snapshot.
+        let snapshot = tracker.saturated_set();
+        let saturated_before = snapshot.len();
+        let foo_r = RepresentingFunction::new(program, snapshot).with_epsilon(config.epsilon);
+
+        // Line 10: x* = MCMC(FOO_R, x), seeded by the *global* round index
+        // so the per-round minimizer stream matches the sequential driver.
+        let hopper = BasinHopping::new()
+            .iterations(config.n_iter)
+            .local_method(config.local_method)
+            .perturbation(config.perturbation)
+            .temperature(1.0)
+            .seed(config.seed.wrapping_add(round as u64).wrapping_mul(0x9E37_79B9))
+            .target_value(config.zero_threshold);
+
+        let result = if config.record_search_coverage {
+            let mut objective = |x: &[f64]| {
+                let evaluation = foo_r.eval_full(x);
+                coverage.record_set(&evaluation.covered);
+                tracker.record_trace(&evaluation.trace);
+                evaluation.value
+            };
+            hopper.minimize(&mut objective, &x0)
+        } else {
+            let mut objective = foo_r.objective();
+            hopper.minimize(&mut objective, &x0)
+        };
+        total_evaluations += result.stats.evaluations;
+
+        // Line 11-12: accept the minimum point if FOO_R(x*) = 0, update
+        // Saturate; otherwise apply the infeasible-branch heuristic.
+        let mut minimum_point = result.x.clone();
+        let mut evaluation = foo_r.eval_full(&minimum_point);
+        total_evaluations += 1;
+        if config.polish && evaluation.value > config.zero_threshold {
+            if let Some((polished, polished_eval, polish_evals)) =
+                polish_minimum(&foo_r, &minimum_point, config.zero_threshold)
+            {
+                minimum_point = polished;
+                evaluation = polished_eval;
+                total_evaluations += polish_evals;
+            }
+        }
+        let outcome = if evaluation.value <= config.zero_threshold {
+            let newly_covered = coverage.record_set(&evaluation.covered);
+            tracker.record_trace(&evaluation.trace);
+            accepted.push(AcceptedInput {
+                round,
+                input: minimum_point.clone(),
+                covered: evaluation.covered.clone(),
+            });
+            if newly_covered > 0 {
+                RoundOutcome::NewInput
+            } else {
+                RoundOutcome::RedundantInput
+            }
+        } else {
+            match config.infeasible_policy {
+                InfeasiblePolicy::LastConditional => {
+                    if let Some(last) = evaluation.trace.last() {
+                        let blamed = last.untaken_branch();
+                        tracker.mark_infeasible(blamed);
+                        RoundOutcome::DeemedInfeasible(blamed)
+                    } else {
+                        RoundOutcome::NoProgress
+                    }
+                }
+                InfeasiblePolicy::Disabled => RoundOutcome::NoProgress,
+            }
+        };
+
+        rounds.push(RoundRecord {
+            round,
+            start: x0,
+            minimum: minimum_point,
+            value: evaluation.value,
+            evaluations: result.stats.evaluations,
+            saturated_before,
+            outcome,
+        });
+    }
+
+    ShardOutcome {
+        shard_index,
+        shards,
+        tracker,
+        coverage,
+        accepted,
+        rounds,
+        evaluations: total_evaluations,
+        started,
+        finished: Instant::now(),
+    }
+}
+
+/// Merges shard snapshots of one search into a single report plus the
+/// merged saturation state (see the [module docs](self) for the semantics).
+///
+/// The outcomes may arrive in any order (they are sorted by shard index);
+/// a partial set — e.g. when a campaign deadline expired before every shard
+/// ran — merges the shards that did run. The report's `wall_time` is the
+/// wall-clock span from the earliest shard start to the latest shard
+/// finish, so a parallel run shows its real elapsed time, not the sum of
+/// shard times.
+///
+/// # Panics
+///
+/// Panics if `outcomes` is empty, contains duplicate shard indices, or
+/// mixes snapshots from runs with different shard counts (their strided
+/// slices would overlap, violating the disjoint-budget invariant).
+pub fn merge_shards(program_name: &str, mut outcomes: Vec<ShardOutcome>) -> MergedSearch {
+    assert!(!outcomes.is_empty(), "cannot merge zero shard outcomes");
+    let shards = outcomes[0].shards;
+    assert!(
+        outcomes.iter().all(|o| o.shards == shards),
+        "cannot merge snapshots from different shard counts"
+    );
+    outcomes.sort_by_key(|o| o.shard_index);
+    assert!(
+        outcomes.windows(2).all(|w| w[0].shard_index < w[1].shard_index),
+        "duplicate shard index in merge"
+    );
+
+    let mut tracker = outcomes[0].tracker.clone();
+    let mut coverage = outcomes[0].coverage.clone();
+    for outcome in &outcomes[1..] {
+        tracker.merge_from(&outcome.tracker);
+        coverage.merge_from(&outcome.coverage);
+    }
+
+    // Best representing inputs per branch: replay accepted inputs in global
+    // round order, keeping one only when it represents a branch no
+    // earlier-kept input covers.
+    let mut all_accepted: Vec<&AcceptedInput> =
+        outcomes.iter().flat_map(|o| &o.accepted).collect();
+    all_accepted.sort_by_key(|a| a.round);
+    let mut represented = BranchSet::with_sites(coverage.num_sites());
+    let mut inputs: Vec<Vec<f64>> = Vec::new();
+    for a in all_accepted {
+        if a.covered.iter().any(|b| !represented.contains(b)) {
+            represented.union_with(&a.covered);
+            inputs.push(a.input.clone());
+        }
+    }
+
+    let mut rounds: Vec<RoundRecord> = outcomes.iter().flat_map(|o| o.rounds.clone()).collect();
+    rounds.sort_by_key(|r| r.round);
+    let evaluations = outcomes.iter().map(|o| o.evaluations).sum();
+    let started = outcomes.iter().map(|o| o.started).min().expect("non-empty");
+    let finished = outcomes.iter().map(|o| o.finished).max().expect("non-empty");
+    let infeasible = tracker.infeasible().iter().collect();
+
+    MergedSearch {
+        report: TestReport {
+            program: program_name.to_string(),
+            inputs,
+            coverage,
+            infeasible,
+            rounds,
+            evaluations,
+            wall_time: finished.duration_since(started),
+        },
+        tracker,
+    }
+}
+
+/// Probes "rounded" variants of a near-miss minimum point, one coordinate at
+/// a time, looking for an exact zero of the representing function.
+///
+/// Unconstrained minimizers converge to `x*` only up to a tolerance, which is
+/// not enough when the target branch needs an *exact* floating-point equality
+/// (e.g. `y == 4` is only reached at `x = 2`, not at `x = 2 + 1e-12`). The
+/// candidates tried here are the natural "intended" values a numeric method
+/// narrowly missed: integers, halves, tenths, and a few ULP neighbours.
+///
+/// Returns the polished point, its evaluation and the number of extra
+/// representing-function evaluations, or `None` if no candidate reached the
+/// threshold.
+fn polish_minimum<P: Program>(
+    foo_r: &RepresentingFunction<P>,
+    x: &[f64],
+    threshold: f64,
+) -> Option<(Vec<f64>, crate::representing::Evaluation, usize)> {
+    let mut best = x.to_vec();
+    let mut best_value = foo_r.eval(&best);
+    let mut evaluations = 1usize;
+
+    for coord in 0..best.len() {
+        let original = best[coord];
+        for candidate in candidate_values(original) {
+            if candidate == best[coord] {
+                continue;
+            }
+            let mut trial = best.clone();
+            trial[coord] = candidate;
+            let value = foo_r.eval(&trial);
+            evaluations += 1;
+            if value < best_value {
+                best_value = value;
+                best = trial;
+                if best_value <= threshold {
+                    let evaluation = foo_r.eval_full(&best);
+                    evaluations += 1;
+                    return Some((best, evaluation, evaluations));
+                }
+            }
+        }
+    }
+
+    if best_value <= threshold {
+        let evaluation = foo_r.eval_full(&best);
+        evaluations += 1;
+        Some((best, evaluation, evaluations))
+    } else {
+        None
+    }
+}
+
+/// Candidate replacement values for one coordinate of a near-miss minimum.
+fn candidate_values(x: f64) -> Vec<f64> {
+    if !x.is_finite() {
+        return vec![0.0];
+    }
+    let mut candidates = vec![
+        x.round(),
+        x.floor(),
+        x.ceil(),
+        (x * 2.0).round() / 2.0,
+        (x * 10.0).round() / 10.0,
+        (x * 100.0).round() / 100.0,
+        0.0,
+    ];
+    // A few ULP neighbours in both directions.
+    let mut up = x;
+    let mut down = x;
+    for _ in 0..3 {
+        up = next_up(up);
+        down = next_down(down);
+        candidates.push(up);
+        candidates.push(down);
+    }
+    candidates.dedup();
+    candidates
+}
+
+fn next_up(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    let bits = if x == 0.0 { 1 } else if x > 0.0 { x.to_bits() + 1 } else { x.to_bits() - 1 };
+    f64::from_bits(bits)
+}
+
+fn next_down(x: f64) -> f64 {
+    if x.is_nan() || x == f64::NEG_INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return -f64::from_bits(1);
+    }
+    let bits = if x > 0.0 { x.to_bits() - 1 } else { x.to_bits() + 1 };
+    f64::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoverMe;
+    use coverme_runtime::{Cmp, ExecCtx, FnProgram};
+
+    /// The paper's Fig. 3 example program.
+    fn paper_example() -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
+        FnProgram::new("FOO", 1, 2, |input: &[f64], ctx: &mut ExecCtx| {
+            let mut x = input[0];
+            if ctx.branch(0, Cmp::Le, x, 1.0) {
+                x += 2.5;
+            }
+            let y = x * x;
+            if ctx.branch(1, Cmp::Eq, y, 4.0) {
+                // target
+            }
+        })
+    }
+
+    fn config(shards: usize) -> CoverMeConfig {
+        CoverMeConfig::default().n_start(48).n_iter(5).seed(9).shards(shards)
+    }
+
+    #[test]
+    fn strided_slices_partition_the_budget() {
+        let n_start = 10;
+        for shards in 1..=4usize {
+            let mut seen = vec![0usize; n_start];
+            for index in 0..shards {
+                for round in (index..n_start).step_by(shards) {
+                    seen[round] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "shards={shards}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn one_shard_outcome_reproduces_the_sequential_driver() {
+        let program = paper_example();
+        let sequential = CoverMe::new(config(1)).run(&program);
+        let outcome = run_shard(&config(1), &program, 0);
+        let report = outcome.into_report(program.name());
+        assert_eq!(report.inputs, sequential.inputs);
+        assert_eq!(report.coverage, sequential.coverage);
+        assert_eq!(report.rounds, sequential.rounds);
+        assert_eq!(report.evaluations, sequential.evaluations);
+    }
+
+    #[test]
+    fn shards_explore_disjoint_rounds_of_the_shared_schedule() {
+        let program = paper_example();
+        let cfg = config(3)
+            // Keep every shard running its full slice so the round sets are
+            // exactly the strided slices.
+            .infeasible_policy(InfeasiblePolicy::Disabled)
+            .n_start(12);
+        let outcomes: Vec<ShardOutcome> =
+            (0..3).map(|i| run_shard(&cfg, &program, i)).collect();
+        let mut rounds_seen: Vec<usize> = outcomes
+            .iter()
+            .flat_map(|o| o.rounds.iter().map(|r| r.round))
+            .collect();
+        rounds_seen.sort_unstable();
+        rounds_seen.dedup();
+        // Shards may stop early on saturation, but the rounds they do run
+        // are distinct global indices.
+        let total: usize = outcomes.iter().map(|o| o.rounds.len()).sum();
+        assert_eq!(rounds_seen.len(), total, "overlapping shard slices");
+        // And the same global round gets the same starting point in every
+        // shard count (shared schedule).
+        let unsharded = run_shard(&cfg.clone().shards(1), &program, 0);
+        for outcome in &outcomes {
+            for record in &outcome.rounds {
+                if let Some(seq) = unsharded.rounds.iter().find(|r| r.round == record.round) {
+                    assert_eq!(seq.start, record.start, "round {}", record.round);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merged_report_covers_union_of_shards() {
+        let program = paper_example();
+        let cfg = config(3);
+        let outcomes: Vec<ShardOutcome> =
+            (0..3).map(|i| run_shard(&cfg, &program, i)).collect();
+        let mut union = BranchSet::with_sites(program.num_sites());
+        for outcome in &outcomes {
+            union.union_with(outcome.coverage.covered());
+        }
+        let merged = merge_shards(program.name(), outcomes);
+        assert_eq!(merged.report.coverage.covered(), &union);
+        assert_eq!(merged.tracker.covered(), &union);
+    }
+
+    #[test]
+    fn merged_inputs_reproduce_the_merged_coverage() {
+        let program = paper_example();
+        let cfg = config(4);
+        let outcomes: Vec<ShardOutcome> =
+            (0..4).map(|i| run_shard(&cfg, &program, i)).collect();
+        let merged = merge_shards(program.name(), outcomes);
+        let mut check = CoverageMap::new(program.num_sites());
+        for input in &merged.report.inputs {
+            let mut ctx = ExecCtx::observe();
+            program.execute(input, &mut ctx);
+            check.record(&ctx);
+        }
+        assert_eq!(check.covered_count(), merged.report.coverage.covered_count());
+    }
+
+    #[test]
+    fn merge_accepts_partial_and_unordered_outcomes() {
+        let program = paper_example();
+        let cfg = config(4);
+        // Only shards 3 and 1 ran (deadline expired for the rest), handed
+        // over out of order.
+        let outcomes = vec![
+            run_shard(&cfg, &program, 3),
+            run_shard(&cfg, &program, 1),
+        ];
+        let merged = merge_shards(program.name(), outcomes);
+        assert!(merged.report.coverage.covered_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero shard outcomes")]
+    fn merge_rejects_empty_input() {
+        let _ = merge_shards("nothing", Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "different shard counts")]
+    fn merge_rejects_mixed_shard_counts() {
+        let program = paper_example();
+        let a = run_shard(&config(2), &program, 0);
+        let b = run_shard(&config(3), &program, 1);
+        let _ = merge_shards(program.name(), vec![a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate shard index")]
+    fn merge_rejects_duplicate_shards() {
+        let program = paper_example();
+        let cfg = config(2);
+        let a = run_shard(&cfg, &program, 0);
+        let _ = merge_shards(program.name(), vec![a.clone(), a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn run_shard_rejects_out_of_range_index() {
+        let program = paper_example();
+        let _ = run_shard(&config(2), &program, 2);
+    }
+}

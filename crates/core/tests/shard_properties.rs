@@ -1,0 +1,199 @@
+//! Property-based tests for the shard-merge invariants of `coverme::shard`.
+//!
+//! The sharded search promises (module docs of `coverme::shard`):
+//!
+//! * identical reports for identical `(seed, shards)` — bitwise determinism
+//!   regardless of scheduling,
+//! * coverage monotone in the shard count: splitting the same `n_start`
+//!   budget never covers fewer branches than the unsharded search,
+//! * the merged snapshot is the union of the shard snapshots: covered
+//!   branches and coverage maps union exactly, infeasible verdicts union
+//!   minus what real coverage refuted.
+//!
+//! These are checked on randomly generated straight-line programs (affine
+//! conditions over one input, with data flow between sites), not just the
+//! hand-picked examples of the unit tests.
+
+use proptest::prelude::*;
+
+use coverme::shard::{merge_shards, run_shard};
+use coverme::{CoverMe, CoverMeConfig};
+use coverme_runtime::{BranchSet, Cmp, CoverageMap, ExecCtx, FnProgram, Program};
+
+/// Specification of one conditional site of a generated program.
+#[derive(Debug, Clone)]
+struct SiteSpec {
+    op: Cmp,
+    /// The condition compares `coeff * x + offset` against `constant`.
+    coeff: f64,
+    offset: f64,
+    constant: f64,
+    /// Whether taking the true branch perturbs `x` before later sites.
+    mutates: bool,
+}
+
+/// A generated straight-line program: a sequence of conditionals over a
+/// single double input, with the true branches feeding modified values to
+/// later sites.
+fn build_program(specs: Vec<SiteSpec>) -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
+    let num_sites = specs.len();
+    FnProgram::new("generated", 1, num_sites, move |input: &[f64], ctx: &mut ExecCtx| {
+        let mut x = input[0];
+        for (site, spec) in specs.iter().enumerate() {
+            let lhs = spec.coeff * x + spec.offset;
+            if ctx.branch(site as u32, spec.op, lhs, spec.constant) && spec.mutates {
+                x = x * 0.5 + 1.0;
+            }
+        }
+    })
+}
+
+fn cmp_strategy() -> impl Strategy<Value = Cmp> {
+    prop_oneof![
+        Just(Cmp::Eq),
+        Just(Cmp::Ne),
+        Just(Cmp::Lt),
+        Just(Cmp::Le),
+        Just(Cmp::Gt),
+        Just(Cmp::Ge),
+    ]
+}
+
+fn site_strategy() -> impl Strategy<Value = SiteSpec> {
+    (
+        cmp_strategy(),
+        -3.0..3.0f64,
+        -10.0..10.0f64,
+        -10.0..10.0f64,
+        any::<bool>(),
+    )
+        .prop_map(|(op, coeff, offset, constant, mutates)| SiteSpec {
+            op,
+            coeff,
+            offset,
+            constant,
+            mutates,
+        })
+}
+
+fn program_strategy() -> impl Strategy<Value = Vec<SiteSpec>> {
+    prop::collection::vec(site_strategy(), 1..5)
+}
+
+fn config(seed: u64, shards: usize) -> CoverMeConfig {
+    CoverMeConfig::default().n_start(48).n_iter(5).seed(seed).shards(shards)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bitwise determinism: for a fixed `(seed, shards)` the merged report
+    /// is identical run to run — generated inputs, covered set, and round
+    /// records all match.
+    #[test]
+    fn identical_reports_for_identical_seed_and_shards(
+        specs in program_strategy(),
+        seed in 0..1000u64,
+        shards in 1..5usize,
+    ) {
+        let program = build_program(specs);
+        let a = CoverMe::new(config(seed, shards)).run(&program);
+        let b = CoverMe::new(config(seed, shards)).run(&program);
+        prop_assert_eq!(&a.inputs, &b.inputs);
+        prop_assert_eq!(a.coverage.covered(), b.coverage.covered());
+        prop_assert_eq!(&a.infeasible, &b.infeasible);
+        prop_assert_eq!(a.rounds.len(), b.rounds.len());
+        prop_assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    /// Sequential and thread-per-shard execution merge to the same report.
+    #[test]
+    fn parallel_execution_matches_sequential(
+        specs in program_strategy(),
+        seed in 0..1000u64,
+        shards in 2..5usize,
+    ) {
+        let program = build_program(specs);
+        let sequential = CoverMe::new(config(seed, shards)).run(&program);
+        let parallel = CoverMe::new(config(seed, shards)).run_parallel(&program);
+        prop_assert_eq!(&sequential.inputs, &parallel.inputs);
+        prop_assert_eq!(sequential.coverage.covered(), parallel.coverage.covered());
+        prop_assert_eq!(sequential.evaluations, parallel.evaluations);
+    }
+
+    /// Coverage is monotone in the shard count: a sharded run over the same
+    /// total `n_start` never covers fewer branches than the unsharded run.
+    #[test]
+    fn coverage_monotone_in_shard_count(
+        specs in program_strategy(),
+        seed in 0..1000u64,
+    ) {
+        let program = build_program(specs);
+        let unsharded = CoverMe::new(config(seed, 1)).run(&program);
+        for shards in 2..=4usize {
+            let sharded = CoverMe::new(config(seed, shards)).run(&program);
+            prop_assert!(
+                sharded.coverage.covered_count() >= unsharded.coverage.covered_count(),
+                "{} shards covered {} < unsharded {}",
+                shards,
+                sharded.coverage.covered_count(),
+                unsharded.coverage.covered_count()
+            );
+        }
+    }
+
+    /// The merged snapshot is the union of the shard snapshots: covered
+    /// branches union exactly (tracker and coverage map agree), and every
+    /// surviving infeasible verdict came from some shard and is not refuted
+    /// by merged coverage.
+    #[test]
+    fn merged_saturation_is_union_of_shard_snapshots(
+        specs in program_strategy(),
+        seed in 0..1000u64,
+        shards in 2..5usize,
+    ) {
+        let program = build_program(specs);
+        let cfg = config(seed, shards);
+        let outcomes: Vec<_> = (0..shards).map(|i| run_shard(&cfg, &program, i)).collect();
+
+        let mut covered_union = BranchSet::with_sites(program.num_sites());
+        let mut infeasible_union = BranchSet::with_sites(program.num_sites());
+        for outcome in &outcomes {
+            covered_union.union_with(outcome.tracker.covered());
+            infeasible_union.union_with(outcome.tracker.infeasible());
+        }
+
+        let merged = merge_shards(program.name(), outcomes);
+        prop_assert_eq!(merged.tracker.covered(), &covered_union);
+        prop_assert_eq!(merged.report.coverage.covered(), &covered_union);
+        for branch in merged.tracker.infeasible().iter() {
+            prop_assert!(infeasible_union.contains(branch), "verdict from nowhere");
+            prop_assert!(!covered_union.contains(branch), "refuted verdict survived");
+        }
+        // The report's infeasible list is the merged tracker's.
+        prop_assert_eq!(
+            merged.report.infeasible.len(),
+            merged.tracker.infeasible().len()
+        );
+    }
+
+    /// The representative inputs selected by the merge reproduce the merged
+    /// coverage when replayed — the report's coverage is still defined over
+    /// its generated input set `X`.
+    #[test]
+    fn merged_inputs_replay_to_merged_coverage(
+        specs in program_strategy(),
+        seed in 0..1000u64,
+        shards in 2..5usize,
+    ) {
+        let program = build_program(specs);
+        let report = CoverMe::new(config(seed, shards)).run(&program);
+        let mut check = CoverageMap::new(program.num_sites());
+        for input in &report.inputs {
+            let mut ctx = ExecCtx::observe();
+            program.execute(input, &mut ctx);
+            check.record(&ctx);
+        }
+        prop_assert_eq!(check.covered_count(), report.coverage.covered_count());
+    }
+}

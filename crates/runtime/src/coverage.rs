@@ -58,6 +58,25 @@ impl CoverageMap {
         self.covered.union_with(covered)
     }
 
+    /// Merges another map for the same program: unions the covered branches
+    /// and sums the execution counts. Used when independent searches of one
+    /// program (e.g. the shards of `coverme::shard`) are combined into one
+    /// result.
+    ///
+    /// Returns the number of branches that were new to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two maps disagree on the number of conditional sites.
+    pub fn merge_from(&mut self, other: &CoverageMap) -> usize {
+        assert_eq!(
+            self.num_sites, other.num_sites,
+            "cannot merge coverage maps of different programs"
+        );
+        self.executions += other.executions;
+        self.covered.union_with(&other.covered)
+    }
+
     /// The set of covered branches.
     pub fn covered(&self) -> &BranchSet {
         &self.covered
@@ -200,6 +219,37 @@ mod tests {
         let mut ctx2 = ExecCtx::observe();
         run(&mut ctx2, 0.5);
         assert_eq!(map.record(&ctx2), 0);
+    }
+
+    #[test]
+    fn merge_from_unions_coverage_and_sums_executions() {
+        let mut a = CoverageMap::new(2);
+        let mut ctx = ExecCtx::observe();
+        run(&mut ctx, 0.0); // 0T, 1F
+        a.record(&ctx);
+
+        let mut b = CoverageMap::new(2);
+        let mut ctx = ExecCtx::observe();
+        run(&mut ctx, 20.0); // 0F, 1T
+        b.record(&ctx);
+        let mut ctx = ExecCtx::observe();
+        run(&mut ctx, 30.0); // 0F, 1T again
+        b.record(&ctx);
+
+        assert_eq!(a.merge_from(&b), 2);
+        assert!(a.is_fully_covered());
+        assert_eq!(a.executions(), 3);
+        // Merging again adds executions but no branches.
+        assert_eq!(a.merge_from(&b), 0);
+        assert_eq!(a.executions(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different programs")]
+    fn merge_from_rejects_mismatched_site_counts() {
+        let mut a = CoverageMap::new(2);
+        let b = CoverageMap::new(3);
+        a.merge_from(&b);
     }
 
     #[test]

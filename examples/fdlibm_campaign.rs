@@ -3,27 +3,37 @@
 //! example) — and print a per-function coverage table plus the suite
 //! aggregate (a mini version of Table 2).
 //!
-//! One CoverMe search runs per function, fanned across worker threads with
-//! deterministic per-function seeds: the same seed produces the same table
-//! regardless of the worker count.
+//! The campaign schedules one work unit per (function, shard) pair: with
+//! `--shards 1` (the default) that is one CoverMe search per function; with
+//! `--shards N` each function's `n_start` budget additionally splits across
+//! N shard units whose saturation snapshots are merged, so a heavy trailing
+//! function (`pow`, 114 branches) fans out over idle workers instead of
+//! serializing on one thread. Searches are deterministic per `(seed,
+//! shards)`: the same seed produces the same table regardless of the worker
+//! count.
 //!
 //! ```text
 //! cargo run --release --example fdlibm_campaign [options] [names...]
-//!   --workers N      worker threads (default: auto, at least 2)
-//!   --budget SECS    wall-clock budget; unstarted functions are skipped
-//!   --n-start N      starting points per function (default 80)
-//!   --seed S         campaign master seed (default 42)
-//!   names...         benchmark names (default: the full 40-function suite)
+//!   --workers N          worker threads (default: auto, at least 2)
+//!   --shards N           shards per function (default 1 = unsharded)
+//!   --compare-shards N   run unsharded then with N shards and print the
+//!                        per-function wall-clock speedup
+//!   --budget SECS        wall-clock budget; unstarted functions are skipped
+//!   --n-start N          starting points per function (default 80)
+//!   --seed S             campaign master seed (default 42)
+//!   names...             benchmark names (default: the full 40-function suite)
 //! ```
 
 use std::time::Duration;
 
-use coverme::{Campaign, CampaignConfig, CoverMeConfig};
+use coverme::{Campaign, CampaignConfig, CampaignReport, CoverMeConfig};
 use coverme_fdlibm::{all, by_name};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut workers = 0usize; // 0 = auto (>= 2)
+    let mut shards = 1usize;
+    let mut compare_shards: Option<usize> = None;
     let mut budget: Option<Duration> = None;
     let mut n_start = 80usize;
     let mut seed = 42u64;
@@ -37,6 +47,11 @@ fn main() {
         };
         match arg.as_str() {
             "--workers" => workers = value_for("--workers").parse().expect("--workers N"),
+            "--shards" => shards = value_for("--shards").parse().expect("--shards N"),
+            "--compare-shards" => {
+                compare_shards =
+                    Some(value_for("--compare-shards").parse().expect("--compare-shards N"));
+            }
             "--budget" => {
                 let secs: f64 = value_for("--budget").parse().expect("--budget SECS");
                 budget = Some(Duration::from_secs_f64(secs));
@@ -57,19 +72,71 @@ fn main() {
             .collect()
     };
 
-    let mut config = CampaignConfig::new()
-        .base(CoverMeConfig::default().n_start(n_start).seed(seed))
-        .workers(workers);
-    if let Some(budget) = budget {
-        config = config.time_budget(budget);
-    }
-    let effective = config.effective_workers(inventory.len());
-    println!(
-        "campaign: {} functions, {} workers, n_start = {n_start}, seed = {seed}",
-        inventory.len(),
-        effective
-    );
+    let run = |shards: usize| -> CampaignReport {
+        let mut config = CampaignConfig::new()
+            .base(CoverMeConfig::default().n_start(n_start).seed(seed).shards(shards))
+            .workers(workers);
+        if let Some(budget) = budget {
+            config = config.time_budget(budget);
+        }
+        let effective = config.effective_workers(inventory.len());
+        println!(
+            "campaign: {} functions, {} workers, {} shard(s)/function, \
+             n_start = {n_start}, seed = {seed}",
+            inventory.len(),
+            effective,
+            shards.max(1),
+        );
+        Campaign::new(config).run(&inventory)
+    };
 
-    let report = Campaign::new(config).run(&inventory);
-    print!("{report}");
+    match compare_shards {
+        None => print!("{}", run(shards)),
+        Some(sharded) => {
+            let baseline = run(1);
+            print!("{baseline}");
+            let report = run(sharded);
+            print!("{report}");
+            println!("shard speedup (1 -> {sharded} shards):");
+            println!(
+                "{:<22} {:>9} {:>9} {:>9} {:>10}",
+                "function", "t1(s)", "tN(s)", "speedup", "coverage"
+            );
+            for (a, b) in baseline.results.iter().zip(&report.results) {
+                let (Some(a), Some(b)) = (a.report.as_ref(), b.report.as_ref()) else {
+                    continue;
+                };
+                let t1 = a.wall_time.as_secs_f64();
+                let tn = b.wall_time.as_secs_f64();
+                println!(
+                    "{:<22} {:>9.3} {:>9.3} {:>8.2}x {:>9.1}%",
+                    b.program,
+                    t1,
+                    tn,
+                    if tn > 0.0 { t1 / tn } else { f64::INFINITY },
+                    b.branch_coverage_percent(),
+                );
+                // Monotonicity only holds for full-budget runs; a deadline
+                // can cut the two runs at different points.
+                if budget.is_none() {
+                    assert!(
+                        b.coverage.covered_count() >= a.coverage.covered_count(),
+                        "{}: sharding lost coverage ({} < {})",
+                        b.program,
+                        b.coverage.covered_count(),
+                        a.coverage.covered_count()
+                    );
+                }
+            }
+            let t1 = baseline.wall_time.as_secs_f64();
+            let tn = report.wall_time.as_secs_f64();
+            println!(
+                "{:<22} {:>9.3} {:>9.3} {:>8.2}x",
+                "campaign",
+                t1,
+                tn,
+                if tn > 0.0 { t1 / tn } else { f64::INFINITY }
+            );
+        }
+    }
 }

@@ -129,6 +129,57 @@ fn parallel_campaign_over_fdlibm_matches_sequential_searches() {
 }
 
 #[test]
+fn sharded_campaign_is_deterministic_and_loses_no_coverage() {
+    // The two-level (functions × shards) schedule must behave like the
+    // unsharded campaign, just spread over more work units: deterministic at
+    // any worker count, and never covering fewer branches than shards = 1.
+    let inventory: Vec<_> = ["tanh", "pow", "log10"]
+        .iter()
+        .map(|n| by_name(n).unwrap())
+        .collect();
+    // 64 starting points keep 16 per shard at 4 shards — the floor below
+    // which `effective_shards` would clamp the split.
+    let base = CoverMeConfig::default().n_start(64).seed(17);
+
+    let unsharded =
+        Campaign::new(CampaignConfig::new().base(base.clone()).workers(2)).run(&inventory);
+    let sharded = Campaign::new(CampaignConfig::new().base(base.clone()).shards(4).workers(2))
+        .run(&inventory);
+    let again = Campaign::new(CampaignConfig::new().base(base).shards(4).workers(5))
+        .run(&inventory);
+
+    for ((a, b), c) in unsharded.results.iter().zip(&sharded.results).zip(&again.results) {
+        let a = a.report.as_ref().unwrap();
+        let b = b.report.as_ref().unwrap();
+        let c = c.report.as_ref().unwrap();
+        assert!(
+            b.coverage.covered_count() >= a.coverage.covered_count(),
+            "{}: sharding lost coverage ({} < {})",
+            a.program,
+            b.coverage.covered_count(),
+            a.coverage.covered_count()
+        );
+        assert_eq!(b.inputs, c.inputs, "{} diverged across worker counts", b.program);
+        assert_eq!(b.coverage.covered_count(), c.coverage.covered_count());
+    }
+    assert_eq!(sharded.shards, 4);
+    assert!(sharded.results.iter().all(|r| r.shards_run == 4));
+
+    // The merged inputs replay to the merged coverage, sharded or not.
+    for result in &sharded.results {
+        let report = result.report.as_ref().unwrap();
+        let program = by_name(&result.name).unwrap();
+        let mut check = coverme_runtime::CoverageMap::new(Program::num_sites(&program));
+        for input in &report.inputs {
+            let mut ctx = ExecCtx::observe();
+            program.execute(input, &mut ctx);
+            check.record(&ctx);
+        }
+        assert_eq!(check.covered_count(), report.coverage.covered_count());
+    }
+}
+
+#[test]
 fn the_whole_fdlibm_suite_is_executable_under_every_tester_interface() {
     for b in coverme_fdlibm::all() {
         let input = vec![0.5; b.arity];
