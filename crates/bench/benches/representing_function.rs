@@ -1,11 +1,17 @@
 //! Micro-benchmark: cost of one representing-function evaluation (the unit
-//! of work every minimization step pays) on representative benchmarks.
+//! of work every minimization step pays) on representative benchmarks —
+//! the legacy `RepresentingFunction::eval` path next to the objective
+//! engine's scalar fast path (distinct inputs, so the engine's cache
+//! misses every time; `benches/objective_engine.rs` measures the full
+//! throughput picture including batches and cache hits).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use coverme::objective::ObjectiveEngine;
 use coverme::{BranchSet, RepresentingFunction};
 use coverme_fdlibm::by_name;
+use coverme_runtime::DEFAULT_EPSILON;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("representing_function_eval");
@@ -16,6 +22,11 @@ fn bench(c: &mut Criterion) {
         let input = vec![0.37; coverme_runtime::Program::arity(&b)];
         group.bench_function(name, |bench| {
             bench.iter(|| black_box(foo_r.eval(black_box(&input))))
+        });
+
+        let mut engine = ObjectiveEngine::new(b, DEFAULT_EPSILON).with_cache(false);
+        group.bench_function(format!("{name}/engine"), |bench| {
+            bench.iter(|| black_box(engine.eval_scalar(black_box(&input))))
         });
     }
     group.finish();

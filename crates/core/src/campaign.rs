@@ -148,6 +148,22 @@ impl FunctionResult {
     pub fn completed(&self) -> bool {
         self.report.is_some()
     }
+
+    /// Representing-function evaluations the search spent (0 if skipped).
+    pub fn evaluations(&self) -> usize {
+        self.report.as_ref().map_or(0, |report| report.evaluations)
+    }
+
+    /// Evaluations served from the objective engine's memoization cache
+    /// (0 if skipped).
+    pub fn cache_hits(&self) -> usize {
+        self.report.as_ref().map_or(0, |report| report.cache_hits)
+    }
+
+    /// Evaluation throughput of the search in evals/sec, if it ran.
+    pub fn evals_per_second(&self) -> Option<f64> {
+        self.report.as_ref().map(TestReport::evals_per_second)
+    }
 }
 
 /// Aggregated result of a [`Campaign::run`], one entry per inventory
@@ -242,6 +258,138 @@ impl CampaignReport {
         }
     }
 
+    /// Total representing-function evaluations across completed functions
+    /// (objective calls, including cache hits).
+    pub fn total_evaluations(&self) -> usize {
+        self.results.iter().map(FunctionResult::evaluations).sum()
+    }
+
+    /// Total evaluations the objective engines answered from their
+    /// memoization caches across completed functions.
+    pub fn total_cache_hits(&self) -> usize {
+        self.results.iter().map(FunctionResult::cache_hits).sum()
+    }
+
+    /// Aggregate evaluation throughput of the campaign: total evaluations
+    /// over the campaign's wall-clock time (0 when nothing ran or the
+    /// campaign was too fast to measure). With several workers this exceeds
+    /// any single search's rate — it measures the fleet, not a core.
+    pub fn suite_evals_per_second(&self) -> f64 {
+        let seconds = self.wall_time.as_secs_f64();
+        if seconds > 0.0 {
+            self.total_evaluations() as f64 / seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes the report as a self-contained JSON document — the
+    /// machine-readable artifact the nightly CI job stores (see
+    /// `examples/fdlibm_campaign.rs --json`). Hand-rolled (the build image
+    /// has no serde); numbers use Rust's shortest-roundtrip `Display`,
+    /// non-finite rates are clamped to 0.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096 + 256 * self.results.len());
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"coverme-campaign-report/1\",\n");
+        push_json_number(&mut out, "  ", "workers", self.workers as f64, true);
+        push_json_number(&mut out, "  ", "shards", self.shards as f64, true);
+        push_json_number(&mut out, "  ", "wall_time_s", self.wall_time.as_secs_f64(), true);
+        push_json_number(&mut out, "  ", "completed", self.completed() as f64, true);
+        push_json_number(&mut out, "  ", "skipped", self.skipped() as f64, true);
+        push_json_number(
+            &mut out,
+            "  ",
+            "suite_branch_coverage_percent",
+            self.suite_branch_coverage_percent(),
+            true,
+        );
+        push_json_number(
+            &mut out,
+            "  ",
+            "suite_block_coverage_percent",
+            self.suite_block_coverage_percent(),
+            true,
+        );
+        push_json_number(
+            &mut out,
+            "  ",
+            "mean_branch_coverage_percent",
+            self.mean_branch_coverage_percent(),
+            true,
+        );
+        push_json_number(&mut out, "  ", "total_evaluations", self.total_evaluations() as f64, true);
+        push_json_number(&mut out, "  ", "total_cache_hits", self.total_cache_hits() as f64, true);
+        push_json_number(
+            &mut out,
+            "  ",
+            "suite_evals_per_second",
+            self.suite_evals_per_second(),
+            true,
+        );
+        out.push_str("  \"functions\": [\n");
+        for (index, result) in self.results.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str("      \"name\": \"");
+            push_json_escaped(&mut out, &result.name);
+            out.push_str("\",\n");
+            push_json_bool(&mut out, "      ", "completed", result.completed(), true);
+            push_json_number(&mut out, "      ", "shards_run", result.shards_run as f64, true);
+            match &result.report {
+                Some(report) => {
+                    push_json_number(
+                        &mut out,
+                        "      ",
+                        "branches",
+                        report.coverage.total_branches() as f64,
+                        true,
+                    );
+                    push_json_number(
+                        &mut out,
+                        "      ",
+                        "covered_branches",
+                        report.coverage.covered_count() as f64,
+                        true,
+                    );
+                    push_json_number(
+                        &mut out,
+                        "      ",
+                        "branch_coverage_percent",
+                        report.branch_coverage_percent(),
+                        true,
+                    );
+                    push_json_number(&mut out, "      ", "inputs", report.inputs.len() as f64, true);
+                    push_json_number(&mut out, "      ", "evals", report.evaluations as f64, true);
+                    push_json_number(&mut out, "      ", "cache_hits", report.cache_hits as f64, true);
+                    push_json_number(
+                        &mut out,
+                        "      ",
+                        "evals_per_second",
+                        report.evals_per_second(),
+                        true,
+                    );
+                    push_json_number(
+                        &mut out,
+                        "      ",
+                        "wall_time_s",
+                        report.wall_time.as_secs_f64(),
+                        false,
+                    );
+                }
+                None => {
+                    push_json_number(&mut out, "      ", "evals", 0.0, false);
+                }
+            }
+            out.push_str(if index + 1 < self.results.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// `(covered, total)` branch counts summed over completed functions.
     fn branch_totals(&self) -> (usize, usize) {
         self.results
@@ -260,24 +408,27 @@ impl std::fmt::Display for CampaignReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{:<22} {:>9} {:>9} {:>12} {:>10}",
-            "function", "#branches", "#inputs", "coverage(%)", "time(s)"
+            "{:<22} {:>9} {:>9} {:>12} {:>10} {:>10} {:>9} {:>10}",
+            "function", "#branches", "#inputs", "coverage(%)", "evals", "hits", "evals/s", "time(s)"
         )?;
         for result in &self.results {
             match &result.report {
                 Some(report) => writeln!(
                     f,
-                    "{:<22} {:>9} {:>9} {:>12.1} {:>10.3}",
+                    "{:<22} {:>9} {:>9} {:>12.1} {:>10} {:>10} {:>9.0} {:>10.3}",
                     result.name,
                     report.coverage.total_branches(),
                     report.inputs.len(),
                     report.branch_coverage_percent(),
+                    report.evaluations,
+                    report.cache_hits,
+                    report.evals_per_second(),
                     report.wall_time.as_secs_f64()
                 )?,
                 None => writeln!(
                     f,
-                    "{:<22} {:>9} {:>9} {:>12} {:>10}",
-                    result.name, "-", "-", "skipped", "-"
+                    "{:<22} {:>9} {:>9} {:>12} {:>10} {:>10} {:>9} {:>10}",
+                    result.name, "-", "-", "skipped", "-", "-", "-", "-"
                 )?,
             }
         }
@@ -294,7 +445,55 @@ impl std::fmt::Display for CampaignReport {
         if self.shards > 1 {
             write!(f, " × {} shards", self.shards)?;
         }
-        writeln!(f, " in {:.2?}", self.wall_time)
+        writeln!(
+            f,
+            " in {:.2?} — {} evals ({} cache hits, {:.0} evals/s aggregate)",
+            self.wall_time,
+            self.total_evaluations(),
+            self.total_cache_hits(),
+            self.suite_evals_per_second(),
+        )
+    }
+}
+
+/// Appends `"key": value,\n` (or without the comma) to a JSON document,
+/// clamping non-finite values to 0 so the output always parses.
+fn push_json_number(out: &mut String, indent: &str, key: &str, value: f64, comma: bool) {
+    let value = if value.is_finite() { value } else { 0.0 };
+    out.push_str(indent);
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\": ");
+    // Integral values print without a fraction either way; `Display` for
+    // f64 is shortest-roundtrip and never produces `inf`/`NaN` here.
+    out.push_str(&value.to_string());
+    out.push_str(if comma { ",\n" } else { "\n" });
+}
+
+/// Appends `"key": true/false` to a JSON document.
+fn push_json_bool(out: &mut String, indent: &str, key: &str, value: bool, comma: bool) {
+    out.push_str(indent);
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\": ");
+    out.push_str(if value { "true" } else { "false" });
+    out.push_str(if comma { ",\n" } else { "\n" });
+}
+
+/// Appends a JSON-escaped string body (quotes are the caller's).
+fn push_json_escaped(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
     }
 }
 
@@ -830,6 +1029,80 @@ mod tests {
         assert!((report.suite_branch_coverage_percent() - expected).abs() < 1e-9);
         // All three toy programs are fully coverable.
         assert_eq!(report.suite_branch_coverage_percent(), 100.0);
+    }
+
+    #[test]
+    fn report_surfaces_evaluation_telemetry() {
+        let programs = inventory();
+        // Force memoization on: the toy programs are far below the Auto
+        // threshold, and this test is about the telemetry plumbing.
+        let base = quick_base().cache(crate::objective::CacheMode::On);
+        let report =
+            Campaign::new(CampaignConfig::new().base(base).workers(2)).run(&programs);
+        assert!(report.total_evaluations() > 0);
+        let summed: usize = report.results.iter().map(FunctionResult::evaluations).sum();
+        assert_eq!(report.total_evaluations(), summed);
+        // The quick toy searches revisit points (line searches re-probe the
+        // incumbent), so the cache must have fired at least once.
+        assert!(report.total_cache_hits() > 0, "no cache hit in {} evals", summed);
+        assert!(report.suite_evals_per_second() > 0.0);
+        let text = report.to_string();
+        assert!(text.contains("evals/s"));
+        assert!(text.contains("cache hits"));
+    }
+
+    #[test]
+    fn json_report_is_well_formed_and_complete() {
+        let programs = inventory();
+        let report =
+            Campaign::new(CampaignConfig::new().base(quick_base()).workers(2)).run(&programs);
+        let json = report.to_json();
+        // One object per function plus matched braces/brackets.
+        assert_eq!(json.matches("\"name\":").count(), programs.len());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in [
+            "\"schema\": \"coverme-campaign-report/1\"",
+            "\"suite_branch_coverage_percent\":",
+            "\"total_evaluations\":",
+            "\"total_cache_hits\":",
+            "\"suite_evals_per_second\":",
+            "\"evals_per_second\":",
+            "\"cache_hits\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        // No non-finite numbers may leak into the document.
+        assert!(!json.contains("inf") && !json.contains("NaN"), "{json}");
+    }
+
+    #[test]
+    fn json_report_marks_skipped_functions() {
+        let programs = inventory();
+        let config = CampaignConfig::new()
+            .base(quick_base())
+            .workers(2)
+            .time_budget(Duration::ZERO);
+        let json = Campaign::new(config).run(&programs).to_json();
+        assert_eq!(json.matches("\"completed\": false").count(), programs.len());
+        assert!(json.contains("\"skipped\": 3"));
+    }
+
+    #[test]
+    fn json_escapes_hostile_program_names() {
+        fn body(_: &[f64], ctx: &mut ExecCtx) {
+            ctx.branch(0, Cmp::Gt, 1.0, 0.0);
+        }
+        let programs = vec![FnProgram::new(
+            "quo\"te\\back\nline",
+            1,
+            1,
+            body as fn(&[f64], &mut ExecCtx),
+        )];
+        let json = Campaign::new(CampaignConfig::new().base(quick_base()).workers(1))
+            .run(&programs)
+            .to_json();
+        assert!(json.contains("quo\\\"te\\\\back\\nline"));
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! The CoverMe driver — Algorithm 1 of the paper.
 //!
-//! The driver repeatedly builds the representing function against the
-//! current saturation snapshot, minimizes it with Basinhopping (MCMC over a
-//! local minimizer), and interprets the result:
+//! The driver repeatedly points the objective engine
+//! ([`crate::objective::ObjectiveEngine`]) at the current saturation
+//! snapshot, minimizes the representing function with Basinhopping (MCMC
+//! over a local minimizer) — every evaluation flowing through the engine's
+//! allocation-free scalar fast path and bit-exact memoization cache — and
+//! interprets the result:
 //!
 //! * `FOO_R(x*) = 0` — `x*` is a genuine test input that saturates a new
 //!   branch (Theorem 4.3); it is added to the generated input set `X` and
@@ -26,6 +29,8 @@ use std::time::Duration;
 
 use coverme_optim::{LocalMethod, PerturbationKind, StartingPointStrategy};
 use coverme_runtime::{Program, DEFAULT_EPSILON};
+
+use crate::objective::CacheMode;
 
 use crate::report::TestReport;
 use crate::shard::{merge_shards, run_shard, ShardOutcome};
@@ -100,6 +105,16 @@ pub struct CoverMeConfig {
     /// incompleteness the paper's Remark 6.1 describes; the
     /// `ablation_pen_policy` bench measures its effect.
     pub polish: bool,
+    /// Memoization policy of the objective engine (see
+    /// [`crate::objective::CacheMode`]; the default `Auto` caches only
+    /// branch-dense programs, where a hit saves more execution than the
+    /// probe costs). The cache is bit-exact — keyed on the input's
+    /// `f64::to_bits` patterns and invalidated whenever the saturation
+    /// snapshot changes — so search results are identical under every
+    /// mode; the knob exists for tuning and for the property tests that
+    /// pin that invariant. Forced off under `record_search_coverage`,
+    /// which needs every evaluation to really execute.
+    pub cache: CacheMode,
 }
 
 impl Default for CoverMeConfig {
@@ -119,6 +134,7 @@ impl Default for CoverMeConfig {
             record_search_coverage: false,
             shards: 1,
             polish: true,
+            cache: CacheMode::Auto,
         }
     }
 }
@@ -217,6 +233,12 @@ impl CoverMeConfig {
     /// near-miss minima.
     pub fn polish(mut self, enabled: bool) -> Self {
         self.polish = enabled;
+        self
+    }
+
+    /// Sets the objective engine's memoization policy.
+    pub fn cache(mut self, mode: CacheMode) -> Self {
+        self.cache = mode;
         self
     }
 }

@@ -24,7 +24,14 @@
 //!    `n_start` budget is split into strided slices with deterministic
 //!    per-round seeds, and the per-shard saturation/coverage snapshots are
 //!    merged. Campaigns schedule functions × shards as one work queue, so a
-//!    trailing heavy function fans out over otherwise idle workers.
+//!    trailing heavy function fans out over otherwise idle workers;
+//! 6. run every evaluation through the **objective engine**
+//!    ([`ObjectiveEngine`]): an allocation-free scalar fast path (one
+//!    reusable `ExecCtx`, no trace, no covered-set inserts), a batch entry
+//!    point minimizers feed whole candidate sets through, and a bit-exact
+//!    memoization cache keyed on input bit patterns, with per-function
+//!    evals / cache-hit / evals-per-second telemetry surfaced in
+//!    [`TestReport`] and [`CampaignReport`].
 //!
 //! # Quick start
 //!
@@ -56,6 +63,7 @@
 
 pub mod campaign;
 pub mod driver;
+pub mod objective;
 pub mod report;
 pub mod representing;
 pub mod saturation;
@@ -63,6 +71,7 @@ pub mod shard;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignReport, FunctionResult};
 pub use driver::{CoverMe, CoverMeConfig, InfeasiblePolicy, PenPolicy};
+pub use objective::{CacheMode, EngineTelemetry, ObjectiveEngine};
 pub use report::{RoundOutcome, RoundRecord, TestReport};
 pub use representing::{Evaluation, RepresentingFunction};
 pub use saturation::SaturationTracker;
@@ -70,5 +79,5 @@ pub use shard::{merge_shards, run_shard, AcceptedInput, MergedSearch, ShardOutco
 
 // Re-export the pieces users need to define programs without adding an
 // explicit dependency on the runtime crate.
-pub use coverme_optim::LocalMethod;
+pub use coverme_optim::{FnObjective, LocalMethod, Objective};
 pub use coverme_runtime::{BranchId, BranchSet, Cmp, CoverageMap, ExecCtx, FnProgram, Program};

@@ -55,8 +55,14 @@ pub struct TestReport {
     pub infeasible: Vec<BranchId>,
     /// Per-round records, in order.
     pub rounds: Vec<RoundRecord>,
-    /// Total objective (representing function) evaluations.
+    /// Total objective (representing function) evaluations — objective
+    /// calls, including the ones the engine's memoization cache answered
+    /// without executing the program.
     pub evaluations: usize,
+    /// Evaluations the objective engine served from its bit-exact
+    /// memoization cache (see `coverme::objective`): answered calls that
+    /// cost no program execution.
+    pub cache_hits: usize,
     /// Wall-clock time of the run.
     pub wall_time: Duration,
 }
@@ -84,19 +90,33 @@ impl TestReport {
     pub fn summary(&self) -> CoverageSummary {
         self.coverage.summary(&self.program)
     }
+
+    /// Objective-evaluation throughput of the run in evaluations per
+    /// second (0 when the run was too fast to measure).
+    pub fn evals_per_second(&self) -> f64 {
+        let seconds = self.wall_time.as_secs_f64();
+        if seconds > 0.0 {
+            self.evaluations as f64 / seconds
+        } else {
+            0.0
+        }
+    }
 }
 
 impl std::fmt::Display for TestReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{}: {:.1}% branch coverage ({} / {} branches) with {} inputs in {:.2?}",
+            "{}: {:.1}% branch coverage ({} / {} branches) with {} inputs in {:.2?} \
+             ({} evals, {} cache hits)",
             self.program,
             self.branch_coverage_percent(),
             self.coverage.covered_count(),
             self.coverage.total_branches(),
             self.inputs.len(),
-            self.wall_time
+            self.wall_time,
+            self.evaluations,
+            self.cache_hits,
         )?;
         if !self.infeasible.is_empty() {
             let labels: Vec<String> = self.infeasible.iter().map(|b| b.to_string()).collect();
@@ -144,6 +164,7 @@ mod tests {
                 },
             ],
             evaluations: 22,
+            cache_hits: 3,
             wall_time: Duration::from_millis(5),
         }
     }
@@ -163,6 +184,18 @@ mod tests {
         assert!(text.contains("75.0%"));
         assert!(text.contains("deemed infeasible"));
         assert!(text.contains("1F"));
+        assert!(text.contains("22 evals"));
+        assert!(text.contains("3 cache hits"));
+    }
+
+    #[test]
+    fn evals_per_second_uses_wall_time() {
+        let report = dummy_report();
+        // 22 evaluations in 5 ms.
+        assert!((report.evals_per_second() - 4400.0).abs() < 1e-9);
+        let mut instant = dummy_report();
+        instant.wall_time = Duration::ZERO;
+        assert_eq!(instant.evals_per_second(), 0.0);
     }
 
     #[test]

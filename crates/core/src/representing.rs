@@ -14,6 +14,8 @@
 //! * **C2** `FOO_R(x) = 0` iff `x` saturates a branch not yet saturated —
 //!   Theorem 4.3.
 
+use std::cell::RefCell;
+
 use coverme_runtime::{BranchSet, ExecCtx, Program, Trace};
 
 /// The result of evaluating the representing function on one input.
@@ -38,22 +40,38 @@ pub struct RepresentingFunction<P> {
     program: P,
     saturated: BranchSet,
     epsilon: f64,
+    /// Reusable fast-path context for [`eval`](Self::eval): built once (one
+    /// snapshot clone per `RepresentingFunction`, not per call), reset
+    /// between executions, recording neither trace nor coverage — the
+    /// minimizer only consumes the scalar, and `r` does not depend on
+    /// either. Interior mutability keeps `eval(&self)` compatible with the
+    /// borrowing [`objective`](Self::objective) adapter.
+    scratch: RefCell<ExecCtx>,
 }
 
 impl<P: Program> RepresentingFunction<P> {
     /// Creates the representing function for `program` against the given
     /// saturation snapshot, using the default `ε`.
     pub fn new(program: P, saturated: BranchSet) -> Self {
+        let scratch = ExecCtx::representing(saturated.clone())
+            .without_trace()
+            .without_coverage();
         RepresentingFunction {
             program,
             saturated,
             epsilon: coverme_runtime::DEFAULT_EPSILON,
+            scratch: RefCell::new(scratch),
         }
     }
 
     /// Overrides the `ε` used by the branch distances.
     pub fn with_epsilon(mut self, epsilon: f64) -> Self {
         self.epsilon = epsilon;
+        let scratch = self.scratch.get_mut();
+        *scratch = ExecCtx::representing(self.saturated.clone())
+            .with_epsilon(epsilon)
+            .without_trace()
+            .without_coverage();
         self
     }
 
@@ -74,10 +92,18 @@ impl<P: Program> RepresentingFunction<P> {
 
     /// Evaluates `FOO_R(x)` and returns only its value. This is the closure
     /// handed to the unconstrained-programming backend.
+    ///
+    /// Fast path: the reusable scratch context is reset and re-executed —
+    /// no snapshot clone, no trace, no covered-set inserts per call. The
+    /// value is bit-identical to what [`eval_full`](Self::eval_full)
+    /// computes, because `r` depends only on the saturation snapshot
+    /// (`without_coverage_still_computes_r` in `coverme-runtime` pins
+    /// that). Coverage of the interesting inputs — the zeros — is never
+    /// lost: the driver re-evaluates every accepted minimum through
+    /// [`eval_full`](Self::eval_full) before consuming it.
     pub fn eval(&self, input: &[f64]) -> f64 {
-        let mut ctx = ExecCtx::representing(self.saturated.clone())
-            .with_epsilon(self.epsilon)
-            .without_trace();
+        let mut ctx = self.scratch.borrow_mut();
+        ctx.reset();
         self.program.execute(input, &mut ctx);
         ctx.representing_value()
     }
@@ -213,6 +239,48 @@ mod tests {
         for x in [-3.0, -0.5, 0.3, 1.5, 2.0] {
             assert_eq!(foo_r.eval(&[x]), foo_r.eval_full(&[x]).value);
         }
+    }
+
+    #[test]
+    fn custom_epsilon_reaches_the_fast_path_scratch_context() {
+        // ε changes the distance of saturated equality branches, so the two
+        // paths only agree if with_epsilon updated the reusable context too.
+        let saturated: BranchSet = [BranchId::true_of(1), BranchId::false_of(1)]
+            .into_iter()
+            .collect();
+        for epsilon in [coverme_runtime::DEFAULT_EPSILON, 0.5, 2.0] {
+            let foo_r = RepresentingFunction::new(paper_example(), saturated.clone())
+                .with_epsilon(epsilon);
+            for x in [-2.0, -0.5, 0.7, 2.0, 5.0] {
+                assert_eq!(
+                    foo_r.eval(&[x]).to_bits(),
+                    foo_r.eval_full(&[x]).value.to_bits(),
+                    "epsilon = {epsilon}, x = {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_fast_path_evaluations_are_stable() {
+        // The scratch context is reset between calls: interleaved and
+        // repeated evaluations must not leak state into each other.
+        let foo_r = RepresentingFunction::new(paper_example(), snapshot_for_stability());
+        let first: Vec<u64> = [-0.5, 0.7, 2.0, 0.7, -0.5]
+            .iter()
+            .map(|&x| foo_r.eval(&[x]).to_bits())
+            .collect();
+        let second: Vec<u64> = [-0.5, 0.7, 2.0, 0.7, -0.5]
+            .iter()
+            .map(|&x| foo_r.eval(&[x]).to_bits())
+            .collect();
+        assert_eq!(first, second);
+        assert_eq!(first[0], first[4]);
+        assert_eq!(first[1], first[3]);
+    }
+
+    fn snapshot_for_stability() -> BranchSet {
+        [BranchId::false_of(1)].into_iter().collect()
     }
 
     #[test]

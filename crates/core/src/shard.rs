@@ -66,12 +66,12 @@
 use std::time::Instant;
 
 use coverme_optim::rng::SplitMix64;
-use coverme_optim::BasinHopping;
+use coverme_optim::{BasinHopping, FnObjective};
 use coverme_runtime::{BranchSet, CoverageMap, Program};
 
 use crate::driver::{CoverMeConfig, InfeasiblePolicy};
+use crate::objective::ObjectiveEngine;
 use crate::report::{RoundOutcome, RoundRecord, TestReport};
-use crate::representing::RepresentingFunction;
 use crate::saturation::SaturationTracker;
 use crate::PenPolicy;
 
@@ -114,8 +114,12 @@ pub struct ShardOutcome {
     pub accepted: Vec<AcceptedInput>,
     /// Per-round records; `round` fields are global round indices.
     pub rounds: Vec<RoundRecord>,
-    /// Representing-function evaluations spent by the shard.
+    /// Representing-function evaluations spent by the shard (objective
+    /// calls, including the ones the engine answered from its cache).
     pub evaluations: usize,
+    /// Objective calls the engine served from its memoization cache
+    /// without executing the program.
+    pub cache_hits: usize,
     /// When the shard started running.
     pub started: Instant,
     /// When the shard finished.
@@ -135,6 +139,7 @@ impl ShardOutcome {
             infeasible: self.tracker.infeasible().iter().collect(),
             rounds: self.rounds,
             evaluations: self.evaluations,
+            cache_hits: self.cache_hits,
             wall_time: self.finished.duration_since(self.started),
         }
     }
@@ -184,13 +189,27 @@ pub fn run_shard<P: Program>(
     let mut rounds: Vec<RoundRecord> = Vec::new();
     let mut total_evaluations = 0usize;
 
+    // The objective engine lives for the whole shard: its execution context
+    // is reused across every evaluation of every round, and its memoization
+    // cache survives rounds that leave the saturation snapshot unchanged.
+    // Under `record_search_coverage` the cache is forced off: that
+    // extension records the coverage of every intermediate evaluation, and
+    // the engine evaluates through the full path per call anyway.
+    let cache_mode = if config.record_search_coverage {
+        crate::objective::CacheMode::Off
+    } else {
+        config.cache
+    };
+    let mut engine = ObjectiveEngine::new(program, config.epsilon).cache_mode(cache_mode);
+
     // The full starting-point schedule, regenerated identically by every
     // shard from the function seed so the explored start set is invariant
     // under the shard count (module docs). Cheap: `n_start` draws.
     let mut start_rng = SplitMix64::new(config.seed ^ 0x5EED_0001);
-    let schedule: Vec<Vec<f64>> = (0..config.n_start)
-        .map(|_| config.starting_points.sample(&mut start_rng, arity))
-        .collect();
+    let schedule: Vec<Vec<f64>> =
+        config
+            .starting_points
+            .sample_batch(&mut start_rng, arity, config.n_start);
 
     for round in (shard_index..config.n_start).step_by(shards) {
         if tracker.all_saturated() {
@@ -205,10 +224,12 @@ pub fn run_shard<P: Program>(
         // Line 9: the starting point this shard owns for this global round.
         let x0 = schedule[round].clone();
 
-        // Step 2: the representing function against the current snapshot.
+        // Step 2: the representing function against the current snapshot —
+        // the engine swaps it in place (and keeps its cache when the
+        // snapshot is unchanged since the previous round).
         let snapshot = tracker.saturated_set();
         let saturated_before = snapshot.len();
-        let foo_r = RepresentingFunction::new(program, snapshot).with_epsilon(config.epsilon);
+        engine.retarget(&snapshot);
 
         // Line 10: x* = MCMC(FOO_R, x), seeded by the *global* round index
         // so the per-round minimizer stream matches the sequential driver.
@@ -221,27 +242,29 @@ pub fn run_shard<P: Program>(
             .target_value(config.zero_threshold);
 
         let result = if config.record_search_coverage {
-            let mut objective = |x: &[f64]| {
-                let evaluation = foo_r.eval_full(x);
+            let engine = &mut engine;
+            let coverage = &mut coverage;
+            let tracker = &mut tracker;
+            let mut objective = FnObjective(move |x: &[f64]| {
+                let evaluation = engine.eval_full(x);
                 coverage.record_set(&evaluation.covered);
                 tracker.record_trace(&evaluation.trace);
                 evaluation.value
-            };
-            hopper.minimize(&mut objective, &x0)
+            });
+            hopper.minimize_objective(&mut objective, &x0)
         } else {
-            let mut objective = foo_r.objective();
-            hopper.minimize(&mut objective, &x0)
+            hopper.minimize_objective(&mut engine, &x0)
         };
         total_evaluations += result.stats.evaluations;
 
         // Line 11-12: accept the minimum point if FOO_R(x*) = 0, update
         // Saturate; otherwise apply the infeasible-branch heuristic.
         let mut minimum_point = result.x.clone();
-        let mut evaluation = foo_r.eval_full(&minimum_point);
+        let mut evaluation = engine.eval_full(&minimum_point);
         total_evaluations += 1;
         if config.polish && evaluation.value > config.zero_threshold {
             if let Some((polished, polished_eval, polish_evals)) =
-                polish_minimum(&foo_r, &minimum_point, config.zero_threshold)
+                polish_minimum(&mut engine, &minimum_point, config.zero_threshold)
             {
                 minimum_point = polished;
                 evaluation = polished_eval;
@@ -295,6 +318,7 @@ pub fn run_shard<P: Program>(
         accepted,
         rounds,
         evaluations: total_evaluations,
+        cache_hits: engine.telemetry().cache_hits as usize,
         started,
         finished: Instant::now(),
     }
@@ -353,6 +377,7 @@ pub fn merge_shards(program_name: &str, mut outcomes: Vec<ShardOutcome>) -> Merg
     let mut rounds: Vec<RoundRecord> = outcomes.iter().flat_map(|o| o.rounds.clone()).collect();
     rounds.sort_by_key(|r| r.round);
     let evaluations = outcomes.iter().map(|o| o.evaluations).sum();
+    let cache_hits = outcomes.iter().map(|o| o.cache_hits).sum();
     let started = outcomes.iter().map(|o| o.started).min().expect("non-empty");
     let finished = outcomes.iter().map(|o| o.finished).max().expect("non-empty");
     let infeasible = tracker.infeasible().iter().collect();
@@ -365,6 +390,7 @@ pub fn merge_shards(program_name: &str, mut outcomes: Vec<ShardOutcome>) -> Merg
             infeasible,
             rounds,
             evaluations,
+            cache_hits,
             wall_time: finished.duration_since(started),
         },
         tracker,
@@ -382,14 +408,16 @@ pub fn merge_shards(program_name: &str, mut outcomes: Vec<ShardOutcome>) -> Merg
 ///
 /// Returns the polished point, its evaluation and the number of extra
 /// representing-function evaluations, or `None` if no candidate reached the
-/// threshold.
+/// threshold. Candidate probes run through the engine's scalar fast path —
+/// the re-probe of the incumbent (and any repeated rounded candidate) is a
+/// cache hit.
 fn polish_minimum<P: Program>(
-    foo_r: &RepresentingFunction<P>,
+    engine: &mut ObjectiveEngine<P>,
     x: &[f64],
     threshold: f64,
 ) -> Option<(Vec<f64>, crate::representing::Evaluation, usize)> {
     let mut best = x.to_vec();
-    let mut best_value = foo_r.eval(&best);
+    let mut best_value = engine.eval_scalar(&best);
     let mut evaluations = 1usize;
 
     for coord in 0..best.len() {
@@ -400,13 +428,13 @@ fn polish_minimum<P: Program>(
             }
             let mut trial = best.clone();
             trial[coord] = candidate;
-            let value = foo_r.eval(&trial);
+            let value = engine.eval_scalar(&trial);
             evaluations += 1;
             if value < best_value {
                 best_value = value;
                 best = trial;
                 if best_value <= threshold {
-                    let evaluation = foo_r.eval_full(&best);
+                    let evaluation = engine.eval_full(&best);
                     evaluations += 1;
                     return Some((best, evaluation, evaluations));
                 }
@@ -415,7 +443,7 @@ fn polish_minimum<P: Program>(
     }
 
     if best_value <= threshold {
-        let evaluation = foo_r.eval_full(&best);
+        let evaluation = engine.eval_full(&best);
         evaluations += 1;
         Some((best, evaluation, evaluations))
     } else {

@@ -1,0 +1,208 @@
+//! Property-based tests for the objective engine (`coverme::objective`).
+//!
+//! The engine's contract (module docs):
+//!
+//! * the scalar fast path, the batch entry point, and the legacy
+//!   full-`Evaluation` path agree **bit for bit** on the same inputs, for
+//!   any saturation snapshot;
+//! * memoization never changes anything observable: a CoverMe search with
+//!   the cache on produces the identical report — inputs, coverage,
+//!   infeasible verdicts, round records, evaluation counts — as with the
+//!   cache off;
+//! * retargeting invalidates exactly when it must: after any sequence of
+//!   snapshot swaps, cached values still equal freshly computed ones.
+//!
+//! Checked on randomly generated straight-line programs (affine conditions
+//! over one input, with data flow between sites), the same family
+//! `tests/shard_properties.rs` uses.
+
+use proptest::prelude::*;
+
+use coverme::objective::{CacheMode, ObjectiveEngine};
+use coverme::{
+    BranchId, BranchSet, Cmp, CoverMe, CoverMeConfig, ExecCtx, FnProgram, Objective,
+    RepresentingFunction,
+};
+use coverme_runtime::DEFAULT_EPSILON;
+
+/// Specification of one conditional site of a generated program.
+#[derive(Debug, Clone)]
+struct SiteSpec {
+    op: Cmp,
+    /// The condition compares `coeff * x + offset` against `constant`.
+    coeff: f64,
+    offset: f64,
+    constant: f64,
+    /// Whether taking the true branch perturbs `x` before later sites.
+    mutates: bool,
+}
+
+/// A generated straight-line program: a sequence of conditionals over a
+/// single double input, with the true branches feeding modified values to
+/// later sites.
+fn build_program(specs: Vec<SiteSpec>) -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
+    let num_sites = specs.len();
+    FnProgram::new("generated", 1, num_sites, move |input: &[f64], ctx: &mut ExecCtx| {
+        let mut x = input[0];
+        for (site, spec) in specs.iter().enumerate() {
+            let lhs = spec.coeff * x + spec.offset;
+            if ctx.branch(site as u32, spec.op, lhs, spec.constant) && spec.mutates {
+                x = x * 0.5 + 1.0;
+            }
+        }
+    })
+}
+
+fn cmp_strategy() -> impl Strategy<Value = Cmp> {
+    prop_oneof![
+        Just(Cmp::Eq),
+        Just(Cmp::Ne),
+        Just(Cmp::Lt),
+        Just(Cmp::Le),
+        Just(Cmp::Gt),
+        Just(Cmp::Ge),
+    ]
+}
+
+fn site_strategy() -> impl Strategy<Value = SiteSpec> {
+    (
+        cmp_strategy(),
+        -3.0..3.0f64,
+        -10.0..10.0f64,
+        -10.0..10.0f64,
+        any::<bool>(),
+    )
+        .prop_map(|(op, coeff, offset, constant, mutates)| SiteSpec {
+            op,
+            coeff,
+            offset,
+            constant,
+            mutates,
+        })
+}
+
+fn program_strategy() -> impl Strategy<Value = Vec<SiteSpec>> {
+    prop::collection::vec(site_strategy(), 1..5)
+}
+
+/// A saturation snapshot over `num_sites` conditionals, derived from a
+/// random bitmask (two bits per site: true branch, false branch).
+fn snapshot_from_mask(num_sites: usize, mask: u64) -> BranchSet {
+    let mut snapshot = BranchSet::with_sites(num_sites);
+    for site in 0..num_sites {
+        if mask & (1 << (2 * site)) != 0 {
+            snapshot.insert(BranchId::true_of(site as u32));
+        }
+        if mask & (1 << (2 * site + 1)) != 0 {
+            snapshot.insert(BranchId::false_of(site as u32));
+        }
+    }
+    snapshot
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The three evaluation paths — engine scalar, engine batch, legacy
+    /// full `Evaluation` — agree bit for bit on the same inputs, for any
+    /// saturation snapshot.
+    #[test]
+    fn scalar_batch_and_full_paths_agree_bit_for_bit(
+        specs in program_strategy(),
+        mask in 0..256u64,
+        points in prop::collection::vec(-50.0..50.0f64, 1..12),
+    ) {
+        let num_sites = specs.len();
+        let program = build_program(specs);
+        let snapshot = snapshot_from_mask(num_sites, mask);
+
+        let foo_r = RepresentingFunction::new(&program, snapshot.clone());
+        let mut scalar_engine = ObjectiveEngine::new(&program, DEFAULT_EPSILON);
+        scalar_engine.retarget(&snapshot);
+        let mut batch_engine = ObjectiveEngine::new(&program, DEFAULT_EPSILON);
+        batch_engine.retarget(&snapshot);
+
+        let batch: Vec<Vec<f64>> = points.iter().map(|&x| vec![x]).collect();
+        let mut batched = Vec::new();
+        batch_engine.eval_batch(&batch, &mut batched);
+        prop_assert_eq!(batched.len(), batch.len());
+
+        for (point, batched_value) in batch.iter().zip(&batched) {
+            let scalar = scalar_engine.eval_scalar(point);
+            let full = batch_engine.eval_full(point);
+            let legacy_fast = foo_r.eval(point);
+            let legacy_full = foo_r.eval_full(point);
+            prop_assert_eq!(scalar.to_bits(), batched_value.to_bits());
+            prop_assert_eq!(scalar.to_bits(), full.value.to_bits());
+            prop_assert_eq!(scalar.to_bits(), legacy_fast.to_bits());
+            prop_assert_eq!(scalar.to_bits(), legacy_full.value.to_bits());
+            // The full paths agree on coverage and trace too.
+            prop_assert_eq!(&full.covered, &legacy_full.covered);
+            prop_assert_eq!(&full.trace, &legacy_full.trace);
+        }
+    }
+
+    /// Memoization is invisible to the search: a full CoverMe run with the
+    /// cache on equals the run with the cache off in everything except the
+    /// hit counter — same generated inputs, same coverage, same infeasible
+    /// verdicts, same per-round records, same evaluation counts.
+    #[test]
+    fn cache_never_changes_search_results_or_coverage(
+        specs in program_strategy(),
+        seed in 0..1000u64,
+        shards in 1..4usize,
+    ) {
+        let program = build_program(specs);
+        let base = CoverMeConfig::default().n_start(48).n_iter(5).seed(seed).shards(shards);
+        let cached = CoverMe::new(base.clone().cache(CacheMode::On)).run(&program);
+        let uncached = CoverMe::new(base.cache(CacheMode::Off)).run(&program);
+        prop_assert_eq!(&cached.inputs, &uncached.inputs);
+        prop_assert_eq!(cached.coverage.covered(), uncached.coverage.covered());
+        prop_assert_eq!(&cached.infeasible, &uncached.infeasible);
+        prop_assert_eq!(&cached.rounds, &uncached.rounds);
+        prop_assert_eq!(cached.evaluations, uncached.evaluations);
+        prop_assert_eq!(uncached.cache_hits, 0);
+    }
+
+    /// Retargeting through an arbitrary sequence of snapshots never leaves
+    /// a stale value behind: after every swap, the engine's answers equal
+    /// a freshly built representing function's.
+    #[test]
+    fn retargeting_never_serves_stale_values(
+        specs in program_strategy(),
+        masks in prop::collection::vec(0..256u64, 2..6),
+        x in -50.0..50.0f64,
+    ) {
+        let num_sites = specs.len();
+        let program = build_program(specs);
+        let mut engine = ObjectiveEngine::new(&program, DEFAULT_EPSILON);
+        for mask in masks {
+            let snapshot = snapshot_from_mask(num_sites, mask);
+            engine.retarget(&snapshot);
+            let fresh = RepresentingFunction::new(&program, snapshot);
+            // Probe twice: the second answer may come from the cache.
+            prop_assert_eq!(engine.eval_scalar(&[x]).to_bits(), fresh.eval(&[x]).to_bits());
+            prop_assert_eq!(engine.eval_scalar(&[x]).to_bits(), fresh.eval(&[x]).to_bits());
+        }
+    }
+}
+
+/// Telemetry bookkeeping stays consistent on real searches: calls split
+/// exactly into executions and cache hits, and the report's counters match
+/// what the engine saw.
+#[test]
+fn search_telemetry_is_internally_consistent() {
+    let program = {
+        let specs = vec![
+            SiteSpec { op: Cmp::Le, coeff: 1.0, offset: 0.0, constant: 1.0, mutates: true },
+            SiteSpec { op: Cmp::Eq, coeff: 1.0, offset: 2.0, constant: 4.0, mutates: false },
+        ];
+        build_program(specs)
+    };
+    let report = CoverMe::new(CoverMeConfig::default().n_start(40).seed(5)).run(&program);
+    assert!(report.evaluations > 0);
+    assert!(report.cache_hits <= report.evaluations);
+    // Per-round evaluation counts never exceed the total.
+    let per_round: usize = report.rounds.iter().map(|r| r.evaluations).sum();
+    assert!(per_round <= report.evaluations);
+}

@@ -7,8 +7,10 @@
 //! Basinhopping actually contributes.
 
 use crate::derive_rng;
+use crate::objective::{FnObjective, Objective};
 use crate::result::{Minimum, OptimStats};
 use crate::sampling::PerturbationKind;
+use crate::sanitize_value;
 
 /// Configuration and entry point for simulated annealing.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,18 +81,27 @@ impl SimulatedAnnealing {
     where
         F: FnMut(&[f64]) -> f64,
     {
+        self.minimize_objective(&mut FnObjective(f), x0)
+    }
+
+    /// Trait-based twin of [`minimize`](Self::minimize). A Metropolis chain
+    /// is inherently sequential — each proposal is perturbed from the
+    /// current state — so the scalar entry point is used throughout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty.
+    pub fn minimize_objective<O>(&self, f: &mut O, x0: &[f64]) -> Minimum
+    where
+        O: Objective + ?Sized,
+    {
         assert!(!x0.is_empty(), "cannot minimize a zero-dimensional function");
         let mut rng = derive_rng(self.seed, 0x00A2_2EA1);
         let dim = x0.len();
         let mut evals = 0usize;
-        let eval = |f: &mut F, x: &[f64], evals: &mut usize| -> f64 {
+        let eval = |f: &mut O, x: &[f64], evals: &mut usize| -> f64 {
             *evals += 1;
-            let v = f(x);
-            if v.is_nan() {
-                f64::INFINITY
-            } else {
-                v
-            }
+            sanitize_value(f.eval_scalar(x))
         };
 
         let mut current = x0.to_vec();

@@ -13,6 +13,7 @@
 //! to stop as soon as a minimum point that saturates a new branch is found.
 
 use crate::derive_rng;
+use crate::objective::{FnObjective, Objective};
 use crate::result::Minimum;
 use crate::sampling::PerturbationKind;
 use crate::LocalMethod;
@@ -126,6 +127,14 @@ impl BasinHopping {
         self.minimize_with_callback(f, x0, |_| HopDecision::Continue)
     }
 
+    /// Trait-based twin of [`minimize`](Self::minimize).
+    pub fn minimize_objective<O>(&self, f: &mut O, x0: &[f64]) -> Minimum
+    where
+        O: Objective + ?Sized,
+    {
+        self.minimize_objective_with_callback(f, x0, |_| HopDecision::Continue)
+    }
+
     /// Minimizes `f` starting from `x0`, invoking `callback` after the
     /// initial local minimization and after every Monte-Carlo hop.
     ///
@@ -136,9 +145,32 @@ impl BasinHopping {
     /// # Panics
     ///
     /// Panics if `x0` is empty.
-    pub fn minimize_with_callback<F, C>(&self, f: &mut F, x0: &[f64], mut callback: C) -> Minimum
+    pub fn minimize_with_callback<F, C>(&self, f: &mut F, x0: &[f64], callback: C) -> Minimum
     where
         F: FnMut(&[f64]) -> f64,
+        C: FnMut(&HopEvent<'_>) -> HopDecision,
+    {
+        self.minimize_objective_with_callback(&mut FnObjective(f), x0, callback)
+    }
+
+    /// Trait-based twin of
+    /// [`minimize_with_callback`](Self::minimize_with_callback): the hop
+    /// loop itself. The Markov chain is sequential — every hop perturbs the
+    /// current local minimum — so candidates flow through the local method
+    /// one at a time; batch-capable objectives still amortize inside the
+    /// local minimizations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty.
+    pub fn minimize_objective_with_callback<O, C>(
+        &self,
+        f: &mut O,
+        x0: &[f64],
+        mut callback: C,
+    ) -> Minimum
+    where
+        O: Objective + ?Sized,
         C: FnMut(&HopEvent<'_>) -> HopDecision,
     {
         assert!(!x0.is_empty(), "cannot minimize a zero-dimensional function");
@@ -146,7 +178,7 @@ impl BasinHopping {
         let dim = x0.len();
 
         // Line 25: x_L = LM(f, x).
-        let initial = self.local_method.minimize(f, x0);
+        let initial = self.local_method.minimize_objective(f, x0);
         let mut stats = initial.stats;
         let mut current = initial.x;
         let mut current_value = initial.value;
@@ -177,7 +209,7 @@ impl BasinHopping {
             let perturbed: Vec<f64> = current.iter().zip(&delta).map(|(x, d)| x + d).collect();
 
             // Line 28: local minimization of the perturbed point.
-            let proposal = self.local_method.minimize(f, &perturbed);
+            let proposal = self.local_method.minimize_objective(f, &perturbed);
             stats.evaluations += proposal.stats.evaluations;
 
             // Lines 29-32: Metropolis acceptance.

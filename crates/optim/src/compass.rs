@@ -6,8 +6,16 @@
 //! assumptions at all, which makes it a useful ablation point against Powell
 //! and Nelder–Mead on the piecewise-quadratic representing functions CoverMe
 //! produces.
+//!
+//! The probe star of every sweep — all `2n` candidates — was always
+//! evaluated unconditionally, so it is submitted as a single
+//! [`Objective::eval_batch`] call: a batch-capable engine amortizes its
+//! per-evaluation setup with zero change to which points are evaluated, in
+//! which order, or which probe is selected.
 
+use crate::objective::{FnObjective, Objective};
 use crate::result::{Minimum, OptimStats};
+use crate::sanitize_value as sanitize;
 
 /// Configuration and entry point for compass search.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,46 +71,67 @@ impl CompassSearch {
     where
         F: FnMut(&[f64]) -> f64,
     {
+        self.minimize_objective(&mut FnObjective(f), x0)
+    }
+
+    /// Trait-based twin of [`minimize`](Self::minimize): every sweep's `2n`
+    /// probe star goes through [`Objective::eval_batch`] in one call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty.
+    pub fn minimize_objective<O>(&self, f: &mut O, x0: &[f64]) -> Minimum
+    where
+        O: Objective + ?Sized,
+    {
         assert!(!x0.is_empty(), "cannot minimize a zero-dimensional function");
         let n = x0.len();
         let mut evals = 0usize;
-        let eval = |f: &mut F, x: &[f64], evals: &mut usize| -> f64 {
-            *evals += 1;
-            let v = f(x);
-            if v.is_nan() {
-                f64::INFINITY
-            } else {
-                v
-            }
-        };
 
         let mut point = x0.to_vec();
-        let mut value = eval(f, &point, &mut evals);
+        let mut value = {
+            evals += 1;
+            sanitize(f.eval_scalar(&point))
+        };
         let mut step = self.initial_step;
         let mut iterations = 0usize;
         let mut converged = false;
+        let mut probes: Vec<Vec<f64>> = Vec::with_capacity(2 * n);
+        let mut probe_values: Vec<f64> = Vec::with_capacity(2 * n);
 
         while iterations < self.max_iterations {
             iterations += 1;
-            let mut best_probe: Option<(Vec<f64>, f64)> = None;
+            // The probe star `x ± h·e_i`, in the historical evaluation order
+            // (+ before - per coordinate), evaluated as one batch.
+            probes.clear();
             for i in 0..n {
                 for sign in [1.0, -1.0] {
                     let mut probe = point.clone();
                     probe[i] += sign * step;
-                    let pv = eval(f, &probe, &mut evals);
-                    let improves_current = pv < value;
-                    let improves_best = best_probe
-                        .as_ref()
-                        .map(|(_, bv)| pv < *bv)
-                        .unwrap_or(true);
-                    if improves_current && improves_best {
-                        best_probe = Some((probe, pv));
-                    }
+                    probes.push(probe);
+                }
+            }
+            probe_values.clear();
+            f.eval_batch(&probes, &mut probe_values);
+            evals += probes.len();
+
+            // First strictly-best improving probe, exactly as the scalar
+            // loop selected it.
+            let mut best_probe: Option<(usize, f64)> = None;
+            for (index, &raw) in probe_values.iter().enumerate() {
+                let pv = sanitize(raw);
+                let improves_current = pv < value;
+                let improves_best = best_probe
+                    .as_ref()
+                    .map(|&(_, bv)| pv < bv)
+                    .unwrap_or(true);
+                if improves_current && improves_best {
+                    best_probe = Some((index, pv));
                 }
             }
             match best_probe {
-                Some((probe, pv)) => {
-                    point = probe;
+                Some((index, pv)) => {
+                    point.clone_from(&probes[index]);
                     value = pv;
                     step *= self.expansion;
                 }

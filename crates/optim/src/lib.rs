@@ -20,8 +20,14 @@
 //! * [`line_search`] — 1-D bracketing, golden-section and Brent minimization
 //!   used by Powell.
 //!
-//! All minimizers operate on plain `&[f64]` points and objective closures
-//! `FnMut(&[f64]) -> f64`, so any representing function produced by the
+//! All minimizers operate on plain `&[f64]` points and objectives speaking
+//! the [`Objective`] protocol ([`objective`]): a scalar entry point plus a
+//! batch entry point that evaluates a slice of candidates in one call, so
+//! an evaluation engine can reuse its execution context and memoization
+//! cache across calls. Bare `FnMut(&[f64]) -> f64` closures remain
+//! first-class via [`FnObjective`] — every minimizer keeps a closure-based
+//! `minimize` entry point that forwards to its trait-based
+//! `minimize_objective` twin — so any representing function produced by the
 //! `coverme` crate (or any other numeric function) can be plugged in.
 //!
 //! # Example
@@ -50,6 +56,7 @@ pub mod compass;
 pub mod line_search;
 pub mod multistart;
 pub mod nelder_mead;
+pub mod objective;
 pub mod powell;
 pub mod result;
 pub mod rng;
@@ -60,6 +67,7 @@ pub use basinhopping::{BasinHopping, HopDecision, HopEvent};
 pub use compass::CompassSearch;
 pub use multistart::MultiStart;
 pub use nelder_mead::NelderMead;
+pub use objective::{FnObjective, Objective};
 pub use powell::Powell;
 pub use result::{Minimum, OptimStats};
 pub use sampling::{PerturbationKind, StartingPointStrategy};
@@ -93,12 +101,21 @@ impl LocalMethod {
     where
         F: FnMut(&[f64]) -> f64,
     {
+        self.minimize_objective(&mut FnObjective(f), x0)
+    }
+
+    /// Trait-based twin of [`minimize`](Self::minimize): runs the selected
+    /// local minimizer on any [`Objective`].
+    pub fn minimize_objective<O>(&self, f: &mut O, x0: &[f64]) -> Minimum
+    where
+        O: Objective + ?Sized,
+    {
         match self {
-            LocalMethod::Powell => Powell::new().minimize(f, x0),
-            LocalMethod::NelderMead => NelderMead::new().minimize(f, x0),
-            LocalMethod::Compass => CompassSearch::new().minimize(f, x0),
+            LocalMethod::Powell => Powell::new().minimize_objective(f, x0),
+            LocalMethod::NelderMead => NelderMead::new().minimize_objective(f, x0),
+            LocalMethod::Compass => CompassSearch::new().minimize_objective(f, x0),
             LocalMethod::None => {
-                let value = f(x0);
+                let value = f.eval_scalar(x0);
                 Minimum {
                     x: x0.to_vec(),
                     value,
@@ -130,6 +147,17 @@ impl LocalMethod {
 /// streams from one master seed.
 pub(crate) fn derive_rng(seed: u64, stream: u64) -> SplitMix64 {
     SplitMix64::new(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The crate-wide NaN policy: an undefined objective value is treated as
+/// `+inf` so a single bad evaluation can never capture a search. Every
+/// minimizer funnels objective values through this one helper.
+pub(crate) fn sanitize_value(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::INFINITY
+    } else {
+        v
+    }
 }
 
 #[cfg(test)]

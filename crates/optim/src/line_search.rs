@@ -9,6 +9,16 @@
 //! The implementations follow the standard formulations in *Numerical
 //! Recipes* (Press et al.), which is also the reference the paper cites for
 //! Powell's algorithm.
+//!
+//! The 1-D routines take plain `FnMut(f64) -> f64` closures — a line is one
+//! dimensional no matter what protocol the surrounding search speaks — and
+//! [`minimize_along_ray`] adapts them to the n-dimensional [`Objective`]
+//! protocol: it owns the single scratch buffer that maps an abscissa `t` to
+//! the point `x + t·d`, so callers like Powell's method never materialize
+//! per-evaluation points.
+
+use crate::objective::Objective;
+use crate::sanitize_value;
 
 /// A bracketing triple `(a, b, c)` with `a < b < c` (or `a > b > c`) and
 /// `f(b) <= f(a)`, `f(b) <= f(c)`, guaranteeing that a minimum of a
@@ -368,9 +378,42 @@ where
     result
 }
 
+/// Minimizes an [`Objective`] along the ray `t ↦ point + t·direction`.
+///
+/// Returns the minimizing point, its objective value, and the number of
+/// objective evaluations spent. NaN objective values are treated as `+inf`
+/// (as everywhere in this crate) so an undefined region cannot capture the
+/// line search.
+pub fn minimize_along_ray<O>(
+    f: &mut O,
+    point: &[f64],
+    direction: &[f64],
+    step: f64,
+    tol: f64,
+) -> (Vec<f64>, f64, usize)
+where
+    O: Objective + ?Sized,
+{
+    let mut scratch = point.to_vec();
+    let mut g = |t: f64| {
+        for ((s, p), d) in scratch.iter_mut().zip(point).zip(direction) {
+            *s = p + t * d;
+        }
+        sanitize_value(f.eval_scalar(&scratch))
+    };
+    let line = minimize_along(&mut g, step, tol);
+    let new_point: Vec<f64> = point
+        .iter()
+        .zip(direction)
+        .map(|(p, d)| p + line.t * d)
+        .collect();
+    (new_point, line.value, line.evaluations)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::objective::FnObjective;
 
     fn quad(t: f64) -> f64 {
         (t - 2.5).powi(2) + 1.0
@@ -445,6 +488,36 @@ mod tests {
         let mut f = |t: f64| if t < 0.0 { f64::NAN } else { (t - 1.0).powi(2) };
         let m = minimize_along(&mut f, 0.5, 1e-9);
         assert!((m.t - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ray_minimization_matches_scalar_line_search() {
+        // Minimizing f(x, y) = (x - 3)^2 + y^2 along the x axis from the
+        // origin must land on the same abscissa the 1-D routine finds.
+        let mut objective = FnObjective(|p: &[f64]| (p[0] - 3.0).powi(2) + p[1] * p[1]);
+        let (point, value, evals) =
+            minimize_along_ray(&mut objective, &[0.0, 0.0], &[1.0, 0.0], 1.0, 1e-9);
+        let mut g = |t: f64| (t - 3.0).powi(2);
+        let line = minimize_along(&mut g, 1.0, 1e-9);
+        assert_eq!(point[0].to_bits(), line.t.to_bits());
+        assert_eq!(point[1], 0.0);
+        assert_eq!(value.to_bits(), line.value.to_bits());
+        assert_eq!(evals, line.evaluations);
+    }
+
+    #[test]
+    fn ray_minimization_treats_nan_as_infinite() {
+        let mut objective = FnObjective(|p: &[f64]| {
+            if p[0] < 0.0 {
+                f64::NAN
+            } else {
+                (p[0] - 1.0).powi(2)
+            }
+        });
+        let (point, value, _) =
+            minimize_along_ray(&mut objective, &[4.0], &[-1.0], 0.5, 1e-9);
+        assert!((point[0] - 1.0).abs() < 1e-4);
+        assert!(value < 1e-6);
     }
 
     #[test]

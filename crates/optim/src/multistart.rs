@@ -8,6 +8,7 @@
 
 use crate::basinhopping::BasinHopping;
 use crate::derive_rng;
+use crate::objective::{FnObjective, Objective};
 use crate::result::Minimum;
 use crate::sampling::StartingPointStrategy;
 use crate::LocalMethod;
@@ -88,15 +89,32 @@ impl MultiStart {
     where
         F: FnMut(&[f64]) -> f64,
     {
+        self.minimize_objective(&mut FnObjective(f))
+    }
+
+    /// Trait-based twin of [`minimize`](Self::minimize). The whole seed set
+    /// is generated up front as one batch
+    /// ([`StartingPointStrategy::sample_batch`]), so the candidate starting
+    /// points exist before the first minimization — the shape a future
+    /// speculative/parallel backend needs — while the early-stop semantics
+    /// (and the points themselves) stay identical to sampling lazily.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured dimension is zero or `starts` is zero.
+    pub fn minimize_objective<O>(&self, f: &mut O) -> Minimum
+    where
+        O: Objective + ?Sized,
+    {
         assert!(self.dimension > 0, "dimension must be positive");
         assert!(self.starts > 0, "at least one start is required");
         let mut rng = derive_rng(self.seed, 0x57A7);
+        let seeds = self.strategy.sample_batch(&mut rng, self.dimension, self.starts);
         let mut best: Option<Minimum> = None;
 
-        for start_index in 0..self.starts {
-            let x0 = self.strategy.sample(&mut rng, self.dimension);
+        for (start_index, x0) in seeds.into_iter().enumerate() {
             let hopper = self.hopper.clone().seed(self.hopper.seed ^ (start_index as u64) << 17);
-            let result = hopper.minimize(f, &x0);
+            let result = hopper.minimize_objective(f, &x0);
             best = Some(match best {
                 None => result,
                 Some(current_best) => current_best.better_of(result),

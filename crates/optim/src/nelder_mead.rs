@@ -5,8 +5,21 @@
 //! and shrink steps. It is less sample-efficient than Powell's method on
 //! smooth objectives but copes better with the mildly discontinuous
 //! representing functions produced by `pen` when a branch flips.
+//!
+//! Candidate generation is batch-friendly: the initial simplex (`n + 1`
+//! vertices), the reflection/expansion probe pair of every iteration, and
+//! the shrink step (`n` vertices) are each submitted through
+//! [`Objective::eval_batch`] in one call, so a batch-capable engine
+//! amortizes its per-evaluation setup. The reflected and expanded probes
+//! are evaluated together even though the classic formulation only consults
+//! the expansion when the reflection improves on the best vertex; the
+//! decision tree uses exactly the classic comparisons, so the simplex
+//! trajectory — and therefore the returned minimum — is identical, the
+//! expansion value is simply discarded when unused.
 
+use crate::objective::{FnObjective, Objective};
 use crate::result::{Minimum, OptimStats};
+use crate::sanitize_value as sanitize;
 
 /// Configuration and entry point for the Nelder–Mead simplex method.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,20 +87,36 @@ impl NelderMead {
     where
         F: FnMut(&[f64]) -> f64,
     {
+        self.minimize_objective(&mut FnObjective(f), x0)
+    }
+
+    /// Trait-based twin of [`minimize`](Self::minimize); see the [module
+    /// docs](self) for which candidate sets are submitted as batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty.
+    pub fn minimize_objective<O>(&self, f: &mut O, x0: &[f64]) -> Minimum
+    where
+        O: Objective + ?Sized,
+    {
         assert!(!x0.is_empty(), "cannot minimize a zero-dimensional function");
         let n = x0.len();
         let mut evals = 0usize;
-        let eval = |f: &mut F, x: &[f64], evals: &mut usize| -> f64 {
+        let eval = |f: &mut O, x: &[f64], evals: &mut usize| -> f64 {
             *evals += 1;
-            let v = f(x);
-            if v.is_nan() {
-                f64::INFINITY
-            } else {
-                v
-            }
+            sanitize(f.eval_scalar(x))
         };
+        let eval_batch =
+            |f: &mut O, points: &[Vec<f64>], evals: &mut usize| -> Vec<f64> {
+                *evals += points.len();
+                let mut raw = Vec::new();
+                f.eval_batch(points, &mut raw);
+                raw.iter().map(|&v| sanitize(v)).collect()
+            };
 
-        // Initial simplex: x0 plus one perturbed vertex per dimension.
+        // Initial simplex: x0 plus one perturbed vertex per dimension,
+        // evaluated as one batch of n + 1 candidates.
         let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
         simplex.push(x0.to_vec());
         for i in 0..n {
@@ -96,10 +125,7 @@ impl NelderMead {
             v[i] += scale;
             simplex.push(v);
         }
-        let mut values: Vec<f64> = simplex
-            .iter()
-            .map(|v| eval(f, v, &mut evals))
-            .collect();
+        let mut values: Vec<f64> = eval_batch(f, &simplex, &mut evals);
 
         let mut iterations = 0usize;
         let mut converged = false;
@@ -138,14 +164,21 @@ impl NelderMead {
                 *c /= n as f64;
             }
 
-            // Reflection.
-            let reflected = affine(&centroid, &simplex[worst], self.alpha);
-            let f_reflected = eval(f, &reflected, &mut evals);
+            // Reflection and expansion probes, submitted as one batch. The
+            // expansion value is only consulted when the reflection beats
+            // the best vertex (the classic rule), so the trajectory is the
+            // textbook one.
+            let probes = vec![
+                affine(&centroid, &simplex[worst], self.alpha),
+                affine(&centroid, &simplex[worst], self.gamma),
+            ];
+            let probe_values = eval_batch(f, &probes, &mut evals);
+            let mut probes = probes.into_iter();
+            let (reflected, expanded) =
+                (probes.next().expect("two probes"), probes.next().expect("two probes"));
+            let (f_reflected, f_expanded) = (probe_values[0], probe_values[1]);
 
             if f_reflected < values[best] {
-                // Expansion.
-                let expanded = affine(&centroid, &simplex[worst], self.gamma);
-                let f_expanded = eval(f, &expanded, &mut evals);
                 if f_expanded < f_reflected {
                     simplex[worst] = expanded;
                     values[worst] = f_expanded;
@@ -172,16 +205,26 @@ impl NelderMead {
                     simplex[worst] = contracted;
                     values[worst] = f_contracted;
                 } else {
-                    // Shrink towards the best vertex.
+                    // Shrink towards the best vertex: move the n non-best
+                    // vertices, then evaluate them as one batch.
                     let best_vertex = simplex[best].clone();
-                    for idx in 0..=n {
+                    let mut shrunk: Vec<Vec<f64>> = Vec::with_capacity(n);
+                    for (idx, vertex) in simplex.iter_mut().enumerate() {
                         if idx == best {
                             continue;
                         }
-                        for (v, b) in simplex[idx].iter_mut().zip(&best_vertex) {
+                        for (v, b) in vertex.iter_mut().zip(&best_vertex) {
                             *v = b + self.sigma * (*v - b);
                         }
-                        values[idx] = eval(f, &simplex[idx], &mut evals);
+                        shrunk.push(vertex.clone());
+                    }
+                    let shrunk_values = eval_batch(f, &shrunk, &mut evals);
+                    let mut shrunk_values = shrunk_values.into_iter();
+                    for (idx, value) in values.iter_mut().enumerate() {
+                        if idx == best {
+                            continue;
+                        }
+                        *value = shrunk_values.next().expect("one value per vertex");
                     }
                 }
             }

@@ -6,8 +6,10 @@
 //! after each sweep, which (for smooth functions) builds up a set of mutually
 //! conjugate directions without any derivative information.
 
-use crate::line_search::minimize_along;
+use crate::line_search::minimize_along_ray;
+use crate::objective::{FnObjective, Objective};
 use crate::result::{Minimum, OptimStats};
+use crate::sanitize_value as sanitize;
 
 /// Configuration and entry point for Powell's method.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,13 +62,29 @@ impl Powell {
     where
         F: FnMut(&[f64]) -> f64,
     {
+        self.minimize_objective(&mut FnObjective(f), x0)
+    }
+
+    /// Trait-based twin of [`minimize`](Self::minimize): the sweep loop
+    /// itself, written against the [`Objective`] protocol. Powell's method
+    /// is inherently sequential — every line search depends on the previous
+    /// one — so it uses the scalar entry point throughout; batch-capable
+    /// engines still win here through their per-call fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty.
+    pub fn minimize_objective<O>(&self, f: &mut O, x0: &[f64]) -> Minimum
+    where
+        O: Objective + ?Sized,
+    {
         assert!(!x0.is_empty(), "cannot minimize a zero-dimensional function");
         let n = x0.len();
         let mut evals = 0usize;
         let mut point = x0.to_vec();
         let mut value = {
             evals += 1;
-            sanitize(f(&point))
+            sanitize(f.eval_scalar(&point))
         };
 
         // Direction set: initially the coordinate axes.
@@ -132,7 +150,7 @@ impl Powell {
                 .collect();
             let f_extrapolated = {
                 evals += 1;
-                sanitize(f(&extrapolated))
+                sanitize(f.eval_scalar(&extrapolated))
             };
             if f_extrapolated < start_value {
                 let t = 2.0 * (start_value - 2.0 * value + f_extrapolated)
@@ -166,37 +184,16 @@ impl Powell {
     }
 
     /// Minimizes `f` along the ray `t ↦ point + t·direction`.
-    fn line_minimize<F>(
+    fn line_minimize<O>(
         &self,
-        f: &mut F,
+        f: &mut O,
         point: &[f64],
         direction: &[f64],
     ) -> (Vec<f64>, f64, usize)
     where
-        F: FnMut(&[f64]) -> f64,
+        O: Objective + ?Sized,
     {
-        let mut scratch = point.to_vec();
-        let mut g = |t: f64| {
-            for ((s, p), d) in scratch.iter_mut().zip(point).zip(direction) {
-                *s = p + t * d;
-            }
-            sanitize(f(&scratch))
-        };
-        let line = minimize_along(&mut g, self.initial_step, self.line_tolerance);
-        let new_point: Vec<f64> = point
-            .iter()
-            .zip(direction)
-            .map(|(p, d)| p + line.t * d)
-            .collect();
-        (new_point, line.value, line.evaluations)
-    }
-}
-
-fn sanitize(v: f64) -> f64 {
-    if v.is_nan() {
-        f64::INFINITY
-    } else {
-        v
+        minimize_along_ray(f, point, direction, self.initial_step, self.line_tolerance)
     }
 }
 

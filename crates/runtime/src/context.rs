@@ -45,8 +45,18 @@ pub struct ExecCtx {
     covered: BranchSet,
     /// Ordered decisions taken by this execution.
     trace: Trace,
-    /// Whether the trace is recorded (coverage is always recorded).
+    /// Whether the trace is recorded.
     record_trace: bool,
+    /// Whether the covered set is recorded. Disabled by the scalar fast
+    /// path of the objective engine, which only needs `r`.
+    record_coverage: bool,
+    /// Per-site saturation lookup table, indexed by `SiteId`. Built by
+    /// [`retarget`](Self::retarget) — i.e. by contexts that live across
+    /// many executions, such as the objective engine's — so each `branch`
+    /// call replaces two bitset probes with one indexed load. Empty (and
+    /// unused) on per-execution contexts, whose construction must stay
+    /// allocation-light. Sites past the end of the table are unsaturated.
+    site_saturation: Vec<SiteSaturation>,
 }
 
 impl ExecCtx {
@@ -60,6 +70,8 @@ impl ExecCtx {
             covered: BranchSet::new(),
             trace: Trace::new(),
             record_trace: true,
+            record_coverage: true,
+            site_saturation: Vec::new(),
         }
     }
 
@@ -76,6 +88,8 @@ impl ExecCtx {
             covered: BranchSet::new(),
             trace: Trace::new(),
             record_trace: true,
+            record_coverage: true,
+            site_saturation: Vec::new(),
         }
     }
 
@@ -94,6 +108,16 @@ impl ExecCtx {
     /// many millions of executions a fuzzing baseline performs.
     pub fn without_trace(mut self) -> ExecCtx {
         self.record_trace = false;
+        self
+    }
+
+    /// Disables covered-set recording as well. This is the objective
+    /// engine's scalar fast path: an evaluation that only needs `FOO_R(x)`
+    /// pays for neither the trace nor the per-branch coverage inserts —
+    /// `r` is unaffected, because `pen` reads only the saturation snapshot.
+    /// [`covered`](Self::covered) stays empty on such a context.
+    pub fn without_coverage(mut self) -> ExecCtx {
+        self.record_coverage = false;
         self
     }
 
@@ -116,16 +140,28 @@ impl ExecCtx {
         // The assignment to r happens *before* the conditional in the
         // instrumented program, so update r first.
         if self.mode == ExecMode::Representing {
-            let saturation = SiteSaturation {
-                true_saturated: self.saturated.contains(BranchId::true_of(site)),
-                false_saturated: self.saturated.contains(BranchId::false_of(site)),
+            let saturation = if self.site_saturation.is_empty() {
+                SiteSaturation {
+                    true_saturated: self.saturated.contains(BranchId::true_of(site)),
+                    false_saturated: self.saturated.contains(BranchId::false_of(site)),
+                }
+            } else {
+                // Retargeted (long-lived) context: one indexed load instead
+                // of two bitset probes. Sites past the table are
+                // unsaturated by construction.
+                self.site_saturation
+                    .get(site as usize)
+                    .copied()
+                    .unwrap_or_default()
             };
             self.r = pen(saturation, op, a, b, self.epsilon, self.r);
         }
 
         let outcome = op.eval(a, b);
         let direction = Direction::from_outcome(outcome);
-        self.covered.insert(BranchId { site, direction });
+        if self.record_coverage {
+            self.covered.insert(BranchId { site, direction });
+        }
         if self.record_trace {
             self.trace.push(TakenBranch {
                 site,
@@ -178,9 +214,40 @@ impl ExecCtx {
         self.r
     }
 
-    /// Branches covered by this execution.
+    /// Branches covered by this execution (empty if coverage recording is
+    /// disabled, see [`without_coverage`](Self::without_coverage)).
     pub fn covered(&self) -> &BranchSet {
         &self.covered
+    }
+
+    /// The saturation snapshot this context evaluates `pen` against (empty
+    /// in observe mode).
+    pub fn saturated(&self) -> &BranchSet {
+        &self.saturated
+    }
+
+    /// Replaces the saturation snapshot while keeping the mode, `ε` and the
+    /// recording flags. Together with [`reset`](Self::reset) this lets one
+    /// long-lived context serve every round of a search: the snapshot is
+    /// swapped (one clone per *round*) instead of a fresh context being
+    /// built per *evaluation*. Retargeting also indexes the snapshot into
+    /// the per-site saturation table consulted by [`branch`](Self::branch)
+    /// — an O(sites) cost paid once per round that removes two bitset
+    /// probes from every conditional of every subsequent execution.
+    pub fn retarget(&mut self, saturated: BranchSet) {
+        self.saturated = saturated;
+        self.site_saturation.clear();
+        if let Some(max_site) = self.saturated.iter().map(|b| b.site).max() {
+            self.site_saturation
+                .resize(max_site as usize + 1, SiteSaturation::default());
+            for branch in self.saturated.iter() {
+                let entry = &mut self.site_saturation[branch.site as usize];
+                match branch.direction {
+                    Direction::True => entry.true_saturated = true,
+                    Direction::False => entry.false_saturated = true,
+                }
+            }
+        }
     }
 
     /// The ordered decision trace of this execution (empty if disabled).
@@ -315,6 +382,50 @@ mod tests {
         // The saturation snapshot is retained.
         run_foo(&mut ctx, 0.0);
         assert!(ctx.representing_value() > 0.0);
+    }
+
+    #[test]
+    fn without_coverage_still_computes_r() {
+        let saturated: BranchSet = [BranchId::false_of(1)].into_iter().collect();
+        let mut fast = ExecCtx::representing(saturated.clone())
+            .without_trace()
+            .without_coverage();
+        let mut full = ExecCtx::representing(saturated);
+        for x in [-4.5, -0.5, 0.0, 0.7, 2.0, 10.0] {
+            fast.reset();
+            full.reset();
+            run_foo(&mut fast, x);
+            run_foo(&mut full, x);
+            assert_eq!(
+                fast.representing_value().to_bits(),
+                full.representing_value().to_bits(),
+                "x = {x}"
+            );
+            assert!(fast.covered().is_empty());
+            assert!(fast.trace().is_empty());
+        }
+    }
+
+    #[test]
+    fn retarget_swaps_the_snapshot_in_place() {
+        let mut ctx = ExecCtx::representing(BranchSet::new())
+            .without_trace()
+            .without_coverage();
+        run_foo(&mut ctx, 0.7);
+        // Nothing saturated: FOO_R ≡ 0.
+        assert_eq!(ctx.representing_value(), 0.0);
+
+        let saturated: BranchSet = [BranchId::false_of(1)].into_iter().collect();
+        ctx.retarget(saturated.clone());
+        assert_eq!(ctx.saturated(), &saturated);
+        ctx.reset();
+        run_foo(&mut ctx, 0.7);
+        let retargeted = ctx.representing_value();
+        // Against {1F} the value matches a freshly built context.
+        let mut fresh = ExecCtx::representing(saturated);
+        run_foo(&mut fresh, 0.7);
+        assert_eq!(retargeted.to_bits(), fresh.representing_value().to_bits());
+        assert!(retargeted > 0.0);
     }
 
     #[test]

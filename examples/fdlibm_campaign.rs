@@ -21,6 +21,11 @@
 //!   --budget SECS        wall-clock budget; unstarted functions are skipped
 //!   --n-start N          starting points per function (default 80)
 //!   --seed S             campaign master seed (default 42)
+//!   --json PATH          also write the CampaignReport as JSON to PATH
+//!                        (per-function coverage, evals, cache hits and
+//!                        evals/sec — the artifact the nightly CI job and
+//!                        the BENCH_campaign.json perf snapshot store);
+//!                        with --compare-shards the sharded run is written
 //!   names...             benchmark names (default: the full 40-function suite)
 //! ```
 
@@ -37,6 +42,7 @@ fn main() {
     let mut budget: Option<Duration> = None;
     let mut n_start = 80usize;
     let mut seed = 42u64;
+    let mut json_path: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
 
     let mut iter = args.into_iter();
@@ -58,6 +64,7 @@ fn main() {
             }
             "--n-start" => n_start = value_for("--n-start").parse().expect("--n-start N"),
             "--seed" => seed = value_for("--seed").parse().expect("--seed S"),
+            "--json" => json_path = Some(value_for("--json")),
             "--all" => {}
             other => names.push(other.to_string()),
         }
@@ -90,13 +97,26 @@ fn main() {
         Campaign::new(config).run(&inventory)
     };
 
+    let write_json = |report: &CampaignReport| {
+        if let Some(path) = &json_path {
+            std::fs::write(path, report.to_json())
+                .unwrap_or_else(|error| panic!("cannot write {path}: {error}"));
+            println!("wrote {path}");
+        }
+    };
+
     match compare_shards {
-        None => print!("{}", run(shards)),
+        None => {
+            let report = run(shards);
+            print!("{report}");
+            write_json(&report);
+        }
         Some(sharded) => {
             let baseline = run(1);
             print!("{baseline}");
             let report = run(sharded);
             print!("{report}");
+            write_json(&report);
             println!("shard speedup (1 -> {sharded} shards):");
             println!(
                 "{:<22} {:>9} {:>9} {:>9} {:>10}",
