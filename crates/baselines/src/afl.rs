@@ -27,7 +27,20 @@ const MAP_SIZE: usize = 1 << 16;
 /// Interesting 8/16/32-bit values AFL substitutes during its deterministic
 /// stages, reinterpreted here at the byte level of the double encoding.
 const INTERESTING: &[i64] = &[
-    -128, -1, 0, 1, 16, 32, 64, 100, 127, -32768, 32767, 65535, i32::MIN as i64, i32::MAX as i64,
+    -128,
+    -1,
+    0,
+    1,
+    16,
+    32,
+    64,
+    100,
+    127,
+    -32768,
+    32767,
+    65535,
+    i32::MIN as i64,
+    i32::MAX as i64,
 ];
 
 /// Configuration for the AFL-style fuzzer.

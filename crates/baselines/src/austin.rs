@@ -90,7 +90,14 @@ impl AustinTester {
                 break;
             };
             let before = coverage.covered_count();
-            self.search_target(program, target, &mut coverage, &mut executions, &mut rng, &started);
+            self.search_target(
+                program,
+                target,
+                &mut coverage,
+                &mut executions,
+                &mut rng,
+                &started,
+            );
             if coverage.covered_count() == before {
                 // The target resisted its budget; AUSTIN reports it as
                 // unreachable-for-now and moves on. Mark it by recording a
@@ -107,7 +114,14 @@ impl AustinTester {
             if self.exhausted(executions, &started) {
                 break;
             }
-            self.search_target(program, target, &mut coverage, &mut executions, &mut rng, &started);
+            self.search_target(
+                program,
+                target,
+                &mut coverage,
+                &mut executions,
+                &mut rng,
+                &started,
+            );
         }
 
         BaselineReport {
@@ -153,7 +167,8 @@ impl AustinTester {
             } else {
                 (0..arity).map(|_| rng.uniform(-1e6, 1e6)).collect()
             };
-            let mut current_fitness = self.evaluate(program, &current, target, coverage, executions);
+            let mut current_fitness =
+                self.evaluate(program, &current, target, coverage, executions);
             spent += 1;
             if current_fitness == 0.0 {
                 return;
@@ -289,9 +304,7 @@ mod tests {
 
     fn nested_program() -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
         FnProgram::new("nested", 2, 2, |input: &[f64], ctx: &mut ExecCtx| {
-            if ctx.branch(0, Cmp::Gt, input[0], 100.0)
-                && ctx.branch(1, Cmp::Le, input[1], -50.0)
-            {
+            if ctx.branch(0, Cmp::Gt, input[0], 100.0) && ctx.branch(1, Cmp::Le, input[1], -50.0) {
                 // both conditions must hold
             }
         })

@@ -11,7 +11,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_local_minimizer");
     group.sample_size(10);
     let b = by_name("tanh").unwrap();
-    for method in [LocalMethod::Powell, LocalMethod::NelderMead, LocalMethod::Compass] {
+    for method in [
+        LocalMethod::Powell,
+        LocalMethod::NelderMead,
+        LocalMethod::Compass,
+    ] {
         group.bench_function(method.name(), |bench| {
             bench.iter(|| {
                 let config = CoverMeConfig::default()

@@ -10,8 +10,14 @@
 //!   `CacheMode::Auto` (reused retargeted context, no coverage; memoized
 //!   only for branch-dense programs), on an all-distinct input stream —
 //!   the honest floor, since distinct points cannot hit the cache;
-//! * **batch** — the same stream through `Objective::eval_batch` in
-//!   chunks of 64;
+//! * **lane** — the same stream through the lane backend
+//!   (`Objective::eval_batch`) in chunks of the engine's
+//!   `Objective::preferred_batch` (the lane width): deferred-pen
+//!   recording per conditional, lockstep finalize per lane group;
+//! * **star** — the lane backend fed compass-probe-star-shaped batches of
+//!   4 candidates, the smallest batch the engine routes to the lanes
+//!   ([`coverme_runtime::MIN_LANE_BATCH`]) and the shape NM/compass submit
+//!   on the suite's 2-ary functions;
 //! * **hot** — a forced-on cache re-evaluating a small working set, the
 //!   shape of polish probes and of Powell re-searching lines from an
 //!   unmoved incumbent (real searches measure 16–34% of their calls as
@@ -23,8 +29,12 @@
 //! Run modes follow the vendored criterion convention:
 //!
 //! * `cargo bench -p coverme-bench --bench objective_engine` — measured
-//!   run; prints evals/sec per path and the engine/legacy speedup. This is
-//!   the PR smoke gate for regressions in the evaluation hot path.
+//!   run; prints evals/sec per path and the speedups. This feeds the PR
+//!   CI's regression gate;
+//! * `--json PATH` (after `--bench`) — additionally writes the measured
+//!   numbers as `BENCH_objective.json` for `scripts/bench_gate.py`, which
+//!   compares the machine-independent speedup ratios against the
+//!   committed `ci/bench_baseline.json`;
 //! * `cargo test` — single-pass smoke (tiny iteration counts) so the
 //!   target cannot rot unnoticed.
 
@@ -35,6 +45,11 @@ use coverme::objective::ObjectiveEngine;
 use coverme::{BranchId, BranchSet, Objective};
 use coverme_fdlibm::by_name;
 use coverme_runtime::{ExecCtx, Program, DEFAULT_EPSILON};
+
+/// The benchmarked functions: the suite's most branch-dense members (the
+/// auto-cache tier and its runners-up) plus two cheap-but-typical ones so
+/// the gate also watches the small-program regime.
+const FUNCTIONS: &[&str] = &["pow", "fmod", "expm1", "exp", "tanh", "sin"];
 
 /// A half-saturated snapshot: the true branch of every even site. A partly
 /// saturated set is the steady state of a real search and keeps `pen` on
@@ -64,7 +79,11 @@ fn inputs(arity: usize, count: usize) -> Vec<Vec<f64>> {
 
 /// Best-of-`reps` wall time of one pass of `routine` (fresh state per rep
 /// comes from the `setup` closure).
-fn best_of<S, F: FnMut(&mut S)>(reps: usize, mut setup: impl FnMut() -> S, mut routine: F) -> Duration {
+fn best_of<S, F: FnMut(&mut S)>(
+    reps: usize,
+    mut setup: impl FnMut() -> S,
+    mut routine: F,
+) -> Duration {
     let mut best = Duration::MAX;
     for _ in 0..reps {
         let mut state = setup();
@@ -75,26 +94,76 @@ fn best_of<S, F: FnMut(&mut S)>(reps: usize, mut setup: impl FnMut() -> S, mut r
     best
 }
 
-fn main() {
-    let measure = std::env::args().any(|a| a == "--bench");
-    let (point_count, reps) = if measure { (40_000, 7) } else { (64, 1) };
+/// Per-function measurement row, also serialized into the JSON artifact.
+struct Row {
+    name: &'static str,
+    sites: usize,
+    legacy: f64,
+    engine: f64,
+    lane: f64,
+    star: f64,
+    hot: f64,
+}
 
-    println!(
-        "{:<8} {:>13} {:>13} {:>13} {:>13} {:>9}",
-        "function", "legacy ev/s", "engine ev/s", "batch ev/s", "hot ev/s", "speedup"
-    );
+impl Row {
+    fn engine_speedup(&self) -> f64 {
+        self.engine / self.legacy.max(1e-12)
+    }
 
-    for name in ["pow", "sin", "tan", "tanh", "exp"] {
-        let benchmark = by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
-        let saturated = snapshot(Program::num_sites(&benchmark));
-        let epsilon = DEFAULT_EPSILON;
-        let points = inputs(Program::arity(&benchmark), point_count);
-        let evs = |d: Duration, n: usize| n as f64 / d.as_secs_f64().max(1e-12);
+    fn lane_speedup(&self) -> f64 {
+        self.lane / self.engine.max(1e-12)
+    }
 
-        // Pre-engine scalar path: fresh context + snapshot clone +
-        // coverage recording per evaluation.
-        let legacy = evs(
-            best_of(reps, || (), |_| {
+    fn star_speedup(&self) -> f64 {
+        self.star / self.engine.max(1e-12)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"function\": \"{}\",\n",
+                "      \"sites\": {},\n",
+                "      \"legacy_evals_per_sec\": {:.0},\n",
+                "      \"engine_evals_per_sec\": {:.0},\n",
+                "      \"lane_evals_per_sec\": {:.0},\n",
+                "      \"star_evals_per_sec\": {:.0},\n",
+                "      \"hot_evals_per_sec\": {:.0},\n",
+                "      \"engine_speedup_vs_legacy\": {:.4},\n",
+                "      \"lane_speedup_vs_engine\": {:.4},\n",
+                "      \"star_speedup_vs_engine\": {:.4}\n",
+                "    }}"
+            ),
+            self.name,
+            self.sites,
+            self.legacy,
+            self.engine,
+            self.lane,
+            self.star,
+            self.hot,
+            self.engine_speedup(),
+            self.lane_speedup(),
+            self.star_speedup(),
+        )
+    }
+}
+
+fn measure(name: &'static str, measure_mode: bool) -> Row {
+    let benchmark = by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let sites = Program::num_sites(&benchmark);
+    let saturated = snapshot(sites);
+    let epsilon = DEFAULT_EPSILON;
+    let (point_count, reps) = if measure_mode { (40_000, 7) } else { (64, 1) };
+    let points = inputs(Program::arity(&benchmark), point_count);
+    let evs = |d: Duration, n: usize| n as f64 / d.as_secs_f64().max(1e-12);
+
+    // Pre-engine scalar path: fresh context + snapshot clone + coverage
+    // recording per evaluation.
+    let legacy = evs(
+        best_of(
+            reps,
+            || (),
+            |_| {
                 let mut sink = 0.0;
                 for x in &points {
                     let mut ctx = ExecCtx::representing(saturated.clone())
@@ -104,94 +173,169 @@ fn main() {
                     sink += ctx.representing_value();
                 }
                 black_box(sink);
-            }),
-            points.len(),
-        );
+            },
+        ),
+        points.len(),
+    );
 
-        // Engine fast path, default (Auto) cache policy, all-distinct
-        // points: the miss path is the whole story.
-        let fresh_engine = || {
-            let mut engine = ObjectiveEngine::new(&benchmark, epsilon);
-            engine.retarget(&saturated);
-            engine
-        };
-        let engine = evs(
-            best_of(reps, fresh_engine, |engine| {
+    // Engine fast path, default (Auto) cache policy, all-distinct points:
+    // the miss path is the whole story.
+    let fresh_engine = || {
+        let mut engine = ObjectiveEngine::new(&benchmark, epsilon);
+        engine.retarget(&saturated);
+        engine
+    };
+    let engine = evs(
+        best_of(reps, fresh_engine, |engine| {
+            let mut sink = 0.0;
+            for x in &points {
+                sink += engine.eval_scalar(black_box(x));
+            }
+            black_box(sink);
+        }),
+        points.len(),
+    );
+
+    // Lane path: the same stream chunked at the engine's preferred batch
+    // granularity (the lane width) — the chunk size a free batch producer
+    // should pick.
+    let lane = evs(
+        best_of(reps, fresh_engine, |engine| {
+            let chunk_size = engine.preferred_batch();
+            let mut values = Vec::with_capacity(chunk_size);
+            for chunk in points.chunks(chunk_size) {
+                values.clear();
+                engine.eval_batch(chunk, &mut values);
+                black_box(&values);
+            }
+        }),
+        points.len(),
+    );
+
+    // Probe-star shape: batches of 4, the smallest lane-dispatched batch.
+    let star = evs(
+        best_of(reps, fresh_engine, |engine| {
+            let mut values = Vec::with_capacity(4);
+            for chunk in points.chunks(4) {
+                values.clear();
+                engine.eval_batch(chunk, &mut values);
+                black_box(&values);
+            }
+        }),
+        points.len(),
+    );
+
+    // Hot working set through a forced-on cache: almost every call is a
+    // hit after the first pass.
+    let hot_set: Vec<Vec<f64>> = points.iter().take(8).cloned().collect();
+    let hot_passes = if measure_mode { 2000 } else { 4 };
+    let hot = evs(
+        best_of(
+            reps,
+            || {
+                let mut engine = ObjectiveEngine::new(&benchmark, epsilon).with_cache(true);
+                engine.retarget(&saturated);
+                engine
+            },
+            |engine| {
                 let mut sink = 0.0;
-                for x in &points {
-                    sink += engine.eval_scalar(black_box(x));
+                for _ in 0..hot_passes {
+                    for x in &hot_set {
+                        sink += engine.eval_scalar(black_box(x));
+                    }
                 }
                 black_box(sink);
-            }),
-            points.len(),
-        );
+            },
+        ),
+        hot_set.len() * hot_passes,
+    );
 
-        // Batch path: the same stream submitted in chunks of 64.
-        let batch = evs(
-            best_of(reps, fresh_engine, |engine| {
-                let mut values = Vec::with_capacity(64);
-                for chunk in points.chunks(64) {
-                    values.clear();
-                    engine.eval_batch(chunk, &mut values);
-                    black_box(&values);
-                }
-            }),
-            points.len(),
+    // Whatever the timings, the paths must agree bit for bit.
+    let mut check_engine = ObjectiveEngine::new(&benchmark, epsilon).with_cache(true);
+    check_engine.retarget(&saturated);
+    let mut lane_engine = ObjectiveEngine::new(&benchmark, epsilon).with_cache(false);
+    lane_engine.retarget(&saturated);
+    let mut lane_values = Vec::new();
+    lane_engine.eval_lanes(&points[..16.min(points.len())], &mut lane_values);
+    for (x, lane_value) in points.iter().zip(&lane_values) {
+        let mut ctx = ExecCtx::representing(saturated.clone())
+            .with_epsilon(epsilon)
+            .without_trace();
+        benchmark.execute(x, &mut ctx);
+        assert_eq!(
+            check_engine.eval_scalar(x).to_bits(),
+            ctx.representing_value().to_bits(),
+            "engine diverged from the legacy path on {name} at {x:?}"
         );
-
-        // Hot working set through a forced-on cache: almost every call is
-        // a hit after the first pass.
-        let hot_set: Vec<Vec<f64>> = points.iter().take(8).cloned().collect();
-        let hot_passes = if measure { 2000 } else { 4 };
-        let hot = evs(
-            best_of(
-                reps,
-                || {
-                    let mut engine =
-                        ObjectiveEngine::new(&benchmark, epsilon).with_cache(true);
-                    engine.retarget(&saturated);
-                    engine
-                },
-                |engine| {
-                    let mut sink = 0.0;
-                    for _ in 0..hot_passes {
-                        for x in &hot_set {
-                            sink += engine.eval_scalar(black_box(x));
-                        }
-                    }
-                    black_box(sink);
-                },
-            ),
-            hot_set.len() * hot_passes,
+        assert_eq!(
+            lane_value.to_bits(),
+            ctx.representing_value().to_bits(),
+            "lane path diverged from the legacy path on {name} at {x:?}"
         );
-
-        println!(
-            "{:<8} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>8.2}x",
-            name,
-            legacy,
-            engine,
-            batch,
-            hot,
-            engine / legacy.max(1e-12),
-        );
-
-        // Whatever the timings, the paths must agree bit for bit.
-        let mut check_engine = ObjectiveEngine::new(&benchmark, epsilon).with_cache(true);
-        check_engine.retarget(&saturated);
-        for x in points.iter().take(16) {
-            let mut ctx = ExecCtx::representing(saturated.clone())
-                .with_epsilon(epsilon)
-                .without_trace();
-            benchmark.execute(x, &mut ctx);
-            assert_eq!(
-                check_engine.eval_scalar(x).to_bits(),
-                ctx.representing_value().to_bits(),
-                "engine diverged from the legacy path on {name} at {x:?}"
-            );
-        }
     }
 
-    if !measure {
+    Row {
+        name,
+        sites,
+        legacy,
+        engine,
+        lane,
+        star,
+        hot,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let measure_mode = args.iter().any(|a| a == "--bench");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+
+    println!(
+        "{:<8} {:>6} {:>13} {:>13} {:>13} {:>13} {:>13} {:>9} {:>9}",
+        "function",
+        "sites",
+        "legacy ev/s",
+        "engine ev/s",
+        "lane ev/s",
+        "star ev/s",
+        "hot ev/s",
+        "engine x",
+        "lane x"
+    );
+
+    let mut rows = Vec::new();
+    for name in FUNCTIONS {
+        let row = measure(name, measure_mode);
+        println!(
+            "{:<8} {:>6} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>8.2}x {:>8.2}x",
+            row.name,
+            row.sites,
+            row.legacy,
+            row.engine,
+            row.lane,
+            row.star,
+            row.hot,
+            row.engine_speedup(),
+            row.lane_speedup(),
+        );
+        rows.push(row);
+    }
+
+    if let Some(path) = json_path {
+        let body: Vec<String> = rows.iter().map(Row::to_json).collect();
+        let json = format!(
+            "{{\n  \"schema\": 1,\n  \"bench\": \"objective_engine\",\n  \"measured\": {},\n  \"functions\": [\n{}\n  ]\n}}\n",
+            measure_mode,
+            body.join(",\n")
+        );
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    if !measure_mode {
         println!("(smoke mode: timings above are not meaningful; run with cargo bench)");
     }
 }

@@ -5,7 +5,13 @@ use coverme_optim::{BasinHopping, LocalMethod, Powell};
 
 fn main() {
     // Fig. 2(a): lambda x. x <= 1 ? 0 : (x-1)^2 — a local method suffices.
-    let mut fa = |p: &[f64]| if p[0] <= 1.0 { 0.0 } else { (p[0] - 1.0).powi(2) };
+    let mut fa = |p: &[f64]| {
+        if p[0] <= 1.0 {
+            0.0
+        } else {
+            (p[0] - 1.0).powi(2)
+        }
+    };
     let local = Powell::new().minimize(&mut fa, &[5.0]);
     println!(
         "Fig 2(a): Powell from x0=5.0      -> x* = {:.6}, f(x*) = {:.3e} ({} evals)",

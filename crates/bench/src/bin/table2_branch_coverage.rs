@@ -22,16 +22,20 @@ fn main() {
     let benchmarks = if selected.is_empty() {
         all()
     } else {
-        selected
-            .iter()
-            .filter_map(|name| by_name(name))
-            .collect()
+        selected.iter().filter_map(|name| by_name(name)).collect()
     };
 
     if !series {
         println!(
             "{:<22} {:>9} {:>10} {:>9} {:>9} {:>9} {:>11} {:>11}",
-            "Function", "#Branches", "Time(s)", "Rand(%)", "AFL(%)", "CoverMe(%)", "vs Rand", "vs AFL"
+            "Function",
+            "#Branches",
+            "Time(s)",
+            "Rand(%)",
+            "AFL(%)",
+            "CoverMe(%)",
+            "vs Rand",
+            "vs AFL"
         );
     }
     let mut rand_pcts = Vec::new();

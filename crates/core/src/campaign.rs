@@ -294,7 +294,13 @@ impl CampaignReport {
         out.push_str("  \"schema\": \"coverme-campaign-report/1\",\n");
         push_json_number(&mut out, "  ", "workers", self.workers as f64, true);
         push_json_number(&mut out, "  ", "shards", self.shards as f64, true);
-        push_json_number(&mut out, "  ", "wall_time_s", self.wall_time.as_secs_f64(), true);
+        push_json_number(
+            &mut out,
+            "  ",
+            "wall_time_s",
+            self.wall_time.as_secs_f64(),
+            true,
+        );
         push_json_number(&mut out, "  ", "completed", self.completed() as f64, true);
         push_json_number(&mut out, "  ", "skipped", self.skipped() as f64, true);
         push_json_number(
@@ -318,8 +324,20 @@ impl CampaignReport {
             self.mean_branch_coverage_percent(),
             true,
         );
-        push_json_number(&mut out, "  ", "total_evaluations", self.total_evaluations() as f64, true);
-        push_json_number(&mut out, "  ", "total_cache_hits", self.total_cache_hits() as f64, true);
+        push_json_number(
+            &mut out,
+            "  ",
+            "total_evaluations",
+            self.total_evaluations() as f64,
+            true,
+        );
+        push_json_number(
+            &mut out,
+            "  ",
+            "total_cache_hits",
+            self.total_cache_hits() as f64,
+            true,
+        );
         push_json_number(
             &mut out,
             "  ",
@@ -334,7 +352,13 @@ impl CampaignReport {
             push_json_escaped(&mut out, &result.name);
             out.push_str("\",\n");
             push_json_bool(&mut out, "      ", "completed", result.completed(), true);
-            push_json_number(&mut out, "      ", "shards_run", result.shards_run as f64, true);
+            push_json_number(
+                &mut out,
+                "      ",
+                "shards_run",
+                result.shards_run as f64,
+                true,
+            );
             match &result.report {
                 Some(report) => {
                     push_json_number(
@@ -358,9 +382,21 @@ impl CampaignReport {
                         report.branch_coverage_percent(),
                         true,
                     );
-                    push_json_number(&mut out, "      ", "inputs", report.inputs.len() as f64, true);
+                    push_json_number(
+                        &mut out,
+                        "      ",
+                        "inputs",
+                        report.inputs.len() as f64,
+                        true,
+                    );
                     push_json_number(&mut out, "      ", "evals", report.evaluations as f64, true);
-                    push_json_number(&mut out, "      ", "cache_hits", report.cache_hits as f64, true);
+                    push_json_number(
+                        &mut out,
+                        "      ",
+                        "cache_hits",
+                        report.cache_hits as f64,
+                        true,
+                    );
                     push_json_number(
                         &mut out,
                         "      ",
@@ -392,15 +428,15 @@ impl CampaignReport {
 
     /// `(covered, total)` branch counts summed over completed functions.
     fn branch_totals(&self) -> (usize, usize) {
-        self.results
-            .iter()
-            .filter_map(|r| r.report.as_ref())
-            .fold((0, 0), |(covered, total), report| {
+        self.results.iter().filter_map(|r| r.report.as_ref()).fold(
+            (0, 0),
+            |(covered, total), report| {
                 (
                     covered + report.coverage.covered_count(),
                     total + report.coverage.total_branches(),
                 )
-            })
+            },
+        )
     }
 }
 
@@ -409,7 +445,14 @@ impl std::fmt::Display for CampaignReport {
         writeln!(
             f,
             "{:<22} {:>9} {:>9} {:>12} {:>10} {:>10} {:>9} {:>10}",
-            "function", "#branches", "#inputs", "coverage(%)", "evals", "hits", "evals/s", "time(s)"
+            "function",
+            "#branches",
+            "#inputs",
+            "coverage(%)",
+            "evals",
+            "hits",
+            "evals/s",
+            "time(s)"
         )?;
         for result in &self.results {
             match &result.report {
@@ -568,7 +611,8 @@ impl Campaign {
         // subset campaign reproduces the full campaign's rows (position
         // independence); duplicates still get distinct seeds.
         let occurrences: Vec<usize> = {
-            let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+            let mut counts: std::collections::HashMap<String, usize> =
+                std::collections::HashMap::new();
             inventory
                 .iter()
                 .map(|program| {
@@ -631,7 +675,12 @@ impl Campaign {
                     // The paper's setup: a single whole-budget search, passed
                     // through without representative-input reselection so the
                     // campaign reproduces a standalone `CoverMe::run` exactly.
-                    Some(outcomes.pop().expect("non-empty").into_report(program.name()))
+                    Some(
+                        outcomes
+                            .pop()
+                            .expect("non-empty")
+                            .into_report(program.name()),
+                    )
                 } else {
                     Some(merge_shards(program.name(), outcomes).report)
                 };
@@ -798,13 +847,11 @@ mod tests {
     fn sharded_campaign_covers_at_least_the_unsharded_one() {
         let programs = inventory();
         let base = || quick_base().n_start(64);
-        let unsharded =
-            Campaign::new(CampaignConfig::new().base(base()).workers(2)).run(&programs);
+        let unsharded = Campaign::new(CampaignConfig::new().base(base()).workers(2)).run(&programs);
         for shards in [2usize, 4] {
-            let sharded = Campaign::new(
-                CampaignConfig::new().base(base()).shards(shards).workers(2),
-            )
-            .run(&programs);
+            let sharded =
+                Campaign::new(CampaignConfig::new().base(base()).shards(shards).workers(2))
+                    .run(&programs);
             for (a, b) in unsharded.results.iter().zip(&sharded.results) {
                 let (a, b) = (a.report.as_ref().unwrap(), b.report.as_ref().unwrap());
                 assert!(
@@ -847,8 +894,7 @@ mod tests {
         let full =
             Campaign::new(CampaignConfig::new().base(quick_base()).workers(2)).run(&programs);
         let subset = vec![inventory().remove(2)];
-        let alone =
-            Campaign::new(CampaignConfig::new().base(quick_base()).workers(2)).run(&subset);
+        let alone = Campaign::new(CampaignConfig::new().base(quick_base()).workers(2)).run(&subset);
         let (full_gamma, lone_gamma) = (
             full.results[2].report.as_ref().unwrap(),
             alone.results[0].report.as_ref().unwrap(),
@@ -928,7 +974,10 @@ mod tests {
         let report =
             Campaign::new(CampaignConfig::new().base(quick_base()).workers(2)).run(&programs);
         assert_eq!(report.completed(), 2);
-        assert!(report.results.iter().all(|r| r.branch_coverage_percent().is_none()));
+        assert!(report
+            .results
+            .iter()
+            .all(|r| r.branch_coverage_percent().is_none()));
         let mean = report.mean_branch_coverage_percent();
         assert!(!mean.is_nan(), "mean must not be NaN");
         assert_eq!(mean, 100.0);
@@ -1005,7 +1054,10 @@ mod tests {
             Campaign::new(CampaignConfig::new().base(quick_base()).workers(2)).run(&programs);
         let a = report.results[0].report.as_ref().unwrap();
         let b = report.results[1].report.as_ref().unwrap();
-        assert_ne!(a.inputs, b.inputs, "same-named entries ran identical searches");
+        assert_ne!(
+            a.inputs, b.inputs,
+            "same-named entries ran identical searches"
+        );
     }
 
     #[test]
@@ -1037,14 +1089,17 @@ mod tests {
         // Force memoization on: the toy programs are far below the Auto
         // threshold, and this test is about the telemetry plumbing.
         let base = quick_base().cache(crate::objective::CacheMode::On);
-        let report =
-            Campaign::new(CampaignConfig::new().base(base).workers(2)).run(&programs);
+        let report = Campaign::new(CampaignConfig::new().base(base).workers(2)).run(&programs);
         assert!(report.total_evaluations() > 0);
         let summed: usize = report.results.iter().map(FunctionResult::evaluations).sum();
         assert_eq!(report.total_evaluations(), summed);
         // The quick toy searches revisit points (line searches re-probe the
         // incumbent), so the cache must have fired at least once.
-        assert!(report.total_cache_hits() > 0, "no cache hit in {} evals", summed);
+        assert!(
+            report.total_cache_hits() > 0,
+            "no cache hit in {} evals",
+            summed
+        );
         assert!(report.suite_evals_per_second() > 0.0);
         let text = report.to_string();
         assert!(text.contains("evals/s"));
@@ -1115,7 +1170,10 @@ mod tests {
         // Sharding multiplies the unit count, so one heavy function can
         // still fan out over several workers.
         assert_eq!(
-            CampaignConfig::new().workers(8).shards(4).effective_workers(1),
+            CampaignConfig::new()
+                .workers(8)
+                .shards(4)
+                .effective_workers(1),
             4
         );
         // The minimum-rounds floor caps how finely a small budget splits,

@@ -273,7 +273,10 @@ impl CoverMe {
     /// produces, just without the wall-clock speedup.
     pub fn run<P: Program>(&self, program: &P) -> TestReport {
         let shards = self.config.effective_shards();
-        let config = CoverMeConfig { shards, ..self.config.clone() };
+        let config = CoverMeConfig {
+            shards,
+            ..self.config.clone()
+        };
         if shards == 1 {
             return run_shard(&config, program, 0).into_report(program.name());
         }
@@ -295,7 +298,10 @@ impl CoverMe {
         if shards == 1 {
             return self.run(program);
         }
-        let config = CoverMeConfig { shards, ..self.config.clone() };
+        let config = CoverMeConfig {
+            shards,
+            ..self.config.clone()
+        };
         let config = &config;
         let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shards)
@@ -415,9 +421,7 @@ mod tests {
         let plain = CoverMe::new(quick_config()).run(&paper_example());
         let extended =
             CoverMe::new(quick_config().record_search_coverage(true)).run(&paper_example());
-        assert!(
-            extended.coverage.covered_count() >= plain.coverage.covered_count()
-        );
+        assert!(extended.coverage.covered_count() >= plain.coverage.covered_count());
     }
 
     #[test]
@@ -483,8 +487,7 @@ mod tests {
     fn sharded_run_never_covers_less_than_unsharded() {
         for shards in [2usize, 3, 4] {
             let unsharded = CoverMe::new(quick_config()).run(&infeasible_example());
-            let sharded =
-                CoverMe::new(quick_config().shards(shards)).run(&infeasible_example());
+            let sharded = CoverMe::new(quick_config().shards(shards)).run(&infeasible_example());
             assert!(
                 sharded.coverage.covered_count() >= unsharded.coverage.covered_count(),
                 "{shards} shards covered {} < {}",
@@ -496,9 +499,27 @@ mod tests {
 
     #[test]
     fn effective_shards_keeps_a_minimum_round_slice() {
-        assert_eq!(CoverMeConfig::default().n_start(40).shards(4).effective_shards(), 2);
-        assert_eq!(CoverMeConfig::default().n_start(80).shards(4).effective_shards(), 4);
-        assert_eq!(CoverMeConfig::default().n_start(8).shards(4).effective_shards(), 1);
+        assert_eq!(
+            CoverMeConfig::default()
+                .n_start(40)
+                .shards(4)
+                .effective_shards(),
+            2
+        );
+        assert_eq!(
+            CoverMeConfig::default()
+                .n_start(80)
+                .shards(4)
+                .effective_shards(),
+            4
+        );
+        assert_eq!(
+            CoverMeConfig::default()
+                .n_start(8)
+                .shards(4)
+                .effective_shards(),
+            1
+        );
         assert_eq!(CoverMeConfig::default().shards(0).effective_shards(), 1);
         // The paper's full budget splits comfortably.
         assert_eq!(CoverMeConfig::default().shards(16).effective_shards(), 16);

@@ -49,7 +49,7 @@
 //! `eval_full` before the driver consumes it.
 
 use coverme_optim::Objective;
-use coverme_runtime::{BranchSet, ExecCtx, Program};
+use coverme_runtime::{BranchSet, ExecCtx, LaneCtx, Program, LANE_WIDTH, MIN_LANE_BATCH};
 
 use crate::representing::Evaluation;
 
@@ -217,6 +217,29 @@ pub struct ObjectiveEngine<P> {
     /// die in O(1).
     epoch: u64,
     telemetry: EngineTelemetry,
+    /// The lane backend: deferred-penalty recording plus lockstep finalize
+    /// (see [`coverme_runtime::lane`]). Engaged by batches of at least
+    /// [`MIN_LANE_BATCH`] points; smaller batches and scalar calls keep the
+    /// eager fast path, whose per-call overhead they already amortize.
+    lane: LaneCtx,
+    /// Bookkeeping of the batch points that missed the cache and were
+    /// packed into lanes: output index plus (when caching) the slot/key to
+    /// seed after the finalize. Reused across batches, allocation-free in
+    /// steady state.
+    lane_misses: Vec<LaneMiss>,
+    /// Scratch buffer the lane finalize writes into before the values are
+    /// scattered back to their output positions.
+    lane_values: Vec<f64>,
+}
+
+/// One cache-missing point of an in-flight lane batch.
+#[derive(Debug, Clone, Copy)]
+struct LaneMiss {
+    /// Position of the point within the submitted batch.
+    index: usize,
+    /// Cache slot and key to seed with the finalized value, when the
+    /// engine memoizes.
+    keyed: Option<(usize, CacheKey)>,
 }
 
 impl<P: Program> ObjectiveEngine<P> {
@@ -240,6 +263,9 @@ impl<P: Program> ObjectiveEngine<P> {
             cache_slots: DEFAULT_CACHE_SLOTS,
             epoch: 1,
             telemetry: EngineTelemetry::default(),
+            lane: LaneCtx::new(BranchSet::new()).with_epsilon(epsilon),
+            lane_misses: Vec::new(),
+            lane_values: Vec::new(),
         };
         engine.cache_mode(CacheMode::Auto)
     }
@@ -263,7 +289,11 @@ impl<P: Program> ObjectiveEngine<P> {
     /// Convenience for [`cache_mode`](Self::cache_mode):
     /// `true` → [`CacheMode::On`], `false` → [`CacheMode::Off`].
     pub fn with_cache(self, enabled: bool) -> Self {
-        self.cache_mode(if enabled { CacheMode::On } else { CacheMode::Off })
+        self.cache_mode(if enabled {
+            CacheMode::On
+        } else {
+            CacheMode::Off
+        })
     }
 
     /// Overrides the memo-table slot count (rounded up to a power of two;
@@ -319,6 +349,7 @@ impl<P: Program> ObjectiveEngine<P> {
             return;
         }
         self.ctx.retarget(saturated.clone());
+        self.lane.retarget(saturated.clone());
         self.epoch += 1;
     }
 
@@ -327,13 +358,10 @@ impl<P: Program> ObjectiveEngine<P> {
     pub fn eval_scalar(&mut self, x: &[f64]) -> f64 {
         self.telemetry.calls += 1;
         // Hash once; probe and (on a miss) insert share the slot index.
-        let keyed = self
-            .cache
-            .as_ref()
-            .map(|cache| {
-                let key = cache_key(x);
-                (cache.slot_of(&key), key)
-            });
+        let keyed = self.cache.as_ref().map(|cache| {
+            let key = cache_key(x);
+            (cache.slot_of(&key), key)
+        });
         if let (Some(cache), Some((slot, key))) = (&self.cache, &keyed) {
             if let Some(value) = cache.get_at(*slot, key, self.epoch) {
                 self.telemetry.cache_hits += 1;
@@ -348,6 +376,71 @@ impl<P: Program> ObjectiveEngine<P> {
             cache.insert_at(slot, key, value, self.epoch);
         }
         value
+    }
+
+    /// Evaluates a whole batch through the lane backend
+    /// ([`coverme_runtime::LaneCtx`]): points are probed against the memo
+    /// cache first, the misses are packed into [`LANE_WIDTH`]-wide lanes
+    /// (each lane one deferred-penalty execution — a pen-code gather per
+    /// conditional instead of a distance computation), and every full lane
+    /// group is finalized in one lockstep pass. Values land at their input
+    /// positions in `values` (appended, not cleared), bit-for-bit equal to
+    /// sequential [`eval_scalar`](Self::eval_scalar) answers.
+    ///
+    /// One observable difference from the scalar *loop* exists in the
+    /// telemetry only: a point duplicated within one batch is evaluated
+    /// per occurrence (its first value is not yet cached when the second
+    /// occurrence is probed), so `evals`/`cache_hits` may split differently
+    /// — `calls`, the values, and every search result are identical.
+    pub fn eval_lanes(&mut self, points: &[Vec<f64>], values: &mut Vec<f64>) {
+        self.telemetry.calls += points.len() as u64;
+        let base = values.len();
+        values.resize(base + points.len(), 0.0);
+        self.lane_misses.clear();
+        for (index, point) in points.iter().enumerate() {
+            // Memo probe per lane before packing, same single-hash protocol
+            // as the scalar path.
+            let keyed = self.cache.as_ref().map(|cache| {
+                let key = cache_key(point);
+                (cache.slot_of(&key), key)
+            });
+            if let (Some(cache), Some((slot, key))) = (&self.cache, &keyed) {
+                if let Some(value) = cache.get_at(*slot, key, self.epoch) {
+                    self.telemetry.cache_hits += 1;
+                    values[base + index] = value;
+                    continue;
+                }
+            }
+            self.telemetry.evals += 1;
+            self.lane.record(&self.program, point);
+            self.lane_misses.push(LaneMiss { index, keyed });
+            if self.lane.is_full() {
+                self.flush_lanes(values, base);
+            }
+        }
+        self.flush_lanes(values, base);
+    }
+
+    /// Finalizes the in-flight lane group: resolves the recorded lanes in
+    /// lockstep, scatters the values to their batch positions, and seeds
+    /// the memo cache with each miss.
+    fn flush_lanes(&mut self, values: &mut [f64], base: usize) {
+        if self.lane_misses.is_empty() {
+            return;
+        }
+        self.lane_values.clear();
+        self.lane.finalize_into(&mut self.lane_values);
+        debug_assert_eq!(self.lane_values.len(), self.lane_misses.len());
+        for (miss, value) in self
+            .lane_misses
+            .drain(..)
+            .zip(self.lane_values.iter().copied())
+        {
+            values[base + miss.index] = value;
+            if let (Some(cache), Some((slot, key))) = (&mut self.cache, miss.keyed) {
+                cache.insert_at(slot, key, value, self.epoch);
+            }
+        }
     }
 
     /// Evaluates `FOO_R(x)` keeping the covered branches and the decision
@@ -379,16 +472,26 @@ impl<P: Program> Objective for ObjectiveEngine<P> {
         ObjectiveEngine::eval_scalar(self, x)
     }
 
-    /// The batch seam: today this drives the scalar fast path per
-    /// candidate (context reuse and the cache already amortize the setup a
-    /// fresh-context evaluation would pay per call); a SIMD or parallel
-    /// backend replaces this body without touching any minimizer.
+    /// The batch seam, now backed by the lane backend: batches of at least
+    /// [`MIN_LANE_BATCH`] points go through
+    /// [`eval_lanes`](ObjectiveEngine::eval_lanes) (deferred-penalty
+    /// recording, lockstep finalize); smaller batches — where the per-batch
+    /// setup would outweigh the deferred savings — keep the scalar fast
+    /// path. Either way the values are bit-for-bit those of sequential
+    /// scalar evaluation, in the same order.
     fn eval_batch(&mut self, points: &[Vec<f64>], values: &mut Vec<f64>) {
+        if points.len() >= MIN_LANE_BATCH {
+            return ObjectiveEngine::eval_lanes(self, points, values);
+        }
         values.reserve(points.len());
         for point in points {
             let value = ObjectiveEngine::eval_scalar(self, point);
             values.push(value);
         }
+    }
+
+    fn preferred_batch(&self) -> usize {
+        LANE_WIDTH
     }
 }
 
@@ -404,7 +507,10 @@ impl<P: Program> Objective for ObjectiveEngine<P> {
 /// Panics if `x` is wider than [`MAX_CACHED_ARITY`]; callers gate on the
 /// arity when constructing the cache.
 fn cache_key(x: &[f64]) -> CacheKey {
-    assert!(x.len() <= MAX_CACHED_ARITY, "input too wide for the cache key");
+    assert!(
+        x.len() <= MAX_CACHED_ARITY,
+        "input too wide for the cache key"
+    );
     let mut key = [0u64; MAX_CACHED_ARITY];
     for (slot, value) in key.iter_mut().zip(x) {
         *slot = value.to_bits();
@@ -470,8 +576,7 @@ mod tests {
 
     #[test]
     fn cache_hits_skip_executions_without_changing_values() {
-        let mut engine =
-            ObjectiveEngine::new(paper_example(), DEFAULT_EPSILON).with_cache(true);
+        let mut engine = ObjectiveEngine::new(paper_example(), DEFAULT_EPSILON).with_cache(true);
         engine.retarget(&snapshot_1f());
         let first = engine.eval_scalar(&[0.3]);
         let t = engine.telemetry();
@@ -485,8 +590,7 @@ mod tests {
 
     #[test]
     fn retarget_to_a_new_snapshot_invalidates_the_cache() {
-        let mut engine =
-            ObjectiveEngine::new(paper_example(), DEFAULT_EPSILON).with_cache(true);
+        let mut engine = ObjectiveEngine::new(paper_example(), DEFAULT_EPSILON).with_cache(true);
         // Against the empty snapshot FOO_R ≡ 0.
         assert_eq!(engine.eval_scalar(&[0.3]), 0.0);
         assert_eq!(engine.cache_len(), 1);
@@ -499,8 +603,7 @@ mod tests {
 
     #[test]
     fn retarget_to_the_same_snapshot_keeps_the_cache() {
-        let mut engine =
-            ObjectiveEngine::new(paper_example(), DEFAULT_EPSILON).with_cache(true);
+        let mut engine = ObjectiveEngine::new(paper_example(), DEFAULT_EPSILON).with_cache(true);
         engine.retarget(&snapshot_1f());
         let _ = engine.eval_scalar(&[0.3]);
         assert_eq!(engine.cache_len(), 1);
@@ -512,8 +615,7 @@ mod tests {
 
     #[test]
     fn eval_full_seeds_the_scalar_cache() {
-        let mut engine =
-            ObjectiveEngine::new(paper_example(), DEFAULT_EPSILON).with_cache(true);
+        let mut engine = ObjectiveEngine::new(paper_example(), DEFAULT_EPSILON).with_cache(true);
         engine.retarget(&snapshot_1f());
         let full = engine.eval_full(&[2.0]);
         let scalar = engine.eval_scalar(&[2.0]);
@@ -539,10 +641,8 @@ mod tests {
 
     #[test]
     fn disabled_cache_never_hits_but_agrees() {
-        let mut cached =
-            ObjectiveEngine::new(paper_example(), DEFAULT_EPSILON).with_cache(true);
-        let mut uncached =
-            ObjectiveEngine::new(paper_example(), DEFAULT_EPSILON).with_cache(false);
+        let mut cached = ObjectiveEngine::new(paper_example(), DEFAULT_EPSILON).with_cache(true);
+        let mut uncached = ObjectiveEngine::new(paper_example(), DEFAULT_EPSILON).with_cache(false);
         cached.retarget(&snapshot_1f());
         uncached.retarget(&snapshot_1f());
         for x in [0.3, 0.3, 2.0, 2.0, -0.5] {

@@ -16,7 +16,7 @@
 
 use std::cell::RefCell;
 
-use coverme_runtime::{BranchSet, ExecCtx, Program, Trace};
+use coverme_runtime::{BranchSet, ExecCtx, LaneCtx, Program, Trace};
 
 /// The result of evaluating the representing function on one input.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +47,12 @@ pub struct RepresentingFunction<P> {
     /// either. Interior mutability keeps `eval(&self)` compatible with the
     /// borrowing [`objective`](Self::objective) adapter.
     scratch: RefCell<ExecCtx>,
+    /// Reusable lane context for [`eval_batch`](Self::eval_batch): the
+    /// instrumented body set up for lane evaluation — a deferred-penalty
+    /// recording context over this snapshot plus the SoA lane buffers the
+    /// lockstep finalize consumes. Built once per `RepresentingFunction`,
+    /// like `scratch`.
+    lanes: RefCell<LaneCtx>,
 }
 
 impl<P: Program> RepresentingFunction<P> {
@@ -56,11 +62,13 @@ impl<P: Program> RepresentingFunction<P> {
         let scratch = ExecCtx::representing(saturated.clone())
             .without_trace()
             .without_coverage();
+        let lanes = LaneCtx::new(saturated.clone());
         RepresentingFunction {
             program,
             saturated,
             epsilon: coverme_runtime::DEFAULT_EPSILON,
             scratch: RefCell::new(scratch),
+            lanes: RefCell::new(lanes),
         }
     }
 
@@ -72,6 +80,8 @@ impl<P: Program> RepresentingFunction<P> {
             .with_epsilon(epsilon)
             .without_trace()
             .without_coverage();
+        let lanes = self.lanes.get_mut();
+        *lanes = LaneCtx::new(self.saturated.clone()).with_epsilon(epsilon);
         self
     }
 
@@ -108,12 +118,22 @@ impl<P: Program> RepresentingFunction<P> {
         ctx.representing_value()
     }
 
+    /// Evaluates `FOO_R` over a batch of independent points through the
+    /// lane backend ([`coverme_runtime::LaneCtx`]): each point records one
+    /// deferred-penalty execution, and the penalties of every lane group
+    /// resolve in one lockstep finalize. One value per point is appended to
+    /// `values` in input order, bit-for-bit equal to what per-point
+    /// [`eval`](Self::eval) calls return.
+    pub fn eval_batch(&self, points: &[Vec<f64>], values: &mut Vec<f64>) {
+        let mut lanes = self.lanes.borrow_mut();
+        lanes.eval_batch(&self.program, points, values);
+    }
+
     /// Evaluates `FOO_R(x)` keeping the covered branches and the decision
     /// trace, which the driver needs to update coverage, saturation and the
     /// infeasible-branch heuristic.
     pub fn eval_full(&self, input: &[f64]) -> Evaluation {
-        let mut ctx =
-            ExecCtx::representing(self.saturated.clone()).with_epsilon(self.epsilon);
+        let mut ctx = ExecCtx::representing(self.saturated.clone()).with_epsilon(self.epsilon);
         self.program.execute(input, &mut ctx);
         let (covered, trace, value) = ctx.into_parts();
         Evaluation {
@@ -193,7 +213,9 @@ mod tests {
         let snapshots: Vec<BranchSet> = vec![
             BranchSet::new(),
             [BranchId::true_of(0)].into_iter().collect(),
-            [BranchId::true_of(0), BranchId::false_of(1)].into_iter().collect(),
+            [BranchId::true_of(0), BranchId::false_of(1)]
+                .into_iter()
+                .collect(),
             [
                 BranchId::true_of(0),
                 BranchId::false_of(0),
@@ -249,8 +271,8 @@ mod tests {
             .into_iter()
             .collect();
         for epsilon in [coverme_runtime::DEFAULT_EPSILON, 0.5, 2.0] {
-            let foo_r = RepresentingFunction::new(paper_example(), saturated.clone())
-                .with_epsilon(epsilon);
+            let foo_r =
+                RepresentingFunction::new(paper_example(), saturated.clone()).with_epsilon(epsilon);
             for x in [-2.0, -0.5, 0.7, 2.0, 5.0] {
                 assert_eq!(
                     foo_r.eval(&[x]).to_bits(),
@@ -281,6 +303,24 @@ mod tests {
 
     fn snapshot_for_stability() -> BranchSet {
         [BranchId::false_of(1)].into_iter().collect()
+    }
+
+    #[test]
+    fn eval_batch_matches_scalar_eval_bit_for_bit() {
+        let saturated: BranchSet = [BranchId::true_of(0), BranchId::false_of(1)]
+            .into_iter()
+            .collect();
+        let foo_r = RepresentingFunction::new(paper_example(), saturated);
+        let points: Vec<Vec<f64>> = (0..21)
+            .map(|i| vec![i as f64 * 0.93 - 9.0])
+            .chain([vec![f64::NAN], vec![f64::INFINITY]])
+            .collect();
+        let mut values = Vec::new();
+        foo_r.eval_batch(&points, &mut values);
+        assert_eq!(values.len(), points.len());
+        for (point, value) in points.iter().zip(&values) {
+            assert_eq!(value.to_bits(), foo_r.eval(point).to_bits(), "{point:?}");
+        }
     }
 
     #[test]

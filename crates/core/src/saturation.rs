@@ -277,7 +277,10 @@ mod tests {
 
         assert!(tracker.is_saturated(BranchId::false_of(0)));
         assert!(tracker.is_saturated(BranchId::false_of(1)));
-        assert!(!tracker.is_saturated(BranchId::true_of(1)), "1T not covered");
+        assert!(
+            !tracker.is_saturated(BranchId::true_of(1)),
+            "1T not covered"
+        );
         assert!(
             !tracker.is_saturated(BranchId::true_of(0)),
             "0T has uncovered descendant 1T"
@@ -322,8 +325,9 @@ mod tests {
     fn static_descendants_are_respected_and_not_overwritten() {
         // Static CFG: 0T's descendants are {1T, 1F}; everything else has none.
         let mut desc = vec![BranchSet::new(); 4];
-        desc[BranchId::true_of(0).index()] =
-            [BranchId::true_of(1), BranchId::false_of(1)].into_iter().collect();
+        desc[BranchId::true_of(0).index()] = [BranchId::true_of(1), BranchId::false_of(1)]
+            .into_iter()
+            .collect();
         let mut tracker = SaturationTracker::with_static_descendants(2, desc);
 
         // Cover 0T and 1F only (no dynamic learning should add pairs).

@@ -238,7 +238,12 @@ pub fn run_shard<P: Program>(
             .local_method(config.local_method)
             .perturbation(config.perturbation)
             .temperature(1.0)
-            .seed(config.seed.wrapping_add(round as u64).wrapping_mul(0x9E37_79B9))
+            .seed(
+                config
+                    .seed
+                    .wrapping_add(round as u64)
+                    .wrapping_mul(0x9E37_79B9),
+            )
             .target_value(config.zero_threshold);
 
         let result = if config.record_search_coverage {
@@ -348,7 +353,9 @@ pub fn merge_shards(program_name: &str, mut outcomes: Vec<ShardOutcome>) -> Merg
     );
     outcomes.sort_by_key(|o| o.shard_index);
     assert!(
-        outcomes.windows(2).all(|w| w[0].shard_index < w[1].shard_index),
+        outcomes
+            .windows(2)
+            .all(|w| w[0].shard_index < w[1].shard_index),
         "duplicate shard index in merge"
     );
 
@@ -362,8 +369,7 @@ pub fn merge_shards(program_name: &str, mut outcomes: Vec<ShardOutcome>) -> Merg
     // Best representing inputs per branch: replay accepted inputs in global
     // round order, keeping one only when it represents a branch no
     // earlier-kept input covers.
-    let mut all_accepted: Vec<&AcceptedInput> =
-        outcomes.iter().flat_map(|o| &o.accepted).collect();
+    let mut all_accepted: Vec<&AcceptedInput> = outcomes.iter().flat_map(|o| &o.accepted).collect();
     all_accepted.sort_by_key(|a| a.round);
     let mut represented = BranchSet::with_sites(coverage.num_sites());
     let mut inputs: Vec<Vec<f64>> = Vec::new();
@@ -379,7 +385,11 @@ pub fn merge_shards(program_name: &str, mut outcomes: Vec<ShardOutcome>) -> Merg
     let evaluations = outcomes.iter().map(|o| o.evaluations).sum();
     let cache_hits = outcomes.iter().map(|o| o.cache_hits).sum();
     let started = outcomes.iter().map(|o| o.started).min().expect("non-empty");
-    let finished = outcomes.iter().map(|o| o.finished).max().expect("non-empty");
+    let finished = outcomes
+        .iter()
+        .map(|o| o.finished)
+        .max()
+        .expect("non-empty");
     let infeasible = tracker.infeasible().iter().collect();
 
     MergedSearch {
@@ -482,7 +492,13 @@ fn next_up(x: f64) -> f64 {
     if x.is_nan() || x == f64::INFINITY {
         return x;
     }
-    let bits = if x == 0.0 { 1 } else if x > 0.0 { x.to_bits() + 1 } else { x.to_bits() - 1 };
+    let bits = if x == 0.0 {
+        1
+    } else if x > 0.0 {
+        x.to_bits() + 1
+    } else {
+        x.to_bits() - 1
+    };
     f64::from_bits(bits)
 }
 
@@ -493,7 +509,11 @@ fn next_down(x: f64) -> f64 {
     if x == 0.0 {
         return -f64::from_bits(1);
     }
-    let bits = if x > 0.0 { x.to_bits() - 1 } else { x.to_bits() + 1 };
+    let bits = if x > 0.0 {
+        x.to_bits() - 1
+    } else {
+        x.to_bits() + 1
+    };
     f64::from_bits(bits)
 }
 
@@ -518,7 +538,11 @@ mod tests {
     }
 
     fn config(shards: usize) -> CoverMeConfig {
-        CoverMeConfig::default().n_start(48).n_iter(5).seed(9).shards(shards)
+        CoverMeConfig::default()
+            .n_start(48)
+            .n_iter(5)
+            .seed(9)
+            .shards(shards)
     }
 
     #[test]
@@ -555,8 +579,7 @@ mod tests {
             // exactly the strided slices.
             .infeasible_policy(InfeasiblePolicy::Disabled)
             .n_start(12);
-        let outcomes: Vec<ShardOutcome> =
-            (0..3).map(|i| run_shard(&cfg, &program, i)).collect();
+        let outcomes: Vec<ShardOutcome> = (0..3).map(|i| run_shard(&cfg, &program, i)).collect();
         let mut rounds_seen: Vec<usize> = outcomes
             .iter()
             .flat_map(|o| o.rounds.iter().map(|r| r.round))
@@ -583,8 +606,7 @@ mod tests {
     fn merged_report_covers_union_of_shards() {
         let program = paper_example();
         let cfg = config(3);
-        let outcomes: Vec<ShardOutcome> =
-            (0..3).map(|i| run_shard(&cfg, &program, i)).collect();
+        let outcomes: Vec<ShardOutcome> = (0..3).map(|i| run_shard(&cfg, &program, i)).collect();
         let mut union = BranchSet::with_sites(program.num_sites());
         for outcome in &outcomes {
             union.union_with(outcome.coverage.covered());
@@ -598,8 +620,7 @@ mod tests {
     fn merged_inputs_reproduce_the_merged_coverage() {
         let program = paper_example();
         let cfg = config(4);
-        let outcomes: Vec<ShardOutcome> =
-            (0..4).map(|i| run_shard(&cfg, &program, i)).collect();
+        let outcomes: Vec<ShardOutcome> = (0..4).map(|i| run_shard(&cfg, &program, i)).collect();
         let merged = merge_shards(program.name(), outcomes);
         let mut check = CoverageMap::new(program.num_sites());
         for input in &merged.report.inputs {
@@ -607,7 +628,10 @@ mod tests {
             program.execute(input, &mut ctx);
             check.record(&ctx);
         }
-        assert_eq!(check.covered_count(), merged.report.coverage.covered_count());
+        assert_eq!(
+            check.covered_count(),
+            merged.report.coverage.covered_count()
+        );
     }
 
     #[test]
@@ -616,10 +640,7 @@ mod tests {
         let cfg = config(4);
         // Only shards 3 and 1 ran (deadline expired for the rest), handed
         // over out of order.
-        let outcomes = vec![
-            run_shard(&cfg, &program, 3),
-            run_shard(&cfg, &program, 1),
-        ];
+        let outcomes = vec![run_shard(&cfg, &program, 3), run_shard(&cfg, &program, 1)];
         let merged = merge_shards(program.name(), outcomes);
         assert!(merged.report.coverage.covered_count() > 0);
     }

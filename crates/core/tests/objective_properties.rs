@@ -42,15 +42,20 @@ struct SiteSpec {
 /// later sites.
 fn build_program(specs: Vec<SiteSpec>) -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
     let num_sites = specs.len();
-    FnProgram::new("generated", 1, num_sites, move |input: &[f64], ctx: &mut ExecCtx| {
-        let mut x = input[0];
-        for (site, spec) in specs.iter().enumerate() {
-            let lhs = spec.coeff * x + spec.offset;
-            if ctx.branch(site as u32, spec.op, lhs, spec.constant) && spec.mutates {
-                x = x * 0.5 + 1.0;
+    FnProgram::new(
+        "generated",
+        1,
+        num_sites,
+        move |input: &[f64], ctx: &mut ExecCtx| {
+            let mut x = input[0];
+            for (site, spec) in specs.iter().enumerate() {
+                let lhs = spec.coeff * x + spec.offset;
+                if ctx.branch(site as u32, spec.op, lhs, spec.constant) && spec.mutates {
+                    x = x * 0.5 + 1.0;
+                }
             }
-        }
-    })
+        },
+    )
 }
 
 fn cmp_strategy() -> impl Strategy<Value = Cmp> {
@@ -194,8 +199,20 @@ proptest! {
 fn search_telemetry_is_internally_consistent() {
     let program = {
         let specs = vec![
-            SiteSpec { op: Cmp::Le, coeff: 1.0, offset: 0.0, constant: 1.0, mutates: true },
-            SiteSpec { op: Cmp::Eq, coeff: 1.0, offset: 2.0, constant: 4.0, mutates: false },
+            SiteSpec {
+                op: Cmp::Le,
+                coeff: 1.0,
+                offset: 0.0,
+                constant: 1.0,
+                mutates: true,
+            },
+            SiteSpec {
+                op: Cmp::Eq,
+                coeff: 1.0,
+                offset: 2.0,
+                constant: 4.0,
+                mutates: false,
+            },
         ];
         build_program(specs)
     };

@@ -28,15 +28,20 @@ struct SiteSpec {
 /// programs genuine (if simple) data flow between conditionals.
 fn build_program(specs: Vec<SiteSpec>) -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
     let num_sites = specs.len();
-    FnProgram::new("generated", 1, num_sites, move |input: &[f64], ctx: &mut ExecCtx| {
-        let mut x = input[0];
-        for (site, spec) in specs.iter().enumerate() {
-            let lhs = spec.coeff * x + spec.offset;
-            if ctx.branch(site as u32, spec.op, lhs, spec.constant) && spec.mutates {
-                x = x * 0.5 + 1.0;
+    FnProgram::new(
+        "generated",
+        1,
+        num_sites,
+        move |input: &[f64], ctx: &mut ExecCtx| {
+            let mut x = input[0];
+            for (site, spec) in specs.iter().enumerate() {
+                let lhs = spec.coeff * x + spec.offset;
+                if ctx.branch(site as u32, spec.op, lhs, spec.constant) && spec.mutates {
+                    x = x * 0.5 + 1.0;
+                }
             }
-        }
-    })
+        },
+    )
 }
 
 fn cmp_strategy() -> impl Strategy<Value = Cmp> {

@@ -37,15 +37,20 @@ struct SiteSpec {
 /// later sites.
 fn build_program(specs: Vec<SiteSpec>) -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
     let num_sites = specs.len();
-    FnProgram::new("generated", 1, num_sites, move |input: &[f64], ctx: &mut ExecCtx| {
-        let mut x = input[0];
-        for (site, spec) in specs.iter().enumerate() {
-            let lhs = spec.coeff * x + spec.offset;
-            if ctx.branch(site as u32, spec.op, lhs, spec.constant) && spec.mutates {
-                x = x * 0.5 + 1.0;
+    FnProgram::new(
+        "generated",
+        1,
+        num_sites,
+        move |input: &[f64], ctx: &mut ExecCtx| {
+            let mut x = input[0];
+            for (site, spec) in specs.iter().enumerate() {
+                let lhs = spec.coeff * x + spec.offset;
+                if ctx.branch(site as u32, spec.op, lhs, spec.constant) && spec.mutates {
+                    x = x * 0.5 + 1.0;
+                }
             }
-        }
-    })
+        },
+    )
 }
 
 fn cmp_strategy() -> impl Strategy<Value = Cmp> {
@@ -81,7 +86,11 @@ fn program_strategy() -> impl Strategy<Value = Vec<SiteSpec>> {
 }
 
 fn config(seed: u64, shards: usize) -> CoverMeConfig {
-    CoverMeConfig::default().n_start(48).n_iter(5).seed(seed).shards(shards)
+    CoverMeConfig::default()
+        .n_start(48)
+        .n_iter(5)
+        .seed(seed)
+        .shards(shards)
 }
 
 proptest! {

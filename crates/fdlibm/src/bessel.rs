@@ -151,7 +151,11 @@ pub fn j1(input: &[f64], ctx: &mut ExecCtx) {
         } else {
             INVSQRTPI * (cc - ss / xa) / xa.sqrt()
         };
-        let _ = if ctx.branch_i32(5, Cmp::Lt, hx, 0) { -res } else { res };
+        let _ = if ctx.branch_i32(5, Cmp::Lt, hx, 0) {
+            -res
+        } else {
+            res
+        };
         return;
     }
     // |x| < 2^-27
@@ -261,8 +265,22 @@ mod tests {
             (y1, sites::Y1),
         ];
         let inputs = [
-            0.0, -0.0, 1e-30, 0.5, 1.0, -1.0, 1.5, 3.0, -3.0, 1e10, 1e40, 1e300, -5.0,
-            f64::INFINITY, f64::NEG_INFINITY, f64::NAN,
+            0.0,
+            -0.0,
+            1e-30,
+            0.5,
+            1.0,
+            -1.0,
+            1.5,
+            3.0,
+            -3.0,
+            1e10,
+            1e40,
+            1e300,
+            -5.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
         ];
         for &(f, declared) in cases {
             for &x in &inputs {

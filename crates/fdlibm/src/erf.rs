@@ -14,7 +14,8 @@ const EFX8: f64 = 1.027_033_336_764_100_6e+00;
 const ERX: f64 = 8.450_629_115_104_675e-01;
 
 fn poly_small(z: f64) -> (f64, f64) {
-    let r = 1.283_791_670_955_125_74e-01 + z * (-3.250_421_072_470_015e-01 + z * -2.848_174_957_559_851e-02);
+    let r = 1.283_791_670_955_125_74e-01
+        + z * (-3.250_421_072_470_015e-01 + z * -2.848_174_957_559_851e-02);
     let s = 1.0 + z * (3.979_172_239_591_553e-01 + z * 6.502_222_499_887_672e-02);
     (r, s)
 }
@@ -186,8 +187,24 @@ mod tests {
     #[test]
     fn site_ids_stay_within_declared_ranges() {
         let inputs = [
-            0.0, 1e-310, 1e-30, 0.3, 0.5, 0.9, 1.1, -1.1, 2.0, -2.0, 4.0, -7.0, 10.0, 30.0,
-            -30.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN,
+            0.0,
+            1e-310,
+            1e-30,
+            0.3,
+            0.5,
+            0.9,
+            1.1,
+            -1.1,
+            2.0,
+            -2.0,
+            4.0,
+            -7.0,
+            10.0,
+            30.0,
+            -30.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
         ];
         for &x in &inputs {
             for e in run(erf, x).trace() {

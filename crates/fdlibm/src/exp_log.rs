@@ -85,7 +85,9 @@ pub fn exp(input: &[f64], ctx: &mut ExecCtx) {
     // x is now in the primary range
     let xr = hi - lo;
     let t = xr * xr;
-    let c = xr - t * (0.166_666_666_666_666_02 + t * (-2.775_723_454_378_660_6e-03 + t * 6.613_756_321_437_93e-05));
+    let c = xr
+        - t * (0.166_666_666_666_666_02
+            + t * (-2.775_723_454_378_660_6e-03 + t * 6.613_756_321_437_93e-05));
     let y = if ctx.branch_i32(10, Cmp::Eq, k, 0) {
         1.0 - ((xr * c) / (c - 2.0) - xr)
     } else {
@@ -375,7 +377,8 @@ pub fn log1p(input: &[f64], ctx: &mut ExecCtx) {
             return;
         }
         // -0.2929 < x < 0.41422
-        if ctx.branch_i32(5, Cmp::Gt, hx, 0) || ctx.branch_i32(6, Cmp::Le, hx, 0xbfd2bec3u32 as i32) {
+        if ctx.branch_i32(5, Cmp::Gt, hx, 0) || ctx.branch_i32(6, Cmp::Le, hx, 0xbfd2bec3u32 as i32)
+        {
             k = 0;
             f = x;
             hu = 1;
@@ -432,7 +435,8 @@ pub fn log1p(input: &[f64], ctx: &mut ExecCtx) {
     }
     let s = f / (2.0 + f);
     let z = s * s;
-    let r = z * (0.666_666_666_666_673_5 + z * (0.399_999_999_999_941_14 + z * 0.285_714_287_436_623_9));
+    let r = z
+        * (0.666_666_666_666_673_5 + z * (0.399_999_999_999_941_14 + z * 0.285_714_287_436_623_9));
     if ctx.branch_i32(15, Cmp::Eq, k, 0) {
         let _ = f - (hfsq - s * (hfsq + r));
         return;
@@ -479,9 +483,30 @@ mod tests {
             (log1p, sites::LOG1P),
         ];
         let inputs = [
-            0.0, -0.0, 1.0, -1.0, 0.5, -0.5, 1e-30, -1e-30, 2.0, 10.0, 100.0, 710.0, -746.0,
-            -800.0, 1e300, -1e300, 1e-320, f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 0.3,
-            -0.9999, 40.0, -40.0,
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            -0.5,
+            1e-30,
+            -1e-30,
+            2.0,
+            10.0,
+            100.0,
+            710.0,
+            -746.0,
+            -800.0,
+            1e300,
+            -1e300,
+            1e-320,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            0.3,
+            -0.9999,
+            40.0,
+            -40.0,
         ];
         for &(f, declared) in cases {
             for &x in &inputs {
@@ -504,7 +529,9 @@ mod tests {
         assert!(run(exp, 1000.0).covered().contains(BranchId::true_of(4)));
         assert!(run(exp, -1000.0).covered().contains(BranchId::true_of(5)));
         assert!(run(exp, f64::NAN).covered().contains(BranchId::true_of(2)));
-        assert!(run(exp, f64::INFINITY).covered().contains(BranchId::true_of(3)));
+        assert!(run(exp, f64::INFINITY)
+            .covered()
+            .contains(BranchId::true_of(3)));
     }
 
     #[test]
@@ -512,7 +539,9 @@ mod tests {
         assert!(run(log, 0.0).covered().contains(BranchId::true_of(1)));
         assert!(run(log, -1.0).covered().contains(BranchId::true_of(2)));
         assert!(run(log, 1e-310).covered().contains(BranchId::false_of(2)));
-        assert!(run(log, f64::INFINITY).covered().contains(BranchId::true_of(3)));
+        assert!(run(log, f64::INFINITY)
+            .covered()
+            .contains(BranchId::true_of(3)));
     }
 
     #[test]

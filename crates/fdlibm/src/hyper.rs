@@ -187,7 +187,11 @@ pub fn asinh(input: &[f64], ctx: &mut ExecCtx) {
         let t = x * x;
         w = (x.abs() + t / (1.0 + (1.0 + t).sqrt())).ln_1p();
     }
-    let _ = if ctx.branch_i32(5, Cmp::Gt, hx, 0) { w } else { -w };
+    let _ = if ctx.branch_i32(5, Cmp::Gt, hx, 0) {
+        w
+    } else {
+        -w
+    };
 }
 
 /// `e_acosh.c` — acosh(x). 5 conditional sites.
@@ -264,7 +268,11 @@ pub fn atanh(input: &[f64], ctx: &mut ExecCtx) {
     } else {
         t = 0.5 * ((xa + xa) / (1.0 - xa)).ln_1p();
     }
-    let _ = if ctx.branch_i32(5, Cmp::Ge, hx, 0) { t } else { -t };
+    let _ = if ctx.branch_i32(5, Cmp::Ge, hx, 0) {
+        t
+    } else {
+        -t
+    };
 }
 
 /// Number of conditional sites of each port in this module, used by the
@@ -299,11 +307,17 @@ mod tests {
     fn tanh_branches_match_expected_paths() {
         // Finite normal input takes the not-inf path and the |x| < 22 path.
         let ctx = run(tanh, 0.25);
-        assert!(ctx.covered().contains(coverme_runtime::BranchId::false_of(0)));
-        assert!(ctx.covered().contains(coverme_runtime::BranchId::true_of(2)));
+        assert!(ctx
+            .covered()
+            .contains(coverme_runtime::BranchId::false_of(0)));
+        assert!(ctx
+            .covered()
+            .contains(coverme_runtime::BranchId::true_of(2)));
         // Infinity exercises the first guard's true side.
         let ctx = run(tanh, f64::INFINITY);
-        assert!(ctx.covered().contains(coverme_runtime::BranchId::true_of(0)));
+        assert!(ctx
+            .covered()
+            .contains(coverme_runtime::BranchId::true_of(0)));
     }
 
     #[test]
@@ -378,8 +392,12 @@ mod tests {
     #[test]
     fn acosh_domain_error_branch() {
         let ctx = run(acosh, 0.5);
-        assert!(ctx.covered().contains(coverme_runtime::BranchId::true_of(0)));
+        assert!(ctx
+            .covered()
+            .contains(coverme_runtime::BranchId::true_of(0)));
         let ctx = run(acosh, 1.0);
-        assert!(ctx.covered().contains(coverme_runtime::BranchId::true_of(3)));
+        assert!(ctx
+            .covered()
+            .contains(coverme_runtime::BranchId::true_of(3)));
     }
 }

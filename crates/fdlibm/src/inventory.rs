@@ -41,58 +41,266 @@ pub struct ExcludedFunction {
 
 /// The full exclusion table (paper Table 4).
 pub const EXCLUDED: &[ExcludedFunction] = &[
-    ExcludedFunction { file: "e_gamma_r.c", function: "ieee754_gamma_r", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "e_gamma.c", function: "ieee754_gamma", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "e_j0.c", function: "pzero", reason: ExclusionReason::StaticHelper },
-    ExcludedFunction { file: "e_j0.c", function: "qzero", reason: ExclusionReason::StaticHelper },
-    ExcludedFunction { file: "e_j1.c", function: "pone", reason: ExclusionReason::StaticHelper },
-    ExcludedFunction { file: "e_j1.c", function: "qone", reason: ExclusionReason::StaticHelper },
-    ExcludedFunction { file: "e_jn.c", function: "ieee754_jn", reason: ExclusionReason::UnsupportedInputType },
-    ExcludedFunction { file: "e_jn.c", function: "ieee754_yn", reason: ExclusionReason::UnsupportedInputType },
-    ExcludedFunction { file: "e_lgamma_r.c", function: "sin_pi", reason: ExclusionReason::StaticHelper },
-    ExcludedFunction { file: "e_lgamma_r.c", function: "ieee754_lgamma_r", reason: ExclusionReason::UnsupportedInputType },
-    ExcludedFunction { file: "e_lgamma.c", function: "ieee754_lgamma", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "k_rem_pio2.c", function: "kernel_rem_pio2", reason: ExclusionReason::UnsupportedInputType },
-    ExcludedFunction { file: "k_sin.c", function: "kernel_sin", reason: ExclusionReason::UnsupportedInputType },
-    ExcludedFunction { file: "k_standard.c", function: "kernel_standard", reason: ExclusionReason::UnsupportedInputType },
-    ExcludedFunction { file: "k_tan.c", function: "kernel_tan", reason: ExclusionReason::UnsupportedInputType },
-    ExcludedFunction { file: "s_copysign.c", function: "copysign", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "s_fabs.c", function: "fabs", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "s_finite.c", function: "finite", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "s_frexp.c", function: "frexp", reason: ExclusionReason::UnsupportedInputType },
-    ExcludedFunction { file: "s_isnan.c", function: "isnan", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "s_ldexp.c", function: "ldexp", reason: ExclusionReason::UnsupportedInputType },
-    ExcludedFunction { file: "s_lib_version.c", function: "lib_version", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "s_matherr.c", function: "matherr", reason: ExclusionReason::UnsupportedInputType },
-    ExcludedFunction { file: "s_scalbn.c", function: "scalbn", reason: ExclusionReason::UnsupportedInputType },
-    ExcludedFunction { file: "s_signgam.c", function: "signgam", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "s_significand.c", function: "significand", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_acos.c", function: "acos", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_acosh.c", function: "acosh", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_asin.c", function: "asin", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_atan2.c", function: "atan2", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_atanh.c", function: "atanh", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_cosh.c", function: "cosh", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_exp.c", function: "exp", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_fmod.c", function: "fmod", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_gamma_r.c", function: "gamma_r", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_gamma.c", function: "gamma", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_hypot.c", function: "hypot", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_j0.c", function: "j0", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_j0.c", function: "y0", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_j1.c", function: "j1", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_j1.c", function: "y1", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_jn.c", function: "jn", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_jn.c", function: "yn", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_lgamma_r.c", function: "lgamma_r", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_lgamma.c", function: "lgamma", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_log.c", function: "log", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_log10.c", function: "log10", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_pow.c", function: "pow", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_remainder.c", function: "remainder", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_scalb.c", function: "scalb", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_sinh.c", function: "sinh", reason: ExclusionReason::NoBranch },
-    ExcludedFunction { file: "w_sqrt.c", function: "sqrt", reason: ExclusionReason::NoBranch },
+    ExcludedFunction {
+        file: "e_gamma_r.c",
+        function: "ieee754_gamma_r",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "e_gamma.c",
+        function: "ieee754_gamma",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "e_j0.c",
+        function: "pzero",
+        reason: ExclusionReason::StaticHelper,
+    },
+    ExcludedFunction {
+        file: "e_j0.c",
+        function: "qzero",
+        reason: ExclusionReason::StaticHelper,
+    },
+    ExcludedFunction {
+        file: "e_j1.c",
+        function: "pone",
+        reason: ExclusionReason::StaticHelper,
+    },
+    ExcludedFunction {
+        file: "e_j1.c",
+        function: "qone",
+        reason: ExclusionReason::StaticHelper,
+    },
+    ExcludedFunction {
+        file: "e_jn.c",
+        function: "ieee754_jn",
+        reason: ExclusionReason::UnsupportedInputType,
+    },
+    ExcludedFunction {
+        file: "e_jn.c",
+        function: "ieee754_yn",
+        reason: ExclusionReason::UnsupportedInputType,
+    },
+    ExcludedFunction {
+        file: "e_lgamma_r.c",
+        function: "sin_pi",
+        reason: ExclusionReason::StaticHelper,
+    },
+    ExcludedFunction {
+        file: "e_lgamma_r.c",
+        function: "ieee754_lgamma_r",
+        reason: ExclusionReason::UnsupportedInputType,
+    },
+    ExcludedFunction {
+        file: "e_lgamma.c",
+        function: "ieee754_lgamma",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "k_rem_pio2.c",
+        function: "kernel_rem_pio2",
+        reason: ExclusionReason::UnsupportedInputType,
+    },
+    ExcludedFunction {
+        file: "k_sin.c",
+        function: "kernel_sin",
+        reason: ExclusionReason::UnsupportedInputType,
+    },
+    ExcludedFunction {
+        file: "k_standard.c",
+        function: "kernel_standard",
+        reason: ExclusionReason::UnsupportedInputType,
+    },
+    ExcludedFunction {
+        file: "k_tan.c",
+        function: "kernel_tan",
+        reason: ExclusionReason::UnsupportedInputType,
+    },
+    ExcludedFunction {
+        file: "s_copysign.c",
+        function: "copysign",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "s_fabs.c",
+        function: "fabs",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "s_finite.c",
+        function: "finite",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "s_frexp.c",
+        function: "frexp",
+        reason: ExclusionReason::UnsupportedInputType,
+    },
+    ExcludedFunction {
+        file: "s_isnan.c",
+        function: "isnan",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "s_ldexp.c",
+        function: "ldexp",
+        reason: ExclusionReason::UnsupportedInputType,
+    },
+    ExcludedFunction {
+        file: "s_lib_version.c",
+        function: "lib_version",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "s_matherr.c",
+        function: "matherr",
+        reason: ExclusionReason::UnsupportedInputType,
+    },
+    ExcludedFunction {
+        file: "s_scalbn.c",
+        function: "scalbn",
+        reason: ExclusionReason::UnsupportedInputType,
+    },
+    ExcludedFunction {
+        file: "s_signgam.c",
+        function: "signgam",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "s_significand.c",
+        function: "significand",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_acos.c",
+        function: "acos",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_acosh.c",
+        function: "acosh",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_asin.c",
+        function: "asin",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_atan2.c",
+        function: "atan2",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_atanh.c",
+        function: "atanh",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_cosh.c",
+        function: "cosh",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_exp.c",
+        function: "exp",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_fmod.c",
+        function: "fmod",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_gamma_r.c",
+        function: "gamma_r",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_gamma.c",
+        function: "gamma",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_hypot.c",
+        function: "hypot",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_j0.c",
+        function: "j0",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_j0.c",
+        function: "y0",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_j1.c",
+        function: "j1",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_j1.c",
+        function: "y1",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_jn.c",
+        function: "jn",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_jn.c",
+        function: "yn",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_lgamma_r.c",
+        function: "lgamma_r",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_lgamma.c",
+        function: "lgamma",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_log.c",
+        function: "log",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_log10.c",
+        function: "log10",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_pow.c",
+        function: "pow",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_remainder.c",
+        function: "remainder",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_scalb.c",
+        function: "scalb",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_sinh.c",
+        function: "sinh",
+        reason: ExclusionReason::NoBranch,
+    },
+    ExcludedFunction {
+        file: "w_sqrt.c",
+        function: "sqrt",
+        reason: ExclusionReason::NoBranch,
+    },
 ];
 
 #[cfg(test)]
@@ -116,7 +324,10 @@ mod tests {
             ExclusionReason::UnsupportedInputType.to_string(),
             "unsupported input type"
         );
-        assert_eq!(ExclusionReason::StaticHelper.to_string(), "static C function");
+        assert_eq!(
+            ExclusionReason::StaticHelper.to_string(),
+            "static C function"
+        );
     }
 
     #[test]

@@ -59,13 +59,17 @@ pub fn sqrt(input: &[f64], ctx: &mut ExecCtx) {
     ix0 = (ix0 & 0x000f_ffff) | 0x0010_0000;
     // odd exponent, double x to make it even
     if ctx.branch_i32(7, Cmp::Ne, m & 1, 0) {
-        ix0 = ix0.wrapping_add(ix0).wrapping_add((((ix1 as u64) & 0x8000_0000) >> 31) as i32);
+        ix0 = ix0
+            .wrapping_add(ix0)
+            .wrapping_add((((ix1 as u64) & 0x8000_0000) >> 31) as i32);
         ix1 = ((ix1 as u64) << 1) as i64;
     }
     m >>= 1;
 
     // generate sqrt(x) bit by bit (shortened: 26 high bits, then refine)
-    ix0 = ix0.wrapping_add(ix0).wrapping_add((((ix1 as u64) & 0x8000_0000) >> 31) as i32);
+    ix0 = ix0
+        .wrapping_add(ix0)
+        .wrapping_add((((ix1 as u64) & 0x8000_0000) >> 31) as i32);
     ix1 = ((ix1 as u64) << 1) as i64;
     let mut q = 0i32;
     let mut s0 = 0i32;
@@ -77,7 +81,9 @@ pub fn sqrt(input: &[f64], ctx: &mut ExecCtx) {
             ix0 = ix0.wrapping_sub(t);
             q = q.wrapping_add(r);
         }
-        ix0 = ix0.wrapping_add(ix0).wrapping_add((((ix1 as u64) & 0x8000_0000) >> 31) as i32);
+        ix0 = ix0
+            .wrapping_add(ix0)
+            .wrapping_add((((ix1 as u64) & 0x8000_0000) >> 31) as i32);
         ix1 = ((ix1 as u64) << 1) as i64;
         r >>= 1;
     }
@@ -238,7 +244,11 @@ pub fn pow(input: &[f64], ctx: &mut ExecCtx) {
 
     // |y| is huge: results over/underflow fast
     let result = x.abs().powf(y);
-    let result = if hx < 0 && yisint == 1 { -result } else { result };
+    let result = if hx < 0 && yisint == 1 {
+        -result
+    } else {
+        result
+    };
     // overflow / underflow flags of the original final scaling
     if ctx.branch(29, Cmp::Gt, result.abs(), 1e308) {
         let _ = HUGE * HUGE;
@@ -277,7 +287,12 @@ pub fn hypot(input: &[f64], ctx: &mut ExecCtx) {
             if ctx.branch(4, Cmp::Eq, (low_word(a) as i32) as f64, 0.0) {
                 let _ = a;
             }
-            if ctx.branch(5, Cmp::Eq, ((hb ^ 0x7ff0_0000) | low_word(b) as i32) as f64, 0.0) {
+            if ctx.branch(
+                5,
+                Cmp::Eq,
+                ((hb ^ 0x7ff0_0000) | low_word(b) as i32) as f64,
+                0.0,
+            ) {
                 let _ = b;
             }
             let _ = w;
@@ -416,7 +431,10 @@ mod tests {
 
     #[test]
     fn unary_site_ids_stay_within_declared_ranges() {
-        for &(f, declared) in &[(sqrt as fn(&[f64], &mut ExecCtx), sites::SQRT), (cbrt, sites::CBRT)] {
+        for &(f, declared) in &[
+            (sqrt as fn(&[f64], &mut ExecCtx), sites::SQRT),
+            (cbrt, sites::CBRT),
+        ] {
             for &x in INPUTS {
                 let ctx = run1(f, x);
                 for e in ctx.trace() {
@@ -428,8 +446,11 @@ mod tests {
 
     #[test]
     fn binary_site_ids_stay_within_declared_ranges() {
-        let cases: crate::SiteCases =
-            &[(pow, sites::POW), (hypot, sites::HYPOT), (scalb, sites::SCALB)];
+        let cases: crate::SiteCases = &[
+            (pow, sites::POW),
+            (hypot, sites::HYPOT),
+            (scalb, sites::SCALB),
+        ];
         for &(f, declared) in cases {
             for &x in INPUTS {
                 for &y in INPUTS {
@@ -452,24 +473,42 @@ mod tests {
     fn sqrt_special_cases() {
         assert!(run1(sqrt, -1.0).covered().contains(BranchId::true_of(3)));
         assert!(run1(sqrt, 0.0).covered().contains(BranchId::true_of(2)));
-        assert!(run1(sqrt, f64::NAN).covered().contains(BranchId::true_of(0)));
+        assert!(run1(sqrt, f64::NAN)
+            .covered()
+            .contains(BranchId::true_of(0)));
         assert!(run1(sqrt, 4.0).covered().contains(BranchId::false_of(0)));
     }
 
     #[test]
     fn pow_special_cases() {
         assert!(run2(pow, 2.0, 0.0).covered().contains(BranchId::true_of(0)));
-        assert!(run2(pow, 2.0, 1.0).covered().contains(BranchId::true_of(18)));
-        assert!(run2(pow, 2.0, 2.0).covered().contains(BranchId::true_of(19)));
-        assert!(run2(pow, 4.0, 0.5).covered().contains(BranchId::true_of(20)));
-        assert!(run2(pow, -1.5, 0.5).covered().contains(BranchId::true_of(28)));
+        assert!(run2(pow, 2.0, 1.0)
+            .covered()
+            .contains(BranchId::true_of(18)));
+        assert!(run2(pow, 2.0, 2.0)
+            .covered()
+            .contains(BranchId::true_of(19)));
+        assert!(run2(pow, 4.0, 0.5)
+            .covered()
+            .contains(BranchId::true_of(20)));
+        assert!(run2(pow, -1.5, 0.5)
+            .covered()
+            .contains(BranchId::true_of(28)));
     }
 
     #[test]
     fn hypot_and_scalb_paths() {
-        assert!(run2(hypot, 1.0, 1e300).covered().contains(BranchId::true_of(0)));
-        assert!(run2(hypot, 3.0, 4.0).covered().contains(BranchId::false_of(1)));
-        assert!(run2(scalb, 1.5, 3.5).covered().contains(BranchId::true_of(4)));
-        assert!(run2(scalb, 1.5, f64::INFINITY).covered().contains(BranchId::true_of(2)));
+        assert!(run2(hypot, 1.0, 1e300)
+            .covered()
+            .contains(BranchId::true_of(0)));
+        assert!(run2(hypot, 3.0, 4.0)
+            .covered()
+            .contains(BranchId::false_of(1)));
+        assert!(run2(scalb, 1.5, 3.5)
+            .covered()
+            .contains(BranchId::true_of(4)));
+        assert!(run2(scalb, 1.5, f64::INFINITY)
+            .covered()
+            .contains(BranchId::true_of(2)));
     }
 }

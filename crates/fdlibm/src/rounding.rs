@@ -440,7 +440,12 @@ pub fn remainder(input: &[f64], ctx: &mut ExecCtx) {
         }
     }
     // clear the sign of -0
-    if ctx.branch(9, Cmp::Eq, (high_word(xa) & 0x7fff_ffff) as f64 + low_word(xa) as f64, 0.0) {
+    if ctx.branch(
+        9,
+        Cmp::Eq,
+        (high_word(xa) & 0x7fff_ffff) as f64 + low_word(xa) as f64,
+        0.0,
+    ) {
         let _ = 0.0;
         return;
     }
@@ -698,7 +703,9 @@ mod tests {
         assert!(run1(floor, 0.3).covered().contains(BranchId::true_of(1)));
         assert!(run1(floor, 3.7).covered().contains(BranchId::false_of(1)));
         assert!(run1(floor, 1e300).covered().contains(BranchId::true_of(8)));
-        assert!(run1(ceil, f64::NAN).covered().contains(BranchId::true_of(9)));
+        assert!(run1(ceil, f64::NAN)
+            .covered()
+            .contains(BranchId::true_of(9)));
     }
 
     #[test]
@@ -715,21 +722,35 @@ mod tests {
     #[test]
     fn ilogb_zero_and_subnormal() {
         assert!(run1(ilogb, 0.0).covered().contains(BranchId::true_of(1)));
-        assert!(run1(ilogb, 3e-320).covered().contains(BranchId::false_of(1)));
+        assert!(run1(ilogb, 3e-320)
+            .covered()
+            .contains(BranchId::false_of(1)));
         assert!(run1(ilogb, 8.0).covered().contains(BranchId::true_of(5)));
-        assert!(run1(ilogb, f64::INFINITY).covered().contains(BranchId::false_of(5)));
+        assert!(run1(ilogb, f64::INFINITY)
+            .covered()
+            .contains(BranchId::false_of(5)));
     }
 
     #[test]
     fn nextafter_equal_and_zero_cases() {
-        assert!(run2(nextafter, 1.0, 1.0).covered().contains(BranchId::true_of(2)));
-        assert!(run2(nextafter, 0.0, 1.0).covered().contains(BranchId::true_of(3)));
-        assert!(run2(nextafter, 1.0, 2.0).covered().contains(BranchId::false_of(3)));
+        assert!(run2(nextafter, 1.0, 1.0)
+            .covered()
+            .contains(BranchId::true_of(2)));
+        assert!(run2(nextafter, 0.0, 1.0)
+            .covered()
+            .contains(BranchId::true_of(3)));
+        assert!(run2(nextafter, 1.0, 2.0)
+            .covered()
+            .contains(BranchId::false_of(3)));
     }
 
     #[test]
     fn remainder_zero_divisor_is_domain_error() {
-        assert!(run2(remainder, 1.0, 0.0).covered().contains(BranchId::true_of(0)));
-        assert!(run2(remainder, 7.5, 2.0).covered().contains(BranchId::false_of(0)));
+        assert!(run2(remainder, 1.0, 0.0)
+            .covered()
+            .contains(BranchId::true_of(0)));
+        assert!(run2(remainder, 7.5, 2.0)
+            .covered()
+            .contains(BranchId::false_of(0)));
     }
 }

@@ -84,46 +84,318 @@ macro_rules! benchmark {
 
 /// The 40 benchmark functions, in the order of the paper's Table 2.
 pub const BENCHMARKS: &[Benchmark] = &[
-    benchmark!("e_acos.c", "ieee754_acos", 1, trig::sites::ACOS, 12, 33, trig::acos),
-    benchmark!("e_acosh.c", "ieee754_acosh", 1, hyper::sites::ACOSH, 10, 15, hyper::acosh),
-    benchmark!("e_asin.c", "ieee754_asin", 1, trig::sites::ASIN, 14, 31, trig::asin),
-    benchmark!("e_atan2.c", "ieee754_atan2", 2, trig::sites::ATAN2, 44, 39, trig::atan2),
-    benchmark!("e_atanh.c", "ieee754_atanh", 1, hyper::sites::ATANH, 12, 15, hyper::atanh),
-    benchmark!("e_cosh.c", "ieee754_cosh", 1, hyper::sites::COSH, 16, 20, hyper::cosh),
-    benchmark!("e_exp.c", "ieee754_exp", 1, exp_log::sites::EXP, 24, 31, exp_log::exp),
-    benchmark!("e_fmod.c", "ieee754_fmod", 2, rounding::sites::FMOD, 60, 70, rounding::fmod),
-    benchmark!("e_hypot.c", "ieee754_hypot", 2, power::sites::HYPOT, 22, 50, power::hypot),
-    benchmark!("e_j0.c", "ieee754_j0", 1, bessel::sites::J0, 18, 29, bessel::j0),
-    benchmark!("e_j0.c", "ieee754_y0", 1, bessel::sites::Y0, 16, 26, bessel::y0),
-    benchmark!("e_j1.c", "ieee754_j1", 1, bessel::sites::J1, 16, 26, bessel::j1),
-    benchmark!("e_j1.c", "ieee754_y1", 1, bessel::sites::Y1, 16, 26, bessel::y1),
-    benchmark!("e_log.c", "ieee754_log", 1, exp_log::sites::LOG, 22, 39, exp_log::log),
-    benchmark!("e_log10.c", "ieee754_log10", 1, exp_log::sites::LOG10, 8, 18, exp_log::log10),
-    benchmark!("e_pow.c", "ieee754_pow", 2, power::sites::POW, 114, 139, power::pow),
-    benchmark!("e_rem_pio2.c", "ieee754_rem_pio2", 1, trig::sites::REM_PIO2, 30, 64, trig::rem_pio2),
-    benchmark!("e_remainder.c", "ieee754_remainder", 2, rounding::sites::REMAINDER, 22, 27, rounding::remainder),
-    benchmark!("e_scalb.c", "ieee754_scalb", 2, power::sites::SCALB, 14, 9, power::scalb),
-    benchmark!("e_sinh.c", "ieee754_sinh", 1, hyper::sites::SINH, 20, 19, hyper::sinh),
-    benchmark!("e_sqrt.c", "ieee754_sqrt", 1, power::sites::SQRT, 46, 68, power::sqrt),
-    benchmark!("k_cos.c", "kernel_cos", 2, trig::sites::KERNEL_COS, 8, 15, trig::kernel_cos),
-    benchmark!("s_asinh.c", "asinh", 1, hyper::sites::ASINH, 12, 14, hyper::asinh),
+    benchmark!(
+        "e_acos.c",
+        "ieee754_acos",
+        1,
+        trig::sites::ACOS,
+        12,
+        33,
+        trig::acos
+    ),
+    benchmark!(
+        "e_acosh.c",
+        "ieee754_acosh",
+        1,
+        hyper::sites::ACOSH,
+        10,
+        15,
+        hyper::acosh
+    ),
+    benchmark!(
+        "e_asin.c",
+        "ieee754_asin",
+        1,
+        trig::sites::ASIN,
+        14,
+        31,
+        trig::asin
+    ),
+    benchmark!(
+        "e_atan2.c",
+        "ieee754_atan2",
+        2,
+        trig::sites::ATAN2,
+        44,
+        39,
+        trig::atan2
+    ),
+    benchmark!(
+        "e_atanh.c",
+        "ieee754_atanh",
+        1,
+        hyper::sites::ATANH,
+        12,
+        15,
+        hyper::atanh
+    ),
+    benchmark!(
+        "e_cosh.c",
+        "ieee754_cosh",
+        1,
+        hyper::sites::COSH,
+        16,
+        20,
+        hyper::cosh
+    ),
+    benchmark!(
+        "e_exp.c",
+        "ieee754_exp",
+        1,
+        exp_log::sites::EXP,
+        24,
+        31,
+        exp_log::exp
+    ),
+    benchmark!(
+        "e_fmod.c",
+        "ieee754_fmod",
+        2,
+        rounding::sites::FMOD,
+        60,
+        70,
+        rounding::fmod
+    ),
+    benchmark!(
+        "e_hypot.c",
+        "ieee754_hypot",
+        2,
+        power::sites::HYPOT,
+        22,
+        50,
+        power::hypot
+    ),
+    benchmark!(
+        "e_j0.c",
+        "ieee754_j0",
+        1,
+        bessel::sites::J0,
+        18,
+        29,
+        bessel::j0
+    ),
+    benchmark!(
+        "e_j0.c",
+        "ieee754_y0",
+        1,
+        bessel::sites::Y0,
+        16,
+        26,
+        bessel::y0
+    ),
+    benchmark!(
+        "e_j1.c",
+        "ieee754_j1",
+        1,
+        bessel::sites::J1,
+        16,
+        26,
+        bessel::j1
+    ),
+    benchmark!(
+        "e_j1.c",
+        "ieee754_y1",
+        1,
+        bessel::sites::Y1,
+        16,
+        26,
+        bessel::y1
+    ),
+    benchmark!(
+        "e_log.c",
+        "ieee754_log",
+        1,
+        exp_log::sites::LOG,
+        22,
+        39,
+        exp_log::log
+    ),
+    benchmark!(
+        "e_log10.c",
+        "ieee754_log10",
+        1,
+        exp_log::sites::LOG10,
+        8,
+        18,
+        exp_log::log10
+    ),
+    benchmark!(
+        "e_pow.c",
+        "ieee754_pow",
+        2,
+        power::sites::POW,
+        114,
+        139,
+        power::pow
+    ),
+    benchmark!(
+        "e_rem_pio2.c",
+        "ieee754_rem_pio2",
+        1,
+        trig::sites::REM_PIO2,
+        30,
+        64,
+        trig::rem_pio2
+    ),
+    benchmark!(
+        "e_remainder.c",
+        "ieee754_remainder",
+        2,
+        rounding::sites::REMAINDER,
+        22,
+        27,
+        rounding::remainder
+    ),
+    benchmark!(
+        "e_scalb.c",
+        "ieee754_scalb",
+        2,
+        power::sites::SCALB,
+        14,
+        9,
+        power::scalb
+    ),
+    benchmark!(
+        "e_sinh.c",
+        "ieee754_sinh",
+        1,
+        hyper::sites::SINH,
+        20,
+        19,
+        hyper::sinh
+    ),
+    benchmark!(
+        "e_sqrt.c",
+        "ieee754_sqrt",
+        1,
+        power::sites::SQRT,
+        46,
+        68,
+        power::sqrt
+    ),
+    benchmark!(
+        "k_cos.c",
+        "kernel_cos",
+        2,
+        trig::sites::KERNEL_COS,
+        8,
+        15,
+        trig::kernel_cos
+    ),
+    benchmark!(
+        "s_asinh.c",
+        "asinh",
+        1,
+        hyper::sites::ASINH,
+        12,
+        14,
+        hyper::asinh
+    ),
     benchmark!("s_atan.c", "atan", 1, trig::sites::ATAN, 26, 28, trig::atan),
-    benchmark!("s_cbrt.c", "cbrt", 1, power::sites::CBRT, 6, 24, power::cbrt),
-    benchmark!("s_ceil.c", "ceil", 1, rounding::sites::CEIL, 30, 29, rounding::ceil),
+    benchmark!(
+        "s_cbrt.c",
+        "cbrt",
+        1,
+        power::sites::CBRT,
+        6,
+        24,
+        power::cbrt
+    ),
+    benchmark!(
+        "s_ceil.c",
+        "ceil",
+        1,
+        rounding::sites::CEIL,
+        30,
+        29,
+        rounding::ceil
+    ),
     benchmark!("s_cos.c", "cos", 1, trig::sites::COS, 8, 12, trig::cos),
     benchmark!("s_erf.c", "erf", 1, erf::sites::ERF, 20, 38, erf::erf),
     benchmark!("s_erf.c", "erfc", 1, erf::sites::ERFC, 24, 43, erf::erfc),
-    benchmark!("s_expm1.c", "expm1", 1, exp_log::sites::EXPM1, 42, 56, exp_log::expm1),
-    benchmark!("s_floor.c", "floor", 1, rounding::sites::FLOOR, 30, 30, rounding::floor),
-    benchmark!("s_ilogb.c", "ilogb", 1, rounding::sites::ILOGB, 12, 12, rounding::ilogb),
-    benchmark!("s_log1p.c", "log1p", 1, exp_log::sites::LOG1P, 36, 46, exp_log::log1p),
-    benchmark!("s_logb.c", "logb", 1, rounding::sites::LOGB, 6, 8, rounding::logb),
-    benchmark!("s_modf.c", "modf", 1, rounding::sites::MODF, 10, 32, rounding::modf),
-    benchmark!("s_nextafter.c", "nextafter", 2, rounding::sites::NEXTAFTER, 44, 36, rounding::nextafter),
-    benchmark!("s_rint.c", "rint", 1, rounding::sites::RINT, 20, 34, rounding::rint),
+    benchmark!(
+        "s_expm1.c",
+        "expm1",
+        1,
+        exp_log::sites::EXPM1,
+        42,
+        56,
+        exp_log::expm1
+    ),
+    benchmark!(
+        "s_floor.c",
+        "floor",
+        1,
+        rounding::sites::FLOOR,
+        30,
+        30,
+        rounding::floor
+    ),
+    benchmark!(
+        "s_ilogb.c",
+        "ilogb",
+        1,
+        rounding::sites::ILOGB,
+        12,
+        12,
+        rounding::ilogb
+    ),
+    benchmark!(
+        "s_log1p.c",
+        "log1p",
+        1,
+        exp_log::sites::LOG1P,
+        36,
+        46,
+        exp_log::log1p
+    ),
+    benchmark!(
+        "s_logb.c",
+        "logb",
+        1,
+        rounding::sites::LOGB,
+        6,
+        8,
+        rounding::logb
+    ),
+    benchmark!(
+        "s_modf.c",
+        "modf",
+        1,
+        rounding::sites::MODF,
+        10,
+        32,
+        rounding::modf
+    ),
+    benchmark!(
+        "s_nextafter.c",
+        "nextafter",
+        2,
+        rounding::sites::NEXTAFTER,
+        44,
+        36,
+        rounding::nextafter
+    ),
+    benchmark!(
+        "s_rint.c",
+        "rint",
+        1,
+        rounding::sites::RINT,
+        20,
+        34,
+        rounding::rint
+    ),
     benchmark!("s_sin.c", "sin", 1, trig::sites::SIN, 8, 12, trig::sin),
     benchmark!("s_tan.c", "tan", 1, trig::sites::TAN, 4, 8, trig::tan),
-    benchmark!("s_tanh.c", "tanh", 1, hyper::sites::TANH, 12, 16, hyper::tanh),
+    benchmark!(
+        "s_tanh.c",
+        "tanh",
+        1,
+        hyper::sites::TANH,
+        12,
+        16,
+        hyper::tanh
+    ),
 ];
 
 /// Returns the full benchmark suite in table order.
@@ -219,13 +491,22 @@ mod tests {
                 let input: Vec<f64> = (0..b.arity)
                     .map(|_| {
                         let v = f64::from_bits(rng.next_u64());
-                        if v.is_finite() { v } else { v }
+                        if v.is_finite() {
+                            v
+                        } else {
+                            v
+                        }
                     })
                     .collect();
                 let mut ctx = ExecCtx::observe();
                 b.execute(&input, &mut ctx);
                 for event in ctx.trace() {
-                    assert!((event.site as usize) < b.sites, "{} site {}", b.name, event.site);
+                    assert!(
+                        (event.site as usize) < b.sites,
+                        "{} site {}",
+                        b.name,
+                        event.site
+                    );
                 }
             }
         }

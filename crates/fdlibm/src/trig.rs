@@ -202,12 +202,7 @@ pub fn asin(input: &[f64], ctx: &mut ExecCtx) {
     if ctx.branch_i32(0, Cmp::Ge, ix, 0x3ff0_0000) {
         let lx = low_word(x);
         // |x| == 1 exactly
-        if ctx.branch(
-            1,
-            Cmp::Eq,
-            ((ix - 0x3ff0_0000) | lx as i32) as f64,
-            0.0,
-        ) {
+        if ctx.branch(1, Cmp::Eq, ((ix - 0x3ff0_0000) | lx as i32) as f64, 0.0) {
             let _ = x * PIO2_HI + x * PIO2_LO;
             return;
         }
@@ -251,12 +246,7 @@ pub fn acos(input: &[f64], ctx: &mut ExecCtx) {
     // |x| >= 1
     if ctx.branch_i32(0, Cmp::Ge, ix, 0x3ff0_0000) {
         let lx = low_word(x);
-        if ctx.branch(
-            1,
-            Cmp::Eq,
-            ((ix - 0x3ff0_0000) | lx as i32) as f64,
-            0.0,
-        ) {
+        if ctx.branch(1, Cmp::Eq, ((ix - 0x3ff0_0000) | lx as i32) as f64, 0.0) {
             // |x| == 1
             if ctx.branch_i32(2, Cmp::Gt, hx, 0) {
                 let _ = 0.0; // acos(1) = 0
@@ -328,7 +318,12 @@ pub fn atan2(input: &[f64], ctx: &mut ExecCtx) {
 
     // x == 1.0: atan2(y, 1) = atan(y). The callee keeps its own Gcov site
     // list in the paper's counts, so its branches are not re-reported here.
-    if ctx.branch(2, Cmp::Eq, (hx.wrapping_sub(0x3ff0_0000) | lx as i32) as f64, 0.0) {
+    if ctx.branch(
+        2,
+        Cmp::Eq,
+        (hx.wrapping_sub(0x3ff0_0000) | lx as i32) as f64,
+        0.0,
+    ) {
         let mut inner = ExecCtx::observe().without_trace();
         atan(&[y], &mut inner);
         return;
@@ -436,7 +431,14 @@ pub fn rem_pio2(input: &[f64], ctx: &mut ExecCtx) {
         let mut r = t - f64_n * PIO2_1;
         let mut w = f64_n * PIO2_1T;
         // 1st round good to 85 bit?
-        if ctx.branch_i32(6, Cmp::Ne, n, 32) && ctx.branch_i32(7, Cmp::Lt, (ix >> 20) - (high_word(r - w) >> 20 & 0x7ff), 16) {
+        if ctx.branch_i32(6, Cmp::Ne, n, 32)
+            && ctx.branch_i32(
+                7,
+                Cmp::Lt,
+                (ix >> 20) - (high_word(r - w) >> 20 & 0x7ff),
+                16,
+            )
+        {
             let _ = r - w;
         } else {
             // 2nd iteration needed
@@ -539,14 +541,35 @@ mod tests {
             (rem_pio2, sites::REM_PIO2),
         ];
         let inputs = [
-            0.0, 0.5, -0.5, 0.99, 1.0, -1.0, 1.5, 3.0, -3.0, 100.0, 1e10, 1e300, 1e-300,
-            f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 0.4, 2.4, 65.0,
+            0.0,
+            0.5,
+            -0.5,
+            0.99,
+            1.0,
+            -1.0,
+            1.5,
+            3.0,
+            -3.0,
+            100.0,
+            1e10,
+            1e300,
+            1e-300,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            0.4,
+            2.4,
+            65.0,
         ];
         for &(f, declared) in unary {
             for &x in &inputs {
                 let ctx = run1(f, x);
                 for event in ctx.trace() {
-                    assert!((event.site as usize) < declared, "site {} >= {declared}", event.site);
+                    assert!(
+                        (event.site as usize) < declared,
+                        "site {} >= {declared}",
+                        event.site
+                    );
                 }
             }
         }
@@ -586,11 +609,17 @@ mod tests {
     #[test]
     fn atan2_special_cases() {
         // x == 1 fast path
-        assert!(run2(atan2, 0.3, 1.0).covered().contains(BranchId::true_of(2)));
+        assert!(run2(atan2, 0.3, 1.0)
+            .covered()
+            .contains(BranchId::true_of(2)));
         // y == 0
-        assert!(run2(atan2, 0.0, 2.0).covered().contains(BranchId::true_of(3)));
+        assert!(run2(atan2, 0.0, 2.0)
+            .covered()
+            .contains(BranchId::true_of(3)));
         // x == 0
-        assert!(run2(atan2, 1.0, 0.0).covered().contains(BranchId::true_of(5)));
+        assert!(run2(atan2, 1.0, 0.0)
+            .covered()
+            .contains(BranchId::true_of(5)));
         // x infinite
         assert!(run2(atan2, 1.0, f64::INFINITY)
             .covered()
@@ -601,8 +630,14 @@ mod tests {
     fn rem_pio2_covers_small_medium_and_special() {
         assert!(run1(rem_pio2, 0.5).covered().contains(BranchId::true_of(0)));
         assert!(run1(rem_pio2, 2.0).covered().contains(BranchId::true_of(1)));
-        assert!(run1(rem_pio2, 100.0).covered().contains(BranchId::true_of(5)));
-        assert!(run1(rem_pio2, f64::NAN).covered().contains(BranchId::true_of(10)));
-        assert!(run1(rem_pio2, 1e300).covered().contains(BranchId::false_of(10)));
+        assert!(run1(rem_pio2, 100.0)
+            .covered()
+            .contains(BranchId::true_of(5)));
+        assert!(run1(rem_pio2, f64::NAN)
+            .covered()
+            .contains(BranchId::true_of(10)));
+        assert!(run1(rem_pio2, 1e300)
+            .covered()
+            .contains(BranchId::false_of(10)));
     }
 }

@@ -281,7 +281,10 @@ mod tests {
 
     #[test]
     fn stmt_line_accessor_covers_all_variants() {
-        let s = Stmt::Return { value: None, line: 7 };
+        let s = Stmt::Return {
+            value: None,
+            line: 7,
+        };
         assert_eq!(s.line(), 7);
         let s = Stmt::Assign {
             name: "x".into(),

@@ -200,7 +200,12 @@ fn assign_sites(block: &mut Block, function: &str, sites: &mut Vec<SiteInfo>) {
                     assign_sites(else_block, function, sites);
                 }
             }
-            Stmt::While { cond, body, line, site } => {
+            Stmt::While {
+                cond,
+                body,
+                line,
+                site,
+            } => {
                 if let Some((op, _, _)) = as_comparison(cond) {
                     let id = sites.len() as u32;
                     *site = Some(id);

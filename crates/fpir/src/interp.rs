@@ -316,7 +316,9 @@ impl<'a> Interp<'a> {
                     Flow::Normal
                 }
             }
-            Stmt::While { cond, body, site, .. } => {
+            Stmt::While {
+                cond, body, site, ..
+            } => {
                 loop {
                     let Some(outcome) = self.eval_condition(cond, *site, env, ctx, depth) else {
                         return Flow::Abort;

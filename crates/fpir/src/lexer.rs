@@ -324,7 +324,9 @@ impl<'a> Lexer<'a> {
                     TokenKind::Bang
                 }
             }
-            c if c.is_ascii_digit() || (c == b'.' && self.peek2().is_some_and(|d| d.is_ascii_digit())) => {
+            c if c.is_ascii_digit()
+                || (c == b'.' && self.peek2().is_some_and(|d| d.is_ascii_digit())) =>
+            {
                 self.lex_number(line)?
             }
             c if c.is_ascii_alphabetic() || c == b'_' => self.lex_ident(),
@@ -383,7 +385,11 @@ impl<'a> Lexer<'a> {
             // Fdlibm writes masks like 0xffffffff that exceed i32 but fit u32;
             // parse as u64 then reinterpret within i64.
             let value = u64::from_str_radix(text, 16).map_err(|_| {
-                CompileError::at(ErrorKind::Lex, line, format!("invalid hex literal 0x{text}"))
+                CompileError::at(
+                    ErrorKind::Lex,
+                    line,
+                    format!("invalid hex literal 0x{text}"),
+                )
             })?;
             return Ok(TokenKind::IntLit(value as i64));
         }
@@ -412,7 +418,11 @@ impl<'a> Lexer<'a> {
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
         if saw_dot || saw_exp {
             let value: f64 = text.parse().map_err(|_| {
-                CompileError::at(ErrorKind::Lex, line, format!("invalid float literal {text}"))
+                CompileError::at(
+                    ErrorKind::Lex,
+                    line,
+                    format!("invalid float literal {text}"),
+                )
             })?;
             Ok(TokenKind::FloatLit(value))
         } else {

@@ -187,7 +187,12 @@ impl Parser {
                     None
                 };
                 self.expect(&TokenKind::Semicolon, "';'")?;
-                Ok(Stmt::Decl { ty, name, init, line })
+                Ok(Stmt::Decl {
+                    ty,
+                    name,
+                    init,
+                    line,
+                })
             }
             TokenKind::KwIf => {
                 self.bump();
@@ -200,7 +205,9 @@ impl Parser {
                     if *self.peek() == TokenKind::KwIf {
                         // `else if` chains become a nested single-statement block.
                         let nested = self.parse_stmt()?;
-                        Some(Block { stmts: vec![nested] })
+                        Some(Block {
+                            stmts: vec![nested],
+                        })
                     } else {
                         Some(self.parse_block_or_single()?)
                     }
@@ -584,7 +591,13 @@ mod tests {
         let Stmt::While { cond, .. } = &m.functions[0].body.stmts[1] else {
             panic!("expected while");
         };
-        assert!(matches!(cond, Expr::Binary { op: BinOp::LogicalAnd, .. }));
+        assert!(matches!(
+            cond,
+            Expr::Binary {
+                op: BinOp::LogicalAnd,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -601,10 +614,19 @@ mod tests {
         .unwrap();
         let f = &m.functions[0];
         assert_eq!(f.body.stmts.len(), 3);
-        let Stmt::Decl { init: Some(init), .. } = &f.body.stmts[0] else {
+        let Stmt::Decl {
+            init: Some(init), ..
+        } = &f.body.stmts[0]
+        else {
             panic!("expected decl with init");
         };
-        assert!(matches!(init, Expr::Binary { op: BinOp::BitAnd, .. }));
+        assert!(matches!(
+            init,
+            Expr::Binary {
+                op: BinOp::BitAnd,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -619,7 +641,10 @@ mod tests {
             "#,
         )
         .unwrap();
-        let Stmt::Decl { init: Some(init), .. } = &m.functions[0].body.stmts[0] else {
+        let Stmt::Decl {
+            init: Some(init), ..
+        } = &m.functions[0].body.stmts[0]
+        else {
             panic!()
         };
         assert!(matches!(init, Expr::Cast { ty: Ty::Int, .. }));
@@ -628,8 +653,10 @@ mod tests {
     #[test]
     fn operator_precedence_mul_binds_tighter_than_add() {
         let m = parse("double f(double x) { return x + x * 2.0; }").unwrap();
-        let Stmt::Return { value: Some(Expr::Binary { op, rhs, .. }), .. } =
-            &m.functions[0].body.stmts[0]
+        let Stmt::Return {
+            value: Some(Expr::Binary { op, rhs, .. }),
+            ..
+        } = &m.functions[0].body.stmts[0]
         else {
             panic!()
         };
@@ -643,7 +670,13 @@ mod tests {
         let Stmt::If { cond, site, .. } = &m.functions[0].body.stmts[0] else {
             panic!()
         };
-        assert!(matches!(cond, Expr::Binary { op: BinOp::Cmp(Cmp::Le), .. }));
+        assert!(matches!(
+            cond,
+            Expr::Binary {
+                op: BinOp::Cmp(Cmp::Le),
+                ..
+            }
+        ));
         assert!(site.is_none(), "site ids are assigned by instrumentation");
     }
 

@@ -96,7 +96,9 @@ fn print_stmt(out: &mut String, stmt: &Stmt, level: usize, show_pen: bool) {
             }
             out.push('\n');
         }
-        Stmt::While { cond, body, site, .. } => {
+        Stmt::While {
+            cond, body, site, ..
+        } => {
             if show_pen {
                 print_pen(out, level, *site, cond);
             }
@@ -218,8 +220,7 @@ mod tests {
     #[test]
     fn expression_rendering_covers_operators() {
         let module = check(
-            parse("int f(int a, int b) { return ((a & b) | (a ^ b)) << (a % (b + 1)); }")
-                .unwrap(),
+            parse("int f(int a, int b) { return ((a & b) | (a ^ b)) << (a % (b + 1)); }").unwrap(),
         )
         .unwrap();
         let printed = to_source(&module);

@@ -99,7 +99,12 @@ impl Checker<'_> {
 
     fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
         match stmt {
-            Stmt::Decl { ty, name, init, line } => {
+            Stmt::Decl {
+                ty,
+                name,
+                init,
+                line,
+            } => {
                 if *ty == Ty::Void {
                     return Err(CompileError::at(
                         ErrorKind::Type,
@@ -139,7 +144,9 @@ impl Checker<'_> {
                 }
                 Ok(())
             }
-            Stmt::While { cond, body, line, .. } => {
+            Stmt::While {
+                cond, body, line, ..
+            } => {
                 let cond_ty = self.check_expr(cond, *line)?;
                 ensure_scalar(cond_ty, *line)?;
                 self.check_block(body)
@@ -226,26 +233,29 @@ impl Checker<'_> {
             }
             Expr::Cast { ty, expr } => {
                 if *ty == Ty::Void {
-                    return Err(CompileError::at(ErrorKind::Type, line, "cannot cast to void"));
+                    return Err(CompileError::at(
+                        ErrorKind::Type,
+                        line,
+                        "cannot cast to void",
+                    ));
                 }
                 let inner = self.check_expr(expr, line)?;
                 ensure_scalar(inner, line)?;
                 Ok(*ty)
             }
             Expr::Call { name, args } => {
-                let (params, ret): (Vec<Ty>, Ty) = if let Some((params, ret)) =
-                    builtin_signature(name)
-                {
-                    (params.to_vec(), ret)
-                } else if let Some((params, ret)) = self.signatures.get(name) {
-                    (params.clone(), *ret)
-                } else {
-                    return Err(CompileError::at(
-                        ErrorKind::Type,
-                        line,
-                        format!("call to unknown function `{name}`"),
-                    ));
-                };
+                let (params, ret): (Vec<Ty>, Ty) =
+                    if let Some((params, ret)) = builtin_signature(name) {
+                        (params.to_vec(), ret)
+                    } else if let Some((params, ret)) = self.signatures.get(name) {
+                        (params.clone(), *ret)
+                    } else {
+                        return Err(CompileError::at(
+                            ErrorKind::Type,
+                            line,
+                            format!("call to unknown function `{name}`"),
+                        ));
+                    };
                 if params.len() != args.len() {
                     return Err(CompileError::at(
                         ErrorKind::Type,
@@ -330,9 +340,8 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_function() {
-        let err =
-            check_src("double f(double x) { return x; } double f(double y) { return y; }")
-                .unwrap_err();
+        let err = check_src("double f(double x) { return x; } double f(double y) { return y; }")
+            .unwrap_err();
         assert!(err.message.contains("duplicate"));
     }
 
@@ -350,8 +359,7 @@ mod tests {
 
     #[test]
     fn rejects_redeclaration_in_same_scope() {
-        let err =
-            check_src("double f(double x) { double a; double a; return x; }").unwrap_err();
+        let err = check_src("double f(double x) { double a; double a; return x; }").unwrap_err();
         assert!(err.message.contains("redeclared"));
     }
 

@@ -95,7 +95,10 @@ impl SimulatedAnnealing {
     where
         O: Objective + ?Sized,
     {
-        assert!(!x0.is_empty(), "cannot minimize a zero-dimensional function");
+        assert!(
+            !x0.is_empty(),
+            "cannot minimize a zero-dimensional function"
+        );
         let mut rng = derive_rng(self.seed, 0x00A2_2EA1);
         let dim = x0.len();
         let mut evals = 0usize;
@@ -194,7 +197,10 @@ mod tests {
             .seed(5)
             .minimize(&mut f, &[0.5]);
         assert_eq!(m.value, 0.0);
-        assert!(count < 10, "started at a zero point, should stop immediately");
+        assert!(
+            count < 10,
+            "started at a zero point, should stop immediately"
+        );
         assert!(m.stats.converged);
     }
 

@@ -173,7 +173,10 @@ impl BasinHopping {
         O: Objective + ?Sized,
         C: FnMut(&HopEvent<'_>) -> HopDecision,
     {
-        assert!(!x0.is_empty(), "cannot minimize a zero-dimensional function");
+        assert!(
+            !x0.is_empty(),
+            "cannot minimize a zero-dimensional function"
+        );
         let mut rng = derive_rng(self.seed, 0xB5_1A_55);
         let dim = x0.len();
 

@@ -12,6 +12,14 @@
 //! [`Objective::eval_batch`] call: a batch-capable engine amortizes its
 //! per-evaluation setup with zero change to which points are evaluated, in
 //! which order, or which probe is selected.
+//!
+//! For low dimensions the classic star is small (`2` candidates in 1-D,
+//! `4` in 2-D) — too small to fill the lanes of a data-parallel engine.
+//! [`probe_scales`](CompassSearch::probe_scales) widens the star *freely*:
+//! each sweep probes the same `2n` directions at `k` step scales
+//! (`h, h/2, h/4, …`) in one batch, which both fills lanes and lets a
+//! single sweep discover the contraction a classic search would need `k`
+//! sweeps for. The default (`1`) is the textbook algorithm, bit for bit.
 
 use crate::objective::{FnObjective, Objective};
 use crate::result::{Minimum, OptimStats};
@@ -30,6 +38,10 @@ pub struct CompassSearch {
     pub expansion: f64,
     /// Maximum number of probe sweeps.
     pub max_iterations: usize,
+    /// Number of step scales probed per sweep (`1` = the classic star; `k`
+    /// probes `h·contraction^j` for `j < k`, all in one batch). See the
+    /// [module docs](self).
+    pub probe_scales: usize,
 }
 
 impl Default for CompassSearch {
@@ -40,6 +52,7 @@ impl Default for CompassSearch {
             contraction: 0.5,
             expansion: 2.0,
             max_iterations: 2000,
+            probe_scales: 1,
         }
     }
 }
@@ -59,6 +72,18 @@ impl CompassSearch {
     /// Sets the sweep budget.
     pub fn max_iterations(mut self, iters: usize) -> Self {
         self.max_iterations = iters;
+        self
+    }
+
+    /// Sets the number of step scales probed per sweep (candidate-set
+    /// sizing for lane-parallel engines; `1` keeps the classic star).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales` is zero.
+    pub fn probe_scales(mut self, scales: usize) -> Self {
+        assert!(scales > 0, "at least one probe scale is required");
+        self.probe_scales = scales;
         self
     }
 
@@ -84,7 +109,10 @@ impl CompassSearch {
     where
         O: Objective + ?Sized,
     {
-        assert!(!x0.is_empty(), "cannot minimize a zero-dimensional function");
+        assert!(
+            !x0.is_empty(),
+            "cannot minimize a zero-dimensional function"
+        );
         let n = x0.len();
         let mut evals = 0usize;
 
@@ -93,23 +121,31 @@ impl CompassSearch {
             evals += 1;
             sanitize(f.eval_scalar(&point))
         };
+        let scales = self.probe_scales.max(1);
         let mut step = self.initial_step;
         let mut iterations = 0usize;
         let mut converged = false;
-        let mut probes: Vec<Vec<f64>> = Vec::with_capacity(2 * n);
-        let mut probe_values: Vec<f64> = Vec::with_capacity(2 * n);
+        let mut probes: Vec<Vec<f64>> = Vec::with_capacity(2 * n * scales);
+        let mut probe_values: Vec<f64> = Vec::with_capacity(2 * n * scales);
 
         while iterations < self.max_iterations {
             iterations += 1;
-            // The probe star `x ± h·e_i`, in the historical evaluation order
-            // (+ before - per coordinate), evaluated as one batch.
+            // The probe star `x ± h·e_i` at every configured scale
+            // (`h, h·c, h·c², …`), in the historical evaluation order
+            // (+ before - per coordinate, coarsest scale first), evaluated
+            // as one batch. With `probe_scales == 1` this is exactly the
+            // classic single-scale star.
             probes.clear();
-            for i in 0..n {
-                for sign in [1.0, -1.0] {
-                    let mut probe = point.clone();
-                    probe[i] += sign * step;
-                    probes.push(probe);
+            let mut contracted_step = step;
+            for _ in 0..scales {
+                for i in 0..n {
+                    for sign in [1.0, -1.0] {
+                        let mut probe = point.clone();
+                        probe[i] += sign * contracted_step;
+                        probes.push(probe);
+                    }
                 }
+                contracted_step *= self.contraction;
             }
             probe_values.clear();
             f.eval_batch(&probes, &mut probe_values);
@@ -121,10 +157,7 @@ impl CompassSearch {
             for (index, &raw) in probe_values.iter().enumerate() {
                 let pv = sanitize(raw);
                 let improves_current = pv < value;
-                let improves_best = best_probe
-                    .as_ref()
-                    .map(|&(_, bv)| pv < bv)
-                    .unwrap_or(true);
+                let improves_best = best_probe.as_ref().map(|&(_, bv)| pv < bv).unwrap_or(true);
                 if improves_current && improves_best {
                     best_probe = Some((index, pv));
                 }
@@ -133,10 +166,18 @@ impl CompassSearch {
                 Some((index, pv)) => {
                     point.clone_from(&probes[index]);
                     value = pv;
-                    step *= self.expansion;
+                    // Expand from the scale that produced the winner, so a
+                    // single-scale search keeps its classic step dynamics.
+                    let winner_scale = index / (2 * n);
+                    let mut winning_step = step;
+                    for _ in 0..winner_scale {
+                        winning_step *= self.contraction;
+                    }
+                    step = winning_step * self.expansion;
                 }
                 None => {
-                    step *= self.contraction;
+                    // Every probed scale failed; resume below the finest.
+                    step = contracted_step;
                     if step < self.min_step {
                         converged = true;
                         break;
@@ -181,7 +222,13 @@ mod tests {
 
     #[test]
     fn handles_plateau_objective() {
-        let mut f = |p: &[f64]| if p[0] <= 1.0 { 0.0 } else { (p[0] - 1.0).powi(2) };
+        let mut f = |p: &[f64]| {
+            if p[0] <= 1.0 {
+                0.0
+            } else {
+                (p[0] - 1.0).powi(2)
+            }
+        };
         let m = CompassSearch::new().minimize(&mut f, &[8.0]);
         assert_eq!(m.value, 0.0);
     }
@@ -212,5 +259,39 @@ mod tests {
     fn rejects_empty_input() {
         let mut f = |_: &[f64]| 0.0;
         let _ = CompassSearch::new().minimize(&mut f, &[]);
+    }
+
+    #[test]
+    fn multi_scale_star_finds_the_same_minimum() {
+        let mut classic_f = |p: &[f64]| (p[0] - 2.0).abs() + (p[1] + 1.0).abs();
+        let classic = CompassSearch::new().minimize(&mut classic_f, &[10.0, 10.0]);
+        let mut wide_f = |p: &[f64]| (p[0] - 2.0).abs() + (p[1] + 1.0).abs();
+        let wide = CompassSearch::new()
+            .probe_scales(2)
+            .minimize(&mut wide_f, &[10.0, 10.0]);
+        assert!(wide.value < 1e-6, "value {}", wide.value);
+        assert!(classic.value < 1e-6);
+        // The wider star spends fewer sweeps: each sweep covers two scales.
+        assert!(wide.stats.iterations <= classic.stats.iterations);
+    }
+
+    #[test]
+    fn single_scale_is_the_default_and_classic() {
+        assert_eq!(CompassSearch::default().probe_scales, 1);
+        // probe_scales(1) is a no-op relative to the default configuration.
+        let mut a_f = |p: &[f64]| (p[0] - 4.0).powi(2);
+        let a = CompassSearch::new().minimize(&mut a_f, &[0.0]);
+        let mut b_f = |p: &[f64]| (p[0] - 4.0).powi(2);
+        let b = CompassSearch::new()
+            .probe_scales(1)
+            .minimize(&mut b_f, &[0.0]);
+        assert_eq!(a.x[0].to_bits(), b.x[0].to_bits());
+        assert_eq!(a.stats.evaluations, b.stats.evaluations);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one probe scale")]
+    fn rejects_zero_probe_scales() {
+        let _ = CompassSearch::new().probe_scales(0);
     }
 }

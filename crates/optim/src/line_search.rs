@@ -514,8 +514,7 @@ mod tests {
                 (p[0] - 1.0).powi(2)
             }
         });
-        let (point, value, _) =
-            minimize_along_ray(&mut objective, &[4.0], &[-1.0], 0.5, 1e-9);
+        let (point, value, _) = minimize_along_ray(&mut objective, &[4.0], &[-1.0], 0.5, 1e-9);
         assert!((point[0] - 1.0).abs() < 1e-4);
         assert!(value < 1e-6);
     }

@@ -109,11 +109,16 @@ impl MultiStart {
         assert!(self.dimension > 0, "dimension must be positive");
         assert!(self.starts > 0, "at least one start is required");
         let mut rng = derive_rng(self.seed, 0x57A7);
-        let seeds = self.strategy.sample_batch(&mut rng, self.dimension, self.starts);
+        let seeds = self
+            .strategy
+            .sample_batch(&mut rng, self.dimension, self.starts);
         let mut best: Option<Minimum> = None;
 
         for (start_index, x0) in seeds.into_iter().enumerate() {
-            let hopper = self.hopper.clone().seed(self.hopper.seed ^ (start_index as u64) << 17);
+            let hopper = self
+                .hopper
+                .clone()
+                .seed(self.hopper.seed ^ (start_index as u64) << 17);
             let result = hopper.minimize_objective(f, &x0);
             best = Some(match best {
                 None => result,
@@ -148,7 +153,10 @@ mod tests {
         let mut f = rastrigin;
         let m = MultiStart::new(2)
             .starts(40)
-            .strategy(StartingPointStrategy::UniformBox { lo: -5.12, hi: 5.12 })
+            .strategy(StartingPointStrategy::UniformBox {
+                lo: -5.12,
+                hi: 5.12,
+            })
             .hopper(
                 BasinHopping::new()
                     .iterations(10)

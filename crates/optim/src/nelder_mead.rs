@@ -100,20 +100,22 @@ impl NelderMead {
     where
         O: Objective + ?Sized,
     {
-        assert!(!x0.is_empty(), "cannot minimize a zero-dimensional function");
+        assert!(
+            !x0.is_empty(),
+            "cannot minimize a zero-dimensional function"
+        );
         let n = x0.len();
         let mut evals = 0usize;
         let eval = |f: &mut O, x: &[f64], evals: &mut usize| -> f64 {
             *evals += 1;
             sanitize(f.eval_scalar(x))
         };
-        let eval_batch =
-            |f: &mut O, points: &[Vec<f64>], evals: &mut usize| -> Vec<f64> {
-                *evals += points.len();
-                let mut raw = Vec::new();
-                f.eval_batch(points, &mut raw);
-                raw.iter().map(|&v| sanitize(v)).collect()
-            };
+        let eval_batch = |f: &mut O, points: &[Vec<f64>], evals: &mut usize| -> Vec<f64> {
+            *evals += points.len();
+            let mut raw = Vec::new();
+            f.eval_batch(points, &mut raw);
+            raw.iter().map(|&v| sanitize(v)).collect()
+        };
 
         // Initial simplex: x0 plus one perturbed vertex per dimension,
         // evaluated as one batch of n + 1 candidates.
@@ -174,8 +176,10 @@ impl NelderMead {
             ];
             let probe_values = eval_batch(f, &probes, &mut evals);
             let mut probes = probes.into_iter();
-            let (reflected, expanded) =
-                (probes.next().expect("two probes"), probes.next().expect("two probes"));
+            let (reflected, expanded) = (
+                probes.next().expect("two probes"),
+                probes.next().expect("two probes"),
+            );
             let (f_reflected, f_expanded) = (probe_values[0], probe_values[1]);
 
             if f_reflected < values[best] {
@@ -277,8 +281,7 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock_2d() {
-        let mut f =
-            |p: &[f64]| 100.0 * (p[1] - p[0] * p[0]).powi(2) + (1.0 - p[0]).powi(2);
+        let mut f = |p: &[f64]| 100.0 * (p[1] - p[0] * p[0]).powi(2) + (1.0 - p[0]).powi(2);
         let m = NelderMead::new()
             .max_iterations(5000)
             .minimize(&mut f, &[-1.2, 1.0]);
@@ -303,9 +306,10 @@ mod tests {
 
     #[test]
     fn respects_iteration_budget() {
-        let mut f =
-            |p: &[f64]| 100.0 * (p[1] - p[0] * p[0]).powi(2) + (1.0 - p[0]).powi(2);
-        let m = NelderMead::new().max_iterations(3).minimize(&mut f, &[-1.2, 1.0]);
+        let mut f = |p: &[f64]| 100.0 * (p[1] - p[0] * p[0]).powi(2) + (1.0 - p[0]).powi(2);
+        let m = NelderMead::new()
+            .max_iterations(3)
+            .minimize(&mut f, &[-1.2, 1.0]);
         assert!(m.stats.iterations <= 3);
         assert!(!m.stats.converged);
     }

@@ -54,6 +54,19 @@ pub trait Objective {
             values.push(value);
         }
     }
+
+    /// Batch-size granularity this objective evaluates most efficiently —
+    /// the lane width of a data-parallel engine, `1` for plain scalar
+    /// objectives (the default).
+    ///
+    /// This is a *hint*, never a semantic knob: minimizers may use it to
+    /// size candidate sets they are free to size (a sampling chunk, a seed
+    /// schedule slice) to a multiple of it, but sets whose cardinality the
+    /// search algorithm owns (a simplex, a probe star) are submitted as-is,
+    /// and results must not depend on the hint's value.
+    fn preferred_batch(&self) -> usize {
+        1
+    }
 }
 
 /// Mutable references to objectives are objectives, so a caller can lend an
@@ -65,6 +78,10 @@ impl<O: Objective + ?Sized> Objective for &mut O {
 
     fn eval_batch(&mut self, points: &[Vec<f64>], values: &mut Vec<f64>) {
         (**self).eval_batch(points, values)
+    }
+
+    fn preferred_batch(&self) -> usize {
+        (**self).preferred_batch()
     }
 }
 

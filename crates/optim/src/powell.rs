@@ -78,7 +78,10 @@ impl Powell {
     where
         O: Objective + ?Sized,
     {
-        assert!(!x0.is_empty(), "cannot minimize a zero-dimensional function");
+        assert!(
+            !x0.is_empty(),
+            "cannot minimize a zero-dimensional function"
+        );
         let n = x0.len();
         let mut evals = 0usize;
         let mut point = x0.to_vec();
@@ -108,8 +111,7 @@ impl Powell {
 
             for (i, direction) in directions.iter().enumerate() {
                 let before = value;
-                let (new_point, new_value, line_evals) =
-                    self.line_minimize(f, &point, direction);
+                let (new_point, new_value, line_evals) = self.line_minimize(f, &point, direction);
                 evals += line_evals;
                 if new_value < value {
                     point = new_point;
@@ -124,8 +126,7 @@ impl Powell {
 
             // Convergence: relative decrease over the whole sweep.
             let decrease = start_value - value;
-            if 2.0 * decrease.abs()
-                <= self.f_tolerance * (start_value.abs() + value.abs() + 1e-25)
+            if 2.0 * decrease.abs() <= self.f_tolerance * (start_value.abs() + value.abs() + 1e-25)
             {
                 converged = true;
                 break;
@@ -134,11 +135,8 @@ impl Powell {
             // Direction update heuristic (Numerical Recipes §10.7): consider
             // replacing the direction of largest decrease with the total
             // displacement of this sweep.
-            let displacement: Vec<f64> = point
-                .iter()
-                .zip(&start_point)
-                .map(|(a, b)| a - b)
-                .collect();
+            let displacement: Vec<f64> =
+                point.iter().zip(&start_point).map(|(a, b)| a - b).collect();
             if norm(&displacement) < 1e-15 {
                 converged = true;
                 break;
@@ -153,7 +151,8 @@ impl Powell {
                 sanitize(f.eval_scalar(&extrapolated))
             };
             if f_extrapolated < start_value {
-                let t = 2.0 * (start_value - 2.0 * value + f_extrapolated)
+                let t = 2.0
+                    * (start_value - 2.0 * value + f_extrapolated)
                     * (start_value - value - largest_decrease).powi(2)
                     - largest_decrease * (start_value - f_extrapolated).powi(2);
                 if t < 0.0 {
@@ -164,8 +163,7 @@ impl Powell {
                         point = new_point;
                         value = new_value;
                     }
-                    directions[largest_decrease_index] =
-                        directions.last().expect("n >= 1").clone();
+                    directions[largest_decrease_index] = directions.last().expect("n >= 1").clone();
                     let last = directions.len() - 1;
                     directions[last] = normalized(&displacement);
                 }
@@ -232,9 +230,10 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock() {
-        let mut f =
-            |p: &[f64]| 100.0 * (p[1] - p[0] * p[0]).powi(2) + (1.0 - p[0]).powi(2);
-        let m = Powell::new().max_iterations(500).minimize(&mut f, &[-1.2, 1.0]);
+        let mut f = |p: &[f64]| 100.0 * (p[1] - p[0] * p[0]).powi(2) + (1.0 - p[0]).powi(2);
+        let m = Powell::new()
+            .max_iterations(500)
+            .minimize(&mut f, &[-1.2, 1.0]);
         assert!(m.value < 1e-8, "value {}", m.value);
     }
 

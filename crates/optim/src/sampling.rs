@@ -99,7 +99,10 @@ pub enum StartingPointStrategy {
 
 impl Default for StartingPointStrategy {
     fn default() -> Self {
-        StartingPointStrategy::UniformBox { lo: -100.0, hi: 100.0 }
+        StartingPointStrategy::UniformBox {
+            lo: -100.0,
+            hi: 100.0,
+        }
     }
 }
 
@@ -229,15 +232,17 @@ mod tests {
         let mut batch_rng = SplitMix64::new(11);
         let batch = strat.sample_batch(&mut batch_rng, 2, 10);
         let mut seq_rng = SplitMix64::new(11);
-        let sequential: Vec<Vec<f64>> =
-            (0..10).map(|_| strat.sample(&mut seq_rng, 2)).collect();
+        let sequential: Vec<Vec<f64>> = (0..10).map(|_| strat.sample(&mut seq_rng, 2)).collect();
         assert_eq!(batch, sequential);
     }
 
     #[test]
     fn origin_strategy_is_zero() {
         let mut rng = SplitMix64::new(7);
-        assert_eq!(StartingPointStrategy::Origin.sample(&mut rng, 4), vec![0.0; 4]);
+        assert_eq!(
+            StartingPointStrategy::Origin.sample(&mut rng, 4),
+            vec![0.0; 4]
+        );
     }
 
     #[test]

@@ -250,7 +250,10 @@ mod tests {
     fn branch_index_roundtrip() {
         for site in 0..50u32 {
             for dir in [Direction::True, Direction::False] {
-                let b = BranchId { site, direction: dir };
+                let b = BranchId {
+                    site,
+                    direction: dir,
+                };
                 assert_eq!(BranchId::from_index(b.index()), b);
             }
         }

@@ -1,0 +1,360 @@
+//! The lane backend: data-parallel evaluation of a representing function
+//! over a batch of independent inputs.
+//!
+//! The candidates a minimizer submits in one batch — a Nelder–Mead simplex,
+//! a compass probe star, a shard's start schedule — are independent, so
+//! their evaluations can execute in lockstep. Programs under test are
+//! native code (hand-instrumented Rust ports, or the FPIR interpreter), so
+//! their *control flow* cannot be run one-instruction-per-lane the way a
+//! SIMT interpreter would; what fuses across lanes instead is the
+//! instrumentation itself, split into two phases:
+//!
+//! 1. **record** — each lane executes the program once through a shared
+//!    deferred-penalty [`ExecCtx`] ([`ExecCtx::deferred_pen`]). Per
+//!    conditional, the injected `r = pen(...)` assignment collapses to a
+//!    single *gather* into a per-site pen-code table plus a mask-style
+//!    overwrite of the lane's pending-event slot — no distance arithmetic,
+//!    no coverage or trace bookkeeping. This exploits the algebra of
+//!    Definition 4.2: `pen` either overwrites `r` with a value that does
+//!    not depend on the previous `r`, or keeps `r`; so the final `r` is a
+//!    function of the **last** event at a not-fully-saturated site alone,
+//!    and every earlier distance computation is dead work. Per-lane
+//!    divergence costs nothing here — lanes that branch differently simply
+//!    record different pending events;
+//! 2. **finalize** — the harvested pending events sit in structure-of-array
+//!    lane buffers (`[f64; LANE_WIDTH]` operand arrays, one code byte per
+//!    lane), and the one distance per lane that actually determines the
+//!    value is computed for all lanes in a lockstep pass.
+//!
+//! Bit-exactness with the scalar path is non-negotiable and holds by
+//! construction: the finalize performs exactly the [`distance`] call
+//! (same operands, same `ε`, same operation order) the last live `pen` of
+//! an eager execution performs, and dropping the overwritten earlier calls
+//! cannot change the bits of the surviving one. The property suite
+//! (`lane_properties` in `coverme-core`) pins this on generated programs,
+//! snapshots, and NaN/inf inputs at every batch size.
+//!
+//! [`distance`]: crate::distance
+
+use crate::branch::BranchSet;
+use crate::context::{pen_code, ExecCtx, PendingPen};
+use crate::distance::Cmp;
+use crate::program::Program;
+
+/// Number of evaluation lanes a [`LaneCtx`] packs per lockstep finalize.
+///
+/// Eight lanes of `f64` are one AVX-512 register or two AVX2 registers —
+/// wide enough for the finalize loops to auto-vectorize, small enough that
+/// a partially filled last chunk wastes little work. Batch producers that
+/// size a candidate stream freely learn this width through
+/// `Objective::preferred_batch` in `coverme-optim`; fixed-size sets (a
+/// probe star, a simplex) are evaluated as-is in partially filled chunks.
+pub const LANE_WIDTH: usize = 8;
+
+/// Smallest batch for which the lane path beats the scalar fast path.
+/// Below this, per-batch setup (harvest + finalize) outweighs the deferred
+/// per-branch savings, so batch dispatchers fall back to scalar evaluation.
+pub const MIN_LANE_BATCH: usize = 4;
+
+/// The lane-parallel evaluation context. See the [module docs](self).
+///
+/// A `LaneCtx` is long-lived, like the objective engine's scalar context:
+/// [`retarget`](Self::retarget) swaps the saturation snapshot per round
+/// (one pen-code table rebuild), and recording reuses one deferred
+/// [`ExecCtx`] across every lane of every batch.
+#[derive(Debug, Clone)]
+pub struct LaneCtx {
+    /// The shared deferred-penalty recording context.
+    ctx: ExecCtx,
+    /// Pen-dispatch code per recorded lane ([`pen_code`] values).
+    codes: [u8; LANE_WIDTH],
+    /// Comparison operator per recorded lane.
+    ops: [Cmp; LANE_WIDTH],
+    /// Left comparison operand per recorded lane.
+    lhs: [f64; LANE_WIDTH],
+    /// Right comparison operand per recorded lane.
+    rhs: [f64; LANE_WIDTH],
+    /// Number of recorded, not-yet-finalized lanes.
+    lanes: usize,
+}
+
+impl LaneCtx {
+    /// Creates a lane context evaluating against the given saturation
+    /// snapshot with the default `ε`.
+    pub fn new(saturated: BranchSet) -> LaneCtx {
+        LaneCtx {
+            ctx: ExecCtx::representing(saturated).deferred_pen(),
+            codes: [pen_code::IDLE; LANE_WIDTH],
+            ops: [Cmp::Eq; LANE_WIDTH],
+            lhs: [0.0; LANE_WIDTH],
+            rhs: [0.0; LANE_WIDTH],
+            lanes: 0,
+        }
+    }
+
+    /// Overrides the `ε` used by the branch distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not strictly positive.
+    pub fn with_epsilon(mut self, epsilon: f64) -> LaneCtx {
+        self.ctx = self.ctx.with_epsilon(epsilon);
+        self
+    }
+
+    /// The `ε` in use.
+    pub fn epsilon(&self) -> f64 {
+        self.ctx.epsilon()
+    }
+
+    /// The saturation snapshot the lanes evaluate against.
+    pub fn saturated(&self) -> &BranchSet {
+        self.ctx.saturated()
+    }
+
+    /// Replaces the saturation snapshot (one pen-code table rebuild, no
+    /// per-evaluation cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lanes were recorded but not yet finalized.
+    pub fn retarget(&mut self, saturated: BranchSet) {
+        assert_eq!(self.lanes, 0, "retarget with unfinalized lanes pending");
+        self.ctx.retarget(saturated);
+    }
+
+    /// Number of recorded, not-yet-finalized lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Whether every lane slot is filled (the caller should finalize).
+    pub fn is_full(&self) -> bool {
+        self.lanes == LANE_WIDTH
+    }
+
+    /// Whether no lane is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lanes == 0
+    }
+
+    /// Records one lane: executes `program` on `input` through the deferred
+    /// context and harvests the surviving pending event into the lane
+    /// buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all [`LANE_WIDTH`] lanes are already filled.
+    pub fn record<P: Program + ?Sized>(&mut self, program: &P, input: &[f64]) {
+        assert!(self.lanes < LANE_WIDTH, "all lanes filled; finalize first");
+        self.ctx.reset();
+        program.execute(input, &mut self.ctx);
+        let PendingPen { code, op, lhs, rhs } = self.ctx.pending_pen();
+        let lane = self.lanes;
+        self.codes[lane] = code;
+        self.ops[lane] = op;
+        self.lhs[lane] = lhs;
+        self.rhs[lane] = rhs;
+        self.lanes += 1;
+    }
+
+    /// Resolves every recorded lane in one lockstep pass, appending one
+    /// value per lane (in record order) to `values`, and clears the lanes.
+    ///
+    /// The loop body is branch-light on purpose: the operand arithmetic
+    /// runs over the SoA operand arrays, and each lane's code/op pair picks
+    /// the one `distance` that the eager path would have kept.
+    pub fn finalize_into(&mut self, values: &mut Vec<f64>) {
+        let epsilon = self.epsilon();
+        values.reserve(self.lanes);
+        for lane in 0..self.lanes {
+            let pending = PendingPen {
+                code: self.codes[lane],
+                op: self.ops[lane],
+                lhs: self.lhs[lane],
+                rhs: self.rhs[lane],
+            };
+            values.push(pending.resolve(epsilon));
+        }
+        self.lanes = 0;
+    }
+
+    /// Evaluates `FOO_R` over a whole batch: points are packed into
+    /// [`LANE_WIDTH`]-wide chunks, each chunk recorded lane by lane and
+    /// finalized in lockstep. One value per point is appended to `values`
+    /// in input order; `values` is not cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lanes were recorded but not yet finalized.
+    pub fn eval_batch<P: Program + ?Sized>(
+        &mut self,
+        program: &P,
+        points: &[Vec<f64>],
+        values: &mut Vec<f64>,
+    ) {
+        assert_eq!(self.lanes, 0, "eval_batch with unfinalized lanes pending");
+        values.reserve(points.len());
+        for chunk in points.chunks(LANE_WIDTH) {
+            for point in chunk {
+                self.record(program, point);
+            }
+            self.finalize_into(values);
+        }
+    }
+}
+
+impl Default for LaneCtx {
+    fn default() -> LaneCtx {
+        LaneCtx::new(BranchSet::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::BranchId;
+    use crate::distance::DEFAULT_EPSILON;
+    use crate::program::FnProgram;
+
+    /// The paper's Fig. 3 program with `square` inlined.
+    fn paper_example() -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
+        FnProgram::new("FOO", 1, 2, |input: &[f64], ctx: &mut ExecCtx| {
+            let mut x = input[0];
+            if ctx.branch(0, Cmp::Le, x, 1.0) {
+                x += 2.5;
+            }
+            let y = x * x;
+            if ctx.branch(1, Cmp::Eq, y, 4.0) {
+                // target
+            }
+        })
+    }
+
+    fn snapshots() -> Vec<BranchSet> {
+        vec![
+            BranchSet::new(),
+            [BranchId::false_of(1)].into_iter().collect(),
+            [BranchId::true_of(0), BranchId::false_of(1)]
+                .into_iter()
+                .collect(),
+            [
+                BranchId::true_of(0),
+                BranchId::false_of(0),
+                BranchId::true_of(1),
+                BranchId::false_of(1),
+            ]
+            .into_iter()
+            .collect(),
+        ]
+    }
+
+    #[test]
+    fn lane_values_match_eager_execution_bit_for_bit() {
+        let program = paper_example();
+        for saturated in snapshots() {
+            let mut lane = LaneCtx::new(saturated.clone());
+            let points: Vec<Vec<f64>> = (0..23).map(|i| vec![i as f64 * 0.61 - 7.0]).collect();
+            let mut values = Vec::new();
+            lane.eval_batch(&program, &points, &mut values);
+            assert_eq!(values.len(), points.len());
+            for (point, value) in points.iter().zip(&values) {
+                let mut eager = ExecCtx::representing(saturated.clone());
+                program.execute(point, &mut eager);
+                assert_eq!(
+                    value.to_bits(),
+                    eager.representing_value().to_bits(),
+                    "snapshot {saturated:?}, point {point:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deferred_context_matches_eager_on_specials() {
+        let program = paper_example();
+        let saturated: BranchSet = [BranchId::false_of(1)].into_iter().collect();
+        let mut deferred = ExecCtx::representing(saturated.clone()).deferred_pen();
+        for x in [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            1e300,
+            5e-324,
+        ] {
+            deferred.reset();
+            program.execute(&[x], &mut deferred);
+            let mut eager = ExecCtx::representing(saturated.clone());
+            program.execute(&[x], &mut eager);
+            assert_eq!(
+                deferred.representing_value().to_bits(),
+                eager.representing_value().to_bits(),
+                "x = {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_and_finalize_clear_the_lanes() {
+        let program = paper_example();
+        let mut lane = LaneCtx::new(BranchSet::new());
+        assert!(lane.is_empty());
+        lane.record(&program, &[0.5]);
+        lane.record(&program, &[2.0]);
+        assert_eq!(lane.lanes(), 2);
+        let mut values = Vec::new();
+        lane.finalize_into(&mut values);
+        assert_eq!(values, vec![0.0, 0.0]);
+        assert!(lane.is_empty());
+    }
+
+    #[test]
+    fn retarget_changes_the_target_snapshot() {
+        let program = paper_example();
+        let mut lane = LaneCtx::new(BranchSet::new());
+        let mut values = Vec::new();
+        lane.eval_batch(&program, &[vec![0.3]], &mut values);
+        assert_eq!(values, vec![0.0]);
+        lane.retarget([BranchId::false_of(1)].into_iter().collect());
+        values.clear();
+        lane.eval_batch(&program, &[vec![0.3]], &mut values);
+        assert!(values[0] > 0.0);
+    }
+
+    #[test]
+    fn partially_filled_last_chunk_is_finalized() {
+        let program = paper_example();
+        let mut lane = LaneCtx::new(BranchSet::new());
+        let points: Vec<Vec<f64>> = (0..LANE_WIDTH + 3).map(|i| vec![i as f64]).collect();
+        let mut values = Vec::new();
+        lane.eval_batch(&program, &points, &mut values);
+        assert_eq!(values.len(), LANE_WIDTH + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "all lanes filled")]
+    fn overfilling_the_lanes_panics() {
+        let program = paper_example();
+        let mut lane = LaneCtx::new(BranchSet::new());
+        for i in 0..=LANE_WIDTH {
+            lane.record(&program, &[i as f64]);
+        }
+    }
+
+    #[test]
+    fn custom_epsilon_reaches_the_finalize() {
+        let program = paper_example();
+        // Both branches of site 1 saturated on one side only matters with
+        // an equality op; use a snapshot whose pen goes through distance.
+        let saturated: BranchSet = [BranchId::true_of(1)].into_iter().collect();
+        for epsilon in [DEFAULT_EPSILON, 0.25, 2.0] {
+            let mut lane = LaneCtx::new(saturated.clone()).with_epsilon(epsilon);
+            let mut values = Vec::new();
+            lane.eval_batch(&program, &[vec![2.0]], &mut values);
+            let mut eager = ExecCtx::representing(saturated.clone()).with_epsilon(epsilon);
+            program.execute(&[2.0], &mut eager);
+            assert_eq!(values[0].to_bits(), eager.representing_value().to_bits());
+        }
+    }
+}

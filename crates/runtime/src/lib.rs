@@ -51,6 +51,7 @@ pub mod branch;
 pub mod context;
 pub mod coverage;
 pub mod distance;
+pub mod lane;
 pub mod pen;
 pub mod program;
 pub mod trace;
@@ -59,6 +60,7 @@ pub use branch::{BranchId, BranchSet, Direction, SiteId};
 pub use context::{ExecCtx, ExecMode};
 pub use coverage::{CoverageMap, CoverageSummary};
 pub use distance::{distance, Cmp, DEFAULT_EPSILON};
+pub use lane::{LaneCtx, LANE_WIDTH, MIN_LANE_BATCH};
 pub use pen::{pen, SiteSaturation};
 pub use program::{FnProgram, Program};
 pub use trace::{TakenBranch, Trace};

@@ -169,10 +169,7 @@ mod tests {
         let edges: Vec<_> = t.edges().collect();
         assert_eq!(edges.len(), 2);
         assert_eq!(edges[0], (None, BranchId::true_of(0)));
-        assert_eq!(
-            edges[1],
-            (Some(BranchId::true_of(0)), BranchId::true_of(1))
-        );
+        assert_eq!(edges[1], (Some(BranchId::true_of(0)), BranchId::true_of(1)));
     }
 
     #[test]

@@ -6,11 +6,15 @@
 use std::time::Duration;
 
 use coverme::{CoverMe, CoverMeConfig};
-use coverme_baselines::{AflConfig, AflFuzzer, AustinConfig, AustinTester, RandomConfig, RandomTester};
+use coverme_baselines::{
+    AflConfig, AflFuzzer, AustinConfig, AustinTester, RandomConfig, RandomTester,
+};
 use coverme_fdlibm::by_name;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "tanh".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tanh".to_string());
     let b = by_name(&name).expect("unknown benchmark; try tanh, pow, erf, ...");
 
     let coverme = CoverMe::new(CoverMeConfig::default().n_start(80).seed(7)).run(&b);

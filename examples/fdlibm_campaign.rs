@@ -21,6 +21,7 @@
 //!   --budget SECS        wall-clock budget; unstarted functions are skipped
 //!   --n-start N          starting points per function (default 80)
 //!   --seed S             campaign master seed (default 42)
+//!   --local METHOD       local minimizer: powell (default), nm, compass, none
 //!   --json PATH          also write the CampaignReport as JSON to PATH
 //!                        (per-function coverage, evals, cache hits and
 //!                        evals/sec — the artifact the nightly CI job and
@@ -28,11 +29,43 @@
 //!                        with --compare-shards the sharded run is written
 //!   names...             benchmark names (default: the full 40-function suite)
 //! ```
+//!
+//! Unknown flags and flags missing their value abort with a usage message
+//! (exit 2) rather than being misread as benchmark names.
 
 use std::time::Duration;
 
-use coverme::{Campaign, CampaignConfig, CampaignReport, CoverMeConfig};
+use coverme::{Campaign, CampaignConfig, CampaignReport, CoverMeConfig, LocalMethod};
 use coverme_fdlibm::{all, by_name};
+
+const USAGE: &str = "\
+usage: cargo run --release --example fdlibm_campaign -- [options] [names...]
+  --workers N          worker threads (default: auto, at least 2)
+  --shards N           shards per function (default 1 = unsharded)
+  --compare-shards N   run unsharded then with N shards and print the
+                       per-function wall-clock speedup
+  --budget SECS        wall-clock budget; unstarted functions are skipped
+  --n-start N          starting points per function (default 80)
+  --seed S             campaign master seed (default 42)
+  --local METHOD       local minimizer: powell (default), nm, compass, none
+  --json PATH          also write the CampaignReport as JSON to PATH
+  --help               print this message
+  names...             benchmark names (default: the full 40-function suite)";
+
+/// Aborts with the usage text on stderr; exit code 2, the conventional
+/// "bad invocation" status, so CI steps cannot misread a flag typo as a
+/// campaign result.
+fn usage_error(message: &str) -> ! {
+    eprintln!("fdlibm_campaign: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Parses a flag's value, aborting with a usage message on junk.
+fn parsed_for<T: std::str::FromStr>(flag: &str, value: String) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| usage_error(&format!("{flag} got invalid value {value}")))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,31 +75,55 @@ fn main() {
     let mut budget: Option<Duration> = None;
     let mut n_start = 80usize;
     let mut seed = 42u64;
+    let mut local_method = LocalMethod::Powell;
     let mut json_path: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
 
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
-        let mut value_for = |flag: &str| {
-            iter.next()
-                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        // A flag's value must be a real operand: the next argument, and not
+        // another flag — `--json --shards` is a missing path, not a path.
+        let mut value_for = |flag: &str| -> String {
+            match iter.next() {
+                Some(value) if !value.starts_with("--") => value,
+                Some(value) => usage_error(&format!("{flag} needs a value, found flag {value}")),
+                None => usage_error(&format!("{flag} needs a value")),
+            }
         };
         match arg.as_str() {
-            "--workers" => workers = value_for("--workers").parse().expect("--workers N"),
-            "--shards" => shards = value_for("--shards").parse().expect("--shards N"),
+            "--workers" => workers = parsed_for("--workers", value_for("--workers")),
+            "--shards" => shards = parsed_for("--shards", value_for("--shards")),
             "--compare-shards" => {
-                compare_shards =
-                    Some(value_for("--compare-shards").parse().expect("--compare-shards N"));
+                compare_shards = Some(parsed_for(
+                    "--compare-shards",
+                    value_for("--compare-shards"),
+                ));
             }
             "--budget" => {
-                let secs: f64 = value_for("--budget").parse().expect("--budget SECS");
+                let secs: f64 = parsed_for("--budget", value_for("--budget"));
                 budget = Some(Duration::from_secs_f64(secs));
             }
-            "--n-start" => n_start = value_for("--n-start").parse().expect("--n-start N"),
-            "--seed" => seed = value_for("--seed").parse().expect("--seed S"),
+            "--n-start" => n_start = parsed_for("--n-start", value_for("--n-start")),
+            "--seed" => seed = parsed_for("--seed", value_for("--seed")),
+            "--local" => {
+                local_method = match value_for("--local").as_str() {
+                    "powell" => LocalMethod::Powell,
+                    "nm" | "nelder-mead" => LocalMethod::NelderMead,
+                    "compass" => LocalMethod::Compass,
+                    "none" => LocalMethod::None,
+                    other => usage_error(&format!("--local got unknown method {other}")),
+                };
+            }
             "--json" => json_path = Some(value_for("--json")),
             "--all" => {}
-            other => names.push(other.to_string()),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            // Anything else dash-prefixed is a flag typo, not a function
+            // name; reject it instead of running a surprise campaign.
+            flag if flag.starts_with('-') => usage_error(&format!("unknown flag {flag}")),
+            name => names.push(name.to_string()),
         }
     }
 
@@ -75,13 +132,21 @@ fn main() {
     } else {
         names
             .iter()
-            .map(|name| by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}")))
+            .map(|name| {
+                by_name(name).unwrap_or_else(|| usage_error(&format!("unknown benchmark {name}")))
+            })
             .collect()
     };
 
     let run = |shards: usize| -> CampaignReport {
         let mut config = CampaignConfig::new()
-            .base(CoverMeConfig::default().n_start(n_start).seed(seed).shards(shards))
+            .base(
+                CoverMeConfig::default()
+                    .n_start(n_start)
+                    .seed(seed)
+                    .local_method(local_method)
+                    .shards(shards),
+            )
             .workers(workers);
         if let Some(budget) = budget {
             config = config.time_budget(budget);

@@ -5,7 +5,7 @@
 //! Run with `cargo run --release --example paper_pipeline`.
 
 use coverme::{CoverMe, CoverMeConfig};
-use coverme_fpir::{compile, instrument, parse, pretty, check};
+use coverme_fpir::{check, compile, instrument, parse, pretty};
 
 const SOURCE: &str = r#"
 double square(double x) { return x * x; }

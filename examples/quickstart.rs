@@ -10,9 +10,7 @@ fn main() {
     // exact-equality branch that random testing essentially never hits.
     let program = FnProgram::new("quickstart", 2, 3, |input: &[f64], ctx: &mut ExecCtx| {
         let (x, y) = (input[0], input[1]);
-        if ctx.branch(0, Cmp::Gt, x, 0.0)
-            && ctx.branch(1, Cmp::Lt, x * x + y * y, 1.0)
-        {
+        if ctx.branch(0, Cmp::Gt, x, 0.0) && ctx.branch(1, Cmp::Lt, x * x + y * y, 1.0) {
             // inside the upper half of the unit disc
         }
         if ctx.branch(2, Cmp::Eq, x + y, 42.0) {

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""CI gate for the objective-engine throughput benchmark.
+
+Compares the current ``BENCH_objective.json`` (written by
+``cargo bench -p coverme-bench --bench objective_engine -- --json ...``)
+against the committed baseline ``ci/bench_baseline.json`` and fails when
+evaluation throughput regressed by more than the tolerance.
+
+What is gated
+-------------
+CI runners differ wildly in absolute speed, so raw evals/sec cannot be
+compared against a baseline recorded on another machine. What *is* stable
+is throughput **normalized to the same-machine legacy path**: the speedup
+ratios ``engine_speedup_vs_legacy``, ``lane_speedup_vs_engine`` and
+``star_speedup_vs_engine`` divide out the machine, and a >15% drop in any
+of them means the corresponding evaluation path really got slower relative
+to the work it wraps — the regression the gate exists to catch. Absolute
+evals/sec are printed for context but never gated.
+
+The lane/star ratios are gated only for branch-dense functions (at least
+``--min-gated-sites`` conditional sites, default 20): that is where the
+lane backend's deferred-penalty savings dominate and the ratio is robust
+across microarchitectures. On 4–5-site functions the lane advantage hovers
+near 1x and swings with auto-vectorization luck, so those rows are
+reported without being enforced.
+
+Exit status: 0 when every gated metric is within tolerance, 1 otherwise
+(and 2 for usage/schema errors, so a malformed artifact cannot pass as
+"no regression").
+"""
+
+import argparse
+import json
+import sys
+
+# (metric, gated only for branch-dense functions?)
+GATED_METRICS = (
+    ("engine_speedup_vs_legacy", False),
+    ("lane_speedup_vs_engine", True),
+    ("star_speedup_vs_engine", True),
+)
+REPORTED_METRICS = (
+    "legacy_evals_per_sec",
+    "engine_evals_per_sec",
+    "lane_evals_per_sec",
+    "star_evals_per_sec",
+    "hot_evals_per_sec",
+)
+
+UPDATE_INSTRUCTIONS = """\
+If this regression is intended (e.g. the engine traded single-path speed
+for a feature) or the baseline is stale, refresh it on a quiet machine and
+commit the result:
+
+    cargo bench -p coverme-bench --bench objective_engine -- \\
+        --json ci/bench_baseline.json
+    git add ci/bench_baseline.json
+
+Then explain the throughput change in the PR description. Do NOT refresh
+the baseline just to silence the gate on an unexplained slowdown."""
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as error:
+        sys.exit(f"bench_gate: cannot read {path}: {error}")
+    if data.get("schema") != 1 or data.get("bench") != "objective_engine":
+        sys.exit(f"bench_gate: {path} is not a schema-1 objective_engine artifact")
+    return data
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline (ci/bench_baseline.json)")
+    parser.add_argument("current", help="freshly measured BENCH_objective.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed relative drop per gated metric (default 0.15 = 15%%)",
+    )
+    parser.add_argument(
+        "--min-gated-sites",
+        type=int,
+        default=20,
+        help="fewest conditional sites for the lane/star ratios to be "
+        "enforced rather than just reported (default 20)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if not current.get("measured"):
+        sys.exit(
+            "bench_gate: current artifact was produced by a smoke run "
+            "(measured: false); run the bench with --bench before gating"
+        )
+
+    baseline_rows = {row["function"]: row for row in baseline["functions"]}
+    current_rows = {row["function"]: row for row in current["functions"]}
+
+    failures = []
+    metric_names = ", ".join(metric for metric, _ in GATED_METRICS)
+    print(
+        f"bench_gate: tolerance {args.tolerance:.0%} on {metric_names} "
+        f"(lane/star enforced at >= {args.min_gated_sites} sites)"
+    )
+    for name, base_row in sorted(baseline_rows.items()):
+        row = current_rows.get(name)
+        if row is None:
+            failures.append(f"{name}: missing from the current benchmark run")
+            continue
+        for metric, dense_only in GATED_METRICS:
+            base_value = base_row[metric]
+            value = row[metric]
+            floor = base_value * (1.0 - args.tolerance)
+            enforced = not dense_only or row.get("sites", 0) >= args.min_gated_sites
+            if not enforced:
+                status = "report-only"
+            elif value >= floor:
+                status = "ok"
+            else:
+                status = "REGRESSED"
+            print(
+                f"  {name:>8} {metric:<26} baseline {base_value:6.2f}x"
+                f"  current {value:6.2f}x  floor {floor:6.2f}x  {status}"
+            )
+            if enforced and value < floor:
+                drop = 1.0 - value / base_value if base_value else 1.0
+                failures.append(
+                    f"{name}: {metric} dropped {drop:.0%} "
+                    f"({base_value:.2f}x -> {value:.2f}x, floor {floor:.2f}x)"
+                )
+        context = "  ".join(
+            f"{metric.split('_evals')[0]} {row[metric] / 1e6:.1f}M/s"
+            for metric in REPORTED_METRICS
+        )
+        print(f"  {name:>8} (absolute, not gated: {context})")
+
+    extra = sorted(set(current_rows) - set(baseline_rows))
+    if extra:
+        print(f"bench_gate: note: functions not in the baseline (ignored): {', '.join(extra)}")
+
+    if failures:
+        print("\nbench_gate: FAIL — evaluation throughput regressed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print(f"\n{UPDATE_INSTRUCTIONS}", file=sys.stderr)
+        sys.exit(1)
+    print("bench_gate: ok — no gated metric regressed beyond tolerance")
+
+
+if __name__ == "__main__":
+    main()

@@ -87,8 +87,10 @@ fn static_descendants_from_the_mini_language_feed_saturation_tracking() {
         "f",
     )
     .unwrap();
-    let mut tracker =
-        SaturationTracker::with_static_descendants(Program::num_sites(&program), program.descendants());
+    let mut tracker = SaturationTracker::with_static_descendants(
+        Program::num_sites(&program),
+        program.descendants(),
+    );
     let mut ctx = ExecCtx::observe();
     program.execute(&[5.0], &mut ctx);
     tracker.record_trace(ctx.trace());
@@ -119,7 +121,11 @@ fn parallel_campaign_over_fdlibm_matches_sequential_searches() {
     let again = Campaign::new(CampaignConfig::new().base(base).workers(4)).run(&inventory);
     for (a, b) in report.results.iter().zip(&again.results) {
         let (a, b) = (a.report.as_ref().unwrap(), b.report.as_ref().unwrap());
-        assert_eq!(a.inputs, b.inputs, "{} diverged across worker counts", a.program);
+        assert_eq!(
+            a.inputs, b.inputs,
+            "{} diverged across worker counts",
+            a.program
+        );
         assert_eq!(a.coverage.covered_count(), b.coverage.covered_count());
     }
 
@@ -143,12 +149,22 @@ fn sharded_campaign_is_deterministic_and_loses_no_coverage() {
 
     let unsharded =
         Campaign::new(CampaignConfig::new().base(base.clone()).workers(2)).run(&inventory);
-    let sharded = Campaign::new(CampaignConfig::new().base(base.clone()).shards(4).workers(2))
-        .run(&inventory);
-    let again = Campaign::new(CampaignConfig::new().base(base).shards(4).workers(5))
-        .run(&inventory);
+    let sharded = Campaign::new(
+        CampaignConfig::new()
+            .base(base.clone())
+            .shards(4)
+            .workers(2),
+    )
+    .run(&inventory);
+    let again =
+        Campaign::new(CampaignConfig::new().base(base).shards(4).workers(5)).run(&inventory);
 
-    for ((a, b), c) in unsharded.results.iter().zip(&sharded.results).zip(&again.results) {
+    for ((a, b), c) in unsharded
+        .results
+        .iter()
+        .zip(&sharded.results)
+        .zip(&again.results)
+    {
         let a = a.report.as_ref().unwrap();
         let b = b.report.as_ref().unwrap();
         let c = c.report.as_ref().unwrap();
@@ -159,7 +175,11 @@ fn sharded_campaign_is_deterministic_and_loses_no_coverage() {
             b.coverage.covered_count(),
             a.coverage.covered_count()
         );
-        assert_eq!(b.inputs, c.inputs, "{} diverged across worker counts", b.program);
+        assert_eq!(
+            b.inputs, c.inputs,
+            "{} diverged across worker counts",
+            b.program
+        );
         assert_eq!(b.coverage.covered_count(), c.coverage.covered_count());
     }
     assert_eq!(sharded.shards, 4);

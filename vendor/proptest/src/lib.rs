@@ -262,13 +262,19 @@ impl From<usize> for SizeRange {
 
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
-        SizeRange { lo: r.start, hi: r.end }
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
     }
 }
 
 impl From<std::ops::RangeInclusive<usize>> for SizeRange {
     fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
     }
 }
 
@@ -285,7 +291,10 @@ pub mod collection {
     /// Generates vectors whose length falls in `size` and whose elements
     /// come from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
