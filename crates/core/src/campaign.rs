@@ -1,49 +1,68 @@
-//! Parallel coverage campaigns: CoverMe searches fanned out across worker
-//! threads on a two-level work queue of functions × shards.
+//! Parallel coverage campaigns: an event-driven scheduler that fans
+//! epoch-resumable CoverMe searches across worker threads and streams
+//! report rows as functions finish.
 //!
 //! The paper evaluates CoverMe one Fdlibm function at a time; reproducing a
 //! whole table is embarrassingly parallel because every function is searched
-//! independently. A [`Campaign`] schedules one work unit per *(function,
-//! shard)* pair on a pool of scoped worker threads ([`std::thread::scope`]):
-//! with `shards = 1` (the default) that is one [`CoverMe`] search per
-//! inventory entry, exactly the paper's setup; with `shards > 1` every
-//! function's `n_start` budget additionally splits across shard units
-//! ([`crate::shard`]) whose snapshots are merged when they finish. Because
-//! units are claimed from one shared cursor in function-major order, a
-//! trailing heavy function (e.g. `ieee754_pow` with its 114 branches) fans
-//! out over the workers that would otherwise sit idle at the end of a
-//! campaign, instead of serializing its whole budget on one thread. The
-//! outcomes aggregate into a [`CampaignReport`] with per-function and
-//! suite-level branch/block coverage — the shape the Table 2/3/5 harnesses
-//! in `coverme-bench` consume.
+//! independently. A [`Campaign`] schedules **epoch tasks** — one slice of
+//! one *(function, shard)* search ([`SearchState::run_rounds`]) — on a pool
+//! of scoped worker threads ([`std::thread::scope`]). With `shards = 1` and
+//! sync off (the defaults) every function is a single task running one
+//! [`CoverMe`](crate::CoverMe) search to exhaustion, exactly the paper's
+//! setup; with
+//! `shards > 1` each function's `n_start` budget splits across shard units
+//! ([`crate::shard`]), and with `sync_epochs > 1` each shard's slice is
+//! further cut into epochs with a **barrier rendezvous per function**
+//! between them: when the last shard of a function's epoch parks its state,
+//! the rendezvous exchanges
+//! [`SaturationDelta`](crate::saturation::SaturationDelta)s among the shards
+//! ([`crate::sync::exchange_deltas`] — commutative, so arrival order cannot
+//! matter) and enqueues the next epoch's tasks. Because tasks are claimed
+//! from one shared queue seeded in function-major order, a trailing heavy
+//! function (e.g. `ieee754_pow` with its 114 branches) fans out over the
+//! workers that would otherwise sit idle at the end of a campaign.
 //!
-//! Three properties the runner guarantees:
+//! Finished functions do not wait for the suite: the moment a function's
+//! last epoch completes, its merged [`FunctionResult`] is emitted as a
+//! [`CampaignEvent`] — [`Campaign::run_with`] hands every event to a caller
+//! callback as it lands (the `fdlibm_campaign --stream` mode prints table
+//! rows this way), while [`Campaign::run`] just collects them. Either way
+//! the final [`CampaignReport`] lists results in inventory order.
+//!
+//! Properties the runner guarantees:
 //!
 //! * **Determinism across thread counts.** Every function's seed is derived
 //!   from the campaign seed, the *function name* and its duplicate-name
 //!   occurrence (never from scheduling or its inventory position, so a
-//!   subset campaign reproduces the full campaign's rows), each shard
-//!   unit's work is a deterministic
-//!   function of that seed and its shard index, and results are merged and
-//!   reported in inventory/shard order — so a budget-less campaign produces
-//!   identical searches whether it runs on 1 worker or 64.
+//!   subset campaign reproduces the full campaign's rows); each epoch
+//!   task's work is a deterministic function of
+//!   `(seed, shards, sync_epochs)`; and delta exchange is commutative — so
+//!   a budget-less campaign produces identical searches whether it runs on
+//!   1 worker or 64.
 //! * **Graceful budget expiry.** With a wall-clock budget set, workers check
-//!   the deadline *before* claiming a unit — an expired deadline never
+//!   the deadline *before* claiming a task — an expired deadline never
 //!   starts a zero-budget search that would be counted as completed — and
-//!   in-flight searches have their own time budget clamped to the time
-//!   remaining. Functions none of whose shards ran are reported as skipped;
-//!   functions with a partial shard set merge what did run.
-//! * **Work stealing.** Units are claimed from a shared atomic cursor, so a
-//!   slow function does not serialize the suite behind it.
+//!   searches created mid-campaign have their own time budget clamped to
+//!   the time remaining. Functions none of whose shards ran are reported as
+//!   [`FunctionStatus::Skipped`]; functions the deadline cut mid-search
+//!   keep everything their shards completed (the parked [`SearchState`]s
+//!   are finalized at the last completed epoch) and are reported as
+//!   [`FunctionStatus::Partial`] instead of being dropped.
+//! * **Work conservation.** Tasks are claimed from a shared queue guarded
+//!   by a condvar, so a slow function does not serialize the suite behind
+//!   it and idle workers sleep instead of spinning.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::{mpsc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use coverme_runtime::Program;
 
-use crate::driver::CoverMeConfig;
+use crate::driver::{CoverMeConfig, EpochOutcome, SearchState};
 use crate::report::TestReport;
-use crate::shard::{merge_shards, run_shard, ShardOutcome};
+use crate::saturation::SaturationDelta;
+use crate::shard::{merge_shards, ShardOutcome};
+use crate::sync::{exchange_deltas, SyncPlan};
 
 /// Configuration of a parallel campaign.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -88,6 +107,14 @@ impl CampaignConfig {
         self
     }
 
+    /// Sets the per-function sync-epoch count on the template configuration
+    /// (convenience for `base.sync_epochs`; `0`/`1` = off, see
+    /// [`crate::sync`]).
+    pub fn sync_epochs(mut self, sync_epochs: usize) -> Self {
+        self.base.sync_epochs = sync_epochs;
+        self
+    }
+
     /// Sets the campaign wall-clock budget.
     pub fn time_budget(mut self, budget: Duration) -> Self {
         self.time_budget = Some(budget);
@@ -119,6 +146,51 @@ impl CampaignConfig {
     }
 }
 
+/// How far the campaign got with one function before reporting it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FunctionStatus {
+    /// Every shard ran its full schedule (to saturation or budget
+    /// exhaustion) — the result a budget-less campaign always produces.
+    Complete,
+    /// The campaign deadline cut the search: some shards never ran, or a
+    /// shard's wall-clock budget expired mid-slice. The report merges
+    /// everything that did complete (the parked search states are
+    /// finalized at the last completed epoch) instead of dropping it.
+    Partial,
+    /// The deadline expired before any of the function's shards started;
+    /// there is no report.
+    Skipped,
+}
+
+impl FunctionStatus {
+    /// Stable lowercase label (used by the JSON artifact).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FunctionStatus::Complete => "complete",
+            FunctionStatus::Partial => "partial",
+            FunctionStatus::Skipped => "skipped",
+        }
+    }
+}
+
+/// A progress notification of a running campaign, delivered to the
+/// [`Campaign::run_with`] callback the moment the scheduler produces it —
+/// the streaming seam `fdlibm_campaign --stream` prints rows from.
+#[derive(Debug, Clone)]
+pub enum CampaignEvent {
+    /// A function's last epoch completed (or the deadline finalized its
+    /// partial progress) and its merged result is ready. Events arrive in
+    /// *completion* order, not inventory order; `index` is the function's
+    /// inventory position.
+    FunctionFinished {
+        /// Inventory index of the finished function.
+        index: usize,
+        /// The function's merged result — the same value the final
+        /// [`CampaignReport`] carries at `results[index]`.
+        result: FunctionResult,
+    },
+}
+
 /// The outcome of one function of the campaign.
 #[derive(Debug, Clone)]
 pub struct FunctionResult {
@@ -131,6 +203,9 @@ pub struct FunctionResult {
     /// expired (equals the configured shard count on an unconstrained
     /// campaign, `0` when skipped).
     pub shards_run: usize,
+    /// Whether the function ran to completion, was cut by the deadline
+    /// with partial progress kept, or never started.
+    pub status: FunctionStatus,
 }
 
 impl FunctionResult {
@@ -164,6 +239,36 @@ impl FunctionResult {
     pub fn evals_per_second(&self) -> Option<f64> {
         self.report.as_ref().map(TestReport::evals_per_second)
     }
+
+    /// One formatted campaign-table row (no trailing newline) — exactly
+    /// the line [`CampaignReport`]'s `Display` prints for this function,
+    /// exposed so streaming consumers can print rows as
+    /// [`CampaignEvent`]s land.
+    pub fn table_row(&self) -> String {
+        match &self.report {
+            Some(report) => {
+                let mut row = format!(
+                    "{:<22} {:>9} {:>9} {:>12.1} {:>10} {:>10} {:>9.0} {:>10.3}",
+                    self.name,
+                    report.coverage.total_branches(),
+                    report.inputs.len(),
+                    report.branch_coverage_percent(),
+                    report.evaluations,
+                    report.cache_hits,
+                    report.evals_per_second(),
+                    report.wall_time.as_secs_f64()
+                );
+                if self.status == FunctionStatus::Partial {
+                    row.push_str(" (partial)");
+                }
+                row
+            }
+            None => format!(
+                "{:<22} {:>9} {:>9} {:>12} {:>10} {:>10} {:>9} {:>10}",
+                self.name, "-", "-", "skipped", "-", "-", "-", "-"
+            ),
+        }
+    }
 }
 
 /// Aggregated result of a [`Campaign::run`], one entry per inventory
@@ -176,12 +281,16 @@ pub struct CampaignReport {
     pub workers: usize,
     /// Per-function shard count of the schedule.
     pub shards: usize,
+    /// Effective per-function sync-epoch count of the schedule (1 = sync
+    /// off, the pre-sync behavior).
+    pub sync_epochs: usize,
     /// Wall-clock time of the whole campaign.
     pub wall_time: Duration,
 }
 
 impl CampaignReport {
-    /// Number of functions whose search completed.
+    /// Number of functions whose search produced a report (fully or cut by
+    /// the deadline with partial progress kept).
     pub fn completed(&self) -> usize {
         self.results.iter().filter(|r| r.completed()).count()
     }
@@ -189,6 +298,15 @@ impl CampaignReport {
     /// Number of functions skipped because the budget expired.
     pub fn skipped(&self) -> usize {
         self.results.len() - self.completed()
+    }
+
+    /// Number of functions the deadline cut mid-search (their reports merge
+    /// the progress their shards completed).
+    pub fn partial(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.status == FunctionStatus::Partial)
+            .count()
     }
 
     /// Suite-level branch coverage in percent: covered branches over total
@@ -289,11 +407,44 @@ impl CampaignReport {
     /// has no serde); numbers use Rust's shortest-roundtrip `Display`,
     /// non-finite rates are clamped to 0.
     pub fn to_json(&self) -> String {
+        self.write_json(None)
+    }
+
+    /// Like [`to_json`](Self::to_json), but additionally records a sync-off
+    /// baseline run of the same inventory: per function an
+    /// `evals_sync_off` column next to `evals`, and suite-level sync-off
+    /// eval totals — the columns the nightly `BENCH_campaign.json`
+    /// artifact tracks the feedback-recovery claim with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline describes a different inventory (result
+    /// counts differ).
+    pub fn to_json_with_sync_baseline(&self, sync_off: &CampaignReport) -> String {
+        assert_eq!(
+            self.results.len(),
+            sync_off.results.len(),
+            "sync baseline must come from the same inventory"
+        );
+        self.write_json(Some(sync_off))
+    }
+
+    fn write_json(&self, sync_off: Option<&CampaignReport>) -> String {
         let mut out = String::with_capacity(4096 + 256 * self.results.len());
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"coverme-campaign-report/1\",\n");
+        out.push_str("  \"schema\": \"coverme-campaign-report/2\",\n");
         push_json_number(&mut out, "  ", "workers", self.workers as f64, true);
         push_json_number(&mut out, "  ", "shards", self.shards as f64, true);
+        push_json_number(&mut out, "  ", "sync_epochs", self.sync_epochs as f64, true);
+        if let Some(baseline) = sync_off {
+            push_json_number(
+                &mut out,
+                "  ",
+                "total_evaluations_sync_off",
+                baseline.total_evaluations() as f64,
+                true,
+            );
+        }
         push_json_number(
             &mut out,
             "  ",
@@ -352,6 +503,9 @@ impl CampaignReport {
             push_json_escaped(&mut out, &result.name);
             out.push_str("\",\n");
             push_json_bool(&mut out, "      ", "completed", result.completed(), true);
+            out.push_str("      \"status\": \"");
+            out.push_str(result.status.label());
+            out.push_str("\",\n");
             push_json_number(
                 &mut out,
                 "      ",
@@ -359,6 +513,24 @@ impl CampaignReport {
                 result.shards_run as f64,
                 true,
             );
+            if let Some(baseline) = sync_off {
+                push_json_number(
+                    &mut out,
+                    "      ",
+                    "evals_sync_off",
+                    baseline.results[index].evaluations() as f64,
+                    true,
+                );
+                if let Some(off_report) = &baseline.results[index].report {
+                    push_json_number(
+                        &mut out,
+                        "      ",
+                        "covered_branches_sync_off",
+                        off_report.coverage.covered_count() as f64,
+                        true,
+                    );
+                }
+            }
             match &result.report {
                 Some(report) => {
                     push_json_number(
@@ -390,6 +562,13 @@ impl CampaignReport {
                         true,
                     );
                     push_json_number(&mut out, "      ", "evals", report.evaluations as f64, true);
+                    push_json_number(
+                        &mut out,
+                        "      ",
+                        "epochs_run",
+                        report.epochs.len() as f64,
+                        true,
+                    );
                     push_json_number(
                         &mut out,
                         "      ",
@@ -440,10 +619,11 @@ impl CampaignReport {
     }
 }
 
-impl std::fmt::Display for CampaignReport {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
-            f,
+impl CampaignReport {
+    /// The campaign table's header line (no trailing newline) — pairs with
+    /// [`FunctionResult::table_row`] for streaming output.
+    pub fn table_header() -> String {
+        format!(
             "{:<22} {:>9} {:>9} {:>12} {:>10} {:>10} {:>9} {:>10}",
             "function",
             "#branches",
@@ -453,49 +633,50 @@ impl std::fmt::Display for CampaignReport {
             "hits",
             "evals/s",
             "time(s)"
-        )?;
-        for result in &self.results {
-            match &result.report {
-                Some(report) => writeln!(
-                    f,
-                    "{:<22} {:>9} {:>9} {:>12.1} {:>10} {:>10} {:>9.0} {:>10.3}",
-                    result.name,
-                    report.coverage.total_branches(),
-                    report.inputs.len(),
-                    report.branch_coverage_percent(),
-                    report.evaluations,
-                    report.cache_hits,
-                    report.evals_per_second(),
-                    report.wall_time.as_secs_f64()
-                )?,
-                None => writeln!(
-                    f,
-                    "{:<22} {:>9} {:>9} {:>12} {:>10} {:>10} {:>9} {:>10}",
-                    result.name, "-", "-", "skipped", "-", "-", "-", "-"
-                )?,
-            }
-        }
-        write!(
-            f,
+        )
+    }
+
+    /// The suite summary line (no trailing newline) the campaign table ends
+    /// with — exposed so a streaming consumer can print it after the last
+    /// row lands.
+    pub fn summary(&self) -> String {
+        let mut line = format!(
             "suite: {:.1}% branch, {:.1}% block coverage over {} functions \
-             ({} skipped) on {} workers",
+             ({} skipped",
             self.suite_branch_coverage_percent(),
             self.suite_block_coverage_percent(),
             self.completed(),
             self.skipped(),
-            self.workers,
-        )?;
-        if self.shards > 1 {
-            write!(f, " × {} shards", self.shards)?;
+        );
+        if self.partial() > 0 {
+            line.push_str(&format!(", {} partial", self.partial()));
         }
-        writeln!(
-            f,
+        line.push_str(&format!(") on {} workers", self.workers));
+        if self.shards > 1 {
+            line.push_str(&format!(" × {} shards", self.shards));
+        }
+        if self.sync_epochs > 1 {
+            line.push_str(&format!(" × {} sync epochs", self.sync_epochs));
+        }
+        line.push_str(&format!(
             " in {:.2?} — {} evals ({} cache hits, {:.0} evals/s aggregate)",
             self.wall_time,
             self.total_evaluations(),
             self.total_cache_hits(),
             self.suite_evals_per_second(),
-        )
+        ));
+        line
+    }
+}
+
+impl std::fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", CampaignReport::table_header())?;
+        for result in &self.results {
+            write!(f, "{}", result.table_row())?;
+            writeln!(f)?;
+        }
+        writeln!(f, "{}", self.summary())
     }
 }
 
@@ -587,24 +768,43 @@ impl Campaign {
         &self.config
     }
 
-    /// Runs the two-level (functions × shards) schedule across the worker
-    /// pool and aggregates the merged outcomes in inventory order.
+    /// Runs the epoch schedule across the worker pool and aggregates the
+    /// merged outcomes in inventory order. Equivalent to
+    /// [`run_with`](Self::run_with) with a no-op event handler.
     pub fn run<P: Program + Sync>(&self, inventory: &[P]) -> CampaignReport {
+        self.run_with(inventory, |_| {})
+    }
+
+    /// Runs the campaign, invoking `on_event` (on the calling thread) for
+    /// every [`CampaignEvent`] the scheduler produces — a
+    /// [`CampaignEvent::FunctionFinished`] the moment each function's
+    /// merged result is ready, in completion order. The returned report is
+    /// identical to [`run`](Self::run)'s; streaming only changes *when*
+    /// rows become visible, never what they contain.
+    pub fn run_with<P, F>(&self, inventory: &[P], mut on_event: F) -> CampaignReport
+    where
+        P: Program + Sync,
+        F: FnMut(&CampaignEvent),
+    {
         let started = Instant::now();
         let shards = self.config.effective_shards();
         let workers = self.config.effective_workers(inventory.len());
+        let mut template = self.config.base.clone();
+        // The worker grid is sized with the effective shard count; the
+        // per-shard stride must agree with it.
+        template.shards = shards;
+        let plan = SyncPlan::new(&template);
         if inventory.is_empty() {
             return CampaignReport {
                 results: Vec::new(),
                 workers,
                 shards,
+                sync_epochs: plan.epochs(),
                 wall_time: started.elapsed(),
             };
         }
 
         let deadline = self.config.time_budget.map(|budget| started + budget);
-        let units_total = inventory.len() * shards;
-        let cursor = AtomicUsize::new(0);
 
         // Seed derivation input per function: how many *earlier* inventory
         // entries share its name. 0 for every uniquely named function, so a
@@ -623,103 +823,306 @@ impl Campaign {
                 })
                 .collect()
         };
-
-        let completed: Vec<Vec<(usize, ShardOutcome)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local: Vec<(usize, ShardOutcome)> = Vec::new();
-                        loop {
-                            let remaining = match budget_state(deadline, Instant::now()) {
-                                BudgetState::Unlimited => None,
-                                BudgetState::Remaining(left) => Some(left),
-                                BudgetState::Expired => break,
-                            };
-                            let unit = cursor.fetch_add(1, Ordering::Relaxed);
-                            if unit >= units_total {
-                                break;
-                            }
-                            let function = unit / shards;
-                            let shard = unit % shards;
-                            let program = &inventory[function];
-                            let config = self.function_config(
-                                program.name(),
-                                occurrences[function],
-                                remaining,
-                            );
-                            local.push((unit, run_shard(&config, program, shard)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("campaign worker panicked"))
-                .collect()
-        });
-
-        let mut per_function: Vec<Vec<ShardOutcome>> = Vec::new();
-        per_function.resize_with(inventory.len(), Vec::new);
-        for (unit, outcome) in completed.into_iter().flatten() {
-            per_function[unit / shards].push(outcome);
-        }
-        let results = inventory
+        // Per-function configurations (derived seed, no deadline clamp —
+        // the clamp is applied when a search state is actually created).
+        let configs: Vec<CoverMeConfig> = inventory
             .iter()
-            .zip(per_function)
-            .map(|(program, mut outcomes)| {
-                let shards_run = outcomes.len();
-                let report = if outcomes.is_empty() {
-                    None
-                } else if shards == 1 {
-                    // The paper's setup: a single whole-budget search, passed
-                    // through without representative-input reselection so the
-                    // campaign reproduces a standalone `CoverMe::run` exactly.
-                    Some(
-                        outcomes
-                            .pop()
-                            .expect("non-empty")
-                            .into_report(program.name()),
-                    )
-                } else {
-                    Some(merge_shards(program.name(), outcomes).report)
-                };
-                FunctionResult {
-                    name: program.name().to_string(),
-                    report,
-                    shards_run,
-                }
+            .zip(&occurrences)
+            .map(|(program, &occurrence)| {
+                let mut config = template.clone();
+                config.seed =
+                    derive_function_seed(self.config.base.seed, program.name(), occurrence);
+                config
             })
             .collect();
+
+        // Epoch-0 tasks for every (function, shard) pair, function-major so
+        // the suite streams front to back and a trailing heavy function
+        // still fans out over idle workers.
+        let scheduler = Mutex::new(Scheduler {
+            queue: (0..inventory.len())
+                .flat_map(|function| {
+                    (0..shards).map(move |shard| Task {
+                        function,
+                        shard,
+                        epoch: 0,
+                    })
+                })
+                .collect(),
+            functions: (0..inventory.len())
+                .map(|_| FunctionRun {
+                    states: (0..shards).map(|_| None).collect(),
+                    published: vec![None; shards],
+                    pending: shards,
+                    epoch: 0,
+                    finished: false,
+                })
+                .collect(),
+            unfinished: inventory.len(),
+            expired: false,
+        });
+        let ready = Condvar::new();
+        let (sender, receiver) = mpsc::channel::<CampaignEvent>();
+
+        let mut results: Vec<Option<FunctionResult>> = inventory.iter().map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let scheduler = &scheduler;
+            let ready = &ready;
+            let plan = &plan;
+            let configs = &configs;
+            for _ in 0..workers {
+                let sender = sender.clone();
+                scope.spawn(move || {
+                    worker_loop(sender, scheduler, ready, plan, deadline, inventory, configs)
+                });
+            }
+            drop(sender);
+            // The caller's thread is the event loop: hand each row to the
+            // handler the moment a worker lands it, then keep it for the
+            // final report. The channel closes when the last worker exits.
+            for event in receiver.iter() {
+                on_event(&event);
+                let CampaignEvent::FunctionFinished { index, result } = event;
+                results[index] = Some(result);
+            }
+        });
+
+        // Deadline leftovers: functions the expiry cut mid-search keep the
+        // progress their parked states completed (partial), functions that
+        // never started are skipped. Emitted as events too, in inventory
+        // order, so a streaming consumer sees every row exactly once.
+        let mut scheduler = scheduler.into_inner().expect("scheduler lock poisoned");
+        for (index, run) in scheduler.functions.iter_mut().enumerate() {
+            if run.finished {
+                continue;
+            }
+            let outcomes: Vec<ShardOutcome> = run
+                .states
+                .iter_mut()
+                .filter_map(Option::take)
+                .map(SearchState::finish)
+                .collect();
+            let result = finalize_function(inventory[index].name(), outcomes, shards, true);
+            let event = CampaignEvent::FunctionFinished { index, result };
+            on_event(&event);
+            let CampaignEvent::FunctionFinished { result, .. } = event;
+            results[index] = Some(result);
+        }
+
         CampaignReport {
-            results,
+            results: results
+                .into_iter()
+                .map(|result| result.expect("every function finalized"))
+                .collect(),
             workers,
             shards,
+            sync_epochs: plan.epochs(),
             wall_time: started.elapsed(),
         }
     }
+}
 
-    /// The per-function configuration: the template with a seed derived from
-    /// the name and its duplicate-name occurrence and, under a campaign
-    /// deadline, a time budget clamped to what is left.
-    fn function_config(
-        &self,
-        name: &str,
-        occurrence: usize,
-        remaining: Option<Duration>,
-    ) -> CoverMeConfig {
-        let mut config = self.config.base.clone();
-        // The worker grid is sized with the effective shard count; the
-        // per-shard stride must agree with it.
-        config.shards = self.config.effective_shards();
-        config.seed = derive_function_seed(self.config.base.seed, name, occurrence);
-        if let Some(remaining) = remaining {
-            config.time_budget = Some(match config.time_budget {
-                Some(budget) => budget.min(remaining),
-                None => remaining,
-            });
+/// One epoch task: run one slice of one (function, shard) search.
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    function: usize,
+    shard: usize,
+    epoch: usize,
+}
+
+/// Rendezvous state of one function: parked search states between epochs
+/// plus the barrier countdown of the epoch in flight.
+struct FunctionRun<'inv, P: Program> {
+    /// One slot per shard; `None` until the shard's first epoch task
+    /// creates the state (and while a worker has it checked out).
+    states: Vec<Option<SearchState<'inv, P>>>,
+    /// Each shard's last published saturation delta, refreshed at the
+    /// rendezvous only when its tracker version moved (see
+    /// [`exchange_deltas`]).
+    published: Vec<Option<SaturationDelta>>,
+    /// Tasks of the current epoch not yet returned.
+    pending: usize,
+    /// The epoch currently in flight (next to rendezvous).
+    epoch: usize,
+    /// Whether the function was finalized and its event emitted.
+    finished: bool,
+}
+
+/// Shared scheduler state, guarded by one mutex + condvar pair.
+struct Scheduler<'inv, P: Program> {
+    queue: VecDeque<Task>,
+    functions: Vec<FunctionRun<'inv, P>>,
+    /// Functions not yet finalized; workers exit when it reaches 0.
+    unfinished: usize,
+    /// Set when a worker observes the campaign deadline expired; stops all
+    /// claiming, leaving parked states for partial finalization.
+    expired: bool,
+}
+
+/// The worker loop: claim an epoch task, check the state out of its slot
+/// (creating it on the shard's first epoch, with the time budget clamped
+/// to what the campaign deadline leaves), run the slice *outside* the
+/// lock, park the state, and — as the last shard of a function's epoch —
+/// run the rendezvous: exchange saturation deltas and enqueue the next
+/// epoch, or finalize the function and emit its event.
+fn worker_loop<'inv, P: Program + Sync>(
+    events: mpsc::Sender<CampaignEvent>,
+    scheduler: &Mutex<Scheduler<'inv, P>>,
+    ready: &Condvar,
+    plan: &SyncPlan,
+    deadline: Option<Instant>,
+    inventory: &'inv [P],
+    configs: &[CoverMeConfig],
+) {
+    loop {
+        let task = {
+            let mut guard = scheduler.lock().expect("scheduler lock poisoned");
+            loop {
+                if guard.expired || guard.unfinished == 0 {
+                    return;
+                }
+                if budget_state(deadline, Instant::now()) == BudgetState::Expired {
+                    guard.expired = true;
+                    ready.notify_all();
+                    return;
+                }
+                if let Some(task) = guard.queue.pop_front() {
+                    break task;
+                }
+                guard = ready.wait(guard).expect("scheduler lock poisoned");
+            }
+        };
+
+        // Check the state out (or create it — outside the lock, since
+        // schedule regeneration is O(n_start) RNG draws).
+        let parked = scheduler.lock().expect("scheduler lock poisoned").functions[task.function]
+            .states[task.shard]
+            .take();
+        let mut state = parked.unwrap_or_else(|| {
+            let mut config = configs[task.function].clone();
+            match budget_state(deadline, Instant::now()) {
+                BudgetState::Remaining(left) => {
+                    config.time_budget = Some(match config.time_budget {
+                        Some(budget) => budget.min(left),
+                        None => left,
+                    });
+                }
+                BudgetState::Expired => {
+                    // The deadline expired between the claim check and
+                    // state creation: a zero budget makes the state record
+                    // a DeadlineExpired outcome on its first round check
+                    // instead of running the whole slice unbounded.
+                    config.time_budget = Some(Duration::ZERO);
+                }
+                BudgetState::Unlimited => {}
+            }
+            SearchState::new(&config, &inventory[task.function], task.shard)
+        });
+        state.run_rounds(plan.rounds_in_epoch(task.shard, task.epoch));
+
+        let mut guard = scheduler.lock().expect("scheduler lock poisoned");
+        let scheduler_state = &mut *guard;
+        let run = &mut scheduler_state.functions[task.function];
+        run.states[task.shard] = Some(state);
+        run.pending -= 1;
+        if run.pending > 0 {
+            continue;
         }
-        config
+
+        // Rendezvous: this worker returned the function's last outstanding
+        // task of the epoch.
+        run.epoch += 1;
+        let active: Vec<usize> = run
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.as_ref().is_some_and(|s| !s.is_finished()))
+            .map(|(shard, _)| shard)
+            .collect();
+        if run.epoch < plan.epochs() && !active.is_empty() && !scheduler_state.expired {
+            exchange_deltas(&mut run.states, &mut run.published);
+            run.pending = active.len();
+            for shard in active {
+                scheduler_state.queue.push_back(Task {
+                    function: task.function,
+                    shard,
+                    epoch: run.epoch,
+                });
+            }
+            ready.notify_all();
+            continue;
+        }
+        if scheduler_state.expired && run.epoch < plan.epochs() && !active.is_empty() {
+            // The deadline raced the rendezvous: leave the states parked
+            // for partial finalization after the pool drains.
+            continue;
+        }
+
+        // The function ran its full schedule (or every shard finished
+        // early): finalize and emit — outside the lock, the merge is real
+        // work.
+        let deadline_cut = run
+            .states
+            .iter()
+            .flatten()
+            .any(|s| s.outcome() == Some(EpochOutcome::DeadlineExpired));
+        let states: Vec<SearchState<'inv, P>> =
+            run.states.iter_mut().filter_map(Option::take).collect();
+        run.finished = true;
+        scheduler_state.unfinished -= 1;
+        ready.notify_all();
+        drop(guard);
+
+        let outcomes: Vec<ShardOutcome> = states.into_iter().map(SearchState::finish).collect();
+        let result = finalize_function(
+            inventory[task.function].name(),
+            outcomes,
+            plan.shards(),
+            deadline_cut,
+        );
+        let _ = events.send(CampaignEvent::FunctionFinished {
+            index: task.function,
+            result,
+        });
+    }
+}
+
+/// Builds a function's [`FunctionResult`] from whatever shard outcomes
+/// exist. `deadline_cut` marks results the campaign deadline truncated
+/// (directly, or by leaving shards unstarted).
+fn finalize_function(
+    name: &str,
+    mut outcomes: Vec<ShardOutcome>,
+    configured_shards: usize,
+    deadline_cut: bool,
+) -> FunctionResult {
+    let shards_run = outcomes.len();
+    if outcomes.is_empty() {
+        return FunctionResult {
+            name: name.to_string(),
+            report: None,
+            shards_run: 0,
+            status: FunctionStatus::Skipped,
+        };
+    }
+    let report = if configured_shards == 1 {
+        // The paper's setup: a single whole-budget search, passed through
+        // without representative-input reselection so the campaign
+        // reproduces a standalone `CoverMe::run` exactly.
+        outcomes.pop().expect("non-empty").into_report(name)
+    } else {
+        merge_shards(name, outcomes).report
+    };
+    let status = if deadline_cut || shards_run < configured_shards {
+        FunctionStatus::Partial
+    } else {
+        FunctionStatus::Complete
+    };
+    FunctionResult {
+        name: name.to_string(),
+        report: Some(report),
+        shards_run,
+        status,
     }
 }
 
@@ -910,6 +1313,162 @@ mod tests {
             Campaign::new(CampaignConfig::new().base(quick_base()).workers(3)).run(&programs);
         let names: Vec<&str> = report.results.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(names, ["alpha", "beta", "gamma"]);
+    }
+
+    #[test]
+    fn streaming_events_match_the_final_report() {
+        let programs = inventory();
+        let mut events: Vec<(usize, String, bool)> = Vec::new();
+        let report = Campaign::new(CampaignConfig::new().base(quick_base()).workers(2)).run_with(
+            &programs,
+            |event| {
+                let CampaignEvent::FunctionFinished { index, result } = event;
+                events.push((*index, result.name.clone(), result.completed()));
+            },
+        );
+        // Exactly one event per function, carrying the same result the
+        // final report lists at that inventory index.
+        assert_eq!(events.len(), programs.len());
+        let mut indices: Vec<usize> = events.iter().map(|(i, _, _)| *i).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2]);
+        for (index, name, completed) in events {
+            assert_eq!(report.results[index].name, name);
+            assert_eq!(report.results[index].completed(), completed);
+        }
+        // The streamed run is the same run: identical to a collected one.
+        let collected =
+            Campaign::new(CampaignConfig::new().base(quick_base()).workers(2)).run(&programs);
+        assert_eq!(fingerprint(&report), fingerprint(&collected));
+    }
+
+    #[test]
+    fn synced_campaign_identical_across_thread_counts() {
+        let programs = inventory();
+        let runs: Vec<CampaignReport> = [1, 2, 5]
+            .iter()
+            .map(|&workers| {
+                let config = CampaignConfig::new()
+                    .base(quick_base().n_start(64))
+                    .shards(3)
+                    .sync_epochs(4)
+                    .workers(workers);
+                Campaign::new(config).run(&programs)
+            })
+            .collect();
+        assert_eq!(fingerprint(&runs[0]), fingerprint(&runs[1]));
+        assert_eq!(fingerprint(&runs[0]), fingerprint(&runs[2]));
+        assert_eq!(runs[0].sync_epochs, 4);
+        // The campaign's event-driven rendezvous agrees with the
+        // standalone sync drivers on the same derived seed.
+        for (program, result) in programs.iter().zip(&runs[0].results) {
+            let mut config = quick_base().n_start(64).shards(3).sync_epochs(4);
+            config.seed = derive_function_seed(quick_base().seed, program.name(), 0);
+            let standalone = crate::CoverMe::new(config).run(program);
+            let campaign = result.report.as_ref().unwrap();
+            assert_eq!(campaign.inputs, standalone.inputs, "{}", program.name());
+            assert_eq!(campaign.coverage, standalone.coverage);
+            assert_eq!(campaign.evaluations, standalone.evaluations);
+        }
+    }
+
+    #[test]
+    fn statuses_are_consistent_with_reports() {
+        // Budget-free: everything completes.
+        let programs = inventory();
+        let report =
+            Campaign::new(CampaignConfig::new().base(quick_base()).workers(2)).run(&programs);
+        assert!(report
+            .results
+            .iter()
+            .all(|r| r.status == FunctionStatus::Complete));
+        assert_eq!(report.partial(), 0);
+        assert!(!report.to_string().contains("partial"));
+        assert!(report.to_json().contains("\"status\": \"complete\""));
+
+        // Zero budget: everything skipped, no partials.
+        let cut = Campaign::new(
+            CampaignConfig::new()
+                .base(quick_base())
+                .workers(2)
+                .time_budget(Duration::ZERO),
+        )
+        .run(&programs);
+        assert!(cut
+            .results
+            .iter()
+            .all(|r| r.status == FunctionStatus::Skipped && r.report.is_none()));
+        assert!(cut.to_json().contains("\"status\": \"skipped\""));
+    }
+
+    #[test]
+    fn partial_rows_keep_their_progress_and_say_so() {
+        // Force the deadline to land mid-search: a large budget of rounds
+        // on one function with a deadline long enough to start but far too
+        // short to finish.
+        fn slow(input: &[f64], ctx: &mut ExecCtx) {
+            let mut x = input[0];
+            for site in 0..8u32 {
+                if ctx.branch(site, Cmp::Eq, x * x, -1.0) {
+                    // unreachable: keeps every round failing (and slow).
+                }
+                x = x * 0.9 + 1.0;
+            }
+        }
+        let programs = vec![FnProgram::new(
+            "slowpoke",
+            1,
+            8,
+            slow as fn(&[f64], &mut ExecCtx),
+        )];
+        let config = CampaignConfig::new()
+            .base(
+                quick_base()
+                    .n_start(200_000)
+                    .infeasible_policy(crate::InfeasiblePolicy::Disabled),
+            )
+            .workers(1)
+            .time_budget(Duration::from_millis(60));
+        let report = Campaign::new(config).run(&programs);
+        let result = &report.results[0];
+        assert_eq!(result.status, FunctionStatus::Partial, "{report}");
+        let partial = result.report.as_ref().expect("progress kept");
+        assert!(!partial.rounds.is_empty(), "progress dropped");
+        assert!(partial.rounds.len() < 200_000);
+        assert_eq!(report.partial(), 1);
+        let text = report.to_string();
+        assert!(text.contains("(partial)"), "{text}");
+        assert!(text.contains("1 partial"), "{text}");
+        assert!(report.to_json().contains("\"status\": \"partial\""));
+    }
+
+    #[test]
+    fn sync_json_baseline_adds_eval_columns() {
+        let programs = inventory();
+        let blind = Campaign::new(
+            CampaignConfig::new()
+                .base(quick_base().n_start(64))
+                .shards(3)
+                .workers(2),
+        )
+        .run(&programs);
+        let synced = Campaign::new(
+            CampaignConfig::new()
+                .base(quick_base().n_start(64))
+                .shards(3)
+                .sync_epochs(4)
+                .workers(2),
+        )
+        .run(&programs);
+        let json = synced.to_json_with_sync_baseline(&blind);
+        assert_eq!(
+            json.matches("\"evals_sync_off\":").count(),
+            programs.len(),
+            "{json}"
+        );
+        assert!(json.contains("\"total_evaluations_sync_off\":"));
+        assert!(json.contains("\"sync_epochs\": 4"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
@@ -1117,7 +1676,7 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "\"schema\": \"coverme-campaign-report/1\"",
+            "\"schema\": \"coverme-campaign-report/2\"",
             "\"suite_branch_coverage_percent\":",
             "\"total_evaluations\":",
             "\"total_cache_hits\":",

@@ -25,15 +25,19 @@
 //! (same merged report, no extra threads), [`CoverMe::run_parallel`] fans
 //! them across scoped worker threads for a wall-clock speedup.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use coverme_optim::{LocalMethod, PerturbationKind, StartingPointStrategy};
-use coverme_runtime::{Program, DEFAULT_EPSILON};
+use coverme_optim::rng::SplitMix64;
+use coverme_optim::{
+    BasinHopping, FnObjective, LocalMethod, PerturbationKind, StartingPointStrategy,
+};
+use coverme_runtime::{CoverageMap, Program, DEFAULT_EPSILON};
 
-use crate::objective::CacheMode;
+use crate::objective::{CacheMode, ObjectiveEngine};
 
-use crate::report::TestReport;
-use crate::shard::{merge_shards, run_shard, ShardOutcome};
+use crate::report::{EpochTelemetry, RoundOutcome, RoundRecord, TestReport};
+use crate::saturation::{SaturationDelta, SaturationTracker};
+use crate::shard::{merge_shards, run_shard, AcceptedInput, ShardOutcome};
 
 /// How `pen` decides that a conditional site no longer needs attention.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -97,6 +101,18 @@ pub struct CoverMeConfig {
     /// [`crate::shard`]). `0` and `1` both mean unsharded; the merged result
     /// is deterministic for a fixed shard count regardless of scheduling.
     pub shards: usize,
+    /// Number of sync epochs a sharded search is cut into (see
+    /// [`crate::sync`]). `0` and `1` both mean *off*: every shard runs its
+    /// whole strided slice blind and snapshots merge only at the end —
+    /// bit-identical to the pre-sync behavior. With `E > 1` the shards
+    /// rendezvous at `E - 1` deterministic barriers (keyed on
+    /// `(seed, shards, sync_epochs)`, never on scheduling) and exchange
+    /// [`SaturationDelta`](crate::saturation::SaturationDelta)s, so each
+    /// shard's later rounds stop chasing branches a sibling already
+    /// saturated — recovering the sequential run's directed-search
+    /// feedback at high shard counts. Ignored when the search is
+    /// unsharded.
+    pub sync_epochs: usize,
     /// Extension (on by default): when a round's minimum is positive but the
     /// backend clearly converged near a point (e.g. `x* = 1.9999999999997`
     /// for an exact-equality branch), probe a handful of "rounded"
@@ -133,6 +149,7 @@ impl Default for CoverMeConfig {
             time_budget: None,
             record_search_coverage: false,
             shards: 1,
+            sync_epochs: 0,
             polish: true,
             cache: CacheMode::Auto,
         }
@@ -229,6 +246,28 @@ impl CoverMeConfig {
         self.shards.clamp(1, widest)
     }
 
+    /// Sets the number of sync epochs of a sharded search (`0` and `1`
+    /// both mean off — no cross-shard exchange before the final merge).
+    pub fn sync_epochs(mut self, sync_epochs: usize) -> Self {
+        self.sync_epochs = sync_epochs;
+        self
+    }
+
+    /// The sync-epoch count a run of this configuration actually uses: `1`
+    /// (single epoch, no barriers) when sync is off or the search is
+    /// unsharded, otherwise the requested count capped so an epoch window
+    /// holds at least one round per shard on average. A pure function of
+    /// the configuration, so determinism per
+    /// `(seed, shards, sync_epochs)` is kept.
+    pub fn effective_sync_epochs(&self) -> usize {
+        let shards = self.effective_shards();
+        if shards <= 1 || self.sync_epochs <= 1 {
+            return 1;
+        }
+        let widest = (self.n_start / shards).max(1);
+        self.sync_epochs.min(widest)
+    }
+
     /// Enables or disables the rounding-based polish step applied to
     /// near-miss minima.
     pub fn polish(mut self, enabled: bool) -> Self {
@@ -280,6 +319,10 @@ impl CoverMe {
         if shards == 1 {
             return run_shard(&config, program, 0).into_report(program.name());
         }
+        if config.effective_sync_epochs() > 1 {
+            let outcomes = crate::sync::run_shards_synced(&config, program);
+            return merge_shards(program.name(), outcomes).report;
+        }
         let outcomes: Vec<ShardOutcome> = (0..shards)
             .map(|index| run_shard(&config, program, index))
             .collect();
@@ -302,6 +345,10 @@ impl CoverMe {
             shards,
             ..self.config.clone()
         };
+        if config.effective_sync_epochs() > 1 {
+            let outcomes = crate::sync::run_shards_synced_parallel(&config, program);
+            return merge_shards(program.name(), outcomes).report;
+        }
         let config = &config;
         let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shards)
@@ -314,6 +361,489 @@ impl CoverMe {
         });
         merge_shards(program.name(), outcomes).report
     }
+}
+
+/// Why a [`SearchState::run_rounds`] slice stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochOutcome {
+    /// The round quota of this slice is spent; the search has more rounds
+    /// to run and can be resumed with another `run_rounds` call.
+    Paused,
+    /// Every branch is saturated (possibly thanks to absorbed sibling
+    /// deltas); the search is finished.
+    Saturated,
+    /// The shard's strided slice of the starting-point schedule is
+    /// exhausted; the search is finished.
+    Exhausted,
+    /// The configured wall-clock budget ran out mid-slice; the search is
+    /// finished and the state holds everything completed so far.
+    DeadlineExpired,
+}
+
+impl EpochOutcome {
+    /// Whether the search can still make progress (`Paused`) or is done.
+    pub fn is_finished(&self) -> bool {
+        *self != EpochOutcome::Paused
+    }
+}
+
+/// The epoch-resumable search loop of Algorithm 1 — the per-round body of
+/// the sequential driver extracted into a state machine that can pause at
+/// any round boundary and resume later with no behavior change.
+///
+/// A `SearchState` owns everything one shard's search needs: its
+/// [`ObjectiveEngine`] (scalar fast path, lane backend, memo cache), the
+/// regenerated starting-point schedule (the shard's RNG stream — per-round
+/// minimizer seeds are derived from the global round index, never from
+/// scheduling), its [`SaturationTracker`], coverage, accepted inputs and
+/// round records. [`run_rounds(n)`](Self::run_rounds) executes up to `n`
+/// rounds of the shard's strided slice and reports why it stopped; running
+/// a state to exhaustion in one call is bit-identical to running it in
+/// any sequence of smaller slices (pinned by
+/// `tests/sync_properties.rs`), which is what makes epochs free:
+/// the sync barriers of [`crate::sync`] and the campaign's epoch
+/// scheduler are pure pause points.
+///
+/// Between slices a state can exchange saturation knowledge with sibling
+/// shards: [`extract_delta`](Self::extract_delta) publishes its tracker
+/// state, [`absorb_delta`](Self::absorb_delta) merges a sibling's. The
+/// next round's `retarget` then minimizes against the unioned snapshot,
+/// so the shard stops chasing branches a sibling already saturated —
+/// and exits entirely once the union saturates everything.
+#[derive(Debug)]
+pub struct SearchState<'a, P: Program> {
+    config: CoverMeConfig,
+    program: &'a P,
+    shard_index: usize,
+    shards: usize,
+    engine: ObjectiveEngine<&'a P>,
+    tracker: SaturationTracker,
+    coverage: CoverageMap,
+    accepted: Vec<AcceptedInput>,
+    rounds: Vec<RoundRecord>,
+    /// The full starting-point schedule, regenerated identically by every
+    /// shard from the function seed (see [`crate::shard`] module docs).
+    schedule: Vec<Vec<f64>>,
+    /// Next global round index this shard will run (always ≡ `shard_index`
+    /// mod `shards`).
+    cursor: usize,
+    evaluations: usize,
+    epochs: Vec<EpochTelemetry>,
+    /// Deltas absorbed since the previous `run_rounds` slice, credited to
+    /// the next slice's telemetry entry.
+    pending_absorbed: usize,
+    started: Instant,
+    /// Set once, when a slice first reports a finished outcome.
+    finished_at: Option<Instant>,
+    /// The finished outcome, repeated by later `run_rounds` calls.
+    finished: Option<EpochOutcome>,
+}
+
+impl<'a, P: Program> SearchState<'a, P> {
+    /// Creates the search state for shard `shard_index` of a search
+    /// configured for `config.shards` shards (`<= 1` means unsharded).
+    /// The wall-clock budget, if any, starts counting here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program takes no inputs or `shard_index` is out of
+    /// range for the configured shard count.
+    pub fn new(config: &CoverMeConfig, program: &'a P, shard_index: usize) -> SearchState<'a, P> {
+        let shards = config.shards.max(1);
+        assert!(
+            shard_index < shards,
+            "shard index {shard_index} out of range for {shards} shards"
+        );
+        let num_sites = program.num_sites();
+        let arity = program.arity();
+        assert!(arity > 0, "program under test must take at least one input");
+
+        let tracker = match config.pen_policy {
+            PenPolicy::Saturation => SaturationTracker::new(num_sites),
+            PenPolicy::CoveredOnly => SaturationTracker::new(num_sites).covered_only(),
+        };
+        // Under `record_search_coverage` the cache is forced off: that
+        // extension records the coverage of every intermediate evaluation,
+        // and the engine evaluates through the full path per call anyway.
+        let cache_mode = if config.record_search_coverage {
+            CacheMode::Off
+        } else {
+            config.cache
+        };
+        let engine = ObjectiveEngine::new(program, config.epsilon).cache_mode(cache_mode);
+        let mut start_rng = SplitMix64::new(config.seed ^ 0x5EED_0001);
+        let schedule = config
+            .starting_points
+            .sample_batch(&mut start_rng, arity, config.n_start);
+
+        SearchState {
+            config: config.clone(),
+            program,
+            shard_index,
+            shards,
+            engine,
+            tracker,
+            coverage: CoverageMap::new(num_sites),
+            accepted: Vec::new(),
+            rounds: Vec::new(),
+            schedule,
+            cursor: shard_index,
+            evaluations: 0,
+            epochs: Vec::new(),
+            pending_absorbed: 0,
+            started: Instant::now(),
+            finished_at: None,
+            finished: None,
+        }
+    }
+
+    /// Which shard this state searches for.
+    pub fn shard_index(&self) -> usize {
+        self.shard_index
+    }
+
+    /// The next global round index the state would run, or `None` when the
+    /// strided slice is exhausted.
+    pub fn next_round(&self) -> Option<usize> {
+        (self.cursor < self.config.n_start).then_some(self.cursor)
+    }
+
+    /// Whether a previous slice already reported a finished outcome.
+    pub fn is_finished(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    /// The finished outcome, once a slice reported one (`None` while the
+    /// search can still run). [`EpochOutcome::DeadlineExpired`] here is
+    /// what marks a campaign row `partial`.
+    pub fn outcome(&self) -> Option<EpochOutcome> {
+        self.finished
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds_run(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Representing-function evaluations spent so far.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// The state's saturation tracker (covered, descendants, infeasible).
+    pub fn tracker(&self) -> &SaturationTracker {
+        &self.tracker
+    }
+
+    /// Publishes the state's saturation knowledge for sibling shards (see
+    /// [`SaturationDelta`]).
+    pub fn extract_delta(&self) -> SaturationDelta {
+        self.tracker.delta()
+    }
+
+    /// Merges a sibling shard's published saturation knowledge into this
+    /// state. The next round's snapshot is the union, and the engine's
+    /// memo cache invalidates itself on the changed snapshot (a retarget
+    /// epoch bump), so no stale value survives. Returns whether the
+    /// tracker changed.
+    pub fn absorb_delta(&mut self, delta: &SaturationDelta) -> bool {
+        self.pending_absorbed += 1;
+        self.tracker.apply_delta(delta)
+    }
+
+    /// Runs the search to completion in one slice — the sequential driver
+    /// loop of Algorithm 1, restricted to the shard's strided slice.
+    pub fn run_to_exhaustion(&mut self) -> EpochOutcome {
+        self.run_rounds(usize::MAX)
+    }
+
+    /// Runs up to `max_rounds` rounds of the shard's strided slice and
+    /// reports why the slice stopped. Pausable at any round boundary with
+    /// no behavior change: the rounds executed, their records, inputs and
+    /// evaluation counts are bit-identical however the schedule is cut
+    /// into slices. Calling after the search finished re-reports the
+    /// finished outcome without doing work.
+    pub fn run_rounds(&mut self, max_rounds: usize) -> EpochOutcome {
+        if let Some(outcome) = self.finished {
+            return outcome;
+        }
+        let evals_before = self.evaluations;
+        let mut ran = 0usize;
+        let outcome = loop {
+            if self.cursor >= self.config.n_start {
+                break self.finish_slice(EpochOutcome::Exhausted);
+            }
+            if self.tracker.all_saturated() {
+                break self.finish_slice(EpochOutcome::Saturated);
+            }
+            if let Some(budget) = self.config.time_budget {
+                if self.started.elapsed() >= budget {
+                    break self.finish_slice(EpochOutcome::DeadlineExpired);
+                }
+            }
+            if ran == max_rounds {
+                break EpochOutcome::Paused;
+            }
+            self.run_one_round();
+            ran += 1;
+        };
+        let absorbed = std::mem::take(&mut self.pending_absorbed);
+        if ran > 0 || absorbed > 0 || self.epochs.is_empty() {
+            self.epochs.push(EpochTelemetry {
+                epoch: self.epochs.len(),
+                rounds: ran,
+                evaluations: self.evaluations - evals_before,
+                deltas_absorbed: absorbed,
+            });
+        }
+        outcome
+    }
+
+    /// Marks the search finished with `outcome` (idempotent timestamps).
+    fn finish_slice(&mut self, outcome: EpochOutcome) -> EpochOutcome {
+        self.finished = Some(outcome);
+        self.finished_at = Some(Instant::now());
+        outcome
+    }
+
+    /// One iteration of the outer loop of Algorithm 1 (lines 9–12): take
+    /// the shard's next starting point, minimize the representing function
+    /// against the current snapshot, and either accept the zero as a test
+    /// input or apply the infeasible-branch heuristic.
+    fn run_one_round(&mut self) {
+        let round = self.cursor;
+        self.cursor += self.shards;
+
+        // Line 9: the starting point this shard owns for this global round.
+        let x0 = self.schedule[round].clone();
+
+        // Step 2: the representing function against the current snapshot —
+        // the engine swaps it in place (and keeps its cache when the
+        // snapshot is unchanged since the previous round).
+        let snapshot = self.tracker.saturated_set();
+        let saturated_before = snapshot.len();
+        self.engine.retarget(&snapshot);
+
+        // Line 10: x* = MCMC(FOO_R, x), seeded by the *global* round index
+        // so the per-round minimizer stream matches the sequential driver.
+        let config = &self.config;
+        let hopper = BasinHopping::new()
+            .iterations(config.n_iter)
+            .local_method(config.local_method)
+            .perturbation(config.perturbation)
+            .temperature(1.0)
+            .seed(
+                config
+                    .seed
+                    .wrapping_add(round as u64)
+                    .wrapping_mul(0x9E37_79B9),
+            )
+            .target_value(config.zero_threshold);
+
+        let result = if config.record_search_coverage {
+            let engine = &mut self.engine;
+            let coverage = &mut self.coverage;
+            let tracker = &mut self.tracker;
+            let mut objective = FnObjective(move |x: &[f64]| {
+                let evaluation = engine.eval_full(x);
+                coverage.record_set(&evaluation.covered);
+                tracker.record_trace(&evaluation.trace);
+                evaluation.value
+            });
+            hopper.minimize_objective(&mut objective, &x0)
+        } else {
+            hopper.minimize_objective(&mut self.engine, &x0)
+        };
+        self.evaluations += result.stats.evaluations;
+
+        // Line 11-12: accept the minimum point if FOO_R(x*) = 0, update
+        // Saturate; otherwise apply the infeasible-branch heuristic.
+        let mut minimum_point = result.x.clone();
+        let mut evaluation = self.engine.eval_full(&minimum_point);
+        self.evaluations += 1;
+        if self.config.polish && evaluation.value > self.config.zero_threshold {
+            if let Some((polished, polished_eval, polish_evals)) =
+                polish_minimum(&mut self.engine, &minimum_point, self.config.zero_threshold)
+            {
+                minimum_point = polished;
+                evaluation = polished_eval;
+                self.evaluations += polish_evals;
+            }
+        }
+        let outcome = if evaluation.value <= self.config.zero_threshold {
+            let newly_covered = self.coverage.record_set(&evaluation.covered);
+            self.tracker.record_trace(&evaluation.trace);
+            self.accepted.push(AcceptedInput {
+                round,
+                input: minimum_point.clone(),
+                covered: evaluation.covered.clone(),
+            });
+            if newly_covered > 0 {
+                RoundOutcome::NewInput
+            } else {
+                RoundOutcome::RedundantInput
+            }
+        } else {
+            match self.config.infeasible_policy {
+                InfeasiblePolicy::LastConditional => {
+                    if let Some(last) = evaluation.trace.last() {
+                        let blamed = last.untaken_branch();
+                        self.tracker.mark_infeasible(blamed);
+                        RoundOutcome::DeemedInfeasible(blamed)
+                    } else {
+                        RoundOutcome::NoProgress
+                    }
+                }
+                InfeasiblePolicy::Disabled => RoundOutcome::NoProgress,
+            }
+        };
+
+        self.rounds.push(RoundRecord {
+            round,
+            start: x0,
+            minimum: minimum_point,
+            value: evaluation.value,
+            evaluations: result.stats.evaluations,
+            saturated_before,
+            outcome,
+        });
+    }
+
+    /// Consumes the state into the shard's snapshot. Valid at any point —
+    /// a state finalized mid-search (e.g. when a campaign deadline
+    /// expired while it was parked at an epoch boundary) yields the
+    /// partial outcome of everything completed so far.
+    pub fn finish(self) -> ShardOutcome {
+        let finished = self.finished_at.unwrap_or_else(Instant::now);
+        ShardOutcome {
+            shard_index: self.shard_index,
+            shards: self.shards,
+            tracker: self.tracker,
+            coverage: self.coverage,
+            accepted: self.accepted,
+            rounds: self.rounds,
+            evaluations: self.evaluations,
+            cache_hits: self.engine.telemetry().cache_hits as usize,
+            epochs: self.epochs,
+            started: self.started,
+            finished,
+        }
+    }
+
+    /// The program this state searches.
+    pub fn program(&self) -> &'a P {
+        self.program
+    }
+}
+
+/// Probes "rounded" variants of a near-miss minimum point, one coordinate at
+/// a time, looking for an exact zero of the representing function.
+///
+/// Unconstrained minimizers converge to `x*` only up to a tolerance, which is
+/// not enough when the target branch needs an *exact* floating-point equality
+/// (e.g. `y == 4` is only reached at `x = 2`, not at `x = 2 + 1e-12`). The
+/// candidates tried here are the natural "intended" values a numeric method
+/// narrowly missed: integers, halves, tenths, and a few ULP neighbours.
+///
+/// Returns the polished point, its evaluation and the number of extra
+/// representing-function evaluations, or `None` if no candidate reached the
+/// threshold. Candidate probes run through the engine's scalar fast path —
+/// the re-probe of the incumbent (and any repeated rounded candidate) is a
+/// cache hit.
+fn polish_minimum<P: Program>(
+    engine: &mut ObjectiveEngine<P>,
+    x: &[f64],
+    threshold: f64,
+) -> Option<(Vec<f64>, crate::representing::Evaluation, usize)> {
+    let mut best = x.to_vec();
+    let mut best_value = engine.eval_scalar(&best);
+    let mut evaluations = 1usize;
+
+    for coord in 0..best.len() {
+        let original = best[coord];
+        for candidate in candidate_values(original) {
+            if candidate == best[coord] {
+                continue;
+            }
+            let mut trial = best.clone();
+            trial[coord] = candidate;
+            let value = engine.eval_scalar(&trial);
+            evaluations += 1;
+            if value < best_value {
+                best_value = value;
+                best = trial;
+                if best_value <= threshold {
+                    let evaluation = engine.eval_full(&best);
+                    evaluations += 1;
+                    return Some((best, evaluation, evaluations));
+                }
+            }
+        }
+    }
+
+    if best_value <= threshold {
+        let evaluation = engine.eval_full(&best);
+        evaluations += 1;
+        Some((best, evaluation, evaluations))
+    } else {
+        None
+    }
+}
+
+/// Candidate replacement values for one coordinate of a near-miss minimum.
+fn candidate_values(x: f64) -> Vec<f64> {
+    if !x.is_finite() {
+        return vec![0.0];
+    }
+    let mut candidates = vec![
+        x.round(),
+        x.floor(),
+        x.ceil(),
+        (x * 2.0).round() / 2.0,
+        (x * 10.0).round() / 10.0,
+        (x * 100.0).round() / 100.0,
+        0.0,
+    ];
+    // A few ULP neighbours in both directions.
+    let mut up = x;
+    let mut down = x;
+    for _ in 0..3 {
+        up = next_up(up);
+        down = next_down(down);
+        candidates.push(up);
+        candidates.push(down);
+    }
+    candidates.dedup();
+    candidates
+}
+
+fn next_up(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    let bits = if x == 0.0 {
+        1
+    } else if x > 0.0 {
+        x.to_bits() + 1
+    } else {
+        x.to_bits() - 1
+    };
+    f64::from_bits(bits)
+}
+
+fn next_down(x: f64) -> f64 {
+    if x.is_nan() || x == f64::NEG_INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return -f64::from_bits(1);
+    }
+    let bits = if x > 0.0 {
+        x.to_bits() - 1
+    } else {
+        x.to_bits() + 1
+    };
+    f64::from_bits(bits)
 }
 
 #[cfg(test)]

@@ -31,7 +31,14 @@
 //!    point minimizers feed whole candidate sets through, and a bit-exact
 //!    memoization cache keyed on input bit patterns, with per-function
 //!    evals / cache-hit / evals-per-second telemetry surfaced in
-//!    [`TestReport`] and [`CampaignReport`].
+//!    [`TestReport`] and [`CampaignReport`];
+//! 7. drive all of the above through an **epoch-resumable state machine**
+//!    ([`SearchState`]): one shard's loop pauses at any round boundary
+//!    with no behavior change, shards exchange commutative
+//!    [`SaturationDelta`]s at deterministic barriers ([`sync`]) so later
+//!    rounds stop chasing branches a sibling already saturated, and the
+//!    campaign scheduler streams each function's merged row the moment it
+//!    finishes ([`CampaignEvent`], `Campaign::run_with`).
 //!
 //! # Quick start
 //!
@@ -68,14 +75,18 @@ pub mod report;
 pub mod representing;
 pub mod saturation;
 pub mod shard;
+pub mod sync;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignReport, FunctionResult};
-pub use driver::{CoverMe, CoverMeConfig, InfeasiblePolicy, PenPolicy};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignEvent, CampaignReport, FunctionResult, FunctionStatus,
+};
+pub use driver::{CoverMe, CoverMeConfig, EpochOutcome, InfeasiblePolicy, PenPolicy, SearchState};
 pub use objective::{CacheMode, EngineTelemetry, ObjectiveEngine};
-pub use report::{RoundOutcome, RoundRecord, TestReport};
+pub use report::{EpochTelemetry, RoundOutcome, RoundRecord, TestReport};
 pub use representing::{Evaluation, RepresentingFunction};
-pub use saturation::SaturationTracker;
+pub use saturation::{SaturationDelta, SaturationTracker};
 pub use shard::{merge_shards, run_shard, AcceptedInput, MergedSearch, ShardOutcome};
+pub use sync::{run_shards_synced, run_shards_synced_parallel, SyncPlan};
 
 // Re-export the pieces users need to define programs without adding an
 // explicit dependency on the runtime crate.

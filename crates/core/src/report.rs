@@ -42,6 +42,26 @@ pub struct RoundRecord {
     pub outcome: RoundOutcome,
 }
 
+/// Per-epoch work telemetry of an epoch-resumable search (see
+/// [`crate::driver::SearchState`]). One entry per `run_rounds` slice a
+/// shard executed; a run-to-exhaustion search has exactly one. Campaign
+/// merges aggregate entries of the same epoch index across shards, so a
+/// synced run shows how the work (and the evaluation spend) distributed
+/// over its sync epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EpochTelemetry {
+    /// Epoch index within the shard's schedule (0-based).
+    pub epoch: usize,
+    /// Rounds executed in this epoch.
+    pub rounds: usize,
+    /// Representing-function evaluations spent in this epoch (including
+    /// cache-served calls).
+    pub evaluations: usize,
+    /// Sibling-shard saturation deltas absorbed at the barrier *before*
+    /// this epoch ran (0 for the first epoch and for unsynced runs).
+    pub deltas_absorbed: usize,
+}
+
 /// The complete result of a CoverMe run on one program.
 #[derive(Debug, Clone)]
 pub struct TestReport {
@@ -63,6 +83,9 @@ pub struct TestReport {
     /// memoization cache (see `coverme::objective`): answered calls that
     /// cost no program execution.
     pub cache_hits: usize,
+    /// Per-epoch work telemetry, aggregated across shards by epoch index
+    /// (entries are in epoch order). Unsynced runs have a single epoch.
+    pub epochs: Vec<EpochTelemetry>,
     /// Wall-clock time of the run.
     pub wall_time: Duration,
 }
@@ -165,6 +188,12 @@ mod tests {
             ],
             evaluations: 22,
             cache_hits: 3,
+            epochs: vec![EpochTelemetry {
+                epoch: 0,
+                rounds: 2,
+                evaluations: 22,
+                deltas_absorbed: 0,
+            }],
             wall_time: Duration::from_millis(5),
         }
     }

@@ -57,23 +57,24 @@
 //! earlier-kept input covers. The merge is a pure function of the shard
 //! snapshots, so it inherits their determinism.
 //!
-//! Callers that own threads ([`crate::Campaign`]'s two-level schedule, or
-//! [`CoverMe::run_parallel`](crate::CoverMe::run_parallel)) fan
-//! [`run_shard`] calls out themselves; [`CoverMe::run`](crate::CoverMe::run)
-//! executes the shards sequentially, which yields the identical merged
-//! report.
+//! The shard loop itself lives in the epoch-resumable
+//! [`SearchState`](crate::driver::SearchState); [`run_shard`] runs one
+//! state to exhaustion in a single slice. Callers that own threads
+//! ([`crate::Campaign`]'s epoch scheduler, or
+//! [`CoverMe::run_parallel`](crate::CoverMe::run_parallel)) drive the same
+//! states epoch by epoch — optionally exchanging saturation deltas at the
+//! [`crate::sync`] barriers — and
+//! [`CoverMe::run`](crate::CoverMe::run) executes the shards sequentially;
+//! all of them merge to the identical report for a fixed
+//! `(seed, shards, sync_epochs)`.
 
 use std::time::Instant;
 
-use coverme_optim::rng::SplitMix64;
-use coverme_optim::{BasinHopping, FnObjective};
 use coverme_runtime::{BranchSet, CoverageMap, Program};
 
-use crate::driver::{CoverMeConfig, InfeasiblePolicy};
-use crate::objective::ObjectiveEngine;
-use crate::report::{RoundOutcome, RoundRecord, TestReport};
+use crate::driver::{CoverMeConfig, SearchState};
+use crate::report::{EpochTelemetry, RoundRecord, TestReport};
 use crate::saturation::SaturationTracker;
-use crate::PenPolicy;
 
 /// The fewest starting points a shard should own for splitting to be
 /// worthwhile. A shard's rounds refine *its own* saturation snapshot, and
@@ -120,6 +121,10 @@ pub struct ShardOutcome {
     /// Objective calls the engine served from its memoization cache
     /// without executing the program.
     pub cache_hits: usize,
+    /// Per-epoch work telemetry: one entry per `run_rounds` slice the
+    /// shard's [`SearchState`] executed (a run-to-exhaustion shard has
+    /// exactly one).
+    pub epochs: Vec<EpochTelemetry>,
     /// When the shard started running.
     pub started: Instant,
     /// When the shard finished.
@@ -140,6 +145,7 @@ impl ShardOutcome {
             rounds: self.rounds,
             evaluations: self.evaluations,
             cache_hits: self.cache_hits,
+            epochs: self.epochs,
             wall_time: self.finished.duration_since(self.started),
         }
     }
@@ -159,7 +165,12 @@ pub struct MergedSearch {
 /// shards: the local search loop of Algorithm 1 restricted to the strided
 /// slice of rounds the shard owns (see the [module docs](self)).
 ///
-/// With `config.shards <= 1` this is exactly the sequential driver loop.
+/// A thin wrapper over the epoch-resumable [`SearchState`]: create the
+/// state, run it to exhaustion in a single slice, convert it into the
+/// shard snapshot. With `config.shards <= 1` this is exactly the
+/// sequential driver loop; cross-shard sync lives one layer up
+/// ([`crate::sync`] and the campaign's epoch scheduler), which pause the
+/// same state machine at epoch boundaries instead.
 ///
 /// # Panics
 ///
@@ -170,163 +181,9 @@ pub fn run_shard<P: Program>(
     program: &P,
     shard_index: usize,
 ) -> ShardOutcome {
-    let shards = config.shards.max(1);
-    assert!(
-        shard_index < shards,
-        "shard index {shard_index} out of range for {shards} shards"
-    );
-    let num_sites = program.num_sites();
-    let arity = program.arity();
-    assert!(arity > 0, "program under test must take at least one input");
-
-    let started = Instant::now();
-    let mut tracker = match config.pen_policy {
-        PenPolicy::Saturation => SaturationTracker::new(num_sites),
-        PenPolicy::CoveredOnly => SaturationTracker::new(num_sites).covered_only(),
-    };
-    let mut coverage = CoverageMap::new(num_sites);
-    let mut accepted: Vec<AcceptedInput> = Vec::new();
-    let mut rounds: Vec<RoundRecord> = Vec::new();
-    let mut total_evaluations = 0usize;
-
-    // The objective engine lives for the whole shard: its execution context
-    // is reused across every evaluation of every round, and its memoization
-    // cache survives rounds that leave the saturation snapshot unchanged.
-    // Under `record_search_coverage` the cache is forced off: that
-    // extension records the coverage of every intermediate evaluation, and
-    // the engine evaluates through the full path per call anyway.
-    let cache_mode = if config.record_search_coverage {
-        crate::objective::CacheMode::Off
-    } else {
-        config.cache
-    };
-    let mut engine = ObjectiveEngine::new(program, config.epsilon).cache_mode(cache_mode);
-
-    // The full starting-point schedule, regenerated identically by every
-    // shard from the function seed so the explored start set is invariant
-    // under the shard count (module docs). Cheap: `n_start` draws.
-    let mut start_rng = SplitMix64::new(config.seed ^ 0x5EED_0001);
-    let schedule: Vec<Vec<f64>> =
-        config
-            .starting_points
-            .sample_batch(&mut start_rng, arity, config.n_start);
-
-    for round in (shard_index..config.n_start).step_by(shards) {
-        if tracker.all_saturated() {
-            break;
-        }
-        if let Some(budget) = config.time_budget {
-            if started.elapsed() >= budget {
-                break;
-            }
-        }
-
-        // Line 9: the starting point this shard owns for this global round.
-        let x0 = schedule[round].clone();
-
-        // Step 2: the representing function against the current snapshot —
-        // the engine swaps it in place (and keeps its cache when the
-        // snapshot is unchanged since the previous round).
-        let snapshot = tracker.saturated_set();
-        let saturated_before = snapshot.len();
-        engine.retarget(&snapshot);
-
-        // Line 10: x* = MCMC(FOO_R, x), seeded by the *global* round index
-        // so the per-round minimizer stream matches the sequential driver.
-        let hopper = BasinHopping::new()
-            .iterations(config.n_iter)
-            .local_method(config.local_method)
-            .perturbation(config.perturbation)
-            .temperature(1.0)
-            .seed(
-                config
-                    .seed
-                    .wrapping_add(round as u64)
-                    .wrapping_mul(0x9E37_79B9),
-            )
-            .target_value(config.zero_threshold);
-
-        let result = if config.record_search_coverage {
-            let engine = &mut engine;
-            let coverage = &mut coverage;
-            let tracker = &mut tracker;
-            let mut objective = FnObjective(move |x: &[f64]| {
-                let evaluation = engine.eval_full(x);
-                coverage.record_set(&evaluation.covered);
-                tracker.record_trace(&evaluation.trace);
-                evaluation.value
-            });
-            hopper.minimize_objective(&mut objective, &x0)
-        } else {
-            hopper.minimize_objective(&mut engine, &x0)
-        };
-        total_evaluations += result.stats.evaluations;
-
-        // Line 11-12: accept the minimum point if FOO_R(x*) = 0, update
-        // Saturate; otherwise apply the infeasible-branch heuristic.
-        let mut minimum_point = result.x.clone();
-        let mut evaluation = engine.eval_full(&minimum_point);
-        total_evaluations += 1;
-        if config.polish && evaluation.value > config.zero_threshold {
-            if let Some((polished, polished_eval, polish_evals)) =
-                polish_minimum(&mut engine, &minimum_point, config.zero_threshold)
-            {
-                minimum_point = polished;
-                evaluation = polished_eval;
-                total_evaluations += polish_evals;
-            }
-        }
-        let outcome = if evaluation.value <= config.zero_threshold {
-            let newly_covered = coverage.record_set(&evaluation.covered);
-            tracker.record_trace(&evaluation.trace);
-            accepted.push(AcceptedInput {
-                round,
-                input: minimum_point.clone(),
-                covered: evaluation.covered.clone(),
-            });
-            if newly_covered > 0 {
-                RoundOutcome::NewInput
-            } else {
-                RoundOutcome::RedundantInput
-            }
-        } else {
-            match config.infeasible_policy {
-                InfeasiblePolicy::LastConditional => {
-                    if let Some(last) = evaluation.trace.last() {
-                        let blamed = last.untaken_branch();
-                        tracker.mark_infeasible(blamed);
-                        RoundOutcome::DeemedInfeasible(blamed)
-                    } else {
-                        RoundOutcome::NoProgress
-                    }
-                }
-                InfeasiblePolicy::Disabled => RoundOutcome::NoProgress,
-            }
-        };
-
-        rounds.push(RoundRecord {
-            round,
-            start: x0,
-            minimum: minimum_point,
-            value: evaluation.value,
-            evaluations: result.stats.evaluations,
-            saturated_before,
-            outcome,
-        });
-    }
-
-    ShardOutcome {
-        shard_index,
-        shards,
-        tracker,
-        coverage,
-        accepted,
-        rounds,
-        evaluations: total_evaluations,
-        cache_hits: engine.telemetry().cache_hits as usize,
-        started,
-        finished: Instant::now(),
-    }
+    let mut state = SearchState::new(config, program, shard_index);
+    state.run_to_exhaustion();
+    state.finish()
 }
 
 /// Merges shard snapshots of one search into a single report plus the
@@ -382,6 +239,24 @@ pub fn merge_shards(program_name: &str, mut outcomes: Vec<ShardOutcome>) -> Merg
 
     let mut rounds: Vec<RoundRecord> = outcomes.iter().flat_map(|o| o.rounds.clone()).collect();
     rounds.sort_by_key(|r| r.round);
+    // Per-epoch telemetry aggregates across shards by epoch index (shards
+    // that early-exited simply stop contributing to later epochs).
+    let mut epochs: Vec<EpochTelemetry> = Vec::new();
+    for outcome in &outcomes {
+        for entry in &outcome.epochs {
+            if epochs.len() <= entry.epoch {
+                epochs.resize_with(entry.epoch + 1, EpochTelemetry::default);
+            }
+            let slot = &mut epochs[entry.epoch];
+            slot.epoch = entry.epoch;
+            slot.rounds += entry.rounds;
+            slot.evaluations += entry.evaluations;
+            slot.deltas_absorbed += entry.deltas_absorbed;
+        }
+    }
+    for (index, slot) in epochs.iter_mut().enumerate() {
+        slot.epoch = index;
+    }
     let evaluations = outcomes.iter().map(|o| o.evaluations).sum();
     let cache_hits = outcomes.iter().map(|o| o.cache_hits).sum();
     let started = outcomes.iter().map(|o| o.started).min().expect("non-empty");
@@ -401,126 +276,17 @@ pub fn merge_shards(program_name: &str, mut outcomes: Vec<ShardOutcome>) -> Merg
             rounds,
             evaluations,
             cache_hits,
+            epochs,
             wall_time: finished.duration_since(started),
         },
         tracker,
     }
 }
 
-/// Probes "rounded" variants of a near-miss minimum point, one coordinate at
-/// a time, looking for an exact zero of the representing function.
-///
-/// Unconstrained minimizers converge to `x*` only up to a tolerance, which is
-/// not enough when the target branch needs an *exact* floating-point equality
-/// (e.g. `y == 4` is only reached at `x = 2`, not at `x = 2 + 1e-12`). The
-/// candidates tried here are the natural "intended" values a numeric method
-/// narrowly missed: integers, halves, tenths, and a few ULP neighbours.
-///
-/// Returns the polished point, its evaluation and the number of extra
-/// representing-function evaluations, or `None` if no candidate reached the
-/// threshold. Candidate probes run through the engine's scalar fast path —
-/// the re-probe of the incumbent (and any repeated rounded candidate) is a
-/// cache hit.
-fn polish_minimum<P: Program>(
-    engine: &mut ObjectiveEngine<P>,
-    x: &[f64],
-    threshold: f64,
-) -> Option<(Vec<f64>, crate::representing::Evaluation, usize)> {
-    let mut best = x.to_vec();
-    let mut best_value = engine.eval_scalar(&best);
-    let mut evaluations = 1usize;
-
-    for coord in 0..best.len() {
-        let original = best[coord];
-        for candidate in candidate_values(original) {
-            if candidate == best[coord] {
-                continue;
-            }
-            let mut trial = best.clone();
-            trial[coord] = candidate;
-            let value = engine.eval_scalar(&trial);
-            evaluations += 1;
-            if value < best_value {
-                best_value = value;
-                best = trial;
-                if best_value <= threshold {
-                    let evaluation = engine.eval_full(&best);
-                    evaluations += 1;
-                    return Some((best, evaluation, evaluations));
-                }
-            }
-        }
-    }
-
-    if best_value <= threshold {
-        let evaluation = engine.eval_full(&best);
-        evaluations += 1;
-        Some((best, evaluation, evaluations))
-    } else {
-        None
-    }
-}
-
-/// Candidate replacement values for one coordinate of a near-miss minimum.
-fn candidate_values(x: f64) -> Vec<f64> {
-    if !x.is_finite() {
-        return vec![0.0];
-    }
-    let mut candidates = vec![
-        x.round(),
-        x.floor(),
-        x.ceil(),
-        (x * 2.0).round() / 2.0,
-        (x * 10.0).round() / 10.0,
-        (x * 100.0).round() / 100.0,
-        0.0,
-    ];
-    // A few ULP neighbours in both directions.
-    let mut up = x;
-    let mut down = x;
-    for _ in 0..3 {
-        up = next_up(up);
-        down = next_down(down);
-        candidates.push(up);
-        candidates.push(down);
-    }
-    candidates.dedup();
-    candidates
-}
-
-fn next_up(x: f64) -> f64 {
-    if x.is_nan() || x == f64::INFINITY {
-        return x;
-    }
-    let bits = if x == 0.0 {
-        1
-    } else if x > 0.0 {
-        x.to_bits() + 1
-    } else {
-        x.to_bits() - 1
-    };
-    f64::from_bits(bits)
-}
-
-fn next_down(x: f64) -> f64 {
-    if x.is_nan() || x == f64::NEG_INFINITY {
-        return x;
-    }
-    if x == 0.0 {
-        return -f64::from_bits(1);
-    }
-    let bits = if x > 0.0 {
-        x.to_bits() - 1
-    } else {
-        x.to_bits() + 1
-    };
-    f64::from_bits(bits)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::CoverMe;
+    use crate::{CoverMe, InfeasiblePolicy};
     use coverme_runtime::{Cmp, ExecCtx, FnProgram};
 
     /// The paper's Fig. 3 example program.

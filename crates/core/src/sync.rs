@@ -1,0 +1,454 @@
+//! Cross-shard saturation sync: deterministic epoch barriers that give a
+//! sharded search back the sequential run's directed-search feedback.
+//!
+//! The sharded search of [`crate::shard`] trades feedback for parallelism:
+//! every shard refines only its *own* saturation snapshot, so at high shard
+//! counts each shard burns rounds minimizing distances to branches a
+//! sibling already covered (Definition 4.2's retargeting never sees the
+//! siblings' progress). This module restores that feedback at a chosen
+//! granularity without giving the parallelism back.
+//!
+//! # The epoch plan
+//!
+//! A [`SyncPlan`] cuts the global round schedule `[0, n_start)` into
+//! `sync_epochs` contiguous windows (as even as integer division allows).
+//! Within one epoch every shard runs the rounds of its strided slice that
+//! fall in the window — independent, embarrassingly parallel work, exactly
+//! as before. At the boundary between epochs the shards rendezvous and
+//! exchange [`SaturationDelta`]s: each still-active shard absorbs every
+//! sibling's covered/descendant/infeasible knowledge, so its next rounds
+//! minimize against the *union* snapshot — and a shard whose union
+//! saturates everything exits immediately, spending no further
+//! evaluations.
+//!
+//! The plan is a pure function of `(n_start, shards, sync_epochs)` and the
+//! exchange is a union of commutative, idempotent deltas
+//! ([`SaturationTracker::apply_delta`](crate::saturation::SaturationTracker::apply_delta)),
+//! so the result is **deterministic per `(seed, shards, sync_epochs)`** —
+//! independent of worker count, scheduling, or delta arrival order. The
+//! sequential driver ([`run_shards_synced`]) and the thread-per-shard
+//! barrier driver ([`run_shards_synced_parallel`]) produce bit-identical
+//! outcomes, and the campaign's event-driven epoch scheduler
+//! ([`crate::campaign`]) reuses [`exchange_deltas`] so it agrees too.
+//!
+//! With `sync_epochs <= 1` there are no barriers and the search is
+//! bit-identical to the pre-sync path (pinned by
+//! `tests/sync_properties.rs`).
+
+use std::sync::{Barrier, Mutex};
+
+use coverme_runtime::Program;
+
+use crate::driver::{CoverMeConfig, SearchState};
+use crate::saturation::SaturationDelta;
+use crate::shard::ShardOutcome;
+
+/// The deterministic epoch schedule of one synced search — a pure function
+/// of `(n_start, shards, sync_epochs)`, never of scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncPlan {
+    n_start: usize,
+    shards: usize,
+    epochs: usize,
+}
+
+impl SyncPlan {
+    /// Builds the plan a run of `config` follows (shard count and epoch
+    /// count resolved through
+    /// [`effective_shards`](CoverMeConfig::effective_shards) /
+    /// [`effective_sync_epochs`](CoverMeConfig::effective_sync_epochs)).
+    pub fn new(config: &CoverMeConfig) -> SyncPlan {
+        SyncPlan {
+            n_start: config.n_start,
+            shards: config.effective_shards(),
+            epochs: config.effective_sync_epochs(),
+        }
+    }
+
+    /// Number of epochs (1 = no barriers, the pre-sync behavior).
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// Number of shards the plan schedules.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Exclusive end of epoch `epoch`'s global-round window. Windows
+    /// partition `[0, n_start)`; the last window absorbs the remainder.
+    fn window_end(&self, epoch: usize) -> usize {
+        if epoch + 1 >= self.epochs {
+            self.n_start
+        } else {
+            (epoch + 1) * self.n_start / self.epochs
+        }
+    }
+
+    /// How many rounds shard `shard`'s strided slice owns within epoch
+    /// `epoch`'s window — the quota handed to
+    /// [`SearchState::run_rounds`] for that epoch.
+    pub fn rounds_in_epoch(&self, shard: usize, epoch: usize) -> usize {
+        let lo = if epoch == 0 {
+            0
+        } else {
+            self.window_end(epoch - 1)
+        };
+        let hi = self.window_end(epoch);
+        strided_count(lo, hi, shard, self.shards)
+    }
+}
+
+/// Number of integers `r` in `[lo, hi)` with `r ≡ shard (mod shards)`.
+fn strided_count(lo: usize, hi: usize, shard: usize, shards: usize) -> usize {
+    let below = |x: usize| {
+        if x <= shard {
+            0
+        } else {
+            (x - shard - 1) / shards + 1
+        }
+    };
+    below(hi) - below(lo)
+}
+
+/// The barrier rendezvous. `states` and `published` are parallel arrays
+/// indexed by shard: each present state whose tracker `version` moved
+/// since its last publication refreshes its slot with a fresh
+/// [`SaturationDelta`] (an idle or finished shard skips the re-broadcast
+/// — the cached delta describes the same state), then every still-active
+/// state absorbs every sibling's published delta. Finished states absorb
+/// nothing — their search is over, and mutating their snapshot would
+/// change the merged report depending on *when* they finished, breaking
+/// worker-count determinism. Apply order is irrelevant (deltas are
+/// commutative and idempotent), which is exactly why the sequential,
+/// barrier-parallel and campaign schedulers can all share this function
+/// and still agree bit for bit.
+pub(crate) fn exchange_deltas<'inv, P: Program>(
+    states: &mut [Option<SearchState<'inv, P>>],
+    published: &mut [Option<SaturationDelta>],
+) {
+    debug_assert_eq!(states.len(), published.len());
+    for (slot, state) in published.iter_mut().zip(states.iter()) {
+        if let Some(state) = state {
+            let version = state.tracker().version();
+            if slot.as_ref().map(|delta| delta.version) != Some(version) {
+                *slot = Some(state.extract_delta());
+            }
+        }
+    }
+    for (index, state) in states.iter_mut().enumerate() {
+        let Some(state) = state else { continue };
+        if state.is_finished() {
+            continue;
+        }
+        for (peer, delta) in published.iter().enumerate() {
+            if peer == index {
+                continue;
+            }
+            if let Some(delta) = delta {
+                state.absorb_delta(delta);
+            }
+        }
+    }
+}
+
+/// Runs every shard of a synced search sequentially on the calling thread:
+/// epoch by epoch, all shards advance through the current window, then the
+/// rendezvous exchanges deltas. Returns the shard outcomes in shard order
+/// — bit-identical to [`run_shards_synced_parallel`] with the same
+/// configuration. The shard and epoch counts are normalized through
+/// [`effective_shards`](CoverMeConfig::effective_shards) /
+/// [`effective_sync_epochs`](CoverMeConfig::effective_sync_epochs), so a
+/// raw configuration behaves exactly as it would inside
+/// [`CoverMe`](crate::CoverMe) or a campaign.
+///
+/// With `sync_epochs <= 1` this degenerates to running each shard to
+/// exhaustion with no exchange — the pre-sync sharded search.
+pub fn run_shards_synced<P: Program>(config: &CoverMeConfig, program: &P) -> Vec<ShardOutcome> {
+    let plan = SyncPlan::new(config);
+    // The states' stride must agree with the plan's (possibly clamped)
+    // shard count, or part of the schedule would silently never run.
+    let config = CoverMeConfig {
+        shards: plan.shards(),
+        ..config.clone()
+    };
+    let mut states: Vec<Option<SearchState<'_, P>>> = (0..plan.shards())
+        .map(|index| Some(SearchState::new(&config, program, index)))
+        .collect();
+    let mut published: Vec<Option<SaturationDelta>> = vec![None; plan.shards()];
+    for epoch in 0..plan.epochs() {
+        for (index, state) in states.iter_mut().enumerate() {
+            let state = state.as_mut().expect("state present");
+            if !state.is_finished() {
+                state.run_rounds(plan.rounds_in_epoch(index, epoch));
+            }
+        }
+        let any_active = states
+            .iter()
+            .any(|s| s.as_ref().is_some_and(|s| !s.is_finished()));
+        if epoch + 1 < plan.epochs() && any_active {
+            exchange_deltas(&mut states, &mut published);
+        }
+    }
+    states
+        .into_iter()
+        .map(|state| state.expect("state present").finish())
+        .collect()
+}
+
+/// Runs every shard of a synced search on its own scoped worker thread,
+/// rendezvousing at a [`Barrier`] between epochs: publish the delta (only
+/// when the tracker's `version` moved — an idle shard's slot keeps its
+/// cached, still-accurate delta), wait, absorb every sibling's published
+/// delta, wait again (so nobody's next publish overwrites a slot a slow
+/// sibling is still reading). Outcomes are bit-identical to
+/// [`run_shards_synced`] — the barrier only buys the wall-clock of the
+/// slowest shard per epoch instead of the sum.
+pub fn run_shards_synced_parallel<P: Program + Sync>(
+    config: &CoverMeConfig,
+    program: &P,
+) -> Vec<ShardOutcome> {
+    let plan = SyncPlan::new(config);
+    let shards = plan.shards();
+    if shards <= 1 || plan.epochs() <= 1 {
+        return run_shards_synced(config, program);
+    }
+    // Same stride normalization as the sequential driver.
+    let config = CoverMeConfig {
+        shards,
+        ..config.clone()
+    };
+    let barrier = Barrier::new(shards);
+    let published: Vec<Mutex<Option<SaturationDelta>>> =
+        (0..shards).map(|_| Mutex::new(None)).collect();
+    let (config, barrier, published) = (&config, &barrier, &published);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|index| {
+                scope.spawn(move || {
+                    let mut state = SearchState::new(config, program, index);
+                    let mut last_published: Option<u64> = None;
+                    for epoch in 0..plan.epochs() {
+                        if !state.is_finished() {
+                            state.run_rounds(plan.rounds_in_epoch(index, epoch));
+                        }
+                        if epoch + 1 == plan.epochs() {
+                            break;
+                        }
+                        let version = state.tracker().version();
+                        if last_published != Some(version) {
+                            *published[index].lock().expect("delta slot poisoned") =
+                                Some(state.extract_delta());
+                            last_published = Some(version);
+                        }
+                        barrier.wait();
+                        if !state.is_finished() {
+                            for (peer, slot) in published.iter().enumerate() {
+                                if peer == index {
+                                    continue;
+                                }
+                                let delta = slot.lock().expect("delta slot poisoned");
+                                state.absorb_delta(delta.as_ref().expect("peer published"));
+                            }
+                        }
+                        barrier.wait();
+                    }
+                    state.finish()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("sync shard worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::InfeasiblePolicy;
+    use crate::shard::merge_shards;
+    use crate::{CoverMe, CoverMeConfig};
+    use coverme_runtime::{Cmp, ExecCtx, FnProgram};
+
+    /// The paper's Fig. 3 example program.
+    fn paper_example() -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
+        FnProgram::new("FOO", 1, 2, |input: &[f64], ctx: &mut ExecCtx| {
+            let mut x = input[0];
+            if ctx.branch(0, Cmp::Le, x, 1.0) {
+                x += 2.5;
+            }
+            let y = x * x;
+            if ctx.branch(1, Cmp::Eq, y, 4.0) {
+                // target
+            }
+        })
+    }
+
+    fn config(shards: usize, sync_epochs: usize) -> CoverMeConfig {
+        CoverMeConfig::default()
+            .n_start(64)
+            .n_iter(5)
+            .seed(11)
+            .shards(shards)
+            .sync_epochs(sync_epochs)
+    }
+
+    #[test]
+    fn plan_windows_partition_the_budget() {
+        for n_start in [1usize, 7, 48, 80, 500] {
+            for shards in 1..=5usize {
+                for epochs in 1..=6usize {
+                    let plan = SyncPlan {
+                        n_start,
+                        shards,
+                        epochs,
+                    };
+                    let mut total = 0usize;
+                    for shard in 0..shards {
+                        let per_shard: usize =
+                            (0..epochs).map(|e| plan.rounds_in_epoch(shard, e)).sum();
+                        let expected = strided_count(0, n_start, shard, shards);
+                        assert_eq!(per_shard, expected, "{n_start}/{shards}/{epochs}/{shard}");
+                        total += per_shard;
+                    }
+                    assert_eq!(total, n_start, "{n_start}/{shards}/{epochs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strided_count_matches_enumeration() {
+        for lo in 0..12usize {
+            for hi in lo..14usize {
+                for shards in 1..=4usize {
+                    for shard in 0..shards {
+                        let expected = (lo..hi).filter(|r| r % shards == shard).count();
+                        assert_eq!(strided_count(lo, hi, shard, shards), expected);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_synced_runs_agree() {
+        let program = paper_example();
+        let cfg = config(4, 4);
+        let sequential = merge_shards(
+            program.name(),
+            run_shards_synced(&cfg.clone().shards(4), &program),
+        );
+        let parallel = merge_shards(
+            program.name(),
+            run_shards_synced_parallel(&cfg.shards(4), &program),
+        );
+        assert_eq!(sequential.report.inputs, parallel.report.inputs);
+        assert_eq!(sequential.report.coverage, parallel.report.coverage);
+        assert_eq!(sequential.report.evaluations, parallel.report.evaluations);
+        assert_eq!(sequential.report.rounds, parallel.report.rounds);
+    }
+
+    #[test]
+    fn coverme_run_routes_sync_and_stays_deterministic() {
+        let program = paper_example();
+        let a = CoverMe::new(config(3, 4)).run(&program);
+        let b = CoverMe::new(config(3, 4)).run(&program);
+        let c = CoverMe::new(config(3, 4)).run_parallel(&program);
+        assert_eq!(a.inputs, b.inputs);
+        assert_eq!(a.inputs, c.inputs);
+        assert_eq!(a.coverage, c.coverage);
+        assert_eq!(a.evaluations, c.evaluations);
+        assert_eq!(a.branch_coverage_percent(), 100.0, "{a}");
+    }
+
+    #[test]
+    fn sync_epochs_one_matches_the_presync_path() {
+        let program = paper_example();
+        let synced = CoverMe::new(config(3, 1)).run(&program);
+        let presync = CoverMe::new(config(3, 0)).run(&program);
+        assert_eq!(synced.inputs, presync.inputs);
+        assert_eq!(synced.coverage, presync.coverage);
+        assert_eq!(synced.evaluations, presync.evaluations);
+    }
+
+    #[test]
+    fn absorbed_saturation_short_circuits_a_shard() {
+        // The eval-savings mechanism of the sync layer, in isolation: a
+        // shard whose absorbed union saturates everything exits without
+        // spending a single evaluation on its own slice.
+        let program = paper_example();
+        let cfg = config(2, 4);
+        let mut a = crate::SearchState::new(&cfg, &program, 0);
+        a.run_to_exhaustion();
+        assert!(a.tracker().all_saturated(), "shard 0 saturates the example");
+        let mut b = crate::SearchState::new(&cfg, &program, 1);
+        b.absorb_delta(&a.extract_delta());
+        assert_eq!(b.run_rounds(usize::MAX), crate::EpochOutcome::Saturated);
+        assert_eq!(b.evaluations(), 0, "no evals after absorbed saturation");
+        assert_eq!(b.rounds_run(), 0);
+        // Without the delta the same shard burns real rounds on branches
+        // its sibling already saturated.
+        let blind = crate::shard::run_shard(&cfg, &program, 1);
+        assert!(blind.evaluations > 0);
+    }
+
+    /// A program no shard can saturate (the `y == -1` branch is infeasible
+    /// and the heuristic is disabled), so every shard runs every epoch —
+    /// exercising all barriers.
+    fn unsaturable_example() -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
+        FnProgram::new("FOO_INF", 1, 2, |input: &[f64], ctx: &mut ExecCtx| {
+            let mut x = input[0];
+            if ctx.branch(0, Cmp::Le, x, 1.0) {
+                x += 1.0;
+            }
+            let y = x * x;
+            if ctx.branch(1, Cmp::Eq, y, -1.0) {
+                // unreachable
+            }
+        })
+    }
+
+    #[test]
+    fn raw_shard_counts_are_normalized_like_everywhere_else() {
+        // shards = 4 with n_start = 32 clamps to 2 effective shards; a raw
+        // configuration handed straight to the sync drivers must still run
+        // the whole schedule (regression: the states used to stride by the
+        // raw count, silently dropping half the rounds).
+        let program = unsaturable_example();
+        let cfg = CoverMeConfig::default()
+            .n_start(32)
+            .n_iter(3)
+            .seed(5)
+            .shards(4)
+            .sync_epochs(2)
+            .infeasible_policy(InfeasiblePolicy::Disabled);
+        let outcomes = run_shards_synced(&cfg, &program);
+        assert_eq!(outcomes.len(), 2, "clamped to 2 shards");
+        let rounds: usize = outcomes.iter().map(|o| o.rounds.len()).sum();
+        assert_eq!(rounds, 32, "every scheduled round ran");
+        let parallel = run_shards_synced_parallel(&cfg, &program);
+        let parallel_rounds: usize = parallel.iter().map(|o| o.rounds.len()).sum();
+        assert_eq!(parallel_rounds, 32);
+    }
+
+    #[test]
+    fn synced_report_carries_per_epoch_telemetry() {
+        let program = unsaturable_example();
+        let cfg = config(4, 4).infeasible_policy(InfeasiblePolicy::Disabled);
+        let report = CoverMe::new(cfg).run(&program);
+        assert!(report.epochs.len() > 1, "sync run has multiple epochs");
+        let total_rounds: usize = report.epochs.iter().map(|e| e.rounds).sum();
+        assert_eq!(total_rounds, report.rounds.len());
+        let total_evals: usize = report.epochs.iter().map(|e| e.evaluations).sum();
+        assert_eq!(total_evals, report.evaluations);
+        // Epoch indices are dense and ordered.
+        for (index, epoch) in report.epochs.iter().enumerate() {
+            assert_eq!(epoch.epoch, index);
+        }
+        // Every barrier exchanged deltas among the 4 still-active shards.
+        assert!(report.epochs.iter().skip(1).any(|e| e.deltas_absorbed > 0));
+    }
+}
