@@ -388,6 +388,26 @@ impl CampaignReport {
         self.results.iter().map(FunctionResult::cache_hits).sum()
     }
 
+    /// Total evaluations that ran out of fuel across completed functions
+    /// (see [`TestReport::timeouts`]).
+    pub fn total_timeouts(&self) -> usize {
+        self.results
+            .iter()
+            .filter_map(|r| r.report.as_ref())
+            .map(|r| r.timeouts)
+            .sum()
+    }
+
+    /// Total evaluations that trapped mid-run across completed functions
+    /// (see [`TestReport::traps`]).
+    pub fn total_traps(&self) -> usize {
+        self.results
+            .iter()
+            .filter_map(|r| r.report.as_ref())
+            .map(|r| r.traps)
+            .sum()
+    }
+
     /// Aggregate evaluation throughput of the campaign: total evaluations
     /// over the campaign's wall-clock time (0 when nothing ran or the
     /// campaign was too fast to measure). With several workers this exceeds
@@ -432,7 +452,7 @@ impl CampaignReport {
     fn write_json(&self, sync_off: Option<&CampaignReport>) -> String {
         let mut out = String::with_capacity(4096 + 256 * self.results.len());
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"coverme-campaign-report/2\",\n");
+        out.push_str("  \"schema\": \"coverme-campaign-report/3\",\n");
         push_json_number(&mut out, "  ", "workers", self.workers as f64, true);
         push_json_number(&mut out, "  ", "shards", self.shards as f64, true);
         push_json_number(&mut out, "  ", "sync_epochs", self.sync_epochs as f64, true);
@@ -487,6 +507,20 @@ impl CampaignReport {
             "  ",
             "total_cache_hits",
             self.total_cache_hits() as f64,
+            true,
+        );
+        push_json_number(
+            &mut out,
+            "  ",
+            "total_timeouts",
+            self.total_timeouts() as f64,
+            true,
+        );
+        push_json_number(
+            &mut out,
+            "  ",
+            "total_traps",
+            self.total_traps() as f64,
             true,
         );
         push_json_number(
@@ -576,6 +610,8 @@ impl CampaignReport {
                         report.cache_hits as f64,
                         true,
                     );
+                    push_json_number(&mut out, "      ", "timeouts", report.timeouts as f64, true);
+                    push_json_number(&mut out, "      ", "traps", report.traps as f64, true);
                     push_json_number(
                         &mut out,
                         "      ",
@@ -1061,11 +1097,12 @@ fn worker_loop<'inv, P: Program + Sync>(
         // The function ran its full schedule (or every shard finished
         // early): finalize and emit — outside the lock, the merge is real
         // work.
-        let deadline_cut = run
-            .states
-            .iter()
-            .flatten()
-            .any(|s| s.outcome() == Some(EpochOutcome::DeadlineExpired));
+        let cut_short = run.states.iter().flatten().any(|s| {
+            matches!(
+                s.outcome(),
+                Some(EpochOutcome::DeadlineExpired | EpochOutcome::Degraded)
+            )
+        });
         let states: Vec<SearchState<'inv, P>> =
             run.states.iter_mut().filter_map(Option::take).collect();
         run.finished = true;
@@ -1078,7 +1115,7 @@ fn worker_loop<'inv, P: Program + Sync>(
             inventory[task.function].name(),
             outcomes,
             plan.shards(),
-            deadline_cut,
+            cut_short,
         );
         let _ = events.send(CampaignEvent::FunctionFinished {
             index: task.function,
@@ -1088,13 +1125,15 @@ fn worker_loop<'inv, P: Program + Sync>(
 }
 
 /// Builds a function's [`FunctionResult`] from whatever shard outcomes
-/// exist. `deadline_cut` marks results the campaign deadline truncated
-/// (directly, or by leaving shards unstarted).
+/// exist. `cut_short` marks results that did not run their full budget —
+/// the campaign deadline truncated them (directly, or by leaving shards
+/// unstarted), or a shard degraded on consecutive aborted rounds (see
+/// [`EpochOutcome::Degraded`]).
 fn finalize_function(
     name: &str,
     mut outcomes: Vec<ShardOutcome>,
     configured_shards: usize,
-    deadline_cut: bool,
+    cut_short: bool,
 ) -> FunctionResult {
     let shards_run = outcomes.len();
     if outcomes.is_empty() {
@@ -1113,7 +1152,7 @@ fn finalize_function(
     } else {
         merge_shards(name, outcomes).report
     };
-    let status = if deadline_cut || shards_run < configured_shards {
+    let status = if cut_short || shards_run < configured_shards {
         FunctionStatus::Partial
     } else {
         FunctionStatus::Complete
@@ -1443,6 +1482,31 @@ mod tests {
     }
 
     #[test]
+    fn degraded_functions_are_marked_partial_and_count_their_aborts() {
+        // Every execution times out, so each shard degrades after
+        // `ABORT_PATIENCE` aborted rounds instead of burning the budget.
+        fn spin(input: &[f64], ctx: &mut ExecCtx) {
+            ctx.branch(0, Cmp::Gt, input[0].abs() + 1.0, 0.0);
+            ctx.mark_timeout();
+        }
+        let programs = vec![FnProgram::new(
+            "spin",
+            1,
+            1,
+            spin as fn(&[f64], &mut ExecCtx),
+        )];
+        let report =
+            Campaign::new(CampaignConfig::new().base(quick_base()).workers(1)).run(&programs);
+        let result = &report.results[0];
+        assert_eq!(result.status, FunctionStatus::Partial, "{report}");
+        let partial = result.report.as_ref().expect("progress kept");
+        assert!(partial.timeouts > 0, "timeouts surfaced: {partial}");
+        assert!(partial.inputs.is_empty(), "aborted rounds accept nothing");
+        assert!(report.total_timeouts() > 0);
+        assert!(report.to_json().contains("\"status\": \"partial\""));
+    }
+
+    #[test]
     fn sync_json_baseline_adds_eval_columns() {
         let programs = inventory();
         let blind = Campaign::new(
@@ -1676,13 +1740,17 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "\"schema\": \"coverme-campaign-report/2\"",
+            "\"schema\": \"coverme-campaign-report/3\"",
             "\"suite_branch_coverage_percent\":",
             "\"total_evaluations\":",
             "\"total_cache_hits\":",
+            "\"total_timeouts\":",
+            "\"total_traps\":",
             "\"suite_evals_per_second\":",
             "\"evals_per_second\":",
             "\"cache_hits\":",
+            "\"timeouts\":",
+            "\"traps\":",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }

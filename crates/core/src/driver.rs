@@ -378,6 +378,13 @@ pub enum EpochOutcome {
     /// The configured wall-clock budget ran out mid-slice; the search is
     /// finished and the state holds everything completed so far.
     DeadlineExpired,
+    /// Too many consecutive rounds aborted — the program kept timing out or
+    /// trapping on every minimum the backend returned (see
+    /// [`crate::report::RoundOutcome::Aborted`]) — so the search gave up
+    /// rather than burn the remaining budget on evaluations that can never
+    /// feed coverage. The state holds everything completed so far; a
+    /// campaign marks the function `partial`.
+    Degraded,
 }
 
 impl EpochOutcome {
@@ -437,7 +444,20 @@ pub struct SearchState<'a, P: Program> {
     finished_at: Option<Instant>,
     /// The finished outcome, repeated by later `run_rounds` calls.
     finished: Option<EpochOutcome>,
+    /// Consecutive rounds whose final evaluation aborted (reset by any
+    /// round that runs to completion); at [`ABORT_PATIENCE`] the search
+    /// finishes with [`EpochOutcome::Degraded`].
+    abort_streak: usize,
 }
+
+/// How many consecutive aborted rounds a search tolerates before degrading.
+/// Aborted rounds record nothing — no input, no saturation update, no
+/// infeasible blame — so a program that aborts on *every* returned minimum
+/// (e.g. an unconditionally looping body) would otherwise burn the whole
+/// `n_start` budget discovering the same timeout `n_iter`-fold per round.
+/// A few in a row are tolerated because abort regions can be input-dependent
+/// and later starting points may land outside them.
+pub const ABORT_PATIENCE: usize = 4;
 
 impl<'a, P: Program> SearchState<'a, P> {
     /// Creates the search state for shard `shard_index` of a search
@@ -494,6 +514,7 @@ impl<'a, P: Program> SearchState<'a, P> {
             started: Instant::now(),
             finished_at: None,
             finished: None,
+            abort_streak: 0,
         }
     }
 
@@ -528,6 +549,13 @@ impl<'a, P: Program> SearchState<'a, P> {
     /// Representing-function evaluations spent so far.
     pub fn evaluations(&self) -> usize {
         self.evaluations
+    }
+
+    /// The per-round records produced so far, in execution order — lets a
+    /// caller driving the state slice by slice (e.g. a streaming CLI)
+    /// report each round as it lands.
+    pub fn rounds(&self) -> &[RoundRecord] {
+        &self.rounds
     }
 
     /// The state's saturation tracker (covered, descendants, infeasible).
@@ -575,6 +603,9 @@ impl<'a, P: Program> SearchState<'a, P> {
             }
             if self.tracker.all_saturated() {
                 break self.finish_slice(EpochOutcome::Saturated);
+            }
+            if self.abort_streak >= ABORT_PATIENCE {
+                break self.finish_slice(EpochOutcome::Degraded);
             }
             if let Some(budget) = self.config.time_budget {
                 if self.started.elapsed() >= budget {
@@ -646,8 +677,12 @@ impl<'a, P: Program> SearchState<'a, P> {
             let tracker = &mut self.tracker;
             let mut objective = FnObjective(move |x: &[f64]| {
                 let evaluation = engine.eval_full(x);
-                coverage.record_set(&evaluation.covered);
-                tracker.record_trace(&evaluation.trace);
+                // An aborted evaluation's coverage and trace come from a
+                // truncated execution — record nothing from it.
+                if evaluation.outcome.is_done() {
+                    coverage.record_set(&evaluation.covered);
+                    tracker.record_trace(&evaluation.trace);
+                }
                 evaluation.value
             });
             hopper.minimize_objective(&mut objective, &x0)
@@ -670,7 +705,15 @@ impl<'a, P: Program> SearchState<'a, P> {
                 self.evaluations += polish_evals;
             }
         }
-        let outcome = if evaluation.value <= self.config.zero_threshold {
+        let outcome = if !evaluation.outcome.is_done() {
+            // The final execution never completed: its value is the abort
+            // sentinel and its coverage/trace are garbage. Record nothing —
+            // in particular do not blame a branch as infeasible off a
+            // truncated trace.
+            self.abort_streak += 1;
+            RoundOutcome::Aborted
+        } else if evaluation.value <= self.config.zero_threshold {
+            self.abort_streak = 0;
             let newly_covered = self.coverage.record_set(&evaluation.covered);
             self.tracker.record_trace(&evaluation.trace);
             self.accepted.push(AcceptedInput {
@@ -684,6 +727,7 @@ impl<'a, P: Program> SearchState<'a, P> {
                 RoundOutcome::RedundantInput
             }
         } else {
+            self.abort_streak = 0;
             match self.config.infeasible_policy {
                 InfeasiblePolicy::LastConditional => {
                     if let Some(last) = evaluation.trace.last() {
@@ -724,6 +768,8 @@ impl<'a, P: Program> SearchState<'a, P> {
             rounds: self.rounds,
             evaluations: self.evaluations,
             cache_hits: self.engine.telemetry().cache_hits as usize,
+            timeouts: self.engine.telemetry().timeouts as usize,
+            traps: self.engine.telemetry().traps as usize,
             epochs: self.epochs,
             started: self.started,
             finished,
@@ -1069,5 +1115,54 @@ mod tests {
     fn rejects_zero_arity_programs() {
         let p = FnProgram::new("nullary", 0, 0, |_: &[f64], _: &mut ExecCtx| {});
         let _ = CoverMe::with_defaults().run(&p);
+    }
+
+    /// A program whose every execution runs out of fuel before completing —
+    /// the interpreter analogue is an unconditionally infinite loop.
+    fn always_aborting() -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
+        FnProgram::new("SPIN", 1, 1, |input: &[f64], ctx: &mut ExecCtx| {
+            ctx.branch(0, Cmp::Gt, input[0].abs() + 1.0, 0.0);
+            ctx.mark_timeout();
+        })
+    }
+
+    #[test]
+    fn always_aborting_program_degrades_instead_of_burning_the_budget() {
+        let program = always_aborting();
+        let mut state = SearchState::new(&quick_config().n_start(500), &program, 0);
+        let outcome = state.run_to_exhaustion();
+        assert_eq!(outcome, EpochOutcome::Degraded);
+        assert_eq!(state.rounds_run(), ABORT_PATIENCE);
+        let report = state.finish().into_report("SPIN");
+        assert!(report.inputs.is_empty(), "aborted rounds accept nothing");
+        assert!(report.infeasible.is_empty(), "no blame off garbage traces");
+        assert!(report
+            .rounds
+            .iter()
+            .all(|r| r.outcome == RoundOutcome::Aborted));
+        assert!(report.timeouts > 0, "telemetry counts the timeouts");
+        assert_eq!(report.traps, 0);
+    }
+
+    #[test]
+    fn abort_streak_resets_on_completed_rounds() {
+        // Aborts only on negative inputs: the search keeps finding
+        // completed rounds in between, so it must not degrade.
+        let flaky = FnProgram::new("FLAKY", 1, 2, |input: &[f64], ctx: &mut ExecCtx| {
+            let x = input[0];
+            if x < 0.0 {
+                ctx.mark_timeout();
+                return;
+            }
+            if ctx.branch(0, Cmp::Le, x, 1.0) {
+                // easy
+            }
+            ctx.branch(1, Cmp::Eq, x, 4.0);
+        });
+        let report = CoverMe::new(quick_config()).run(&flaky);
+        assert!(
+            report.coverage.covered_count() > 0,
+            "completed rounds still make progress: {report}"
+        );
     }
 }

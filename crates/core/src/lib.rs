@@ -80,8 +80,10 @@ pub mod sync;
 pub use campaign::{
     Campaign, CampaignConfig, CampaignEvent, CampaignReport, FunctionResult, FunctionStatus,
 };
-pub use driver::{CoverMe, CoverMeConfig, EpochOutcome, InfeasiblePolicy, PenPolicy, SearchState};
-pub use objective::{CacheMode, EngineTelemetry, ObjectiveEngine};
+pub use driver::{
+    CoverMe, CoverMeConfig, EpochOutcome, InfeasiblePolicy, PenPolicy, SearchState, ABORT_PATIENCE,
+};
+pub use objective::{CacheMode, EngineTelemetry, ObjectiveEngine, ABORTED_VALUE};
 pub use report::{EpochTelemetry, RoundOutcome, RoundRecord, TestReport};
 pub use representing::{Evaluation, RepresentingFunction};
 pub use saturation::{SaturationDelta, SaturationTracker};
@@ -91,4 +93,6 @@ pub use sync::{run_shards_synced, run_shards_synced_parallel, SyncPlan};
 // Re-export the pieces users need to define programs without adding an
 // explicit dependency on the runtime crate.
 pub use coverme_optim::{FnObjective, LocalMethod, Objective};
-pub use coverme_runtime::{BranchId, BranchSet, Cmp, CoverageMap, ExecCtx, FnProgram, Program};
+pub use coverme_runtime::{
+    BranchId, BranchSet, Cmp, CoverageMap, ExecCtx, FnProgram, Program, RunOutcome,
+};

@@ -49,9 +49,19 @@
 //! `eval_full` before the driver consumes it.
 
 use coverme_optim::Objective;
-use coverme_runtime::{BranchSet, ExecCtx, LaneCtx, Program, LANE_WIDTH, MIN_LANE_BATCH};
+use coverme_runtime::{
+    BranchSet, ExecCtx, LaneCtx, Program, RunOutcome, LANE_WIDTH, MIN_LANE_BATCH,
+};
 
 use crate::representing::Evaluation;
+
+/// The objective value substituted for an aborted execution (fuel
+/// exhaustion or a runtime trap, see [`RunOutcome`]). An aborted run's
+/// accumulator is a truncated garbage distance; `+∞` is deterministic,
+/// never mistaken for a zero, and steers every minimizer away from the
+/// region. Aborted evaluations are also never memoized — a cache entry
+/// must represent a real `FOO_R(x)` value.
+pub const ABORTED_VALUE: f64 = f64::INFINITY;
 
 /// Widest input arity the memoization cache supports. Inputs are keyed as a
 /// fixed-size array of bit patterns so a lookup never allocates; programs
@@ -103,6 +113,13 @@ pub struct EngineTelemetry {
     pub evals: u64,
     /// Calls answered from the memoization cache without executing.
     pub cache_hits: u64,
+    /// Executions aborted by step-fuel exhaustion
+    /// ([`RunOutcome::Timeout`]); their values were substituted with
+    /// [`ABORTED_VALUE`] and not memoized.
+    pub timeouts: u64,
+    /// Executions aborted by a runtime fault ([`RunOutcome::Trap`]);
+    /// substituted and unmemoized like timeouts.
+    pub traps: u64,
 }
 
 impl EngineTelemetry {
@@ -112,6 +129,20 @@ impl EngineTelemetry {
             0.0
         } else {
             self.cache_hits as f64 / self.calls as f64
+        }
+    }
+
+    /// Total aborted executions (timeouts + traps).
+    pub fn aborts(&self) -> u64 {
+        self.timeouts + self.traps
+    }
+
+    /// Records one execution's outcome in the abort counters.
+    fn classify(&mut self, outcome: RunOutcome) {
+        match outcome {
+            RunOutcome::Done => {}
+            RunOutcome::Timeout => self.timeouts += 1,
+            RunOutcome::Trap => self.traps += 1,
         }
     }
 }
@@ -240,6 +271,11 @@ struct LaneMiss {
     /// Cache slot and key to seed with the finalized value, when the
     /// engine memoizes.
     keyed: Option<(usize, CacheKey)>,
+    /// How the lane's execution ended. A non-`Done` lane is still recorded
+    /// (keeping lane/value indices aligned) but its finalized value is
+    /// replaced by [`ABORTED_VALUE`] at scatter time and never memoized —
+    /// the same substitution the scalar path performs.
+    outcome: RunOutcome,
 }
 
 impl<P: Program> ObjectiveEngine<P> {
@@ -371,6 +407,13 @@ impl<P: Program> ObjectiveEngine<P> {
         self.telemetry.evals += 1;
         self.ctx.reset();
         self.program.execute(x, &mut self.ctx);
+        let outcome = self.ctx.run_outcome();
+        if !outcome.is_done() {
+            // Aborted run: the accumulator is garbage. Substitute the
+            // deterministic sentinel and keep it out of the memo table.
+            self.telemetry.classify(outcome);
+            return ABORTED_VALUE;
+        }
         let value = self.ctx.representing_value();
         if let (Some(cache), Some((slot, key))) = (&mut self.cache, keyed) {
             cache.insert_at(slot, key, value, self.epoch);
@@ -412,8 +455,13 @@ impl<P: Program> ObjectiveEngine<P> {
                 }
             }
             self.telemetry.evals += 1;
-            self.lane.record(&self.program, point);
-            self.lane_misses.push(LaneMiss { index, keyed });
+            let outcome = self.lane.record(&self.program, point);
+            self.telemetry.classify(outcome);
+            self.lane_misses.push(LaneMiss {
+                index,
+                keyed,
+                outcome,
+            });
             if self.lane.is_full() {
                 self.flush_lanes(values, base);
             }
@@ -436,6 +484,10 @@ impl<P: Program> ObjectiveEngine<P> {
             .drain(..)
             .zip(self.lane_values.iter().copied())
         {
+            if !miss.outcome.is_done() {
+                values[base + miss.index] = ABORTED_VALUE;
+                continue;
+            }
             values[base + miss.index] = value;
             if let (Some(cache), Some((slot, key))) = (&mut self.cache, miss.keyed) {
                 cache.insert_at(slot, key, value, self.epoch);
@@ -455,7 +507,21 @@ impl<P: Program> ObjectiveEngine<P> {
         let mut ctx =
             ExecCtx::representing(self.ctx.saturated().clone()).with_epsilon(self.epsilon);
         self.program.execute(x, &mut ctx);
+        let outcome = ctx.run_outcome();
         let (covered, trace, value) = ctx.into_parts();
+        if !outcome.is_done() {
+            // Aborted run: substitute the sentinel (same as the scalar
+            // path), skip the memo seed, and hand back the truncated
+            // coverage/trace tagged with the outcome so the driver can
+            // discard them.
+            self.telemetry.classify(outcome);
+            return Evaluation {
+                value: ABORTED_VALUE,
+                covered,
+                trace,
+                outcome,
+            };
+        }
         if let Some(cache) = &mut self.cache {
             cache.insert(cache_key(x), value, self.epoch);
         }
@@ -463,6 +529,7 @@ impl<P: Program> ObjectiveEngine<P> {
             value,
             covered,
             trace,
+            outcome,
         }
     }
 }
@@ -732,6 +799,77 @@ mod tests {
         assert_eq!(engine.telemetry().cache_hits, 0);
         assert_eq!(engine.telemetry().evals, 2);
         assert_eq!(engine.cache_len(), 0);
+    }
+
+    /// A program that aborts (marks a timeout) whenever its input is
+    /// negative — the shape of an interpreted program whose loop diverges
+    /// on half the domain.
+    fn sometimes_aborting() -> FnProgram<impl Fn(&[f64], &mut ExecCtx)> {
+        FnProgram::new("flaky", 1, 2, |input: &[f64], ctx: &mut ExecCtx| {
+            let x = input[0];
+            if ctx.branch(0, Cmp::Lt, x, 0.0) {
+                ctx.mark_timeout();
+                return; // truncated run: site 1 never reached
+            }
+            if ctx.branch(1, Cmp::Eq, x, 4.0) {
+                // target
+            }
+        })
+    }
+
+    #[test]
+    fn aborted_scalar_evals_return_the_sentinel_and_skip_the_cache() {
+        let mut engine =
+            ObjectiveEngine::new(sometimes_aborting(), DEFAULT_EPSILON).with_cache(true);
+        engine.retarget(&snapshot_1f());
+        assert_eq!(engine.eval_scalar(&[-1.0]), ABORTED_VALUE);
+        assert_eq!(engine.cache_len(), 0, "aborted value must not be memoized");
+        // Re-probing the same point re-executes (no hit on an aborted run).
+        assert_eq!(engine.eval_scalar(&[-1.0]), ABORTED_VALUE);
+        let t = engine.telemetry();
+        assert_eq!((t.calls, t.evals, t.cache_hits), (2, 2, 0));
+        assert_eq!((t.timeouts, t.traps), (2, 0));
+        assert_eq!(t.aborts(), 2);
+        // Clean inputs still evaluate and memoize normally.
+        let clean = engine.eval_scalar(&[2.0]);
+        assert!(clean.is_finite());
+        assert_eq!(engine.cache_len(), 1);
+    }
+
+    #[test]
+    fn aborting_batch_matches_scalar_values_and_telemetry() {
+        let points: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64 * 0.7 - 5.0]).collect();
+        let mut batched = ObjectiveEngine::new(sometimes_aborting(), DEFAULT_EPSILON);
+        batched.retarget(&snapshot_1f());
+        let mut values = Vec::new();
+        batched.eval_batch(&points, &mut values);
+        let mut scalar = ObjectiveEngine::new(sometimes_aborting(), DEFAULT_EPSILON);
+        scalar.retarget(&snapshot_1f());
+        for (point, value) in points.iter().zip(&values) {
+            assert_eq!(
+                scalar.eval_scalar(point).to_bits(),
+                value.to_bits(),
+                "{point:?}"
+            );
+        }
+        assert_eq!(batched.telemetry(), scalar.telemetry());
+        assert!(batched.telemetry().timeouts > 0);
+    }
+
+    #[test]
+    fn eval_full_tags_aborted_runs_and_skips_the_seed() {
+        let mut engine =
+            ObjectiveEngine::new(sometimes_aborting(), DEFAULT_EPSILON).with_cache(true);
+        engine.retarget(&snapshot_1f());
+        let aborted = engine.eval_full(&[-2.0]);
+        assert_eq!(aborted.outcome, RunOutcome::Timeout);
+        assert_eq!(aborted.value, ABORTED_VALUE);
+        assert_eq!(engine.cache_len(), 0);
+        let clean = engine.eval_full(&[2.0]);
+        assert_eq!(clean.outcome, RunOutcome::Done);
+        assert!(clean.value.is_finite());
+        assert_eq!(engine.cache_len(), 1);
+        assert_eq!(engine.telemetry().timeouts, 1);
     }
 
     #[test]

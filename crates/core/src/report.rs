@@ -20,6 +20,12 @@ pub enum RoundOutcome {
     /// The minimum stayed positive and the heuristic was disabled or had no
     /// branch to blame (empty trace).
     NoProgress,
+    /// The round's final evaluation did not run to completion (the program
+    /// timed out or trapped, see [`coverme_runtime::RunOutcome`]): its
+    /// coverage and trace are garbage from a truncated execution, so the
+    /// driver recorded nothing — no input, no saturation update, and no
+    /// infeasible blame.
+    Aborted,
 }
 
 /// Per-round record kept for diagnostics and for the scenario tables
@@ -83,6 +89,14 @@ pub struct TestReport {
     /// memoization cache (see `coverme::objective`): answered calls that
     /// cost no program execution.
     pub cache_hits: usize,
+    /// Evaluations whose execution ran out of fuel before completing
+    /// (classified [`coverme_runtime::RunOutcome::Timeout`]); each returned
+    /// the abort sentinel and fed no coverage or saturation update.
+    pub timeouts: usize,
+    /// Evaluations whose execution trapped — recursion too deep, a missing
+    /// call target — before completing (classified
+    /// [`coverme_runtime::RunOutcome::Trap`]).
+    pub traps: usize,
     /// Per-epoch work telemetry, aggregated across shards by epoch index
     /// (entries are in epoch order). Unsynced runs have a single epoch.
     pub epochs: Vec<EpochTelemetry>,
@@ -107,6 +121,11 @@ impl TestReport {
             .iter()
             .filter(|r| r.outcome == RoundOutcome::NewInput)
             .count()
+    }
+
+    /// Evaluations that did not run to completion (timeouts plus traps).
+    pub fn aborted_evaluations(&self) -> usize {
+        self.timeouts + self.traps
     }
 
     /// Summary row for table harnesses.
@@ -141,6 +160,13 @@ impl std::fmt::Display for TestReport {
             self.evaluations,
             self.cache_hits,
         )?;
+        if self.aborted_evaluations() > 0 {
+            writeln!(
+                f,
+                "  aborted evaluations: {} timeouts, {} traps",
+                self.timeouts, self.traps
+            )?;
+        }
         if !self.infeasible.is_empty() {
             let labels: Vec<String> = self.infeasible.iter().map(|b| b.to_string()).collect();
             writeln!(f, "  deemed infeasible: {}", labels.join(", "))?;
@@ -188,6 +214,8 @@ mod tests {
             ],
             evaluations: 22,
             cache_hits: 3,
+            timeouts: 1,
+            traps: 0,
             epochs: vec![EpochTelemetry {
                 epoch: 0,
                 rounds: 2,
@@ -215,6 +243,7 @@ mod tests {
         assert!(text.contains("1F"));
         assert!(text.contains("22 evals"));
         assert!(text.contains("3 cache hits"));
+        assert!(text.contains("1 timeouts, 0 traps"));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use std::cell::RefCell;
 
-use coverme_runtime::{BranchSet, ExecCtx, LaneCtx, Program, Trace};
+use coverme_runtime::{BranchSet, ExecCtx, LaneCtx, Program, RunOutcome, Trace};
 
 /// The result of evaluating the representing function on one input.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +28,12 @@ pub struct Evaluation {
     pub covered: BranchSet,
     /// Ordered decision trace of this execution.
     pub trace: Trace,
+    /// How the execution ended. Anything but [`RunOutcome::Done`] means the
+    /// run aborted (fuel exhausted, runtime fault): `value` is a truncated
+    /// accumulator, `covered` and `trace` describe a path that was never
+    /// completed, and none of them may feed coverage, saturation or
+    /// memoization updates.
+    pub outcome: RunOutcome,
 }
 
 /// The representing function of a program against a saturation snapshot.
@@ -135,11 +141,13 @@ impl<P: Program> RepresentingFunction<P> {
     pub fn eval_full(&self, input: &[f64]) -> Evaluation {
         let mut ctx = ExecCtx::representing(self.saturated.clone()).with_epsilon(self.epsilon);
         self.program.execute(input, &mut ctx);
+        let outcome = ctx.run_outcome();
         let (covered, trace, value) = ctx.into_parts();
         Evaluation {
             value,
             covered,
             trace,
+            outcome,
         }
     }
 

@@ -121,6 +121,13 @@ pub struct ShardOutcome {
     /// Objective calls the engine served from its memoization cache
     /// without executing the program.
     pub cache_hits: usize,
+    /// Evaluations whose execution ran out of fuel (see
+    /// [`coverme_runtime::RunOutcome::Timeout`]); they returned the abort
+    /// sentinel and fed no coverage or saturation update.
+    pub timeouts: usize,
+    /// Evaluations whose execution trapped mid-run (see
+    /// [`coverme_runtime::RunOutcome::Trap`]).
+    pub traps: usize,
     /// Per-epoch work telemetry: one entry per `run_rounds` slice the
     /// shard's [`SearchState`] executed (a run-to-exhaustion shard has
     /// exactly one).
@@ -145,6 +152,8 @@ impl ShardOutcome {
             rounds: self.rounds,
             evaluations: self.evaluations,
             cache_hits: self.cache_hits,
+            timeouts: self.timeouts,
+            traps: self.traps,
             epochs: self.epochs,
             wall_time: self.finished.duration_since(self.started),
         }
@@ -259,6 +268,8 @@ pub fn merge_shards(program_name: &str, mut outcomes: Vec<ShardOutcome>) -> Merg
     }
     let evaluations = outcomes.iter().map(|o| o.evaluations).sum();
     let cache_hits = outcomes.iter().map(|o| o.cache_hits).sum();
+    let timeouts = outcomes.iter().map(|o| o.timeouts).sum();
+    let traps = outcomes.iter().map(|o| o.traps).sum();
     let started = outcomes.iter().map(|o| o.started).min().expect("non-empty");
     let finished = outcomes
         .iter()
@@ -276,6 +287,8 @@ pub fn merge_shards(program_name: &str, mut outcomes: Vec<ShardOutcome>) -> Merg
             rounds,
             evaluations,
             cache_hits,
+            timeouts,
+            traps,
             epochs,
             wall_time: finished.duration_since(started),
         },

@@ -11,8 +11,26 @@
 //! (two's complement), and the bit-level builtins (`high_word`, `low_word`,
 //! `from_words`, ...) give direct access to the IEEE-754 representation the
 //! way Fdlibm's `__HI`/`__LO` macros do.
+//!
+//! # Run outcomes
+//!
+//! Interpreted programs are untrusted: a search submits inputs chosen to
+//! *maximize* branch divergence, so loops that terminate on benign inputs
+//! routinely spin forever on adversarial ones. Every execution is therefore
+//! bounded by a step **fuel** ([`DEFAULT_FUEL`] statements/expressions,
+//! configurable per program via [`IrProgram::with_fuel`]) and a call-depth
+//! limit, and classified on the [`ExecCtx`]:
+//!
+//! * fuel exhausted → [`RunOutcome::Timeout`](coverme_runtime::RunOutcome),
+//! * depth exhausted or a missing call target →
+//!   [`RunOutcome::Trap`](coverme_runtime::RunOutcome),
+//! * otherwise → [`RunOutcome::Done`](coverme_runtime::RunOutcome).
+//!
+//! An aborted run unwinds immediately; its truncated trace, partial
+//! coverage and accumulator value are *not* meaningful and consumers (the
+//! objective engine, the search driver) must discard them.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use coverme_runtime::{ExecCtx, Program};
 
@@ -20,9 +38,11 @@ use crate::ast::{BinOp, Block, Expr, FunctionDef, Stmt, Ty, UnOp};
 use crate::error::{CompileError, ErrorKind};
 use crate::instrument::{as_comparison, InstrumentedModule};
 
-/// Hard limit on executed statements per top-level call, so that
-/// adversarially looping inputs cannot hang the testing loop.
-const MAX_STEPS: usize = 2_000_000;
+/// Default step fuel per top-level call. A search performs 100k+ evaluations
+/// per function, so the old 2M-step ceiling meant a single looping program
+/// could burn minutes before aborting once; 100k steps is still ~3 orders of
+/// magnitude above what any real corpus function needs per run.
+pub const DEFAULT_FUEL: usize = 100_000;
 /// Maximum call depth.
 const MAX_DEPTH: usize = 128;
 
@@ -75,7 +95,8 @@ impl Value {
 enum Flow {
     Normal,
     Return(Option<Value>),
-    /// The step or depth limit was hit; unwind immediately.
+    /// The run was classified Timeout/Trap on the context; unwind
+    /// immediately.
     Abort,
 }
 
@@ -88,6 +109,7 @@ pub struct IrProgram {
     inst: InstrumentedModule,
     arity: usize,
     line_count: usize,
+    fuel: usize,
 }
 
 impl IrProgram {
@@ -108,7 +130,26 @@ impl IrProgram {
             arity,
             line_count: lines.len(),
             inst,
+            fuel: DEFAULT_FUEL,
         })
+    }
+
+    /// Overrides the per-execution step fuel (statements + expressions
+    /// evaluated before the run is classified
+    /// [`Timeout`](coverme_runtime::RunOutcome::Timeout)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fuel` is zero.
+    pub fn with_fuel(mut self, fuel: usize) -> IrProgram {
+        assert!(fuel > 0, "fuel must be positive");
+        self.fuel = fuel;
+        self
+    }
+
+    /// The per-execution step fuel in effect.
+    pub fn fuel(&self) -> usize {
+        self.fuel
     }
 
     /// The instrumented module backing this program.
@@ -128,7 +169,7 @@ impl IrProgram {
     /// exact line coverage (the analogue of Gcov line data).
     pub fn executed_lines(&self, input: &[f64]) -> BTreeSet<u32> {
         let mut ctx = ExecCtx::observe().without_trace();
-        let mut interp = Interp::new(&self.inst, true);
+        let mut interp = Interp::new(&self.inst, self.fuel, true);
         interp.run(input, &mut ctx);
         interp.executed_lines
     }
@@ -161,7 +202,13 @@ impl Program for IrProgram {
             self.arity,
             input.len()
         );
-        let mut interp = Interp::new(&self.inst, false);
+        // `execute` takes `&self` (programs are shared across campaign
+        // worker threads), so the interpreter scratch cannot live on the
+        // program. `Interp::new` is allocation-free — its vectors start
+        // empty and grow once within the run — and the flat `Env` below
+        // replaces the old per-call `HashMap<String, Value>` chain, so the
+        // per-evaluation setup cost is a few empty-vec constructions.
+        let mut interp = Interp::new(&self.inst, self.fuel, false);
         interp.run(input, ctx);
     }
 
@@ -193,45 +240,75 @@ fn collect_lines(block: &Block, lines: &mut BTreeSet<u32>) {
 struct Interp<'a> {
     inst: &'a InstrumentedModule,
     steps: usize,
+    fuel: usize,
     track_lines: bool,
     executed_lines: BTreeSet<u32>,
+    env: Env<'a>,
+    /// Evaluated call arguments, all frames flattened (indexed by base
+    /// offset). Reused across calls so argument passing allocates at most
+    /// once per run.
+    args: Vec<Value>,
 }
 
 impl<'a> Interp<'a> {
-    fn new(inst: &'a InstrumentedModule, track_lines: bool) -> Interp<'a> {
+    fn new(inst: &'a InstrumentedModule, fuel: usize, track_lines: bool) -> Interp<'a> {
         Interp {
             inst,
             steps: 0,
+            fuel,
             track_lines,
             executed_lines: BTreeSet::new(),
+            env: Env::new(),
+            args: Vec::new(),
         }
     }
 
     fn run(&mut self, input: &[f64], ctx: &mut ExecCtx) -> Option<f64> {
         let entry = self.inst.entry_function();
-        let args: Vec<Value> = input.iter().map(|&v| Value::Double(v)).collect();
-        match self.call(entry, &args, ctx, 0) {
+        self.steps = 0;
+        self.env.reset();
+        self.args.clear();
+        self.args.extend(input.iter().map(|&v| Value::Double(v)));
+        match self.call(entry, 0, ctx, 0) {
             Some(Some(value)) => Some(value.as_f64()),
             _ => None,
         }
     }
 
-    /// Calls a function; `None` means aborted, `Some(ret)` normal completion.
+    /// Checks the step fuel, classifying an exhausted run as a timeout.
+    /// Returns `false` when the run must abort.
+    #[inline]
+    fn burn_step(&mut self, ctx: &mut ExecCtx) -> bool {
+        self.steps += 1;
+        if self.steps > self.fuel {
+            ctx.mark_timeout();
+            return false;
+        }
+        true
+    }
+
+    /// Calls a function whose evaluated arguments sit at
+    /// `self.args[args_base..]`; `None` means aborted, `Some(ret)` normal
+    /// completion.
     fn call(
         &mut self,
         function: &'a FunctionDef,
-        args: &[Value],
+        args_base: usize,
         ctx: &mut ExecCtx,
         depth: usize,
     ) -> Option<Option<Value>> {
         if depth > MAX_DEPTH {
+            ctx.mark_trap();
             return None;
         }
-        let mut env: Env = Env::new();
-        for (param, arg) in function.params.iter().zip(args) {
-            env.define(&param.name, arg.coerce(param.ty));
+        self.env.push_frame();
+        for (index, param) in function.params.iter().enumerate() {
+            let arg = self.args[args_base + index];
+            self.env.define(&param.name, arg.coerce(param.ty));
         }
-        match self.exec_block(&function.body, &mut env, ctx, depth, true) {
+        let flow = self.exec_block(&function.body, ctx, depth, true);
+        self.env.pop_frame();
+        match flow {
             Flow::Return(v) => Some(v),
             Flow::Normal => Some(None),
             Flow::Abort => None,
@@ -241,36 +318,27 @@ impl<'a> Interp<'a> {
     fn exec_block(
         &mut self,
         block: &'a Block,
-        env: &mut Env,
         ctx: &mut ExecCtx,
         depth: usize,
         track: bool,
     ) -> Flow {
-        env.push_scope();
+        self.env.push_scope();
         for stmt in &block.stmts {
-            let flow = self.exec_stmt(stmt, env, ctx, depth, track);
+            let flow = self.exec_stmt(stmt, ctx, depth, track);
             match flow {
                 Flow::Normal => {}
                 other => {
-                    env.pop_scope();
+                    self.env.pop_scope();
                     return other;
                 }
             }
         }
-        env.pop_scope();
+        self.env.pop_scope();
         Flow::Normal
     }
 
-    fn exec_stmt(
-        &mut self,
-        stmt: &'a Stmt,
-        env: &mut Env,
-        ctx: &mut ExecCtx,
-        depth: usize,
-        track: bool,
-    ) -> Flow {
-        self.steps += 1;
-        if self.steps > MAX_STEPS {
+    fn exec_stmt(&mut self, stmt: &'a Stmt, ctx: &mut ExecCtx, depth: usize, track: bool) -> Flow {
+        if !self.burn_step(ctx) {
             return Flow::Abort;
         }
         if self.track_lines && track {
@@ -279,7 +347,7 @@ impl<'a> Interp<'a> {
         match stmt {
             Stmt::Decl { ty, name, init, .. } => {
                 let value = match init {
-                    Some(init) => match self.eval(init, env, ctx, depth) {
+                    Some(init) => match self.eval(init, ctx, depth) {
                         Some(v) => v.coerce(*ty),
                         None => return Flow::Abort,
                     },
@@ -288,14 +356,14 @@ impl<'a> Interp<'a> {
                         _ => Value::Double(0.0),
                     },
                 };
-                env.define(name, value);
+                self.env.define(name, value);
                 Flow::Normal
             }
             Stmt::Assign { name, value, .. } => {
-                let Some(v) = self.eval(value, env, ctx, depth) else {
+                let Some(v) = self.eval(value, ctx, depth) else {
                     return Flow::Abort;
                 };
-                env.assign(name, v);
+                self.env.assign(name, v);
                 Flow::Normal
             }
             Stmt::If {
@@ -305,13 +373,13 @@ impl<'a> Interp<'a> {
                 site,
                 ..
             } => {
-                let Some(outcome) = self.eval_condition(cond, *site, env, ctx, depth) else {
+                let Some(outcome) = self.eval_condition(cond, *site, ctx, depth) else {
                     return Flow::Abort;
                 };
                 if outcome {
-                    self.exec_block(then_block, env, ctx, depth, track)
+                    self.exec_block(then_block, ctx, depth, track)
                 } else if let Some(else_block) = else_block {
-                    self.exec_block(else_block, env, ctx, depth, track)
+                    self.exec_block(else_block, ctx, depth, track)
                 } else {
                     Flow::Normal
                 }
@@ -320,18 +388,17 @@ impl<'a> Interp<'a> {
                 cond, body, site, ..
             } => {
                 loop {
-                    let Some(outcome) = self.eval_condition(cond, *site, env, ctx, depth) else {
+                    let Some(outcome) = self.eval_condition(cond, *site, ctx, depth) else {
                         return Flow::Abort;
                     };
                     if !outcome {
                         break;
                     }
-                    match self.exec_block(body, env, ctx, depth, track) {
+                    match self.exec_block(body, ctx, depth, track) {
                         Flow::Normal => {}
                         other => return other,
                     }
-                    self.steps += 1;
-                    if self.steps > MAX_STEPS {
+                    if !self.burn_step(ctx) {
                         return Flow::Abort;
                     }
                 }
@@ -339,7 +406,7 @@ impl<'a> Interp<'a> {
             }
             Stmt::Return { value, .. } => {
                 let v = match value {
-                    Some(expr) => match self.eval(expr, env, ctx, depth) {
+                    Some(expr) => match self.eval(expr, ctx, depth) {
                         Some(v) => Some(v),
                         None => return Flow::Abort,
                     },
@@ -347,7 +414,7 @@ impl<'a> Interp<'a> {
                 };
                 Flow::Return(v)
             }
-            Stmt::ExprStmt { expr, .. } => match self.eval(expr, env, ctx, depth) {
+            Stmt::ExprStmt { expr, .. } => match self.eval(expr, ctx, depth) {
                 Some(_) => Flow::Normal,
                 None => Flow::Abort,
             },
@@ -362,37 +429,29 @@ impl<'a> Interp<'a> {
         &mut self,
         cond: &'a Expr,
         site: Option<u32>,
-        env: &mut Env,
         ctx: &mut ExecCtx,
         depth: usize,
     ) -> Option<bool> {
         if let (Some(site), Some((op, lhs, rhs))) = (site, as_comparison(cond)) {
-            let lhs = self.eval(lhs, env, ctx, depth)?;
-            let rhs = self.eval(rhs, env, ctx, depth)?;
+            let lhs = self.eval(lhs, ctx, depth)?;
+            let rhs = self.eval(rhs, ctx, depth)?;
             Some(ctx.branch(site, op, lhs.as_f64(), rhs.as_f64()))
         } else {
-            let v = self.eval(cond, env, ctx, depth)?;
+            let v = self.eval(cond, ctx, depth)?;
             Some(v.truthy())
         }
     }
 
-    fn eval(
-        &mut self,
-        expr: &'a Expr,
-        env: &mut Env,
-        ctx: &mut ExecCtx,
-        depth: usize,
-    ) -> Option<Value> {
-        self.steps += 1;
-        if self.steps > MAX_STEPS {
+    fn eval(&mut self, expr: &'a Expr, ctx: &mut ExecCtx, depth: usize) -> Option<Value> {
+        if !self.burn_step(ctx) {
             return None;
         }
         match expr {
             Expr::Int(v) => Some(Value::Int(*v)),
             Expr::Float(v) => Some(Value::Double(*v)),
-            Expr::Var(name) => Some(env.get(name).unwrap_or(Value::Double(0.0))),
+            Expr::Var(name) => Some(self.env.get(name).unwrap_or(Value::Double(0.0))),
             Expr::Unary { op, expr } => {
-                let v = self.eval(expr, env, ctx, depth)?;
+                let v = self.eval(expr, ctx, depth)?;
                 Some(match op {
                     UnOp::Neg => match v {
                         Value::Int(i) => Value::Int(i.wrapping_neg()),
@@ -403,11 +462,11 @@ impl<'a> Interp<'a> {
                 })
             }
             Expr::Cast { ty, expr } => {
-                let v = self.eval(expr, env, ctx, depth)?;
+                let v = self.eval(expr, ctx, depth)?;
                 Some(v.coerce(*ty))
             }
-            Expr::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs, env, ctx, depth),
-            Expr::Call { name, args } => self.eval_call(name, args, env, ctx, depth),
+            Expr::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs, ctx, depth),
+            Expr::Call { name, args } => self.eval_call(name, args, ctx, depth),
         }
     }
 
@@ -416,30 +475,29 @@ impl<'a> Interp<'a> {
         op: BinOp,
         lhs: &'a Expr,
         rhs: &'a Expr,
-        env: &mut Env,
         ctx: &mut ExecCtx,
         depth: usize,
     ) -> Option<Value> {
         // Short-circuit operators first.
         if op == BinOp::LogicalAnd {
-            let l = self.eval(lhs, env, ctx, depth)?;
+            let l = self.eval(lhs, ctx, depth)?;
             if !l.truthy() {
                 return Some(Value::Int(0));
             }
-            let r = self.eval(rhs, env, ctx, depth)?;
+            let r = self.eval(rhs, ctx, depth)?;
             return Some(Value::Int(i64::from(r.truthy())));
         }
         if op == BinOp::LogicalOr {
-            let l = self.eval(lhs, env, ctx, depth)?;
+            let l = self.eval(lhs, ctx, depth)?;
             if l.truthy() {
                 return Some(Value::Int(1));
             }
-            let r = self.eval(rhs, env, ctx, depth)?;
+            let r = self.eval(rhs, ctx, depth)?;
             return Some(Value::Int(i64::from(r.truthy())));
         }
 
-        let l = self.eval(lhs, env, ctx, depth)?;
-        let r = self.eval(rhs, env, ctx, depth)?;
+        let l = self.eval(lhs, ctx, depth)?;
+        let r = self.eval(rhs, ctx, depth)?;
         let both_int = matches!((l, r), (Value::Int(_), Value::Int(_)));
         Some(match op {
             BinOp::Add => {
@@ -506,29 +564,38 @@ impl<'a> Interp<'a> {
         &mut self,
         name: &str,
         args: &'a [Expr],
-        env: &mut Env,
         ctx: &mut ExecCtx,
         depth: usize,
     ) -> Option<Value> {
-        let mut values = Vec::with_capacity(args.len());
+        let base = self.args.len();
         for arg in args {
-            values.push(self.eval(arg, env, ctx, depth)?);
+            match self.eval(arg, ctx, depth) {
+                Some(v) => self.args.push(v),
+                None => {
+                    self.args.truncate(base);
+                    return None;
+                }
+            }
         }
-        if let Some(result) = eval_builtin(name, &values) {
+        if let Some(result) = eval_builtin(name, &self.args[base..]) {
+            self.args.truncate(base);
             return Some(result);
         }
-        let function = self
-            .inst
-            .module
-            .function(name)
-            .expect("type checker validated call targets");
-        let coerced: Vec<Value> = function
-            .params
-            .iter()
-            .zip(&values)
-            .map(|(p, v)| v.coerce(p.ty))
-            .collect();
-        match self.call(function, &coerced, ctx, depth + 1)? {
+        let Some(function) = self.inst.module.function(name) else {
+            // The type checker validates call targets at compile time, so
+            // this is unreachable for compiled modules — but a trap (not a
+            // panic) keeps hand-assembled or corrupted modules classified.
+            ctx.mark_trap();
+            self.args.truncate(base);
+            return None;
+        };
+        for (index, param) in function.params.iter().enumerate() {
+            let v = self.args[base + index];
+            self.args[base + index] = v.coerce(param.ty);
+        }
+        let result = self.call(function, base, ctx, depth + 1);
+        self.args.truncate(base);
+        match result? {
             Some(v) => Some(v),
             None => Some(Value::Double(0.0)),
         }
@@ -579,36 +646,73 @@ fn eval_builtin(name: &str, args: &[Value]) -> Option<Value> {
     })
 }
 
-/// Lexically scoped variable environment.
-struct Env {
-    scopes: Vec<HashMap<String, Value>>,
+/// Lexically scoped variable environment, flattened into one entry stack.
+///
+/// The previous implementation kept a `Vec<HashMap<String, Value>>` per
+/// call frame: every call allocated a map chain and every `define` cloned
+/// the variable name. On the FPIR hot path (100k+ evaluations per search,
+/// each walking the whole program) that allocation traffic dominated. The
+/// flat form pushes `(&str, Value)` pairs borrowing the names from the
+/// instrumented module, with scope and frame boundaries as saved lengths;
+/// lookups scan backward to the current frame base, which for the
+/// handful of live variables a mini-language function has is faster than
+/// hashing.
+struct Env<'a> {
+    entries: Vec<(&'a str, Value)>,
+    /// Start index (into `entries`) of each open lexical scope.
+    scopes: Vec<usize>,
+    /// Start index (into `entries`) of each active call frame; lookups do
+    /// not cross the innermost base.
+    frames: Vec<usize>,
 }
 
-impl Env {
-    fn new() -> Env {
+impl<'a> Env<'a> {
+    fn new() -> Env<'a> {
         Env {
-            scopes: vec![HashMap::new()],
+            entries: Vec::new(),
+            scopes: Vec::new(),
+            frames: Vec::new(),
         }
     }
 
+    fn reset(&mut self) {
+        self.entries.clear();
+        self.scopes.clear();
+        self.frames.clear();
+    }
+
+    fn push_frame(&mut self) {
+        self.frames.push(self.entries.len());
+        self.push_scope();
+    }
+
+    fn pop_frame(&mut self) {
+        self.pop_scope();
+        let base = self.frames.pop().expect("at least one frame");
+        self.entries.truncate(base);
+    }
+
     fn push_scope(&mut self) {
-        self.scopes.push(HashMap::new());
+        self.scopes.push(self.entries.len());
     }
 
     fn pop_scope(&mut self) {
-        self.scopes.pop();
+        let start = self.scopes.pop().expect("at least one scope");
+        self.entries.truncate(start);
     }
 
-    fn define(&mut self, name: &str, value: Value) {
-        self.scopes
-            .last_mut()
-            .expect("at least one scope")
-            .insert(name.to_string(), value);
+    fn define(&mut self, name: &'a str, value: Value) {
+        self.entries.push((name, value));
     }
 
-    fn assign(&mut self, name: &str, value: Value) {
-        for scope in self.scopes.iter_mut().rev() {
-            if let Some(slot) = scope.get_mut(name) {
+    fn frame_base(&self) -> usize {
+        *self.frames.last().expect("at least one frame")
+    }
+
+    fn assign(&mut self, name: &'a str, value: Value) {
+        let base = self.frame_base();
+        for (entry_name, slot) in self.entries[base..].iter_mut().rev() {
+            if *entry_name == name {
                 // Preserve the declared representation: assigning a double to
                 // an int-typed variable truncates, as in C.
                 *slot = match slot {
@@ -623,7 +727,12 @@ impl Env {
     }
 
     fn get(&self, name: &str) -> Option<Value> {
-        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+        let base = self.frame_base();
+        self.entries[base..]
+            .iter()
+            .rev()
+            .find(|(entry_name, _)| *entry_name == name)
+            .map(|&(_, value)| value)
     }
 }
 
@@ -631,11 +740,11 @@ impl Env {
 mod tests {
     use super::*;
     use crate::compile;
-    use coverme_runtime::{BranchId, Cmp};
+    use coverme_runtime::{BranchId, Cmp, RunOutcome};
 
     fn run_value(program: &IrProgram, input: &[f64]) -> Option<f64> {
         let mut ctx = ExecCtx::observe();
-        let mut interp = Interp::new(program.instrumented(), false);
+        let mut interp = Interp::new(program.instrumented(), program.fuel(), false);
         interp.run(input, &mut ctx)
     }
 
@@ -676,6 +785,7 @@ mod tests {
         assert!(ctx.covered().contains(BranchId::true_of(1)));
         assert_eq!(ctx.trace().len(), 2);
         assert_eq!(ctx.trace().last().unwrap().op, Cmp::Eq);
+        assert_eq!(ctx.run_outcome(), RunOutcome::Done);
     }
 
     #[test]
@@ -741,7 +851,7 @@ mod tests {
     }
 
     #[test]
-    fn infinite_loops_are_cut_off_instead_of_hanging() {
+    fn infinite_loops_are_classified_as_timeouts() {
         let p = compile(
             r#"
             double f(double x) {
@@ -753,9 +863,40 @@ mod tests {
         )
         .unwrap();
         let mut ctx = ExecCtx::observe().without_trace();
-        // Must terminate (abort) rather than loop forever.
+        // Must terminate (abort) rather than loop forever, and say why.
         p.execute(&[1.0], &mut ctx);
         assert!(ctx.covered().contains(BranchId::true_of(0)));
+        assert_eq!(ctx.run_outcome(), RunOutcome::Timeout);
+        // A non-looping input on the same program is Done.
+        let mut clean = ExecCtx::observe();
+        p.execute(&[-1.0], &mut clean);
+        assert_eq!(clean.run_outcome(), RunOutcome::Done);
+    }
+
+    #[test]
+    fn fuel_is_configurable_per_program() {
+        let p = compile(
+            r#"
+            double f(double x) {
+                int i = 0;
+                while (i < 1000) { i = i + 1; }
+                return x;
+            }
+            "#,
+            "f",
+        )
+        .unwrap();
+        assert_eq!(p.fuel(), DEFAULT_FUEL);
+        // Generous fuel: the loop finishes.
+        let mut ctx = ExecCtx::observe().without_trace();
+        p.execute(&[1.0], &mut ctx);
+        assert_eq!(ctx.run_outcome(), RunOutcome::Done);
+        // Starved fuel: the same program times out.
+        let starved = p.with_fuel(100);
+        assert_eq!(starved.fuel(), 100);
+        let mut ctx = ExecCtx::observe().without_trace();
+        starved.execute(&[1.0], &mut ctx);
+        assert_eq!(ctx.run_outcome(), RunOutcome::Timeout);
     }
 
     #[test]
@@ -792,7 +933,7 @@ mod tests {
     }
 
     #[test]
-    fn recursion_depth_is_bounded() {
+    fn recursion_depth_is_bounded_and_classified_as_trap() {
         let p = compile(
             r#"
             double f(double x) {
@@ -805,6 +946,50 @@ mod tests {
         .unwrap();
         let mut ctx = ExecCtx::observe();
         p.execute(&[1.0], &mut ctx); // must not overflow the stack
+        assert_eq!(ctx.run_outcome(), RunOutcome::Trap);
+        let mut clean = ExecCtx::observe();
+        p.execute(&[-1.0], &mut clean);
+        assert_eq!(clean.run_outcome(), RunOutcome::Done);
+    }
+
+    #[test]
+    fn shadowing_resolves_to_the_innermost_scope() {
+        let p = compile(
+            r#"
+            double f(double x) {
+                double y = 1.0;
+                if (x > 0.0) {
+                    double y = 10.0;
+                    x = x + y;
+                }
+                return x + y;
+            }
+            "#,
+            "f",
+        )
+        .unwrap();
+        // Inner y (10) applies inside the block, outer y (1) at the return.
+        assert_eq!(run_value(&p, &[2.0]), Some(13.0));
+        assert_eq!(run_value(&p, &[-2.0]), Some(-1.0));
+    }
+
+    #[test]
+    fn callee_locals_do_not_leak_into_the_caller() {
+        // `helper` defines `z`; after it returns, `z` in `f` must resolve
+        // to f's own `z`, not a stale callee entry.
+        let p = compile(
+            r#"
+            double helper(double a) { double z = 99.0; return a + z; }
+            double f(double x) {
+                double z = 1.0;
+                double w = helper(x);
+                return z + w;
+            }
+            "#,
+            "f",
+        )
+        .unwrap();
+        assert_eq!(run_value(&p, &[1.0]), Some(101.0));
     }
 
     #[test]

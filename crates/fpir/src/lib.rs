@@ -51,6 +51,7 @@
 
 pub mod ast;
 pub mod error;
+pub mod generate;
 pub mod instrument;
 pub mod interp;
 pub mod lexer;
@@ -60,6 +61,7 @@ pub mod typeck;
 
 pub use ast::{BinOp, Block, Expr, FunctionDef, Module, Stmt, Ty, UnOp};
 pub use error::{CompileError, ErrorKind};
+pub use generate::{generate_module, generate_source, ENTRY_NAME};
 pub use instrument::{instrument, InstrumentedModule, SiteInfo};
 pub use interp::IrProgram;
 pub use lexer::{Lexer, Token, TokenKind};

@@ -82,6 +82,49 @@ impl PendingPen {
     }
 }
 
+/// How one execution of a program under test ended.
+///
+/// Interpreted or otherwise untrusted programs (the `coverme-fpir` front
+/// end, generated test programs) may fail to terminate cleanly: they can
+/// exhaust their step fuel in a loop or hit a runtime fault. Such runs used
+/// to be indistinguishable from clean ones — the truncated trace and the
+/// partial accumulator `r` fed the representing function as if they were a
+/// real path. An executor classifies each run by marking the context
+/// ([`ExecCtx::mark_timeout`]/[`ExecCtx::mark_trap`]); consumers read the
+/// classification back with [`ExecCtx::run_outcome`] and must exclude
+/// aborted runs from coverage, saturation and memoization updates.
+///
+/// Hand-instrumented native programs (fdlibm) never mark, so their contexts
+/// always report [`RunOutcome::Done`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunOutcome {
+    /// The program ran to completion; its trace and coverage are real.
+    #[default]
+    Done,
+    /// The executor's step fuel ran out before the program finished (the
+    /// usual fate of an infinite loop under a bounded interpreter).
+    Timeout,
+    /// The program faulted: recursion depth exceeded, a missing call
+    /// target, or any other condition the executor cannot recover from.
+    Trap,
+}
+
+impl RunOutcome {
+    /// Whether the run finished cleanly.
+    pub fn is_done(self) -> bool {
+        self == RunOutcome::Done
+    }
+
+    /// Stable lowercase label (used by JSON artifacts and the CLI).
+    pub fn label(self) -> &'static str {
+        match self {
+            RunOutcome::Done => "done",
+            RunOutcome::Timeout => "timeout",
+            RunOutcome::Trap => "trap",
+        }
+    }
+}
+
 /// The two ways an instrumented program can be executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
@@ -131,6 +174,10 @@ pub struct ExecCtx {
     pen_codes: Vec<u8>,
     /// Last live branch event of the current deferred execution.
     pending: PendingPen,
+    /// How the current execution ended. [`RunOutcome::Done`] unless the
+    /// executor marked the run aborted; reset to `Done` by
+    /// [`reset`](Self::reset).
+    outcome: RunOutcome,
 }
 
 impl ExecCtx {
@@ -149,6 +196,7 @@ impl ExecCtx {
             defer_pen: false,
             pen_codes: Vec::new(),
             pending: PendingPen::IDLE,
+            outcome: RunOutcome::Done,
         }
     }
 
@@ -170,6 +218,7 @@ impl ExecCtx {
             defer_pen: false,
             pen_codes: Vec::new(),
             pending: PendingPen::IDLE,
+            outcome: RunOutcome::Done,
         }
     }
 
@@ -339,6 +388,31 @@ impl ExecCtx {
         self.branch(site, Cmp::Ne, numeric, 0.0)
     }
 
+    /// Marks the current execution as aborted by step-fuel exhaustion.
+    /// Called by bounded executors (the FPIR interpreter) when a run does
+    /// not finish within its fuel; sticky until [`reset`](Self::reset).
+    pub fn mark_timeout(&mut self) {
+        if self.outcome == RunOutcome::Done {
+            self.outcome = RunOutcome::Timeout;
+        }
+    }
+
+    /// Marks the current execution as aborted by a runtime fault (depth
+    /// exhaustion, missing call target, …); sticky until
+    /// [`reset`](Self::reset).
+    pub fn mark_trap(&mut self) {
+        if self.outcome == RunOutcome::Done {
+            self.outcome = RunOutcome::Trap;
+        }
+    }
+
+    /// How the current execution ended. [`RunOutcome::Done`] unless the
+    /// executor marked it; consumers must discard the trace, coverage and
+    /// representing value of a non-`Done` run.
+    pub fn run_outcome(&self) -> RunOutcome {
+        self.outcome
+    }
+
     /// The current value of the injected accumulator `r`.
     ///
     /// For a representing-mode context this is `FOO_R(x)` once the program
@@ -432,14 +506,17 @@ impl ExecCtx {
     pub fn reset(&mut self) {
         if self.defer_pen {
             // A deferred context records neither coverage nor trace and
-            // never folds `r`; only the pending event carries state.
+            // never folds `r`; only the pending event and the run outcome
+            // carry state.
             self.pending = PendingPen::IDLE;
+            self.outcome = RunOutcome::Done;
             return;
         }
         self.covered.clear();
         self.trace.clear();
         self.r = 1.0;
         self.pending = PendingPen::IDLE;
+        self.outcome = RunOutcome::Done;
     }
 }
 
@@ -610,6 +687,27 @@ mod tests {
     #[should_panic(expected = "epsilon must be strictly positive")]
     fn rejects_non_positive_epsilon() {
         let _ = ExecCtx::observe().with_epsilon(0.0);
+    }
+
+    #[test]
+    fn run_outcome_defaults_done_sticks_and_resets() {
+        let mut ctx = ExecCtx::representing(BranchSet::new());
+        assert_eq!(ctx.run_outcome(), RunOutcome::Done);
+        ctx.mark_timeout();
+        assert_eq!(ctx.run_outcome(), RunOutcome::Timeout);
+        // The first classification wins: a later trap does not overwrite.
+        ctx.mark_trap();
+        assert_eq!(ctx.run_outcome(), RunOutcome::Timeout);
+        ctx.reset();
+        assert_eq!(ctx.run_outcome(), RunOutcome::Done);
+        ctx.mark_trap();
+        assert_eq!(ctx.run_outcome(), RunOutcome::Trap);
+        // Deferred contexts reset the outcome too (early-return branch).
+        let mut deferred = ExecCtx::representing(BranchSet::new()).deferred_pen();
+        deferred.mark_timeout();
+        assert_eq!(deferred.run_outcome(), RunOutcome::Timeout);
+        deferred.reset();
+        assert_eq!(deferred.run_outcome(), RunOutcome::Done);
     }
 
     #[test]

@@ -37,7 +37,7 @@
 //! [`distance`]: crate::distance
 
 use crate::branch::BranchSet;
-use crate::context::{pen_code, ExecCtx, PendingPen};
+use crate::context::{pen_code, ExecCtx, PendingPen, RunOutcome};
 use crate::distance::Cmp;
 use crate::program::Program;
 
@@ -140,12 +140,15 @@ impl LaneCtx {
 
     /// Records one lane: executes `program` on `input` through the deferred
     /// context and harvests the surviving pending event into the lane
-    /// buffers.
+    /// buffers. Returns how the execution ended so a dispatcher can handle
+    /// aborted runs (substitute a sentinel value, skip memoization) — the
+    /// lane itself is recorded either way, keeping lane/value indices
+    /// aligned.
     ///
     /// # Panics
     ///
     /// Panics if all [`LANE_WIDTH`] lanes are already filled.
-    pub fn record<P: Program + ?Sized>(&mut self, program: &P, input: &[f64]) {
+    pub fn record<P: Program + ?Sized>(&mut self, program: &P, input: &[f64]) -> RunOutcome {
         assert!(self.lanes < LANE_WIDTH, "all lanes filled; finalize first");
         self.ctx.reset();
         program.execute(input, &mut self.ctx);
@@ -156,6 +159,7 @@ impl LaneCtx {
         self.lhs[lane] = lhs;
         self.rhs[lane] = rhs;
         self.lanes += 1;
+        self.ctx.run_outcome()
     }
 
     /// Resolves every recorded lane in one lockstep pass, appending one

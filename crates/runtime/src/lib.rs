@@ -57,7 +57,7 @@ pub mod program;
 pub mod trace;
 
 pub use branch::{BranchId, BranchSet, Direction, SiteId};
-pub use context::{ExecCtx, ExecMode};
+pub use context::{ExecCtx, ExecMode, RunOutcome};
 pub use coverage::{CoverageMap, CoverageSummary};
 pub use distance::{distance, Cmp, DEFAULT_EPSILON};
 pub use lane::{LaneCtx, LANE_WIDTH, MIN_LANE_BATCH};

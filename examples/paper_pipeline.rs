@@ -1,6 +1,9 @@
 //! The paper's Fig. 3 pipeline on the mini-language front end: parse the
 //! example program, instrument it (injecting `r = pen(...)`), print the
 //! instrumented source, and saturate all branches by repeated minimization.
+//! A second stage feeds the driver a non-terminating program to show the
+//! run-outcome taxonomy: evaluations that exhaust their fuel are counted,
+//! excluded from coverage, and the search degrades instead of hanging.
 //!
 //! Run with `cargo run --release --example paper_pipeline`.
 
@@ -37,4 +40,38 @@ fn main() {
         );
     }
     println!("inputs: {:?}", report.inputs);
+    println!(
+        "aborted evaluations: {} ({} timeouts, {} traps)",
+        report.aborted_evaluations(),
+        report.timeouts,
+        report.traps
+    );
+
+    // Step 4: what happens when FOO doesn't halt. Every execution of the
+    // loop below burns its interpreter fuel; the run is classified
+    // `Timeout`, its truncated coverage is discarded, and after a bounded
+    // streak of aborted rounds the driver gives up on the function rather
+    // than spinning forever.
+    let spinner = compile(
+        r#"
+        double spinner(double x) {
+            if (x > 100.0) { return x; }
+            while (x < 1000.0) { x = x * 1.0; }
+            return x;
+        }
+        "#,
+        "spinner",
+    )
+    .expect("compiles")
+    .with_fuel(50_000);
+    let report = CoverMe::new(CoverMeConfig::default().n_start(40).seed(3)).run(&spinner);
+    println!("=== CoverMe on a non-terminating program ===");
+    println!("{report}");
+    println!(
+        "aborted evaluations: {} ({} timeouts, {} traps) — coverage above \
+         comes only from completed runs",
+        report.aborted_evaluations(),
+        report.timeouts,
+        report.traps
+    );
 }

@@ -1,0 +1,387 @@
+//! The `coverme` command-line front end: run CoverMe on FPIR source files.
+//!
+//! The paper's tool is invoked on C source; this reproduction's equivalent
+//! front door takes FPIR mini-language files (see `coverme-fpir` and the
+//! checked-in corpus in `examples/fpir/`) and drives the same search
+//! machinery the library exposes — sharding, cross-shard sync, the
+//! streaming campaign scheduler.
+//!
+//! ```text
+//! coverme run <file.fpir> [options]      test one program
+//! coverme campaign <dir> [options]       test every .fpir file in a directory
+//!
+//! common options:
+//!   --entry NAME       entry function (run mode; default: a function named
+//!                      like the file, else the file's only function)
+//!   --fuel N           interpreter step budget per execution (default 100000);
+//!                      exhausting it classifies the run `timeout`
+//!   --n-start N        starting points per function (default 80)
+//!   --seed S           master seed (default 42)
+//!   --shards N         shards per function (default 1 = unsharded)
+//!   --sync-epochs E    cross-shard saturation sync epochs (default 0 = off)
+//!   --local METHOD     local minimizer: powell (default), nm, compass, none
+//!   --budget SECS      wall-clock budget
+//!   --json PATH        write a machine-readable report to PATH (atomic)
+//!   --stream           print progress as it happens (per round for `run`,
+//!                      per function for `campaign`)
+//!   --workers N        campaign worker threads (default: auto)
+//! ```
+//!
+//! `run` exits 0 and prints the usual coverage report; its JSON carries an
+//! `outcome` field — `done` when every evaluation ran to completion,
+//! `timeout`/`trap` when executions aborted (the dominant classification) —
+//! which is what the CI smoke test greps to pin that a non-terminating
+//! program degrades instead of hanging. Bad invocations exit 2; source or
+//! I/O errors exit 1 with a positioned message.
+
+use std::time::Duration;
+
+use coverme::{
+    Campaign, CampaignConfig, CampaignEvent, CampaignReport, CoverMe, CoverMeConfig, LocalMethod,
+    Program, SearchState, TestReport,
+};
+use coverme_fpir::{check, instrument, parse, IrProgram, Module};
+
+const USAGE: &str = "\
+usage: coverme <run|campaign> <path> [options]
+  run <file.fpir>      test one FPIR program
+  campaign <dir>       test every .fpir file in a directory (sorted by name)
+options:
+  --entry NAME         entry function (run mode only)
+  --fuel N             interpreter step budget per execution (default 100000)
+  --n-start N          starting points per function (default 80)
+  --seed S             master seed (default 42)
+  --shards N           shards per function (default 1 = unsharded)
+  --sync-epochs E      cross-shard saturation sync epochs (default 0 = off)
+  --local METHOD       local minimizer: powell (default), nm, compass, none
+  --budget SECS        wall-clock budget
+  --json PATH          write a machine-readable report to PATH (atomic)
+  --stream             per-round (run) / per-function (campaign) progress
+  --workers N          campaign worker threads (default: auto)
+  --help               print this message";
+
+/// Bad invocation: usage text on stderr, exit 2 (the conventional status,
+/// distinct from a source/I-O failure's exit 1).
+fn usage_error(message: &str) -> ! {
+    eprintln!("coverme: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Source or I/O failure: positioned message on stderr, exit 1.
+fn run_error(message: &str) -> ! {
+    eprintln!("coverme: {message}");
+    std::process::exit(1);
+}
+
+fn parsed_for<T: std::str::FromStr>(flag: &str, value: String) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| usage_error(&format!("{flag} got invalid value {value}")))
+}
+
+/// Everything both subcommands share.
+struct Options {
+    entry: Option<String>,
+    fuel: Option<usize>,
+    n_start: usize,
+    seed: u64,
+    shards: usize,
+    sync_epochs: usize,
+    local_method: LocalMethod,
+    budget: Option<Duration>,
+    json_path: Option<String>,
+    stream: bool,
+    workers: usize,
+}
+
+fn parse_options(args: impl Iterator<Item = String>) -> (Vec<String>, Options) {
+    let mut options = Options {
+        entry: None,
+        fuel: None,
+        n_start: 80,
+        seed: 42,
+        shards: 1,
+        sync_epochs: 0,
+        local_method: LocalMethod::Powell,
+        budget: None,
+        json_path: None,
+        stream: false,
+        workers: 0,
+    };
+    let mut operands = Vec::new();
+    let mut iter = args;
+    while let Some(arg) = iter.next() {
+        let mut value_for = |flag: &str| -> String {
+            match iter.next() {
+                Some(value) if !value.starts_with("--") => value,
+                Some(value) => usage_error(&format!("{flag} needs a value, found flag {value}")),
+                None => usage_error(&format!("{flag} needs a value")),
+            }
+        };
+        match arg.as_str() {
+            "--entry" => options.entry = Some(value_for("--entry")),
+            "--fuel" => {
+                let fuel: usize = parsed_for("--fuel", value_for("--fuel"));
+                if fuel == 0 {
+                    usage_error("--fuel must be positive");
+                }
+                options.fuel = Some(fuel);
+            }
+            "--n-start" => options.n_start = parsed_for("--n-start", value_for("--n-start")),
+            "--seed" => options.seed = parsed_for("--seed", value_for("--seed")),
+            "--shards" => options.shards = parsed_for("--shards", value_for("--shards")),
+            "--sync-epochs" => {
+                options.sync_epochs = parsed_for("--sync-epochs", value_for("--sync-epochs"));
+            }
+            "--local" => {
+                options.local_method = match value_for("--local").as_str() {
+                    "powell" => LocalMethod::Powell,
+                    "nm" | "nelder-mead" => LocalMethod::NelderMead,
+                    "compass" => LocalMethod::Compass,
+                    "none" => LocalMethod::None,
+                    other => usage_error(&format!("--local got unknown method {other}")),
+                };
+            }
+            "--budget" => {
+                let secs: f64 = parsed_for("--budget", value_for("--budget"));
+                options.budget = Some(Duration::from_secs_f64(secs));
+            }
+            "--json" => options.json_path = Some(value_for("--json")),
+            "--stream" => options.stream = true,
+            "--workers" => options.workers = parsed_for("--workers", value_for("--workers")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => usage_error(&format!("unknown flag {flag}")),
+            operand => operands.push(operand.to_string()),
+        }
+    }
+    (operands, options)
+}
+
+fn search_config(options: &Options) -> CoverMeConfig {
+    let mut config = CoverMeConfig::default()
+        .n_start(options.n_start)
+        .seed(options.seed)
+        .local_method(options.local_method)
+        .shards(options.shards)
+        .sync_epochs(options.sync_epochs);
+    if let Some(budget) = options.budget {
+        config = config.time_budget(budget);
+    }
+    config
+}
+
+/// Picks the entry function: `--entry` wins, else a function named like the
+/// file, else the file's only function; anything else is an error listing
+/// what the module defines.
+fn infer_entry(module: &Module, path: &str, requested: Option<&str>) -> String {
+    if let Some(name) = requested {
+        if module.function(name).is_none() {
+            let defined: Vec<&str> = module.functions.iter().map(|f| f.name.as_str()).collect();
+            run_error(&format!(
+                "{path}: no function named {name} (defines: {})",
+                defined.join(", ")
+            ));
+        }
+        return name.to_string();
+    }
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("");
+    if module.function(stem).is_some() {
+        return stem.to_string();
+    }
+    if let [only] = module.functions.as_slice() {
+        return only.name.clone();
+    }
+    let defined: Vec<&str> = module.functions.iter().map(|f| f.name.as_str()).collect();
+    run_error(&format!(
+        "{path}: cannot infer the entry function (defines: {}); pass --entry",
+        defined.join(", ")
+    ));
+}
+
+/// Loads, checks and instruments one FPIR file into an executable program.
+fn load_program(path: &str, entry: Option<&str>, fuel: Option<usize>) -> IrProgram {
+    let source = std::fs::read_to_string(path)
+        .unwrap_or_else(|error| run_error(&format!("cannot read {path}: {error}")));
+    let module = parse(&source).unwrap_or_else(|error| run_error(&format!("{path}: {error}")));
+    let entry = infer_entry(&module, path, entry);
+    let module = check(module).unwrap_or_else(|error| run_error(&format!("{path}: {error}")));
+    let instrumented =
+        instrument(module, &entry).unwrap_or_else(|error| run_error(&format!("{path}: {error}")));
+    let program =
+        IrProgram::new(instrumented).unwrap_or_else(|error| run_error(&format!("{path}: {error}")));
+    match fuel {
+        Some(fuel) => program.with_fuel(fuel),
+        None => program,
+    }
+}
+
+/// The run's headline classification: `done` when every evaluation ran to
+/// completion, otherwise the dominant abort kind. A looping program whose
+/// every execution exhausts its fuel reports `timeout` here — the value the
+/// CI smoke test pins.
+fn outcome_label(report: &TestReport) -> &'static str {
+    if report.aborted_evaluations() == 0 {
+        "done"
+    } else if report.timeouts >= report.traps {
+        "timeout"
+    } else {
+        "trap"
+    }
+}
+
+/// Hand-rolled JSON for one `coverme run` (the build image has no serde).
+fn run_report_json(report: &TestReport, entry: &str, path: &str) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"coverme-run-report/1\",\n");
+    out.push_str(&format!("  \"file\": \"{}\",\n", path.replace('\\', "/")));
+    out.push_str(&format!("  \"entry\": \"{entry}\",\n"));
+    out.push_str(&format!("  \"outcome\": \"{}\",\n", outcome_label(report)));
+    out.push_str(&format!(
+        "  \"branches\": {},\n",
+        report.coverage.total_branches()
+    ));
+    out.push_str(&format!(
+        "  \"covered_branches\": {},\n",
+        report.coverage.covered_count()
+    ));
+    out.push_str(&format!(
+        "  \"branch_coverage_percent\": {},\n",
+        report.branch_coverage_percent()
+    ));
+    out.push_str(&format!("  \"inputs\": {},\n", report.inputs.len()));
+    out.push_str(&format!("  \"rounds\": {},\n", report.rounds.len()));
+    out.push_str(&format!("  \"evals\": {},\n", report.evaluations));
+    out.push_str(&format!("  \"cache_hits\": {},\n", report.cache_hits));
+    out.push_str(&format!("  \"timeouts\": {},\n", report.timeouts));
+    out.push_str(&format!("  \"traps\": {},\n", report.traps));
+    out.push_str(&format!(
+        "  \"wall_time_s\": {}\n",
+        report.wall_time.as_secs_f64()
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Atomic JSON write (tmp + rename), so an interrupted run never leaves a
+/// truncated artifact.
+fn write_json_atomic(path: &str, json: &str) {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, json)
+        .unwrap_or_else(|error| run_error(&format!("cannot write {tmp}: {error}")));
+    std::fs::rename(&tmp, path)
+        .unwrap_or_else(|error| run_error(&format!("cannot rename {tmp} to {path}: {error}")));
+    println!("wrote {path}");
+}
+
+fn cmd_run(path: &str, options: &Options) {
+    let program = load_program(path, options.entry.as_deref(), options.fuel);
+    let entry = program.name().to_string();
+    let config = search_config(options);
+    let report = if options.stream {
+        if config.effective_shards() > 1 {
+            usage_error("--stream run mode is unsharded; drop --shards");
+        }
+        // Drive the epoch-resumable state round by round so each record
+        // prints the moment it lands.
+        let mut state = SearchState::new(&config, &program, 0);
+        let mut printed = 0usize;
+        loop {
+            let outcome = state.run_rounds(1);
+            for record in &state.rounds()[printed..] {
+                println!(
+                    "round {:>4}: value {:<12} {:?}",
+                    record.round, record.value, record.outcome
+                );
+            }
+            printed = state.rounds().len();
+            if outcome.is_finished() {
+                println!("search finished: {outcome:?}");
+                break;
+            }
+        }
+        state.finish().into_report(&entry)
+    } else {
+        CoverMe::new(config).run(&program)
+    };
+    print!("{report}");
+    println!("outcome: {}", outcome_label(&report));
+    if let Some(json_path) = &options.json_path {
+        write_json_atomic(json_path, &run_report_json(&report, &entry, path));
+    }
+}
+
+fn cmd_campaign(dir: &str, options: &Options) {
+    if options.entry.is_some() {
+        usage_error("--entry applies to run mode only");
+    }
+    let mut paths: Vec<String> = std::fs::read_dir(dir)
+        .unwrap_or_else(|error| run_error(&format!("cannot read {dir}: {error}")))
+        .filter_map(|entry| entry.ok())
+        .map(|entry| entry.path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "fpir"))
+        .filter_map(|path| path.to_str().map(str::to_string))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        run_error(&format!("{dir}: no .fpir files"));
+    }
+    let inventory: Vec<IrProgram> = paths
+        .iter()
+        .map(|path| load_program(path, None, options.fuel))
+        .collect();
+
+    let mut config = CampaignConfig::new()
+        .base(search_config(options))
+        .workers(options.workers);
+    if let Some(budget) = options.budget {
+        config = config.time_budget(budget);
+    }
+    let campaign = Campaign::new(config);
+    let report = if options.stream {
+        println!("{}", CampaignReport::table_header());
+        let report = campaign.run_with(&inventory, |event| {
+            let CampaignEvent::FunctionFinished { result, .. } = event;
+            println!("{}", result.table_row());
+        });
+        println!("{}", report.summary());
+        report
+    } else {
+        let report = campaign.run(&inventory);
+        print!("{report}");
+        report
+    };
+    if let Some(json_path) = &options.json_path {
+        write_json_atomic(json_path, &report.to_json());
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        usage_error("missing command");
+    };
+    let (operands, options) = parse_options(args);
+    match command.as_str() {
+        "run" => {
+            let [path] = operands.as_slice() else {
+                usage_error("run takes exactly one .fpir file");
+            };
+            cmd_run(path, &options);
+        }
+        "campaign" => {
+            let [dir] = operands.as_slice() else {
+                usage_error("campaign takes exactly one directory");
+            };
+            cmd_campaign(dir, &options);
+        }
+        "--help" | "-h" | "help" => println!("{USAGE}"),
+        other => usage_error(&format!("unknown command {other}")),
+    }
+}
