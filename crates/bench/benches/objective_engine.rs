@@ -23,6 +23,16 @@
 //!   unmoved incumbent (real searches measure 16–34% of their calls as
 //!   cache hits).
 //!
+//! A second table covers the FPIR corpus (`examples/fpir/`), where the
+//! execution-backend layer has a real choice to make: **interp** and
+//! **interp lane** run the AST interpreter (scalar / lane-batched),
+//! **tape** and **tape lane** run the compiled instruction tape — the
+//! lane column being the true-SIMD path (per-lane tape VMs plus the
+//! `resolve_pen_lanes` lockstep finalize). The machine-independent ratios
+//! `tape_speedup_vs_interp` and `tape_lane_speedup_vs_interp_lane` feed
+//! the CI gate, which additionally enforces an absolute 1.5x floor on the
+//! lane ratio — the backend's reason to exist.
+//!
 //! Every measurement is best-of-R with a fresh engine per repetition, so
 //! repetitions cannot warm each other's caches.
 //!
@@ -42,14 +52,20 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use coverme::objective::ObjectiveEngine;
-use coverme::{BranchId, BranchSet, Objective};
+use coverme::{BackendMode, BranchId, BranchSet, Objective};
 use coverme_fdlibm::by_name;
+use coverme_fpir::{compile, IrProgram};
 use coverme_runtime::{ExecCtx, Program, DEFAULT_EPSILON};
 
 /// The benchmarked functions: the suite's most branch-dense members (the
 /// auto-cache tier and its runners-up) plus two cheap-but-typical ones so
 /// the gate also watches the small-program regime.
 const FUNCTIONS: &[&str] = &["pow", "fmod", "expm1", "exp", "tanh", "sin"];
+
+/// The FPIR corpus members benchmarked across the backend axis. `spin` is
+/// excluded on purpose: every evaluation burns its whole fuel budget, so
+/// it measures the fuel counter, not the backends.
+const FPIR_FUNCTIONS: &[&str] = &["newton_sqrt", "sign_juggle"];
 
 /// A half-saturated snapshot: the true branch of every even site. A partly
 /// saturated set is the steady state of a real search and keeps `pen` on
@@ -285,6 +301,147 @@ fn measure(name: &'static str, measure_mode: bool) -> Row {
     }
 }
 
+/// Loads one FPIR corpus program (entry inferred from the file stem, the
+/// CLI's rule).
+fn load_fpir(name: &str) -> IrProgram {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/fpir")
+        .join(format!("{name}.fpir"));
+    let source =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"));
+    compile(&source, name).unwrap_or_else(|e| panic!("{path:?}: {e}"))
+}
+
+/// Per-FPIR-program measurement row across the backend axis.
+struct FpirRow {
+    name: &'static str,
+    sites: usize,
+    interp: f64,
+    interp_lane: f64,
+    tape: f64,
+    tape_lane: f64,
+}
+
+impl FpirRow {
+    fn tape_speedup(&self) -> f64 {
+        self.tape / self.interp.max(1e-12)
+    }
+
+    fn tape_lane_speedup(&self) -> f64 {
+        self.tape_lane / self.interp_lane.max(1e-12)
+    }
+
+    /// The SIMD-finalize gain: lane-batched tape over scalar tape.
+    fn simd_finalize_speedup(&self) -> f64 {
+        self.tape_lane / self.tape.max(1e-12)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"function\": \"{}\",\n",
+                "      \"sites\": {},\n",
+                "      \"interp_evals_per_sec\": {:.0},\n",
+                "      \"interp_lane_evals_per_sec\": {:.0},\n",
+                "      \"tape_evals_per_sec\": {:.0},\n",
+                "      \"tape_lane_evals_per_sec\": {:.0},\n",
+                "      \"tape_speedup_vs_interp\": {:.4},\n",
+                "      \"tape_lane_speedup_vs_interp_lane\": {:.4},\n",
+                "      \"simd_finalize_speedup\": {:.4}\n",
+                "    }}"
+            ),
+            self.name,
+            self.sites,
+            self.interp,
+            self.interp_lane,
+            self.tape,
+            self.tape_lane,
+            self.tape_speedup(),
+            self.tape_lane_speedup(),
+            self.simd_finalize_speedup(),
+        )
+    }
+}
+
+fn measure_fpir(name: &'static str, measure_mode: bool) -> FpirRow {
+    let program = load_fpir(name);
+    let sites = program.num_sites();
+    let saturated = snapshot(sites);
+    let epsilon = DEFAULT_EPSILON;
+    let (point_count, reps) = if measure_mode { (8_000, 7) } else { (64, 1) };
+    let points = inputs(program.arity(), point_count);
+    let evs = |d: Duration, n: usize| n as f64 / d.as_secs_f64().max(1e-12);
+
+    let fresh = |mode: BackendMode| {
+        let program = load_fpir(name);
+        let saturated = saturated.clone();
+        move || {
+            let mut engine = ObjectiveEngine::new(program.clone(), epsilon)
+                .with_cache(false)
+                .backend_mode(mode);
+            engine.retarget(&saturated);
+            engine
+        }
+    };
+    let scalar_pass = |engine: &mut ObjectiveEngine<IrProgram>| {
+        let mut sink = 0.0;
+        for x in &points {
+            sink += engine.eval_scalar(black_box(x));
+        }
+        black_box(sink);
+    };
+    let lane_pass = |engine: &mut ObjectiveEngine<IrProgram>| {
+        let chunk_size = engine.preferred_batch();
+        let mut values = Vec::with_capacity(chunk_size);
+        for chunk in points.chunks(chunk_size) {
+            values.clear();
+            engine.eval_batch(chunk, &mut values);
+            black_box(&values);
+        }
+    };
+
+    let interp = evs(
+        best_of(reps, fresh(BackendMode::Interp), scalar_pass),
+        points.len(),
+    );
+    let interp_lane = evs(
+        best_of(reps, fresh(BackendMode::Interp), lane_pass),
+        points.len(),
+    );
+    let tape = evs(
+        best_of(reps, fresh(BackendMode::Tape), scalar_pass),
+        points.len(),
+    );
+    let tape_lane = evs(
+        best_of(reps, fresh(BackendMode::Tape), lane_pass),
+        points.len(),
+    );
+
+    // Whatever the timings, the backends must agree bit for bit.
+    let mut tape_engine = fresh(BackendMode::Tape)();
+    let mut interp_engine = fresh(BackendMode::Interp)();
+    assert_eq!(tape_engine.backend_name(), "tape", "{name}: no tape");
+    let mut tape_values = Vec::new();
+    tape_engine.eval_lanes(&points[..16.min(points.len())], &mut tape_values);
+    for (x, tape_value) in points.iter().zip(&tape_values) {
+        assert_eq!(
+            tape_value.to_bits(),
+            interp_engine.eval_scalar(x).to_bits(),
+            "tape lane path diverged from the interpreter on {name} at {x:?}"
+        );
+    }
+
+    FpirRow {
+        name,
+        sites,
+        interp,
+        interp_lane,
+        tape,
+        tape_lane,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let measure_mode = args.iter().any(|a| a == "--bench");
@@ -324,12 +481,44 @@ fn main() {
         rows.push(row);
     }
 
+    println!();
+    println!(
+        "{:<12} {:>6} {:>13} {:>15} {:>13} {:>15} {:>8} {:>11}",
+        "fpir",
+        "sites",
+        "interp ev/s",
+        "interp lane",
+        "tape ev/s",
+        "tape lane",
+        "tape x",
+        "tape lane x"
+    );
+
+    let mut fpir_rows = Vec::new();
+    for name in FPIR_FUNCTIONS {
+        let row = measure_fpir(name, measure_mode);
+        println!(
+            "{:<12} {:>6} {:>13.0} {:>15.0} {:>13.0} {:>15.0} {:>7.2}x {:>10.2}x",
+            row.name,
+            row.sites,
+            row.interp,
+            row.interp_lane,
+            row.tape,
+            row.tape_lane,
+            row.tape_speedup(),
+            row.tape_lane_speedup(),
+        );
+        fpir_rows.push(row);
+    }
+
     if let Some(path) = json_path {
         let body: Vec<String> = rows.iter().map(Row::to_json).collect();
+        let fpir_body: Vec<String> = fpir_rows.iter().map(FpirRow::to_json).collect();
         let json = format!(
-            "{{\n  \"schema\": 1,\n  \"bench\": \"objective_engine\",\n  \"measured\": {},\n  \"functions\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"schema\": 2,\n  \"bench\": \"objective_engine\",\n  \"measured\": {},\n  \"functions\": [\n{}\n  ],\n  \"fpir\": [\n{}\n  ]\n}}\n",
             measure_mode,
-            body.join(",\n")
+            body.join(",\n"),
+            fpir_body.join(",\n")
         );
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         println!("wrote {path}");

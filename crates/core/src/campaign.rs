@@ -452,7 +452,7 @@ impl CampaignReport {
     fn write_json(&self, sync_off: Option<&CampaignReport>) -> String {
         let mut out = String::with_capacity(4096 + 256 * self.results.len());
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"coverme-campaign-report/3\",\n");
+        out.push_str("  \"schema\": \"coverme-campaign-report/4\",\n");
         push_json_number(&mut out, "  ", "workers", self.workers as f64, true);
         push_json_number(&mut out, "  ", "shards", self.shards as f64, true);
         push_json_number(&mut out, "  ", "sync_epochs", self.sync_epochs as f64, true);
@@ -567,6 +567,16 @@ impl CampaignReport {
             }
             match &result.report {
                 Some(report) => {
+                    out.push_str("      \"backend\": \"");
+                    out.push_str(report.backend);
+                    out.push_str("\",\n");
+                    push_json_number(
+                        &mut out,
+                        "      ",
+                        "lane_width",
+                        report.lane_width as f64,
+                        true,
+                    );
                     push_json_number(
                         &mut out,
                         "      ",
@@ -1740,7 +1750,9 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "\"schema\": \"coverme-campaign-report/3\"",
+            "\"schema\": \"coverme-campaign-report/4\"",
+            "\"backend\": \"",
+            "\"lane_width\":",
             "\"suite_branch_coverage_percent\":",
             "\"total_evaluations\":",
             "\"total_cache_hits\":",

@@ -131,6 +131,12 @@ pub struct CoverMeConfig {
     /// pin that invariant. Forced off under `record_search_coverage`,
     /// which needs every evaluation to really execute.
     pub cache: CacheMode,
+    /// Execution backend selection (see
+    /// [`BackendMode`](coverme_runtime::BackendMode); the default `Auto`
+    /// picks the program's compiled tape when it has one and the
+    /// interpreter otherwise). Every mode is bit-exact, so this is purely
+    /// a performance knob — the one `--backend` exposes on the CLI.
+    pub backend: coverme_runtime::BackendMode,
 }
 
 impl Default for CoverMeConfig {
@@ -152,6 +158,7 @@ impl Default for CoverMeConfig {
             sync_epochs: 0,
             polish: true,
             cache: CacheMode::Auto,
+            backend: coverme_runtime::BackendMode::Auto,
         }
     }
 }
@@ -213,6 +220,14 @@ impl CoverMeConfig {
     /// Sets the infeasible-branch policy.
     pub fn infeasible_policy(mut self, policy: InfeasiblePolicy) -> Self {
         self.infeasible_policy = policy;
+        self
+    }
+
+    /// Selects the execution backend (see
+    /// [`BackendMode`](coverme_runtime::BackendMode)). Bit-exact under
+    /// every mode; `Auto` (the default) prefers the compiled tape.
+    pub fn backend(mut self, mode: coverme_runtime::BackendMode) -> Self {
+        self.backend = mode;
         self
     }
 
@@ -490,7 +505,9 @@ impl<'a, P: Program> SearchState<'a, P> {
         } else {
             config.cache
         };
-        let engine = ObjectiveEngine::new(program, config.epsilon).cache_mode(cache_mode);
+        let engine = ObjectiveEngine::new(program, config.epsilon)
+            .cache_mode(cache_mode)
+            .backend_mode(config.backend);
         let mut start_rng = SplitMix64::new(config.seed ^ 0x5EED_0001);
         let schedule = config
             .starting_points
@@ -771,6 +788,8 @@ impl<'a, P: Program> SearchState<'a, P> {
             timeouts: self.engine.telemetry().timeouts as usize,
             traps: self.engine.telemetry().traps as usize,
             epochs: self.epochs,
+            backend: self.engine.backend_name(),
+            lane_width: self.engine.lane_width(),
             started: self.started,
             finished,
         }

@@ -94,5 +94,5 @@ pub use sync::{run_shards_synced, run_shards_synced_parallel, SyncPlan};
 // explicit dependency on the runtime crate.
 pub use coverme_optim::{FnObjective, LocalMethod, Objective};
 pub use coverme_runtime::{
-    BranchId, BranchSet, Cmp, CoverageMap, ExecCtx, FnProgram, Program, RunOutcome,
+    BackendMode, BranchId, BranchSet, Cmp, CoverageMap, ExecCtx, FnProgram, Program, RunOutcome,
 };

@@ -50,7 +50,7 @@
 
 use coverme_optim::Objective;
 use coverme_runtime::{
-    BranchSet, ExecCtx, LaneCtx, Program, RunOutcome, LANE_WIDTH, MIN_LANE_BATCH,
+    BackendMode, BranchSet, ExecBackend, ExecCtx, InterpBackend, LaneEval, Program, RunOutcome,
 };
 
 use crate::representing::Evaluation;
@@ -248,22 +248,34 @@ pub struct ObjectiveEngine<P> {
     /// die in O(1).
     epoch: u64,
     telemetry: EngineTelemetry,
-    /// The lane backend: deferred-penalty recording plus lockstep finalize
-    /// (see [`coverme_runtime::lane`]). Engaged by batches of at least
-    /// [`MIN_LANE_BATCH`] points; smaller batches and scalar calls keep the
-    /// eager fast path, whose per-call overhead they already amortize.
-    lane: LaneCtx,
+    /// How the execution backend was selected (the [`BackendMode`] the
+    /// engine was configured with; the default is [`BackendMode::Auto`]).
+    mode: BackendMode,
+    /// The execution backend every evaluation dispatches through: the
+    /// generic [`InterpBackend`] ([`Program::execute`] + lane context), or
+    /// whatever the program offered via [`Program::backend`] — e.g. the
+    /// FPIR instruction tape. Batches of at least
+    /// [`ExecBackend::min_batch`] points go through the backend's lane
+    /// path; smaller batches and scalar calls keep the eager fast path,
+    /// whose per-call overhead they already amortize.
+    backend: Box<dyn ExecBackend>,
     /// Bookkeeping of the batch points that missed the cache and were
     /// packed into lanes: output index plus (when caching) the slot/key to
     /// seed after the finalize. Reused across batches, allocation-free in
     /// steady state.
     lane_misses: Vec<LaneMiss>,
-    /// Scratch buffer the lane finalize writes into before the values are
-    /// scattered back to their output positions.
-    lane_values: Vec<f64>,
+    /// The miss indices handed to [`ExecBackend::run_lanes`], aligned with
+    /// `lane_misses`.
+    miss_indices: Vec<usize>,
+    /// Scratch buffer the backend's lane path writes into before the values
+    /// are scattered back to their output positions.
+    lane_evals: Vec<LaneEval>,
 }
 
-/// One cache-missing point of an in-flight lane batch.
+/// One cache-missing point of an in-flight lane batch. The value and run
+/// outcome arrive from the backend as a [`LaneEval`] at flush time: a
+/// non-`Done` lane's value is replaced by [`ABORTED_VALUE`] at scatter time
+/// and never memoized — the same substitution the scalar path performs.
 #[derive(Debug, Clone, Copy)]
 struct LaneMiss {
     /// Position of the point within the submitted batch.
@@ -271,11 +283,24 @@ struct LaneMiss {
     /// Cache slot and key to seed with the finalized value, when the
     /// engine memoizes.
     keyed: Option<(usize, CacheKey)>,
-    /// How the lane's execution ended. A non-`Done` lane is still recorded
-    /// (keeping lane/value indices aligned) but its finalized value is
-    /// replaced by [`ABORTED_VALUE`] at scatter time and never memoized —
-    /// the same substitution the scalar path performs.
-    outcome: RunOutcome,
+}
+
+/// Resolves the execution backend for a program: the program's own offer
+/// for the requested mode when it makes one, the generic interpreter
+/// backend otherwise; either way configured with the engine's `ε` and
+/// pointed at the current snapshot.
+fn resolve_backend<P: Program>(
+    program: &P,
+    mode: BackendMode,
+    epsilon: f64,
+    saturated: &BranchSet,
+) -> Box<dyn ExecBackend> {
+    let mut backend = program
+        .backend(mode)
+        .unwrap_or_else(|| Box::new(InterpBackend::new()));
+    backend.set_epsilon(epsilon);
+    backend.retarget(saturated);
+    backend
 }
 
 impl<P: Program> ObjectiveEngine<P> {
@@ -288,6 +313,7 @@ impl<P: Program> ObjectiveEngine<P> {
     pub fn new(program: P, epsilon: f64) -> Self {
         let arity = program.arity();
         assert!(arity > 0, "program under test must take at least one input");
+        let backend = resolve_backend(&program, BackendMode::Auto, epsilon, &BranchSet::new());
         let engine = ObjectiveEngine {
             program,
             epsilon,
@@ -299,11 +325,38 @@ impl<P: Program> ObjectiveEngine<P> {
             cache_slots: DEFAULT_CACHE_SLOTS,
             epoch: 1,
             telemetry: EngineTelemetry::default(),
-            lane: LaneCtx::new(BranchSet::new()).with_epsilon(epsilon),
+            mode: BackendMode::Auto,
+            backend,
             lane_misses: Vec::new(),
-            lane_values: Vec::new(),
+            miss_indices: Vec::new(),
+            lane_evals: Vec::new(),
         };
         engine.cache_mode(CacheMode::Auto)
+    }
+
+    /// Selects the execution backend (see [`BackendMode`]; the default is
+    /// [`BackendMode::Auto`]). Every mode produces bit-identical values,
+    /// coverage and telemetry — the backend is a throughput seam, never a
+    /// semantic one — so this only trades interpretation overhead against
+    /// the program's compiled form, when it has one.
+    pub fn backend_mode(mut self, mode: BackendMode) -> Self {
+        self.mode = mode;
+        self.backend = resolve_backend(&self.program, mode, self.epsilon, self.ctx.saturated());
+        self
+    }
+
+    /// The name of the execution backend actually in use (`"interp"`,
+    /// `"tape"`, …) — the effective backend, not the requested mode: an
+    /// engine asked for [`BackendMode::Tape`] on a program without a tape
+    /// reports `"interp"`.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Number of evaluations the backend's batched path processes in
+    /// lockstep (recorded in reports next to the backend name).
+    pub fn lane_width(&self) -> usize {
+        self.backend.lane_width()
     }
 
     /// Sets the memoization policy (see [`CacheMode`]; the default is
@@ -385,7 +438,7 @@ impl<P: Program> ObjectiveEngine<P> {
             return;
         }
         self.ctx.retarget(saturated.clone());
-        self.lane.retarget(saturated.clone());
+        self.backend.retarget(saturated);
         self.epoch += 1;
     }
 
@@ -406,7 +459,7 @@ impl<P: Program> ObjectiveEngine<P> {
         }
         self.telemetry.evals += 1;
         self.ctx.reset();
-        self.program.execute(x, &mut self.ctx);
+        self.backend.run(&self.program, x, &mut self.ctx);
         let outcome = self.ctx.run_outcome();
         if !outcome.is_done() {
             // Aborted run: the accumulator is garbage. Substitute the
@@ -421,25 +474,29 @@ impl<P: Program> ObjectiveEngine<P> {
         value
     }
 
-    /// Evaluates a whole batch through the lane backend
-    /// ([`coverme_runtime::LaneCtx`]): points are probed against the memo
-    /// cache first, the misses are packed into [`LANE_WIDTH`]-wide lanes
-    /// (each lane one deferred-penalty execution — a pen-code gather per
-    /// conditional instead of a distance computation), and every full lane
-    /// group is finalized in one lockstep pass. Values land at their input
-    /// positions in `values` (appended, not cleared), bit-for-bit equal to
-    /// sequential [`eval_scalar`](Self::eval_scalar) answers.
+    /// Evaluates a whole batch through the execution backend's lane path:
+    /// points are probed against the memo cache first, the misses are
+    /// packed into [`ExecBackend::lane_width`]-wide groups, and every full
+    /// group runs through [`ExecBackend::run_lanes`] (for the interpreter
+    /// backend: one deferred-penalty execution per lane — a pen-code gather
+    /// per conditional instead of a distance computation — plus one
+    /// lockstep finalize; for the tape backend: all lanes through the
+    /// compiled tape). Values land at their input positions in `values`
+    /// (appended, not cleared), bit-for-bit equal to sequential
+    /// [`eval_scalar`](Self::eval_scalar) answers.
     ///
     /// One observable difference from the scalar *loop* exists in the
-    /// telemetry only: a point duplicated within one batch is evaluated
-    /// per occurrence (its first value is not yet cached when the second
-    /// occurrence is probed), so `evals`/`cache_hits` may split differently
-    /// — `calls`, the values, and every search result are identical.
+    /// telemetry only: a point duplicated within one lane group is
+    /// evaluated per occurrence (its first value is not yet cached when the
+    /// second occurrence is probed), so `evals`/`cache_hits` may split
+    /// differently — `calls`, the values, and every search result are
+    /// identical.
     pub fn eval_lanes(&mut self, points: &[Vec<f64>], values: &mut Vec<f64>) {
         self.telemetry.calls += points.len() as u64;
         let base = values.len();
         values.resize(base + points.len(), 0.0);
         self.lane_misses.clear();
+        self.miss_indices.clear();
         for (index, point) in points.iter().enumerate() {
             // Memo probe per lane before packing, same single-hash protocol
             // as the scalar path.
@@ -455,44 +512,46 @@ impl<P: Program> ObjectiveEngine<P> {
                 }
             }
             self.telemetry.evals += 1;
-            let outcome = self.lane.record(&self.program, point);
-            self.telemetry.classify(outcome);
-            self.lane_misses.push(LaneMiss {
-                index,
-                keyed,
-                outcome,
-            });
-            if self.lane.is_full() {
-                self.flush_lanes(values, base);
+            self.lane_misses.push(LaneMiss { index, keyed });
+            self.miss_indices.push(index);
+            if self.miss_indices.len() == self.backend.lane_width() {
+                // Flushing group by group (not once per batch) keeps the
+                // memo protocol identical to the historical lane path: a
+                // point duplicated in a *later* group hits on the value
+                // this flush seeds.
+                self.flush_lanes(points, values, base);
             }
         }
-        self.flush_lanes(values, base);
+        self.flush_lanes(points, values, base);
     }
 
-    /// Finalizes the in-flight lane group: resolves the recorded lanes in
-    /// lockstep, scatters the values to their batch positions, and seeds
-    /// the memo cache with each miss.
-    fn flush_lanes(&mut self, values: &mut [f64], base: usize) {
+    /// Runs the in-flight miss group through the backend's lane path,
+    /// scatters the values to their batch positions, and seeds the memo
+    /// cache with each clean miss.
+    fn flush_lanes(&mut self, points: &[Vec<f64>], values: &mut [f64], base: usize) {
         if self.lane_misses.is_empty() {
             return;
         }
-        self.lane_values.clear();
-        self.lane.finalize_into(&mut self.lane_values);
-        debug_assert_eq!(self.lane_values.len(), self.lane_misses.len());
-        for (miss, value) in self
-            .lane_misses
-            .drain(..)
-            .zip(self.lane_values.iter().copied())
-        {
-            if !miss.outcome.is_done() {
+        self.lane_evals.clear();
+        self.backend.run_lanes(
+            &self.program,
+            points,
+            &self.miss_indices,
+            &mut self.lane_evals,
+        );
+        debug_assert_eq!(self.lane_evals.len(), self.lane_misses.len());
+        for (miss, eval) in self.lane_misses.drain(..).zip(self.lane_evals.iter()) {
+            self.telemetry.classify(eval.outcome);
+            if !eval.outcome.is_done() {
                 values[base + miss.index] = ABORTED_VALUE;
                 continue;
             }
-            values[base + miss.index] = value;
+            values[base + miss.index] = eval.value;
             if let (Some(cache), Some((slot, key))) = (&mut self.cache, miss.keyed) {
-                cache.insert_at(slot, key, value, self.epoch);
+                cache.insert_at(slot, key, eval.value, self.epoch);
             }
         }
+        self.miss_indices.clear();
     }
 
     /// Evaluates `FOO_R(x)` keeping the covered branches and the decision
@@ -506,7 +565,7 @@ impl<P: Program> ObjectiveEngine<P> {
         self.telemetry.evals += 1;
         let mut ctx =
             ExecCtx::representing(self.ctx.saturated().clone()).with_epsilon(self.epsilon);
-        self.program.execute(x, &mut ctx);
+        self.backend.run(&self.program, x, &mut ctx);
         let outcome = ctx.run_outcome();
         let (covered, trace, value) = ctx.into_parts();
         if !outcome.is_done() {
@@ -539,15 +598,15 @@ impl<P: Program> Objective for ObjectiveEngine<P> {
         ObjectiveEngine::eval_scalar(self, x)
     }
 
-    /// The batch seam, now backed by the lane backend: batches of at least
-    /// [`MIN_LANE_BATCH`] points go through
-    /// [`eval_lanes`](ObjectiveEngine::eval_lanes) (deferred-penalty
-    /// recording, lockstep finalize); smaller batches — where the per-batch
-    /// setup would outweigh the deferred savings — keep the scalar fast
-    /// path. Either way the values are bit-for-bit those of sequential
-    /// scalar evaluation, in the same order.
+    /// The batch seam, dispatched through the execution backend: batches of
+    /// at least [`ExecBackend::min_batch`] points go through
+    /// [`eval_lanes`](ObjectiveEngine::eval_lanes) (the backend's batched
+    /// lane path); smaller batches — where the per-batch setup would
+    /// outweigh the batched savings — keep the scalar fast path. Either way
+    /// the values are bit-for-bit those of sequential scalar evaluation, in
+    /// the same order.
     fn eval_batch(&mut self, points: &[Vec<f64>], values: &mut Vec<f64>) {
-        if points.len() >= MIN_LANE_BATCH {
+        if points.len() >= self.backend.min_batch() {
             return ObjectiveEngine::eval_lanes(self, points, values);
         }
         values.reserve(points.len());
@@ -558,7 +617,7 @@ impl<P: Program> Objective for ObjectiveEngine<P> {
     }
 
     fn preferred_batch(&self) -> usize {
-        LANE_WIDTH
+        self.backend.lane_width()
     }
 }
 

@@ -100,6 +100,13 @@ pub struct TestReport {
     /// Per-epoch work telemetry, aggregated across shards by epoch index
     /// (entries are in epoch order). Unsynced runs have a single epoch.
     pub epochs: Vec<EpochTelemetry>,
+    /// Name of the execution backend the objective engine ran
+    /// (see [`coverme_runtime::ExecBackend::name`]) — `"interp"` or
+    /// `"tape"`; bit-exact either way, recorded for telemetry.
+    pub backend: &'static str,
+    /// The backend's SIMD lane width (batch evaluations are packed into
+    /// groups of this size).
+    pub lane_width: usize,
     /// Wall-clock time of the run.
     pub wall_time: Duration,
 }
@@ -222,6 +229,8 @@ mod tests {
                 evaluations: 22,
                 deltas_absorbed: 0,
             }],
+            backend: "interp",
+            lane_width: 8,
             wall_time: Duration::from_millis(5),
         }
     }

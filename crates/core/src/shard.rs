@@ -132,6 +132,10 @@ pub struct ShardOutcome {
     /// shard's [`SearchState`] executed (a run-to-exhaustion shard has
     /// exactly one).
     pub epochs: Vec<EpochTelemetry>,
+    /// Name of the execution backend the shard's engine ran.
+    pub backend: &'static str,
+    /// The backend's SIMD lane width.
+    pub lane_width: usize,
     /// When the shard started running.
     pub started: Instant,
     /// When the shard finished.
@@ -155,6 +159,8 @@ impl ShardOutcome {
             timeouts: self.timeouts,
             traps: self.traps,
             epochs: self.epochs,
+            backend: self.backend,
+            lane_width: self.lane_width,
             wall_time: self.finished.duration_since(self.started),
         }
     }
@@ -277,6 +283,10 @@ pub fn merge_shards(program_name: &str, mut outcomes: Vec<ShardOutcome>) -> Merg
         .max()
         .expect("non-empty");
     let infeasible = tracker.infeasible().iter().collect();
+    // Every shard of a search runs the same program under the same
+    // configuration, so they all resolved the same backend.
+    let backend = outcomes[0].backend;
+    let lane_width = outcomes[0].lane_width;
 
     MergedSearch {
         report: TestReport {
@@ -290,6 +300,8 @@ pub fn merge_shards(program_name: &str, mut outcomes: Vec<ShardOutcome>) -> Merg
             timeouts,
             traps,
             epochs,
+            backend,
+            lane_width,
             wall_time: finished.duration_since(started),
         },
         tracker,

@@ -10,10 +10,18 @@
 //! [`crate::typeck::check`] and instruments cleanly, and a failure
 //! downstream is a real interpreter or engine bug, never generator junk.
 //!
-//! The generated programs deliberately include loops that may not terminate
-//! (a counter loop whose step is zero): exhausting the interpreter fuel and
-//! being classified [`coverme_runtime::RunOutcome::Timeout`] is defined
-//! behavior the suites must see, not an error to generate around.
+//! The generated programs deliberately include hazards whose *classified*
+//! failure is defined behavior the suites must see, not something to
+//! generate around: loops that may not terminate (a counter loop whose
+//! step is zero, classified [`coverme_runtime::RunOutcome::Timeout`] when
+//! the fuel runs out) and, with ~8% probability, a helper that recurses
+//! unboundedly on part of its domain — inputs landing there blow the
+//! interpreter's call-depth limit and classify
+//! [`coverme_runtime::RunOutcome::Trap`].
+//!
+//! Helpers form call graphs: each helper may call any earlier helper (and
+//! the recursive hazard calls itself), so generated modules exercise
+//! multi-frame call stacks, not just entry → leaf dispatch.
 //!
 //! Generation is deterministic per seed (an inline SplitMix64 stream), so a
 //! failing seed reproduces exactly.
@@ -25,11 +33,12 @@ use crate::ast::{BinOp, Block, Expr, FunctionDef, Module, Param, Stmt, Ty, UnOp}
 /// Name of the generated entry function (always defined last).
 pub const ENTRY_NAME: &str = "entry";
 
-/// Generates a well-typed module from `seed`: zero to two `double` helper
-/// functions followed by an entry function [`ENTRY_NAME`] taking one to
-/// three parameters (the first always `double`), whose body starts with an
-/// instrumented conditional on the first parameter — so the instrumented
-/// program always has at least one site.
+/// Generates a well-typed module from `seed`: zero to four `double` helper
+/// functions (forming call graphs into earlier helpers; ~8% of slots hold
+/// the recursive trap hazard) followed by an entry function [`ENTRY_NAME`]
+/// taking one to three parameters (the first always `double`), whose body
+/// starts with an instrumented conditional on the first parameter — so the
+/// instrumented program always has at least one site.
 pub fn generate_module(seed: u64) -> Module {
     Generator::new(seed).module()
 }
@@ -100,8 +109,14 @@ impl Generator {
 
     fn module(mut self) -> Module {
         let mut functions = Vec::new();
-        for index in 0..self.rng.usize_in(0, 3) {
-            functions.push(self.helper(index));
+        for index in 0..self.rng.usize_in(0, 5) {
+            // ~8% of helper slots hold the recursive trap hazard instead
+            // of a plain straight-line helper.
+            if self.rng.chance(0.08) {
+                functions.push(self.recursive_helper(index));
+            } else {
+                functions.push(self.helper(index));
+            }
         }
         functions.push(self.entry());
         Module { functions }
@@ -113,9 +128,81 @@ impl Generator {
         name
     }
 
-    /// A small side-effect-free helper: declarations plus a return, no
-    /// loops and no calls into other helpers — cheap to execute however
-    /// often the entry calls it.
+    /// The recursive trap hazard: a helper that returns immediately below a
+    /// threshold but recurses unboundedly at or above it —
+    ///
+    /// ```text
+    /// double hN(double q) {
+    ///     if (q < T) { return <base expr>; }
+    ///     return hN(q + 1.0) + <literal>;
+    /// }
+    /// ```
+    ///
+    /// `q + 1.0` never drops below `T`, so any execution entering the
+    /// recursive arm blows the interpreter's call-depth limit and is
+    /// classified [`coverme_runtime::RunOutcome::Trap`]; inputs below the
+    /// threshold return normally, so the hazard splits the input domain
+    /// instead of poisoning every execution.
+    fn recursive_helper(&mut self, index: usize) -> FunctionDef {
+        self.vars.clear();
+        let name = format!("h{index}");
+        let param = Param {
+            ty: Ty::Double,
+            name: self.fresh("q"),
+        };
+        self.vars.push((param.name.clone(), param.ty));
+        let threshold = self.double_literal();
+        let base = self.expr(Ty::Double, 2);
+        let recurse = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Call {
+                name: name.clone(),
+                args: vec![Expr::Binary {
+                    op: BinOp::Add,
+                    lhs: Box::new(Expr::Var(param.name.clone())),
+                    rhs: Box::new(Expr::Float(1.0)),
+                }],
+            }),
+            rhs: Box::new(self.double_literal()),
+        };
+        let body = Block {
+            stmts: vec![
+                Stmt::If {
+                    cond: Expr::Binary {
+                        op: BinOp::Cmp(Cmp::Lt),
+                        lhs: Box::new(Expr::Var(param.name.clone())),
+                        rhs: Box::new(threshold),
+                    },
+                    then_block: Block {
+                        stmts: vec![Stmt::Return {
+                            value: Some(base),
+                            line: 0,
+                        }],
+                    },
+                    else_block: None,
+                    line: 0,
+                    site: None,
+                },
+                Stmt::Return {
+                    value: Some(recurse),
+                    line: 0,
+                },
+            ],
+        };
+        self.helpers.push((name.clone(), 1));
+        FunctionDef {
+            ret: Ty::Double,
+            name,
+            params: vec![param],
+            body,
+            line: 0,
+        }
+    }
+
+    /// A small side-effect-free helper: declarations plus a return and no
+    /// loops, but free to call any *earlier* helper (directly in its
+    /// expressions, and with extra bias through the chaining wrap below) —
+    /// so later helpers sit on top of real multi-frame call graphs.
     fn helper(&mut self, index: usize) -> FunctionDef {
         self.vars.clear();
         let name = format!("h{index}");
@@ -134,7 +221,19 @@ impl Generator {
         for _ in 0..self.rng.usize_in(0, 3) {
             stmts.push(self.decl_stmt());
         }
-        let value = self.expr(Ty::Double, 2);
+        let mut value = self.expr(Ty::Double, 2);
+        // Half the time, chain the result through an earlier helper: this
+        // is what grows deep call graphs (h3 → h2 → h1 → h0) instead of a
+        // flat entry-calls-leaves shape.
+        if self.rng.chance(0.5) {
+            if let Some((callee, callee_arity)) = self.pick_helper() {
+                let mut args = vec![value];
+                for _ in 1..callee_arity {
+                    args.push(self.expr(Ty::Double, 1));
+                }
+                value = Expr::Call { name: callee, args };
+            }
+        }
         stmts.push(Stmt::Return {
             value: Some(value),
             line: 0,
@@ -517,6 +616,7 @@ mod tests {
     #[test]
     fn generated_modules_typecheck_instrument_and_execute() {
         let mut timeouts = 0usize;
+        let mut traps = 0usize;
         for seed in 0..150u64 {
             let module = generate_module(seed);
             let module = check(module).unwrap_or_else(|e| panic!("seed {seed}: typeck: {e}"));
@@ -533,13 +633,87 @@ mod tests {
                     .collect();
                 let mut ctx = ExecCtx::observe();
                 program.execute(&input, &mut ctx);
-                if ctx.run_outcome() == RunOutcome::Timeout {
-                    timeouts += 1;
+                match ctx.run_outcome() {
+                    RunOutcome::Timeout => timeouts += 1,
+                    RunOutcome::Trap => traps += 1,
+                    RunOutcome::Done => {}
                 }
             }
         }
-        // The hazard loops must actually fire somewhere in 150 programs.
+        // Both hazard kinds must actually fire somewhere in 150 programs:
+        // the zero-step loop (timeout) and the unbounded recursion (trap).
         assert!(timeouts > 0, "no generated program ever timed out");
+        assert!(traps > 0, "no generated program ever trapped");
+    }
+
+    #[test]
+    fn helper_call_graphs_reach_depth_two() {
+        // Some generated module must contain a helper calling an earlier
+        // helper (entry → hN → hM), or the chaining logic regressed.
+        fn block_calls_helper(block: &Block, out: &mut Vec<String>) {
+            for stmt in &block.stmts {
+                match stmt {
+                    Stmt::Decl { init: Some(e), .. }
+                    | Stmt::Assign { value: e, .. }
+                    | Stmt::Return { value: Some(e), .. }
+                    | Stmt::ExprStmt { expr: e, .. } => expr_calls(e, out),
+                    Stmt::If {
+                        cond,
+                        then_block,
+                        else_block,
+                        ..
+                    } => {
+                        expr_calls(cond, out);
+                        block_calls_helper(then_block, out);
+                        if let Some(e) = else_block {
+                            block_calls_helper(e, out);
+                        }
+                    }
+                    Stmt::While { cond, body, .. } => {
+                        expr_calls(cond, out);
+                        block_calls_helper(body, out);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        fn expr_calls(expr: &Expr, out: &mut Vec<String>) {
+            match expr {
+                Expr::Call { name, args } => {
+                    if name.starts_with('h') {
+                        out.push(name.clone());
+                    }
+                    for a in args {
+                        expr_calls(a, out);
+                    }
+                }
+                Expr::Binary { lhs, rhs, .. } => {
+                    expr_calls(lhs, out);
+                    expr_calls(rhs, out);
+                }
+                Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => expr_calls(expr, out),
+                _ => {}
+            }
+        }
+        let mut chained = false;
+        let mut recursive = false;
+        for seed in 0..200u64 {
+            let module = generate_module(seed);
+            for f in &module.functions {
+                if f.name == ENTRY_NAME {
+                    continue;
+                }
+                let mut calls = Vec::new();
+                block_calls_helper(&f.body, &mut calls);
+                if calls.iter().any(|c| c == &f.name) {
+                    recursive = true;
+                } else if !calls.is_empty() {
+                    chained = true;
+                }
+            }
+        }
+        assert!(chained, "no helper ever called another helper");
+        assert!(recursive, "no recursive hazard helper was generated");
     }
 
     #[test]

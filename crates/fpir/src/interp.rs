@@ -32,7 +32,7 @@
 
 use std::collections::BTreeSet;
 
-use coverme_runtime::{ExecCtx, Program};
+use coverme_runtime::{BackendMode, ExecBackend, ExecCtx, Program};
 
 use crate::ast::{BinOp, Block, Expr, FunctionDef, Stmt, Ty, UnOp};
 use crate::error::{CompileError, ErrorKind};
@@ -43,8 +43,9 @@ use crate::instrument::{as_comparison, InstrumentedModule};
 /// could burn minutes before aborting once; 100k steps is still ~3 orders of
 /// magnitude above what any real corpus function needs per run.
 pub const DEFAULT_FUEL: usize = 100_000;
-/// Maximum call depth.
-const MAX_DEPTH: usize = 128;
+/// Maximum call depth (shared with the lowered-tape executors, which must
+/// classify depth exhaustion at exactly the same nesting level).
+pub(crate) const MAX_DEPTH: usize = 128;
 
 /// A runtime value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -214,6 +215,10 @@ impl Program for IrProgram {
 
     fn source_lines(&self) -> usize {
         self.line_count
+    }
+
+    fn backend(&self, mode: BackendMode) -> Option<Box<dyn ExecBackend>> {
+        crate::lower::program_backend(self, mode)
     }
 }
 
@@ -602,7 +607,7 @@ impl<'a> Interp<'a> {
     }
 }
 
-fn int_compare(cmp: coverme_runtime::Cmp, a: i64, b: i64) -> bool {
+pub(crate) fn int_compare(cmp: coverme_runtime::Cmp, a: i64, b: i64) -> bool {
     use coverme_runtime::Cmp;
     match cmp {
         Cmp::Eq => a == b,

@@ -55,6 +55,7 @@ pub mod generate;
 pub mod instrument;
 pub mod interp;
 pub mod lexer;
+pub mod lower;
 pub mod parser;
 pub mod pretty;
 pub mod typeck;
@@ -65,6 +66,7 @@ pub use generate::{generate_module, generate_source, ENTRY_NAME};
 pub use instrument::{instrument, InstrumentedModule, SiteInfo};
 pub use interp::IrProgram;
 pub use lexer::{Lexer, Token, TokenKind};
+pub use lower::{lower, LowerError, Tape, TapeBackend};
 pub use parser::parse;
 pub use pretty::to_source;
 pub use typeck::check;

@@ -16,9 +16,17 @@
 //! decision tree uses exactly the classic comparisons, so the simplex
 //! trajectory — and therefore the returned minimum — is identical, the
 //! expansion value is simply discarded when unused.
+//!
+//! [`restarts`](NelderMead::restarts) goes one step further for
+//! lane-parallel engines: `k` jittered starting simplices are generated
+//! deterministically, **all** their vertices are evaluated in one batch
+//! (`k·(n+1)` candidates — enough to fill lanes even in 1-D), and the
+//! simplex holding the best vertex seeds the classic loop. The default
+//! (`1`) evaluates exactly the classic starting simplex, bit for bit.
 
 use crate::objective::{FnObjective, Objective};
 use crate::result::{Minimum, OptimStats};
+use crate::rng::SplitMix64;
 use crate::sanitize_value as sanitize;
 
 /// Configuration and entry point for the Nelder–Mead simplex method.
@@ -40,6 +48,10 @@ pub struct NelderMead {
     pub x_tolerance: f64,
     /// Maximum number of iterations before giving up.
     pub max_iterations: usize,
+    /// Number of jittered starting simplices generated and evaluated as one
+    /// batch; the best-seeded simplex runs the classic loop. `1` (the
+    /// default) is exactly the classic single-simplex start.
+    pub restarts: usize,
 }
 
 impl Default for NelderMead {
@@ -53,6 +65,7 @@ impl Default for NelderMead {
             f_tolerance: 1e-12,
             x_tolerance: 1e-10,
             max_iterations: 400,
+            restarts: 1,
         }
     }
 }
@@ -72,6 +85,19 @@ impl NelderMead {
     /// Sets the iteration budget.
     pub fn max_iterations(mut self, iters: usize) -> Self {
         self.max_iterations = iters;
+        self
+    }
+
+    /// Sets the number of jittered starting simplices (candidate-set sizing
+    /// for lane-parallel engines; `1` keeps the classic single start). The
+    /// jitter is deterministic, so repeated runs are reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn restarts(mut self, count: usize) -> Self {
+        assert!(count > 0, "at least one starting simplex is required");
+        self.restarts = count;
         self
     }
 
@@ -117,17 +143,48 @@ impl NelderMead {
             raw.iter().map(|&v| sanitize(v)).collect()
         };
 
-        // Initial simplex: x0 plus one perturbed vertex per dimension,
-        // evaluated as one batch of n + 1 candidates.
-        let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
-        simplex.push(x0.to_vec());
-        for i in 0..n {
-            let mut v = x0.to_vec();
-            let scale = self.initial_step * v[i].abs().max(1.0);
-            v[i] += scale;
-            simplex.push(v);
+        // Starting simplices: the classic one (x0 plus one perturbed vertex
+        // per dimension) first, then `restarts - 1` deterministically
+        // jittered ones, all evaluated as a single batch of
+        // `restarts · (n + 1)` candidates.
+        let restarts = self.restarts.max(1);
+        let build_simplex = |origin: &[f64], step_scale: f64| -> Vec<Vec<f64>> {
+            let mut simplex = Vec::with_capacity(n + 1);
+            simplex.push(origin.to_vec());
+            for i in 0..n {
+                let mut v = origin.to_vec();
+                let scale = self.initial_step * step_scale * v[i].abs().max(1.0);
+                v[i] += scale;
+                simplex.push(v);
+            }
+            simplex
+        };
+        let mut candidates: Vec<Vec<f64>> = build_simplex(x0, 1.0);
+        let mut rng = SplitMix64::new(0xC0FF_EE00_5EED ^ n as u64);
+        for _ in 1..restarts {
+            let mut origin = x0.to_vec();
+            for v in origin.iter_mut() {
+                let spread = self.initial_step * v.abs().max(1.0);
+                *v += rng.uniform(-1.0, 1.0) * spread;
+            }
+            let step_scale = rng.uniform(0.5, 2.0);
+            candidates.extend(build_simplex(&origin, step_scale));
         }
-        let mut values: Vec<f64> = eval_batch(f, &simplex, &mut evals);
+        let candidate_values = eval_batch(f, &candidates, &mut evals);
+        // Seed the loop with the simplex holding the best vertex, ties to
+        // the earliest — so `restarts == 1` is exactly the classic start.
+        let mut best_group = 0;
+        let mut best_seen = f64::INFINITY;
+        for (group, chunk) in candidate_values.chunks(n + 1).enumerate() {
+            let group_best = chunk.iter().copied().fold(f64::INFINITY, f64::min);
+            if group_best < best_seen {
+                best_seen = group_best;
+                best_group = group;
+            }
+        }
+        let start = best_group * (n + 1);
+        let mut simplex: Vec<Vec<f64>> = candidates[start..start + n + 1].to_vec();
+        let mut values: Vec<f64> = candidate_values[start..start + n + 1].to_vec();
 
         let mut iterations = 0usize;
         let mut converged = false;
@@ -333,6 +390,45 @@ mod tests {
     fn rejects_empty_input() {
         let mut f = |_: &[f64]| 0.0;
         let _ = NelderMead::new().minimize(&mut f, &[]);
+    }
+
+    #[test]
+    fn single_restart_matches_the_classic_start_bit_for_bit() {
+        assert_eq!(NelderMead::default().restarts, 1);
+        let f = |p: &[f64]| (p[0] + 1e16) - 1e16 + (p[0] - 3.0).powi(2);
+        let mut a_f = f;
+        let a = NelderMead::new().minimize(&mut a_f, &[0.5]);
+        let mut b_f = f;
+        let b = NelderMead::new().restarts(1).minimize(&mut b_f, &[0.5]);
+        assert_eq!(a.x[0].to_bits(), b.x[0].to_bits());
+        assert_eq!(a.value.to_bits(), b.value.to_bits());
+        assert_eq!(a.stats.evaluations, b.stats.evaluations);
+    }
+
+    #[test]
+    fn batched_restarts_are_deterministic_and_escape_poor_seeds() {
+        // A double well: the classic simplex from x0 = 4 converges into the
+        // shallow right basin; jittered restarts can seed the deep one.
+        let well = |p: &[f64]| {
+            let x = p[0];
+            ((x - 5.0).powi(2) + 0.5).min((x + 5.0).powi(2))
+        };
+        let mut a_f = well;
+        let a = NelderMead::new().restarts(8).minimize(&mut a_f, &[4.0]);
+        let mut b_f = well;
+        let b = NelderMead::new().restarts(8).minimize(&mut b_f, &[4.0]);
+        // Deterministic jitter: identical runs give identical results.
+        assert_eq!(a.x[0].to_bits(), b.x[0].to_bits());
+        assert_eq!(a.stats.evaluations, b.stats.evaluations);
+        // The batch is charged for every restart vertex.
+        let single = NelderMead::new().minimize(&mut { well }, &[4.0]);
+        assert!(a.stats.evaluations > single.stats.evaluations);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one starting simplex")]
+    fn rejects_zero_restarts() {
+        let _ = NelderMead::new().restarts(0);
     }
 
     #[test]

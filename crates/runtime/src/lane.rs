@@ -36,7 +36,7 @@
 //!
 //! [`distance`]: crate::distance
 
-use crate::branch::BranchSet;
+use crate::branch::{BranchSet, Direction};
 use crate::context::{pen_code, ExecCtx, PendingPen, RunOutcome};
 use crate::distance::Cmp;
 use crate::program::Program;
@@ -165,21 +165,23 @@ impl LaneCtx {
     /// Resolves every recorded lane in one lockstep pass, appending one
     /// value per lane (in record order) to `values`, and clears the lanes.
     ///
-    /// The loop body is branch-light on purpose: the operand arithmetic
-    /// runs over the SoA operand arrays, and each lane's code/op pair picks
-    /// the one `distance` that the eager path would have kept.
+    /// Delegates to [`resolve_pen_lanes`]: chunks whose lanes agree on the
+    /// pen code and comparison run a branch-free elementwise distance
+    /// kernel over the SoA operand arrays (the loops auto-vectorize);
+    /// divergent chunks fall back to the scalar per-lane resolve. Either
+    /// path computes exactly the `distance` call the eager path would have
+    /// kept, bit for bit.
     pub fn finalize_into(&mut self, values: &mut Vec<f64>) {
         let epsilon = self.epsilon();
-        values.reserve(self.lanes);
-        for lane in 0..self.lanes {
-            let pending = PendingPen {
-                code: self.codes[lane],
-                op: self.ops[lane],
-                lhs: self.lhs[lane],
-                rhs: self.rhs[lane],
-            };
-            values.push(pending.resolve(epsilon));
-        }
+        let lanes = self.lanes;
+        resolve_pen_lanes(
+            &self.codes[..lanes],
+            &self.ops[..lanes],
+            &self.lhs[..lanes],
+            &self.rhs[..lanes],
+            epsilon,
+            values,
+        );
         self.lanes = 0;
     }
 
@@ -211,6 +213,174 @@ impl LaneCtx {
 impl Default for LaneCtx {
     fn default() -> LaneCtx {
         LaneCtx::new(BranchSet::new())
+    }
+}
+
+/// Builds the per-site `pen` dispatch table for a saturation snapshot: one
+/// [`pen_code`] byte per site, indexed by site id. Sites past the table's
+/// end are [`pen_code::OPEN`] (a lookup should default to `OPEN`, exactly
+/// like the deferred [`ExecCtx`] does).
+///
+/// This is the table an out-of-crate lane executor gathers from per
+/// conditional; it matches the deferred context's internal table bit for
+/// bit (same `|=` accumulation, so a site saturated on both sides lands on
+/// [`pen_code::KEEP`]).
+pub fn pen_code_table(saturated: &BranchSet) -> Vec<u8> {
+    let mut codes = Vec::new();
+    if let Some(max_site) = saturated.iter().map(|b| b.site).max() {
+        codes.resize(max_site as usize + 1, pen_code::OPEN);
+        for branch in saturated.iter() {
+            codes[branch.site as usize] |= match branch.direction {
+                Direction::True => pen_code::TRUE_SATURATED,
+                Direction::False => pen_code::FALSE_SATURATED,
+            };
+        }
+    }
+    codes
+}
+
+/// Resolves one pending penalty event — the scalar counterpart of
+/// [`resolve_pen_lanes`], bit-identical to the last live `pen` of an eager
+/// execution.
+///
+/// # Panics
+///
+/// Panics if `code` is [`pen_code::KEEP`] (a kept event is never pending).
+pub fn resolve_pen(code: u8, op: Cmp, lhs: f64, rhs: f64, epsilon: f64) -> f64 {
+    PendingPen { code, op, lhs, rhs }.resolve(epsilon)
+}
+
+/// Resolves a structure-of-arrays batch of pending penalty events,
+/// appending one value per event (in order) to `values`.
+///
+/// The batch is processed in [`LANE_WIDTH`]-wide chunks. A chunk whose
+/// lanes all carry the same pen code and comparison operator — the common
+/// case, since a batch usually probes one program around one target — runs
+/// a single branch-free elementwise kernel over the operand slices, which
+/// the compiler auto-vectorizes. Mixed chunks resolve lane by lane. Both
+/// paths compute exactly [`crate::distance`] on the recorded operands, so
+/// values are bit-identical to scalar resolution whichever path runs.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree or a code is [`pen_code::KEEP`].
+pub fn resolve_pen_lanes(
+    codes: &[u8],
+    ops: &[Cmp],
+    lhs: &[f64],
+    rhs: &[f64],
+    epsilon: f64,
+    values: &mut Vec<f64>,
+) {
+    let n = codes.len();
+    assert!(
+        ops.len() == n && lhs.len() == n && rhs.len() == n,
+        "SoA slice lengths disagree"
+    );
+    values.reserve(n);
+    let mut start = 0;
+    while start < n {
+        let end = (start + LANE_WIDTH).min(n);
+        let code = codes[start];
+        let op = ops[start];
+        let uniform = codes[start..end].iter().all(|&c| c == code)
+            && ops[start..end].iter().all(|&o| o == op);
+        if uniform && code != pen_code::KEEP {
+            let mut chunk = [0.0; LANE_WIDTH];
+            let out = &mut chunk[..end - start];
+            match code {
+                pen_code::IDLE => out.fill(1.0),
+                pen_code::OPEN => out.fill(0.0),
+                pen_code::FALSE_SATURATED => {
+                    distance_chunk(op, &lhs[start..end], &rhs[start..end], epsilon, out);
+                }
+                pen_code::TRUE_SATURATED => {
+                    distance_chunk(
+                        op.negate(),
+                        &lhs[start..end],
+                        &rhs[start..end],
+                        epsilon,
+                        out,
+                    );
+                }
+                _ => unreachable!(),
+            }
+            values.extend_from_slice(out);
+        } else {
+            for lane in start..end {
+                values.push(resolve_pen(
+                    codes[lane],
+                    ops[lane],
+                    lhs[lane],
+                    rhs[lane],
+                    epsilon,
+                ));
+            }
+        }
+        start = end;
+    }
+}
+
+/// Elementwise `distance(op, a[k], b[k], ε)` over one chunk, written as
+/// straight-line select chains so the loops vectorize. Bit-exact with
+/// [`crate::distance`]: the NaN rule is applied as a final select, and
+/// `square`'s overflow saturation to `f64::MAX` is reproduced.
+fn distance_chunk(op: Cmp, a: &[f64], b: &[f64], epsilon: f64, out: &mut [f64]) {
+    // Ge/Gt are defined by operand swap (Definition 4.1); fold them onto
+    // the Le/Lt kernels exactly as the scalar implementation does.
+    match op {
+        Cmp::Ge => return distance_chunk(Cmp::Le, b, a, epsilon, out),
+        Cmp::Gt => return distance_chunk(Cmp::Lt, b, a, epsilon, out),
+        _ => {}
+    }
+    let n = out.len();
+    match op {
+        Cmp::Eq => {
+            for k in 0..n {
+                let d = a[k] - b[k];
+                let sq = d * d;
+                let sq = if sq.is_infinite() { f64::MAX } else { sq };
+                out[k] = if a[k].is_nan() || b[k].is_nan() {
+                    f64::INFINITY
+                } else {
+                    sq
+                };
+            }
+        }
+        Cmp::Le => {
+            for k in 0..n {
+                let d = a[k] - b[k];
+                let sq = d * d;
+                let sq = if sq.is_infinite() { f64::MAX } else { sq };
+                let v = if a[k] <= b[k] { 0.0 } else { sq };
+                out[k] = if a[k].is_nan() || b[k].is_nan() {
+                    f64::INFINITY
+                } else {
+                    v
+                };
+            }
+        }
+        Cmp::Lt => {
+            for k in 0..n {
+                let d = a[k] - b[k];
+                let sq = d * d;
+                let sq = if sq.is_infinite() { f64::MAX } else { sq };
+                let v = if a[k] < b[k] { 0.0 } else { sq + epsilon };
+                out[k] = if a[k].is_nan() || b[k].is_nan() {
+                    f64::INFINITY
+                } else {
+                    v
+                };
+            }
+        }
+        Cmp::Ne => {
+            // distance(Ne, NaN, _) is 0 — `a != b` already holds for NaN,
+            // so the generic select covers the NaN rule too.
+            for k in 0..n {
+                out[k] = if a[k] != b[k] { 0.0 } else { epsilon };
+            }
+        }
+        Cmp::Ge | Cmp::Gt => unreachable!("folded onto Le/Lt above"),
     }
 }
 

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod branch;
 pub mod context;
 pub mod coverage;
@@ -56,11 +57,14 @@ pub mod pen;
 pub mod program;
 pub mod trace;
 
+pub use backend::{BackendMode, ExecBackend, InterpBackend, LaneEval};
 pub use branch::{BranchId, BranchSet, Direction, SiteId};
-pub use context::{ExecCtx, ExecMode, RunOutcome};
+pub use context::{pen_code, ExecCtx, ExecMode, RunOutcome};
 pub use coverage::{CoverageMap, CoverageSummary};
 pub use distance::{distance, Cmp, DEFAULT_EPSILON};
-pub use lane::{LaneCtx, LANE_WIDTH, MIN_LANE_BATCH};
+pub use lane::{
+    pen_code_table, resolve_pen, resolve_pen_lanes, LaneCtx, LANE_WIDTH, MIN_LANE_BATCH,
+};
 pub use pen::{pen, SiteSaturation};
 pub use program::{FnProgram, Program};
 pub use trace::{TakenBranch, Trace};

@@ -12,6 +12,7 @@
 //!   skipped entirely (not reported), exactly as CoverMe "ignores these
 //!   conditional statements by not injecting pen before them".
 
+use crate::backend::{BackendMode, ExecBackend};
 use crate::context::ExecCtx;
 
 /// A program under test.
@@ -43,6 +44,19 @@ pub trait Program {
     /// sources); defaults to zero for programs without a meaningful figure.
     fn source_lines(&self) -> usize {
         0
+    }
+
+    /// Offers a program-specific [`ExecBackend`] for the requested mode.
+    ///
+    /// Returning `None` (the default) means "run me through the generic
+    /// interpreter backend" — [`Program::execute`] per evaluation, the lane
+    /// context for batches. Programs that carry a compiled form (the FPIR
+    /// instruction tape) return their own backend for
+    /// [`BackendMode::Auto`]/[`BackendMode::Tape`]; whatever is returned
+    /// must be observably bit-identical to [`Program::execute`].
+    fn backend(&self, mode: BackendMode) -> Option<Box<dyn ExecBackend>> {
+        let _ = mode;
+        None
     }
 }
 
@@ -142,6 +156,9 @@ impl<P: Program + ?Sized> Program for &P {
     fn source_lines(&self) -> usize {
         (**self).source_lines()
     }
+    fn backend(&self, mode: BackendMode) -> Option<Box<dyn ExecBackend>> {
+        (**self).backend(mode)
+    }
 }
 
 impl<P: Program + ?Sized> Program for Box<P> {
@@ -159,6 +176,9 @@ impl<P: Program + ?Sized> Program for Box<P> {
     }
     fn source_lines(&self) -> usize {
         (**self).source_lines()
+    }
+    fn backend(&self, mode: BackendMode) -> Option<Box<dyn ExecBackend>> {
+        (**self).backend(mode)
     }
 }
 

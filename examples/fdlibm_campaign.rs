@@ -32,6 +32,11 @@
 //!   --n-start N          starting points per function (default 80)
 //!   --seed S             campaign master seed (default 42)
 //!   --local METHOD       local minimizer: powell (default), nm, compass, none
+//!   --backend MODE       execution backend: auto (default), interp, tape
+//!                        (native fdlibm ports have no tape, so tape falls
+//!                        back to interp here — the knob exists for parity
+//!                        with the coverme CLI, whose flags this example
+//!                        shares via coverme_repro::args)
 //!   --json PATH          also write the CampaignReport as JSON to PATH
 //!                        (per-function coverage, evals, cache hits and
 //!                        evals/sec — the artifact the nightly CI job and
@@ -47,12 +52,9 @@
 //! Unknown flags and flags missing their value abort with a usage message
 //! (exit 2) rather than being misread as benchmark names.
 
-use std::time::Duration;
-
-use coverme::{
-    Campaign, CampaignConfig, CampaignEvent, CampaignReport, CoverMeConfig, LocalMethod,
-};
+use coverme::{Campaign, CampaignConfig, CampaignEvent, CampaignReport};
 use coverme_fdlibm::{all, by_name};
+use coverme_repro::args::{write_json_atomic, ArgParser, CommonOptions};
 
 const USAGE: &str = "\
 usage: cargo run --release --example fdlibm_campaign -- [options] [names...]
@@ -69,113 +71,39 @@ usage: cargo run --release --example fdlibm_campaign -- [options] [names...]
   --n-start N          starting points per function (default 80)
   --seed S             campaign master seed (default 42)
   --local METHOD       local minimizer: powell (default), nm, compass, none
+  --backend MODE       execution backend: auto (default), interp, tape
   --json PATH          also write the CampaignReport as JSON to PATH
                        (atomic: tmp file + rename)
   --help               print this message
   names...             benchmark names (default: the full 40-function suite)";
 
-/// Aborts with the usage text on stderr; exit code 2, the conventional
-/// "bad invocation" status, so CI steps cannot misread a flag typo as a
-/// campaign result.
-fn usage_error(message: &str) -> ! {
-    eprintln!("fdlibm_campaign: {message}\n{USAGE}");
-    std::process::exit(2);
-}
-
-/// Parses a flag's value, aborting with a usage message on junk.
-fn parsed_for<T: std::str::FromStr>(flag: &str, value: String) -> T {
-    value
-        .parse()
-        .unwrap_or_else(|_| usage_error(&format!("{flag} got invalid value {value}")))
-}
-
-/// Writes the JSON artifact atomically: the document lands in a sibling
-/// temp file first and is renamed into place, so an interrupted run (or a
-/// crash mid-write) can never leave a truncated `BENCH_campaign.json` for
-/// the nightly artifact collector — the rename either happens or it
-/// doesn't.
-fn write_json_atomic(path: &str, json: &str) {
-    let tmp = format!("{path}.tmp");
-    std::fs::write(&tmp, json).unwrap_or_else(|error| panic!("cannot write {tmp}: {error}"));
-    std::fs::rename(&tmp, path)
-        .unwrap_or_else(|error| panic!("cannot rename {tmp} to {path}: {error}"));
-    println!("wrote {path}");
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut workers = 0usize; // 0 = auto (>= 2)
-    let mut shards = 1usize;
-    let mut sync_epochs = 0usize;
-    let mut stream = false;
+    let mut parser = ArgParser::new("fdlibm_campaign", USAGE, std::env::args().skip(1));
+    let mut options = CommonOptions::default();
     let mut compare_shards: Option<usize> = None;
     let mut compare_sync: Option<usize> = None;
-    let mut budget: Option<Duration> = None;
-    let mut n_start = 80usize;
-    let mut seed = 42u64;
-    let mut local_method = LocalMethod::Powell;
-    let mut json_path: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
 
-    let mut iter = args.into_iter();
-    while let Some(arg) = iter.next() {
-        // A flag's value must be a real operand: the next argument, and not
-        // another flag — `--json --shards` is a missing path, not a path.
-        let mut value_for = |flag: &str| -> String {
-            match iter.next() {
-                Some(value) if !value.starts_with("--") => value,
-                Some(value) => usage_error(&format!("{flag} needs a value, found flag {value}")),
-                None => usage_error(&format!("{flag} needs a value")),
-            }
-        };
+    while let Some(arg) = parser.next_arg() {
+        if parser.accept_common(&arg, &mut options) {
+            continue;
+        }
         match arg.as_str() {
-            "--workers" => workers = parsed_for("--workers", value_for("--workers")),
-            "--shards" => shards = parsed_for("--shards", value_for("--shards")),
-            "--sync-epochs" => {
-                sync_epochs = parsed_for("--sync-epochs", value_for("--sync-epochs"));
-            }
-            "--stream" => stream = true,
-            "--compare-shards" => {
-                compare_shards = Some(parsed_for(
-                    "--compare-shards",
-                    value_for("--compare-shards"),
-                ));
-            }
-            "--compare-sync" => {
-                compare_sync = Some(parsed_for("--compare-sync", value_for("--compare-sync")));
-            }
-            "--budget" => {
-                let secs: f64 = parsed_for("--budget", value_for("--budget"));
-                budget = Some(Duration::from_secs_f64(secs));
-            }
-            "--n-start" => n_start = parsed_for("--n-start", value_for("--n-start")),
-            "--seed" => seed = parsed_for("--seed", value_for("--seed")),
-            "--local" => {
-                local_method = match value_for("--local").as_str() {
-                    "powell" => LocalMethod::Powell,
-                    "nm" | "nelder-mead" => LocalMethod::NelderMead,
-                    "compass" => LocalMethod::Compass,
-                    "none" => LocalMethod::None,
-                    other => usage_error(&format!("--local got unknown method {other}")),
-                };
-            }
-            "--json" => json_path = Some(value_for("--json")),
+            "--compare-shards" => compare_shards = Some(parser.parsed("--compare-shards")),
+            "--compare-sync" => compare_sync = Some(parser.parsed("--compare-sync")),
             "--all" => {}
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                return;
-            }
             // Anything else dash-prefixed is a flag typo, not a function
-            // name; reject it instead of running a surprise campaign.
-            flag if flag.starts_with('-') => usage_error(&format!("unknown flag {flag}")),
+            // name; reject it (exit 2) instead of running a surprise
+            // campaign.
+            flag if flag.starts_with('-') => parser.usage_error(&format!("unknown flag {flag}")),
             name => names.push(name.to_string()),
         }
     }
     if compare_shards.is_some() && compare_sync.is_some() {
-        usage_error("--compare-shards and --compare-sync are mutually exclusive");
+        parser.usage_error("--compare-shards and --compare-sync are mutually exclusive");
     }
-    if stream && (compare_shards.is_some() || compare_sync.is_some()) {
-        usage_error("--stream applies to single-run mode only");
+    if options.stream && (compare_shards.is_some() || compare_sync.is_some()) {
+        parser.usage_error("--stream applies to single-run mode only");
     }
 
     let inventory = if names.is_empty() {
@@ -184,34 +112,35 @@ fn main() {
         names
             .iter()
             .map(|name| {
-                by_name(name).unwrap_or_else(|| usage_error(&format!("unknown benchmark {name}")))
+                by_name(name)
+                    .unwrap_or_else(|| parser.usage_error(&format!("unknown benchmark {name}")))
             })
             .collect()
     };
 
     let run = |shards: usize, sync_epochs: usize, stream: bool| -> CampaignReport {
+        let base = CommonOptions {
+            shards,
+            sync_epochs,
+            ..options.clone()
+        };
         let mut config = CampaignConfig::new()
-            .base(
-                CoverMeConfig::default()
-                    .n_start(n_start)
-                    .seed(seed)
-                    .local_method(local_method)
-                    .shards(shards)
-                    .sync_epochs(sync_epochs),
-            )
-            .workers(workers);
-        if let Some(budget) = budget {
+            .base(base.search_config())
+            .workers(options.workers);
+        if let Some(budget) = options.budget {
             config = config.time_budget(budget);
         }
         let effective = config.effective_workers(inventory.len());
         let effective_sync = config.base.effective_sync_epochs();
         println!(
             "campaign: {} functions, {} workers, {} shard(s)/function, \
-             {} sync epoch(s), n_start = {n_start}, seed = {seed}",
+             {} sync epoch(s), n_start = {}, seed = {}",
             inventory.len(),
             effective,
             shards.max(1),
             effective_sync,
+            options.n_start,
+            options.seed,
         );
         let campaign = Campaign::new(config);
         if stream {
@@ -229,11 +158,11 @@ fn main() {
 
     match (compare_shards, compare_sync) {
         (None, None) => {
-            let report = run(shards, sync_epochs, stream);
-            if !stream {
+            let report = run(options.shards, options.sync_epochs, options.stream);
+            if !options.stream {
                 print!("{report}");
             }
-            if let Some(path) = &json_path {
+            if let Some(path) = &options.json_path {
                 write_json_atomic(path, &report.to_json());
             }
         }
@@ -242,11 +171,14 @@ fn main() {
             // same shard count and budget. The JSON artifact carries the
             // sync-on report with sync-off eval columns alongside, so the
             // nightly run tracks the evaluation savings over time.
-            let blind = run(shards, 0, false);
+            let blind = run(options.shards, 0, false);
             print!("{blind}");
-            let synced = run(shards, epochs, false);
+            let synced = run(options.shards, epochs, false);
             print!("{synced}");
-            println!("sync savings (0 -> {epochs} epochs, {shards} shards):");
+            println!(
+                "sync savings (0 -> {epochs} epochs, {} shards):",
+                options.shards
+            );
             println!(
                 "{:<22} {:>12} {:>12} {:>9} {:>10}",
                 "function", "evals off", "evals on", "saved", "coverage"
@@ -283,16 +215,16 @@ fn main() {
                 100.0 * (blind.total_evaluations() as f64 - synced.total_evaluations() as f64)
                     / blind.total_evaluations().max(1) as f64
             );
-            if let Some(path) = &json_path {
+            if let Some(path) = &options.json_path {
                 write_json_atomic(path, &synced.to_json_with_sync_baseline(&blind));
             }
         }
         (Some(sharded), None) => {
             let baseline = run(1, 0, false);
             print!("{baseline}");
-            let report = run(sharded, sync_epochs, false);
+            let report = run(sharded, options.sync_epochs, false);
             print!("{report}");
-            if let Some(path) = &json_path {
+            if let Some(path) = &options.json_path {
                 write_json_atomic(path, &report.to_json());
             }
             println!("shard speedup (1 -> {sharded} shards):");
@@ -318,7 +250,7 @@ fn main() {
                 // deadline can cut the two runs at different points, and a
                 // synced shard minimizes against a larger snapshot than the
                 // blind run's, so its trajectory is not comparable.
-                if budget.is_none() && sync_epochs == 0 {
+                if options.budget.is_none() && options.sync_epochs == 0 {
                     assert!(
                         b.coverage.covered_count() >= a.coverage.covered_count(),
                         "{}: sharding lost coverage ({} < {})",

@@ -24,6 +24,14 @@ across microarchitectures. On 4–5-site functions the lane advantage hovers
 near 1x and swings with auto-vectorization luck, so those rows are
 reported without being enforced.
 
+The schema-2 artifact adds an ``fpir`` table measured across the
+execution-backend axis (interpreter vs compiled tape, scalar vs lane).
+Its two ratios are gated with the same relative tolerance, and the
+tape-lane-vs-interp-lane ratio additionally carries an **absolute floor**
+(default 1.5x, ``--tape-lane-floor``): the tape backend's acceptance bar
+is 1.5x the interpreted lane path on the corpus, independent of what the
+baseline happens to record.
+
 Exit status: 0 when every gated metric is within tolerance, 1 otherwise
 (and 2 for usage/schema errors, so a malformed artifact cannot pass as
 "no regression").
@@ -47,6 +55,19 @@ REPORTED_METRICS = (
     "hot_evals_per_sec",
 )
 
+# Backend-axis ratios gated on the fpir table (relative tolerance; the
+# lane ratio additionally has the absolute --tape-lane-floor).
+FPIR_GATED_METRICS = (
+    "tape_speedup_vs_interp",
+    "tape_lane_speedup_vs_interp_lane",
+)
+FPIR_REPORTED_METRICS = (
+    "interp_evals_per_sec",
+    "interp_lane_evals_per_sec",
+    "tape_evals_per_sec",
+    "tape_lane_evals_per_sec",
+)
+
 UPDATE_INSTRUCTIONS = """\
 If this regression is intended (e.g. the engine traded single-path speed
 for a feature) or the baseline is stale, refresh it on a quiet machine and
@@ -66,8 +87,8 @@ def load(path):
             data = json.load(handle)
     except (OSError, ValueError) as error:
         sys.exit(f"bench_gate: cannot read {path}: {error}")
-    if data.get("schema") != 1 or data.get("bench") != "objective_engine":
-        sys.exit(f"bench_gate: {path} is not a schema-1 objective_engine artifact")
+    if data.get("schema") not in (1, 2) or data.get("bench") != "objective_engine":
+        sys.exit(f"bench_gate: {path} is not an objective_engine artifact (schema 1 or 2)")
     return data
 
 
@@ -87,6 +108,13 @@ def main():
         default=20,
         help="fewest conditional sites for the lane/star ratios to be "
         "enforced rather than just reported (default 20)",
+    )
+    parser.add_argument(
+        "--tape-lane-floor",
+        type=float,
+        default=1.5,
+        help="absolute floor on tape_lane_speedup_vs_interp_lane for every "
+        "fpir row (default 1.5 = the tape backend's acceptance bar)",
     )
     args = parser.parse_args()
 
@@ -142,6 +170,41 @@ def main():
     extra = sorted(set(current_rows) - set(baseline_rows))
     if extra:
         print(f"bench_gate: note: functions not in the baseline (ignored): {', '.join(extra)}")
+
+    # Backend axis (schema 2): relative tolerance against the baseline plus
+    # the absolute tape-lane floor on every current row.
+    baseline_fpir = {row["function"]: row for row in baseline.get("fpir", [])}
+    current_fpir = {row["function"]: row for row in current.get("fpir", [])}
+    if baseline_fpir and not current_fpir:
+        failures.append("fpir table missing from the current benchmark run")
+    if current_fpir:
+        print(
+            f"bench_gate: fpir backend axis — tolerance {args.tolerance:.0%}, "
+            f"absolute tape-lane floor {args.tape_lane_floor:.2f}x"
+        )
+    for name, row in sorted(current_fpir.items()):
+        base_row = baseline_fpir.get(name)
+        for metric in FPIR_GATED_METRICS:
+            value = row[metric]
+            floor = 0.0
+            if base_row is not None:
+                floor = base_row[metric] * (1.0 - args.tolerance)
+            if metric == "tape_lane_speedup_vs_interp_lane":
+                floor = max(floor, args.tape_lane_floor)
+            status = "ok" if value >= floor else "REGRESSED"
+            print(
+                f"  {name:>12} {metric:<34} current {value:6.2f}x"
+                f"  floor {floor:6.2f}x  {status}"
+            )
+            if value < floor:
+                failures.append(
+                    f"{name}: {metric} {value:.2f}x is below the floor {floor:.2f}x"
+                )
+        context = "  ".join(
+            f"{metric.split('_evals')[0]} {row[metric] / 1e6:.1f}M/s"
+            for metric in FPIR_REPORTED_METRICS
+        )
+        print(f"  {name:>12} (absolute, not gated: {context})")
 
     if failures:
         print("\nbench_gate: FAIL — evaluation throughput regressed:", file=sys.stderr)

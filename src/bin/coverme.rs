@@ -4,28 +4,18 @@
 //! front door takes FPIR mini-language files (see `coverme-fpir` and the
 //! checked-in corpus in `examples/fpir/`) and drives the same search
 //! machinery the library exposes — sharding, cross-shard sync, the
-//! streaming campaign scheduler.
+//! streaming campaign scheduler, and the execution-backend layer
+//! (`--backend auto|interp|tape`).
 //!
 //! ```text
 //! coverme run <file.fpir> [options]      test one program
 //! coverme campaign <dir> [options]       test every .fpir file in a directory
-//!
-//! common options:
-//!   --entry NAME       entry function (run mode; default: a function named
-//!                      like the file, else the file's only function)
-//!   --fuel N           interpreter step budget per execution (default 100000);
-//!                      exhausting it classifies the run `timeout`
-//!   --n-start N        starting points per function (default 80)
-//!   --seed S           master seed (default 42)
-//!   --shards N         shards per function (default 1 = unsharded)
-//!   --sync-epochs E    cross-shard saturation sync epochs (default 0 = off)
-//!   --local METHOD     local minimizer: powell (default), nm, compass, none
-//!   --budget SECS      wall-clock budget
-//!   --json PATH        write a machine-readable report to PATH (atomic)
-//!   --stream           print progress as it happens (per round for `run`,
-//!                      per function for `campaign`)
-//!   --workers N        campaign worker threads (default: auto)
 //! ```
+//!
+//! The common options (`--seed`, `--shards`, `--local`, `--backend`, …)
+//! are shared with the `fdlibm_campaign` example through
+//! [`coverme_repro::args`]; `run` additionally takes `--entry` and
+//! `--fuel`.
 //!
 //! `run` exits 0 and prints the usual coverage report; its JSON carries an
 //! `outcome` field — `done` when every evaluation ran to completion,
@@ -34,13 +24,12 @@
 //! program degrades instead of hanging. Bad invocations exit 2; source or
 //! I/O errors exit 1 with a positioned message.
 
-use std::time::Duration;
-
 use coverme::{
-    Campaign, CampaignConfig, CampaignEvent, CampaignReport, CoverMe, CoverMeConfig, LocalMethod,
-    Program, SearchState, TestReport,
+    Campaign, CampaignConfig, CampaignEvent, CampaignReport, CoverMe, CoverMeConfig, Program,
+    SearchState, TestReport,
 };
 use coverme_fpir::{check, instrument, parse, IrProgram, Module};
+use coverme_repro::args::{write_json_atomic, ArgParser, CommonOptions};
 
 const USAGE: &str = "\
 usage: coverme <run|campaign> <path> [options]
@@ -54,18 +43,12 @@ options:
   --shards N           shards per function (default 1 = unsharded)
   --sync-epochs E      cross-shard saturation sync epochs (default 0 = off)
   --local METHOD       local minimizer: powell (default), nm, compass, none
+  --backend MODE       execution backend: auto (default), interp, tape
   --budget SECS        wall-clock budget
   --json PATH          write a machine-readable report to PATH (atomic)
   --stream             per-round (run) / per-function (campaign) progress
   --workers N          campaign worker threads (default: auto)
   --help               print this message";
-
-/// Bad invocation: usage text on stderr, exit 2 (the conventional status,
-/// distinct from a source/I-O failure's exit 1).
-fn usage_error(message: &str) -> ! {
-    eprintln!("coverme: {message}\n{USAGE}");
-    std::process::exit(2);
-}
 
 /// Source or I/O failure: positioned message on stderr, exit 1.
 fn run_error(message: &str) -> ! {
@@ -73,87 +56,37 @@ fn run_error(message: &str) -> ! {
     std::process::exit(1);
 }
 
-fn parsed_for<T: std::str::FromStr>(flag: &str, value: String) -> T {
-    value
-        .parse()
-        .unwrap_or_else(|_| usage_error(&format!("{flag} got invalid value {value}")))
-}
-
-/// Everything both subcommands share.
+/// The `run`/`campaign`-specific flags on top of the shared set.
 struct Options {
+    common: CommonOptions,
     entry: Option<String>,
     fuel: Option<usize>,
-    n_start: usize,
-    seed: u64,
-    shards: usize,
-    sync_epochs: usize,
-    local_method: LocalMethod,
-    budget: Option<Duration>,
-    json_path: Option<String>,
-    stream: bool,
-    workers: usize,
 }
 
 fn parse_options(args: impl Iterator<Item = String>) -> (Vec<String>, Options) {
+    let mut parser = ArgParser::new("coverme", USAGE, args);
     let mut options = Options {
+        common: CommonOptions::default(),
         entry: None,
         fuel: None,
-        n_start: 80,
-        seed: 42,
-        shards: 1,
-        sync_epochs: 0,
-        local_method: LocalMethod::Powell,
-        budget: None,
-        json_path: None,
-        stream: false,
-        workers: 0,
     };
     let mut operands = Vec::new();
-    let mut iter = args;
-    while let Some(arg) = iter.next() {
-        let mut value_for = |flag: &str| -> String {
-            match iter.next() {
-                Some(value) if !value.starts_with("--") => value,
-                Some(value) => usage_error(&format!("{flag} needs a value, found flag {value}")),
-                None => usage_error(&format!("{flag} needs a value")),
-            }
-        };
+    while let Some(arg) = parser.next_arg() {
+        if parser.accept_common(&arg, &mut options.common) {
+            continue;
+        }
         match arg.as_str() {
-            "--entry" => options.entry = Some(value_for("--entry")),
+            "--entry" => options.entry = Some(parser.value_for("--entry")),
             "--fuel" => {
-                let fuel: usize = parsed_for("--fuel", value_for("--fuel"));
+                let fuel: usize = parser.parsed("--fuel");
                 if fuel == 0 {
-                    usage_error("--fuel must be positive");
+                    parser.usage_error("--fuel must be positive");
                 }
                 options.fuel = Some(fuel);
             }
-            "--n-start" => options.n_start = parsed_for("--n-start", value_for("--n-start")),
-            "--seed" => options.seed = parsed_for("--seed", value_for("--seed")),
-            "--shards" => options.shards = parsed_for("--shards", value_for("--shards")),
-            "--sync-epochs" => {
-                options.sync_epochs = parsed_for("--sync-epochs", value_for("--sync-epochs"));
+            flag if flag.starts_with('-') => {
+                parser.usage_error(&format!("unknown flag {flag}"));
             }
-            "--local" => {
-                options.local_method = match value_for("--local").as_str() {
-                    "powell" => LocalMethod::Powell,
-                    "nm" | "nelder-mead" => LocalMethod::NelderMead,
-                    "compass" => LocalMethod::Compass,
-                    "none" => LocalMethod::None,
-                    other => usage_error(&format!("--local got unknown method {other}")),
-                };
-            }
-            "--budget" => {
-                let secs: f64 = parsed_for("--budget", value_for("--budget"));
-                options.budget = Some(Duration::from_secs_f64(secs));
-            }
-            "--json" => options.json_path = Some(value_for("--json")),
-            "--stream" => options.stream = true,
-            "--workers" => options.workers = parsed_for("--workers", value_for("--workers")),
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                std::process::exit(0);
-            }
-            flag if flag.starts_with('-') => usage_error(&format!("unknown flag {flag}")),
             operand => operands.push(operand.to_string()),
         }
     }
@@ -161,16 +94,7 @@ fn parse_options(args: impl Iterator<Item = String>) -> (Vec<String>, Options) {
 }
 
 fn search_config(options: &Options) -> CoverMeConfig {
-    let mut config = CoverMeConfig::default()
-        .n_start(options.n_start)
-        .seed(options.seed)
-        .local_method(options.local_method)
-        .shards(options.shards)
-        .sync_epochs(options.sync_epochs);
-    if let Some(budget) = options.budget {
-        config = config.time_budget(budget);
-    }
-    config
+    options.common.search_config()
 }
 
 /// Picks the entry function: `--entry` wins, else a function named like the
@@ -239,10 +163,12 @@ fn outcome_label(report: &TestReport) -> &'static str {
 fn run_report_json(report: &TestReport, entry: &str, path: &str) -> String {
     let mut out = String::with_capacity(512);
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"coverme-run-report/1\",\n");
+    out.push_str("  \"schema\": \"coverme-run-report/2\",\n");
     out.push_str(&format!("  \"file\": \"{}\",\n", path.replace('\\', "/")));
     out.push_str(&format!("  \"entry\": \"{entry}\",\n"));
     out.push_str(&format!("  \"outcome\": \"{}\",\n", outcome_label(report)));
+    out.push_str(&format!("  \"backend\": \"{}\",\n", report.backend));
+    out.push_str(&format!("  \"lane_width\": {},\n", report.lane_width));
     out.push_str(&format!(
         "  \"branches\": {},\n",
         report.coverage.total_branches()
@@ -269,22 +195,11 @@ fn run_report_json(report: &TestReport, entry: &str, path: &str) -> String {
     out
 }
 
-/// Atomic JSON write (tmp + rename), so an interrupted run never leaves a
-/// truncated artifact.
-fn write_json_atomic(path: &str, json: &str) {
-    let tmp = format!("{path}.tmp");
-    std::fs::write(&tmp, json)
-        .unwrap_or_else(|error| run_error(&format!("cannot write {tmp}: {error}")));
-    std::fs::rename(&tmp, path)
-        .unwrap_or_else(|error| run_error(&format!("cannot rename {tmp} to {path}: {error}")));
-    println!("wrote {path}");
-}
-
 fn cmd_run(path: &str, options: &Options) {
     let program = load_program(path, options.entry.as_deref(), options.fuel);
     let entry = program.name().to_string();
     let config = search_config(options);
-    let report = if options.stream {
+    let report = if options.common.stream {
         if config.effective_shards() > 1 {
             usage_error("--stream run mode is unsharded; drop --shards");
         }
@@ -312,9 +227,15 @@ fn cmd_run(path: &str, options: &Options) {
     };
     print!("{report}");
     println!("outcome: {}", outcome_label(&report));
-    if let Some(json_path) = &options.json_path {
+    if let Some(json_path) = &options.common.json_path {
         write_json_atomic(json_path, &run_report_json(&report, &entry, path));
     }
+}
+
+/// Bad invocation detected after parsing: usage text on stderr, exit 2.
+fn usage_error(message: &str) -> ! {
+    eprintln!("coverme: {message}\n{USAGE}");
+    std::process::exit(2);
 }
 
 fn cmd_campaign(dir: &str, options: &Options) {
@@ -339,12 +260,12 @@ fn cmd_campaign(dir: &str, options: &Options) {
 
     let mut config = CampaignConfig::new()
         .base(search_config(options))
-        .workers(options.workers);
-    if let Some(budget) = options.budget {
+        .workers(options.common.workers);
+    if let Some(budget) = options.common.budget {
         config = config.time_budget(budget);
     }
     let campaign = Campaign::new(config);
-    let report = if options.stream {
+    let report = if options.common.stream {
         println!("{}", CampaignReport::table_header());
         let report = campaign.run_with(&inventory, |event| {
             let CampaignEvent::FunctionFinished { result, .. } = event;
@@ -357,7 +278,7 @@ fn cmd_campaign(dir: &str, options: &Options) {
         print!("{report}");
         report
     };
-    if let Some(json_path) = &options.json_path {
+    if let Some(json_path) = &options.common.json_path {
         write_json_atomic(json_path, &report.to_json());
     }
 }

@@ -6,6 +6,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod args;
+
 pub use coverme;
 pub use coverme_baselines as baselines;
 pub use coverme_fdlibm as fdlibm;
