@@ -16,7 +16,7 @@
 //! between them: when the last shard of a function's epoch parks its state,
 //! the rendezvous exchanges
 //! [`SaturationDelta`](crate::saturation::SaturationDelta)s among the shards
-//! ([`crate::sync::exchange_deltas`] — commutative, so arrival order cannot
+//! ([`crate::sync::exchange_deltas_gated`] — commutative, so arrival order cannot
 //! matter) and enqueues the next epoch's tasks. Because tasks are claimed
 //! from one shared queue seeded in function-major order, a trailing heavy
 //! function (e.g. `ieee754_pow` with its 114 branches) fans out over the
@@ -58,11 +58,11 @@ use std::time::{Duration, Instant};
 
 use coverme_runtime::Program;
 
-use crate::driver::{CoverMeConfig, EpochOutcome, SearchState};
+use crate::driver::{CoverMeConfig, EpochOutcome, SchedulerPolicy, SearchState};
 use crate::report::TestReport;
 use crate::saturation::SaturationDelta;
 use crate::shard::{merge_shards, ShardOutcome};
-use crate::sync::{exchange_deltas, SyncPlan};
+use crate::sync::{exchange_deltas_gated, SyncPlan};
 
 /// Configuration of a parallel campaign.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -146,6 +146,20 @@ impl CampaignConfig {
     }
 }
 
+/// Per-function accounting of the bandit scheduler's eval-budget grants
+/// (see [`SchedulerPolicy::Bandit`]): how much of the global pool the
+/// function received, in how many installments. Only present on reports
+/// produced by a bandit campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BudgetLedger {
+    /// Evaluations granted to this function from the global pool (the sum
+    /// over all ledgers never exceeds the pool; a function may *spend*
+    /// slightly more than granted because rounds are atomic).
+    pub granted: usize,
+    /// Number of separate grants (installments) the function received.
+    pub grants: usize,
+}
+
 /// How far the campaign got with one function before reporting it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FunctionStatus {
@@ -206,6 +220,9 @@ pub struct FunctionResult {
     /// Whether the function ran to completion, was cut by the deadline
     /// with partial progress kept, or never started.
     pub status: FunctionStatus,
+    /// The bandit scheduler's grant ledger for this function; `None` on
+    /// fixed-schedule campaigns.
+    pub budget: Option<BudgetLedger>,
 }
 
 impl FunctionResult {
@@ -240,6 +257,41 @@ impl FunctionResult {
         self.report.as_ref().map(TestReport::evals_per_second)
     }
 
+    /// Productive evaluation throughput in evals/sec, if the search ran —
+    /// evaluations spent in aborted (timeout/trap) rounds are excluded
+    /// from the numerator, so a function that mostly spins does not
+    /// inflate the table (see
+    /// [`TestReport::effective_evals_per_second`]).
+    pub fn effective_evals_per_second(&self) -> Option<f64> {
+        self.report
+            .as_ref()
+            .map(TestReport::effective_evals_per_second)
+    }
+
+    /// Evaluations this search's aborted (timeout/trap) rounds consumed
+    /// (0 if skipped).
+    pub fn aborted_evaluations(&self) -> usize {
+        self.report
+            .as_ref()
+            .map_or(0, TestReport::aborted_evaluations)
+    }
+
+    /// Branches the generalized infeasibility heuristic blamed across the
+    /// search's failed rounds (0 if skipped).
+    pub fn infeasible_blamed(&self) -> usize {
+        self.report
+            .as_ref()
+            .map_or(0, TestReport::infeasible_blamed)
+    }
+
+    /// Sync barriers the adaptive gate skipped for this function's shards
+    /// (0 if skipped or sync off).
+    pub fn barriers_skipped(&self) -> usize {
+        self.report
+            .as_ref()
+            .map_or(0, |report| report.barriers_skipped)
+    }
+
     /// One formatted campaign-table row (no trailing newline) — exactly
     /// the line [`CampaignReport`]'s `Display` prints for this function,
     /// exposed so streaming consumers can print rows as
@@ -255,7 +307,9 @@ impl FunctionResult {
                     report.branch_coverage_percent(),
                     report.evaluations,
                     report.cache_hits,
-                    report.evals_per_second(),
+                    // Productive throughput: evals burnt in aborted
+                    // (timeout/trap) rounds don't count toward the rate.
+                    report.effective_evals_per_second(),
                     report.wall_time.as_secs_f64()
                 );
                 if self.status == FunctionStatus::Partial {
@@ -284,6 +338,11 @@ pub struct CampaignReport {
     /// Effective per-function sync-epoch count of the schedule (1 = sync
     /// off, the pre-sync behavior).
     pub sync_epochs: usize,
+    /// The scheduler that allocated evaluations across functions.
+    pub scheduler: SchedulerPolicy,
+    /// The global evaluation pool of a bandit campaign, or the per-search
+    /// eval cap of a fixed campaign (`None` = unbounded, the default).
+    pub eval_budget: Option<usize>,
     /// Wall-clock time of the whole campaign.
     pub wall_time: Duration,
 }
@@ -421,19 +480,65 @@ impl CampaignReport {
         }
     }
 
+    /// Aggregate *productive* throughput: like
+    /// [`suite_evals_per_second`](Self::suite_evals_per_second) with the
+    /// evaluations of aborted (timeout/trap) rounds excluded from the
+    /// numerator.
+    pub fn suite_effective_evals_per_second(&self) -> f64 {
+        let seconds = self.wall_time.as_secs_f64();
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        let aborted: usize = self
+            .results
+            .iter()
+            .map(FunctionResult::aborted_evaluations)
+            .sum();
+        self.total_evaluations().saturating_sub(aborted) as f64 / seconds
+    }
+
+    /// Total branches the generalized infeasibility heuristic blamed
+    /// across the suite's failed rounds.
+    pub fn total_infeasible_blamed(&self) -> usize {
+        self.results
+            .iter()
+            .map(FunctionResult::infeasible_blamed)
+            .sum()
+    }
+
+    /// Total sync barriers the adaptive gate skipped across the suite.
+    pub fn total_barriers_skipped(&self) -> usize {
+        self.results
+            .iter()
+            .map(FunctionResult::barriers_skipped)
+            .sum()
+    }
+
+    /// Suite branch coverage per million evaluations — the
+    /// machine-independent budget-economics ratio the benchmark gate
+    /// tracks (covered branches per 1e6 evals; 0 when nothing ran).
+    pub fn coverage_per_megaeval(&self) -> f64 {
+        let evals = self.total_evaluations();
+        if evals == 0 {
+            return 0.0;
+        }
+        let (covered, _) = self.branch_totals();
+        covered as f64 * 1.0e6 / evals as f64
+    }
+
     /// Serializes the report as a self-contained JSON document — the
     /// machine-readable artifact the nightly CI job stores (see
     /// `examples/fdlibm_campaign.rs --json`). Hand-rolled (the build image
     /// has no serde); numbers use Rust's shortest-roundtrip `Display`,
     /// non-finite rates are clamped to 0.
     pub fn to_json(&self) -> String {
-        self.write_json(None)
+        self.write_json(None, None)
     }
 
     /// Like [`to_json`](Self::to_json), but additionally records a sync-off
     /// baseline run of the same inventory: per function an
     /// `evals_sync_off` column next to `evals`, and suite-level sync-off
-    /// eval totals — the columns the nightly `BENCH_campaign.json`
+    /// eval totals — the columns the `BENCH_campaign.json`
     /// artifact tracks the feedback-recovery claim with.
     ///
     /// # Panics
@@ -446,22 +551,67 @@ impl CampaignReport {
             sync_off.results.len(),
             "sync baseline must come from the same inventory"
         );
-        self.write_json(Some(sync_off))
+        self.write_json(Some(sync_off), None)
     }
 
-    fn write_json(&self, sync_off: Option<&CampaignReport>) -> String {
+    /// Like [`to_json`](Self::to_json), but additionally records a
+    /// fixed-scheduler baseline run of the same inventory: per function
+    /// `evals_fixed` / `covered_branches_fixed` columns, plus suite-level
+    /// fixed eval totals — the side-by-side the nightly
+    /// `--compare-budget` artifact tracks the budget-economics claim with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline describes a different inventory (result
+    /// counts differ).
+    pub fn to_json_with_budget_baseline(&self, fixed: &CampaignReport) -> String {
+        assert_eq!(
+            self.results.len(),
+            fixed.results.len(),
+            "budget baseline must come from the same inventory"
+        );
+        self.write_json(None, Some(fixed))
+    }
+
+    fn write_json(
+        &self,
+        sync_off: Option<&CampaignReport>,
+        fixed: Option<&CampaignReport>,
+    ) -> String {
         let mut out = String::with_capacity(4096 + 256 * self.results.len());
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"coverme-campaign-report/4\",\n");
+        out.push_str("  \"schema\": \"coverme-campaign-report/5\",\n");
         push_json_number(&mut out, "  ", "workers", self.workers as f64, true);
         push_json_number(&mut out, "  ", "shards", self.shards as f64, true);
         push_json_number(&mut out, "  ", "sync_epochs", self.sync_epochs as f64, true);
+        out.push_str("  \"scheduler\": \"");
+        out.push_str(self.scheduler.label());
+        out.push_str("\",\n");
+        if let Some(budget) = self.eval_budget {
+            push_json_number(&mut out, "  ", "eval_budget", budget as f64, true);
+        }
         if let Some(baseline) = sync_off {
             push_json_number(
                 &mut out,
                 "  ",
                 "total_evaluations_sync_off",
                 baseline.total_evaluations() as f64,
+                true,
+            );
+        }
+        if let Some(baseline) = fixed {
+            push_json_number(
+                &mut out,
+                "  ",
+                "total_evaluations_fixed",
+                baseline.total_evaluations() as f64,
+                true,
+            );
+            push_json_number(
+                &mut out,
+                "  ",
+                "suite_branch_coverage_percent_fixed",
+                baseline.suite_branch_coverage_percent(),
                 true,
             );
         }
@@ -530,6 +680,34 @@ impl CampaignReport {
             self.suite_evals_per_second(),
             true,
         );
+        push_json_number(
+            &mut out,
+            "  ",
+            "suite_effective_evals_per_second",
+            self.suite_effective_evals_per_second(),
+            true,
+        );
+        push_json_number(
+            &mut out,
+            "  ",
+            "total_infeasible_blamed",
+            self.total_infeasible_blamed() as f64,
+            true,
+        );
+        push_json_number(
+            &mut out,
+            "  ",
+            "total_barriers_skipped",
+            self.total_barriers_skipped() as f64,
+            true,
+        );
+        push_json_number(
+            &mut out,
+            "  ",
+            "coverage_per_megaeval",
+            self.coverage_per_megaeval(),
+            true,
+        );
         out.push_str("  \"functions\": [\n");
         for (index, result) in self.results.iter().enumerate() {
             out.push_str("    {\n");
@@ -564,6 +742,40 @@ impl CampaignReport {
                         true,
                     );
                 }
+            }
+            if let Some(baseline) = fixed {
+                push_json_number(
+                    &mut out,
+                    "      ",
+                    "evals_fixed",
+                    baseline.results[index].evaluations() as f64,
+                    true,
+                );
+                if let Some(fixed_report) = &baseline.results[index].report {
+                    push_json_number(
+                        &mut out,
+                        "      ",
+                        "covered_branches_fixed",
+                        fixed_report.coverage.covered_count() as f64,
+                        true,
+                    );
+                }
+            }
+            if let Some(ledger) = &result.budget {
+                push_json_number(
+                    &mut out,
+                    "      ",
+                    "budget_granted",
+                    ledger.granted as f64,
+                    true,
+                );
+                push_json_number(
+                    &mut out,
+                    "      ",
+                    "budget_grants",
+                    ledger.grants as f64,
+                    true,
+                );
             }
             match &result.report {
                 Some(report) => {
@@ -627,6 +839,27 @@ impl CampaignReport {
                         "      ",
                         "evals_per_second",
                         report.evals_per_second(),
+                        true,
+                    );
+                    push_json_number(
+                        &mut out,
+                        "      ",
+                        "effective_evals_per_second",
+                        report.effective_evals_per_second(),
+                        true,
+                    );
+                    push_json_number(
+                        &mut out,
+                        "      ",
+                        "infeasible_blamed",
+                        report.infeasible_blamed() as f64,
+                        true,
+                    );
+                    push_json_number(
+                        &mut out,
+                        "      ",
+                        "barriers_skipped",
+                        report.barriers_skipped as f64,
                         true,
                     );
                     push_json_number(
@@ -833,6 +1066,13 @@ impl Campaign {
         F: FnMut(&CampaignEvent),
     {
         let started = Instant::now();
+        if self.config.base.scheduler == SchedulerPolicy::Bandit {
+            if let Some(pool) = self.config.base.budget {
+                return self.run_bandit(inventory, &mut on_event, started, pool);
+            }
+            // Bandit without a pool has nothing to allocate; fall through
+            // to the fixed schedule (the CLI rejects this combination).
+        }
         let shards = self.config.effective_shards();
         let workers = self.config.effective_workers(inventory.len());
         let mut template = self.config.base.clone();
@@ -846,6 +1086,8 @@ impl Campaign {
                 workers,
                 shards,
                 sync_epochs: plan.epochs(),
+                scheduler: SchedulerPolicy::Fixed,
+                eval_budget: self.config.base.budget,
                 wall_time: started.elapsed(),
             };
         }
@@ -963,8 +1205,209 @@ impl Campaign {
             workers,
             shards,
             sync_epochs: plan.epochs(),
+            scheduler: SchedulerPolicy::Fixed,
+            eval_budget: self.config.base.budget,
             wall_time: started.elapsed(),
         }
+    }
+
+    /// The bandit campaign driver (see [`SchedulerPolicy::Bandit`]):
+    /// allocates a global evaluation pool across functions in grant
+    /// installments decided at *round barriers* by a deterministic
+    /// UCB-style score over per-grant marginal coverage telemetry.
+    ///
+    /// * Shards are normalized to 1 — under eval-budget economics the unit
+    ///   of scheduling is the function, and the epoch-pausable
+    ///   [`SearchState`] already yields at its allowance, so intra-function
+    ///   sharding would only dilute the telemetry a grant decision reads.
+    /// * Every function's `n_start` schedule is inflated by
+    ///   [`BANDIT_OVERDRAFT`] so a consistently-earning function can spend
+    ///   past the fixed schedule; the starting-point schedule is sampled
+    ///   sequentially, so the inflated prefix is bit-identical to the
+    ///   fixed schedule's points.
+    /// * The seeding round grants every function once, in inventory order.
+    ///   Each later round (when all outstanding tasks returned) recycles
+    ///   the unspent allowances of naturally-finished functions and grants
+    ///   the top [`GRANTS_PER_ROUND`] paused candidates by UCB score:
+    ///   scaled marginal coverage per eval plus an exploration bonus; ties
+    ///   break on a seeded name hash, then inventory index. All decisions
+    ///   are pure functions of barrier-time telemetry, so the outcome is
+    ///   deterministic per `(seed, budget)` regardless of worker count.
+    fn run_bandit<P, F>(
+        &self,
+        inventory: &[P],
+        on_event: &mut F,
+        started: Instant,
+        pool: usize,
+    ) -> CampaignReport
+    where
+        P: Program + Sync,
+        F: FnMut(&CampaignEvent),
+    {
+        let workers = {
+            let requested = if self.config.workers == 0 {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(2)
+                    .max(2)
+            } else {
+                self.config.workers
+            };
+            requested.clamp(1, inventory.len().max(1))
+        };
+        let report_shell = |results: Vec<FunctionResult>, wall_time: Duration| CampaignReport {
+            results,
+            workers,
+            shards: 1,
+            sync_epochs: 1,
+            scheduler: SchedulerPolicy::Bandit,
+            eval_budget: Some(pool),
+            wall_time,
+        };
+        if inventory.is_empty() {
+            return report_shell(Vec::new(), started.elapsed());
+        }
+        let deadline = self.config.time_budget.map(|budget| started + budget);
+        let grant_evals = bandit_grant_evals(pool, inventory.len());
+
+        let occurrences: Vec<usize> = {
+            let mut counts: std::collections::HashMap<String, usize> =
+                std::collections::HashMap::new();
+            inventory
+                .iter()
+                .map(|program| {
+                    let count = counts.entry(program.name().to_string()).or_default();
+                    let occurrence = *count;
+                    *count += 1;
+                    occurrence
+                })
+                .collect()
+        };
+        let configs: Vec<CoverMeConfig> = inventory
+            .iter()
+            .zip(&occurrences)
+            .map(|(program, &occurrence)| {
+                let mut config = self.config.base.clone();
+                config.shards = 1;
+                config.sync_epochs = 0;
+                config.n_start = config.n_start.saturating_mul(BANDIT_OVERDRAFT);
+                config.seed =
+                    derive_function_seed(self.config.base.seed, program.name(), occurrence);
+                // The per-search allowance is installed per grant; the
+                // pool itself never reaches a single state.
+                config.budget = None;
+                config
+            })
+            .collect();
+
+        // Seeding round: one grant per function, inventory order, while
+        // the pool lasts. Never-granted functions are finalized Skipped.
+        let mut runs: Vec<BanditRun<'_, P>> = (0..inventory.len())
+            .map(|_| BanditRun {
+                state: None,
+                granted: 0,
+                grants: 0,
+                covered_before: 0,
+                evals_before: 0,
+                rate: 0.0,
+                paused: false,
+                done: false,
+            })
+            .collect();
+        let mut unallocated = pool;
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for (index, run) in runs.iter_mut().enumerate() {
+            let grant = grant_evals.min(unallocated);
+            if grant == 0 {
+                break;
+            }
+            unallocated -= grant;
+            run.granted = grant;
+            run.grants = 1;
+            queue.push_back(index);
+        }
+        let outstanding = queue.len();
+        let scheduler = Mutex::new(BanditScheduler {
+            queue,
+            runs,
+            outstanding,
+            unallocated,
+            total_grants: outstanding,
+            done_count: 0,
+            expired: false,
+        });
+        let ready = Condvar::new();
+        let (sender, receiver) = mpsc::channel::<CampaignEvent>();
+
+        // A zero pool seeds no tasks, so no task return would ever trigger
+        // the allocator: run it once up front to finalize everything as
+        // skipped (workers then exit immediately).
+        {
+            let mut guard = scheduler.lock().expect("scheduler lock poisoned");
+            if guard.outstanding == 0 {
+                bandit_allocate(&mut guard, &sender, inventory, grant_evals);
+            }
+        }
+
+        let mut results: Vec<Option<FunctionResult>> = inventory.iter().map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let scheduler = &scheduler;
+            let ready = &ready;
+            let configs = &configs;
+            for _ in 0..workers {
+                let sender = sender.clone();
+                scope.spawn(move || {
+                    bandit_worker_loop(
+                        sender,
+                        scheduler,
+                        ready,
+                        deadline,
+                        inventory,
+                        configs,
+                        grant_evals,
+                    )
+                });
+            }
+            drop(sender);
+            for event in receiver.iter() {
+                on_event(&event);
+                let CampaignEvent::FunctionFinished { index, result } = event;
+                results[index] = Some(result);
+            }
+        });
+
+        // Deadline leftovers, exactly like the fixed path: parked progress
+        // is kept as partial, never-started functions are skipped.
+        let mut scheduler = scheduler.into_inner().expect("scheduler lock poisoned");
+        for (index, run) in scheduler.runs.iter_mut().enumerate() {
+            if run.done {
+                continue;
+            }
+            let ledger = BudgetLedger {
+                granted: run.granted,
+                grants: run.grants,
+            };
+            let outcomes: Vec<ShardOutcome> = run
+                .state
+                .take()
+                .map(SearchState::finish)
+                .into_iter()
+                .collect();
+            let mut result = finalize_function(inventory[index].name(), outcomes, 1, true);
+            result.budget = Some(ledger);
+            let event = CampaignEvent::FunctionFinished { index, result };
+            on_event(&event);
+            let CampaignEvent::FunctionFinished { result, .. } = event;
+            results[index] = Some(result);
+        }
+
+        report_shell(
+            results
+                .into_iter()
+                .map(|result| result.expect("every function finalized"))
+                .collect(),
+            started.elapsed(),
+        )
     }
 }
 
@@ -984,7 +1427,7 @@ struct FunctionRun<'inv, P: Program> {
     states: Vec<Option<SearchState<'inv, P>>>,
     /// Each shard's last published saturation delta, refreshed at the
     /// rendezvous only when its tracker version moved (see
-    /// [`exchange_deltas`]).
+    /// [`exchange_deltas_gated`]).
     published: Vec<Option<SaturationDelta>>,
     /// Tasks of the current epoch not yet returned.
     pending: usize,
@@ -1086,7 +1529,11 @@ fn worker_loop<'inv, P: Program + Sync>(
             .map(|(shard, _)| shard)
             .collect();
         if run.epoch < plan.epochs() && !active.is_empty() && !scheduler_state.expired {
-            exchange_deltas(&mut run.states, &mut run.published);
+            exchange_deltas_gated(
+                &mut run.states,
+                &mut run.published,
+                configs[task.function].adaptive_sync,
+            );
             run.pending = active.len();
             for shard in active {
                 scheduler_state.queue.push_back(Task {
@@ -1134,6 +1581,295 @@ fn worker_loop<'inv, P: Program + Sync>(
     }
 }
 
+/// Grants handed out per allocation round after the seeding round. A
+/// constant (never derived from the worker count) so grant histories — and
+/// therefore every search — are identical across worker counts.
+const GRANTS_PER_ROUND: usize = 8;
+
+/// Inflation factor on the per-function `n_start` schedule under the
+/// bandit: a function that keeps earning grants may run up to this many
+/// times the fixed schedule. The starting-point schedule is sampled
+/// sequentially, so the fixed schedule's points are a bit-identical prefix
+/// of the inflated one.
+const BANDIT_OVERDRAFT: usize = 4;
+
+/// Exploration weight of the UCB score: how strongly rarely-granted
+/// functions are favored over proven earners.
+const UCB_EXPLORATION: f64 = 0.5;
+
+/// The per-installment grant size: an eighth of a function's fair share of
+/// the pool, floored at 1000 evaluations so tiny pools still buy a
+/// meaningful slice of search.
+fn bandit_grant_evals(pool: usize, functions: usize) -> usize {
+    (pool / functions.max(1).saturating_mul(8)).max(1000)
+}
+
+/// Scheduling state of one function under the bandit.
+struct BanditRun<'inv, P: Program> {
+    /// The function's pausable search; `None` until its first grant is
+    /// claimed (and while a worker has it checked out).
+    state: Option<SearchState<'inv, P>>,
+    /// Evaluations granted from the pool so far.
+    granted: usize,
+    /// Number of grant installments.
+    grants: usize,
+    /// Covered-branch count at the moment of the last grant.
+    covered_before: usize,
+    /// Evaluation count at the moment of the last grant.
+    evals_before: usize,
+    /// Marginal coverage per evaluation over the last completed grant.
+    rate: f64,
+    /// Parked with [`EpochOutcome::BudgetExhausted`] — a re-grant
+    /// candidate.
+    paused: bool,
+    /// Finalized and its event emitted.
+    done: bool,
+}
+
+/// Shared bandit scheduler state, guarded by one mutex + condvar pair.
+struct BanditScheduler<'inv, P: Program> {
+    /// Function indices granted and ready to run this round.
+    queue: VecDeque<usize>,
+    runs: Vec<BanditRun<'inv, P>>,
+    /// Tasks granted this round and not yet returned; the allocator runs
+    /// when it reaches 0 — the round barrier that makes grant decisions
+    /// independent of worker count.
+    outstanding: usize,
+    /// Evaluations of the pool not yet granted.
+    unallocated: usize,
+    /// Total grants handed out (the `t` of the UCB exploration term).
+    total_grants: usize,
+    /// Functions finalized; workers exit when it reaches the inventory.
+    done_count: usize,
+    /// The wall-clock deadline passed; stop claiming.
+    expired: bool,
+}
+
+/// The bandit worker loop: claim a granted function, run its search to the
+/// allowance (or to natural completion), park it, and — as the last task
+/// of the round — run the allocator.
+fn bandit_worker_loop<'inv, P: Program + Sync>(
+    events: mpsc::Sender<CampaignEvent>,
+    scheduler: &Mutex<BanditScheduler<'inv, P>>,
+    ready: &Condvar,
+    deadline: Option<Instant>,
+    inventory: &'inv [P],
+    configs: &[CoverMeConfig],
+    grant_evals: usize,
+) {
+    loop {
+        let (function, allowance, parked) = {
+            let mut guard = scheduler.lock().expect("scheduler lock poisoned");
+            loop {
+                if guard.expired || guard.done_count == guard.runs.len() {
+                    return;
+                }
+                if budget_state(deadline, Instant::now()) == BudgetState::Expired {
+                    guard.expired = true;
+                    ready.notify_all();
+                    return;
+                }
+                if let Some(function) = guard.queue.pop_front() {
+                    let run = &mut guard.runs[function];
+                    break (function, run.granted, run.state.take());
+                }
+                guard = ready.wait(guard).expect("scheduler lock poisoned");
+            }
+        };
+
+        // First grant: create the state outside the lock (schedule
+        // regeneration is O(n_start) RNG draws) with the allowance the
+        // seeding round granted.
+        let mut state = parked.unwrap_or_else(|| {
+            let mut config = configs[function].clone();
+            config.budget = Some(allowance);
+            match budget_state(deadline, Instant::now()) {
+                BudgetState::Remaining(left) => {
+                    config.time_budget = Some(match config.time_budget {
+                        Some(budget) => budget.min(left),
+                        None => left,
+                    });
+                }
+                BudgetState::Expired => {
+                    config.time_budget = Some(Duration::ZERO);
+                }
+                BudgetState::Unlimited => {}
+            }
+            SearchState::new(&config, &inventory[function], 0)
+        });
+        let outcome = state.run_rounds(usize::MAX);
+
+        let mut guard = scheduler.lock().expect("scheduler lock poisoned");
+        let scheduler_state = &mut *guard;
+        let run = &mut scheduler_state.runs[function];
+        // Marginal coverage per eval over the grant that just completed —
+        // the reward the next allocation round scores.
+        let covered_now = state.tracker().covered().len();
+        let evals_now = state.evaluations();
+        let gained = covered_now.saturating_sub(run.covered_before);
+        let spent = evals_now.saturating_sub(run.evals_before).max(1);
+        run.rate = gained as f64 / spent as f64;
+        scheduler_state.outstanding -= 1;
+        // Settle the ledger against actual spend so `granted` always means
+        // "consumed from the pool": the final round in flight can overshoot
+        // the allowance (a round is never cut mid-minimization), so the
+        // overage is charged to the pool now; an underspend on natural
+        // completion is refunded. Either way Σ granted + unallocated stays
+        // exactly the pool.
+        if evals_now > run.granted {
+            let charged = (evals_now - run.granted).min(scheduler_state.unallocated);
+            scheduler_state.unallocated -= charged;
+            run.granted += charged;
+        }
+        if outcome == EpochOutcome::BudgetExhausted {
+            run.paused = true;
+            run.state = Some(state);
+        } else {
+            // Natural completion: refund the unspent allowance and
+            // finalize (Complete, or Partial for degraded/deadline cuts).
+            let refund = run.granted.saturating_sub(evals_now);
+            scheduler_state.unallocated += refund;
+            run.granted -= refund;
+            let cut_short = matches!(
+                outcome,
+                EpochOutcome::DeadlineExpired | EpochOutcome::Degraded
+            );
+            let ledger = BudgetLedger {
+                granted: run.granted,
+                grants: run.grants,
+            };
+            run.done = true;
+            scheduler_state.done_count += 1;
+            let name = inventory[function].name();
+            let outcome_vec = vec![state.finish()];
+            let mut result = finalize_function(name, outcome_vec, 1, cut_short);
+            result.budget = Some(ledger);
+            let _ = events.send(CampaignEvent::FunctionFinished {
+                index: function,
+                result,
+            });
+        }
+        if scheduler_state.outstanding == 0 {
+            bandit_allocate(scheduler_state, &events, inventory, grant_evals);
+            ready.notify_all();
+        }
+    }
+}
+
+/// The round-barrier allocator: grants the top [`GRANTS_PER_ROUND`] paused
+/// candidates by UCB score, or — when the pool is dry or no candidate
+/// remains — finalizes everything left (paused functions spent their share:
+/// Complete; never-granted ones: Skipped). Runs under the scheduler lock,
+/// only at `outstanding == 0` barriers, so its decisions are a pure
+/// function of accumulated telemetry — never of worker count or arrival
+/// order.
+fn bandit_allocate<'inv, P: Program>(
+    scheduler: &mut BanditScheduler<'inv, P>,
+    events: &mpsc::Sender<CampaignEvent>,
+    inventory: &'inv [P],
+    grant_evals: usize,
+) {
+    let mut candidates: Vec<usize> = (0..scheduler.runs.len())
+        .filter(|&index| {
+            let run = &scheduler.runs[index];
+            run.paused && !run.done
+        })
+        .collect();
+    if scheduler.unallocated > 0 && !candidates.is_empty() {
+        let total = scheduler.total_grants;
+        let score = |index: usize| -> f64 {
+            let run = &scheduler.runs[index];
+            // Scale the marginal rate to "branches expected from one more
+            // grant" so it is commensurate with the O(1) exploration term.
+            let exploit = run.rate * grant_evals as f64;
+            let explore =
+                UCB_EXPLORATION * (((total + 1) as f64).ln() / run.grants.max(1) as f64).sqrt();
+            exploit + explore
+        };
+        candidates.sort_by(|&a, &b| {
+            score(b)
+                .partial_cmp(&score(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    bandit_tiebreak(inventory[a].name()).cmp(&bandit_tiebreak(inventory[b].name()))
+                })
+                .then(a.cmp(&b))
+        });
+        let mut granted_any = false;
+        for &index in candidates.iter().take(GRANTS_PER_ROUND) {
+            let grant = grant_evals.min(scheduler.unallocated);
+            if grant == 0 {
+                break;
+            }
+            scheduler.unallocated -= grant;
+            scheduler.total_grants += 1;
+            let run = &mut scheduler.runs[index];
+            run.granted += grant;
+            run.grants += 1;
+            run.covered_before = run
+                .state
+                .as_ref()
+                .map_or(run.covered_before, |s| s.tracker().covered().len());
+            run.evals_before = run
+                .state
+                .as_ref()
+                .map_or(run.evals_before, SearchState::evaluations);
+            if let Some(state) = run.state.as_mut() {
+                state.extend_budget(grant);
+            }
+            run.paused = false;
+            scheduler.queue.push_back(index);
+            scheduler.outstanding += 1;
+            granted_any = true;
+        }
+        if granted_any {
+            return;
+        }
+    }
+    // No further grants possible: the campaign is over. Paused functions
+    // spent their share of the pool — that is a completed bandit outcome,
+    // not a truncation; never-granted functions are skipped.
+    for (index, program) in inventory.iter().enumerate() {
+        let run = &mut scheduler.runs[index];
+        if run.done {
+            continue;
+        }
+        let ledger = BudgetLedger {
+            granted: run.granted,
+            grants: run.grants,
+        };
+        let cut_short = run.state.as_ref().is_some_and(|s| {
+            matches!(
+                s.outcome(),
+                Some(EpochOutcome::DeadlineExpired | EpochOutcome::Degraded)
+            )
+        });
+        let outcomes: Vec<ShardOutcome> = run
+            .state
+            .take()
+            .map(SearchState::finish)
+            .into_iter()
+            .collect();
+        run.done = true;
+        scheduler.done_count += 1;
+        let mut result = finalize_function(program.name(), outcomes, 1, cut_short);
+        result.budget = Some(ledger);
+        let _ = events.send(CampaignEvent::FunctionFinished { index, result });
+    }
+}
+
+/// Deterministic tie-break key for equal UCB scores: FNV-1a over the
+/// function name — stable across runs and platforms, uncorrelated with
+/// inventory order.
+fn bandit_tiebreak(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
 /// Builds a function's [`FunctionResult`] from whatever shard outcomes
 /// exist. `cut_short` marks results that did not run their full budget —
 /// the campaign deadline truncated them (directly, or by leaving shards
@@ -1152,6 +1888,7 @@ fn finalize_function(
             report: None,
             shards_run: 0,
             status: FunctionStatus::Skipped,
+            budget: None,
         };
     }
     let report = if configured_shards == 1 {
@@ -1172,6 +1909,7 @@ fn finalize_function(
         report: Some(report),
         shards_run,
         status,
+        budget: None,
     }
 }
 
@@ -1750,7 +2488,7 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "\"schema\": \"coverme-campaign-report/4\"",
+            "\"schema\": \"coverme-campaign-report/5\"",
             "\"backend\": \"",
             "\"lane_width\":",
             "\"suite_branch_coverage_percent\":",
@@ -1766,8 +2504,12 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
-        // No non-finite numbers may leak into the document.
-        assert!(!json.contains("inf") && !json.contains("NaN"), "{json}");
+        // No non-finite numbers may leak into the document (match value
+        // position only — `infeasible_blamed` is a legitimate key).
+        assert!(
+            !json.contains(": inf") && !json.contains(": -inf") && !json.contains(": NaN"),
+            "{json}"
+        );
     }
 
     #[test]
@@ -1820,5 +2562,126 @@ mod tests {
         let starved = CampaignConfig::new().base(quick_base()).shards(4);
         assert_eq!(starved.effective_shards(), 2); // n_start 40 / 16
         assert_eq!(starved.clone().workers(8).effective_workers(1), 2);
+    }
+
+    fn bandit_config(budget: usize, workers: usize) -> CampaignConfig {
+        CampaignConfig::new()
+            .base(
+                quick_base()
+                    .scheduler(SchedulerPolicy::Bandit)
+                    .budget(budget),
+            )
+            .workers(workers)
+    }
+
+    #[test]
+    fn bandit_reports_identical_across_thread_counts() {
+        let programs = inventory();
+        let runs: Vec<CampaignReport> = [1, 2, 4]
+            .iter()
+            .map(|&workers| Campaign::new(bandit_config(30_000, workers)).run(&programs))
+            .collect();
+        assert_eq!(fingerprint(&runs[0]), fingerprint(&runs[1]));
+        assert_eq!(fingerprint(&runs[0]), fingerprint(&runs[2]));
+        // The grant histories must agree too, not just the search results.
+        for run in &runs[1..] {
+            for (a, b) in runs[0].results.iter().zip(&run.results) {
+                assert_eq!(a.budget, b.budget, "{}", a.name);
+            }
+        }
+        assert_eq!(runs[0].scheduler, SchedulerPolicy::Bandit);
+        assert_eq!(runs[0].eval_budget, Some(30_000));
+    }
+
+    #[test]
+    fn bandit_ledger_conserves_the_pool() {
+        let programs = inventory();
+        let pool = 20_000;
+        let report = Campaign::new(bandit_config(pool, 2)).run(&programs);
+        let granted: usize = report
+            .results
+            .iter()
+            .map(|r| r.budget.expect("bandit attaches a ledger").granted)
+            .sum();
+        assert!(granted <= pool, "granted {granted} > pool {pool}");
+        // The ledger is settled against actual spend, so a function's
+        // evaluations exceed its granted total only when the pool ran
+        // completely dry while its last round was in flight.
+        for result in &report.results {
+            let ledger = result.budget.unwrap();
+            let evals = result.report.as_ref().map_or(0, |r| r.evaluations);
+            assert!(
+                evals <= ledger.granted || granted == pool,
+                "{} spent {evals} of {} granted with pool to spare",
+                result.name,
+                ledger.granted
+            );
+            assert!(ledger.grants > 0 || ledger.granted == 0);
+        }
+    }
+
+    #[test]
+    fn bandit_with_ample_budget_matches_fixed_coverage() {
+        let programs = inventory();
+        let fixed =
+            Campaign::new(CampaignConfig::new().base(quick_base()).workers(2)).run(&programs);
+        let bandit = Campaign::new(bandit_config(500_000, 2)).run(&programs);
+        for (a, b) in fixed.results.iter().zip(&bandit.results) {
+            let (a, b) = (a.report.as_ref().unwrap(), b.report.as_ref().unwrap());
+            assert!(
+                b.coverage.covered_count() >= a.coverage.covered_count(),
+                "{}: bandit covered {} < fixed {}",
+                a.program,
+                b.coverage.covered_count(),
+                a.coverage.covered_count()
+            );
+        }
+        assert!(bandit
+            .results
+            .iter()
+            .all(|r| r.status != FunctionStatus::Skipped));
+    }
+
+    #[test]
+    fn bandit_zero_pool_skips_everything() {
+        let programs = inventory();
+        let report = Campaign::new(bandit_config(0, 2)).run(&programs);
+        assert_eq!(report.results.len(), programs.len());
+        for result in &report.results {
+            assert_eq!(result.status, FunctionStatus::Skipped, "{}", result.name);
+            assert_eq!(result.budget, Some(BudgetLedger::default()));
+        }
+    }
+
+    #[test]
+    fn bandit_without_budget_falls_back_to_fixed() {
+        let programs = inventory();
+        let fallback = Campaign::new(
+            CampaignConfig::new()
+                .base(quick_base().scheduler(SchedulerPolicy::Bandit))
+                .workers(2),
+        )
+        .run(&programs);
+        let fixed =
+            Campaign::new(CampaignConfig::new().base(quick_base()).workers(2)).run(&programs);
+        assert_eq!(fingerprint(&fallback), fingerprint(&fixed));
+        assert_eq!(fallback.scheduler, SchedulerPolicy::Fixed);
+    }
+
+    #[test]
+    fn bandit_json_carries_scheduler_and_ledger_keys() {
+        let programs = inventory();
+        let json = Campaign::new(bandit_config(30_000, 2))
+            .run(&programs)
+            .to_json();
+        for key in [
+            "\"scheduler\": \"bandit\"",
+            "\"eval_budget\": 30000",
+            "\"coverage_per_megaeval\":",
+            "\"budget_granted\":",
+            "\"budget_grants\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
     }
 }

@@ -60,9 +60,54 @@ pub enum InfeasiblePolicy {
     /// paper's heuristic).
     #[default]
     LastConditional,
+    /// Generalized blame with two-stage escalation. A first failure on a
+    /// path blames the classic anchor exactly like
+    /// [`LastConditional`](Self::LastConditional) — the representing value
+    /// is the branch distance of the last live conditional, so that is the
+    /// only branch the nonzero minimum indicts. But when a path fails
+    /// *again* with its anchor already written off (covered or previously
+    /// blamed), the minimizer is provably stuck upstream: every
+    /// still-uncovered untaken sibling along the path is then deemed
+    /// infeasible in one verdict (see
+    /// [`SaturationTracker::blame_uncovered_path`]). Verdicts stay
+    /// refutable: real coverage from any shard drops them at delta
+    /// application and merge time exactly as under `LastConditional`, so
+    /// sync and shard merges remain commutative. This is what lets a
+    /// search with several infeasible branches on one path genuinely
+    /// saturate instead of exhausting `n_start` re-blaming the same anchor
+    /// once per failed round.
+    Generalized,
     /// Never deem branches infeasible; keep trying until the budget runs
     /// out.
     Disabled,
+}
+
+/// How a campaign ([`crate::Campaign`]) spends its evaluation budget across
+/// functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerPolicy {
+    /// Every function gets the configured `n_start` schedule — the
+    /// original campaign behavior, bit-identical to earlier releases.
+    #[default]
+    Fixed,
+    /// A global evaluation budget ([`CoverMeConfig::budget`]) is allocated
+    /// across functions by a deterministic UCB-style bandit over per-epoch
+    /// marginal-coverage-per-eval telemetry: functions still gaining
+    /// branches earn further grants (up to an `n_start` overdraft),
+    /// plateaued functions stop early. See `crate::campaign` for the
+    /// policy details.
+    Bandit,
+}
+
+impl SchedulerPolicy {
+    /// Stable lowercase label (used by the campaign JSON artifact and the
+    /// `--scheduler` CLI flag).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerPolicy::Fixed => "fixed",
+            SchedulerPolicy::Bandit => "bandit",
+        }
+    }
 }
 
 /// Configuration of a CoverMe run. The defaults reproduce the paper's
@@ -93,6 +138,29 @@ pub struct CoverMeConfig {
     pub zero_threshold: f64,
     /// Optional wall-clock budget for the whole run.
     pub time_budget: Option<Duration>,
+    /// Optional evaluation allowance. For a standalone run this caps the
+    /// search's representing-function evaluations: the search finishes with
+    /// [`EpochOutcome::BudgetExhausted`] before starting any round once the
+    /// allowance is spent (the last round may overshoot the cap by its own
+    /// evaluations — rounds are atomic). For a campaign with the
+    /// [`SchedulerPolicy::Bandit`] scheduler, the *base* config's value is
+    /// the global budget the bandit allocates across functions. `None`
+    /// (the default) means unlimited, bit-identical to earlier releases.
+    pub budget: Option<usize>,
+    /// Adaptive sync (off by default): gates every cross-shard sync
+    /// barrier on tracker [`SaturationTracker::version`] movement — a
+    /// barrier where no shard has anything new to publish skips the
+    /// exchange entirely (counted in
+    /// [`TestReport::barriers_skipped`](crate::TestReport)) — and
+    /// *densifies* the epoch windows of a search whose previous exchange
+    /// carried new coverage by splitting the next window in two around an
+    /// extra gated barrier. Off, the cadence is bit-identical to earlier
+    /// releases. See [`crate::sync`].
+    pub adaptive_sync: bool,
+    /// Campaign scheduling policy (ignored by standalone runs). The
+    /// default [`SchedulerPolicy::Fixed`] reproduces earlier releases
+    /// bit-for-bit.
+    pub scheduler: SchedulerPolicy,
     /// Extension (off by default, not part of the paper's algorithm): also
     /// record the coverage of every intermediate evaluation performed by the
     /// minimizer, not just of the returned minimum points.
@@ -153,6 +221,9 @@ impl Default for CoverMeConfig {
             infeasible_policy: InfeasiblePolicy::LastConditional,
             zero_threshold: 0.0,
             time_budget: None,
+            budget: None,
+            adaptive_sync: false,
+            scheduler: SchedulerPolicy::Fixed,
             record_search_coverage: false,
             shards: 1,
             sync_epochs: 0,
@@ -234,6 +305,25 @@ impl CoverMeConfig {
     /// Sets the wall-clock budget.
     pub fn time_budget(mut self, budget: Duration) -> Self {
         self.time_budget = Some(budget);
+        self
+    }
+
+    /// Sets the evaluation allowance (see [`CoverMeConfig::budget`]).
+    pub fn budget(mut self, evaluations: usize) -> Self {
+        self.budget = Some(evaluations);
+        self
+    }
+
+    /// Enables or disables adaptive sync (see
+    /// [`CoverMeConfig::adaptive_sync`]).
+    pub fn adaptive_sync(mut self, enabled: bool) -> Self {
+        self.adaptive_sync = enabled;
+        self
+    }
+
+    /// Sets the campaign scheduling policy (see [`SchedulerPolicy`]).
+    pub fn scheduler(mut self, policy: SchedulerPolicy) -> Self {
+        self.scheduler = policy;
         self
     }
 
@@ -393,6 +483,12 @@ pub enum EpochOutcome {
     /// The configured wall-clock budget ran out mid-slice; the search is
     /// finished and the state holds everything completed so far.
     DeadlineExpired,
+    /// The evaluation allowance ([`CoverMeConfig::budget`]) is spent; the
+    /// search is finished *unless* a scheduler raises the allowance with
+    /// [`SearchState::extend_budget`], which clears exactly this outcome
+    /// and makes the state resumable again — the pause point the bandit
+    /// campaign scheduler reallocates at.
+    BudgetExhausted,
     /// Too many consecutive rounds aborted — the program kept timing out or
     /// trapping on every minimum the backend returned (see
     /// [`crate::report::RoundOutcome::Aborted`]) — so the search gave up
@@ -463,6 +559,9 @@ pub struct SearchState<'a, P: Program> {
     /// round that runs to completion); at [`ABORT_PATIENCE`] the search
     /// finishes with [`EpochOutcome::Degraded`].
     abort_streak: usize,
+    /// Sync barriers crossed without an exchange under the adaptive gate
+    /// (see [`CoverMeConfig::adaptive_sync`]).
+    barriers_skipped: usize,
 }
 
 /// How many consecutive aborted rounds a search tolerates before degrading.
@@ -532,6 +631,7 @@ impl<'a, P: Program> SearchState<'a, P> {
             finished_at: None,
             finished: None,
             abort_streak: 0,
+            barriers_skipped: 0,
         }
     }
 
@@ -596,6 +696,36 @@ impl<'a, P: Program> SearchState<'a, P> {
         self.tracker.apply_delta(delta)
     }
 
+    /// Records that the adaptive gate skipped the exchange at a sync
+    /// barrier this state was parked at (telemetry only; see
+    /// [`CoverMeConfig::adaptive_sync`]).
+    pub fn note_barrier_skipped(&mut self) {
+        self.barriers_skipped += 1;
+    }
+
+    /// Raises the evaluation allowance by `extra` evaluations and, when the
+    /// state had finished with [`EpochOutcome::BudgetExhausted`], clears
+    /// that outcome so the search resumes on the next `run_rounds` call.
+    /// Other finished outcomes (saturated, exhausted, degraded, deadline)
+    /// are final and stay untouched. A state created without an allowance
+    /// gains one equal to its spend so far plus `extra`. A grant always
+    /// buys at least `extra` further evaluations: rounds are atomic, so a
+    /// final round may have overshot the old allowance — that overshoot is
+    /// forgiven rather than silently consuming the new grant (a bandit
+    /// grant must never pause again after zero work).
+    pub fn extend_budget(&mut self, extra: usize) {
+        let base = self
+            .config
+            .budget
+            .unwrap_or(self.evaluations)
+            .max(self.evaluations);
+        self.config.budget = Some(base.saturating_add(extra));
+        if self.finished == Some(EpochOutcome::BudgetExhausted) {
+            self.finished = None;
+            self.finished_at = None;
+        }
+    }
+
     /// Runs the search to completion in one slice — the sequential driver
     /// loop of Algorithm 1, restricted to the shard's strided slice.
     pub fn run_to_exhaustion(&mut self) -> EpochOutcome {
@@ -620,6 +750,14 @@ impl<'a, P: Program> SearchState<'a, P> {
             }
             if self.tracker.all_saturated() {
                 break self.finish_slice(EpochOutcome::Saturated);
+            }
+            if let Some(allowance) = self.config.budget {
+                // Checked before each round: rounds are atomic, so the
+                // final round of an allowance may overshoot it by its own
+                // evaluations.
+                if self.evaluations >= allowance {
+                    break self.finish_slice(EpochOutcome::BudgetExhausted);
+                }
             }
             if self.abort_streak >= ABORT_PATIENCE {
                 break self.finish_slice(EpochOutcome::Degraded);
@@ -755,6 +893,31 @@ impl<'a, P: Program> SearchState<'a, P> {
                         RoundOutcome::NoProgress
                     }
                 }
+                InfeasiblePolicy::Generalized => {
+                    // Two-stage escalation. A first failure on a path only
+                    // indicts the classic anchor: the representing value is
+                    // the distance of the *last* live conditional, so
+                    // earlier siblings were never what the minimizer was
+                    // stuck on. When a path fails again with its anchor
+                    // already written off (covered or previously blamed),
+                    // the blocker must sit upstream — blame every still
+                    // uncovered untaken sibling along the path, each
+                    // refutable by real coverage at the next merge.
+                    if let Some(last) = evaluation.trace.last() {
+                        let anchor = last.untaken_branch();
+                        if self.tracker.covered().contains(anchor)
+                            || self.tracker.infeasible().contains(anchor)
+                        {
+                            let blamed = self.tracker.blame_uncovered_path(&evaluation.trace);
+                            RoundOutcome::DeemedInfeasiblePath(anchor, blamed.len())
+                        } else {
+                            self.tracker.mark_infeasible(anchor);
+                            RoundOutcome::DeemedInfeasible(anchor)
+                        }
+                    } else {
+                        RoundOutcome::NoProgress
+                    }
+                }
                 InfeasiblePolicy::Disabled => RoundOutcome::NoProgress,
             }
         };
@@ -788,6 +951,7 @@ impl<'a, P: Program> SearchState<'a, P> {
             timeouts: self.engine.telemetry().timeouts as usize,
             traps: self.engine.telemetry().traps as usize,
             epochs: self.epochs,
+            barriers_skipped: self.barriers_skipped,
             backend: self.engine.backend_name(),
             lane_width: self.engine.lane_width(),
             started: self.started,
@@ -1161,6 +1325,92 @@ mod tests {
             .all(|r| r.outcome == RoundOutcome::Aborted));
         assert!(report.timeouts > 0, "telemetry counts the timeouts");
         assert_eq!(report.traps, 0);
+    }
+
+    #[test]
+    fn budget_pauses_the_search_and_extend_resumes_it() {
+        let program = infeasible_example();
+        let config = quick_config()
+            .n_start(500)
+            .infeasible_policy(InfeasiblePolicy::Disabled)
+            .budget(1);
+        let mut state = SearchState::new(&config, &program, 0);
+        // The allowance admits exactly one (overshooting) round.
+        assert_eq!(state.run_to_exhaustion(), EpochOutcome::BudgetExhausted);
+        assert_eq!(state.rounds_run(), 1);
+        let spent = state.evaluations();
+        assert!(spent >= 1);
+        // Re-running without a grant re-reports the outcome and does no work.
+        assert_eq!(state.run_to_exhaustion(), EpochOutcome::BudgetExhausted);
+        assert_eq!(state.evaluations(), spent);
+        // A generous grant resumes the search from where it paused.
+        state.extend_budget(1_000_000);
+        assert!(!state.is_finished());
+        let outcome = state.run_rounds(1);
+        assert!(state.rounds_run() >= 2, "grant bought at least one round");
+        assert_ne!(outcome, EpochOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn budget_slicing_is_bit_identical_to_one_shot_runs() {
+        // Running under a trickle of grants must visit exactly the same
+        // rounds as one unbudgeted run — the prefix-stability the bandit
+        // scheduler relies on.
+        let program = infeasible_example();
+        let base = quick_config()
+            .n_start(24)
+            .infeasible_policy(InfeasiblePolicy::Disabled);
+        let mut free = SearchState::new(&base, &program, 0);
+        free.run_to_exhaustion();
+
+        let mut dripped = SearchState::new(&base.clone().budget(1), &program, 0);
+        while dripped.run_to_exhaustion() == EpochOutcome::BudgetExhausted {
+            dripped.extend_budget(1);
+        }
+        assert_eq!(free.rounds(), dripped.rounds());
+        assert_eq!(free.evaluations(), dripped.evaluations());
+    }
+
+    #[test]
+    fn generalized_blame_saturates_where_last_conditional_cannot() {
+        // Both untaken branches of the failed path are infeasible: the
+        // classic heuristic blames only the last conditional per round,
+        // the generalized policy blames the whole path at once.
+        let doubly_infeasible = || {
+            FnProgram::new("FOO_INF2", 1, 2, |input: &[f64], ctx: &mut ExecCtx| {
+                let x = input[0];
+                // 0F (x*x < 0) and 1T (x*x == -1) are both unreachable.
+                ctx.branch(0, Cmp::Ge, x * x, 0.0);
+                ctx.branch(1, Cmp::Eq, x * x, -1.0);
+            })
+        };
+        let config = quick_config().infeasible_policy(InfeasiblePolicy::Generalized);
+        let report = CoverMe::new(config).run(&doubly_infeasible());
+        assert_eq!(report.coverage.covered_count(), 2, "{report}");
+        assert!(report.infeasible.contains(&BranchId::false_of(0)));
+        assert!(report.infeasible.contains(&BranchId::true_of(1)));
+        assert!(report.infeasible_blamed() >= 2);
+        // One failed round saturates everything the classic policy would
+        // have needed two for.
+        let classic = CoverMe::new(quick_config()).run(&doubly_infeasible());
+        assert!(
+            report.rounds.len() <= classic.rounds.len(),
+            "generalized blame must not take longer ({} > {})",
+            report.rounds.len(),
+            classic.rounds.len()
+        );
+    }
+
+    #[test]
+    fn generalized_blame_matches_classic_on_the_paper_infeasible_example() {
+        // A single infeasible site at the end of the path: the two policies
+        // must find the same verdict and the same coverage.
+        let classic = CoverMe::new(quick_config()).run(&infeasible_example());
+        let config = quick_config().infeasible_policy(InfeasiblePolicy::Generalized);
+        let general = CoverMe::new(config).run(&infeasible_example());
+        assert_eq!(general.coverage.covered_count(), 3, "{general}");
+        assert!(general.infeasible.contains(&BranchId::true_of(1)));
+        assert!(general.rounds.len() <= classic.rounds.len());
     }
 
     #[test]

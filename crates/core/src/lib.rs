@@ -78,10 +78,12 @@ pub mod shard;
 pub mod sync;
 
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignEvent, CampaignReport, FunctionResult, FunctionStatus,
+    BudgetLedger, Campaign, CampaignConfig, CampaignEvent, CampaignReport, FunctionResult,
+    FunctionStatus,
 };
 pub use driver::{
-    CoverMe, CoverMeConfig, EpochOutcome, InfeasiblePolicy, PenPolicy, SearchState, ABORT_PATIENCE,
+    CoverMe, CoverMeConfig, EpochOutcome, InfeasiblePolicy, PenPolicy, SchedulerPolicy,
+    SearchState, ABORT_PATIENCE,
 };
 pub use objective::{CacheMode, EngineTelemetry, ObjectiveEngine, ABORTED_VALUE};
 pub use report::{EpochTelemetry, RoundOutcome, RoundRecord, TestReport};

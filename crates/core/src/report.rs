@@ -17,6 +17,13 @@ pub enum RoundOutcome {
     /// The minimum stayed positive; the infeasible-branch heuristic marked
     /// the untaken branch of the last conditional as infeasible.
     DeemedInfeasible(BranchId),
+    /// The minimum stayed positive under the *generalized* blame policy
+    /// ([`crate::InfeasiblePolicy::Generalized`]): every still-uncovered
+    /// untaken branch along the failed path was marked infeasible, not just
+    /// the last conditional's. Carries the last conditional's untaken
+    /// branch (the classic verdict) and the total number of branches
+    /// blamed this round.
+    DeemedInfeasiblePath(BranchId, usize),
     /// The minimum stayed positive and the heuristic was disabled or had no
     /// branch to blame (empty trace).
     NoProgress,
@@ -100,6 +107,12 @@ pub struct TestReport {
     /// Per-epoch work telemetry, aggregated across shards by epoch index
     /// (entries are in epoch order). Unsynced runs have a single epoch.
     pub epochs: Vec<EpochTelemetry>,
+    /// Sync barriers this search crossed without exchanging deltas because
+    /// the adaptive gate ([`crate::CoverMeConfig::adaptive_sync`]) saw no
+    /// tracker `version()` movement since the previous barrier. Summed
+    /// across shards by the campaign merge; 0 for unsynced or non-adaptive
+    /// runs.
+    pub barriers_skipped: usize,
     /// Name of the execution backend the objective engine ran
     /// (see [`coverme_runtime::ExecBackend::name`]) — `"interp"` or
     /// `"tape"`; bit-exact either way, recorded for telemetry.
@@ -135,6 +148,24 @@ impl TestReport {
         self.timeouts + self.traps
     }
 
+    /// Total branches the infeasible-branch heuristic blamed over the run:
+    /// one per classic [`RoundOutcome::DeemedInfeasible`] round, plus the
+    /// full per-round blame count of generalized
+    /// [`RoundOutcome::DeemedInfeasiblePath`] rounds. Derived from the
+    /// round records, so shard merges (which concatenate rounds) aggregate
+    /// it for free. Counts verdicts as issued; some may later be refuted
+    /// by real coverage and leave [`TestReport::infeasible`].
+    pub fn infeasible_blamed(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| match r.outcome {
+                RoundOutcome::DeemedInfeasible(_) => 1,
+                RoundOutcome::DeemedInfeasiblePath(_, blamed) => blamed,
+                _ => 0,
+            })
+            .sum()
+    }
+
     /// Summary row for table harnesses.
     pub fn summary(&self) -> CoverageSummary {
         self.coverage.summary(&self.program)
@@ -146,6 +177,19 @@ impl TestReport {
         let seconds = self.wall_time.as_secs_f64();
         if seconds > 0.0 {
             self.evaluations as f64 / seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Throughput of evaluations that ran to completion: aborted
+    /// (timeout/trap) evaluations are excluded from the numerator, so a
+    /// spin-heavy FPIR corpus does not report misleading evals/sec. This is
+    /// what the campaign table prints.
+    pub fn effective_evals_per_second(&self) -> f64 {
+        let seconds = self.wall_time.as_secs_f64();
+        if seconds > 0.0 {
+            self.evaluations.saturating_sub(self.aborted_evaluations()) as f64 / seconds
         } else {
             0.0
         }
@@ -229,6 +273,7 @@ mod tests {
                 evaluations: 22,
                 deltas_absorbed: 0,
             }],
+            barriers_skipped: 0,
             backend: "interp",
             lane_width: 8,
             wall_time: Duration::from_millis(5),
@@ -263,6 +308,33 @@ mod tests {
         let mut instant = dummy_report();
         instant.wall_time = Duration::ZERO;
         assert_eq!(instant.evals_per_second(), 0.0);
+    }
+
+    #[test]
+    fn effective_throughput_excludes_aborted_evaluations() {
+        // 22 evaluations, 1 of them a timeout: 21 completed in 5 ms.
+        let report = dummy_report();
+        assert!((report.effective_evals_per_second() - 4200.0).abs() < 1e-9);
+        // A run that aborted everything reports zero useful throughput.
+        let mut spun = dummy_report();
+        spun.timeouts = 30;
+        assert_eq!(spun.effective_evals_per_second(), 0.0);
+    }
+
+    #[test]
+    fn infeasible_blame_counts_generalized_rounds_in_full() {
+        let mut report = dummy_report();
+        assert_eq!(report.infeasible_blamed(), 1);
+        report.rounds.push(RoundRecord {
+            round: 2,
+            start: vec![9.0],
+            minimum: vec![9.0],
+            value: 0.25,
+            evaluations: 8,
+            saturated_before: 2,
+            outcome: RoundOutcome::DeemedInfeasiblePath(BranchId::true_of(1), 3),
+        });
+        assert_eq!(report.infeasible_blamed(), 4);
     }
 
     #[test]

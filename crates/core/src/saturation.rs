@@ -203,6 +203,40 @@ impl SaturationTracker {
         self.infeasible.insert(branch);
     }
 
+    /// Generalized infeasibility blame (the broadened form of the Sect. 5.3
+    /// heuristic used by [`crate::InfeasiblePolicy::Generalized`]): given
+    /// the trace of a round whose minimizer converged to a *nonzero*
+    /// objective, every conditional on that path whose untaken branch is
+    /// still uncovered is blamed — the failed path dominates all of them,
+    /// so none was reachable from any point the minimizer explored.
+    ///
+    /// Each blamed branch is marked infeasible exactly as
+    /// [`mark_infeasible`](Self::mark_infeasible) would; branches already
+    /// covered or already deemed infeasible are skipped, so re-blaming is
+    /// idempotent. Soundness under merging is unchanged: verdicts still
+    /// travel through [`delta`](Self::delta)/[`apply_delta`](Self::apply_delta)
+    /// as plain infeasible bits and are refuted against the post-union
+    /// covered set, keeping delta application commutative and idempotent.
+    ///
+    /// Returns the branches blamed this call, in trace order.
+    pub fn blame_uncovered_path(&mut self, trace: &Trace) -> Vec<BranchId> {
+        let mut blamed = Vec::new();
+        for taken in trace.covered_branches() {
+            let untaken = taken.sibling();
+            if untaken.index() < self.total_branches()
+                && !self.covered.contains(untaken)
+                && !self.infeasible.contains(untaken)
+            {
+                self.infeasible.insert(untaken);
+                blamed.push(untaken);
+            }
+        }
+        if !blamed.is_empty() {
+            self.version += 1;
+        }
+        blamed
+    }
+
     /// The tracker's monotone mutation counter: bumped by every
     /// state-changing call ([`record_trace`](Self::record_trace),
     /// [`mark_infeasible`](Self::mark_infeasible), merges, delta applies).
@@ -595,6 +629,48 @@ mod tests {
             assert!(!again.apply_delta(delta), "stale delta mutated state");
         }
         assert_eq!(again, merged[0]);
+    }
+
+    #[test]
+    fn generalized_blame_marks_every_uncovered_untaken_branch() {
+        // Failed path 0T -> 1T -> 2F with 1F already covered elsewhere:
+        // blame falls on 0F and 2T only.
+        let mut tracker = SaturationTracker::new(3);
+        tracker.record_trace(&trace_of(&[(0, true), (1, false)]));
+        let failed = trace_of(&[(0, true), (1, true), (2, false)]);
+        tracker.record_trace(&failed);
+        let blamed = tracker.blame_uncovered_path(&failed);
+        assert_eq!(blamed, vec![BranchId::false_of(0), BranchId::true_of(2)]);
+        assert!(tracker.infeasible().contains(BranchId::false_of(0)));
+        assert!(tracker.infeasible().contains(BranchId::true_of(2)));
+        assert!(!tracker.infeasible().contains(BranchId::false_of(1)));
+        // Re-blaming the same path is a no-op (and bumps no version).
+        let version = tracker.version();
+        assert!(tracker.blame_uncovered_path(&failed).is_empty());
+        assert_eq!(tracker.version(), version);
+    }
+
+    #[test]
+    fn generalized_blame_stays_commutative_under_delta_exchange() {
+        // Shard A blames a whole path; shard B covers one of the blamed
+        // branches for real. Merging in either order refutes exactly that
+        // verdict.
+        let failed = trace_of(&[(0, true), (1, true)]);
+        let mut a = SaturationTracker::new(2);
+        a.record_trace(&failed);
+        a.blame_uncovered_path(&failed); // blames 0F and 1F
+        let mut b = SaturationTracker::new(2);
+        b.record_trace(&trace_of(&[(0, false)]));
+
+        let mut ab = SaturationTracker::new(2);
+        ab.apply_delta(&a.delta());
+        ab.apply_delta(&b.delta());
+        let mut ba = SaturationTracker::new(2);
+        ba.apply_delta(&b.delta());
+        ba.apply_delta(&a.delta());
+        assert_eq!(ab, ba);
+        assert!(!ab.infeasible().contains(BranchId::false_of(0)), "refuted");
+        assert!(ab.infeasible().contains(BranchId::false_of(1)));
     }
 
     #[test]

@@ -132,6 +132,9 @@ pub struct ShardOutcome {
     /// shard's [`SearchState`] executed (a run-to-exhaustion shard has
     /// exactly one).
     pub epochs: Vec<EpochTelemetry>,
+    /// Sync barriers the shard crossed without an exchange under the
+    /// adaptive gate (see [`CoverMeConfig::adaptive_sync`]).
+    pub barriers_skipped: usize,
     /// Name of the execution backend the shard's engine ran.
     pub backend: &'static str,
     /// The backend's SIMD lane width.
@@ -159,6 +162,7 @@ impl ShardOutcome {
             timeouts: self.timeouts,
             traps: self.traps,
             epochs: self.epochs,
+            barriers_skipped: self.barriers_skipped,
             backend: self.backend,
             lane_width: self.lane_width,
             wall_time: self.finished.duration_since(self.started),
@@ -276,6 +280,7 @@ pub fn merge_shards(program_name: &str, mut outcomes: Vec<ShardOutcome>) -> Merg
     let cache_hits = outcomes.iter().map(|o| o.cache_hits).sum();
     let timeouts = outcomes.iter().map(|o| o.timeouts).sum();
     let traps = outcomes.iter().map(|o| o.traps).sum();
+    let barriers_skipped = outcomes.iter().map(|o| o.barriers_skipped).sum();
     let started = outcomes.iter().map(|o| o.started).min().expect("non-empty");
     let finished = outcomes
         .iter()
@@ -300,6 +305,7 @@ pub fn merge_shards(program_name: &str, mut outcomes: Vec<ShardOutcome>) -> Merg
             timeouts,
             traps,
             epochs,
+            barriers_skipped,
             backend,
             lane_width,
             wall_time: finished.duration_since(started),

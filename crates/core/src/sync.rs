@@ -29,7 +29,7 @@
 //! sequential driver ([`run_shards_synced`]) and the thread-per-shard
 //! barrier driver ([`run_shards_synced_parallel`]) produce bit-identical
 //! outcomes, and the campaign's event-driven epoch scheduler
-//! ([`crate::campaign`]) reuses [`exchange_deltas`] so it agrees too.
+//! ([`crate::campaign`]) reuses [`exchange_deltas_gated`] so it agrees too.
 //!
 //! With `sync_epochs <= 1` there are no barriers and the search is
 //! bit-identical to the pre-sync path (pinned by
@@ -116,24 +116,60 @@ fn strided_count(lo: usize, hi: usize, shard: usize, shards: usize) -> usize {
 /// since its last publication refreshes its slot with a fresh
 /// [`SaturationDelta`] (an idle or finished shard skips the re-broadcast
 /// — the cached delta describes the same state), then every still-active
-/// state absorbs every sibling's published delta. Finished states absorb
-/// nothing — their search is over, and mutating their snapshot would
-/// change the merged report depending on *when* they finished, breaking
-/// worker-count determinism. Apply order is irrelevant (deltas are
-/// commutative and idempotent), which is exactly why the sequential,
-/// barrier-parallel and campaign schedulers can all share this function
-/// and still agree bit for bit.
-pub(crate) fn exchange_deltas<'inv, P: Program>(
+/// state absorbs the deltas *refreshed at this barrier*. Skipping the
+/// unrefreshed slots is sound because every state present here has been
+/// present (and absorbing) since the first barrier, so a slot last
+/// refreshed at an earlier barrier was already absorbed then — re-applying
+/// it would be an idempotent no-op; the fast path just skips building and
+/// applying it (the delta fast-path satellite micro-opt). Finished
+/// states absorb nothing — their search is over, and mutating their
+/// snapshot would change the merged report depending on *when* they
+/// finished, breaking worker-count determinism. Apply order is irrelevant
+/// (deltas are commutative and idempotent), which is exactly why the
+/// sequential, barrier-parallel and campaign schedulers can all share
+/// this function and still agree bit for bit.
+///
+/// The adaptive gate ([`CoverMeConfig::adaptive_sync`]): when `adaptive` is set and *no*
+/// shard's tracker `version()` moved since its last publication, the
+/// exchange is skipped entirely — no delta is built or applied, and every
+/// still-active state records a skipped barrier
+/// ([`SearchState::note_barrier_skipped`]). Returns whether an exchange
+/// happened. The gate decision is a pure function of the tracker versions
+/// at the barrier, so it is deterministic per `(seed, shards,
+/// sync_epochs)` regardless of worker count.
+pub(crate) fn exchange_deltas_gated<'inv, P: Program>(
     states: &mut [Option<SearchState<'inv, P>>],
     published: &mut [Option<SaturationDelta>],
-) {
+    adaptive: bool,
+) -> bool {
     debug_assert_eq!(states.len(), published.len());
-    for (slot, state) in published.iter_mut().zip(states.iter()) {
-        if let Some(state) = state {
-            let version = state.tracker().version();
-            if slot.as_ref().map(|delta| delta.version) != Some(version) {
-                *slot = Some(state.extract_delta());
+    // A slot is stale when its shard's tracker moved past the published
+    // version (a `None` slot at the first barrier is always stale).
+    let stale: Vec<bool> = states
+        .iter()
+        .zip(published.iter())
+        .map(|(state, slot)| {
+            state.as_ref().is_some_and(|state| {
+                slot.as_ref().map(|delta| delta.version) != Some(state.tracker().version())
+            })
+        })
+        .collect();
+    if adaptive && !stale.contains(&true) {
+        for state in states.iter_mut().flatten() {
+            if !state.is_finished() {
+                state.note_barrier_skipped();
             }
+        }
+        return false;
+    }
+    for ((slot, state), refresh) in published.iter_mut().zip(states.iter()).zip(&stale) {
+        if *refresh {
+            *slot = Some(
+                state
+                    .as_ref()
+                    .expect("stale implies present")
+                    .extract_delta(),
+            );
         }
     }
     for (index, state) in states.iter_mut().enumerate() {
@@ -142,13 +178,47 @@ pub(crate) fn exchange_deltas<'inv, P: Program>(
             continue;
         }
         for (peer, delta) in published.iter().enumerate() {
-            if peer == index {
+            if peer == index || !stale[peer] {
                 continue;
             }
             if let Some(delta) = delta {
                 state.absorb_delta(delta);
             }
         }
+    }
+    true
+}
+
+/// Covered-branch count of the union of every published delta — the
+/// signal the adaptive densify decision keys on (coverage grew at this
+/// barrier ⇒ split the next epoch window around an extra gated barrier).
+/// A pure function of the published slots, so every driver computes the
+/// same value.
+fn published_union_covered(published: &[Option<SaturationDelta>]) -> usize {
+    let mut slots = published.iter().flatten();
+    let Some(first) = slots.next() else { return 0 };
+    let mut union = first.covered().clone();
+    for delta in slots {
+        union.union_with(delta.covered());
+    }
+    union.len()
+}
+
+/// Splits an epoch quota of `quota` rounds into `halves` contiguous
+/// sub-slices and returns the length of sub-slice `half` (the first half
+/// takes the odd round). The sub-slices partition the quota, so adaptive
+/// densification never changes *which* rounds run — only where the extra
+/// gated barrier falls.
+fn split_quota(quota: usize, halves: usize, half: usize) -> usize {
+    debug_assert!(half < halves);
+    if halves <= 1 {
+        return quota;
+    }
+    let first = quota.div_ceil(2);
+    if half == 0 {
+        first
+    } else {
+        quota - first
     }
 }
 
@@ -172,22 +242,44 @@ pub fn run_shards_synced<P: Program>(config: &CoverMeConfig, program: &P) -> Vec
         shards: plan.shards(),
         ..config.clone()
     };
+    let adaptive = config.adaptive_sync;
     let mut states: Vec<Option<SearchState<'_, P>>> = (0..plan.shards())
         .map(|index| Some(SearchState::new(&config, program, index)))
         .collect();
     let mut published: Vec<Option<SaturationDelta>> = vec![None; plan.shards()];
+    // Adaptive state: whether the previous boundary's exchange carried new
+    // coverage (split the next window in two), and the union covered count
+    // at the previous exchange (to detect growth). Both are pure functions
+    // of the published slots, so the parallel driver reproduces them.
+    let mut densify_next = false;
+    let mut prev_union_covered = 0usize;
     for epoch in 0..plan.epochs() {
-        for (index, state) in states.iter_mut().enumerate() {
-            let state = state.as_mut().expect("state present");
-            if !state.is_finished() {
-                state.run_rounds(plan.rounds_in_epoch(index, epoch));
+        let halves = if adaptive && densify_next { 2 } else { 1 };
+        for half in 0..halves {
+            for (index, state) in states.iter_mut().enumerate() {
+                let state = state.as_mut().expect("state present");
+                if !state.is_finished() {
+                    let quota = split_quota(plan.rounds_in_epoch(index, epoch), halves, half);
+                    state.run_rounds(quota);
+                }
             }
-        }
-        let any_active = states
-            .iter()
-            .any(|s| s.as_ref().is_some_and(|s| !s.is_finished()));
-        if epoch + 1 < plan.epochs() && any_active {
-            exchange_deltas(&mut states, &mut published);
+            let mid_window = half + 1 < halves;
+            if !mid_window && epoch + 1 >= plan.epochs() {
+                break;
+            }
+            let any_active = states
+                .iter()
+                .any(|s| s.as_ref().is_some_and(|s| !s.is_finished()));
+            if !any_active {
+                densify_next = false;
+                continue;
+            }
+            let exchanged = exchange_deltas_gated(&mut states, &mut published, adaptive);
+            if adaptive && !mid_window {
+                let union_covered = published_union_covered(&published);
+                densify_next = exchanged && union_covered > prev_union_covered;
+                prev_union_covered = union_covered;
+            }
         }
     }
     states
@@ -199,11 +291,16 @@ pub fn run_shards_synced<P: Program>(config: &CoverMeConfig, program: &P) -> Vec
 /// Runs every shard of a synced search on its own scoped worker thread,
 /// rendezvousing at a [`Barrier`] between epochs: publish the delta (only
 /// when the tracker's `version` moved — an idle shard's slot keeps its
-/// cached, still-accurate delta), wait, absorb every sibling's published
-/// delta, wait again (so nobody's next publish overwrites a slot a slow
-/// sibling is still reading). Outcomes are bit-identical to
-/// [`run_shards_synced`] — the barrier only buys the wall-clock of the
-/// slowest shard per epoch instead of the sum.
+/// cached, still-accurate delta), wait, absorb the deltas refreshed at
+/// this barrier (the same fast path as [`exchange_deltas_gated`], recognized by
+/// a barrier-sequence stamp on each slot), wait again (so nobody's next
+/// publish overwrites a slot a slow sibling is still reading). Under
+/// [`CoverMeConfig::adaptive_sync`] every thread additionally computes the
+/// same gate and densify decisions as the sequential driver — both are
+/// pure functions of the stamped slots all threads see between the two
+/// waits. Outcomes are bit-identical to [`run_shards_synced`] — the
+/// barrier only buys the wall-clock of the slowest shard per epoch
+/// instead of the sum.
 pub fn run_shards_synced_parallel<P: Program + Sync>(
     config: &CoverMeConfig,
     program: &P,
@@ -218,8 +315,12 @@ pub fn run_shards_synced_parallel<P: Program + Sync>(
         shards,
         ..config.clone()
     };
+    let adaptive = config.adaptive_sync;
     let barrier = Barrier::new(shards);
-    let published: Vec<Mutex<Option<SaturationDelta>>> =
+    // Each slot carries the publishing shard's delta plus the rendezvous
+    // sequence number at which it was last refreshed, so absorbers can
+    // tell "refreshed now" from "cached from an earlier barrier".
+    let published: Vec<Mutex<Option<(usize, SaturationDelta)>>> =
         (0..shards).map(|_| Mutex::new(None)).collect();
     let (config, barrier, published) = (&config, &barrier, &published);
     std::thread::scope(|scope| {
@@ -228,30 +329,71 @@ pub fn run_shards_synced_parallel<P: Program + Sync>(
                 scope.spawn(move || {
                     let mut state = SearchState::new(config, program, index);
                     let mut last_published: Option<u64> = None;
+                    // Every thread keeps these in lockstep: the inputs to
+                    // the decisions are the shared slots, which all
+                    // threads read between the same two barrier waits.
+                    let mut rendezvous = 0usize;
+                    let mut densify_next = false;
+                    let mut prev_union_covered = 0usize;
                     for epoch in 0..plan.epochs() {
-                        if !state.is_finished() {
-                            state.run_rounds(plan.rounds_in_epoch(index, epoch));
-                        }
-                        if epoch + 1 == plan.epochs() {
-                            break;
-                        }
-                        let version = state.tracker().version();
-                        if last_published != Some(version) {
-                            *published[index].lock().expect("delta slot poisoned") =
-                                Some(state.extract_delta());
-                            last_published = Some(version);
-                        }
-                        barrier.wait();
-                        if !state.is_finished() {
-                            for (peer, slot) in published.iter().enumerate() {
-                                if peer == index {
-                                    continue;
-                                }
-                                let delta = slot.lock().expect("delta slot poisoned");
-                                state.absorb_delta(delta.as_ref().expect("peer published"));
+                        let halves = if adaptive && densify_next { 2 } else { 1 };
+                        for half in 0..halves {
+                            if !state.is_finished() {
+                                let quota =
+                                    split_quota(plan.rounds_in_epoch(index, epoch), halves, half);
+                                state.run_rounds(quota);
                             }
+                            let mid_window = half + 1 < halves;
+                            if !mid_window && epoch + 1 == plan.epochs() {
+                                break;
+                            }
+                            let version = state.tracker().version();
+                            if last_published != Some(version) {
+                                *published[index].lock().expect("delta slot poisoned") =
+                                    Some((rendezvous, state.extract_delta()));
+                                last_published = Some(version);
+                            }
+                            barrier.wait();
+                            // Between the waits the slots are frozen:
+                            // every thread sees the same refresh stamps
+                            // and computes the same gate/densify verdicts.
+                            let mut any_refreshed = false;
+                            let mut union = coverme_runtime::BranchSet::new();
+                            for slot in published.iter() {
+                                let slot = slot.lock().expect("delta slot poisoned");
+                                if let Some((stamp, delta)) = slot.as_ref() {
+                                    any_refreshed |= *stamp == rendezvous;
+                                    if adaptive && !mid_window {
+                                        union.union_with(delta.covered());
+                                    }
+                                }
+                            }
+                            let exchange = !adaptive || any_refreshed;
+                            if exchange {
+                                if !state.is_finished() {
+                                    for (peer, slot) in published.iter().enumerate() {
+                                        if peer == index {
+                                            continue;
+                                        }
+                                        let slot = slot.lock().expect("delta slot poisoned");
+                                        if let Some((stamp, delta)) = slot.as_ref() {
+                                            if *stamp == rendezvous {
+                                                state.absorb_delta(delta);
+                                            }
+                                        }
+                                    }
+                                }
+                            } else if !state.is_finished() {
+                                state.note_barrier_skipped();
+                            }
+                            if adaptive && !mid_window {
+                                let union_covered = union.len();
+                                densify_next = exchange && union_covered > prev_union_covered;
+                                prev_union_covered = union_covered;
+                            }
+                            barrier.wait();
+                            rendezvous += 1;
                         }
-                        barrier.wait();
                     }
                     state.finish()
                 })
@@ -432,6 +574,73 @@ mod tests {
         let parallel = run_shards_synced_parallel(&cfg, &program);
         let parallel_rounds: usize = parallel.iter().map(|o| o.rounds.len()).sum();
         assert_eq!(parallel_rounds, 32);
+    }
+
+    #[test]
+    fn adaptive_sync_agrees_between_sequential_and_parallel_drivers() {
+        // The gate and densify decisions are pure functions of the
+        // published slots, so both drivers must make the same calls and
+        // produce bit-identical outcomes.
+        let program = unsaturable_example();
+        let cfg = CoverMeConfig::default()
+            .n_start(64)
+            .n_iter(4)
+            .seed(17)
+            .shards(4)
+            .sync_epochs(4)
+            .adaptive_sync(true)
+            .infeasible_policy(InfeasiblePolicy::Disabled);
+        let sequential = merge_shards(program.name(), run_shards_synced(&cfg, &program));
+        let parallel = merge_shards(program.name(), run_shards_synced_parallel(&cfg, &program));
+        assert_eq!(sequential.report.inputs, parallel.report.inputs);
+        assert_eq!(sequential.report.coverage, parallel.report.coverage);
+        assert_eq!(sequential.report.evaluations, parallel.report.evaluations);
+        assert_eq!(sequential.report.rounds, parallel.report.rounds);
+        assert_eq!(
+            sequential.report.barriers_skipped,
+            parallel.report.barriers_skipped
+        );
+    }
+
+    #[test]
+    fn adaptive_gate_counts_skipped_barriers() {
+        // A saturated-early search stops moving its trackers, so later
+        // barriers carry no new versions and the adaptive gate skips them.
+        let program = paper_example();
+        let cfg = config(4, 4).adaptive_sync(true);
+        let adaptive = merge_shards(program.name(), run_shards_synced(&cfg, &program));
+        let plain = merge_shards(
+            program.name(),
+            run_shards_synced(&cfg.clone().adaptive_sync(false), &program),
+        );
+        // The gate and densify never change which rounds run or what the
+        // trackers learn — only barrier bookkeeping.
+        assert_eq!(adaptive.report.inputs, plain.report.inputs);
+        assert_eq!(adaptive.report.coverage, plain.report.coverage);
+        assert_eq!(plain.report.barriers_skipped, 0, "gate off: no skips");
+    }
+
+    #[test]
+    fn delta_fast_path_is_invisible_in_outcomes() {
+        // The stale-slot fast path (skip rebuilding/reapplying unchanged
+        // deltas) must not change any reported outcome relative to what
+        // the search learns — pin the full report fingerprint across both
+        // drivers on a program that exercises idle barriers.
+        let program = unsaturable_example();
+        let cfg = CoverMeConfig::default()
+            .n_start(48)
+            .n_iter(3)
+            .seed(23)
+            .shards(3)
+            .sync_epochs(6)
+            .infeasible_policy(InfeasiblePolicy::Disabled);
+        let sequential = merge_shards(program.name(), run_shards_synced(&cfg, &program));
+        let parallel = merge_shards(program.name(), run_shards_synced_parallel(&cfg, &program));
+        assert_eq!(sequential.report.inputs, parallel.report.inputs);
+        assert_eq!(sequential.report.evaluations, parallel.report.evaluations);
+        assert_eq!(sequential.report.rounds, parallel.report.rounds);
+        assert_eq!(sequential.report.barriers_skipped, 0);
+        assert_eq!(parallel.report.barriers_skipped, 0);
     }
 
     #[test]

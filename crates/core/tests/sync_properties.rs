@@ -180,6 +180,22 @@ fn reference_shard_rounds<P: Program>(
                         RoundOutcome::NoProgress
                     }
                 }
+                InfeasiblePolicy::Generalized => {
+                    if let Some(last) = evaluation.trace.last() {
+                        let anchor = last.untaken_branch();
+                        if tracker.covered().contains(anchor)
+                            || tracker.infeasible().contains(anchor)
+                        {
+                            let blamed = tracker.blame_uncovered_path(&evaluation.trace);
+                            RoundOutcome::DeemedInfeasiblePath(anchor, blamed.len())
+                        } else {
+                            tracker.mark_infeasible(anchor);
+                            RoundOutcome::DeemedInfeasible(anchor)
+                        }
+                    } else {
+                        RoundOutcome::NoProgress
+                    }
+                }
                 InfeasiblePolicy::Disabled => RoundOutcome::NoProgress,
             }
         };

@@ -32,6 +32,18 @@ tape-lane-vs-interp-lane ratio additionally carries an **absolute floor**
 is 1.5x the interpreted lane path on the corpus, independent of what the
 baseline happens to record.
 
+Campaign search-efficiency gate
+-------------------------------
+With ``--campaign-baseline`` and ``--campaign-current`` the gate also
+compares a pair of campaign-report artifacts (the
+``coverme-campaign-report/N`` JSON the fdlibm_campaign example and the
+coverme CLI write) on ``coverage_per_megaeval`` — covered branches per
+million evaluations, the eval-budget economics headline. The metric is a
+pure function of ``(seed, config)``, not of machine speed, so a >15% drop
+means the search genuinely pays more evaluations per branch. The campaign
+pair may be gated alone (without the objective-engine positionals) or
+alongside them.
+
 Exit status: 0 when every gated metric is within tolerance, 1 otherwise
 (and 2 for usage/schema errors, so a malformed artifact cannot pass as
 "no regression").
@@ -92,10 +104,62 @@ def load(path):
     return data
 
 
+def load_campaign(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as error:
+        sys.exit(f"bench_gate: cannot read {path}: {error}")
+    schema = data.get("schema", "")
+    if not isinstance(schema, str) or not schema.startswith("coverme-campaign-report/"):
+        sys.exit(f"bench_gate: {path} is not a coverme-campaign-report artifact")
+    if "coverage_per_megaeval" not in data:
+        sys.exit(
+            f"bench_gate: {path} ({schema}) predates coverage_per_megaeval; "
+            "refresh it with a current build"
+        )
+    return data
+
+
+def gate_campaign(args, failures):
+    """Gates coverage_per_megaeval on a campaign-artifact pair."""
+    baseline = load_campaign(args.campaign_baseline)
+    current = load_campaign(args.campaign_current)
+    base_value = baseline["coverage_per_megaeval"]
+    value = current["coverage_per_megaeval"]
+    floor = base_value * (1.0 - args.tolerance)
+    status = "ok" if value >= floor else "REGRESSED"
+    print(
+        f"bench_gate: campaign search efficiency — tolerance {args.tolerance:.0%} "
+        "on coverage_per_megaeval"
+    )
+    print(
+        f"  suite    coverage_per_megaeval      baseline {base_value:8.1f} "
+        f"  current {value:8.1f}   floor {floor:8.1f}   {status}"
+    )
+    print(
+        f"  suite    (context: coverage {current['suite_branch_coverage_percent']:.1f}% "
+        f"over {current['total_evaluations']} evals, scheduler "
+        f"{current.get('scheduler', 'fixed')}; baseline "
+        f"{baseline['suite_branch_coverage_percent']:.1f}% over "
+        f"{baseline['total_evaluations']} evals)"
+    )
+    if value < floor:
+        drop = 1.0 - value / base_value if base_value else 1.0
+        failures.append(
+            f"campaign: coverage_per_megaeval dropped {drop:.0%} "
+            f"({base_value:.1f} -> {value:.1f}, floor {floor:.1f})"
+        )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed baseline (ci/bench_baseline.json)")
-    parser.add_argument("current", help="freshly measured BENCH_objective.json")
+    parser.add_argument(
+        "baseline", nargs="?", help="committed baseline (ci/bench_baseline.json)"
+    )
+    parser.add_argument(
+        "current", nargs="?", help="freshly measured BENCH_objective.json"
+    )
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -116,7 +180,41 @@ def main():
         help="absolute floor on tape_lane_speedup_vs_interp_lane for every "
         "fpir row (default 1.5 = the tape backend's acceptance bar)",
     )
+    parser.add_argument(
+        "--campaign-baseline",
+        help="committed campaign-report baseline (ci/campaign_baseline.json)",
+    )
+    parser.add_argument(
+        "--campaign-current",
+        help="freshly produced campaign-report JSON to gate on "
+        "coverage_per_megaeval",
+    )
     args = parser.parse_args()
+
+    if (args.campaign_baseline is None) != (args.campaign_current is None):
+        parser.error("--campaign-baseline and --campaign-current come as a pair")
+    if args.baseline is None and args.campaign_baseline is None:
+        parser.error(
+            "nothing to gate: pass the objective-engine positionals, the "
+            "campaign pair, or both"
+        )
+    if (args.baseline is None) != (args.current is None):
+        parser.error("the objective-engine artifacts come as a pair")
+
+    campaign_failures = []
+    if args.campaign_baseline is not None:
+        gate_campaign(args, campaign_failures)
+    if args.baseline is None:
+        if campaign_failures:
+            print(
+                "\nbench_gate: FAIL — campaign search efficiency regressed:",
+                file=sys.stderr,
+            )
+            for failure in campaign_failures:
+                print(f"  - {failure}", file=sys.stderr)
+            sys.exit(1)
+        print("bench_gate: ok — no gated metric regressed beyond tolerance")
+        return
 
     baseline = load(args.baseline)
     current = load(args.current)
@@ -129,7 +227,7 @@ def main():
     baseline_rows = {row["function"]: row for row in baseline["functions"]}
     current_rows = {row["function"]: row for row in current["functions"]}
 
-    failures = []
+    failures = campaign_failures
     metric_names = ", ".join(metric for metric, _ in GATED_METRICS)
     print(
         f"bench_gate: tolerance {args.tolerance:.0%} on {metric_names} "

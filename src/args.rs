@@ -19,7 +19,7 @@
 
 use std::time::Duration;
 
-use coverme::{BackendMode, CoverMeConfig, LocalMethod};
+use coverme::{BackendMode, CoverMeConfig, InfeasiblePolicy, LocalMethod, SchedulerPolicy};
 
 /// Every option the front ends share, with the front ends' historical
 /// defaults (`n_start` 80, seed 42, unsharded, Powell, auto backend).
@@ -37,8 +37,16 @@ pub struct CommonOptions {
     pub local_method: LocalMethod,
     /// Execution backend (`--backend auto|interp|tape`).
     pub backend: BackendMode,
-    /// Wall-clock budget (`--budget SECS`).
-    pub budget: Option<Duration>,
+    /// Wall-clock budget (`--time-budget SECS`).
+    pub time_budget: Option<Duration>,
+    /// Global evaluation budget (`--budget N`).
+    pub budget_evals: Option<usize>,
+    /// Campaign scheduling policy (`--scheduler fixed|bandit`).
+    pub scheduler: SchedulerPolicy,
+    /// Delta-gated adaptive sync cadence (`--adaptive-sync`).
+    pub adaptive_sync: bool,
+    /// Infeasibility heuristic (`--infeasible last|all|off`).
+    pub infeasible_policy: InfeasiblePolicy,
     /// Machine-readable report path (`--json PATH`, written atomically).
     pub json_path: Option<String>,
     /// Streaming progress (`--stream`).
@@ -56,7 +64,11 @@ impl Default for CommonOptions {
             sync_epochs: 0,
             local_method: LocalMethod::Powell,
             backend: BackendMode::Auto,
-            budget: None,
+            time_budget: None,
+            budget_evals: None,
+            scheduler: SchedulerPolicy::Fixed,
+            adaptive_sync: false,
+            infeasible_policy: InfeasiblePolicy::LastConditional,
             json_path: None,
             stream: false,
             workers: 0,
@@ -75,9 +87,15 @@ impl CommonOptions {
             .local_method(self.local_method)
             .backend(self.backend)
             .shards(self.shards)
-            .sync_epochs(self.sync_epochs);
-        if let Some(budget) = self.budget {
+            .sync_epochs(self.sync_epochs)
+            .scheduler(self.scheduler)
+            .adaptive_sync(self.adaptive_sync)
+            .infeasible_policy(self.infeasible_policy);
+        if let Some(budget) = self.time_budget {
             config = config.time_budget(budget);
+        }
+        if let Some(evals) = self.budget_evals {
+            config = config.budget(evals);
         }
         config
     }
@@ -90,9 +108,13 @@ pub const COMMON_USAGE: &str = "\
   --seed S             master seed (default 42)
   --shards N           shards per function (default 1 = unsharded)
   --sync-epochs E      cross-shard saturation sync epochs (default 0 = off)
+  --adaptive-sync      skip sync barriers whose deltas cannot have changed
   --local METHOD       local minimizer: powell (default), nm, compass, none
   --backend MODE       execution backend: auto (default), interp, tape
-  --budget SECS        wall-clock budget
+  --infeasible POLICY  infeasibility blame: last (default), all, off
+  --time-budget SECS   wall-clock budget
+  --budget N           global evaluation budget (drives --scheduler bandit)
+  --scheduler POLICY   campaign eval allocation: fixed (default), bandit
   --json PATH          write a machine-readable report to PATH (atomic)
   --stream             print progress as it happens
   --workers N          campaign worker threads (default: auto)
@@ -172,9 +194,26 @@ impl<I: Iterator<Item = String>> ArgParser<I> {
                     ))
                 });
             }
-            "--budget" => {
-                let secs: f64 = self.parsed("--budget");
-                options.budget = Some(Duration::from_secs_f64(secs));
+            "--time-budget" => {
+                let secs: f64 = self.parsed("--time-budget");
+                options.time_budget = Some(Duration::from_secs_f64(secs));
+            }
+            "--budget" => options.budget_evals = Some(self.parsed("--budget")),
+            "--scheduler" => {
+                options.scheduler = match self.value_for("--scheduler").as_str() {
+                    "fixed" => SchedulerPolicy::Fixed,
+                    "bandit" => SchedulerPolicy::Bandit,
+                    other => self.usage_error(&format!("--scheduler got unknown policy {other}")),
+                };
+            }
+            "--adaptive-sync" => options.adaptive_sync = true,
+            "--infeasible" => {
+                options.infeasible_policy = match self.value_for("--infeasible").as_str() {
+                    "last" => InfeasiblePolicy::LastConditional,
+                    "all" => InfeasiblePolicy::Generalized,
+                    "off" => InfeasiblePolicy::Disabled,
+                    other => self.usage_error(&format!("--infeasible got unknown policy {other}")),
+                };
             }
             "--json" => options.json_path = Some(self.value_for("--json")),
             "--stream" => options.stream = true,
@@ -230,8 +269,15 @@ mod tests {
             "nm",
             "--backend",
             "tape",
-            "--budget",
+            "--time-budget",
             "1.5",
+            "--budget",
+            "50000",
+            "--scheduler",
+            "bandit",
+            "--adaptive-sync",
+            "--infeasible",
+            "all",
             "--json",
             "out.json",
             "--stream",
@@ -248,10 +294,42 @@ mod tests {
         assert_eq!(options.sync_epochs, 2);
         assert_eq!(options.local_method, LocalMethod::NelderMead);
         assert_eq!(options.backend, BackendMode::Tape);
-        assert_eq!(options.budget, Some(Duration::from_secs_f64(1.5)));
+        assert_eq!(options.time_budget, Some(Duration::from_secs_f64(1.5)));
+        assert_eq!(options.budget_evals, Some(50_000));
+        assert_eq!(options.scheduler, SchedulerPolicy::Bandit);
+        assert!(options.adaptive_sync);
+        assert_eq!(options.infeasible_policy, InfeasiblePolicy::Generalized);
         assert_eq!(options.json_path.as_deref(), Some("out.json"));
         assert!(options.stream);
         assert_eq!(options.workers, 4);
+    }
+
+    #[test]
+    fn budget_knobs_reach_the_search_config() {
+        let mut p = parser(&[
+            "--budget",
+            "50000",
+            "--scheduler",
+            "bandit",
+            "--adaptive-sync",
+        ]);
+        let mut options = CommonOptions::default();
+        while let Some(arg) = p.next_arg() {
+            assert!(p.accept_common(&arg, &mut options), "unhandled {arg}");
+        }
+        let config = options.search_config();
+        assert_eq!(config.budget, Some(50_000));
+        assert_eq!(config.scheduler, SchedulerPolicy::Bandit);
+        assert!(config.adaptive_sync);
+        // Defaults keep every new knob off, reproducing earlier releases.
+        let defaults = CommonOptions::default().search_config();
+        assert_eq!(defaults.budget, None);
+        assert_eq!(defaults.scheduler, SchedulerPolicy::Fixed);
+        assert!(!defaults.adaptive_sync);
+        assert_eq!(
+            defaults.infeasible_policy,
+            InfeasiblePolicy::LastConditional
+        );
     }
 
     #[test]

@@ -42,9 +42,13 @@ options:
   --seed S             master seed (default 42)
   --shards N           shards per function (default 1 = unsharded)
   --sync-epochs E      cross-shard saturation sync epochs (default 0 = off)
+  --adaptive-sync      skip sync barriers whose deltas cannot have changed
   --local METHOD       local minimizer: powell (default), nm, compass, none
   --backend MODE       execution backend: auto (default), interp, tape
-  --budget SECS        wall-clock budget
+  --infeasible POLICY  infeasibility blame: last (default), all, off
+  --time-budget SECS   wall-clock budget
+  --budget N           global evaluation budget (drives --scheduler bandit)
+  --scheduler POLICY   campaign eval allocation: fixed (default), bandit
   --json PATH          write a machine-readable report to PATH (atomic)
   --stream             per-round (run) / per-function (campaign) progress
   --workers N          campaign worker threads (default: auto)
@@ -261,7 +265,7 @@ fn cmd_campaign(dir: &str, options: &Options) {
     let mut config = CampaignConfig::new()
         .base(search_config(options))
         .workers(options.common.workers);
-    if let Some(budget) = options.common.budget {
+    if let Some(budget) = options.common.time_budget {
         config = config.time_budget(budget);
     }
     let campaign = Campaign::new(config);
@@ -289,6 +293,11 @@ fn main() {
         usage_error("missing command");
     };
     let (operands, options) = parse_options(args);
+    if options.common.scheduler == coverme::SchedulerPolicy::Bandit
+        && options.common.budget_evals.is_none()
+    {
+        usage_error("--scheduler bandit needs --budget N (the pool it allocates)");
+    }
     match command.as_str() {
         "run" => {
             let [path] = operands.as_slice() else {
