@@ -19,9 +19,9 @@ fn bench(c: &mut Criterion) {
         group.bench_function(method.name(), |bench| {
             bench.iter(|| {
                 let config = CoverMeConfig::default()
-                    .n_start(40)
-                    .local_method(method)
-                    .seed(1);
+                    .with_n_start(40)
+                    .with_local_method(method)
+                    .with_seed(1);
                 black_box(CoverMe::new(config).run(&b))
             })
         });

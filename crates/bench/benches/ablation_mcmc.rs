@@ -15,7 +15,10 @@ fn bench(c: &mut Criterion) {
     for n_iter in [1usize, 5, 15] {
         group.bench_function(format!("n_iter_{n_iter}"), |bench| {
             bench.iter(|| {
-                let config = CoverMeConfig::default().n_start(30).n_iter(n_iter).seed(1);
+                let config = CoverMeConfig::default()
+                    .with_n_start(30)
+                    .with_n_iter(n_iter)
+                    .with_seed(1);
                 black_box(CoverMe::new(config).run(&b))
             })
         });
@@ -23,9 +26,9 @@ fn bench(c: &mut Criterion) {
     group.bench_function("gaussian_perturbation", |bench| {
         bench.iter(|| {
             let config = CoverMeConfig::default()
-                .n_start(30)
-                .perturbation(PerturbationKind::Gaussian { stddev: 1.0 })
-                .seed(1);
+                .with_n_start(30)
+                .with_perturbation(PerturbationKind::Gaussian { stddev: 1.0 })
+                .with_seed(1);
             black_box(CoverMe::new(config).run(&b))
         })
     });

@@ -13,22 +13,25 @@ fn bench(c: &mut Criterion) {
     let b = by_name("erf").unwrap();
     group.bench_function("saturation_pen", |bench| {
         bench.iter(|| {
-            let config = CoverMeConfig::default().n_start(40).seed(1);
+            let config = CoverMeConfig::default().with_n_start(40).with_seed(1);
             black_box(CoverMe::new(config).run(&b))
         })
     });
     group.bench_function("covered_only_pen", |bench| {
         bench.iter(|| {
             let config = CoverMeConfig::default()
-                .n_start(40)
-                .pen_policy(PenPolicy::CoveredOnly)
-                .seed(1);
+                .with_n_start(40)
+                .with_pen_policy(PenPolicy::CoveredOnly)
+                .with_seed(1);
             black_box(CoverMe::new(config).run(&b))
         })
     });
     group.bench_function("polish_disabled", |bench| {
         bench.iter(|| {
-            let config = CoverMeConfig::default().n_start(40).polish(false).seed(1);
+            let config = CoverMeConfig::default()
+                .with_n_start(40)
+                .with_polish(false)
+                .with_seed(1);
             black_box(CoverMe::new(config).run(&b))
         })
     });

@@ -19,7 +19,7 @@ fn main() {
         }
     });
 
-    let report = CoverMe::new(CoverMeConfig::default().n_start(40).seed(1)).run(&foo);
+    let report = CoverMe::new(CoverMeConfig::default().with_n_start(40).with_seed(1)).run(&foo);
     println!("# Saturate-before  minimum x*        FOO_R(x*)   outcome         X so far");
     let mut inputs_so_far = 0usize;
     for round in &report.rounds {

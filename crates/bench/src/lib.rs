@@ -114,9 +114,9 @@ pub struct ComparisonRow {
 /// so every table column runs the same search.
 pub fn paper_config(budget: HarnessBudget, seed: u64) -> CoverMeConfig {
     CoverMeConfig::default()
-        .n_start(budget.n_start())
-        .n_iter(5)
-        .seed(seed)
+        .with_n_start(budget.n_start())
+        .with_n_iter(5)
+        .with_seed(seed)
 }
 
 /// Runs CoverMe on one benchmark with the paper's configuration (scaled by
@@ -153,9 +153,9 @@ pub fn run_campaign(
     sync_epochs: usize,
 ) -> CampaignReport {
     let base = paper_config(budget, seed)
-        .shards(shards)
-        .sync_epochs(sync_epochs);
-    Campaign::new(CampaignConfig::new().base(base)).run(benchmarks)
+        .with_shards(shards)
+        .with_sync_epochs(sync_epochs);
+    Campaign::new(CampaignConfig::new().with_base(base)).run(benchmarks)
 }
 
 /// Runs the Rand baseline with a budget derived from CoverMe's time.

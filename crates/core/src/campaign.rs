@@ -53,19 +53,26 @@
 //!   it and idle workers sleep instead of spinning.
 
 use std::collections::VecDeque;
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use coverme_runtime::Program;
 
-use crate::driver::{CoverMeConfig, EpochOutcome, SchedulerPolicy, SearchState};
+use crate::corpus::CorpusStore;
+use crate::driver::{CancelToken, CoverMeConfig, EpochOutcome, SchedulerPolicy, SearchState};
 use crate::report::TestReport;
 use crate::saturation::SaturationDelta;
 use crate::shard::{merge_shards, ShardOutcome};
 use crate::sync::{exchange_deltas_gated, SyncPlan};
 
 /// Configuration of a parallel campaign.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Non-exhaustive: construct via [`CampaignConfig::new`] /
+/// [`Default::default`] and customize with the `with_*` builders, so
+/// configurations written against this version keep compiling as the
+/// campaign API grows fields.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct CampaignConfig {
     /// Template CoverMe configuration applied to every function. Its `seed`
     /// acts as the campaign master seed; each function runs with a seed
@@ -80,6 +87,35 @@ pub struct CampaignConfig {
     /// started before the budget expires are skipped; the report still
     /// contains one entry per inventory function.
     pub time_budget: Option<Duration>,
+    /// Optional persistent corpus store. When set, every function's search
+    /// warm-starts from the store's entry for its fingerprint (prior
+    /// winners replayed, prior infeasibility verdicts seeded), and every
+    /// [`FunctionStatus::Complete`] result is recorded back. `None` (the
+    /// default) reproduces the corpus-less behavior bit for bit.
+    pub corpus: Option<Arc<CorpusStore>>,
+    /// Optional cooperative cancellation token, shared with every
+    /// function's search: when cancelled, in-flight searches finalize the
+    /// progress they completed (reported [`FunctionStatus::Partial`], like
+    /// a deadline expiry) instead of running out their schedules — the
+    /// serve daemon's teardown seam.
+    pub cancel: Option<CancelToken>,
+}
+
+impl PartialEq for CampaignConfig {
+    fn eq(&self, other: &Self) -> bool {
+        // The corpus store has no value identity (it is a directory
+        // handle); two configs are equal when they share the same store.
+        let corpus_eq = match (&self.corpus, &other.corpus) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        };
+        self.base == other.base
+            && self.workers == other.workers
+            && self.time_budget == other.time_budget
+            && corpus_eq
+            && self.cancel == other.cancel
+    }
 }
 
 impl CampaignConfig {
@@ -89,20 +125,20 @@ impl CampaignConfig {
     }
 
     /// Sets the template CoverMe configuration.
-    pub fn base(mut self, base: CoverMeConfig) -> Self {
+    pub fn with_base(mut self, base: CoverMeConfig) -> Self {
         self.base = base;
         self
     }
 
     /// Sets the worker-thread count (`0` autodetects, minimum two).
-    pub fn workers(mut self, workers: usize) -> Self {
+    pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
         self
     }
 
     /// Sets the per-function shard count on the template configuration
     /// (convenience for `base.shards`).
-    pub fn shards(mut self, shards: usize) -> Self {
+    pub fn with_shards(mut self, shards: usize) -> Self {
         self.base.shards = shards;
         self
     }
@@ -110,15 +146,57 @@ impl CampaignConfig {
     /// Sets the per-function sync-epoch count on the template configuration
     /// (convenience for `base.sync_epochs`; `0`/`1` = off, see
     /// [`crate::sync`]).
-    pub fn sync_epochs(mut self, sync_epochs: usize) -> Self {
+    pub fn with_sync_epochs(mut self, sync_epochs: usize) -> Self {
         self.base.sync_epochs = sync_epochs;
         self
     }
 
     /// Sets the campaign wall-clock budget.
-    pub fn time_budget(mut self, budget: Duration) -> Self {
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
         self.time_budget = Some(budget);
         self
+    }
+
+    /// Attaches a persistent corpus store (see [`crate::corpus`]): warm
+    /// starts on the way in, [`FunctionStatus::Complete`] recordings on
+    /// the way out.
+    pub fn with_corpus(mut self, corpus: Arc<CorpusStore>) -> Self {
+        self.corpus = Some(corpus);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token shared with every search.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Alias of [`with_base`](Self::with_base) (pre-builder spelling).
+    pub fn base(self, base: CoverMeConfig) -> Self {
+        self.with_base(base)
+    }
+
+    /// Alias of [`with_workers`](Self::with_workers) (pre-builder
+    /// spelling).
+    pub fn workers(self, workers: usize) -> Self {
+        self.with_workers(workers)
+    }
+
+    /// Alias of [`with_shards`](Self::with_shards) (pre-builder spelling).
+    pub fn shards(self, shards: usize) -> Self {
+        self.with_shards(shards)
+    }
+
+    /// Alias of [`with_sync_epochs`](Self::with_sync_epochs) (pre-builder
+    /// spelling).
+    pub fn sync_epochs(self, sync_epochs: usize) -> Self {
+        self.with_sync_epochs(sync_epochs)
+    }
+
+    /// Alias of [`with_time_budget`](Self::with_time_budget) (pre-builder
+    /// spelling).
+    pub fn time_budget(self, budget: Duration) -> Self {
+        self.with_time_budget(budget)
     }
 
     /// The campaign's per-function shard count: the requested count clamped
@@ -514,6 +592,21 @@ impl CampaignReport {
             .sum()
     }
 
+    /// Total corpus inputs replayed across the suite's warm starts
+    /// (0 for a campaign run without a corpus store).
+    pub fn total_warm_replayed(&self) -> usize {
+        self.results
+            .iter()
+            .filter_map(|r| r.report.as_ref())
+            .map(|t| t.warm_replayed)
+            .sum()
+    }
+
+    /// Whether any function of this campaign warm-started from the corpus.
+    pub fn corpus_warm_start(&self) -> bool {
+        self.total_warm_replayed() > 0
+    }
+
     /// Suite branch coverage per million evaluations — the
     /// machine-independent budget-economics ratio the benchmark gate
     /// tracks (covered branches per 1e6 evals; 0 when nothing ran).
@@ -580,7 +673,13 @@ impl CampaignReport {
     ) -> String {
         let mut out = String::with_capacity(4096 + 256 * self.results.len());
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"coverme-campaign-report/5\",\n");
+        push_json_field(
+            &mut out,
+            "  ",
+            "schema",
+            &crate::report::schema::CAMPAIGN_REPORT.label(),
+            true,
+        );
         push_json_number(&mut out, "  ", "workers", self.workers as f64, true);
         push_json_number(&mut out, "  ", "shards", self.shards as f64, true);
         push_json_number(&mut out, "  ", "sync_epochs", self.sync_epochs as f64, true);
@@ -708,12 +807,23 @@ impl CampaignReport {
             self.coverage_per_megaeval(),
             true,
         );
+        // Corpus keys are emitted only when a warm start actually replayed
+        // inputs, so a corpus-less campaign's artifact stays byte-identical
+        // to earlier releases (pinned by `schema_properties`).
+        if self.total_warm_replayed() > 0 {
+            push_json_bool(&mut out, "  ", "corpus_warm_start", true, true);
+            push_json_number(
+                &mut out,
+                "  ",
+                "total_warm_replayed",
+                self.total_warm_replayed() as f64,
+                true,
+            );
+        }
         out.push_str("  \"functions\": [\n");
         for (index, result) in self.results.iter().enumerate() {
             out.push_str("    {\n");
-            out.push_str("      \"name\": \"");
-            push_json_escaped(&mut out, &result.name);
-            out.push_str("\",\n");
+            push_json_field(&mut out, "      ", "name", &result.name, true);
             push_json_bool(&mut out, "      ", "completed", result.completed(), true);
             out.push_str("      \"status\": \"");
             out.push_str(result.status.label());
@@ -862,6 +972,16 @@ impl CampaignReport {
                         report.barriers_skipped as f64,
                         true,
                     );
+                    if report.warm_replayed > 0 {
+                        push_json_bool(&mut out, "      ", "corpus_warm_start", true, true);
+                        push_json_number(
+                            &mut out,
+                            "      ",
+                            "warm_replayed",
+                            report.warm_replayed as f64,
+                            true,
+                        );
+                    }
                     push_json_number(
                         &mut out,
                         "      ",
@@ -959,46 +1079,13 @@ impl std::fmt::Display for CampaignReport {
     }
 }
 
-/// Appends `"key": value,\n` (or without the comma) to a JSON document,
-/// clamping non-finite values to 0 so the output always parses.
-fn push_json_number(out: &mut String, indent: &str, key: &str, value: f64, comma: bool) {
-    let value = if value.is_finite() { value } else { 0.0 };
-    out.push_str(indent);
-    out.push('"');
-    out.push_str(key);
-    out.push_str("\": ");
-    // Integral values print without a fraction either way; `Display` for
-    // f64 is shortest-roundtrip and never produces `inf`/`NaN` here.
-    out.push_str(&value.to_string());
-    out.push_str(if comma { ",\n" } else { "\n" });
-}
-
-/// Appends `"key": true/false` to a JSON document.
-fn push_json_bool(out: &mut String, indent: &str, key: &str, value: bool, comma: bool) {
-    out.push_str(indent);
-    out.push('"');
-    out.push_str(key);
-    out.push_str("\": ");
-    out.push_str(if value { "true" } else { "false" });
-    out.push_str(if comma { ",\n" } else { "\n" });
-}
-
-/// Appends a JSON-escaped string body (quotes are the caller's).
-fn push_json_escaped(out: &mut String, text: &str) {
-    for c in text.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-}
+// The JSON member writers live in the shared envelope module
+// ([`crate::report::schema`]) so every artifact — run report, campaign
+// report, corpus entries, the serve wire protocol — escapes and formats
+// identically. Local aliases keep this file's emission code readable.
+use crate::report::schema::{
+    push_bool as push_json_bool, push_escaped as push_json_field, push_number as push_json_number,
+};
 
 /// What a worker may still do under the campaign deadline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1113,13 +1200,27 @@ impl Campaign {
         };
         // Per-function configurations (derived seed, no deadline clamp —
         // the clamp is applied when a search state is actually created).
+        // With a corpus attached, each function's fingerprint is resolved
+        // once here: a hit installs the stored winners as the search's
+        // warm start, a miss costs nothing.
+        let fingerprints = self.fingerprints(inventory);
         let configs: Vec<CoverMeConfig> = inventory
             .iter()
             .zip(&occurrences)
-            .map(|(program, &occurrence)| {
+            .enumerate()
+            .map(|(index, (program, &occurrence))| {
                 let mut config = template.clone();
                 config.seed =
                     derive_function_seed(self.config.base.seed, program.name(), occurrence);
+                config.cancel = self.config.cancel.clone();
+                if let (Some(store), Some(fps)) = (&self.config.corpus, &fingerprints) {
+                    config.warm_start = store.warm_start_for(
+                        fps[index],
+                        program.arity(),
+                        program.num_sites(),
+                        config.search_key(),
+                    );
+                }
                 config
             })
             .collect();
@@ -1197,6 +1298,7 @@ impl Campaign {
             results[index] = Some(result);
         }
 
+        self.record_corpus(&fingerprints, &configs, &results);
         CampaignReport {
             results: results
                 .into_iter()
@@ -1208,6 +1310,45 @@ impl Campaign {
             scheduler: SchedulerPolicy::Fixed,
             eval_budget: self.config.base.budget,
             wall_time: started.elapsed(),
+        }
+    }
+
+    /// Per-function fingerprints, resolved only when a corpus store is
+    /// attached (lowering an FPIR tape just to hash it would be wasted
+    /// work on corpus-less campaigns).
+    fn fingerprints<P: Program>(&self, inventory: &[P]) -> Option<Vec<u64>> {
+        self.config
+            .corpus
+            .as_ref()
+            .map(|_| inventory.iter().map(Program::fingerprint).collect())
+    }
+
+    /// Records every [`FunctionStatus::Complete`] result into the corpus
+    /// store (when one is attached). Partial and skipped functions are
+    /// *not* recorded — a deadline-cut search's verdicts and winners are
+    /// incomplete, and overwriting a prior complete entry with them would
+    /// poison later warm starts. Write errors are swallowed: the corpus is
+    /// an optimization, never a reason to fail a finished campaign.
+    /// `configs` are the per-function configurations the searches ran
+    /// with; each stamps its entry's search key and exhaustion verdict
+    /// (see [`CorpusStore::record_report`]).
+    fn record_corpus(
+        &self,
+        fingerprints: &Option<Vec<u64>>,
+        configs: &[CoverMeConfig],
+        results: &[Option<FunctionResult>],
+    ) {
+        let (Some(store), Some(fps)) = (&self.config.corpus, fingerprints) else {
+            return;
+        };
+        for ((fingerprint, config), result) in fps.iter().zip(configs).zip(results) {
+            let Some(result) = result else { continue };
+            if result.status != FunctionStatus::Complete {
+                continue;
+            }
+            if let Some(report) = &result.report {
+                let _ = store.record_report(*fingerprint, config, report);
+            }
         }
     }
 
@@ -1283,10 +1424,12 @@ impl Campaign {
                 })
                 .collect()
         };
+        let fingerprints = self.fingerprints(inventory);
         let configs: Vec<CoverMeConfig> = inventory
             .iter()
             .zip(&occurrences)
-            .map(|(program, &occurrence)| {
+            .enumerate()
+            .map(|(index, (program, &occurrence))| {
                 let mut config = self.config.base.clone();
                 config.shards = 1;
                 config.sync_epochs = 0;
@@ -1296,6 +1439,15 @@ impl Campaign {
                 // The per-search allowance is installed per grant; the
                 // pool itself never reaches a single state.
                 config.budget = None;
+                config.cancel = self.config.cancel.clone();
+                if let (Some(store), Some(fps)) = (&self.config.corpus, &fingerprints) {
+                    config.warm_start = store.warm_start_for(
+                        fps[index],
+                        program.arity(),
+                        program.num_sites(),
+                        config.search_key(),
+                    );
+                }
                 config
             })
             .collect();
@@ -1401,6 +1553,7 @@ impl Campaign {
             results[index] = Some(result);
         }
 
+        self.record_corpus(&fingerprints, &configs, &results);
         report_shell(
             results
                 .into_iter()

@@ -25,6 +25,8 @@
 //! (same merged report, no extra threads), [`CoverMe::run_parallel`] fans
 //! them across scoped worker threads for a wall-clock speedup.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use coverme_optim::rng::SplitMix64;
@@ -110,9 +112,95 @@ impl SchedulerPolicy {
     }
 }
 
+/// A shared cooperative-cancellation flag. Cloning shares the flag;
+/// [`cancel`](Self::cancel) makes every search and campaign carrying a
+/// clone stop at its next round boundary with
+/// [`EpochOutcome::DeadlineExpired`] semantics — partial results are
+/// finalized exactly like a wall-clock deadline expiry, nothing leaks.
+/// This is how `coverme serve` tears a campaign down when its client
+/// disconnects mid-stream.
+///
+/// Equality is identity: two tokens compare equal when they share the
+/// same flag (so configs stay `PartialEq` without comparing the
+/// unobservable bool).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; there is no un-cancel.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// Prior knowledge a search replays before its first round — the corpus
+/// store's warm-start payload (see [`crate::corpus::CorpusStore`]).
+///
+/// `inputs` are a previous run's representative test inputs for the same
+/// function fingerprint: each is re-executed once (one representing-
+/// function evaluation apiece, counted in the report and in
+/// [`TestReport::warm_replayed`](crate::TestReport::warm_replayed)), and
+/// the ones that still run to completion seed coverage, saturation and
+/// the accepted-input set. `infeasible` re-seeds prior infeasibility
+/// verdicts — revocable exactly like live verdicts: a branch the replay
+/// (or any later round or sibling shard) actually covers drops the
+/// verdict again.
+///
+/// A function whose prior inputs still saturate it exits its first
+/// `run_rounds` slice after just the replay evaluations. When they don't
+/// (some branches end the run uncovered *without* an infeasibility
+/// verdict), `prior_coverage` carries the second saving: the recorded
+/// run already spent the identical schedule — same program fingerprint,
+/// same [search key](CoverMeConfig::search_key) — and exhausted it at
+/// that coverage. A search is deterministic in (program, search key), so
+/// once the replay reproduces exactly that coverage count, re-running
+/// the schedule is guaranteed to rediscover the same result and the
+/// search finishes [`EpochOutcome::Exhausted`] by transitivity.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WarmStart {
+    /// Representative inputs from a prior run, replayed in order.
+    pub inputs: Vec<Vec<f64>>,
+    /// Prior infeasibility verdicts, re-seeded (and refutable) on replay.
+    pub infeasible: Vec<coverme_runtime::BranchId>,
+    /// Covered-branch count at which a prior run *with the same search
+    /// key* exhausted this exact schedule, if one is on record. `None`
+    /// (the default, and the value for any key mismatch) replays inputs
+    /// and verdicts only, never crediting the schedule.
+    pub prior_coverage: Option<usize>,
+}
+
+impl WarmStart {
+    /// Whether there is anything to replay at all.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty() && self.infeasible.is_empty()
+    }
+}
+
 /// Configuration of a CoverMe run. The defaults reproduce the paper's
 /// experimental settings (`n_start = 500`, `n_iter = 5`, `LM = powell`).
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`CoverMeConfig::new`]/[`default`](CoverMeConfig::default) and the
+/// builder-style `with_*` methods (every knob has one), so future fields
+/// stop being breaking changes for downstream crates.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct CoverMeConfig {
     /// Number of starting points (`n_start`).
     pub n_start: usize,
@@ -205,6 +293,15 @@ pub struct CoverMeConfig {
     /// interpreter otherwise). Every mode is bit-exact, so this is purely
     /// a performance knob — the one `--backend` exposes on the CLI.
     pub backend: coverme_runtime::BackendMode,
+    /// Corpus warm start (off by default): prior inputs and infeasibility
+    /// verdicts replayed before the first round (see [`WarmStart`]). With
+    /// `None` the search is bit-identical to earlier releases.
+    pub warm_start: Option<WarmStart>,
+    /// Cooperative cancellation (none by default): when the token fires,
+    /// the search stops at its next round boundary with
+    /// [`EpochOutcome::DeadlineExpired`] semantics, exactly like a
+    /// wall-clock deadline.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for CoverMeConfig {
@@ -230,6 +327,8 @@ impl Default for CoverMeConfig {
             polish: true,
             cache: CacheMode::Auto,
             backend: coverme_runtime::BackendMode::Auto,
+            warm_start: None,
+            cancel: None,
         }
     }
 }
@@ -384,6 +483,207 @@ impl CoverMeConfig {
     pub fn cache(mut self, mode: CacheMode) -> Self {
         self.cache = mode;
         self
+    }
+
+    // --- the `with_*` builder surface -------------------------------------
+    //
+    // One `with_*` method per public field (the canonical construction
+    // path now that the struct is `#[non_exhaustive]`). The short-named
+    // setters above predate this surface and stay as aliases.
+
+    /// Sets the number of starting points (`n_start`).
+    pub fn with_n_start(self, n_start: usize) -> Self {
+        self.n_start(n_start)
+    }
+
+    /// Sets the number of Monte-Carlo iterations per start (`n_iter`).
+    pub fn with_n_iter(self, n_iter: usize) -> Self {
+        self.n_iter(n_iter)
+    }
+
+    /// Sets the local minimization method.
+    pub fn with_local_method(self, method: LocalMethod) -> Self {
+        self.local_method(method)
+    }
+
+    /// Sets the branch-distance `ε`.
+    pub fn with_epsilon(self, epsilon: f64) -> Self {
+        self.epsilon(epsilon)
+    }
+
+    /// Sets the starting-point distribution.
+    pub fn with_starting_points(self, strategy: StartingPointStrategy) -> Self {
+        self.starting_points(strategy)
+    }
+
+    /// Sets the Monte-Carlo perturbation distribution.
+    pub fn with_perturbation(self, perturbation: PerturbationKind) -> Self {
+        self.perturbation(perturbation)
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(self, seed: u64) -> Self {
+        self.seed(seed)
+    }
+
+    /// Sets the saturation semantics used by `pen`.
+    pub fn with_pen_policy(self, policy: PenPolicy) -> Self {
+        self.pen_policy(policy)
+    }
+
+    /// Sets the infeasible-branch policy.
+    pub fn with_infeasible_policy(self, policy: InfeasiblePolicy) -> Self {
+        self.infeasible_policy(policy)
+    }
+
+    /// Sets the zero-acceptance threshold (`FOO_R(x*) <=` this is "zero").
+    pub fn with_zero_threshold(mut self, threshold: f64) -> Self {
+        self.zero_threshold = threshold;
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn with_time_budget(self, budget: Duration) -> Self {
+        self.time_budget(budget)
+    }
+
+    /// Sets the evaluation allowance (see [`CoverMeConfig::budget`]).
+    pub fn with_budget(self, evaluations: usize) -> Self {
+        self.budget(evaluations)
+    }
+
+    /// Enables or disables adaptive sync.
+    pub fn with_adaptive_sync(self, enabled: bool) -> Self {
+        self.adaptive_sync(enabled)
+    }
+
+    /// Sets the campaign scheduling policy.
+    pub fn with_scheduler(self, policy: SchedulerPolicy) -> Self {
+        self.scheduler(policy)
+    }
+
+    /// Enables recording coverage of intermediate search evaluations.
+    pub fn with_record_search_coverage(self, enabled: bool) -> Self {
+        self.record_search_coverage(enabled)
+    }
+
+    /// Sets the shard count.
+    pub fn with_shards(self, shards: usize) -> Self {
+        self.shards(shards)
+    }
+
+    /// Sets the sync-epoch count.
+    pub fn with_sync_epochs(self, sync_epochs: usize) -> Self {
+        self.sync_epochs(sync_epochs)
+    }
+
+    /// Enables or disables the rounding-based polish step.
+    pub fn with_polish(self, enabled: bool) -> Self {
+        self.polish(enabled)
+    }
+
+    /// Sets the objective engine's memoization policy.
+    pub fn with_cache(self, mode: CacheMode) -> Self {
+        self.cache(mode)
+    }
+
+    /// Selects the execution backend.
+    pub fn with_backend(self, mode: coverme_runtime::BackendMode) -> Self {
+        self.backend(mode)
+    }
+
+    /// Attaches a corpus warm start (see [`WarmStart`]): prior inputs and
+    /// infeasibility verdicts replayed before the first round.
+    pub fn with_warm_start(mut self, warm: WarmStart) -> Self {
+        self.warm_start = Some(warm);
+        self
+    }
+
+    /// Attaches a cooperative-cancellation token (see [`CancelToken`]).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Hash of every knob that determines a search's *results* — the
+    /// schedule and its processing: `seed`, `n_start`, `n_iter`, the
+    /// local method, sampling strategies (with their parameters, by bit
+    /// pattern), `ε`, the zero threshold, the pen/infeasible policies,
+    /// `polish`, `record_search_coverage`, the eval allowance and the
+    /// shard/sync split. Knobs pinned result-invisible by the property
+    /// suites stay out: `cache`, `backend`, `adaptive_sync`, epoch
+    /// slicing, `time_budget` (wall-clock never decides a *complete*
+    /// run's content), `warm_start`/`cancel` themselves.
+    ///
+    /// Two runs of the same program fingerprint with equal search keys
+    /// are bit-identical, which is what lets a corpus warm start credit
+    /// a recorded run's exhausted schedule (see
+    /// [`WarmStart::prior_coverage`]).
+    pub fn search_key(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash = (hash ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+        };
+        mix(self.seed);
+        mix(self.n_start as u64);
+        mix(self.n_iter as u64);
+        mix(match self.local_method {
+            LocalMethod::Powell => 0,
+            LocalMethod::NelderMead => 1,
+            LocalMethod::Compass => 2,
+            LocalMethod::None => 3,
+        });
+        mix(self.epsilon.to_bits());
+        match self.starting_points {
+            StartingPointStrategy::UniformBox { lo, hi } => {
+                mix(0);
+                mix(lo.to_bits());
+                mix(hi.to_bits());
+            }
+            StartingPointStrategy::Gaussian { scale } => {
+                mix(1);
+                mix(scale.to_bits());
+            }
+            StartingPointStrategy::BitPattern => mix(2),
+            StartingPointStrategy::Origin => mix(3),
+        }
+        match self.perturbation {
+            PerturbationKind::Gaussian { stddev } => {
+                mix(4);
+                mix(stddev.to_bits());
+            }
+            PerturbationKind::Uniform { half_width } => {
+                mix(5);
+                mix(half_width.to_bits());
+            }
+            PerturbationKind::HeavyTailed { scale } => {
+                mix(6);
+                mix(scale.to_bits());
+            }
+        }
+        mix(match self.pen_policy {
+            PenPolicy::Saturation => 0,
+            PenPolicy::CoveredOnly => 1,
+        });
+        mix(match self.infeasible_policy {
+            InfeasiblePolicy::LastConditional => 0,
+            InfeasiblePolicy::Generalized => 1,
+            InfeasiblePolicy::Disabled => 2,
+        });
+        mix(self.zero_threshold.to_bits());
+        mix(match self.budget {
+            None => u64::MAX,
+            Some(allowance) => allowance as u64,
+        });
+        mix(u64::from(self.polish));
+        mix(u64::from(self.record_search_coverage));
+        mix(self.shards.max(1) as u64);
+        mix(self.sync_epochs as u64);
+        hash
     }
 }
 
@@ -562,6 +862,19 @@ pub struct SearchState<'a, P: Program> {
     /// Sync barriers crossed without an exchange under the adaptive gate
     /// (see [`CoverMeConfig::adaptive_sync`]).
     barriers_skipped: usize,
+    /// Whether a configured warm start is still waiting to be replayed
+    /// (consumed at the top of the first `run_rounds` slice, so replay
+    /// evaluations land in that slice's epoch telemetry).
+    warm_pending: bool,
+    /// Corpus inputs replayed by the warm start (0 for a cold search).
+    warm_replayed: usize,
+    /// Set when the warm replay reproduced exactly the coverage at which
+    /// a prior run with the same search key exhausted this identical
+    /// schedule ([`WarmStart::prior_coverage`]); the next `run_rounds`
+    /// slice then finishes [`EpochOutcome::Exhausted`] without re-running
+    /// the schedule — determinism guarantees it would only rediscover the
+    /// recorded result.
+    warm_satisfied: bool,
 }
 
 /// How many consecutive aborted rounds a search tolerates before degrading.
@@ -632,6 +945,9 @@ impl<'a, P: Program> SearchState<'a, P> {
             finished: None,
             abort_streak: 0,
             barriers_skipped: 0,
+            warm_pending: config.warm_start.as_ref().is_some_and(|w| !w.is_empty()),
+            warm_replayed: 0,
+            warm_satisfied: false,
         }
     }
 
@@ -743,6 +1059,13 @@ impl<'a, P: Program> SearchState<'a, P> {
             return outcome;
         }
         let evals_before = self.evaluations;
+        if self.warm_pending {
+            // Replay inside the slice (not in `new`) so the replayed
+            // evaluations land in this slice's epoch telemetry — the sync
+            // suite pins `sum(epochs.evaluations) == evaluations`.
+            self.warm_pending = false;
+            self.replay_warm_start();
+        }
         let mut ran = 0usize;
         let outcome = loop {
             if self.cursor >= self.config.n_start {
@@ -750,6 +1073,23 @@ impl<'a, P: Program> SearchState<'a, P> {
             }
             if self.tracker.all_saturated() {
                 break self.finish_slice(EpochOutcome::Saturated);
+            }
+            if self.warm_satisfied {
+                // The warm replay reproduced the coverage at which a prior
+                // run with the same search key exhausted this schedule: the
+                // remaining rounds are already spent by transitivity.
+                break self.finish_slice(EpochOutcome::Exhausted);
+            }
+            if self
+                .config
+                .cancel
+                .as_ref()
+                .is_some_and(CancelToken::is_cancelled)
+            {
+                // Cooperative teardown: identical semantics to a deadline
+                // expiry — everything completed so far is kept, a campaign
+                // marks the function `partial`.
+                break self.finish_slice(EpochOutcome::DeadlineExpired);
             }
             if let Some(allowance) = self.config.budget {
                 // Checked before each round: rounds are atomic, so the
@@ -790,6 +1130,75 @@ impl<'a, P: Program> SearchState<'a, P> {
         self.finished = Some(outcome);
         self.finished_at = Some(Instant::now());
         outcome
+    }
+
+    /// Replays the configured [`WarmStart`] — the corpus store's prior
+    /// winners and verdicts — through the exact accept path of
+    /// [`run_one_round`](Self::run_one_round):
+    ///
+    /// * each prior input is re-executed once through the engine (counted
+    ///   as a normal evaluation); if it still runs to completion its
+    ///   coverage and trace seed the maps, and inputs that cover something
+    ///   new are accepted as round-0 test inputs (replays in recorded
+    ///   order, so a prior run's representative set re-selects itself);
+    /// * prior infeasibility verdicts are re-seeded afterwards, skipping
+    ///   any branch the replay just covered — verdicts stay refutable by
+    ///   real coverage exactly like live ones;
+    /// * when the entry carries a same-key exhaustion record
+    ///   ([`WarmStart::prior_coverage`]) and the replay reproduced exactly
+    ///   that coverage, the schedule is credited as spent and the search
+    ///   finishes without re-running it.
+    ///
+    /// Inputs of the wrong arity (a stale entry after a fingerprint
+    /// collision) are skipped, as are verdicts out of the site range.
+    fn replay_warm_start(&mut self) {
+        let Some(warm) = self.config.warm_start.clone() else {
+            return;
+        };
+        let snapshot = self.tracker.saturated_set();
+        self.engine.retarget(&snapshot);
+        let arity = self.program.arity();
+        for input in &warm.inputs {
+            if input.len() != arity {
+                continue;
+            }
+            let evaluation = self.engine.eval_full(input);
+            self.evaluations += 1;
+            self.warm_replayed += 1;
+            if evaluation.outcome.is_done() {
+                let newly_covered = self.coverage.record_set(&evaluation.covered);
+                self.tracker.record_trace(&evaluation.trace);
+                if newly_covered > 0 {
+                    self.accepted.push(AcceptedInput {
+                        round: 0,
+                        input: input.clone(),
+                        covered: evaluation.covered.clone(),
+                    });
+                }
+            }
+        }
+        let num_branches = self.program.num_sites() * 2;
+        for &branch in &warm.infeasible {
+            if branch.index() < num_branches
+                && !self.tracker.covered().contains(branch)
+                && !self.tracker.infeasible().contains(branch)
+            {
+                self.tracker.mark_infeasible(branch);
+            }
+        }
+        // Schedule credit: the replay landed exactly where a same-key run
+        // exhausted this schedule, so the remaining rounds would only
+        // rediscover the recorded result (searches are deterministic in
+        // (program, search key)). Anything else — more coverage, less, a
+        // flaky execution — falls through to a full live run.
+        if warm.prior_coverage == Some(self.coverage.covered_count()) {
+            self.warm_satisfied = true;
+        }
+    }
+
+    /// Corpus inputs the warm start replayed (0 for a cold search).
+    pub fn warm_replayed(&self) -> usize {
+        self.warm_replayed
     }
 
     /// One iteration of the outer loop of Algorithm 1 (lines 9–12): take
@@ -952,6 +1361,7 @@ impl<'a, P: Program> SearchState<'a, P> {
             traps: self.engine.telemetry().traps as usize,
             epochs: self.epochs,
             barriers_skipped: self.barriers_skipped,
+            warm_replayed: self.warm_replayed,
             backend: self.engine.backend_name(),
             lane_width: self.engine.lane_width(),
             started: self.started,

@@ -69,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod corpus;
 pub mod driver;
 pub mod objective;
 pub mod report;
@@ -81,9 +82,10 @@ pub use campaign::{
     BudgetLedger, Campaign, CampaignConfig, CampaignEvent, CampaignReport, FunctionResult,
     FunctionStatus,
 };
+pub use corpus::{CorpusEntry, CorpusStats, CorpusStore};
 pub use driver::{
-    CoverMe, CoverMeConfig, EpochOutcome, InfeasiblePolicy, PenPolicy, SchedulerPolicy,
-    SearchState, ABORT_PATIENCE,
+    CancelToken, CoverMe, CoverMeConfig, EpochOutcome, InfeasiblePolicy, PenPolicy,
+    SchedulerPolicy, SearchState, WarmStart, ABORT_PATIENCE,
 };
 pub use objective::{CacheMode, EngineTelemetry, ObjectiveEngine, ABORTED_VALUE};
 pub use report::{EpochTelemetry, RoundOutcome, RoundRecord, TestReport};

@@ -1,5 +1,7 @@
 //! Reports produced by a CoverMe run.
 
+pub mod schema;
+
 use std::time::Duration;
 
 use coverme_runtime::{BranchId, CoverageMap, CoverageSummary};
@@ -113,6 +115,13 @@ pub struct TestReport {
     /// across shards by the campaign merge; 0 for unsynced or non-adaptive
     /// runs.
     pub barriers_skipped: usize,
+    /// Corpus inputs replayed before the search's first round when the
+    /// run warm-started from a [`crate::corpus::CorpusStore`] entry (the
+    /// replayed evaluations are included in
+    /// [`evaluations`](Self::evaluations)). 0 for a cold run — and the
+    /// corpus keys then stay out of the JSON artifacts entirely, keeping
+    /// corpus-less reports byte-identical to earlier releases.
+    pub warm_replayed: usize,
     /// Name of the execution backend the objective engine ran
     /// (see [`coverme_runtime::ExecBackend::name`]) — `"interp"` or
     /// `"tape"`; bit-exact either way, recorded for telemetry.
@@ -194,6 +203,69 @@ impl TestReport {
             0.0
         }
     }
+
+    /// The run's headline classification for artifacts: `done` when every
+    /// evaluation ran to completion, otherwise the dominant abort kind
+    /// (`timeout` or `trap` — the value the CI smoke pins for the
+    /// non-terminating corpus program).
+    pub fn outcome_label(&self) -> &'static str {
+        if self.aborted_evaluations() == 0 {
+            "done"
+        } else if self.timeouts >= self.traps {
+            "timeout"
+        } else {
+            "trap"
+        }
+    }
+
+    /// The standalone-run JSON artifact (schema
+    /// [`schema::RUN_REPORT`] = `coverme-run-report/2`) — what
+    /// `coverme run --json` writes and `coverme serve` streams for
+    /// single-program jobs. `entry` is the entry-function name, `path`
+    /// the source file the run tested. A warm-started run additionally
+    /// carries `corpus_warm_start` / `warm_replayed` members; a cold run's
+    /// document is byte-identical to earlier releases.
+    pub fn to_run_json(&self, entry: &str, path: &str) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"schema\": \"{}\",\n",
+            schema::RUN_REPORT.label()
+        ));
+        out.push_str(&format!("  \"file\": \"{}\",\n", path.replace('\\', "/")));
+        out.push_str(&format!("  \"entry\": \"{entry}\",\n"));
+        out.push_str(&format!("  \"outcome\": \"{}\",\n", self.outcome_label()));
+        out.push_str(&format!("  \"backend\": \"{}\",\n", self.backend));
+        out.push_str(&format!("  \"lane_width\": {},\n", self.lane_width));
+        out.push_str(&format!(
+            "  \"branches\": {},\n",
+            self.coverage.total_branches()
+        ));
+        out.push_str(&format!(
+            "  \"covered_branches\": {},\n",
+            self.coverage.covered_count()
+        ));
+        out.push_str(&format!(
+            "  \"branch_coverage_percent\": {},\n",
+            self.branch_coverage_percent()
+        ));
+        out.push_str(&format!("  \"inputs\": {},\n", self.inputs.len()));
+        out.push_str(&format!("  \"rounds\": {},\n", self.rounds.len()));
+        out.push_str(&format!("  \"evals\": {},\n", self.evaluations));
+        out.push_str(&format!("  \"cache_hits\": {},\n", self.cache_hits));
+        out.push_str(&format!("  \"timeouts\": {},\n", self.timeouts));
+        out.push_str(&format!("  \"traps\": {},\n", self.traps));
+        if self.warm_replayed > 0 {
+            out.push_str("  \"corpus_warm_start\": true,\n");
+            out.push_str(&format!("  \"warm_replayed\": {},\n", self.warm_replayed));
+        }
+        out.push_str(&format!(
+            "  \"wall_time_s\": {}\n",
+            self.wall_time.as_secs_f64()
+        ));
+        out.push_str("}\n");
+        out
+    }
 }
 
 impl std::fmt::Display for TestReport {
@@ -274,6 +346,7 @@ mod tests {
                 deltas_absorbed: 0,
             }],
             barriers_skipped: 0,
+            warm_replayed: 0,
             backend: "interp",
             lane_width: 8,
             wall_time: Duration::from_millis(5),

@@ -135,6 +135,9 @@ pub struct ShardOutcome {
     /// Sync barriers the shard crossed without an exchange under the
     /// adaptive gate (see [`CoverMeConfig::adaptive_sync`]).
     pub barriers_skipped: usize,
+    /// Corpus inputs the shard's warm start replayed (see
+    /// [`CoverMeConfig::warm_start`]; 0 for a cold search).
+    pub warm_replayed: usize,
     /// Name of the execution backend the shard's engine ran.
     pub backend: &'static str,
     /// The backend's SIMD lane width.
@@ -163,6 +166,7 @@ impl ShardOutcome {
             traps: self.traps,
             epochs: self.epochs,
             barriers_skipped: self.barriers_skipped,
+            warm_replayed: self.warm_replayed,
             backend: self.backend,
             lane_width: self.lane_width,
             wall_time: self.finished.duration_since(self.started),
@@ -281,6 +285,7 @@ pub fn merge_shards(program_name: &str, mut outcomes: Vec<ShardOutcome>) -> Merg
     let timeouts = outcomes.iter().map(|o| o.timeouts).sum();
     let traps = outcomes.iter().map(|o| o.traps).sum();
     let barriers_skipped = outcomes.iter().map(|o| o.barriers_skipped).sum();
+    let warm_replayed = outcomes.iter().map(|o| o.warm_replayed).sum();
     let started = outcomes.iter().map(|o| o.started).min().expect("non-empty");
     let finished = outcomes
         .iter()
@@ -306,6 +311,7 @@ pub fn merge_shards(program_name: &str, mut outcomes: Vec<ShardOutcome>) -> Merg
             traps,
             epochs,
             barriers_skipped,
+            warm_replayed,
             backend,
             lane_width,
             wall_time: finished.duration_since(started),

@@ -34,6 +34,20 @@
 //! With `sync_epochs <= 1` there are no barriers and the search is
 //! bit-identical to the pre-sync path (pinned by
 //! `tests/sync_properties.rs`).
+//!
+//! # Warm starts
+//!
+//! A corpus warm start ([`CoverMeConfig::warm_start`]) composes with the
+//! plan without touching it: each shard replays the corpus inputs and
+//! verdicts inside its *first* `run_rounds` slice, before any scheduled
+//! round, so replayed evaluations are charged to that epoch's ledger and
+//! the exchange protocol sees replay-covered branches exactly like
+//! round-covered ones. Determinism per `(seed, shards, sync_epochs)` is
+//! preserved — the replay is itself a deterministic prefix — which is
+//! what lets the corpus grant a schedule credit
+//! ([`crate::driver::WarmStart::prior_coverage`]) even to sharded, synced
+//! searches (pinned by `warm_started_synced_runs_stay_deterministic` in
+//! `tests/sync_properties.rs`).
 
 use std::sync::{Barrier, Mutex};
 

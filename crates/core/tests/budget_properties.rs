@@ -108,7 +108,10 @@ fn suite_strategy() -> impl Strategy<Value = Vec<Vec<SiteSpec>>> {
 }
 
 fn base_config(seed: u64) -> CoverMeConfig {
-    CoverMeConfig::default().n_start(32).n_iter(4).seed(seed)
+    CoverMeConfig::default()
+        .with_n_start(32)
+        .with_n_iter(4)
+        .with_seed(seed)
 }
 
 /// The scheduling-independent content of a report, for equality checks.
@@ -146,10 +149,10 @@ proptest! {
                 CampaignConfig::new()
                     .base(
                         base_config(seed)
-                            .scheduler(SchedulerPolicy::Bandit)
-                            .budget(pool),
+                            .with_scheduler(SchedulerPolicy::Bandit)
+                            .with_budget(pool),
                     )
-                    .workers(workers),
+                    .with_workers(workers),
             )
             .run(&programs)
         };
@@ -182,10 +185,10 @@ proptest! {
             CampaignConfig::new()
                 .base(
                     base_config(seed)
-                        .scheduler(SchedulerPolicy::Bandit)
-                        .budget(pool),
+                        .with_scheduler(SchedulerPolicy::Bandit)
+                        .with_budget(pool),
                 )
-                .workers(2),
+                .with_workers(2),
         )
         .run(&programs);
         let granted_total: usize = report
@@ -227,17 +230,17 @@ proptest! {
     ) {
         let programs = build_inventory(suite);
         let knobless = Campaign::new(
-            CampaignConfig::new().base(base_config(seed)).workers(2),
+            CampaignConfig::new().with_base(base_config(seed)).with_workers(2),
         )
         .run(&programs);
         let explicit = Campaign::new(
             CampaignConfig::new()
                 .base(
                     base_config(seed)
-                        .scheduler(SchedulerPolicy::Fixed)
-                        .adaptive_sync(false),
+                        .with_scheduler(SchedulerPolicy::Fixed)
+                        .with_adaptive_sync(false),
                 )
-                .workers(2),
+                .with_workers(2),
         )
         .run(&programs);
         prop_assert_eq!(fingerprint(&knobless), fingerprint(&explicit));
@@ -257,8 +260,8 @@ proptest! {
     ) {
         let program = build_program("generated".to_string(), specs);
         let cfg = base_config(seed)
-            .shards(3)
-            .infeasible_policy(InfeasiblePolicy::Generalized);
+            .with_shards(3)
+            .with_infeasible_policy(InfeasiblePolicy::Generalized);
         let outcomes: Vec<ShardOutcome> = (0..3)
             .map(|i| coverme::shard::run_shard(&cfg, &program, i))
             .collect();
@@ -294,9 +297,9 @@ proptest! {
     ) {
         let program = build_program("generated".to_string(), specs);
         let cfg = base_config(seed)
-            .shards(shards)
-            .sync_epochs(sync_epochs)
-            .adaptive_sync(true);
+            .with_shards(shards)
+            .with_sync_epochs(sync_epochs)
+            .with_adaptive_sync(true);
         let sequential = CoverMe::new(cfg.clone()).run(&program);
         let parallel = CoverMe::new(cfg).run_parallel(&program);
         prop_assert_eq!(&sequential.inputs, &parallel.inputs);

@@ -1,0 +1,223 @@
+//! End-to-end tests for the persistent corpus: cold campaigns record,
+//! repeat campaigns warm-start, and the warm start is *sound* — identical
+//! final coverage, strictly cheaper, and fully absent when no corpus is
+//! attached.
+//!
+//! The eval savings come from two mechanisms layered in
+//! `CorpusStore::warm_start_for` / `SearchState::replay_warm_start`:
+//!
+//! 1. **Input replay** — representative winners from the prior run are
+//!    re-executed first, so coverage starts where the last run ended.
+//! 2. **Schedule credit** — when the prior run *exhausted* the same
+//!    deterministic schedule (same [`CoverMeConfig::search_key`]) and the
+//!    replay reproduces its exact covered-branch count, the remaining
+//!    rounds are provably redundant and the search finishes immediately.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use coverme::corpus::CorpusStore;
+use coverme::{Campaign, CampaignConfig, CampaignReport, CoverMeConfig};
+use coverme_runtime::{Cmp, ExecCtx, FnProgram};
+
+/// A scratch corpus directory, removed on drop.
+struct ScratchCorpus {
+    root: PathBuf,
+    store: Arc<CorpusStore>,
+}
+
+impl ScratchCorpus {
+    fn new(tag: &str) -> ScratchCorpus {
+        let root = std::env::temp_dir().join(format!(
+            "coverme-corpus-warm-start-{}-{}",
+            std::process::id(),
+            tag
+        ));
+        let _ = fs::remove_dir_all(&root);
+        let store = Arc::new(CorpusStore::open(&root).expect("open corpus"));
+        ScratchCorpus { root, store }
+    }
+}
+
+impl Drop for ScratchCorpus {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// A two-function inventory with genuine search work: each function has
+/// an equality branch the sampler must hunt for and an unreachable
+/// branch that forces the schedule to run to exhaustion on a cold start.
+type ToyBody = Box<dyn Fn(&[f64], &mut ExecCtx) + Sync>;
+
+fn inventory() -> Vec<FnProgram<ToyBody>> {
+    vec![
+        FnProgram::new(
+            "needle",
+            1,
+            3,
+            Box::new(|input: &[f64], ctx: &mut ExecCtx| {
+                let x = input[0];
+                ctx.branch(0, Cmp::Le, x, 0.0);
+                ctx.branch(1, Cmp::Eq, x * 2.0, 5.0);
+                // Unreachable: |x| is never negative.
+                ctx.branch(2, Cmp::Lt, x.abs(), -1.0);
+            }) as ToyBody,
+        ),
+        FnProgram::new(
+            "ledge",
+            1,
+            3,
+            Box::new(|input: &[f64], ctx: &mut ExecCtx| {
+                let x = input[0];
+                if ctx.branch(0, Cmp::Ge, x, 100.0) {
+                    ctx.branch(1, Cmp::Eq, x, 256.0);
+                }
+                ctx.branch(2, Cmp::Lt, x * x, -1.0);
+            }) as ToyBody,
+        ),
+    ]
+}
+
+fn campaign_config(store: Option<Arc<CorpusStore>>) -> CampaignConfig {
+    let base = CoverMeConfig::new().with_n_start(12).with_seed(11);
+    let config = CampaignConfig::new().with_base(base).with_workers(2);
+    match store {
+        Some(store) => config.with_corpus(store),
+        None => config,
+    }
+}
+
+fn coverage_by_function(report: &CampaignReport) -> Vec<(String, usize, usize)> {
+    report
+        .results
+        .iter()
+        .map(|result| {
+            let report = result.report.as_ref().expect("function ran");
+            (
+                result.name.clone(),
+                report.coverage.covered_count(),
+                report.evaluations,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn repeat_campaigns_warm_start_with_identical_coverage_and_fewer_evals() {
+    let scratch = ScratchCorpus::new("repeat");
+    let programs = inventory();
+
+    let cold = Campaign::new(campaign_config(Some(scratch.store.clone()))).run(&programs);
+    assert_eq!(cold.total_warm_replayed(), 0, "first run must be cold");
+    assert!(!cold.corpus_warm_start());
+
+    let warm = Campaign::new(campaign_config(Some(scratch.store.clone()))).run(&programs);
+    assert!(warm.corpus_warm_start(), "second run must warm-start");
+    assert!(warm.total_warm_replayed() > 0);
+
+    // Identical final coverage, function by function…
+    let cold_cov = coverage_by_function(&cold);
+    let warm_cov = coverage_by_function(&warm);
+    for ((name, cold_covered, cold_evals), (_, warm_covered, warm_evals)) in
+        cold_cov.iter().zip(&warm_cov)
+    {
+        assert_eq!(
+            cold_covered, warm_covered,
+            "{name}: warm start changed final coverage"
+        );
+        assert!(
+            *warm_evals < *cold_evals,
+            "{name}: warm run must be cheaper ({warm_evals} vs {cold_evals})"
+        );
+    }
+
+    // …and at least the 30% suite-level saving the corpus promises. (In
+    // practice the schedule credit makes this nearly 100%: both searches
+    // exhausted their schedules cold, so the warm runs only replay.)
+    assert!(
+        warm.total_evaluations() * 10 <= cold.total_evaluations() * 7,
+        "warm run must save >= 30% of evaluations ({} vs {})",
+        warm.total_evaluations(),
+        cold.total_evaluations()
+    );
+
+    // Third run: the recorded warm entry must carry the exhaustion verdict
+    // forward, so repeats stay warm indefinitely, not just once.
+    let third = Campaign::new(campaign_config(Some(scratch.store.clone()))).run(&programs);
+    assert!(third.corpus_warm_start(), "third run must stay warm");
+    assert_eq!(coverage_by_function(&third), warm_cov);
+}
+
+#[test]
+fn changing_the_search_key_voids_the_schedule_credit_but_keeps_replay() {
+    let scratch = ScratchCorpus::new("rekey");
+    let programs = inventory();
+
+    // Blame is disabled so the unreachable branches can never saturate:
+    // after a warm replay the search is provably *not* done, and the only
+    // way to finish with zero rounds is the schedule credit itself.
+    let keyed_config = |seed: u64| {
+        CampaignConfig::new()
+            .with_base(
+                CoverMeConfig::new()
+                    .with_n_start(12)
+                    .with_seed(seed)
+                    .with_infeasible_policy(coverme::InfeasiblePolicy::Disabled),
+            )
+            .with_workers(2)
+            .with_corpus(scratch.store.clone())
+    };
+
+    let cold = Campaign::new(keyed_config(11)).run(&programs);
+
+    // Same seed → same search key → the credit applies: replay only.
+    let same_key = Campaign::new(keyed_config(11)).run(&programs);
+    assert!(same_key.corpus_warm_start());
+    for result in &same_key.results {
+        let report = result.report.as_ref().expect("function ran");
+        assert!(
+            report.rounds.is_empty(),
+            "{}: a same-key repeat must take the schedule credit",
+            result.name
+        );
+    }
+
+    // A different seed is a different schedule: the corpus still replays
+    // winners (coverage head start) but must not take the credit — the
+    // new schedule's rounds have never run, so they must run now.
+    let rekeyed = Campaign::new(keyed_config(12)).run(&programs);
+    assert!(rekeyed.corpus_warm_start(), "winners still replay");
+    for (result, cold_result) in rekeyed.results.iter().zip(&cold.results) {
+        let report = result.report.as_ref().expect("function ran");
+        let cold_report = cold_result.report.as_ref().expect("function ran");
+        assert!(
+            report.coverage.covered_count() >= cold_report.coverage.covered_count(),
+            "{}: replayed winners must not lose coverage",
+            result.name
+        );
+        assert!(
+            !report.rounds.is_empty(),
+            "{}: a rekeyed run must actually search (no schedule credit)",
+            result.name
+        );
+    }
+}
+
+#[test]
+fn corpus_less_campaigns_are_untouched_by_a_populated_corpus() {
+    let scratch = ScratchCorpus::new("offswitch");
+    let programs = inventory();
+
+    // Populate the corpus, then run with the knob off: same coverage and
+    // evals as a never-corpused run, and no warm-start marks anywhere.
+    Campaign::new(campaign_config(Some(scratch.store.clone()))).run(&programs);
+    let off = Campaign::new(campaign_config(None)).run(&programs);
+    let off_again = Campaign::new(campaign_config(None)).run(&programs);
+
+    assert_eq!(off.total_warm_replayed(), 0);
+    assert!(!off.corpus_warm_start());
+    assert_eq!(coverage_by_function(&off), coverage_by_function(&off_again));
+    assert_eq!(off.total_evaluations(), off_again.total_evaluations());
+}

@@ -158,9 +158,9 @@ proptest! {
         shards in 1..4usize,
     ) {
         let program = build_program(specs);
-        let base = CoverMeConfig::default().n_start(48).n_iter(5).seed(seed).shards(shards);
-        let cached = CoverMe::new(base.clone().cache(CacheMode::On)).run(&program);
-        let uncached = CoverMe::new(base.cache(CacheMode::Off)).run(&program);
+        let base = CoverMeConfig::default().with_n_start(48).with_n_iter(5).with_seed(seed).with_shards(shards);
+        let cached = CoverMe::new(base.clone().with_cache(CacheMode::On)).run(&program);
+        let uncached = CoverMe::new(base.with_cache(CacheMode::Off)).run(&program);
         prop_assert_eq!(&cached.inputs, &uncached.inputs);
         prop_assert_eq!(cached.coverage.covered(), uncached.coverage.covered());
         prop_assert_eq!(&cached.infeasible, &uncached.infeasible);
@@ -216,7 +216,7 @@ fn search_telemetry_is_internally_consistent() {
         ];
         build_program(specs)
     };
-    let report = CoverMe::new(CoverMeConfig::default().n_start(40).seed(5)).run(&program);
+    let report = CoverMe::new(CoverMeConfig::default().with_n_start(40).with_seed(5)).run(&program);
     assert!(report.evaluations > 0);
     assert!(report.cache_hits <= report.evaluations);
     // Per-round evaluation counts never exceed the total.

@@ -87,10 +87,10 @@ fn program_strategy() -> impl Strategy<Value = Vec<SiteSpec>> {
 
 fn config(seed: u64, shards: usize) -> CoverMeConfig {
     CoverMeConfig::default()
-        .n_start(48)
-        .n_iter(5)
-        .seed(seed)
-        .shards(shards)
+        .with_n_start(48)
+        .with_n_iter(5)
+        .with_seed(seed)
+        .with_shards(shards)
 }
 
 proptest! {

@@ -32,7 +32,7 @@ use coverme::driver::{EpochOutcome, SearchState};
 use coverme::shard::run_shard;
 use coverme::{
     Campaign, CampaignConfig, CoverMe, CoverMeConfig, InfeasiblePolicy, ObjectiveEngine,
-    RoundOutcome, RoundRecord, SaturationTracker, ShardOutcome,
+    RoundOutcome, RoundRecord, SaturationTracker, ShardOutcome, WarmStart,
 };
 use coverme_optim::rng::SplitMix64;
 use coverme_optim::BasinHopping;
@@ -105,11 +105,11 @@ fn program_strategy() -> impl Strategy<Value = Vec<SiteSpec>> {
 
 fn config(seed: u64, shards: usize, sync_epochs: usize) -> CoverMeConfig {
     CoverMeConfig::default()
-        .n_start(48)
-        .n_iter(5)
-        .seed(seed)
-        .shards(shards)
-        .sync_epochs(sync_epochs)
+        .with_n_start(48)
+        .with_n_iter(5)
+        .with_seed(seed)
+        .with_shards(shards)
+        .with_sync_epochs(sync_epochs)
 }
 
 /// A reference reimplementation of the pre-`SearchState` shard loop (the
@@ -226,7 +226,7 @@ proptest! {
         shards in 1..4usize,
     ) {
         let program = build_program(specs);
-        let cfg = config(seed, shards, 0).polish(false);
+        let cfg = config(seed, shards, 0).with_polish(false);
         for shard in 0..shards {
             let outcome = run_shard(&cfg, &program, shard);
             let (rounds, evaluations, inputs) =
@@ -325,8 +325,8 @@ proptest! {
         let run_campaign = |workers: usize| {
             Campaign::new(
                 CampaignConfig::new()
-                    .base(cfg.clone())
-                    .workers(workers),
+                    .with_base(cfg.clone())
+                    .with_workers(workers),
             )
             .run(&programs)
         };
@@ -340,6 +340,42 @@ proptest! {
             prop_assert_eq!(&a.inputs, &b.inputs, "workers = {}", workers);
             prop_assert_eq!(&a.coverage, &b.coverage);
             prop_assert_eq!(a.evaluations, b.evaluations);
+        }
+    }
+
+    /// A corpus warm start replays inside each shard's first `run_rounds`
+    /// slice, before any scheduled round: synced warm runs remain
+    /// deterministic across the sequential and the thread-per-shard
+    /// barrier drivers, and the per-epoch evaluation ledger still covers
+    /// every evaluation — replayed ones included.
+    #[test]
+    fn warm_started_synced_runs_stay_deterministic(
+        specs in program_strategy(),
+        seed in 0..1000u64,
+        shards in 2..4usize,
+        sync_epochs in 2..5usize,
+    ) {
+        let program = build_program(specs);
+        // Harvest replay material from a cold run of a different schedule
+        // (different seed → different search key, so no schedule credit:
+        // this pins the pure replay path under sync).
+        let donor = CoverMe::new(config(seed ^ 0x55, shards, sync_epochs)).run(&program);
+        let warm = WarmStart {
+            inputs: donor.inputs.clone(),
+            infeasible: donor.infeasible.clone(),
+            prior_coverage: None,
+        };
+        let cfg = config(seed, shards, sync_epochs).with_warm_start(warm);
+        let sequential = CoverMe::new(cfg.clone()).run(&program);
+        let parallel = CoverMe::new(cfg).run_parallel(&program);
+        prop_assert_eq!(&sequential.inputs, &parallel.inputs);
+        prop_assert_eq!(&sequential.coverage, &parallel.coverage);
+        prop_assert_eq!(sequential.evaluations, parallel.evaluations);
+        prop_assert_eq!(sequential.warm_replayed, parallel.warm_replayed);
+        prop_assert!(sequential.warm_replayed > 0 || donor.inputs.is_empty());
+        for report in [&sequential, &parallel] {
+            let ledger: usize = report.epochs.iter().map(|e| e.evaluations).sum();
+            prop_assert_eq!(ledger, report.evaluations);
         }
     }
 

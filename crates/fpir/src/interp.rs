@@ -220,6 +220,19 @@ impl Program for IrProgram {
     fn backend(&self, mode: BackendMode) -> Option<Box<dyn ExecBackend>> {
         crate::lower::program_backend(self, mode)
     }
+
+    fn fingerprint(&self) -> u64 {
+        // Key the corpus on the compiled form: any semantic edit to the
+        // source changes the lowered tape and invalidates stale entries.
+        // The rare program the tape cannot mirror falls back to the native
+        // shape hash, exactly like a closure-backed port.
+        match crate::lower::lower(self) {
+            Ok(tape) => tape.fingerprint64(),
+            Err(_) => {
+                coverme_runtime::native_fingerprint(self.name(), self.arity, self.num_sites())
+            }
+        }
+    }
 }
 
 fn collect_lines(block: &Block, lines: &mut BTreeSet<u32>) {

@@ -408,6 +408,19 @@ impl Tape {
         self.to_string()
     }
 
+    /// A stable 64-bit fingerprint of the compiled form: FNV-1a over the
+    /// serialized listing plus the fuel allowance. This is what
+    /// [`Program::fingerprint`](coverme_runtime::Program::fingerprint)
+    /// returns for FPIR programs — any semantic edit to the source changes
+    /// the lowered tape and therefore the key, so stale corpus entries
+    /// never warm-start a changed function. A cache key, not a
+    /// cryptographic digest.
+    pub fn fingerprint64(&self) -> u64 {
+        let mut hash = coverme_runtime::fingerprint_seed();
+        hash = coverme_runtime::fingerprint_bytes(hash, self.serialize().as_bytes());
+        coverme_runtime::fingerprint_bytes(hash, &(self.fuel as u64).to_le_bytes())
+    }
+
     /// Executes the tape on `input` against `ctx` — the scalar path.
     /// Observably identical to interpreting the source program: branch
     /// reports, coverage, trace, outcome classification and fuel behavior

@@ -66,5 +66,5 @@ pub use lane::{
     pen_code_table, resolve_pen, resolve_pen_lanes, LaneCtx, LANE_WIDTH, MIN_LANE_BATCH,
 };
 pub use pen::{pen, SiteSaturation};
-pub use program::{FnProgram, Program};
+pub use program::{fingerprint_bytes, fingerprint_seed, native_fingerprint, FnProgram, Program};
 pub use trace::{TakenBranch, Trace};

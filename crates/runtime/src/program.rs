@@ -58,6 +58,49 @@ pub trait Program {
         let _ = mode;
         None
     }
+
+    /// A stable 64-bit identity of the program *as the search sees it*,
+    /// used as the key of the persistent corpus store. Two programs with
+    /// the same fingerprint are assumed to have the same branch structure,
+    /// so corpus entries recorded under one may warm-start the other.
+    ///
+    /// The default hashes the observable shape a native port exposes —
+    /// name, arity and conditional-site count (a body change that keeps
+    /// all three collides, which for hand-written ports is the accepted
+    /// trade-off). Programs with a compiled form should override this
+    /// with a hash of that form; FPIR programs fingerprint their lowered
+    /// instruction tape, so any semantic edit to the source changes the
+    /// key and invalidates stale corpus entries.
+    ///
+    /// This is a cache key, not a cryptographic digest.
+    fn fingerprint(&self) -> u64 {
+        native_fingerprint(self.name(), self.arity(), self.num_sites())
+    }
+}
+
+/// FNV-1a over a program's externally visible shape — the default
+/// [`Program::fingerprint`] for native (closure-backed) programs.
+pub fn native_fingerprint(name: &str, arity: usize, num_sites: usize) -> u64 {
+    let mut hash = fingerprint_seed();
+    hash = fingerprint_bytes(hash, name.as_bytes());
+    hash = fingerprint_bytes(hash, &(arity as u64).to_le_bytes());
+    fingerprint_bytes(hash, &(num_sites as u64).to_le_bytes())
+}
+
+/// The FNV-1a offset basis — the starting hash for fingerprint folds.
+pub fn fingerprint_seed() -> u64 {
+    0xcbf2_9ce4_8422_2325
+}
+
+/// Folds `bytes` into an FNV-1a fingerprint accumulator. Exposed so
+/// compiled-form programs (the FPIR tape) can build their override out of
+/// the same primitive and stay comparable across crates.
+pub fn fingerprint_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// A [`Program`] built from a closure. This is how the Fdlibm ports and the
@@ -159,6 +202,9 @@ impl<P: Program + ?Sized> Program for &P {
     fn backend(&self, mode: BackendMode) -> Option<Box<dyn ExecBackend>> {
         (**self).backend(mode)
     }
+    fn fingerprint(&self) -> u64 {
+        (**self).fingerprint()
+    }
 }
 
 impl<P: Program + ?Sized> Program for Box<P> {
@@ -179,6 +225,9 @@ impl<P: Program + ?Sized> Program for Box<P> {
     }
     fn backend(&self, mode: BackendMode) -> Option<Box<dyn ExecBackend>> {
         (**self).backend(mode)
+    }
+    fn fingerprint(&self) -> u64 {
+        (**self).fingerprint()
     }
 }
 
@@ -221,6 +270,37 @@ mod tests {
         let p = toy();
         let mut ctx = ExecCtx::observe();
         p.execute(&[1.0], &mut ctx);
+    }
+
+    #[test]
+    fn native_fingerprint_keys_on_name_and_shape() {
+        let p = toy();
+        assert_eq!(
+            p.fingerprint(),
+            native_fingerprint("toy", 2, 1),
+            "default fingerprint is the native shape hash"
+        );
+        // Forwarding impls preserve the fingerprint.
+        fn by_ref_fingerprint<P: Program>(p: &P) -> u64 {
+            // Calls `<&P as Program>::fingerprint`, the forwarding impl.
+            <&P as Program>::fingerprint(&p)
+        }
+        assert_eq!(by_ref_fingerprint(&p), p.fingerprint());
+        let boxed: Box<dyn Program> = Box::new(toy());
+        assert_eq!(boxed.fingerprint(), p.fingerprint());
+        // Any shape component changes the key.
+        assert_ne!(
+            native_fingerprint("toy", 2, 1),
+            native_fingerprint("toy2", 2, 1)
+        );
+        assert_ne!(
+            native_fingerprint("toy", 2, 1),
+            native_fingerprint("toy", 3, 1)
+        );
+        assert_ne!(
+            native_fingerprint("toy", 2, 1),
+            native_fingerprint("toy", 2, 2)
+        );
     }
 
     #[test]

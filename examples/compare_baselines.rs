@@ -17,7 +17,7 @@ fn main() {
         .unwrap_or_else(|| "tanh".to_string());
     let b = by_name(&name).expect("unknown benchmark; try tanh, pow, erf, ...");
 
-    let coverme = CoverMe::new(CoverMeConfig::default().n_start(80).seed(7)).run(&b);
+    let coverme = CoverMe::new(CoverMeConfig::default().with_n_start(80).with_seed(7)).run(&b);
     let budget = Some((coverme.wall_time * 10).max(Duration::from_millis(200)));
 
     let rand = RandomTester::new(RandomConfig {

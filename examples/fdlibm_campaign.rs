@@ -147,10 +147,10 @@ fn main() {
 
     let run = |base: CommonOptions, stream: bool| -> CampaignReport {
         let mut config = CampaignConfig::new()
-            .base(base.search_config())
-            .workers(options.workers);
+            .with_base(base.search_config())
+            .with_workers(options.workers);
         if let Some(budget) = options.time_budget {
-            config = config.time_budget(budget);
+            config = config.with_time_budget(budget);
         }
         let effective = config.effective_workers(inventory.len());
         let effective_sync = config.base.effective_sync_epochs();

@@ -30,7 +30,7 @@ fn main() {
     // Step 2 + 3: the representing function is built and minimized by the
     // CoverMe driver; the compiled program plugs straight into it.
     let program = compile(SOURCE, "foo").expect("compiles");
-    let report = CoverMe::new(CoverMeConfig::default().n_start(60).seed(3)).run(&program);
+    let report = CoverMe::new(CoverMeConfig::default().with_n_start(60).with_seed(3)).run(&program);
     println!("=== CoverMe on foo ===");
     println!("{report}");
     for round in report.rounds.iter().take(6) {
@@ -64,7 +64,7 @@ fn main() {
     )
     .expect("compiles")
     .with_fuel(50_000);
-    let report = CoverMe::new(CoverMeConfig::default().n_start(40).seed(3)).run(&spinner);
+    let report = CoverMe::new(CoverMeConfig::default().with_n_start(40).with_seed(3)).run(&spinner);
     println!("=== CoverMe on a non-terminating program ===");
     println!("{report}");
     println!(

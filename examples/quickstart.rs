@@ -18,7 +18,8 @@ fn main() {
         }
     });
 
-    let report = CoverMe::new(CoverMeConfig::default().n_start(100).seed(7)).run(&program);
+    let report =
+        CoverMe::new(CoverMeConfig::default().with_n_start(100).with_seed(7)).run(&program);
 
     println!("{report}");
     println!("branch coverage: {:.1}%", report.branch_coverage_percent());

@@ -53,6 +53,10 @@ pub struct CommonOptions {
     pub stream: bool,
     /// Campaign worker threads (`--workers`; 0 = auto).
     pub workers: usize,
+    /// Persistent corpus store directory (`--corpus DIR`): warm-start
+    /// repeat searches from prior winners and record completed results
+    /// back (see `coverme::corpus`).
+    pub corpus_dir: Option<String>,
 }
 
 impl Default for CommonOptions {
@@ -72,6 +76,7 @@ impl Default for CommonOptions {
             json_path: None,
             stream: false,
             workers: 0,
+            corpus_dir: None,
         }
     }
 }
@@ -82,20 +87,20 @@ impl CommonOptions {
     /// the front ends apply themselves.
     pub fn search_config(&self) -> CoverMeConfig {
         let mut config = CoverMeConfig::default()
-            .n_start(self.n_start)
-            .seed(self.seed)
-            .local_method(self.local_method)
-            .backend(self.backend)
-            .shards(self.shards)
-            .sync_epochs(self.sync_epochs)
-            .scheduler(self.scheduler)
-            .adaptive_sync(self.adaptive_sync)
-            .infeasible_policy(self.infeasible_policy);
+            .with_n_start(self.n_start)
+            .with_seed(self.seed)
+            .with_local_method(self.local_method)
+            .with_backend(self.backend)
+            .with_shards(self.shards)
+            .with_sync_epochs(self.sync_epochs)
+            .with_scheduler(self.scheduler)
+            .with_adaptive_sync(self.adaptive_sync)
+            .with_infeasible_policy(self.infeasible_policy);
         if let Some(budget) = self.time_budget {
-            config = config.time_budget(budget);
+            config = config.with_time_budget(budget);
         }
         if let Some(evals) = self.budget_evals {
-            config = config.budget(evals);
+            config = config.with_budget(evals);
         }
         config
     }
@@ -118,6 +123,7 @@ pub const COMMON_USAGE: &str = "\
   --json PATH          write a machine-readable report to PATH (atomic)
   --stream             print progress as it happens
   --workers N          campaign worker threads (default: auto)
+  --corpus DIR         persistent corpus store: warm-start repeats, record results
   --help               print this message";
 
 /// Flag-parsing mechanics shared by the front ends: iterator handling,
@@ -218,6 +224,7 @@ impl<I: Iterator<Item = String>> ArgParser<I> {
             "--json" => options.json_path = Some(self.value_for("--json")),
             "--stream" => options.stream = true,
             "--workers" => options.workers = self.parsed("--workers"),
+            "--corpus" => options.corpus_dir = Some(self.value_for("--corpus")),
             "--help" | "-h" => {
                 println!("{}", self.usage);
                 std::process::exit(0);
@@ -225,6 +232,82 @@ impl<I: Iterator<Item = String>> ArgParser<I> {
             _ => return false,
         }
         true
+    }
+}
+
+/// Declarative subcommand table for a front end with several modes: the
+/// registered names, their one-line summaries (spliced into usage text via
+/// [`summaries`](Self::summaries)), and the resolution conventions —
+/// missing command exits 2, `help` variants exit 0, unknown commands exit
+/// 2 listing what exists. Nested subcommands (`coverme corpus ls`) just
+/// use a second `SubcommandSet` on the first operand.
+pub struct SubcommandSet {
+    tool: &'static str,
+    usage: &'static str,
+    commands: &'static [(&'static str, &'static str)],
+}
+
+impl SubcommandSet {
+    /// Builds a table. `commands` pairs each name with a one-line summary.
+    pub fn new(
+        tool: &'static str,
+        usage: &'static str,
+        commands: &'static [(&'static str, &'static str)],
+    ) -> Self {
+        SubcommandSet {
+            tool,
+            usage,
+            commands,
+        }
+    }
+
+    /// Looks a name up, exact match only.
+    pub fn find(&self, name: &str) -> Option<&'static str> {
+        self.commands
+            .iter()
+            .find(|(command, _)| *command == name)
+            .map(|(command, _)| *command)
+    }
+
+    /// The usage lines for the registered subcommands, one `  name  summary`
+    /// row per command.
+    pub fn summaries(&self) -> String {
+        let width = self
+            .commands
+            .iter()
+            .map(|(name, _)| name.len())
+            .max()
+            .unwrap_or(0);
+        self.commands
+            .iter()
+            .map(|(name, summary)| format!("  {name:width$}   {summary}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Resolves the leading argument to a registered subcommand, applying
+    /// the exit conventions: `None` is a missing command (exit 2),
+    /// `help`/`--help`/`-h` print the usage text (exit 0), anything
+    /// unregistered is a usage error naming the alternatives (exit 2).
+    pub fn resolve(&self, first: Option<String>) -> &'static str {
+        let Some(name) = first else {
+            eprintln!("{}: missing command\n{}", self.tool, self.usage);
+            std::process::exit(2);
+        };
+        if matches!(name.as_str(), "help" | "--help" | "-h") {
+            println!("{}", self.usage);
+            std::process::exit(0);
+        }
+        self.find(&name).unwrap_or_else(|| {
+            let known: Vec<&str> = self.commands.iter().map(|(n, _)| *n).collect();
+            eprintln!(
+                "{}: unknown command {name} (expected one of: {})\n{}",
+                self.tool,
+                known.join(", "),
+                self.usage
+            );
+            std::process::exit(2);
+        })
     }
 }
 
@@ -343,6 +426,30 @@ mod tests {
         let operand = p.next_arg().unwrap();
         assert!(!p.accept_common(&operand, &mut options));
         assert_eq!(operand, "file.fpir");
+    }
+
+    #[test]
+    fn subcommand_lookup_resolution_and_summaries() {
+        let set = SubcommandSet::new(
+            "test",
+            "usage",
+            &[("run", "test one program"), ("corpus", "inspect the store")],
+        );
+        assert_eq!(set.find("run"), Some("run"));
+        assert_eq!(set.find("serve"), None);
+        assert_eq!(set.resolve(Some("corpus".to_string())), "corpus");
+        let rows = set.summaries();
+        assert!(rows.contains("run") && rows.contains("inspect the store"));
+    }
+
+    #[test]
+    fn corpus_flag_reaches_the_options() {
+        let mut p = parser(&["--corpus", ".corpus"]);
+        let mut options = CommonOptions::default();
+        while let Some(arg) = p.next_arg() {
+            assert!(p.accept_common(&arg, &mut options), "unhandled {arg}");
+        }
+        assert_eq!(options.corpus_dir.as_deref(), Some(".corpus"));
     }
 
     #[test]

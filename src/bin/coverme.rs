@@ -1,21 +1,26 @@
-//! The `coverme` command-line front end: run CoverMe on FPIR source files.
+//! The `coverme` command-line front end: run CoverMe on FPIR source files,
+//! locally or against a long-running campaign daemon.
 //!
 //! The paper's tool is invoked on C source; this reproduction's equivalent
 //! front door takes FPIR mini-language files (see `coverme-fpir` and the
 //! checked-in corpus in `examples/fpir/`) and drives the same search
 //! machinery the library exposes — sharding, cross-shard sync, the
-//! streaming campaign scheduler, and the execution-backend layer
-//! (`--backend auto|interp|tape`).
+//! streaming campaign scheduler, the execution-backend layer
+//! (`--backend auto|interp|tape`), and the persistent corpus store
+//! (`--corpus DIR`, see `coverme::corpus`).
 //!
 //! ```text
-//! coverme run <file.fpir> [options]      test one program
-//! coverme campaign <dir> [options]       test every .fpir file in a directory
+//! coverme run <file.fpir> [options]       test one program
+//! coverme campaign <dir> [options]        test every .fpir file in a directory
+//! coverme serve [options]                 start the campaign daemon
+//! coverme submit <file.fpir...> [options] submit a job to a running daemon
+//! coverme corpus <ls|stats|gc> [options]  inspect or prune a corpus store
 //! ```
 //!
 //! The common options (`--seed`, `--shards`, `--local`, `--backend`, …)
 //! are shared with the `fdlibm_campaign` example through
-//! [`coverme_repro::args`]; `run` additionally takes `--entry` and
-//! `--fuel`.
+//! [`coverme_repro::args`]; subcommand-specific flags are listed in the
+//! usage text below.
 //!
 //! `run` exits 0 and prints the usual coverage report; its JSON carries an
 //! `outcome` field — `done` when every evaluation ran to completion,
@@ -24,17 +29,25 @@
 //! program degrades instead of hanging. Bad invocations exit 2; source or
 //! I/O errors exit 1 with a positioned message.
 
+use std::sync::Arc;
+
+use coverme::report::schema::JsonValue;
 use coverme::{
-    Campaign, CampaignConfig, CampaignEvent, CampaignReport, CoverMe, CoverMeConfig, Program,
-    SearchState, TestReport,
+    Campaign, CampaignConfig, CampaignEvent, CampaignReport, CorpusStore, CoverMe, CoverMeConfig,
+    Program, SearchState,
 };
 use coverme_fpir::{check, instrument, parse, IrProgram, Module};
-use coverme_repro::args::{write_json_atomic, ArgParser, CommonOptions};
+use coverme_repro::args::{write_json_atomic, ArgParser, CommonOptions, SubcommandSet};
+use coverme_repro::serve::{serve, submit_job, ServeOptions};
 
 const USAGE: &str = "\
-usage: coverme <run|campaign> <path> [options]
-  run <file.fpir>      test one FPIR program
-  campaign <dir>       test every .fpir file in a directory (sorted by name)
+usage: coverme <command> [options]
+commands:
+  run <file.fpir>        test one FPIR program
+  campaign <dir>         test every .fpir file in a directory (sorted by name)
+  serve                  start the campaign daemon (JSON-lines TCP protocol)
+  submit <file.fpir...>  submit a campaign job to a running daemon
+  corpus <ls|stats|gc>   inspect or prune a corpus store
 options:
   --entry NAME         entry function (run mode only)
   --fuel N             interpreter step budget per execution (default 100000)
@@ -51,8 +64,34 @@ options:
   --scheduler POLICY   campaign eval allocation: fixed (default), bandit
   --json PATH          write a machine-readable report to PATH (atomic)
   --stream             per-round (run) / per-function (campaign) progress
-  --workers N          campaign worker threads (default: auto)
+  --workers N          worker threads (default: auto); serve: shared pool size
+  --corpus DIR         persistent corpus store: warm-start repeats, record results
+serve options:
+  --port N             listen port (default 0 = ephemeral, printed on start)
+  --max-jobs N         concurrently running campaigns (default 4)
+  --tier NAME=EVALS    per-tenant evaluation pool (repeatable)
+submit options:
+  --connect HOST:PORT  daemon address (required)
+  --tenant NAME        tenant to submit as (default: default)
+  --suite fdlibm       submit fdlibm benchmarks (operands name functions)
+  --op OP              raw daemon op instead of a campaign: ping|stats|gc|shutdown
+corpus options:
+  --keep N             entries `corpus gc` keeps, newest first (default 64)
   --help               print this message";
+
+const COMMANDS: &[(&str, &str)] = &[
+    ("run", "test one FPIR program"),
+    ("campaign", "test every .fpir file in a directory"),
+    ("serve", "start the campaign daemon"),
+    ("submit", "submit a campaign job to a running daemon"),
+    ("corpus", "inspect or prune a corpus store"),
+];
+
+const CORPUS_COMMANDS: &[(&str, &str)] = &[
+    ("ls", "list corpus entries"),
+    ("stats", "aggregate corpus numbers"),
+    ("gc", "prune to the newest entries"),
+];
 
 /// Source or I/O failure: positioned message on stderr, exit 1.
 fn run_error(message: &str) -> ! {
@@ -60,11 +99,19 @@ fn run_error(message: &str) -> ! {
     std::process::exit(1);
 }
 
-/// The `run`/`campaign`-specific flags on top of the shared set.
+/// The subcommand-specific flags on top of the shared set.
 struct Options {
     common: CommonOptions,
     entry: Option<String>,
     fuel: Option<usize>,
+    port: u16,
+    max_jobs: usize,
+    tiers: Vec<(String, usize)>,
+    connect: Option<String>,
+    tenant: Option<String>,
+    suite: Option<String>,
+    op: Option<String>,
+    keep: usize,
 }
 
 fn parse_options(args: impl Iterator<Item = String>) -> (Vec<String>, Options) {
@@ -73,6 +120,14 @@ fn parse_options(args: impl Iterator<Item = String>) -> (Vec<String>, Options) {
         common: CommonOptions::default(),
         entry: None,
         fuel: None,
+        port: 0,
+        max_jobs: 4,
+        tiers: Vec::new(),
+        connect: None,
+        tenant: None,
+        suite: None,
+        op: None,
+        keep: 64,
     };
     let mut operands = Vec::new();
     while let Some(arg) = parser.next_arg() {
@@ -88,6 +143,29 @@ fn parse_options(args: impl Iterator<Item = String>) -> (Vec<String>, Options) {
                 }
                 options.fuel = Some(fuel);
             }
+            "--port" => options.port = parser.parsed("--port"),
+            "--max-jobs" => {
+                let max_jobs: usize = parser.parsed("--max-jobs");
+                if max_jobs == 0 {
+                    parser.usage_error("--max-jobs must be positive");
+                }
+                options.max_jobs = max_jobs;
+            }
+            "--tier" => {
+                let spec = parser.value_for("--tier");
+                let Some((name, evals)) = spec.split_once('=') else {
+                    parser.usage_error(&format!("--tier wants NAME=EVALS, found {spec}"));
+                };
+                let Ok(evals) = evals.parse::<usize>() else {
+                    parser.usage_error(&format!("--tier got invalid eval count {evals}"));
+                };
+                options.tiers.push((name.to_string(), evals));
+            }
+            "--connect" => options.connect = Some(parser.value_for("--connect")),
+            "--tenant" => options.tenant = Some(parser.value_for("--tenant")),
+            "--suite" => options.suite = Some(parser.value_for("--suite")),
+            "--op" => options.op = Some(parser.value_for("--op")),
+            "--keep" => options.keep = parser.parsed("--keep"),
             flag if flag.starts_with('-') => {
                 parser.usage_error(&format!("unknown flag {flag}"));
             }
@@ -99,6 +177,18 @@ fn parse_options(args: impl Iterator<Item = String>) -> (Vec<String>, Options) {
 
 fn search_config(options: &Options) -> CoverMeConfig {
     options.common.search_config()
+}
+
+/// Opens the corpus store named by `--corpus`, if any. Exit 1 on I/O
+/// failure — a requested store that cannot be opened must not silently
+/// degrade to a cold run.
+fn open_corpus(options: &Options) -> Option<Arc<CorpusStore>> {
+    options.common.corpus_dir.as_ref().map(|dir| {
+        Arc::new(
+            CorpusStore::open(dir)
+                .unwrap_or_else(|error| run_error(&format!("cannot open corpus {dir}: {error}"))),
+        )
+    })
 }
 
 /// Picks the entry function: `--entry` wins, else a function named like the
@@ -149,60 +239,24 @@ fn load_program(path: &str, entry: Option<&str>, fuel: Option<usize>) -> IrProgr
     }
 }
 
-/// The run's headline classification: `done` when every evaluation ran to
-/// completion, otherwise the dominant abort kind. A looping program whose
-/// every execution exhausts its fuel reports `timeout` here — the value the
-/// CI smoke test pins.
-fn outcome_label(report: &TestReport) -> &'static str {
-    if report.aborted_evaluations() == 0 {
-        "done"
-    } else if report.timeouts >= report.traps {
-        "timeout"
-    } else {
-        "trap"
-    }
-}
-
-/// Hand-rolled JSON for one `coverme run` (the build image has no serde).
-fn run_report_json(report: &TestReport, entry: &str, path: &str) -> String {
-    let mut out = String::with_capacity(512);
-    out.push_str("{\n");
-    out.push_str("  \"schema\": \"coverme-run-report/2\",\n");
-    out.push_str(&format!("  \"file\": \"{}\",\n", path.replace('\\', "/")));
-    out.push_str(&format!("  \"entry\": \"{entry}\",\n"));
-    out.push_str(&format!("  \"outcome\": \"{}\",\n", outcome_label(report)));
-    out.push_str(&format!("  \"backend\": \"{}\",\n", report.backend));
-    out.push_str(&format!("  \"lane_width\": {},\n", report.lane_width));
-    out.push_str(&format!(
-        "  \"branches\": {},\n",
-        report.coverage.total_branches()
-    ));
-    out.push_str(&format!(
-        "  \"covered_branches\": {},\n",
-        report.coverage.covered_count()
-    ));
-    out.push_str(&format!(
-        "  \"branch_coverage_percent\": {},\n",
-        report.branch_coverage_percent()
-    ));
-    out.push_str(&format!("  \"inputs\": {},\n", report.inputs.len()));
-    out.push_str(&format!("  \"rounds\": {},\n", report.rounds.len()));
-    out.push_str(&format!("  \"evals\": {},\n", report.evaluations));
-    out.push_str(&format!("  \"cache_hits\": {},\n", report.cache_hits));
-    out.push_str(&format!("  \"timeouts\": {},\n", report.timeouts));
-    out.push_str(&format!("  \"traps\": {},\n", report.traps));
-    out.push_str(&format!(
-        "  \"wall_time_s\": {}\n",
-        report.wall_time.as_secs_f64()
-    ));
-    out.push_str("}\n");
-    out
-}
-
 fn cmd_run(path: &str, options: &Options) {
     let program = load_program(path, options.entry.as_deref(), options.fuel);
     let entry = program.name().to_string();
-    let config = search_config(options);
+    let mut config = search_config(options);
+    let corpus = open_corpus(options);
+    let fingerprint = corpus.as_ref().map(|store| {
+        let fingerprint = program.fingerprint();
+        if let Some(warm) = store.warm_start_for(
+            fingerprint,
+            program.arity(),
+            program.num_sites(),
+            config.search_key(),
+        ) {
+            config = config.clone().with_warm_start(warm);
+        }
+        fingerprint
+    });
+    let record_config = config.clone();
     let report = if options.common.stream {
         if config.effective_shards() > 1 {
             usage_error("--stream run mode is unsharded; drop --shards");
@@ -229,10 +283,21 @@ fn cmd_run(path: &str, options: &Options) {
     } else {
         CoverMe::new(config).run(&program)
     };
+    if let (Some(store), Some(fingerprint)) = (&corpus, fingerprint) {
+        if let Err(error) = store.record_report(fingerprint, &record_config, &report) {
+            eprintln!("coverme: corpus record failed: {error}");
+        }
+    }
     print!("{report}");
-    println!("outcome: {}", outcome_label(&report));
+    if report.warm_replayed > 0 {
+        println!(
+            "warm start: {} corpus inputs replayed",
+            report.warm_replayed
+        );
+    }
+    println!("outcome: {}", report.outcome_label());
     if let Some(json_path) = &options.common.json_path {
-        write_json_atomic(json_path, &run_report_json(&report, &entry, path));
+        write_json_atomic(json_path, &report.to_run_json(&entry, path));
     }
 }
 
@@ -263,10 +328,13 @@ fn cmd_campaign(dir: &str, options: &Options) {
         .collect();
 
     let mut config = CampaignConfig::new()
-        .base(search_config(options))
-        .workers(options.common.workers);
+        .with_base(search_config(options))
+        .with_workers(options.common.workers);
     if let Some(budget) = options.common.time_budget {
-        config = config.time_budget(budget);
+        config = config.with_time_budget(budget);
+    }
+    if let Some(store) = open_corpus(options) {
+        config = config.with_corpus(store);
     }
     let campaign = Campaign::new(config);
     let report = if options.common.stream {
@@ -282,23 +350,167 @@ fn cmd_campaign(dir: &str, options: &Options) {
         print!("{report}");
         report
     };
+    if report.corpus_warm_start() {
+        println!(
+            "warm start: {} corpus inputs replayed across the suite",
+            report.total_warm_replayed()
+        );
+    }
     if let Some(json_path) = &options.common.json_path {
         write_json_atomic(json_path, &report.to_json());
     }
 }
 
+fn cmd_serve(options: &Options) {
+    let serve_options = ServeOptions {
+        max_jobs: options.max_jobs,
+        workers: options.common.workers,
+        corpus: open_corpus(options),
+        tiers: options.tiers.clone(),
+        base: search_config(options),
+    };
+    let listener = std::net::TcpListener::bind(("127.0.0.1", options.port))
+        .unwrap_or_else(|error| run_error(&format!("cannot bind port {}: {error}", options.port)));
+    if let Err(error) = serve(listener, serve_options) {
+        run_error(&format!("serve failed: {error}"));
+    }
+}
+
+fn cmd_submit(operands: &[String], options: &Options) {
+    let Some(addr) = &options.connect else {
+        usage_error("submit needs --connect HOST:PORT");
+    };
+    let request = match options.op.as_deref() {
+        Some("ping") | Some("stats") | Some("shutdown") => {
+            format!("{{\"op\": \"{}\"}}", options.op.as_deref().unwrap())
+        }
+        Some("gc") => format!("{{\"op\": \"gc\", \"keep\": {}}}", options.keep),
+        Some(other) => usage_error(&format!(
+            "--op got unknown op {other} (ping, stats, gc, shutdown)"
+        )),
+        None => {
+            let mut members = vec![
+                ("op".to_string(), JsonValue::String("campaign".to_string())),
+                (
+                    "tenant".to_string(),
+                    JsonValue::String(options.tenant.clone().unwrap_or_else(|| "default".into())),
+                ),
+                (
+                    "seed".to_string(),
+                    JsonValue::Number(options.common.seed as f64),
+                ),
+                (
+                    "n_start".to_string(),
+                    JsonValue::Number(options.common.n_start as f64),
+                ),
+            ];
+            if let Some(fuel) = options.fuel {
+                members.push(("fuel".to_string(), JsonValue::Number(fuel as f64)));
+            }
+            match options.suite.as_deref() {
+                Some(suite) => {
+                    members.push(("suite".to_string(), JsonValue::String(suite.to_string())));
+                    if !operands.is_empty() {
+                        members.push((
+                            "functions".to_string(),
+                            JsonValue::Array(
+                                operands
+                                    .iter()
+                                    .map(|name| JsonValue::String(name.clone()))
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                }
+                None => {
+                    if operands.is_empty() {
+                        usage_error("submit takes .fpir files (or --suite fdlibm)");
+                    }
+                    let sources: Vec<JsonValue> = operands
+                        .iter()
+                        .map(|path| {
+                            let text = std::fs::read_to_string(path).unwrap_or_else(|error| {
+                                run_error(&format!("cannot read {path}: {error}"))
+                            });
+                            JsonValue::Object(vec![
+                                ("path".to_string(), JsonValue::String(path.clone())),
+                                ("text".to_string(), JsonValue::String(text)),
+                            ])
+                        })
+                        .collect();
+                    members.push(("sources".to_string(), JsonValue::Array(sources)));
+                }
+            }
+            JsonValue::Object(members).to_compact()
+        }
+    };
+    let outcome = submit_job(addr, &request, |event| {
+        println!("{}", event.to_compact());
+    })
+    .unwrap_or_else(|error| run_error(&format!("cannot reach {addr}: {error}")));
+    match outcome {
+        Ok(report) => {
+            if let (Some(json_path), Some(report)) = (&options.common.json_path, report) {
+                write_json_atomic(json_path, &format!("{report}\n"));
+            }
+        }
+        Err(reason) => run_error(&format!("daemon refused the request: {reason}")),
+    }
+}
+
+fn cmd_corpus(operands: &[String], options: &Options) {
+    let corpus_usage = "usage: coverme corpus <ls|stats|gc> --corpus DIR [--keep N]";
+    let set = SubcommandSet::new("coverme corpus", corpus_usage, CORPUS_COMMANDS);
+    let sub = set.resolve(operands.first().cloned());
+    let Some(store) = open_corpus(options) else {
+        usage_error("corpus commands need --corpus DIR");
+    };
+    match sub {
+        "ls" => {
+            for entry in store.entries() {
+                println!(
+                    "{:016x}  {:<24} {:>3}/{:<3} branches {:>4} inputs {:>3} verdicts  gen {}",
+                    entry.fingerprint,
+                    entry.name,
+                    entry.covered_branches,
+                    entry.total_branches,
+                    entry.inputs.len(),
+                    entry.infeasible.len(),
+                    entry.generation
+                );
+            }
+        }
+        "stats" => {
+            let stats = store.stats();
+            println!(
+                "{} entries, {} inputs, {} infeasibility verdicts, {} recorded evals",
+                stats.entries, stats.inputs, stats.infeasible, stats.evaluations
+            );
+        }
+        "gc" => {
+            let removed = store
+                .gc(options.keep)
+                .unwrap_or_else(|error| run_error(&format!("corpus gc failed: {error}")));
+            println!(
+                "removed {removed} entries, kept the newest {}",
+                store.stats().entries
+            );
+        }
+        _ => unreachable!("resolve returns registered commands only"),
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
-    let Some(command) = args.next() else {
-        usage_error("missing command");
-    };
+    let set = SubcommandSet::new("coverme", USAGE, COMMANDS);
+    let command = set.resolve(args.next());
     let (operands, options) = parse_options(args);
     if options.common.scheduler == coverme::SchedulerPolicy::Bandit
         && options.common.budget_evals.is_none()
     {
         usage_error("--scheduler bandit needs --budget N (the pool it allocates)");
     }
-    match command.as_str() {
+    match command {
         "run" => {
             let [path] = operands.as_slice() else {
                 usage_error("run takes exactly one .fpir file");
@@ -311,7 +523,14 @@ fn main() {
             };
             cmd_campaign(dir, &options);
         }
-        "--help" | "-h" | "help" => println!("{USAGE}"),
-        other => usage_error(&format!("unknown command {other}")),
+        "serve" => {
+            if !operands.is_empty() {
+                usage_error("serve takes no operands");
+            }
+            cmd_serve(&options);
+        }
+        "submit" => cmd_submit(&operands, &options),
+        "corpus" => cmd_corpus(&operands, &options),
+        _ => unreachable!("resolve returns registered commands only"),
     }
 }

@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 
 pub mod args;
+pub mod serve;
 
 pub use coverme;
 pub use coverme_baselines as baselines;

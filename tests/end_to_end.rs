@@ -22,14 +22,15 @@ fn coverme_fully_covers_the_paper_example_via_the_mini_language() {
         "foo",
     )
     .expect("compiles");
-    let report = CoverMe::new(CoverMeConfig::default().n_start(60).seed(11)).run(&program);
+    let report =
+        CoverMe::new(CoverMeConfig::default().with_n_start(60).with_seed(11)).run(&program);
     assert_eq!(report.branch_coverage_percent(), 100.0, "{report}");
 }
 
 #[test]
 fn coverme_achieves_high_coverage_on_tanh_quickly() {
     let tanh = by_name("tanh").unwrap();
-    let report = CoverMe::new(CoverMeConfig::default().n_start(80).seed(1)).run(&tanh);
+    let report = CoverMe::new(CoverMeConfig::default().with_n_start(80).with_seed(1)).run(&tanh);
     // The +-inf/NaN guard branches of tanh ask the optimizer to push the
     // input's high word past 0x7ff00000, which the scaled-down test budget
     // does not always manage; 60% is the floor insisted on here, the full
@@ -44,7 +45,7 @@ fn coverme_achieves_high_coverage_on_tanh_quickly() {
 #[test]
 fn coverme_outperforms_random_on_an_equality_heavy_benchmark() {
     let b = by_name("remainder").unwrap();
-    let coverme = CoverMe::new(CoverMeConfig::default().n_start(60).seed(5)).run(&b);
+    let coverme = CoverMe::new(CoverMeConfig::default().with_n_start(60).with_seed(5)).run(&b);
     let rand = RandomTester::new(RandomConfig {
         max_executions: 20_000,
         seed: 5,
@@ -62,7 +63,7 @@ fn coverme_outperforms_random_on_an_equality_heavy_benchmark() {
 #[test]
 fn generated_inputs_replay_to_the_reported_coverage() {
     let b = by_name("asinh").unwrap();
-    let report = CoverMe::new(CoverMeConfig::default().n_start(60).seed(9)).run(&b);
+    let report = CoverMe::new(CoverMeConfig::default().with_n_start(60).with_seed(9)).run(&b);
     let mut check = coverme_runtime::CoverageMap::new(b.sites);
     for input in &report.inputs {
         let mut ctx = ExecCtx::observe();
@@ -108,8 +109,9 @@ fn parallel_campaign_over_fdlibm_matches_sequential_searches() {
         .iter()
         .map(|n| by_name(n).unwrap())
         .collect();
-    let base = CoverMeConfig::default().n_start(40).seed(17);
-    let report = Campaign::new(CampaignConfig::new().base(base).workers(2)).run(&inventory);
+    let base = CoverMeConfig::default().with_n_start(40).with_seed(17);
+    let report =
+        Campaign::new(CampaignConfig::new().with_base(base).with_workers(2)).run(&inventory);
 
     assert_eq!(report.completed(), inventory.len());
     let names: Vec<&str> = report.results.iter().map(|r| r.name.as_str()).collect();
@@ -117,8 +119,9 @@ fn parallel_campaign_over_fdlibm_matches_sequential_searches() {
     assert_eq!(names, ["tanh", "cbrt", "ieee754_log10", "sin"]);
 
     // Re-running the campaign reproduces every generated input.
-    let base = CoverMeConfig::default().n_start(40).seed(17);
-    let again = Campaign::new(CampaignConfig::new().base(base).workers(4)).run(&inventory);
+    let base = CoverMeConfig::default().with_n_start(40).with_seed(17);
+    let again =
+        Campaign::new(CampaignConfig::new().with_base(base).with_workers(4)).run(&inventory);
     for (a, b) in report.results.iter().zip(&again.results) {
         let (a, b) = (a.report.as_ref().unwrap(), b.report.as_ref().unwrap());
         assert_eq!(
@@ -145,19 +148,28 @@ fn sharded_campaign_is_deterministic_and_loses_no_coverage() {
         .collect();
     // 64 starting points keep 16 per shard at 4 shards — the floor below
     // which `effective_shards` would clamp the split.
-    let base = CoverMeConfig::default().n_start(64).seed(17);
+    let base = CoverMeConfig::default().with_n_start(64).with_seed(17);
 
-    let unsharded =
-        Campaign::new(CampaignConfig::new().base(base.clone()).workers(2)).run(&inventory);
-    let sharded = Campaign::new(
+    let unsharded = Campaign::new(
         CampaignConfig::new()
-            .base(base.clone())
-            .shards(4)
-            .workers(2),
+            .with_base(base.clone())
+            .with_workers(2),
     )
     .run(&inventory);
-    let again =
-        Campaign::new(CampaignConfig::new().base(base).shards(4).workers(5)).run(&inventory);
+    let sharded = Campaign::new(
+        CampaignConfig::new()
+            .with_base(base.clone())
+            .with_shards(4)
+            .with_workers(2),
+    )
+    .run(&inventory);
+    let again = Campaign::new(
+        CampaignConfig::new()
+            .with_base(base)
+            .with_shards(4)
+            .with_workers(5),
+    )
+    .run(&inventory);
 
     for ((a, b), c) in unsharded
         .results

@@ -184,8 +184,13 @@ fn full_searches_over_generated_programs_never_panic() {
     // and report a consistent outcome.
     for seed in 0..25u64 {
         let program = compile_seed(seed);
-        let report =
-            CoverMe::new(CoverMeConfig::default().n_start(20).n_iter(4).seed(seed)).run(&program);
+        let report = CoverMe::new(
+            CoverMeConfig::default()
+                .with_n_start(20)
+                .with_n_iter(4)
+                .with_seed(seed),
+        )
+        .run(&program);
         let percent = report.branch_coverage_percent();
         assert!(
             (0.0..=100.0).contains(&percent),
