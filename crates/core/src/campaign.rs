@@ -892,6 +892,9 @@ impl CampaignReport {
                     out.push_str("      \"backend\": \"");
                     out.push_str(report.backend);
                     out.push_str("\",\n");
+                    out.push_str("      \"simd_isa\": \"");
+                    out.push_str(report.simd_isa);
+                    out.push_str("\",\n");
                     push_json_number(
                         &mut out,
                         "      ",
@@ -2641,8 +2644,9 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
-            "\"schema\": \"coverme-campaign-report/5\"",
+            "\"schema\": \"coverme-campaign-report/6\"",
             "\"backend\": \"",
+            "\"simd_isa\": \"",
             "\"lane_width\":",
             "\"suite_branch_coverage_percent\":",
             "\"total_evaluations\":",

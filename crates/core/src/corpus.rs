@@ -520,6 +520,7 @@ mod tests {
             barriers_skipped: 0,
             warm_replayed: 0,
             backend: "interp",
+            simd_isa: "portable",
             lane_width: 8,
             wall_time: Duration::from_millis(1),
         }

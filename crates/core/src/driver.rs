@@ -293,6 +293,14 @@ pub struct CoverMeConfig {
     /// interpreter otherwise). Every mode is bit-exact, so this is purely
     /// a performance knob — the one `--backend` exposes on the CLI.
     pub backend: coverme_runtime::BackendMode,
+    /// Forced SIMD ISA for the backend's lane kernels (`None`, the
+    /// default, follows the process-wide
+    /// [`SimdIsa::active`](coverme_runtime::SimdIsa::active) selection:
+    /// `COVERME_SIMD`, then runtime feature detection). Every ISA is
+    /// bit-exact — a throughput knob exactly like
+    /// [`backend`](Self::backend), and like it excluded from
+    /// [`search_key`](Self::search_key).
+    pub simd: Option<coverme_runtime::SimdIsa>,
     /// Corpus warm start (off by default): prior inputs and infeasibility
     /// verdicts replayed before the first round (see [`WarmStart`]). With
     /// `None` the search is bit-identical to earlier releases.
@@ -327,6 +335,7 @@ impl Default for CoverMeConfig {
             polish: true,
             cache: CacheMode::Auto,
             backend: coverme_runtime::BackendMode::Auto,
+            simd: None,
             warm_start: None,
             cancel: None,
         }
@@ -398,6 +407,13 @@ impl CoverMeConfig {
     /// every mode; `Auto` (the default) prefers the compiled tape.
     pub fn backend(mut self, mode: coverme_runtime::BackendMode) -> Self {
         self.backend = mode;
+        self
+    }
+
+    /// Forces the SIMD ISA of the backend's lane kernels (bit-exact under
+    /// every ISA; see [`CoverMeConfig::simd`]).
+    pub fn simd(mut self, isa: coverme_runtime::SimdIsa) -> Self {
+        self.simd = Some(isa);
         self
     }
 
@@ -592,6 +608,11 @@ impl CoverMeConfig {
         self.backend(mode)
     }
 
+    /// Forces the SIMD ISA of the backend's lane kernels.
+    pub fn with_simd(self, isa: coverme_runtime::SimdIsa) -> Self {
+        self.simd(isa)
+    }
+
     /// Attaches a corpus warm start (see [`WarmStart`]): prior inputs and
     /// infeasibility verdicts replayed before the first round.
     pub fn with_warm_start(mut self, warm: WarmStart) -> Self {
@@ -611,9 +632,10 @@ impl CoverMeConfig {
     /// pattern), `ε`, the zero threshold, the pen/infeasible policies,
     /// `polish`, `record_search_coverage`, the eval allowance and the
     /// shard/sync split. Knobs pinned result-invisible by the property
-    /// suites stay out: `cache`, `backend`, `adaptive_sync`, epoch
-    /// slicing, `time_budget` (wall-clock never decides a *complete*
-    /// run's content), `warm_start`/`cancel` themselves.
+    /// suites stay out: `cache`, `backend`, `simd` (every ISA's kernels
+    /// are bit-identical), `adaptive_sync`, epoch slicing, `time_budget`
+    /// (wall-clock never decides a *complete* run's content),
+    /// `warm_start`/`cancel` themselves.
     ///
     /// Two runs of the same program fingerprint with equal search keys
     /// are bit-identical, which is what lets a corpus warm start credit
@@ -917,9 +939,12 @@ impl<'a, P: Program> SearchState<'a, P> {
         } else {
             config.cache
         };
-        let engine = ObjectiveEngine::new(program, config.epsilon)
+        let mut engine = ObjectiveEngine::new(program, config.epsilon)
             .cache_mode(cache_mode)
             .backend_mode(config.backend);
+        if let Some(isa) = config.simd {
+            engine = engine.simd(isa);
+        }
         let mut start_rng = SplitMix64::new(config.seed ^ 0x5EED_0001);
         let schedule = config
             .starting_points
@@ -1363,6 +1388,7 @@ impl<'a, P: Program> SearchState<'a, P> {
             barriers_skipped: self.barriers_skipped,
             warm_replayed: self.warm_replayed,
             backend: self.engine.backend_name(),
+            simd_isa: self.engine.simd_isa().label(),
             lane_width: self.engine.lane_width(),
             started: self.started,
             finished,
@@ -1576,6 +1602,21 @@ mod tests {
         let b = CoverMe::new(quick_config()).run(&paper_example());
         assert_eq!(a.inputs, b.inputs);
         assert_eq!(a.coverage.covered_count(), b.coverage.covered_count());
+    }
+
+    #[test]
+    fn search_key_ignores_the_simd_isa() {
+        // Every ISA computes bit-identical results, so a forced lane width
+        // must not fragment the corpus: the schedule identity is the same
+        // with and without the knob, and the same across ISAs.
+        let base = quick_config();
+        for isa in coverme_runtime::SimdIsa::supported() {
+            assert_eq!(
+                base.clone().with_simd(isa).search_key(),
+                base.search_key(),
+                "forcing {isa} changed the search key"
+            );
+        }
     }
 
     #[test]

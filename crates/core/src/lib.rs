@@ -99,4 +99,5 @@ pub use sync::{run_shards_synced, run_shards_synced_parallel, SyncPlan};
 pub use coverme_optim::{FnObjective, LocalMethod, Objective};
 pub use coverme_runtime::{
     BackendMode, BranchId, BranchSet, Cmp, CoverageMap, ExecCtx, FnProgram, Program, RunOutcome,
+    SimdIsa, SIMD_ENV_VAR,
 };

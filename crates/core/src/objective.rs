@@ -51,6 +51,7 @@
 use coverme_optim::Objective;
 use coverme_runtime::{
     BackendMode, BranchSet, ExecBackend, ExecCtx, InterpBackend, LaneEval, Program, RunOutcome,
+    SimdIsa,
 };
 
 use crate::representing::Evaluation;
@@ -259,6 +260,9 @@ pub struct ObjectiveEngine<P> {
     /// path; smaller batches and scalar calls keep the eager fast path,
     /// whose per-call overhead they already amortize.
     backend: Box<dyn ExecBackend>,
+    /// Forced SIMD ISA, re-applied whenever the backend is re-resolved;
+    /// `None` follows the process-wide [`SimdIsa::active`] selection.
+    simd_override: Option<SimdIsa>,
     /// Bookkeeping of the batch points that missed the cache and were
     /// packed into lanes: output index plus (when caching) the slot/key to
     /// seed after the finalize. Reused across batches, allocation-free in
@@ -327,6 +331,7 @@ impl<P: Program> ObjectiveEngine<P> {
             telemetry: EngineTelemetry::default(),
             mode: BackendMode::Auto,
             backend,
+            simd_override: None,
             lane_misses: Vec::new(),
             miss_indices: Vec::new(),
             lane_evals: Vec::new(),
@@ -342,7 +347,32 @@ impl<P: Program> ObjectiveEngine<P> {
     pub fn backend_mode(mut self, mode: BackendMode) -> Self {
         self.mode = mode;
         self.backend = resolve_backend(&self.program, mode, self.epsilon, self.ctx.saturated());
+        if let Some(isa) = self.simd_override {
+            self.backend.set_simd(isa);
+        }
         self
+    }
+
+    /// Forces the SIMD ISA of the backend's lane kernels (the
+    /// `--simd`/`COVERME_SIMD` knob, resolved per engine). Bit-exact under
+    /// every ISA — purely a throughput knob, like
+    /// [`backend_mode`](Self::backend_mode) — and sticky across later
+    /// backend re-resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this machine cannot execute `isa` (CLI front ends
+    /// validate with [`SimdIsa::is_supported`] first).
+    pub fn simd(mut self, isa: SimdIsa) -> Self {
+        self.simd_override = Some(isa);
+        self.backend.set_simd(isa);
+        self
+    }
+
+    /// The SIMD ISA the backend's lane kernels dispatch to (recorded in
+    /// reports next to the backend name).
+    pub fn simd_isa(&self) -> SimdIsa {
+        self.backend.simd_isa()
     }
 
     /// The name of the execution backend actually in use (`"interp"`,

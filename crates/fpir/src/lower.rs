@@ -11,11 +11,22 @@
 //! * [`Tape::execute`] — the scalar path, driving any [`ExecCtx`] mode
 //!   (observe, eager representing, deferred) exactly like the interpreter;
 //! * the lane executor inside [`TapeBackend`] — runs up to
-//!   [`LANE_WIDTH`] evaluations with per-lane program counters, executing
-//!   each basic block's ops in lockstep across the lanes currently parked
-//!   on it, gathering deferred-penalty events from a shared
-//!   [`pen_code_table`] and finalizing through the SIMD-friendly
-//!   [`resolve_pen_lanes`] kernels.
+//!   [`SimdIsa::lane_width`] evaluations with per-lane program counters,
+//!   executing each basic block's ops in lockstep across the lanes
+//!   currently parked on it, gathering deferred-penalty events from a
+//!   shared [`pen_code_table`] and finalizing through the vectorized
+//!   [`resolve_pen_lanes_with`] kernels of the backend's SIMD ISA.
+//!
+//! On top of the lockstep walk, lowering precomputes a **straight-line-SoA
+//! plan** ([`SoaPlan`], private) per basic block: blocks whose ops are all
+//! double-typed arithmetic/moves/math-calls get their register file
+//! transposed into structure-of-arrays columns and executed as vector ops
+//! ([`simd::vec_bin`]/[`simd::vec_neg`]) across every lane parked on the
+//! block. Blocks that mix integer slots, or chunks where fewer than two
+//! lanes are parked together, fall back to the per-lane op walk. The plan
+//! is a pure execution detail: it is excluded from [`Tape::serialize`] and
+//! the fingerprint, and the SoA kernels are bit-identical to the scalar
+//! walk, so corpus keys and artifacts cannot observe it.
 //!
 //! # Bit-exactness
 //!
@@ -48,9 +59,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use coverme_runtime::simd::{self, VecBin};
 use coverme_runtime::{
-    pen_code, pen_code_table, resolve_pen_lanes, BackendMode, BranchSet, Cmp, ExecBackend, ExecCtx,
-    LaneEval, Program, RunOutcome, LANE_WIDTH,
+    pen_code, pen_code_table, resolve_pen_lanes_with, BackendMode, BranchSet, Cmp, ExecBackend,
+    ExecCtx, LaneEval, Program, RunOutcome, SimdIsa, LANE_WIDTH,
 };
 
 use crate::ast::{BinOp, Block as AstBlock, Expr, Module, Stmt, Ty, UnOp};
@@ -360,6 +372,11 @@ pub struct Tape {
     entry: usize,
     funcs: Vec<TapeFunc>,
     blocks: Vec<TapeBlock>,
+    /// Per-block straight-line-SoA plans (see [`SoaPlan`]) — derived data
+    /// computed from `blocks`, deliberately excluded from the listing and
+    /// the fingerprint: the plan never changes semantics, so adding or
+    /// improving it must not invalidate corpus warm-start keys.
+    soa: Vec<Option<SoaPlan>>,
 }
 
 /// A call frame of a tape executor.
@@ -399,6 +416,12 @@ impl Tape {
     /// Number of basic blocks across all functions.
     pub fn num_blocks(&self) -> usize {
         self.blocks.len()
+    }
+
+    /// Number of blocks the straight-line-SoA compile step vectorized
+    /// (diagnostics; divergent/int-typed blocks stay on the scalar walk).
+    pub fn num_soa_blocks(&self) -> usize {
+        self.soa.iter().filter(|p| p.is_some()).count()
     }
 
     /// Serializes the tape to its stable textual listing (the same text
@@ -779,6 +802,282 @@ fn eval_binary(op: BinOp, l: Slot, r: Slot) -> Slot {
     }
 }
 
+/// One vector operation of a block's straight-line-SoA plan, over SoA
+/// virtual registers (columns of the lane scratch buffer). Each op writes
+/// a *fresh* vreg strictly greater than every vreg it reads — the SSA-ish
+/// discipline that lets the executor split the flat scratch buffer at the
+/// destination column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SoaOp {
+    /// Broadcast a constant into every lane.
+    Splat { dst: u16, value: f64 },
+    /// Lane-wise copy (`Move`/`CoerceDouble` of an already-double value).
+    Copy { dst: u16, src: u16 },
+    /// Lane-wise IEEE negate.
+    Neg { dst: u16, src: u16 },
+    /// Lane-wise IEEE arithmetic through the [`simd`] kernels.
+    Bin {
+        op: VecBin,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    /// A one-argument `double -> double` builtin, applied per lane (libm
+    /// calls do not vectorize; the win is the fused gather around them).
+    Call1 { which: Builtin, dst: u16, src: u16 },
+    /// `pow`, the only two-argument `double -> double` builtin.
+    Call2 { dst: u16, a: u16, b: u16 },
+}
+
+/// The straight-line-SoA compile step's per-block artifact: a block whose
+/// ops form a pure `double -> double` dataflow (const/move/neg/arith/math
+/// builtins — no int-producing op anywhere) gets its op list re-emitted as
+/// vector ops over lane columns. At runtime, when two or more live lanes
+/// are parked on the block, their registers are gathered into SoA buffers,
+/// the vector ops run once for all lanes, and the results scatter back —
+/// replacing the op-outer/lane-inner scalar walk and its per-op `Slot` tag
+/// dispatch.
+///
+/// Bit-exactness: every vector op computes exactly the `eval_binary`/
+/// `exec_op` double-path formula (IEEE basic ops are correctly rounded;
+/// builtins reuse the identical scalar math), and the plan only runs when
+/// the runtime gather proves every live-in register holds a `Slot::Double`
+/// in every active lane — any `Int` falls the whole block back to the
+/// scalar walk. Fuel stays charged at the block header and terminators are
+/// untouched, so Timeout-before-Trap classification order is preserved.
+#[derive(Debug, Clone)]
+struct SoaPlan {
+    /// Tape registers read before written, with their gather columns. All
+    /// must hold `Slot::Double` at block entry for the plan to run.
+    live_in: Vec<(u16, u16)>,
+    /// Tape registers the block writes, with the column holding each
+    /// register's final value (scattered back as `Slot::Double`).
+    writes: Vec<(u16, u16)>,
+    ops: Vec<SoaOp>,
+    num_vregs: u16,
+}
+
+/// Ceiling on a plan's virtual registers, bounding the scratch buffer.
+const MAX_SOA_VREGS: usize = 256;
+
+/// Vreg allocation state of [`plan_block`].
+struct SoaPlanner {
+    /// Current column of each tape register touched so far.
+    vreg_of: HashMap<u16, u16>,
+    live_in: Vec<(u16, u16)>,
+    /// Tape registers written at least once, in first-write order.
+    wrote: Vec<u16>,
+    ops: Vec<SoaOp>,
+    next: u16,
+}
+
+impl SoaPlanner {
+    fn alloc(&mut self) -> Option<u16> {
+        if self.next as usize >= MAX_SOA_VREGS {
+            return None;
+        }
+        let vreg = self.next;
+        self.next += 1;
+        Some(vreg)
+    }
+
+    /// Column holding `reg`'s current value; first read of a block-foreign
+    /// register records it as a live-in gather.
+    fn read(&mut self, reg: u16) -> Option<u16> {
+        if let Some(&vreg) = self.vreg_of.get(&reg) {
+            return Some(vreg);
+        }
+        let vreg = self.alloc()?;
+        self.vreg_of.insert(reg, vreg);
+        self.live_in.push((reg, vreg));
+        Some(vreg)
+    }
+
+    /// Fresh column for a write to `reg`.
+    fn write(&mut self, reg: u16) -> Option<u16> {
+        let vreg = self.alloc()?;
+        self.vreg_of.insert(reg, vreg);
+        if !self.wrote.contains(&reg) {
+            self.wrote.push(reg);
+        }
+        Some(vreg)
+    }
+}
+
+/// Attempts to compile one block's op list into a [`SoaPlan`]. Returns
+/// `None` — block stays on the scalar walk — when any op can produce an
+/// `Int` (consts, coercions, truthiness, comparisons, bit ops, `%`, the
+/// word-surgery builtins, `scalbn`'s int exponent), or when the block is
+/// too short for the gather/scatter to amortize.
+fn plan_block(block: &TapeBlock) -> Option<SoaPlan> {
+    // A single op cannot pay for its own gather + scatter.
+    if block.ops.len() < 2 {
+        return None;
+    }
+    let mut p = SoaPlanner {
+        vreg_of: HashMap::new(),
+        live_in: Vec::new(),
+        wrote: Vec::new(),
+        ops: Vec::new(),
+        next: 0,
+    };
+    for op in &block.ops {
+        match *op {
+            Op::ConstDouble { dst, value } => {
+                let dst = p.write(dst)?;
+                p.ops.push(SoaOp::Splat { dst, value });
+            }
+            // A move of a double is a copy; `double r` of a double is the
+            // identity (`as_f64` of `Slot::Double` returns the payload).
+            // The gather validation guarantees the double-ness.
+            Op::Move { dst, src } | Op::CoerceDouble { dst, src } => {
+                let src = p.read(src)?;
+                let dst = p.write(dst)?;
+                p.ops.push(SoaOp::Copy { dst, src });
+            }
+            Op::Unary {
+                op: UnOp::Neg,
+                dst,
+                src,
+            } => {
+                let src = p.read(src)?;
+                let dst = p.write(dst)?;
+                p.ops.push(SoaOp::Neg { dst, src });
+            }
+            Op::Binary { op, dst, lhs, rhs } => {
+                let op = match op {
+                    BinOp::Add => VecBin::Add,
+                    BinOp::Sub => VecBin::Sub,
+                    BinOp::Mul => VecBin::Mul,
+                    BinOp::Div => VecBin::Div,
+                    // Rem, comparisons, bit ops, shifts produce Ints.
+                    _ => return None,
+                };
+                let a = p.read(lhs)?;
+                let b = p.read(rhs)?;
+                let dst = p.write(dst)?;
+                p.ops.push(SoaOp::Bin { op, dst, a, b });
+            }
+            Op::Builtin { which, dst, a, b } => match which {
+                Builtin::Sqrt
+                | Builtin::Fabs
+                | Builtin::Floor
+                | Builtin::Sin
+                | Builtin::Cos
+                | Builtin::Exp
+                | Builtin::Log => {
+                    let src = p.read(a)?;
+                    let dst = p.write(dst)?;
+                    p.ops.push(SoaOp::Call1 { which, dst, src });
+                }
+                Builtin::Pow => {
+                    let a = p.read(a)?;
+                    let b = p.read(b)?;
+                    let dst = p.write(dst)?;
+                    p.ops.push(SoaOp::Call2 { dst, a, b });
+                }
+                // Word surgery consumes/produces Ints; scalbn's exponent
+                // goes through `as_i64`.
+                _ => return None,
+            },
+            // ConstInt / CoerceInt / Truth / BitNot / Not produce Ints.
+            _ => return None,
+        }
+    }
+    let writes: Vec<(u16, u16)> = p.wrote.iter().map(|&reg| (reg, p.vreg_of[&reg])).collect();
+    Some(SoaPlan {
+        live_in: p.live_in,
+        writes,
+        ops: p.ops,
+        num_vregs: p.next,
+    })
+}
+
+/// Column offset of a vreg in the flat SoA scratch buffer.
+#[inline(always)]
+fn soa_col(vreg: u16) -> usize {
+    vreg as usize * LANE_WIDTH
+}
+
+/// Reusable flat lane buffer for [`SoaPlan`] execution: `num_vregs`
+/// columns of [`LANE_WIDTH`] doubles.
+#[derive(Debug, Clone, Default)]
+struct SoaScratch {
+    buf: Vec<f64>,
+}
+
+impl SoaScratch {
+    fn ensure(&mut self, num_vregs: u16) {
+        let need = num_vregs as usize * LANE_WIDTH;
+        if self.buf.len() < need {
+            self.buf.resize(need, 0.0);
+        }
+    }
+
+    /// Runs the plan's vector ops over the first `lanes` slots of each
+    /// column. Every op's destination column sits strictly above its
+    /// sources, so splitting the buffer at the destination is safe.
+    fn run(&mut self, plan: &SoaPlan, isa: SimdIsa, lanes: usize) {
+        for op in &plan.ops {
+            match *op {
+                SoaOp::Splat { dst, value } => {
+                    let d = soa_col(dst);
+                    self.buf[d..d + lanes].fill(value);
+                }
+                SoaOp::Copy { dst, src } => {
+                    let (d, s) = (soa_col(dst), soa_col(src));
+                    let (head, tail) = self.buf.split_at_mut(d);
+                    tail[..lanes].copy_from_slice(&head[s..s + lanes]);
+                }
+                SoaOp::Neg { dst, src } => {
+                    let (d, s) = (soa_col(dst), soa_col(src));
+                    let (head, tail) = self.buf.split_at_mut(d);
+                    simd::vec_neg(isa, &head[s..s + lanes], &mut tail[..lanes]);
+                }
+                SoaOp::Bin { op, dst, a, b } => {
+                    let (d, ca, cb) = (soa_col(dst), soa_col(a), soa_col(b));
+                    let (head, tail) = self.buf.split_at_mut(d);
+                    simd::vec_bin(
+                        isa,
+                        op,
+                        &head[ca..ca + lanes],
+                        &head[cb..cb + lanes],
+                        &mut tail[..lanes],
+                    );
+                }
+                SoaOp::Call1 { which, dst, src } => {
+                    let (d, s) = (soa_col(dst), soa_col(src));
+                    let (head, tail) = self.buf.split_at_mut(d);
+                    let src = &head[s..s + lanes];
+                    let out = &mut tail[..lanes];
+                    // Formula-for-formula `Builtin::eval`'s double paths.
+                    for k in 0..lanes {
+                        out[k] = match which {
+                            Builtin::Sqrt => src[k].sqrt(),
+                            Builtin::Fabs => src[k].abs(),
+                            Builtin::Floor => src[k].floor(),
+                            Builtin::Sin => src[k].sin(),
+                            Builtin::Cos => src[k].cos(),
+                            Builtin::Exp => src[k].exp(),
+                            Builtin::Log => src[k].ln(),
+                            _ => unreachable!("planner admits double->double builtins only"),
+                        };
+                    }
+                }
+                SoaOp::Call2 { dst, a, b } => {
+                    let (d, ca, cb) = (soa_col(dst), soa_col(a), soa_col(b));
+                    let (head, tail) = self.buf.split_at_mut(d);
+                    let (a, b) = (&head[ca..ca + lanes], &head[cb..cb + lanes]);
+                    let out = &mut tail[..lanes];
+                    for k in 0..lanes {
+                        out[k] = a[k].powf(b[k]);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Lowers an instrumented program to its instruction tape.
 ///
 /// # Errors
@@ -803,6 +1102,10 @@ pub fn lower(program: &IrProgram) -> Result<Tape, LowerError> {
         funcs.push(lowered);
     }
     let entry = func_ids[inst.entry.as_str()] as usize;
+    // The straight-line-SoA compile step: derived per-block vector plans.
+    // Computed last so it sees the final block graph; never serialized, so
+    // the listing and fingerprint (corpus keys!) are unaffected.
+    let soa: Vec<Option<SoaPlan>> = blocks.iter().map(plan_block).collect();
     Ok(Tape {
         name: inst.entry.clone(),
         arity: program.arity(),
@@ -811,6 +1114,7 @@ pub fn lower(program: &IrProgram) -> Result<Tape, LowerError> {
         entry,
         funcs,
         blocks,
+        soa,
     })
 }
 
@@ -1361,13 +1665,56 @@ impl LaneVm {
     }
 }
 
+/// Gathers a plan's live-in registers from the active lanes into the SoA
+/// scratch, runs the vector ops, and scatters the written registers back.
+/// Returns `false` — without touching any register — when a live-in holds
+/// an `Int` in any lane; the caller then runs the scalar walk.
+fn run_block_soa(
+    plan: &SoaPlan,
+    isa: SimdIsa,
+    scratch: &mut SoaScratch,
+    vms: &mut [LaneVm],
+    active: &[usize],
+) -> bool {
+    scratch.ensure(plan.num_vregs);
+    let lanes = active.len();
+    for &(reg, vreg) in &plan.live_in {
+        let column = soa_col(vreg);
+        for (slot, &index) in active.iter().enumerate() {
+            let vm = &vms[index];
+            match vm.regs[vm.base + reg as usize] {
+                Slot::Double(v) => scratch.buf[column + slot] = v,
+                Slot::Int(_) => return false,
+            }
+        }
+    }
+    scratch.run(plan, isa, lanes);
+    for &(reg, vreg) in &plan.writes {
+        let column = soa_col(vreg);
+        for (slot, &index) in active.iter().enumerate() {
+            let vm = &mut vms[index];
+            let base = vm.base;
+            vm.regs[base + reg as usize] = Slot::Double(scratch.buf[column + slot]);
+        }
+    }
+    true
+}
+
 /// Runs a chunk of lanes to completion. Each scheduling round picks the
 /// lowest live program counter and advances every lane parked on that
-/// block together: the fuel charge, each straight-line op (op-outer,
-/// lane-inner — the lockstep loop the compiler vectorizes), then the
-/// terminator per lane. Lanes whose paths diverge simply wait their turn;
-/// lanes on the same path stay in lockstep the whole run.
-fn run_lane_chunk(tape: &Tape, pen_codes: &[u8], vms: &mut [LaneVm]) {
+/// block together: the fuel charge, then the block body — through the
+/// block's [`SoaPlan`] vector ops when two or more lanes are parked here
+/// and every live-in register is a double, through the scalar op-outer/
+/// lane-inner walk otherwise — then the terminator per lane. Lanes whose
+/// paths diverge simply wait their turn; lanes on the same path stay in
+/// lockstep the whole run.
+fn run_lane_chunk(
+    tape: &Tape,
+    pen_codes: &[u8],
+    vms: &mut [LaneVm],
+    isa: SimdIsa,
+    scratch: &mut SoaScratch,
+) {
     // The round's active-lane set, built once so the op-outer loop touches
     // only the lanes actually parked on this block — when lanes diverge
     // (data-dependent loop trip counts), rescanning every lane per op is
@@ -1398,10 +1745,16 @@ fn run_lane_chunk(tape: &Tape, pen_codes: &[u8], vms: &mut [LaneVm]) {
                 }
             }
         }
-        for op in &block.ops {
-            for &index in &active[..live] {
-                let vm = &mut vms[index];
-                exec_op(op, vm.base, &mut vm.regs);
+        let ran_soa = live >= 2
+            && tape.soa[pc]
+                .as_ref()
+                .is_some_and(|plan| run_block_soa(plan, isa, scratch, vms, &active[..live]));
+        if !ran_soa {
+            for op in &block.ops {
+                for &index in &active[..live] {
+                    let vm = &mut vms[index];
+                    exec_op(op, vm.base, &mut vm.regs);
+                }
             }
         }
         for &index in &active[..live] {
@@ -1420,8 +1773,14 @@ fn run_lane_chunk(tape: &Tape, pen_codes: &[u8], vms: &mut [LaneVm]) {
 pub struct TapeBackend {
     tape: Arc<Tape>,
     epsilon: f64,
+    /// The SIMD ISA the block kernels and the finalize dispatch to.
+    isa: SimdIsa,
+    /// Effective lane count per chunk (`isa.lane_width()`, cached).
+    width: usize,
     pen_codes: Vec<u8>,
     vms: Vec<LaneVm>,
+    /// Lane buffer for the straight-line-SoA block kernels.
+    soa_scratch: SoaScratch,
     // SoA scratch for the finalize kernels.
     codes: Vec<u8>,
     ops: Vec<Cmp>,
@@ -1434,11 +1793,15 @@ impl TapeBackend {
     /// Wraps a lowered tape with default (unset) tuning; the objective
     /// engine injects `ε` and the saturation snapshot on installation.
     pub fn new(tape: Tape) -> TapeBackend {
+        let isa = SimdIsa::active();
         TapeBackend {
             tape: Arc::new(tape),
             epsilon: coverme_runtime::DEFAULT_EPSILON,
+            isa,
+            width: isa.lane_width(),
             pen_codes: Vec::new(),
             vms: Vec::new(),
+            soa_scratch: SoaScratch::default(),
             codes: Vec::new(),
             ops: Vec::new(),
             lhs: Vec::new(),
@@ -1456,6 +1819,16 @@ impl TapeBackend {
 impl ExecBackend for TapeBackend {
     fn name(&self) -> &'static str {
         "tape"
+    }
+
+    fn simd_isa(&self) -> SimdIsa {
+        self.isa
+    }
+
+    fn set_simd(&mut self, isa: SimdIsa) {
+        assert!(isa.is_supported(), "SIMD ISA {isa} unsupported here");
+        self.isa = isa;
+        self.width = isa.lane_width();
     }
 
     fn set_epsilon(&mut self, epsilon: f64) {
@@ -1478,16 +1851,22 @@ impl ExecBackend for TapeBackend {
         out: &mut Vec<LaneEval>,
     ) {
         out.reserve(indices.len());
-        if self.vms.len() < LANE_WIDTH {
-            self.vms.resize_with(LANE_WIDTH, LaneVm::new);
+        if self.vms.len() < self.width {
+            self.vms.resize_with(self.width, LaneVm::new);
         }
-        for chunk in indices.chunks(LANE_WIDTH) {
+        for chunk in indices.chunks(self.width) {
             let lanes = chunk.len();
             let tape = Arc::clone(&self.tape);
             for (vm, &index) in self.vms[..lanes].iter_mut().zip(chunk) {
                 vm.reset(&tape, &points[index]);
             }
-            run_lane_chunk(&tape, &self.pen_codes, &mut self.vms[..lanes]);
+            run_lane_chunk(
+                &tape,
+                &self.pen_codes,
+                &mut self.vms[..lanes],
+                self.isa,
+                &mut self.soa_scratch,
+            );
             self.codes.clear();
             self.ops.clear();
             self.lhs.clear();
@@ -1499,7 +1878,8 @@ impl ExecBackend for TapeBackend {
                 self.rhs.push(vm.pend_rhs);
             }
             self.values.clear();
-            resolve_pen_lanes(
+            resolve_pen_lanes_with(
+                self.isa,
                 &self.codes,
                 &self.ops,
                 &self.lhs,
@@ -1713,7 +2093,8 @@ mod tests {
         assert_eq!(auto.name(), "tape");
         let forced = p.backend(BackendMode::Tape).expect("tape available");
         assert_eq!(forced.name(), "tape");
-        assert_eq!(forced.lane_width(), LANE_WIDTH);
+        assert_eq!(forced.lane_width(), forced.simd_isa().lane_width());
+        assert!(forced.lane_width() <= LANE_WIDTH);
     }
 
     #[test]
@@ -1746,6 +2127,124 @@ mod tests {
         // stays uninstrumented (truthiness branch).
         assert_eq!(tape.num_sites(), 1);
         assert_eq!(tape.fuel(), crate::interp::DEFAULT_FUEL);
+    }
+
+    #[test]
+    fn soa_plans_cover_arithmetic_blocks_without_leaking_into_the_listing() {
+        let p = compile(
+            r#"
+            double f(double x, double y) {
+                double a = x * y + 2.0;
+                double b = sqrt(fabs(a)) - x / 3.0;
+                double c = sin(b) * cos(a) + exp(x * 0.001);
+                if (c <= 1.0) { return c + a; }
+                return c - b;
+            }
+            "#,
+            "f",
+        )
+        .unwrap();
+        let tape = lower(&p).unwrap();
+        assert!(
+            tape.num_soa_blocks() > 0,
+            "straight-line double arithmetic should plan at least one SoA block"
+        );
+        // The plan is a pure execution detail: listings (and therefore the
+        // fingerprint/corpus keys built from them) never mention it.
+        assert!(!tape.serialize().contains("soa"));
+    }
+
+    #[test]
+    fn soa_planner_bails_on_integer_blocks() {
+        let p = compile(
+            r#"
+            double f(double x) {
+                int hx = high_word(x) & 0x7fffffff;
+                int k = hx >> 20;
+                int j = k - 1023;
+                double z = from_words(hx, low_word(x));
+                return z + j;
+            }
+            "#,
+            "f",
+        )
+        .unwrap();
+        let tape = lower(&p).unwrap();
+        assert_eq!(
+            tape.num_soa_blocks(),
+            0,
+            "int-producing ops must disable the SoA plan for the block"
+        );
+    }
+
+    #[test]
+    fn soa_lane_path_is_bit_identical_across_isas() {
+        let p = compile(
+            r#"
+            double f(double x, double y) {
+                double a = x * y + 2.0;
+                double b = sqrt(fabs(a)) - x / 3.0;
+                double c = sin(b) * cos(a) + exp(x * 0.001);
+                if (c <= 1.0) { return c + a; }
+                if (a == b) { return 0.0; }
+                return c - b;
+            }
+            "#,
+            "f",
+        )
+        .unwrap();
+        let tape = lower(&p).unwrap();
+        assert!(tape.num_soa_blocks() > 0);
+        let saturated: BranchSet = [BranchId::false_of(0), BranchId::true_of(1)]
+            .into_iter()
+            .collect();
+        let specials = [
+            -3.5,
+            0.25,
+            1.0,
+            7.5,
+            -0.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            5e-324,
+            1e300,
+        ];
+        let mut points = Vec::new();
+        for &a in &specials {
+            for &b in &specials {
+                points.push(vec![a, b]);
+            }
+        }
+        let indices: Vec<usize> = (0..points.len()).collect();
+        // Reference: the eager scalar path, one eval per point.
+        let reference: Vec<u64> = points
+            .iter()
+            .map(|point| {
+                let mut ctx = ExecCtx::representing(saturated.clone());
+                p.execute(point, &mut ctx);
+                ctx.representing_value().to_bits()
+            })
+            .collect();
+        for isa in SimdIsa::supported() {
+            let mut backend = p.backend(BackendMode::Tape).expect("tape available");
+            backend.set_simd(isa);
+            backend.set_epsilon(DEFAULT_EPSILON);
+            backend.retarget(&saturated);
+            assert_eq!(backend.simd_isa(), isa);
+            assert_eq!(backend.lane_width(), isa.lane_width());
+            let mut evals = Vec::new();
+            backend.run_lanes(&p, &points, &indices, &mut evals);
+            assert_eq!(evals.len(), points.len());
+            for ((eval, &expect), point) in evals.iter().zip(&reference).zip(&points) {
+                assert_eq!(eval.outcome, RunOutcome::Done);
+                assert_eq!(
+                    eval.value.to_bits(),
+                    expect,
+                    "{isa} diverged from eager scalar on {point:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -21,8 +21,14 @@
 //! lane-parallel engines: `k` jittered starting simplices are generated
 //! deterministically, **all** their vertices are evaluated in one batch
 //! (`k·(n+1)` candidates — enough to fill lanes even in 1-D), and the
-//! simplex holding the best vertex seeds the classic loop. The default
-//! (`1`) evaluates exactly the classic starting simplex, bit for bit.
+//! simplex holding the best vertex seeds the classic loop. With restarts
+//! enabled (`k > 1`) the count is rounded **up** so the seed batch covers
+//! a whole number of the engine's [`preferred_batch`] lanes — extra
+//! deterministic simplices instead of idle lanes, and a wider ISA simply
+//! seeds from more starts. The default (`1`) evaluates exactly the classic
+//! starting simplex, bit for bit, on every engine.
+//!
+//! [`preferred_batch`]: Objective::preferred_batch
 
 use crate::objective::{FnObjective, Objective};
 use crate::result::{Minimum, OptimStats};
@@ -50,7 +56,9 @@ pub struct NelderMead {
     pub max_iterations: usize,
     /// Number of jittered starting simplices generated and evaluated as one
     /// batch; the best-seeded simplex runs the classic loop. `1` (the
-    /// default) is exactly the classic single-simplex start.
+    /// default) is exactly the classic single-simplex start; any larger
+    /// count is rounded up so the seed batch fills a whole number of
+    /// [`Objective::preferred_batch`] lanes.
     pub restarts: usize,
 }
 
@@ -146,8 +154,18 @@ impl NelderMead {
         // Starting simplices: the classic one (x0 plus one perturbed vertex
         // per dimension) first, then `restarts - 1` deterministically
         // jittered ones, all evaluated as a single batch of
-        // `restarts · (n + 1)` candidates.
+        // `restarts · (n + 1)` candidates. With restarts enabled, round the
+        // count up until that batch covers a whole number of the engine's
+        // preferred-batch lanes — more deterministic seeds instead of idle
+        // lanes. `restarts == 1` stays the classic start on every engine.
         let restarts = self.restarts.max(1);
+        let restarts = if restarts > 1 && f.preferred_batch() > 1 {
+            let lanes = f.preferred_batch();
+            let vertices = (restarts * (n + 1)).div_ceil(lanes) * lanes;
+            vertices.div_ceil(n + 1)
+        } else {
+            restarts
+        };
         let build_simplex = |origin: &[f64], step_scale: f64| -> Vec<Vec<f64>> {
             let mut simplex = Vec::with_capacity(n + 1);
             simplex.push(origin.to_vec());
@@ -429,6 +447,44 @@ mod tests {
     #[should_panic(expected = "at least one starting simplex")]
     fn rejects_zero_restarts() {
         let _ = NelderMead::new().restarts(0);
+    }
+
+    #[test]
+    fn restart_batch_rounds_up_to_fill_engine_lanes() {
+        // On a 16-lane engine, restarts(3) in 1-D would seed 6 vertices;
+        // the count rounds up to 8 restarts so the one-shot seed batch is
+        // exactly 16. A single restart stays the classic 2-vertex start.
+        struct Wide {
+            first_batch_len: Option<usize>,
+        }
+        impl Objective for Wide {
+            fn eval_scalar(&mut self, x: &[f64]) -> f64 {
+                (x[0] - 3.0).powi(2)
+            }
+            fn eval_batch(&mut self, points: &[Vec<f64>], values: &mut Vec<f64>) {
+                self.first_batch_len.get_or_insert(points.len());
+                for p in points {
+                    values.push(self.eval_scalar(p));
+                }
+            }
+            fn preferred_batch(&self) -> usize {
+                16
+            }
+        }
+        let mut f = Wide {
+            first_batch_len: None,
+        };
+        let m = NelderMead::new()
+            .restarts(3)
+            .minimize_objective(&mut f, &[0.5]);
+        assert!(m.value < 1e-8);
+        assert_eq!(f.first_batch_len, Some(16));
+
+        let mut single = Wide {
+            first_batch_len: None,
+        };
+        let _ = NelderMead::new().minimize_objective(&mut single, &[0.5]);
+        assert_eq!(single.first_batch_len, Some(2));
     }
 
     #[test]

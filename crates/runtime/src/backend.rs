@@ -26,8 +26,9 @@
 
 use crate::branch::BranchSet;
 use crate::context::{ExecCtx, RunOutcome};
-use crate::lane::{LaneCtx, LANE_WIDTH, MIN_LANE_BATCH};
+use crate::lane::{LaneCtx, MIN_LANE_BATCH};
 use crate::program::Program;
+use crate::simd::SimdIsa;
 
 /// Which execution backend an evaluation pipeline should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -91,10 +92,25 @@ pub trait ExecBackend: std::fmt::Debug + Send {
     /// Stable backend name recorded in reports and bench artifacts.
     fn name(&self) -> &'static str;
 
-    /// Number of evaluations the batched path processes in lockstep.
+    /// Number of evaluations the batched path processes in lockstep — a
+    /// property of the backend's SIMD ISA ([`SimdIsa::lane_width`]).
     fn lane_width(&self) -> usize {
-        LANE_WIDTH
+        self.simd_isa().lane_width()
     }
+
+    /// The SIMD ISA the backend's lane finalize dispatches to. Recorded in
+    /// reports so artifacts say which kernels produced them.
+    fn simd_isa(&self) -> SimdIsa;
+
+    /// Overrides the backend's SIMD ISA (the `--simd`/`COVERME_SIMD`
+    /// knob, resolved per engine instance). Called only between batches,
+    /// never with lanes in flight.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the machine cannot execute `isa` — CLI
+    /// front ends validate with [`SimdIsa::is_supported`] first.
+    fn set_simd(&mut self, isa: SimdIsa);
 
     /// Smallest batch for which the lane path beats scalar evaluation;
     /// dispatchers fall back to scalar calls below it.
@@ -171,6 +187,15 @@ impl ExecBackend for InterpBackend {
         "interp"
     }
 
+    fn simd_isa(&self) -> SimdIsa {
+        self.lane.simd_isa()
+    }
+
+    fn set_simd(&mut self, isa: SimdIsa) {
+        let lane = std::mem::take(&mut self.lane);
+        self.lane = lane.with_simd(isa);
+    }
+
     fn set_epsilon(&mut self, epsilon: f64) {
         let lane = std::mem::take(&mut self.lane);
         self.lane = lane.with_epsilon(epsilon);
@@ -192,7 +217,7 @@ impl ExecBackend for InterpBackend {
         out: &mut Vec<LaneEval>,
     ) {
         out.reserve(indices.len());
-        for chunk in indices.chunks(LANE_WIDTH) {
+        for chunk in indices.chunks(self.lane.width()) {
             self.outcomes.clear();
             for &index in chunk {
                 let outcome = self.lane.record(program, &points[index]);
@@ -250,7 +275,7 @@ mod tests {
         backend.set_epsilon(DEFAULT_EPSILON);
         backend.retarget(&saturated);
         assert_eq!(backend.name(), "interp");
-        assert_eq!(backend.lane_width(), LANE_WIDTH);
+        assert_eq!(backend.lane_width(), backend.simd_isa().lane_width());
         assert_eq!(backend.min_batch(), MIN_LANE_BATCH);
 
         let points: Vec<Vec<f64>> = (0..19).map(|i| vec![i as f64 * 0.61 - 7.0]).collect();

@@ -24,15 +24,25 @@
 //! 2. **finalize** — the harvested pending events sit in structure-of-array
 //!    lane buffers (`[f64; LANE_WIDTH]` operand arrays, one code byte per
 //!    lane), and the one distance per lane that actually determines the
-//!    value is computed for all lanes in a lockstep pass.
+//!    value is computed for all lanes by the [`crate::simd`] vector
+//!    kernels of the context's [`SimdIsa`] — real packed SSE2/AVX2
+//!    instructions when the machine has them, the scalar reference loop
+//!    otherwise.
+//!
+//! How many lanes one finalize packs is an ISA property
+//! ([`SimdIsa::lane_width`]): 8 on the portable and SSE2 paths (the
+//! historical width), 16 under AVX2. [`LANE_WIDTH`] is the compile-time
+//! *capacity* of the SoA buffers — the maximum any ISA selects.
 //!
 //! Bit-exactness with the scalar path is non-negotiable and holds by
 //! construction: the finalize performs exactly the [`distance`] call
 //! (same operands, same `ε`, same operation order) the last live `pen` of
-//! an eager execution performs, and dropping the overwritten earlier calls
-//! cannot change the bits of the surviving one. The property suite
-//! (`lane_properties` in `coverme-core`) pins this on generated programs,
-//! snapshots, and NaN/inf inputs at every batch size.
+//! an eager execution performs — the vector kernels mirror the scalar
+//! select structure operation for operation — and dropping the overwritten
+//! earlier calls cannot change the bits of the surviving one. The property
+//! suites (`lane_properties` in `coverme-core`) pin this on generated
+//! programs, snapshots, and NaN/inf inputs at every batch size and under
+//! every forced ISA.
 //!
 //! [`distance`]: crate::distance
 
@@ -40,20 +50,25 @@ use crate::branch::{BranchSet, Direction};
 use crate::context::{pen_code, ExecCtx, PendingPen, RunOutcome};
 use crate::distance::Cmp;
 use crate::program::Program;
+use crate::simd::{self, SimdIsa};
 
-/// Number of evaluation lanes a [`LaneCtx`] packs per lockstep finalize.
-///
-/// Eight lanes of `f64` are one AVX-512 register or two AVX2 registers —
-/// wide enough for the finalize loops to auto-vectorize, small enough that
-/// a partially filled last chunk wastes little work. Batch producers that
-/// size a candidate stream freely learn this width through
-/// `Objective::preferred_batch` in `coverme-optim`; fixed-size sets (a
-/// probe star, a simplex) are evaluated as-is in partially filled chunks.
-pub const LANE_WIDTH: usize = 8;
+/// Capacity of a [`LaneCtx`]'s SoA lane buffers: the widest lane count any
+/// [`SimdIsa`] selects (16, the AVX2 width). The *effective* number of
+/// lanes packed per lockstep finalize is [`SimdIsa::lane_width`] of the
+/// context's ISA — 8 on the portable/SSE2 paths, 16 under AVX2. Batch
+/// producers that size a candidate stream freely learn the effective width
+/// through `Objective::preferred_batch` in `coverme-optim`; fixed-size
+/// sets (a probe star, a simplex) are evaluated as-is in partially filled
+/// chunks.
+pub const LANE_WIDTH: usize = 16;
 
 /// Smallest batch for which the lane path beats the scalar fast path.
 /// Below this, per-batch setup (harvest + finalize) outweighs the deferred
 /// per-branch savings, so batch dispatchers fall back to scalar evaluation.
+/// Retuned against the vector kernels: the SIMD finalize lowers per-batch
+/// cost further, so the historical threshold of 4 still holds with margin —
+/// record (a full program execution per lane) dominates below it on every
+/// ISA.
 pub const MIN_LANE_BATCH: usize = 4;
 
 /// The lane-parallel evaluation context. See the [module docs](self).
@@ -76,12 +91,18 @@ pub struct LaneCtx {
     rhs: [f64; LANE_WIDTH],
     /// Number of recorded, not-yet-finalized lanes.
     lanes: usize,
+    /// The SIMD ISA the finalize dispatches to.
+    isa: SimdIsa,
+    /// Effective lane count per chunk (`isa.lane_width()`, cached).
+    width: usize,
 }
 
 impl LaneCtx {
     /// Creates a lane context evaluating against the given saturation
-    /// snapshot with the default `ε`.
+    /// snapshot with the default `ε`, on the process's active SIMD ISA
+    /// ([`SimdIsa::active`]).
     pub fn new(saturated: BranchSet) -> LaneCtx {
+        let isa = SimdIsa::active();
         LaneCtx {
             ctx: ExecCtx::representing(saturated).deferred_pen(),
             codes: [pen_code::IDLE; LANE_WIDTH],
@@ -89,6 +110,8 @@ impl LaneCtx {
             lhs: [0.0; LANE_WIDTH],
             rhs: [0.0; LANE_WIDTH],
             lanes: 0,
+            isa,
+            width: isa.lane_width(),
         }
     }
 
@@ -102,9 +125,35 @@ impl LaneCtx {
         self
     }
 
+    /// Overrides the SIMD ISA this context finalizes with (per instance —
+    /// no global state, so parallel tests can pin different ISAs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine cannot execute `isa`, or if lanes were
+    /// recorded but not yet finalized.
+    pub fn with_simd(mut self, isa: SimdIsa) -> LaneCtx {
+        assert!(isa.is_supported(), "SIMD ISA {isa} unsupported here");
+        assert_eq!(self.lanes, 0, "ISA change with unfinalized lanes pending");
+        self.isa = isa;
+        self.width = isa.lane_width();
+        self
+    }
+
     /// The `ε` in use.
     pub fn epsilon(&self) -> f64 {
         self.ctx.epsilon()
+    }
+
+    /// The SIMD ISA the finalize dispatches to.
+    pub fn simd_isa(&self) -> SimdIsa {
+        self.isa
+    }
+
+    /// Effective number of lanes one lockstep finalize packs
+    /// ([`SimdIsa::lane_width`] of the context's ISA).
+    pub fn width(&self) -> usize {
+        self.width
     }
 
     /// The saturation snapshot the lanes evaluate against.
@@ -130,7 +179,7 @@ impl LaneCtx {
 
     /// Whether every lane slot is filled (the caller should finalize).
     pub fn is_full(&self) -> bool {
-        self.lanes == LANE_WIDTH
+        self.lanes == self.width
     }
 
     /// Whether no lane is recorded.
@@ -147,9 +196,9 @@ impl LaneCtx {
     ///
     /// # Panics
     ///
-    /// Panics if all [`LANE_WIDTH`] lanes are already filled.
+    /// Panics if all [`width`](Self::width) lanes are already filled.
     pub fn record<P: Program + ?Sized>(&mut self, program: &P, input: &[f64]) -> RunOutcome {
-        assert!(self.lanes < LANE_WIDTH, "all lanes filled; finalize first");
+        assert!(self.lanes < self.width, "all lanes filled; finalize first");
         self.ctx.reset();
         program.execute(input, &mut self.ctx);
         let PendingPen { code, op, lhs, rhs } = self.ctx.pending_pen();
@@ -162,19 +211,34 @@ impl LaneCtx {
         self.ctx.run_outcome()
     }
 
+    /// Read-only view of the recorded, not-yet-finalized pending events as
+    /// SoA slices `(codes, ops, lhs, rhs)`, in record order. This is the
+    /// harvest the finalize consumes; the bench harness uses it to collect
+    /// real event streams and re-finalize them under every ISA.
+    pub fn pending_lanes(&self) -> (&[u8], &[Cmp], &[f64], &[f64]) {
+        let lanes = self.lanes;
+        (
+            &self.codes[..lanes],
+            &self.ops[..lanes],
+            &self.lhs[..lanes],
+            &self.rhs[..lanes],
+        )
+    }
+
     /// Resolves every recorded lane in one lockstep pass, appending one
     /// value per lane (in record order) to `values`, and clears the lanes.
     ///
-    /// Delegates to [`resolve_pen_lanes`]: chunks whose lanes agree on the
-    /// pen code and comparison run a branch-free elementwise distance
-    /// kernel over the SoA operand arrays (the loops auto-vectorize);
-    /// divergent chunks fall back to the scalar per-lane resolve. Either
-    /// path computes exactly the `distance` call the eager path would have
+    /// Delegates to [`resolve_pen_lanes_with`] on the context's ISA:
+    /// chunks whose lanes agree on the pen code and comparison run the
+    /// packed distance kernel over the SoA operand arrays; divergent
+    /// chunks fall back to the scalar per-lane resolve. Either path
+    /// computes exactly the `distance` call the eager path would have
     /// kept, bit for bit.
     pub fn finalize_into(&mut self, values: &mut Vec<f64>) {
         let epsilon = self.epsilon();
         let lanes = self.lanes;
-        resolve_pen_lanes(
+        resolve_pen_lanes_with(
+            self.isa,
             &self.codes[..lanes],
             &self.ops[..lanes],
             &self.lhs[..lanes],
@@ -186,9 +250,9 @@ impl LaneCtx {
     }
 
     /// Evaluates `FOO_R` over a whole batch: points are packed into
-    /// [`LANE_WIDTH`]-wide chunks, each chunk recorded lane by lane and
-    /// finalized in lockstep. One value per point is appended to `values`
-    /// in input order; `values` is not cleared.
+    /// [`width`](Self::width)-wide chunks, each chunk recorded lane by
+    /// lane and finalized in lockstep. One value per point is appended to
+    /// `values` in input order; `values` is not cleared.
     ///
     /// # Panics
     ///
@@ -201,7 +265,7 @@ impl LaneCtx {
     ) {
         assert_eq!(self.lanes, 0, "eval_batch with unfinalized lanes pending");
         values.reserve(points.len());
-        for chunk in points.chunks(LANE_WIDTH) {
+        for chunk in points.chunks(self.width) {
             for point in chunk {
                 self.record(program, point);
             }
@@ -250,21 +314,45 @@ pub fn resolve_pen(code: u8, op: Cmp, lhs: f64, rhs: f64, epsilon: f64) -> f64 {
     PendingPen { code, op, lhs, rhs }.resolve(epsilon)
 }
 
-/// Resolves a structure-of-arrays batch of pending penalty events,
-/// appending one value per event (in order) to `values`.
-///
-/// The batch is processed in [`LANE_WIDTH`]-wide chunks. A chunk whose
-/// lanes all carry the same pen code and comparison operator — the common
-/// case, since a batch usually probes one program around one target — runs
-/// a single branch-free elementwise kernel over the operand slices, which
-/// the compiler auto-vectorizes. Mixed chunks resolve lane by lane. Both
-/// paths compute exactly [`crate::distance`] on the recorded operands, so
-/// values are bit-identical to scalar resolution whichever path runs.
+/// Resolves a structure-of-arrays batch of pending penalty events on the
+/// process's active SIMD ISA ([`SimdIsa::active`]), appending one value
+/// per event (in order) to `values`. See [`resolve_pen_lanes_with`].
 ///
 /// # Panics
 ///
 /// Panics if the slice lengths disagree or a code is [`pen_code::KEEP`].
 pub fn resolve_pen_lanes(
+    codes: &[u8],
+    ops: &[Cmp],
+    lhs: &[f64],
+    rhs: &[f64],
+    epsilon: f64,
+    values: &mut Vec<f64>,
+) {
+    resolve_pen_lanes_with(SimdIsa::active(), codes, ops, lhs, rhs, epsilon, values);
+}
+
+/// Resolves a structure-of-arrays batch of pending penalty events with the
+/// given ISA's kernels, appending one value per event (in order) to
+/// `values`.
+///
+/// The batch is scanned for maximal *uniform runs* — consecutive lanes
+/// carrying the same pen code and comparison operator, the common case
+/// since a batch usually probes one program around one target. Each run
+/// of at least [`MIN_LANE_BATCH`] lanes becomes a single packed
+/// [`simd::distance_lanes`] kernel call over the operand slices, so the
+/// non-inlinable `#[target_feature]` call cost amortizes over the whole
+/// run (a full finalize group, or an entire harvested event stream).
+/// Shorter or divergent runs resolve lane by lane. Both paths compute
+/// exactly [`crate::distance`] on the recorded operands, so values are
+/// bit-identical to scalar resolution whichever path (and whichever ISA)
+/// runs.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree or a code is [`pen_code::KEEP`].
+pub fn resolve_pen_lanes_with(
+    isa: SimdIsa,
     codes: &[u8],
     ops: &[Cmp],
     lhs: &[f64],
@@ -280,22 +368,25 @@ pub fn resolve_pen_lanes(
     values.reserve(n);
     let mut start = 0;
     while start < n {
-        let end = (start + LANE_WIDTH).min(n);
         let code = codes[start];
         let op = ops[start];
-        let uniform = codes[start..end].iter().all(|&c| c == code)
-            && ops[start..end].iter().all(|&o| o == op);
-        if uniform && code != pen_code::KEEP {
-            let mut chunk = [0.0; LANE_WIDTH];
-            let out = &mut chunk[..end - start];
+        let mut end = start + 1;
+        while end < n && codes[end] == code && ops[end] == op {
+            end += 1;
+        }
+        if code != pen_code::KEEP && end - start >= MIN_LANE_BATCH {
+            let at = values.len();
+            values.resize(at + (end - start), 0.0);
+            let out = &mut values[at..];
             match code {
                 pen_code::IDLE => out.fill(1.0),
                 pen_code::OPEN => out.fill(0.0),
                 pen_code::FALSE_SATURATED => {
-                    distance_chunk(op, &lhs[start..end], &rhs[start..end], epsilon, out);
+                    simd::distance_lanes(isa, op, &lhs[start..end], &rhs[start..end], epsilon, out);
                 }
                 pen_code::TRUE_SATURATED => {
-                    distance_chunk(
+                    simd::distance_lanes(
+                        isa,
                         op.negate(),
                         &lhs[start..end],
                         &rhs[start..end],
@@ -305,7 +396,6 @@ pub fn resolve_pen_lanes(
                 }
                 _ => unreachable!(),
             }
-            values.extend_from_slice(out);
         } else {
             for lane in start..end {
                 values.push(resolve_pen(
@@ -318,69 +408,6 @@ pub fn resolve_pen_lanes(
             }
         }
         start = end;
-    }
-}
-
-/// Elementwise `distance(op, a[k], b[k], ε)` over one chunk, written as
-/// straight-line select chains so the loops vectorize. Bit-exact with
-/// [`crate::distance`]: the NaN rule is applied as a final select, and
-/// `square`'s overflow saturation to `f64::MAX` is reproduced.
-fn distance_chunk(op: Cmp, a: &[f64], b: &[f64], epsilon: f64, out: &mut [f64]) {
-    // Ge/Gt are defined by operand swap (Definition 4.1); fold them onto
-    // the Le/Lt kernels exactly as the scalar implementation does.
-    match op {
-        Cmp::Ge => return distance_chunk(Cmp::Le, b, a, epsilon, out),
-        Cmp::Gt => return distance_chunk(Cmp::Lt, b, a, epsilon, out),
-        _ => {}
-    }
-    let n = out.len();
-    match op {
-        Cmp::Eq => {
-            for k in 0..n {
-                let d = a[k] - b[k];
-                let sq = d * d;
-                let sq = if sq.is_infinite() { f64::MAX } else { sq };
-                out[k] = if a[k].is_nan() || b[k].is_nan() {
-                    f64::INFINITY
-                } else {
-                    sq
-                };
-            }
-        }
-        Cmp::Le => {
-            for k in 0..n {
-                let d = a[k] - b[k];
-                let sq = d * d;
-                let sq = if sq.is_infinite() { f64::MAX } else { sq };
-                let v = if a[k] <= b[k] { 0.0 } else { sq };
-                out[k] = if a[k].is_nan() || b[k].is_nan() {
-                    f64::INFINITY
-                } else {
-                    v
-                };
-            }
-        }
-        Cmp::Lt => {
-            for k in 0..n {
-                let d = a[k] - b[k];
-                let sq = d * d;
-                let sq = if sq.is_infinite() { f64::MAX } else { sq };
-                let v = if a[k] < b[k] { 0.0 } else { sq + epsilon };
-                out[k] = if a[k].is_nan() || b[k].is_nan() {
-                    f64::INFINITY
-                } else {
-                    v
-                };
-            }
-        }
-        Cmp::Ne => {
-            // distance(Ne, NaN, _) is 0 — `a != b` already holds for NaN,
-            // so the generic select covers the NaN rule too.
-            for k in 0..n {
-                out[k] = if a[k] != b[k] { 0.0 } else { epsilon };
-            }
-        }
-        Cmp::Ge | Cmp::Gt => unreachable!("folded onto Le/Lt above"),
     }
 }
 
@@ -427,19 +454,21 @@ mod tests {
     fn lane_values_match_eager_execution_bit_for_bit() {
         let program = paper_example();
         for saturated in snapshots() {
-            let mut lane = LaneCtx::new(saturated.clone());
-            let points: Vec<Vec<f64>> = (0..23).map(|i| vec![i as f64 * 0.61 - 7.0]).collect();
-            let mut values = Vec::new();
-            lane.eval_batch(&program, &points, &mut values);
-            assert_eq!(values.len(), points.len());
-            for (point, value) in points.iter().zip(&values) {
-                let mut eager = ExecCtx::representing(saturated.clone());
-                program.execute(point, &mut eager);
-                assert_eq!(
-                    value.to_bits(),
-                    eager.representing_value().to_bits(),
-                    "snapshot {saturated:?}, point {point:?}"
-                );
+            for isa in SimdIsa::supported() {
+                let mut lane = LaneCtx::new(saturated.clone()).with_simd(isa);
+                let points: Vec<Vec<f64>> = (0..23).map(|i| vec![i as f64 * 0.61 - 7.0]).collect();
+                let mut values = Vec::new();
+                lane.eval_batch(&program, &points, &mut values);
+                assert_eq!(values.len(), points.len());
+                for (point, value) in points.iter().zip(&values) {
+                    let mut eager = ExecCtx::representing(saturated.clone());
+                    program.execute(point, &mut eager);
+                    assert_eq!(
+                        value.to_bits(),
+                        eager.representing_value().to_bits(),
+                        "isa {isa}, snapshot {saturated:?}, point {point:?}"
+                    );
+                }
             }
         }
     }
@@ -477,6 +506,11 @@ mod tests {
         lane.record(&program, &[0.5]);
         lane.record(&program, &[2.0]);
         assert_eq!(lane.lanes(), 2);
+        let (codes, ops, lhs, rhs) = lane.pending_lanes();
+        assert_eq!(codes.len(), 2);
+        assert_eq!(ops.len(), 2);
+        assert_eq!(lhs.len(), 2);
+        assert_eq!(rhs.len(), 2);
         let mut values = Vec::new();
         lane.finalize_into(&mut values);
         assert_eq!(values, vec![0.0, 0.0]);
@@ -500,10 +534,22 @@ mod tests {
     fn partially_filled_last_chunk_is_finalized() {
         let program = paper_example();
         let mut lane = LaneCtx::new(BranchSet::new());
-        let points: Vec<Vec<f64>> = (0..LANE_WIDTH + 3).map(|i| vec![i as f64]).collect();
+        let points: Vec<Vec<f64>> = (0..lane.width() + 3).map(|i| vec![i as f64]).collect();
         let mut values = Vec::new();
         lane.eval_batch(&program, &points, &mut values);
-        assert_eq!(values.len(), LANE_WIDTH + 3);
+        assert_eq!(values.len(), lane.width() + 3);
+    }
+
+    #[test]
+    fn effective_width_tracks_the_isa() {
+        let lane = LaneCtx::new(BranchSet::new());
+        assert_eq!(lane.width(), lane.simd_isa().lane_width());
+        assert!(lane.width() <= LANE_WIDTH);
+        for isa in SimdIsa::supported() {
+            let lane = LaneCtx::new(BranchSet::new()).with_simd(isa);
+            assert_eq!(lane.simd_isa(), isa);
+            assert_eq!(lane.width(), isa.lane_width());
+        }
     }
 
     #[test]
@@ -511,7 +557,7 @@ mod tests {
     fn overfilling_the_lanes_panics() {
         let program = paper_example();
         let mut lane = LaneCtx::new(BranchSet::new());
-        for i in 0..=LANE_WIDTH {
+        for i in 0..=lane.width() {
             lane.record(&program, &[i as f64]);
         }
     }
@@ -529,6 +575,53 @@ mod tests {
             let mut eager = ExecCtx::representing(saturated.clone()).with_epsilon(epsilon);
             program.execute(&[2.0], &mut eager);
             assert_eq!(values[0].to_bits(), eager.representing_value().to_bits());
+        }
+    }
+
+    #[test]
+    fn explicit_isa_resolution_is_bit_identical_across_isas() {
+        // A mixed stream of pending events (every code, every op, special
+        // operands) resolves to the same bits under every supported ISA.
+        let ops_pool = [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge];
+        let operands = [0.0, -0.0, 1.0, f64::NAN, f64::INFINITY, -3.5, 1e300];
+        let mut codes = Vec::new();
+        let mut ops = Vec::new();
+        let mut lhs = Vec::new();
+        let mut rhs = Vec::new();
+        let mut k = 0usize;
+        for code in [
+            pen_code::IDLE,
+            pen_code::OPEN,
+            pen_code::FALSE_SATURATED,
+            pen_code::TRUE_SATURATED,
+        ] {
+            for &a in &operands {
+                for &b in &operands {
+                    codes.push(code);
+                    ops.push(ops_pool[k % ops_pool.len()]);
+                    lhs.push(a);
+                    rhs.push(b);
+                    k += 1;
+                }
+            }
+        }
+        let mut reference = Vec::new();
+        resolve_pen_lanes_with(
+            SimdIsa::Portable,
+            &codes,
+            &ops,
+            &lhs,
+            &rhs,
+            DEFAULT_EPSILON,
+            &mut reference,
+        );
+        for isa in SimdIsa::supported() {
+            let mut values = Vec::new();
+            resolve_pen_lanes_with(isa, &codes, &ops, &lhs, &rhs, DEFAULT_EPSILON, &mut values);
+            assert_eq!(values.len(), reference.len());
+            for (k, (v, r)) in values.iter().zip(&reference).enumerate() {
+                assert_eq!(v.to_bits(), r.to_bits(), "{isa} lane {k}");
+            }
         }
     }
 }

@@ -19,7 +19,10 @@
 
 use std::time::Duration;
 
-use coverme::{BackendMode, CoverMeConfig, InfeasiblePolicy, LocalMethod, SchedulerPolicy};
+use coverme::{
+    BackendMode, CoverMeConfig, InfeasiblePolicy, LocalMethod, SchedulerPolicy, SimdIsa,
+    SIMD_ENV_VAR,
+};
 
 /// Every option the front ends share, with the front ends' historical
 /// defaults (`n_start` 80, seed 42, unsharded, Powell, auto backend).
@@ -37,6 +40,13 @@ pub struct CommonOptions {
     pub local_method: LocalMethod,
     /// Execution backend (`--backend auto|interp|tape`).
     pub backend: BackendMode,
+    /// Forced SIMD dispatch (`--simd portable|sse2|avx2`; default: the
+    /// process-wide choice, i.e. `COVERME_SIMD` or CPU autodetection).
+    /// Every ISA produces bit-identical values, coverage, and chosen
+    /// inputs — this knob trades speed, never results. (Cache-hit
+    /// *telemetry* can shift with the ISA's lane width, since wider lane
+    /// groups flush cache misses in larger batches.)
+    pub simd: Option<SimdIsa>,
     /// Wall-clock budget (`--time-budget SECS`).
     pub time_budget: Option<Duration>,
     /// Global evaluation budget (`--budget N`).
@@ -68,6 +78,7 @@ impl Default for CommonOptions {
             sync_epochs: 0,
             local_method: LocalMethod::Powell,
             backend: BackendMode::Auto,
+            simd: None,
             time_budget: None,
             budget_evals: None,
             scheduler: SchedulerPolicy::Fixed,
@@ -96,6 +107,9 @@ impl CommonOptions {
             .with_scheduler(self.scheduler)
             .with_adaptive_sync(self.adaptive_sync)
             .with_infeasible_policy(self.infeasible_policy);
+        if let Some(isa) = self.simd {
+            config = config.with_simd(isa);
+        }
         if let Some(budget) = self.time_budget {
             config = config.with_time_budget(budget);
         }
@@ -116,6 +130,8 @@ pub const COMMON_USAGE: &str = "\
   --adaptive-sync      skip sync barriers whose deltas cannot have changed
   --local METHOD       local minimizer: powell (default), nm, compass, none
   --backend MODE       execution backend: auto (default), interp, tape
+  --simd ISA           SIMD kernels: portable, sse2, avx2 (default: autodetect;
+                       env COVERME_SIMD); values/coverage ISA-independent
   --infeasible POLICY  infeasibility blame: last (default), all, off
   --time-budget SECS   wall-clock budget
   --budget N           global evaluation budget (drives --scheduler bandit)
@@ -200,6 +216,20 @@ impl<I: Iterator<Item = String>> ArgParser<I> {
                     ))
                 });
             }
+            "--simd" => {
+                let value = self.value_for("--simd");
+                let isa = SimdIsa::parse(&value).unwrap_or_else(|| {
+                    self.usage_error(&format!(
+                        "--simd got unknown ISA {value} (portable, sse2, avx2)"
+                    ))
+                });
+                if !isa.is_supported() {
+                    self.usage_error(&format!(
+                        "--simd {value}: ISA not supported on this machine"
+                    ));
+                }
+                options.simd = Some(isa);
+            }
             "--time-budget" => {
                 let secs: f64 = self.parsed("--time-budget");
                 options.time_budget = Some(Duration::from_secs_f64(secs));
@@ -232,6 +262,28 @@ impl<I: Iterator<Item = String>> ArgParser<I> {
             _ => return false,
         }
         true
+    }
+
+    /// Settles the process-wide SIMD dispatch once the flags are parsed: a
+    /// malformed or unsupported `COVERME_SIMD` aborts with a usage error
+    /// (exit 2) instead of silently falling back to autodetection, and an
+    /// explicit `--simd` is forced process-wide so components that consult
+    /// [`SimdIsa::active`] directly — the serve daemon's `hello`/`stats`
+    /// payloads, default-constructed backends — agree with the flag.
+    pub fn settle_simd(&self, options: &CommonOptions) {
+        match SimdIsa::from_env() {
+            Err(message) => self.usage_error(&message),
+            Ok(Some(isa)) if !isa.is_supported() => self.usage_error(&format!(
+                "{SIMD_ENV_VAR}={}: ISA not supported on this machine",
+                isa.label()
+            )),
+            Ok(_) => {}
+        }
+        if let Some(isa) = options.simd {
+            if let Err(message) = SimdIsa::force(isa) {
+                self.usage_error(&message);
+            }
+        }
     }
 }
 
@@ -352,6 +404,8 @@ mod tests {
             "nm",
             "--backend",
             "tape",
+            "--simd",
+            "portable",
             "--time-budget",
             "1.5",
             "--budget",
@@ -377,6 +431,7 @@ mod tests {
         assert_eq!(options.sync_epochs, 2);
         assert_eq!(options.local_method, LocalMethod::NelderMead);
         assert_eq!(options.backend, BackendMode::Tape);
+        assert_eq!(options.simd, Some(SimdIsa::Portable));
         assert_eq!(options.time_budget, Some(Duration::from_secs_f64(1.5)));
         assert_eq!(options.budget_evals, Some(50_000));
         assert_eq!(options.scheduler, SchedulerPolicy::Bandit);
@@ -463,5 +518,19 @@ mod tests {
         assert_eq!(config.backend, BackendMode::Interp);
         assert_eq!(config.shards, 2);
         assert_eq!(config.n_start, 80);
+    }
+
+    #[test]
+    fn simd_knob_reaches_the_search_config_without_perturbing_its_key() {
+        let options = CommonOptions {
+            simd: Some(SimdIsa::Portable),
+            ..CommonOptions::default()
+        };
+        let config = options.search_config();
+        assert_eq!(config.simd, Some(SimdIsa::Portable));
+        // The ISA trades speed, never results, so it must not fragment the
+        // corpus: forcing a lane width leaves the search key alone.
+        let default_key = CommonOptions::default().search_config().search_key();
+        assert_eq!(config.search_key(), default_key);
     }
 }

@@ -58,6 +58,8 @@ options:
   --adaptive-sync      skip sync barriers whose deltas cannot have changed
   --local METHOD       local minimizer: powell (default), nm, compass, none
   --backend MODE       execution backend: auto (default), interp, tape
+  --simd ISA           SIMD kernels: portable, sse2, avx2 (default: autodetect;
+                       env COVERME_SIMD); values/coverage ISA-independent
   --infeasible POLICY  infeasibility blame: last (default), all, off
   --time-budget SECS   wall-clock budget
   --budget N           global evaluation budget (drives --scheduler bandit)
@@ -172,6 +174,7 @@ fn parse_options(args: impl Iterator<Item = String>) -> (Vec<String>, Options) {
             operand => operands.push(operand.to_string()),
         }
     }
+    parser.settle_simd(&options.common);
     (operands, options)
 }
 

@@ -286,6 +286,7 @@ fn handle_connection(server: &Server, stream: TcpStream) {
     };
     let mut reader = BufReader::new(stream);
     let mut writer = BufWriter::new(write_half);
+    let isa = coverme_runtime::SimdIsa::active();
     let hello = event_line(
         "hello",
         vec![
@@ -296,6 +297,14 @@ fn handle_connection(server: &Server, stream: TcpStream) {
             (
                 "max_jobs".to_string(),
                 JsonValue::Number(server.options.max_jobs as f64),
+            ),
+            (
+                "simd_isa".to_string(),
+                JsonValue::String(isa.label().to_string()),
+            ),
+            (
+                "lane_width".to_string(),
+                JsonValue::Number(isa.lane_width() as f64),
             ),
         ],
     );
@@ -422,6 +431,7 @@ fn dispatch(server: &Server, request: &JsonValue, writer: &mut impl Write) -> bo
 
 fn stats_event(server: &Server) -> String {
     let shared = server.shared.lock().expect("server lock poisoned");
+    let isa = coverme_runtime::SimdIsa::active();
     let mut members = vec![
         (
             "active_jobs".to_string(),
@@ -430,6 +440,14 @@ fn stats_event(server: &Server) -> String {
         (
             "workers".to_string(),
             JsonValue::Number(server.pool.total as f64),
+        ),
+        (
+            "simd_isa".to_string(),
+            JsonValue::String(isa.label().to_string()),
+        ),
+        (
+            "lane_width".to_string(),
+            JsonValue::Number(isa.lane_width() as f64),
         ),
     ];
     if let Some(store) = &server.options.corpus {

@@ -140,6 +140,60 @@ fn memoization_is_invisible_to_objective_values() {
 }
 
 #[test]
+fn wide_arity_entry_points_bypass_the_memo_cache_but_stay_correct() {
+    // The memo cache keys inputs as a fixed `[u64; MAX_CACHED_ARITY]`
+    // array (4 words). FPIR entry points can take more parameters than
+    // that, and such a program must fall back to uncached evaluation —
+    // every point re-executes, zero hits — rather than aliasing distinct
+    // points onto one truncated key. This pins both halves: correct
+    // values, and a cache that never pretends to answer.
+    let source = "\
+double wide(double a, double b, double c, double d, double e) {
+    double acc = a * 2.0 + b;
+    if (acc < c) {
+        acc = acc + d;
+    }
+    if (d > e) {
+        acc = acc - e * 0.5;
+    }
+    return acc;
+}";
+    let program = compile(source, "wide").expect("wide.fpir compiles");
+    let arity = Program::arity(&program);
+    assert!(
+        arity > coverme::objective::MAX_CACHED_ARITY,
+        "test program must exceed the cache key width (arity {arity})"
+    );
+    let mut cached = ObjectiveEngine::new(program, 1.0).cache_mode(CacheMode::On);
+    let mut bare =
+        ObjectiveEngine::new(compile(source, "wide").unwrap(), 1.0).cache_mode(CacheMode::Off);
+    let mut rng = Rng(0x31DE_CAFE);
+    // Points that agree on their first four coordinates and differ only in
+    // the fifth — exactly the aliasing a truncated key would collapse.
+    let shared: Vec<f64> = rng.point(4);
+    let mut points: Vec<Vec<f64>> = (0..6)
+        .map(|_| {
+            let mut p = shared.clone();
+            p.push((rng.next_f64() - 0.5) * 40.0);
+            p
+        })
+        .collect();
+    points.extend(points.clone()); // revisits: a working cache would hit here
+    for (index, point) in points.iter().enumerate() {
+        let with_cache = cached.eval_scalar(point);
+        let without = bare.eval_scalar(point);
+        assert_eq!(
+            with_cache.to_bits(),
+            without.to_bits(),
+            "point {index}: cached {with_cache:e} != uncached {without:e}"
+        );
+    }
+    let telemetry = cached.telemetry();
+    assert_eq!(telemetry.cache_hits, 0, "wide arity must never cache");
+    assert_eq!(telemetry.evals, points.len() as u64);
+}
+
+#[test]
 fn every_run_is_classified_and_aborts_surface_the_sentinel() {
     let mut done = 0u64;
     let mut timeouts = 0u64;
